@@ -1,0 +1,129 @@
+// Ablation bench (DESIGN.md §6) — quantifies each design choice inside
+// ROD: phase-1 operator ordering (descending-norm vs unsorted vs
+// ascending), the heuristic composition (combined Class I/II logic vs
+// MMAD-only vs MMPD-only), and the Class I tie-break rule. Averaged over
+// several random graphs at paper scale.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace {
+
+using rod::bench::Fmt;
+using rod::bench::Table;
+using rod::place::PlacementEvaluator;
+using rod::place::RodOptions;
+using rod::place::SystemSpec;
+
+struct Variant {
+  std::string name;
+  RodOptions options;
+  bool needs_graph = false;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "ROD reproduction -- ablation of ROD's design choices\n"
+            << "5 streams x 20 ops, 5 nodes, 8 random graphs, QMC 2^13\n";
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"ROD (paper)", {}, false};
+    variants.push_back(v);
+  }
+  {
+    Variant v{"unsorted ops", {}, false};
+    v.options.sort_operators = false;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"ascending ops", {}, false};
+    v.options.sort_ascending = true;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"MMAD only", {}, false};
+    v.options.mode = RodOptions::Mode::kMmadOnly;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"MMPD only", {}, false};
+    v.options.mode = RodOptions::Mode::kMmpdOnly;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"tie-break random", {}, false};
+    v.options.tie_break = RodOptions::ClassITieBreak::kRandom;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"tie-break first", {}, false};
+    v.options.tie_break = RodOptions::ClassITieBreak::kFirst;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"tie-break min-max-weight", {}, false};
+    v.options.tie_break = RodOptions::ClassITieBreak::kMinMaxWeight;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"tie-break min-cross-arcs", {}, true};
+    v.options.tie_break = RodOptions::ClassITieBreak::kMinCrossArcs;
+    variants.push_back(v);
+  }
+
+  std::vector<rod::RunningStats> ratio_stats(variants.size());
+  std::vector<rod::RunningStats> arcs_stats(variants.size());
+
+  rod::geom::VolumeOptions vol;
+  vol.num_samples = 8192;
+  const SystemSpec system = SystemSpec::Homogeneous(5);
+
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    rod::query::GraphGenOptions gen;
+    gen.num_input_streams = 5;
+    gen.ops_per_tree = 20;
+    rod::Rng rng(0xab1a + seed);
+    const rod::query::QueryGraph g = rod::query::GenerateRandomTrees(gen, rng);
+    auto model = rod::query::BuildLoadModel(g);
+    if (!model.ok()) {
+      std::cerr << model.status().ToString() << "\n";
+      return 1;
+    }
+    const PlacementEvaluator eval(*model, system);
+    for (size_t v = 0; v < variants.size(); ++v) {
+      auto plan = rod::place::RodPlace(*model, system, variants[v].options,
+                                       variants[v].needs_graph ? &g : nullptr);
+      if (!plan.ok()) {
+        std::cerr << variants[v].name << ": " << plan.status().ToString()
+                  << "\n";
+        return 1;
+      }
+      ratio_stats[v].Add(*eval.RatioToIdeal(*plan, vol));
+      arcs_stats[v].Add(static_cast<double>(plan->CountCrossNodeArcs(g)));
+    }
+  }
+
+  rod::bench::Banner("Ablation: mean feasible ratio and inter-node arcs");
+  Table table({"variant", "mean V(F)/V(F*)", "min", "vs paper ROD",
+               "mean cross arcs"});
+  const double reference = ratio_stats[0].mean();
+  for (size_t v = 0; v < variants.size(); ++v) {
+    table.AddRow({variants[v].name, Fmt(ratio_stats[v].mean()),
+                  Fmt(ratio_stats[v].min()),
+                  Fmt(ratio_stats[v].mean() / reference),
+                  Fmt(arcs_stats[v].mean(), 1)});
+  }
+  table.Print();
+
+  std::cout
+      << "\nExpected shape: the paper's configuration at or near the top.\n"
+         "Descending-norm ordering beats unsorted/ascending (placing heavy\n"
+         "operators late deviates from ideal, §5.1). MMPD-only trails the\n"
+         "combined rule; MMAD-only trails where stream-weight combinations\n"
+         "create bottlenecks (§4.2's Figure 8 argument). min-cross-arcs\n"
+         "trades a sliver of ratio for far fewer inter-node streams.\n";
+  return 0;
+}

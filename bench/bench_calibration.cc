@@ -1,0 +1,87 @@
+// Experiment E0 (reconstructed; the paper's §7.1 measurement procedure) —
+// statistics-driven placement: "To measure the operator costs and
+// selectivities in the prototype implementation, we randomly distribute
+// the operators and run the system for a sufficiently long time to gather
+// stable statistics." This bench runs the full loop: trial run ->
+// calibrated specs -> ROD on the measured model -> quality judged under
+// the *true* model, across trial lengths (statistics quality).
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "runtime/calibrate.h"
+
+namespace {
+
+using rod::Vector;
+using rod::bench::Fmt;
+using rod::bench::Table;
+using rod::place::PlacementEvaluator;
+using rod::place::SystemSpec;
+
+}  // namespace
+
+int main() {
+  std::cout << "ROD reproduction -- E0 (§7.1): statistics-driven model "
+               "calibration\n"
+            << "3 streams x 8 ops, 3 nodes; random trial placement at "
+               "constant rates; ROD on measured vs declared specs\n";
+
+  rod::query::GraphGenOptions gen;
+  gen.num_input_streams = 3;
+  gen.ops_per_tree = 8;
+  gen.min_cost = 0.5e-3;
+  gen.max_cost = 3e-3;
+  rod::Rng graph_rng(0xe0ca1);
+  const rod::query::QueryGraph g = rod::query::GenerateRandomTrees(gen, graph_rng);
+  auto true_model = rod::query::BuildLoadModel(g);
+  if (!true_model.ok()) {
+    std::cerr << true_model.status().ToString() << "\n";
+    return 1;
+  }
+  const SystemSpec system = SystemSpec::Homogeneous(3);
+  const PlacementEvaluator eval(*true_model, system);
+  rod::geom::VolumeOptions vol;
+  vol.num_samples = 16384;
+
+  auto plan_true = rod::place::RodPlace(*true_model, system);
+  const double r_true = *eval.RatioToIdeal(*plan_true, vol);
+
+  rod::bench::Banner("placement quality vs trial-run length");
+  Table table({"trial secs", "mean |cost err|", "mean |sel err|",
+               "ROD(measured) ratio", "vs ROD(true)"});
+  for (double duration : {5.0, 20.0, 60.0, 180.0}) {
+    auto calibrated = rod::sim::CalibrateWithTrialRun(
+        g, system, Vector(3, 60.0), duration, 0xca11 + static_cast<uint64_t>(duration));
+    if (!calibrated.ok()) {
+      std::cerr << calibrated.status().ToString() << "\n";
+      return 1;
+    }
+    double cost_err = 0.0, sel_err = 0.0;
+    for (rod::query::OperatorId j = 0; j < g.num_operators(); ++j) {
+      cost_err += std::abs(calibrated->spec(j).cost - g.spec(j).cost) /
+                  g.spec(j).cost;
+      sel_err += std::abs(calibrated->spec(j).selectivity -
+                          g.spec(j).selectivity);
+    }
+    cost_err /= static_cast<double>(g.num_operators());
+    sel_err /= static_cast<double>(g.num_operators());
+
+    auto est_model = rod::query::BuildLoadModel(*calibrated);
+    if (!est_model.ok()) {
+      std::cerr << est_model.status().ToString() << "\n";
+      return 1;
+    }
+    auto plan_est = rod::place::RodPlace(*est_model, system);
+    const double r_est = *eval.RatioToIdeal(*plan_est, vol);
+    table.AddRow({Fmt(duration, 0), Fmt(cost_err, 4), Fmt(sel_err, 4),
+                  Fmt(r_est), Fmt(r_true > 0 ? r_est / r_true : 0)});
+  }
+  table.Print();
+  std::cout << "\nROD(true-model) ratio: " << Fmt(r_true)
+            << "\nExpected shape: spec errors shrink with trial length;\n"
+               "already at tens of seconds the measured model places\n"
+               "within a few percent of the true-model ROD (the paper\n"
+               "gathers statistics the same way before every experiment).\n";
+  return 0;
+}

@@ -1,0 +1,145 @@
+// Experiment E10 (reconstructed; see DESIGN.md) — operator clustering
+// under per-tuple communication cost (§6.3). Chains with increasingly
+// expensive arcs are placed by (i) plain ROD (comm-oblivious), (ii) the
+// §6.3 clustered-ROD sweep, and (iii) the Connected baseline (comm-minimal
+// but resilience-poor). Reported: inter-node arcs, comm-aware minimum
+// plane distance (the selection metric), and tuple-level runtime results
+// at a fixed operating point.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "geometry/hyperplane.h"
+#include "placement/clustering.h"
+#include "runtime/engine.h"
+
+namespace {
+
+using rod::Matrix;
+using rod::Vector;
+using rod::bench::Fmt;
+using rod::bench::Table;
+using rod::place::Placement;
+using rod::place::PlacementEvaluator;
+using rod::place::SystemSpec;
+using rod::query::OperatorKind;
+using rod::query::QueryGraph;
+using rod::query::StreamRef;
+
+/// Three 8-operator chains, one per stream, with every operator-to-
+/// operator arc carrying `comm_cost` CPU-seconds per tuple.
+QueryGraph ChainWorkload(double comm_cost, rod::Rng& rng) {
+  QueryGraph g;
+  for (size_t k = 0; k < 3; ++k) {
+    const auto in = g.AddInputStream("I" + std::to_string(k));
+    StreamRef prev = StreamRef::Input(in);
+    for (int j = 0; j < 8; ++j) {
+      prev = StreamRef::Op(*g.AddOperator(
+          {.name = "c" + std::to_string(k) + "_" + std::to_string(j),
+           .kind = OperatorKind::kDelay,
+           .cost = rng.Uniform(0.5e-3, 2e-3),
+           .selectivity = rng.Uniform(0.7, 1.0)},
+          {prev}, {j == 0 ? 0.0 : comm_cost}));
+    }
+  }
+  return g;
+}
+
+double CommAwarePlaneDistance(const Placement& plan,
+                              const rod::query::LoadModel& model,
+                              const QueryGraph& g, const SystemSpec& system) {
+  const Matrix coeffs = rod::place::NodeCoeffsWithComm(plan, model, g);
+  auto w = rod::geom::ComputeWeightMatrix(coeffs, model.total_coeffs(),
+                                          system.capacities);
+  return rod::geom::MinPlaneDistance(*w);
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "ROD reproduction -- E10 (§6.3): operator clustering vs "
+               "communication cost\n"
+            << "3 chains x 8 operators, 3 nodes; comm cost gamma x 1ms per "
+               "crossing tuple\n";
+
+  const SystemSpec system = SystemSpec::Homogeneous(3);
+  for (double gamma : {0.0, 0.5, 1.0, 2.0}) {
+    rod::Rng graph_rng(0xea000);
+    const QueryGraph g = ChainWorkload(gamma * 1e-3, graph_rng);
+    auto model = rod::query::BuildLoadModel(g);
+    if (!model.ok()) {
+      std::cerr << model.status().ToString() << "\n";
+      return 1;
+    }
+    const PlacementEvaluator eval(*model, system);
+
+    auto rod_plain = rod::place::RodPlace(*model, system);
+    auto sweep = rod::place::ClusteredRodPlace(*model, g, system);
+    rod::Rng base_rng(1);
+    Vector flat(3, 1.0);
+    auto connected =
+        rod::place::ConnectedLoadBalancePlace(*model, g, system, flat);
+    if (!rod_plain.ok() || !sweep.ok() || !connected.ok()) {
+      std::cerr << "placement failed\n";
+      return 1;
+    }
+
+    // Operating point: 70% of plain ROD's comm-free uniform boundary.
+    Vector unit(3, 1.0);
+    const Vector util = eval.NodeUtilizationAt(*rod_plain, unit);
+    const double rate =
+        0.7 / *std::max_element(util.begin(), util.end());
+    rod::sim::SimulationOptions sopts;
+    sopts.duration = 60.0;
+    std::vector<rod::trace::RateTrace> traces;
+    for (int k = 0; k < 3; ++k) {
+      rod::trace::RateTrace t;
+      t.window_sec = sopts.duration;
+      t.rates = {rate};
+      traces.push_back(std::move(t));
+    }
+
+    rod::bench::Banner("gamma = " + Fmt(gamma, 1) +
+                       " (comm cost / ~avg op cost)");
+    Table table({"plan", "clusters", "cross arcs", "comm-aware r",
+                 "sim p95 ms", "sim max util", "saturated"});
+    struct Case {
+      std::string name;
+      const Placement* plan;
+      size_t clusters;
+    };
+    const std::vector<Case> cases = {
+        {"ROD (unclustered)", &*rod_plain, g.num_operators()},
+        {"ROD + clustering sweep", &sweep->placement,
+         sweep->clustering.num_clusters()},
+        {"Connected", &*connected, 0},
+    };
+    for (const Case& c : cases) {
+      auto run =
+          rod::sim::SimulatePlacement(g, *c.plan, system, traces, sopts);
+      if (!run.ok()) {
+        std::cerr << c.name << ": " << run.status().ToString() << "\n";
+        return 1;
+      }
+      table.AddRow({c.name,
+                    c.clusters == 0 ? "-" : std::to_string(c.clusters),
+                    std::to_string(c.plan->CountCrossNodeArcs(g)),
+                    Fmt(CommAwarePlaneDistance(*c.plan, *model, g, system)),
+                    Fmt(run->p95_latency * 1e3, 2),
+                    Fmt(run->max_node_utilization, 2),
+                    run->saturated ? "YES" : "no"});
+    }
+    table.Print();
+  }
+
+  std::cout
+      << "\nExpected shape: at gamma = 0 clustering collapses to plain ROD\n"
+         "(identical rows) and Connected has the smallest plane distance.\n"
+         "As gamma grows, unclustered ROD's crossings inflate its real\n"
+         "load (utilization, latency); the sweep trades resilience for\n"
+         "fewer crossings -- merging ever larger clusters (up to whole\n"
+         "chains at extreme gamma, where it converges toward Connected's\n"
+         "layout) -- and always holds the largest comm-aware r.\n";
+  return 0;
+}

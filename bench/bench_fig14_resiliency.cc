@@ -1,0 +1,120 @@
+// Experiment E4 — paper Figure 14: base resiliency results. For query
+// graphs of 25..200 operators over 5 input streams, compares the average
+// feasible-set-size ratio of ROD against the four baselines, reporting
+// both panels of the figure: (A / Ideal) and (A / ROD). Baselines are
+// averaged over 10 randomized trials; ROD is deterministic and runs once
+// (§7.3.1).
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace {
+
+using rod::bench::AlgorithmNames;
+using rod::bench::AlgorithmSuite;
+using rod::bench::Fmt;
+using rod::bench::Table;
+using rod::place::PlacementEvaluator;
+using rod::place::SystemSpec;
+
+struct Row {
+  size_t num_operators;
+  // ratio-to-ideal per algorithm, in AlgorithmNames() order.
+  std::vector<double> ratios;
+};
+
+}  // namespace
+
+int main() {
+  std::cout << "ROD reproduction -- E4 (Figure 14): base resiliency\n"
+            << "5 input streams, 5 homogeneous nodes, 10 trials per "
+               "baseline, QMC 2^13 samples\n";
+  constexpr size_t kInputs = 5;
+  constexpr size_t kNodes = 5;
+  constexpr int kTrials = 10;
+  const std::vector<size_t> kOpCounts = {25, 50, 100, 150, 200};
+
+  rod::geom::VolumeOptions vol;
+  vol.num_samples = 8192;
+
+  // Each point averages over several independent graph realizations (the
+  // paper repeats every algorithm except ROD ten times; averaging over
+  // graphs additionally smooths single-realization noise).
+  constexpr int kGraphs = 4;
+  std::vector<Row> rows;
+  for (size_t total_ops : kOpCounts) {
+    std::vector<rod::RunningStats> per_alg(AlgorithmNames().size());
+    for (int gi = 0; gi < kGraphs; ++gi) {
+      rod::query::GraphGenOptions gen;
+      gen.num_input_streams = kInputs;
+      gen.ops_per_tree = total_ops / kInputs;
+      rod::Rng graph_rng(0xf14000 + total_ops * 17 + gi);
+      const rod::query::QueryGraph g =
+          rod::query::GenerateRandomTrees(gen, graph_rng);
+      auto model = rod::query::BuildLoadModel(g);
+      if (!model.ok()) {
+        std::cerr << model.status().ToString() << "\n";
+        return 1;
+      }
+      const SystemSpec system = SystemSpec::Homogeneous(kNodes);
+      const PlacementEvaluator eval(*model, system);
+      const AlgorithmSuite suite{g, *model, system};
+
+      for (size_t a = 0; a < AlgorithmNames().size(); ++a) {
+        const std::string& name = AlgorithmNames()[a];
+        rod::Rng trial_rng(0xabc + total_ops * 13 + gi);
+        const int trials = name == "ROD" ? 1 : kTrials;
+        for (int t = 0; t < trials; ++t) {
+          auto plan = suite.Run(name, trial_rng);
+          if (!plan.ok()) {
+            std::cerr << name << ": " << plan.status().ToString() << "\n";
+            return 1;
+          }
+          per_alg[a].Add(*eval.RatioToIdeal(*plan, vol));
+        }
+      }
+    }
+    Row row{total_ops, {}};
+    for (const auto& stats : per_alg) row.ratios.push_back(stats.mean());
+    rows.push_back(std::move(row));
+  }
+
+  rod::bench::Banner("Figure 14 (left): average feasible set size / ideal");
+  {
+    std::vector<std::string> header = {"#ops"};
+    for (const auto& n : AlgorithmNames()) header.push_back(n);
+    Table table(header);
+    for (const Row& row : rows) {
+      std::vector<std::string> cells = {std::to_string(row.num_operators)};
+      for (double r : row.ratios) cells.push_back(Fmt(r));
+      table.AddRow(std::move(cells));
+    }
+    table.Print();
+  }
+
+  rod::bench::Banner("Figure 14 (right): average feasible set size / ROD");
+  {
+    std::vector<std::string> header = {"#ops"};
+    for (size_t a = 1; a < AlgorithmNames().size(); ++a) {
+      header.push_back(AlgorithmNames()[a]);
+    }
+    Table table(header);
+    for (const Row& row : rows) {
+      std::vector<std::string> cells = {std::to_string(row.num_operators)};
+      for (size_t a = 1; a < row.ratios.size(); ++a) {
+        cells.push_back(Fmt(row.ratios[a] / row.ratios[0]));
+      }
+      table.AddRow(std::move(cells));
+    }
+    table.Print();
+  }
+
+  std::cout
+      << "\nExpected shape (paper Fig. 14): ROD strictly above every\n"
+         "baseline at every size; Correlation-based the best baseline,\n"
+         "Connected the worst (whole subtrees per node cannot absorb\n"
+         "spikes); all curves rise toward 1 as operators per node grow,\n"
+         "while ROD's relative edge persists even at 25 operators.\n";
+  return 0;
+}

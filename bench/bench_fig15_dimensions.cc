@@ -1,0 +1,89 @@
+// Experiment E5 — paper Figure 15: relative performance when the number of
+// input streams (dimensions) varies. Fixed operators per tree, d = 2..7;
+// reports each baseline's feasible-set ratio relative to ROD, averaged
+// over 10 trials ("as additional inputs are used, the relative performance
+// of ROD gets increasingly better").
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace {
+
+using rod::bench::AlgorithmNames;
+using rod::bench::AlgorithmSuite;
+using rod::bench::Fmt;
+using rod::bench::Table;
+using rod::place::PlacementEvaluator;
+using rod::place::SystemSpec;
+
+}  // namespace
+
+int main() {
+  std::cout << "ROD reproduction -- E5 (Figure 15): varying the number of "
+               "inputs\n"
+            << "20 operators per tree, 5 homogeneous nodes, 10 trials per "
+               "baseline\n";
+  constexpr size_t kOpsPerTree = 20;
+  constexpr size_t kNodes = 5;
+  constexpr int kTrials = 10;
+
+  std::vector<std::string> header = {"d"};
+  for (size_t a = 1; a < AlgorithmNames().size(); ++a) {
+    header.push_back(AlgorithmNames()[a] + "/ROD");
+  }
+  Table table(header);
+
+  constexpr int kGraphs = 4;
+  for (size_t dims = 2; dims <= 7; ++dims) {
+    std::vector<rod::RunningStats> rel(AlgorithmNames().size());
+    for (int gi = 0; gi < kGraphs; ++gi) {
+      rod::query::GraphGenOptions gen;
+      gen.num_input_streams = dims;
+      gen.ops_per_tree = kOpsPerTree;
+      rod::Rng graph_rng(0xf15000 + dims * 17 + gi);
+      const rod::query::QueryGraph g =
+          rod::query::GenerateRandomTrees(gen, graph_rng);
+      auto model = rod::query::BuildLoadModel(g);
+      if (!model.ok()) {
+        std::cerr << model.status().ToString() << "\n";
+        return 1;
+      }
+      const SystemSpec system = SystemSpec::Homogeneous(kNodes);
+      const PlacementEvaluator eval(*model, system);
+      const AlgorithmSuite suite{g, *model, system};
+
+      rod::geom::VolumeOptions vol;
+      // Halton degrades slowly with dimension; keep samples generous.
+      vol.num_samples = 16384;
+
+      auto rod_plan = suite.Run("ROD", graph_rng);
+      const double rod_ratio = *eval.RatioToIdeal(*rod_plan, vol);
+      if (rod_ratio <= 0) continue;
+
+      for (size_t a = 1; a < AlgorithmNames().size(); ++a) {
+        rod::Rng trial_rng(0x515 + dims * 31 + a * 7 + gi);
+        rod::RunningStats stats;
+        for (int t = 0; t < kTrials; ++t) {
+          auto plan = suite.Run(AlgorithmNames()[a], trial_rng);
+          stats.Add(*eval.RatioToIdeal(*plan, vol));
+        }
+        rel[a].Add(stats.mean() / rod_ratio);
+      }
+    }
+    std::vector<std::string> cells = {std::to_string(dims)};
+    for (size_t a = 1; a < AlgorithmNames().size(); ++a) {
+      cells.push_back(Fmt(rel[a].mean()));
+    }
+    table.AddRow(std::move(cells));
+  }
+
+  rod::bench::Banner("Figure 15: feasible set size ratio (A / ROD) vs d");
+  table.Print();
+  std::cout
+      << "\nExpected shape (paper Fig. 15): every baseline's ratio to ROD\n"
+         "falls as d grows (roughly constant relative loss per added\n"
+         "dimension: linear tails on the log axis); d = 2 sits above the\n"
+         "tail trend because few operators per node limit all choices.\n";
+  return 0;
+}

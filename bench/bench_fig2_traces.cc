@@ -1,0 +1,83 @@
+// Experiment E1 — paper Figure 2: "Stream rates exhibit significant
+// variation over time." Generates the synthetic PKT / TCP / HTTP stand-in
+// traces (DESIGN.md substitution #1), normalizes them, and reports the
+// per-time-scale variability and self-similarity statistics the figure
+// annotates.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/stats.h"
+#include "trace/hurst.h"
+#include "trace/trace.h"
+
+namespace {
+
+using rod::bench::Fmt;
+using rod::bench::Table;
+
+void VariabilityTable() {
+  rod::bench::Banner(
+      "Figure 2: normalized stream-rate variability (synthetic stand-ins)");
+  Table table({"trace", "windows", "mean", "std", "cv", "min", "max",
+               "Hurst(R/S)", "Hurst(var-time)"});
+  for (auto preset : {rod::trace::TracePreset::kPkt,
+                      rod::trace::TracePreset::kTcp,
+                      rod::trace::TracePreset::kHttp}) {
+    rod::Rng rng(0x51234 + static_cast<uint64_t>(preset));
+    const rod::trace::RateTrace t =
+        rod::trace::GeneratePreset(preset, 4096, 1.0, rng);
+    auto hurst_rs = rod::trace::EstimateHurstRS(t.rates);
+    auto hurst_vt = rod::trace::EstimateHurstVarianceTime(t.rates);
+    double lo = t.rates[0], hi = t.rates[0];
+    for (double r : t.rates) {
+      lo = std::min(lo, r);
+      hi = std::max(hi, r);
+    }
+    table.AddRow({rod::trace::TracePresetName(preset),
+                  std::to_string(t.num_windows()), Fmt(t.MeanRate()),
+                  Fmt(t.StdDevRate()), Fmt(t.CoefficientOfVariation()),
+                  Fmt(lo), Fmt(hi),
+                  hurst_rs.ok() ? Fmt(*hurst_rs) : "n/a",
+                  hurst_vt.ok() ? Fmt(*hurst_vt) : "n/a"});
+  }
+  table.Print();
+  std::cout << "\nPaper reference: PKT/TCP/HTTP Internet Traffic Archive\n"
+               "traces, normalized rates with visible std at every\n"
+               "time-scale (self-similar; Hurst > 0.5). Expected shape:\n"
+               "cv(TCP) > cv(HTTP) > cv(PKT), all Hurst well above 0.5.\n";
+}
+
+void TimeScaleTable() {
+  rod::bench::Banner("Figure 2 (inset): variability across time-scales");
+  Table table({"trace", "agg=1s", "agg=4s", "agg=16s", "agg=64s"});
+  for (auto preset : {rod::trace::TracePreset::kPkt,
+                      rod::trace::TracePreset::kTcp,
+                      rod::trace::TracePreset::kHttp}) {
+    rod::Rng rng(0x999 + static_cast<uint64_t>(preset));
+    const rod::trace::RateTrace t =
+        rod::trace::GeneratePreset(preset, 8192, 1.0, rng);
+    std::vector<std::string> row = {rod::trace::TracePresetName(preset)};
+    for (size_t factor : {1u, 4u, 16u, 64u}) {
+      std::vector<double> agg = rod::AggregateSeries(t.rates, factor);
+      for (double& v : agg) v /= static_cast<double>(factor);
+      const double mean = rod::Mean(agg);
+      row.push_back(Fmt(mean > 0 ? rod::StdDev(agg) / mean : 0.0));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+  std::cout << "\nAn iid series' cv would shrink by 2x per 4x aggregation;\n"
+               "self-similar traffic retains most of its burstiness --\n"
+               "\"similar behaviour is observed at other time-scales\" (§1).\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "ROD reproduction -- E1 (Figure 2): input trace "
+               "characteristics\n";
+  VariabilityTable();
+  TimeScaleTable();
+  return 0;
+}

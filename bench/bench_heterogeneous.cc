@@ -1,0 +1,92 @@
+// Experiment A2 (ours; the paper's §7.1 "Unless otherwise stated, we
+// assume the system has homogeneous nodes" implies the heterogeneous case
+// matters) — resiliency on clusters with unequal CPU capacities. ROD's
+// weight normalization divides by each node's capacity share C_i/C_T, so
+// it should hold its feasible ratio as skew grows while count-based and
+// load-count-blind baselines degrade.
+
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace {
+
+using rod::Vector;
+using rod::bench::AlgorithmNames;
+using rod::bench::AlgorithmSuite;
+using rod::bench::Fmt;
+using rod::bench::Table;
+using rod::place::PlacementEvaluator;
+using rod::place::SystemSpec;
+
+}  // namespace
+
+int main() {
+  std::cout << "ROD reproduction -- A2: heterogeneous node capacities\n"
+            << "5 streams x 20 ops, 5 nodes, total capacity fixed at 5.0, "
+               "10 trials per baseline\n";
+
+  struct Cluster {
+    std::string name;
+    Vector capacities;
+  };
+  const std::vector<Cluster> clusters = {
+      {"homogeneous 1:1:1:1:1", Vector{1.0, 1.0, 1.0, 1.0, 1.0}},
+      {"mild skew 1.5:1.25:1:0.75:0.5", Vector{1.5, 1.25, 1.0, 0.75, 0.5}},
+      {"strong skew 2.5:1:0.75:0.5:0.25", Vector{2.5, 1.0, 0.75, 0.5, 0.25}},
+  };
+
+  rod::geom::VolumeOptions vol;
+  vol.num_samples = 8192;
+  constexpr int kGraphs = 4;
+  constexpr int kTrials = 10;
+
+  for (const Cluster& cluster : clusters) {
+    std::vector<rod::RunningStats> per_alg(AlgorithmNames().size());
+    for (int gi = 0; gi < kGraphs; ++gi) {
+      rod::query::GraphGenOptions gen;
+      gen.num_input_streams = 5;
+      gen.ops_per_tree = 20;
+      rod::Rng graph_rng(0xa2000 + gi);
+      const rod::query::QueryGraph g =
+          rod::query::GenerateRandomTrees(gen, graph_rng);
+      auto model = rod::query::BuildLoadModel(g);
+      if (!model.ok()) {
+        std::cerr << model.status().ToString() << "\n";
+        return 1;
+      }
+      const SystemSpec system{cluster.capacities};
+      const PlacementEvaluator eval(*model, system);
+      const AlgorithmSuite suite{g, *model, system};
+      for (size_t a = 0; a < AlgorithmNames().size(); ++a) {
+        rod::Rng trial_rng(0x417 + gi * 31 + a);
+        const int trials = AlgorithmNames()[a] == "ROD" ? 1 : kTrials;
+        for (int t = 0; t < trials; ++t) {
+          auto plan = suite.Run(AlgorithmNames()[a], trial_rng);
+          if (!plan.ok()) {
+            std::cerr << plan.status().ToString() << "\n";
+            return 1;
+          }
+          per_alg[a].Add(*eval.RatioToIdeal(*plan, vol));
+        }
+      }
+    }
+    rod::bench::Banner(cluster.name);
+    Table table({"algorithm", "mean V(F)/V(F*)", "min", "vs ROD"});
+    const double rod_mean = per_alg[0].mean();
+    for (size_t a = 0; a < AlgorithmNames().size(); ++a) {
+      table.AddRow({AlgorithmNames()[a], Fmt(per_alg[a].mean()),
+                    Fmt(per_alg[a].min()),
+                    Fmt(rod_mean > 0 ? per_alg[a].mean() / rod_mean : 0)});
+    }
+    table.Print();
+  }
+
+  std::cout
+      << "\nExpected shape: the ideal feasible set depends only on total\n"
+         "capacity (Theorem 1), so ROD's ratio should barely move with\n"
+         "skew (its weights normalize by C_i/C_T). Random's equal operator\n"
+         "counts ignore capacity and fall hardest; LLF normalizes by\n"
+         "capacity and degrades less.\n";
+  return 0;
+}

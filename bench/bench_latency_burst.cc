@@ -1,0 +1,104 @@
+// Experiment E7 (reconstructed; see DESIGN.md) — end-to-end latency and
+// overload behaviour under bursty real-trace-like workloads, the paper's
+// prototype-side evaluation ("we ... report results on feasible set size
+// as well as processing latencies", §7). The aggregation-heavy traffic
+// monitoring graph is driven with TCP-like self-similar traces whose mean
+// rates sit at increasing fractions of ROD's feasible boundary; each
+// placement algorithm's tail latency and overloaded-window count is
+// reported from the tuple-level runtime.
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+#include "runtime/engine.h"
+#include "trace/trace.h"
+
+namespace {
+
+using rod::Vector;
+using rod::bench::AlgorithmNames;
+using rod::bench::AlgorithmSuite;
+using rod::bench::Fmt;
+using rod::bench::Table;
+using rod::place::PlacementEvaluator;
+using rod::place::SystemSpec;
+
+}  // namespace
+
+int main() {
+  std::cout << "ROD reproduction -- E7: latency under bursty load "
+               "(traffic-monitoring workload, TCP-like traces)\n";
+
+  rod::query::TrafficMonitoringOptions topts;
+  topts.num_links = 3;
+  topts.windows = {1.0, 10.0};
+  const rod::query::QueryGraph g =
+      rod::query::BuildTrafficMonitoringGraph(topts);
+  auto model = rod::query::BuildLoadModel(g);
+  if (!model.ok()) {
+    std::cerr << model.status().ToString() << "\n";
+    return 1;
+  }
+  const SystemSpec system = SystemSpec::Homogeneous(3);
+  const PlacementEvaluator eval(*model, system);
+  const AlgorithmSuite suite{g, *model, system};
+  std::cout << "graph: " << g.num_operators() << " operators, "
+            << g.num_input_streams() << " links, 3 nodes\n";
+
+  // Calibrate: the balanced-rate boundary of ROD's plan.
+  rod::Rng rod_rng(1);
+  auto rod_plan = suite.Run("ROD", rod_rng);
+  Vector unit(g.num_input_streams(), 1.0);
+  const Vector util = eval.NodeUtilizationAt(*rod_plan, unit);
+  const double boundary = 1.0 / *std::max_element(util.begin(), util.end());
+
+  rod::sim::SimulationOptions sopts;
+  sopts.duration = 180.0;
+
+  for (double level : {0.5, 0.7, 0.85}) {
+    rod::bench::Banner("mean load = " + Fmt(level, 2) +
+                       " of ROD's balanced boundary");
+    Table table({"algorithm", "p50 ms", "p95 ms", "p99 ms", "max util",
+                 "overloaded windows", "backlog", "saturated"});
+    for (const std::string& name : AlgorithmNames()) {
+      rod::Rng trial_rng(0xe7 + static_cast<uint64_t>(level * 100));
+      auto plan = suite.Run(name, trial_rng);
+      if (!plan.ok()) {
+        std::cerr << name << ": " << plan.status().ToString() << "\n";
+        return 1;
+      }
+      // Fresh bursty traces per level, shared across algorithms so the
+      // comparison is paired.
+      std::vector<rod::trace::RateTrace> traces;
+      for (size_t k = 0; k < g.num_input_streams(); ++k) {
+        rod::Rng trng(0x7ace + k + static_cast<uint64_t>(level * 1000));
+        traces.push_back(rod::trace::GeneratePreset(
+                             rod::trace::TracePreset::kTcp,
+                             static_cast<size_t>(sopts.duration), 1.0, trng)
+                             .ScaledToMean(level * boundary));
+      }
+      auto run = rod::sim::SimulatePlacement(g, *plan, system, traces, sopts);
+      if (!run.ok()) {
+        std::cerr << name << ": " << run.status().ToString() << "\n";
+        return 1;
+      }
+      table.AddRow({name, Fmt(run->p50_latency * 1e3, 2),
+                    Fmt(run->p95_latency * 1e3, 2),
+                    Fmt(run->p99_latency * 1e3, 2),
+                    Fmt(run->max_node_utilization, 2),
+                    std::to_string(run->overloaded_windows) + "/" +
+                        std::to_string(run->total_windows),
+                    std::to_string(run->final_backlog),
+                    run->saturated ? "YES" : "no"});
+    }
+    table.Print();
+  }
+
+  std::cout
+      << "\nExpected shape: at low load all plans behave; as the mean\n"
+         "approaches the boundary, bursts overload the baselines' weak\n"
+         "directions first -- ROD shows the fewest overloaded windows and\n"
+         "the flattest tail latencies; Connected degrades first.\n";
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Experiment E8 (reconstructed; see DESIGN.md) — the §6.1 general
+// lower-bound extension: when the input rates are known never to fall
+// below a point B, plans should maximize the feasible region *above* B.
+// Compares plain ROD against lower-bound-aware ROD on the share of the
+// ideal region above B that each keeps feasible, for increasingly
+// aggressive bounds and several dimensionalities.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "geometry/ascii_plot.h"
+#include "geometry/feasible_set.h"
+#include "geometry/hyperplane.h"
+
+namespace {
+
+using rod::Vector;
+using rod::bench::Fmt;
+using rod::bench::Table;
+using rod::place::PlacementEvaluator;
+using rod::place::SystemSpec;
+
+}  // namespace
+
+int main() {
+  std::cout << "ROD reproduction -- E8 (§6.1): resilient placement with "
+               "known rate lower bounds\n"
+            << "bound B puts the stated fraction of C_T's headroom on "
+               "stream 0 only (skewed floor)\n";
+
+  rod::geom::VolumeOptions vol;
+  vol.num_samples = 16384;
+
+  for (size_t dims : {2u, 3u, 5u}) {
+    rod::query::GraphGenOptions gen;
+    gen.num_input_streams = dims;
+    gen.ops_per_tree = 12;
+    rod::Rng rng(0xe8000 + dims);
+    const rod::query::QueryGraph g = rod::query::GenerateRandomTrees(gen, rng);
+    auto model = rod::query::BuildLoadModel(g);
+    if (!model.ok()) {
+      std::cerr << model.status().ToString() << "\n";
+      return 1;
+    }
+    const SystemSpec system = SystemSpec::Homogeneous(3);
+    const PlacementEvaluator eval(*model, system);
+    const double ct = system.TotalCapacity();
+
+    rod::bench::Banner("d = " + std::to_string(dims) +
+                       ": feasible share of the region above B");
+    Table table({"floor frac", "plain ROD", "ROD-B", "gain",
+                 "r_B plain", "r_B bound-aware"});
+    for (double frac : {0.0, 0.2, 0.4, 0.6}) {
+      // The floor loads stream 0 with `frac` of the total capacity.
+      rod::place::RodOptions bopts;
+      bopts.lower_bound.assign(dims, 0.0);
+      bopts.lower_bound[0] = frac * ct / model->total_coeffs()[0];
+
+      auto plain = rod::place::RodPlace(*model, system);
+      auto bounded = rod::place::RodPlace(*model, system, bopts);
+      if (!plain.ok() || !bounded.ok()) {
+        std::cerr << "placement failed\n";
+        return 1;
+      }
+      const Vector norm_b = rod::geom::NormalizePoint(
+          bopts.lower_bound, model->total_coeffs(), ct);
+
+      auto w_plain = eval.WeightMatrix(*plain);
+      auto w_bound = eval.WeightMatrix(*bounded);
+      const double ratio_plain =
+          *rod::geom::FeasibleSet(*w_plain).RatioToIdealAbove(norm_b, vol);
+      const double ratio_bound =
+          *rod::geom::FeasibleSet(*w_bound).RatioToIdealAbove(norm_b, vol);
+      table.AddRow(
+          {Fmt(frac, 1), Fmt(ratio_plain), Fmt(ratio_bound),
+           Fmt(ratio_plain > 0 ? ratio_bound / ratio_plain : 1.0, 2) + "x",
+           Fmt(rod::geom::MinPlaneDistanceFrom(*w_plain, norm_b)),
+           Fmt(rod::geom::MinPlaneDistanceFrom(*w_bound, norm_b))});
+    }
+    table.Print();
+  }
+
+  // Paper Figure 12 rendered: the d = 2 feasible set with the floor B
+  // marked; the bound-aware plan pushes its nearest hyperplane away from
+  // B rather than from the origin.
+  {
+    rod::query::GraphGenOptions gen;
+    gen.num_input_streams = 2;
+    gen.ops_per_tree = 12;
+    rod::Rng rng(0xe8002);
+    const rod::query::QueryGraph g = rod::query::GenerateRandomTrees(gen, rng);
+    auto model = rod::query::BuildLoadModel(g);
+    const SystemSpec system = SystemSpec::Homogeneous(3);
+    const PlacementEvaluator eval(*model, system);
+    rod::place::RodOptions bopts;
+    bopts.lower_bound = {0.6 * system.TotalCapacity() /
+                             model->total_coeffs()[0],
+                         0.0};
+    auto bounded = rod::place::RodPlace(*model, system, bopts);
+    const Vector norm_b = rod::geom::NormalizePoint(
+        bopts.lower_bound, model->total_coeffs(), system.TotalCapacity());
+    auto w = eval.WeightMatrix(*bounded);
+    auto plot = rod::geom::RenderFeasibleSet2D(*w, {}, &norm_b);
+    rod::bench::Banner(
+        "Figure 12 rendered: bound-aware feasible set, floor marked 'B'");
+    std::cout << *plot;
+  }
+
+  std::cout
+      << "\nExpected shape: at frac = 0 the variants coincide; as the\n"
+         "floor grows, bound-aware ROD holds a larger feasible share of\n"
+         "the remaining region (gain >= 1) and a larger distance from B\n"
+         "to its nearest node hyperplane.\n";
+  return 0;
+}

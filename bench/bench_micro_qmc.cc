@@ -1,0 +1,78 @@
+// Micro-benchmark M2: Quasi-Monte-Carlo volume estimation — Halton vs
+// pseudo-random throughput and the cost profile across dimensions and
+// node counts ("even computing the feasible set size of a single plan ...
+// is expensive", §2.4 — this is why ROD avoids volume computations
+// entirely).
+
+#include <benchmark/benchmark.h>
+
+#include "geometry/feasible_set.h"
+#include "geometry/qmc.h"
+
+namespace {
+
+using rod::Matrix;
+
+Matrix RandomWeights(size_t nodes, size_t dims, uint64_t seed) {
+  rod::Rng rng(seed);
+  Matrix w(nodes, dims);
+  for (size_t i = 0; i < nodes; ++i) {
+    for (size_t k = 0; k < dims; ++k) w(i, k) = rng.Uniform(0.0, 2.0);
+  }
+  return w;
+}
+
+void BM_RatioToIdealHalton(benchmark::State& state) {
+  const size_t dims = static_cast<size_t>(state.range(0));
+  const size_t samples = static_cast<size_t>(state.range(1));
+  const rod::geom::FeasibleSet fs(RandomWeights(10, dims, 7));
+  rod::geom::VolumeOptions options;
+  options.num_samples = samples;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.RatioToIdeal(options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(samples));
+}
+
+void BM_RatioToIdealPseudo(benchmark::State& state) {
+  const size_t dims = static_cast<size_t>(state.range(0));
+  const size_t samples = static_cast<size_t>(state.range(1));
+  const rod::geom::FeasibleSet fs(RandomWeights(10, dims, 7));
+  rod::geom::VolumeOptions options;
+  options.num_samples = samples;
+  options.use_pseudo_random = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fs.RatioToIdeal(options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(samples));
+}
+
+void BM_HaltonNext(benchmark::State& state) {
+  rod::geom::HaltonSequence halton(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(halton.Next());
+  }
+}
+
+void BM_SimplexMap(benchmark::State& state) {
+  const size_t dims = static_cast<size_t>(state.range(0));
+  rod::Rng rng(3);
+  for (auto _ : state) {
+    rod::Vector cube(dims);
+    for (double& v : cube) v = rng.NextDouble();
+    benchmark::DoNotOptimize(rod::geom::MapUnitCubeToSimplex(std::move(cube)));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_RatioToIdealHalton)
+    ->Args({3, 4096})
+    ->Args({5, 4096})
+    ->Args({5, 32768})
+    ->Args({10, 32768});
+BENCHMARK(BM_RatioToIdealPseudo)->Args({5, 32768})->Args({16, 32768});
+BENCHMARK(BM_HaltonNext)->Arg(3)->Arg(10);
+BENCHMARK(BM_SimplexMap)->Arg(3)->Arg(10);

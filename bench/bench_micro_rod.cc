@@ -1,0 +1,85 @@
+// Micro-benchmark M1: ROD placement runtime scaling in the number of
+// operators m, nodes n, and input streams d. ROD is O(m n D) per run plus
+// the O(m log m) sort — static placement must be cheap enough to rerun on
+// every provisioning change.
+
+#include <benchmark/benchmark.h>
+
+#include "placement/rod.h"
+#include "query/graph_gen.h"
+#include "query/load_model.h"
+
+namespace {
+
+using rod::place::SystemSpec;
+
+void BM_RodPlace(benchmark::State& state) {
+  const size_t total_ops = static_cast<size_t>(state.range(0));
+  const size_t nodes = static_cast<size_t>(state.range(1));
+  const size_t dims = static_cast<size_t>(state.range(2));
+
+  rod::query::GraphGenOptions gen;
+  gen.num_input_streams = dims;
+  gen.ops_per_tree = std::max<size_t>(1, total_ops / dims);
+  rod::Rng rng(42);
+  const rod::query::QueryGraph g = rod::query::GenerateRandomTrees(gen, rng);
+  auto model = rod::query::BuildLoadModel(g);
+  if (!model.ok()) {
+    state.SkipWithError(model.status().ToString().c_str());
+    return;
+  }
+  const SystemSpec system = SystemSpec::Homogeneous(nodes);
+
+  for (auto _ : state) {
+    auto plan = rod::place::RodPlace(*model, system);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(g.num_operators()));
+  state.counters["ops"] = static_cast<double>(g.num_operators());
+}
+
+void BM_RodPlaceLowerBound(benchmark::State& state) {
+  const size_t dims = 5;
+  rod::query::GraphGenOptions gen;
+  gen.num_input_streams = dims;
+  gen.ops_per_tree = 40;
+  rod::Rng rng(43);
+  const rod::query::QueryGraph g = rod::query::GenerateRandomTrees(gen, rng);
+  auto model = rod::query::BuildLoadModel(g);
+  const SystemSpec system = SystemSpec::Homogeneous(8);
+  rod::place::RodOptions options;
+  options.lower_bound.assign(dims, 0.01);
+
+  for (auto _ : state) {
+    auto plan = rod::place::RodPlace(*model, system, options);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+
+void BM_BuildLoadModel(benchmark::State& state) {
+  rod::query::GraphGenOptions gen;
+  gen.num_input_streams = 5;
+  gen.ops_per_tree = static_cast<size_t>(state.range(0)) / 5;
+  rod::Rng rng(44);
+  const rod::query::QueryGraph g = rod::query::GenerateRandomTrees(gen, rng);
+  for (auto _ : state) {
+    auto model = rod::query::BuildLoadModel(g);
+    benchmark::DoNotOptimize(model);
+  }
+}
+
+}  // namespace
+
+// Scale m with n = 8, d = 5.
+BENCHMARK(BM_RodPlace)
+    ->Args({100, 8, 5})
+    ->Args({400, 8, 5})
+    ->Args({1600, 8, 5})
+    ->Args({6400, 8, 5});
+// Scale n with m = 400, d = 5.
+BENCHMARK(BM_RodPlace)->Args({400, 2, 5})->Args({400, 16, 5})->Args({400, 64, 5});
+// Scale d with m = 400, n = 8.
+BENCHMARK(BM_RodPlace)->Args({400, 8, 2})->Args({400, 8, 8})->Args({400, 8, 16});
+BENCHMARK(BM_RodPlaceLowerBound);
+BENCHMARK(BM_BuildLoadModel)->Arg(100)->Arg(1000)->Arg(10000);

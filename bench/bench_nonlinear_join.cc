@@ -1,0 +1,146 @@
+// Experiment E9 (reconstructed; see DESIGN.md) — nonlinear load models
+// (§6.2): query graphs with time-window joins are linearized and placed
+// with ROD; resilience is then measured in the *physical* rate space by
+// sampling random rate points and counting the fraction each placement
+// keeps feasible (the feasible region of a join graph is not a polytope in
+// physical rates, so volumes are estimated by direct sampling through the
+// nonlinear load functions).
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_util.h"
+
+namespace {
+
+using rod::Vector;
+using rod::bench::AlgorithmNames;
+using rod::bench::AlgorithmSuite;
+using rod::bench::Fmt;
+using rod::bench::Table;
+using rod::place::PlacementEvaluator;
+using rod::place::SystemSpec;
+using rod::query::OperatorKind;
+using rod::query::QueryGraph;
+using rod::query::StreamRef;
+
+/// d input streams; per stream a 3-operator chain; each adjacent pair of
+/// chains feeds a windowed join with two downstream operators — the
+/// paper's Figure 13 pattern tiled across streams.
+QueryGraph JoinWorkload(size_t dims, rod::Rng& rng) {
+  QueryGraph g;
+  std::vector<StreamRef> chain_tails;
+  for (size_t k = 0; k < dims; ++k) {
+    const auto in = g.AddInputStream("I" + std::to_string(k));
+    StreamRef prev = StreamRef::Input(in);
+    for (int j = 0; j < 3; ++j) {
+      prev = StreamRef::Op(*g.AddOperator(
+          {.name = "c" + std::to_string(k) + "_" + std::to_string(j),
+           .kind = OperatorKind::kDelay,
+           .cost = rng.Uniform(0.5e-3, 2e-3),
+           .selectivity = rng.Uniform(0.6, 1.0)},
+          {prev}));
+    }
+    chain_tails.push_back(prev);
+  }
+  for (size_t k = 0; k + 1 < dims; ++k) {
+    auto join = g.AddOperator(
+        {.name = "join" + std::to_string(k),
+         .kind = OperatorKind::kJoin,
+         .cost = rng.Uniform(0.5e-5, 2e-5),
+         .selectivity = rng.Uniform(0.05, 0.2),
+         .window = rng.Uniform(0.2, 1.0)},
+        {chain_tails[k], chain_tails[k + 1]});
+    StreamRef prev = StreamRef::Op(*join);
+    for (int j = 0; j < 2; ++j) {
+      prev = StreamRef::Op(*g.AddOperator(
+          {.name = "d" + std::to_string(k) + "_" + std::to_string(j),
+           .kind = OperatorKind::kDelay,
+           .cost = rng.Uniform(0.5e-3, 2e-3),
+           .selectivity = rng.Uniform(0.6, 1.0)},
+          {prev}));
+    }
+  }
+  return g;
+}
+
+/// Largest uniform rate (per stream) still feasible for `plan`, found by
+/// bisection (utilization is monotone but nonlinear in the scale).
+double UniformBoundary(const PlacementEvaluator& eval,
+                       const rod::place::Placement& plan, size_t dims) {
+  double lo = 0.0, hi = 1.0;
+  while (eval.FeasibleAt(plan, Vector(dims, hi))) hi *= 2.0;
+  for (int it = 0; it < 40; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (eval.FeasibleAt(plan, Vector(dims, mid)) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "ROD reproduction -- E9 (§6.2): join graphs via "
+               "linearization\n"
+            << "3 nodes; feasibility sampled over the physical rate box "
+               "[0, 1.4 x ROD's uniform boundary]^d\n";
+
+  for (size_t dims : {2u, 3u, 4u}) {
+    rod::Rng graph_rng(0xe9000 + dims);
+    const QueryGraph g = JoinWorkload(dims, graph_rng);
+    auto model = rod::query::BuildLinearizedLoadModel(g);
+    if (!model.ok()) {
+      std::cerr << model.status().ToString() << "\n";
+      return 1;
+    }
+    const SystemSpec system = SystemSpec::Homogeneous(3);
+    const PlacementEvaluator eval(*model, system);
+    const AlgorithmSuite suite{g, *model, system};
+
+    rod::Rng rod_rng(1);
+    auto rod_plan = suite.Run("ROD", rod_rng);
+    const double box = 1.4 * UniformBoundary(eval, *rod_plan, dims);
+
+    rod::bench::Banner("d = " + std::to_string(dims) + " (" +
+                       std::to_string(g.num_operators()) + " operators, " +
+                       std::to_string(model->num_vars() - dims) +
+                       " auxiliary variables)");
+    Table table({"algorithm", "feasible fraction", "vs ROD"});
+    double rod_fraction = 0.0;
+    for (const std::string& name : AlgorithmNames()) {
+      rod::Rng trial_rng(0x909 + dims);
+      rod::RunningStats stats;
+      const int trials = name == "ROD" ? 1 : 5;
+      for (int t = 0; t < trials; ++t) {
+        auto plan = suite.Run(name, trial_rng);
+        if (!plan.ok()) {
+          std::cerr << name << ": " << plan.status().ToString() << "\n";
+          return 1;
+        }
+        // Sample the physical box; each point flows through the nonlinear
+        // load functions (ExtendRates) inside FeasibleAt.
+        rod::Rng sample_rng(0x5a5a + t);
+        size_t feasible = 0;
+        const size_t samples = 4096;
+        Vector rates(dims);
+        for (size_t s = 0; s < samples; ++s) {
+          for (double& r : rates) r = sample_rng.NextDouble() * box;
+          feasible += eval.FeasibleAt(*plan, rates);
+        }
+        stats.Add(static_cast<double>(feasible) /
+                  static_cast<double>(samples));
+      }
+      if (name == "ROD") rod_fraction = stats.mean();
+      table.AddRow({name, Fmt(stats.mean()),
+                    Fmt(rod_fraction > 0 ? stats.mean() / rod_fraction : 0)});
+    }
+    table.Print();
+  }
+
+  std::cout
+      << "\nExpected shape: linearized ROD keeps the largest feasible\n"
+         "fraction; the gap mirrors Figure 14 — balancing each *variable*\n"
+         "(including join-output rates) across nodes is what resilience\n"
+         "requires once loads are nonlinear in the physical rates.\n";
+  return 0;
+}

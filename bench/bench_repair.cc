@@ -1,0 +1,92 @@
+// Experiment A3 (ours) — placement maintenance under cluster changes:
+// when a node fails, how much resilience does an incremental repair
+// (re-home orphans only) retain versus ROD-from-scratch, and at what
+// migration cost? The operational argument for static resilient
+// placement extends to topology changes: repairs should move few
+// operators (migrations are the expensive resource, §1) while keeping
+// most of the feasible set.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "placement/repair.h"
+
+namespace {
+
+using rod::bench::Fmt;
+using rod::bench::Table;
+using rod::place::PlacementEvaluator;
+using rod::place::SystemSpec;
+
+}  // namespace
+
+int main() {
+  std::cout << "ROD reproduction -- A3: repair after node failure\n"
+            << "5 streams x 20 ops, 5 -> 4 nodes (node 4 lost), 6 graphs\n";
+
+  rod::geom::VolumeOptions vol;
+  vol.num_samples = 8192;
+
+  Table table({"graph", "ROD(5) ratio", "scratch ROD(4)", "repair only",
+               "repair+4 moves", "orphans", "scratch moves"});
+  rod::RunningStats repair_vs_scratch;
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    rod::query::GraphGenOptions gen;
+    gen.num_input_streams = 5;
+    gen.ops_per_tree = 20;
+    rod::Rng rng(0xa3000 + seed);
+    const rod::query::QueryGraph g = rod::query::GenerateRandomTrees(gen, rng);
+    auto model = rod::query::BuildLoadModel(g);
+    if (!model.ok()) {
+      std::cerr << model.status().ToString() << "\n";
+      return 1;
+    }
+    const SystemSpec five = SystemSpec::Homogeneous(5);
+    const SystemSpec four = SystemSpec::Homogeneous(4);
+    auto original = rod::place::RodPlace(*model, five);
+    auto scratch = rod::place::RodPlace(*model, four);
+    const std::vector<size_t> mapping = {0, 1, 2, 3, rod::place::kUnassigned};
+    auto repair = rod::place::RepairPlacement(*model, *original, four, mapping);
+    rod::place::RepairOptions ropts;
+    ropts.max_rebalance_moves = 4;
+    auto repair_plus =
+        rod::place::RepairPlacement(*model, *original, four, mapping, ropts);
+    if (!original.ok() || !scratch.ok() || !repair.ok() || !repair_plus.ok()) {
+      std::cerr << "placement failed\n";
+      return 1;
+    }
+
+    const PlacementEvaluator eval5(*model, five);
+    const PlacementEvaluator eval4(*model, four);
+    const double r5 = *eval5.RatioToIdeal(*original, vol);
+    const double r_scratch = *eval4.RatioToIdeal(*scratch, vol);
+    const double r_repair = *eval4.RatioToIdeal(repair->placement, vol);
+    const double r_plus = *eval4.RatioToIdeal(repair_plus->placement, vol);
+
+    size_t scratch_moves = 0;
+    for (size_t j = 0; j < model->num_operators(); ++j) {
+      const size_t old_node = original->node_of(j);
+      const size_t carried = old_node < 4 ? old_node : SIZE_MAX;
+      scratch_moves += scratch->node_of(j) != carried;
+    }
+    repair_vs_scratch.Add(r_scratch > 0 ? r_repair / r_scratch : 0);
+    table.AddRow({std::to_string(seed), Fmt(r5), Fmt(r_scratch),
+                  Fmt(r_repair) + " (" +
+                      std::to_string(repair->operators_moved) + " mv)",
+                  Fmt(r_plus) + " (" +
+                      std::to_string(repair_plus->operators_moved) + " mv)",
+                  std::to_string(repair->operators_moved),
+                  std::to_string(scratch_moves)});
+  }
+  rod::bench::Banner("feasible ratios after losing one of five nodes");
+  table.Print();
+  std::cout << "\nmean repair/scratch ratio: " << Fmt(repair_vs_scratch.mean())
+            << " (min " << Fmt(repair_vs_scratch.min()) << ")\n"
+            << "Expected shape: repair retains ~80% of the from-scratch\n"
+               "resilience while moving only the orphaned ~1/5 of the\n"
+               "operators (scratch reshuffles ~3/4 of them). The rebalance\n"
+               "budget greedily improves the plane-distance lower bound;\n"
+               "its volume effect is marginal — resilience lost to a dead\n"
+               "node is mostly recovered by re-homing alone.\n";
+  return 0;
+}

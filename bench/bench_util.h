@@ -1,0 +1,131 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Shared console-table rendering and experiment plumbing for the
+// per-figure benchmark binaries.
+
+#ifndef ROD_BENCH_BENCH_UTIL_H_
+#define ROD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "placement/baselines.h"
+#include "placement/evaluator.h"
+#include "placement/rod.h"
+#include "query/graph_gen.h"
+#include "query/load_model.h"
+
+namespace rod::bench {
+
+/// Fixed-width console table: set a header once, stream rows, print.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  /// Appends one row; cells are already formatted strings.
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  /// Renders with per-column widths and a separator under the header.
+  void Print(std::ostream& os = std::cout) const {
+    std::vector<size_t> width(header_.size(), 0);
+    auto widen = [&](const std::vector<std::string>& cells) {
+      for (size_t c = 0; c < cells.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], cells[c].size());
+      }
+    };
+    widen(header_);
+    for (const auto& row : rows_) widen(row);
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (size_t c = 0; c < width.size(); ++c) {
+        os << "  " << std::setw(static_cast<int>(width[c]))
+           << (c < cells.size() ? cells[c] : "");
+      }
+      os << "\n";
+    };
+    print_row(header_);
+    size_t total = 2;
+    for (size_t w : width) total += w + 2;
+    os << std::string(total, '-') << "\n";
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style float formatting into a std::string.
+inline std::string Fmt(double v, int precision = 3) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+/// Section banner for experiment output.
+inline void Banner(const std::string& title) {
+  std::cout << "\n== " << title << " ==\n";
+}
+
+/// The five §7.2 algorithms by name, applied uniformly: ROD plus the four
+/// baselines (each baseline gets fresh random rates / series per trial, as
+/// §7.3.1 prescribes).
+struct AlgorithmSuite {
+  const query::QueryGraph& graph;
+  const query::LoadModel& model;
+  const place::SystemSpec& system;
+
+  /// Runs algorithm `name` ("ROD", "Correlation", "LLF", "Random",
+  /// "Connected") with per-trial randomness from `rng`. Returns the plan.
+  Result<place::Placement> Run(const std::string& name, Rng& rng) const {
+    if (name == "ROD") {
+      return place::RodPlace(model, system);
+    }
+    if (name == "Random") {
+      return place::RandomPlace(model, system, rng);
+    }
+    if (name == "LLF") {
+      return place::LargestLoadFirstPlace(model, system, RandomRates(rng));
+    }
+    if (name == "Connected") {
+      return place::ConnectedLoadBalancePlace(model, graph, system,
+                                              RandomRates(rng));
+    }
+    if (name == "Correlation") {
+      // Random stream-rate time series (§7.3.1).
+      const size_t horizon = 64;
+      Matrix series(horizon, model.num_system_inputs());
+      for (size_t t = 0; t < horizon; ++t) {
+        for (size_t k = 0; k < series.cols(); ++k) {
+          series(t, k) = rng.Uniform(0.01, 1.0);
+        }
+      }
+      return place::CorrelationBasedPlace(model, system, series);
+    }
+    return Status::InvalidArgument("unknown algorithm: " + name);
+  }
+
+  Vector RandomRates(Rng& rng) const {
+    Vector rates(model.num_system_inputs());
+    for (double& r : rates) r = rng.Uniform(0.01, 1.0);
+    return rates;
+  }
+};
+
+/// The algorithm roster in the paper's Figure 14 legend order.
+inline const std::vector<std::string>& AlgorithmNames() {
+  static const std::vector<std::string> kNames = {
+      "ROD", "Correlation", "LLF", "Random", "Connected"};
+  return kNames;
+}
+
+}  // namespace rod::bench
+
+#endif  // ROD_BENCH_BENCH_UTIL_H_

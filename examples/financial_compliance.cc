@@ -1,0 +1,93 @@
+// Financial compliance — the paper's "very wide graphs" discussion
+// (§7.3.1: a proof-of-concept compliance application needed 25 operators
+// for 3 rules; full applications have hundreds of rules). Builds a wide
+// rule-checking network over market feeds, scales the rule count, and
+// shows how ROD's advantage and runtime cost behave as the graph widens.
+// Also demonstrates the §6.1 lower-bound extension: market feeds never
+// fall below a known floor during trading hours.
+//
+//   $ ./build/examples/financial_compliance [num_rules]
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "rod.h"
+
+int main(int argc, char** argv) {
+  const size_t max_rules = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 48;
+
+  std::cout << "rules  operators  ROD ratio  LLF ratio  Connected  "
+               "placement time\n";
+  for (size_t rules = 6; rules <= max_rules; rules *= 2) {
+    const rod::query::QueryGraph graph = rod::query::BuildComplianceGraph(
+        {.num_feeds = 2, .num_rules = rules, .base_cost = 0.2e-3});
+    auto model = rod::query::BuildLoadModel(graph);
+    if (!model.ok()) {
+      std::cerr << model.status().ToString() << "\n";
+      return 1;
+    }
+    const auto system = rod::place::SystemSpec::Homogeneous(4);
+    const rod::place::PlacementEvaluator eval(*model, system);
+
+    const auto start = std::chrono::steady_clock::now();
+    auto rod_plan = rod::place::RodPlace(*model, system);
+    const auto elapsed = std::chrono::duration<double, std::milli>(
+        std::chrono::steady_clock::now() - start);
+    if (!rod_plan.ok()) {
+      std::cerr << rod_plan.status().ToString() << "\n";
+      return 1;
+    }
+
+    rod::Vector avg(2, 1.0);
+    auto llf = rod::place::LargestLoadFirstPlace(*model, system, avg);
+    auto connected =
+        rod::place::ConnectedLoadBalancePlace(*model, graph, system, avg);
+
+    rod::geom::VolumeOptions vol;
+    vol.num_samples = 8192;
+    std::cout << "  " << rules << "      " << graph.num_operators()
+              << "       " << *eval.RatioToIdeal(*rod_plan, vol) << "      "
+              << *eval.RatioToIdeal(*llf, vol) << "      "
+              << *eval.RatioToIdeal(*connected, vol) << "      "
+              << elapsed.count() << " ms\n";
+  }
+
+  // Lower-bound extension (§6.1): during trading hours the primary feed is
+  // known to carry a heavy floor rate — optimize the region that actually
+  // occurs instead of the whole orthant. A small rule set leaves ROD short
+  // of ideal, so knowing the floor genuinely changes the best plan.
+  const rod::query::QueryGraph graph = rod::query::BuildComplianceGraph(
+      {.num_feeds = 2, .num_rules = 5, .base_cost = 0.2e-3});
+  auto model = rod::query::BuildLoadModel(graph);
+  const auto system = rod::place::SystemSpec::Homogeneous(4);
+  const rod::place::PlacementEvaluator eval(*model, system);
+
+  rod::place::RodOptions bounded;
+  // The floor pins 60% of the primary feed's single-stream headroom.
+  bounded.lower_bound = {
+      0.6 * system.TotalCapacity() / model->total_coeffs()[0], 0.0};
+  std::cout << "\nsmall deployment (5 rules, " << graph.num_operators()
+            << " ops) with trading-hour floor (feed0 >= "
+            << bounded.lower_bound[0] << " msg/s):\n";
+  auto plain = rod::place::RodPlace(*model, system);
+  auto aware = rod::place::RodPlace(*model, system, bounded);
+  if (!plain.ok() || !aware.ok()) {
+    std::cerr << "placement failed\n";
+    return 1;
+  }
+  const rod::Vector floor_norm = rod::geom::NormalizePoint(
+      bounded.lower_bound, model->total_coeffs(), system.TotalCapacity());
+  auto w_plain = eval.WeightMatrix(*plain);
+  auto w_aware = eval.WeightMatrix(*aware);
+  rod::geom::VolumeOptions vol;
+  vol.num_samples = 16384;
+  std::cout << "  feasible share above the floor: plain ROD = "
+            << *rod::geom::FeasibleSet(*w_plain).RatioToIdealAbove(floor_norm,
+                                                                   vol)
+            << ", floor-aware ROD = "
+            << *rod::geom::FeasibleSet(*w_aware).RatioToIdealAbove(floor_norm,
+                                                                   vol)
+            << "\n";
+  return 0;
+}

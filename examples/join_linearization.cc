@@ -1,0 +1,105 @@
+// Join linearization — the §6.2 extension end to end: a correlation query
+// joining two streams has a load that is *quadratic* in the input rates,
+// so the linear placement theory does not apply directly. The library cuts
+// the graph at the join, introduces the join-output rate as an auxiliary
+// variable, places with ROD in the extended space, and validates the
+// placement in the tuple-level runtime.
+//
+//   $ ./build/examples/join_linearization
+
+#include <iostream>
+
+#include "rod.h"
+
+int main() {
+  // Intrusion-detection style query: filter both packet streams, join
+  // within a half-second window on flow key, aggregate alerts.
+  rod::query::QueryGraph graph;
+  const auto lan = graph.AddInputStream("lan_packets");
+  const auto wan = graph.AddInputStream("wan_packets");
+  auto f_lan = graph.AddOperator({.name = "lan_filter",
+                                  .kind = rod::query::OperatorKind::kFilter,
+                                  .cost = 1e-3,
+                                  .selectivity = 0.7},
+                                 {rod::query::StreamRef::Input(lan)});
+  auto f_wan = graph.AddOperator({.name = "wan_filter",
+                                  .kind = rod::query::OperatorKind::kFilter,
+                                  .cost = 1e-3,
+                                  .selectivity = 0.7},
+                                 {rod::query::StreamRef::Input(wan)});
+  auto correlate = graph.AddOperator(
+      {.name = "correlate",
+       .kind = rod::query::OperatorKind::kJoin,
+       .cost = 4e-5,          // per tuple pair probed
+       .selectivity = 0.15,   // matches per pair
+       .window = 0.5},        // seconds
+      {rod::query::StreamRef::Op(*f_lan), rod::query::StreamRef::Op(*f_wan)});
+  auto alerts = graph.AddOperator(
+      {.name = "alerts", .kind = rod::query::OperatorKind::kAggregate,
+       .cost = 2e-3, .selectivity = 0.05},
+      {rod::query::StreamRef::Op(*correlate)});
+  if (!alerts.ok()) {
+    std::cerr << alerts.status().ToString() << "\n";
+    return 1;
+  }
+
+  // The strict linear builder refuses this graph...
+  auto strict = rod::query::BuildLoadModel(graph);
+  std::cout << "strict linear model: " << strict.status().ToString() << "\n";
+
+  // ...so linearize: the join's output rate becomes variable r_3, and the
+  // join's load becomes (cost/selectivity) * r_3 (paper Example 3).
+  auto model = rod::query::BuildLinearizedLoadModel(graph);
+  if (!model.ok()) {
+    std::cerr << model.status().ToString() << "\n";
+    return 1;
+  }
+  std::cout << "linearized model: " << model->num_vars() << " variables ("
+            << model->num_system_inputs() << " physical + "
+            << model->num_vars() - model->num_system_inputs()
+            << " auxiliary)\n"
+            << "extended L^o:\n"
+            << model->op_coeffs().ToString() << "\n";
+
+  // The auxiliary variable's value at a physical point:
+  const rod::Vector rates = {80.0, 80.0};
+  const rod::Vector extended = model->ExtendRates(rates);
+  std::cout << "at 80/s on both streams, join output rate = "
+            << extended.back() << " matches/s\n";
+
+  // Place with ROD over the extended space and sanity-check at runtime.
+  const auto system = rod::place::SystemSpec::Homogeneous(2);
+  auto plan = rod::place::RodPlace(*model, system);
+  if (!plan.ok()) {
+    std::cerr << plan.status().ToString() << "\n";
+    return 1;
+  }
+  const char* names[] = {"lan_filter", "wan_filter", "correlate", "alerts"};
+  for (size_t j = 0; j < plan->num_operators(); ++j) {
+    std::cout << "  " << names[j] << " -> node " << plan->node_of(j) << "\n";
+  }
+
+  const rod::place::PlacementEvaluator eval(*model, system);
+  rod::sim::SimulationOptions sopts;
+  sopts.duration = 30.0;
+  // Because the join's load is quadratic, a modest rate increase blows
+  // past the boundary: check both sides of it, analytically and in the
+  // tuple-level runtime.
+  for (double r : {80.0, 160.0}) {
+    const rod::Vector point = {r, r};
+    auto probed =
+        rod::sim::ProbeFeasibleAt(graph, *plan, system, point, sopts);
+    if (!probed.ok()) {
+      std::cerr << probed.status().ToString() << "\n";
+      return 1;
+    }
+    std::cout << "at " << r << "/s + " << r << "/s: analytic = "
+              << (eval.FeasibleAt(*plan, point) ? "feasible" : "OVERLOADED")
+              << ", runtime probe = "
+              << (*probed ? "feasible" : "OVERLOADED") << "\n";
+  }
+  std::cout << "\nBecause the join's load is quadratic, doubling both\n"
+               "input rates quadruples its CPU demand -- the linearized\n"
+               "model captures this exactly through the auxiliary rate.\n";
+  return 0;
+}

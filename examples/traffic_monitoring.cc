@@ -1,0 +1,104 @@
+// Network traffic monitoring — the paper's motivating domain (§1): an
+// aggregation-heavy monitoring query network over several links, driven by
+// bursty self-similar traces in the tuple-level runtime. Shows the
+// operational difference between a ROD placement and a load-balanced
+// placement when the same burst hits both.
+//
+//   $ ./build/examples/traffic_monitoring [mean_load_fraction]
+//
+// mean_load_fraction (default 0.75) positions the average load relative
+// to the ROD plan's feasible boundary; bursts then probe past it.
+
+#include <algorithm>
+#include <cstdlib>
+#include <iostream>
+
+#include "rod.h"
+
+namespace {
+
+void Report(const char* name, const rod::sim::SimulationResult& run) {
+  std::cout << "  " << name << ":\n"
+            << "    tuples in/out:      " << run.input_tuples << " / "
+            << run.output_tuples << "\n"
+            << "    latency p50/p95/p99: " << run.p50_latency * 1e3 << " / "
+            << run.p95_latency * 1e3 << " / " << run.p99_latency * 1e3
+            << " ms\n"
+            << "    max utilization:    " << run.max_node_utilization << "\n"
+            << "    overloaded windows: " << run.overloaded_windows << "/"
+            << run.total_windows << (run.saturated ? "  (SATURATED)" : "")
+            << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const double load_fraction = argc > 1 ? std::atof(argv[1]) : 0.75;
+
+  // The monitoring query network: per-link protocol demux feeding windowed
+  // byte/packet aggregations plus a cross-link "top talkers" rollup.
+  rod::query::TrafficMonitoringOptions topts;
+  topts.num_links = 3;
+  topts.windows = {1.0, 10.0, 60.0};
+  const rod::query::QueryGraph graph =
+      rod::query::BuildTrafficMonitoringGraph(topts);
+  auto model = rod::query::BuildLoadModel(graph);
+  if (!model.ok()) {
+    std::cerr << model.status().ToString() << "\n";
+    return 1;
+  }
+  const auto system = rod::place::SystemSpec::Homogeneous(3);
+  std::cout << "monitoring " << topts.num_links << " links with "
+            << graph.num_operators() << " operators on "
+            << system.num_nodes() << " nodes\n";
+
+  // Two placements: resilient (ROD) and average-rate load balancing (LLF).
+  auto rod_plan = rod::place::RodPlace(*model, system);
+  rod::Vector avg_rates(graph.num_input_streams(), 1.0);
+  auto llf_plan =
+      rod::place::LargestLoadFirstPlace(*model, system, avg_rates);
+  if (!rod_plan.ok() || !llf_plan.ok()) {
+    std::cerr << "placement failed\n";
+    return 1;
+  }
+
+  const rod::place::PlacementEvaluator eval(*model, system);
+  std::cout << "feasible-set ratio: ROD " << *eval.RatioToIdeal(*rod_plan)
+            << ", LLF " << *eval.RatioToIdeal(*llf_plan) << "\n";
+
+  // Drive both with the same bursty TCP-like traces.
+  const rod::Vector util = eval.NodeUtilizationAt(*rod_plan, avg_rates);
+  const double boundary =
+      1.0 / *std::max_element(util.begin(), util.end());
+  const double mean_rate = load_fraction * boundary;
+  std::cout << "driving each link at mean " << mean_rate
+            << " pkts/s (" << load_fraction << " of ROD's boundary), "
+            << "TCP-like burstiness\n\n";
+
+  rod::sim::SimulationOptions sopts;
+  sopts.duration = 120.0;
+  std::vector<rod::trace::RateTrace> traces;
+  for (size_t k = 0; k < graph.num_input_streams(); ++k) {
+    rod::Rng rng(0x7f1c + k);
+    traces.push_back(rod::trace::GeneratePreset(
+                         rod::trace::TracePreset::kTcp,
+                         static_cast<size_t>(sopts.duration), 1.0, rng)
+                         .ScaledToMean(mean_rate));
+  }
+
+  auto rod_run =
+      rod::sim::SimulatePlacement(graph, *rod_plan, system, traces, sopts);
+  auto llf_run =
+      rod::sim::SimulatePlacement(graph, *llf_plan, system, traces, sopts);
+  if (!rod_run.ok() || !llf_run.ok()) {
+    std::cerr << "simulation failed\n";
+    return 1;
+  }
+  Report("ROD placement", *rod_run);
+  Report("LLF load balancing", *llf_run);
+
+  std::cout << "\nROD's placement absorbs each link's bursts across all\n"
+               "nodes; the load balancer is tuned to the average and lets\n"
+               "bursts pin whole links to single machines.\n";
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "common/matrix.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace rod {
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double s = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double Norm2(std::span<const double> a) {
+  double s = 0.0;
+  for (double x : a) s += x * x;
+  return std::sqrt(s);
+}
+
+double Sum(std::span<const double> a) {
+  double s = 0.0;
+  for (double x : a) s += x;
+  return s;
+}
+
+Vector Add(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vector Sub(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vector Scale(std::span<const double> a, double s) {
+  Vector out(a.size());
+  for (size_t i = 0; i < a.size(); ++i) out[i] = a[i] * s;
+  return out;
+}
+
+bool AlmostEqual(std::span<const double> a, std::span<const double> b,
+                 double tol) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a[i] - b[i]) > tol) return false;
+  }
+  return true;
+}
+
+Matrix Matrix::FromRows(const std::vector<Vector>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    assert(rows[i].size() == m.cols_ && "ragged rows");
+    for (size_t j = 0; j < m.cols_; ++j) m(i, j) = rows[i][j];
+  }
+  return m;
+}
+
+Vector Matrix::Col(size_t j) const {
+  assert(j < cols_);
+  Vector out(rows_);
+  for (size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+double Matrix::ColSum(size_t j) const {
+  assert(j < cols_);
+  double s = 0.0;
+  for (size_t i = 0; i < rows_; ++i) s += (*this)(i, j);
+  return s;
+}
+
+Matrix Matrix::MatMul(const Matrix& rhs) const {
+  assert(cols_ == rhs.rows_);
+  Matrix out(rows_, rhs.cols_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;  // allocation matrices are sparse 0/1
+      for (size_t j = 0; j < rhs.cols_; ++j) {
+        out(i, j) += a * rhs(k, j);
+      }
+    }
+  }
+  return out;
+}
+
+Vector Matrix::MatVec(std::span<const double> v) const {
+  assert(v.size() == cols_);
+  Vector out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) out[i] = Dot(Row(i), v);
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+bool Matrix::AlmostEquals(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream os;
+  os.precision(precision);
+  for (size_t i = 0; i < rows_; ++i) {
+    os << (i == 0 ? "[" : " ");
+    for (size_t j = 0; j < cols_; ++j) {
+      os << (*this)(i, j);
+      if (j + 1 < cols_) os << ", ";
+    }
+    os << (i + 1 == rows_ ? "]" : ";\n");
+  }
+  return os.str();
+}
+
+}  // namespace rod

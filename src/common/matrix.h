@@ -1,0 +1,113 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Minimal dense linear algebra used by the load model and the feasible-set
+// geometry: row-major matrices of doubles plus the handful of vector
+// operations the paper's formulation needs (L^n = A·L^o, row norms, dot
+// products, hyperplane distances).
+
+#ifndef ROD_COMMON_MATRIX_H_
+#define ROD_COMMON_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace rod {
+
+/// Dense vector of doubles.
+using Vector = std::vector<double>;
+
+/// Dot product of equally sized vectors.
+double Dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean (L2) norm.
+double Norm2(std::span<const double> a);
+
+/// Sum of elements.
+double Sum(std::span<const double> a);
+
+/// `a + b`, element-wise.
+Vector Add(std::span<const double> a, std::span<const double> b);
+
+/// `a - b`, element-wise.
+Vector Sub(std::span<const double> a, std::span<const double> b);
+
+/// `s * a`.
+Vector Scale(std::span<const double> a, double s);
+
+/// True iff `|a[i] - b[i]| <= tol` for all i (and sizes match).
+bool AlmostEqual(std::span<const double> a, std::span<const double> b,
+                 double tol = 1e-9);
+
+/// Dense row-major matrix of doubles.
+///
+/// Sized at construction; elements are addressed `m(i, j)` with asserted
+/// bounds. Rows are exposed as spans so algorithms can operate on node /
+/// operator load-coefficient rows without copying.
+class Matrix {
+ public:
+  /// An empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// A `rows` x `cols` matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Builds from nested initializer data; all rows must have equal length.
+  static Matrix FromRows(const std::vector<Vector>& rows);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t i, size_t j) {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+  double operator()(size_t i, size_t j) const {
+    assert(i < rows_ && j < cols_);
+    return data_[i * cols_ + j];
+  }
+
+  /// Mutable / immutable view of row `i`.
+  std::span<double> Row(size_t i) {
+    assert(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+  std::span<const double> Row(size_t i) const {
+    assert(i < rows_);
+    return {data_.data() + i * cols_, cols_};
+  }
+
+  /// Column `j` as a freshly allocated vector.
+  Vector Col(size_t j) const;
+
+  /// Sum of column `j` (e.g. total load coefficient `l_k` of a stream).
+  double ColSum(size_t j) const;
+
+  /// Matrix product `this * rhs`.
+  Matrix MatMul(const Matrix& rhs) const;
+
+  /// Matrix-vector product `this * v`.
+  Vector MatVec(std::span<const double> v) const;
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// Element-wise equality within `tol`.
+  bool AlmostEquals(const Matrix& other, double tol = 1e-9) const;
+
+  /// Multi-line human-readable rendering (for logs and golden tests).
+  std::string ToString(int precision = 4) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace rod
+
+#endif  // ROD_COMMON_MATRIX_H_

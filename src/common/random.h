@@ -1,0 +1,127 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Deterministic pseudo-random number generation. Every stochastic component
+// of the library (graph generation, workload synthesis, Monte-Carlo
+// sampling, baseline placement algorithms) takes an explicit `Rng&` so that
+// experiments are reproducible from a single seed.
+
+#ifndef ROD_COMMON_RANDOM_H_
+#define ROD_COMMON_RANDOM_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace rod {
+
+/// xoshiro256** generator seeded via SplitMix64.
+///
+/// Small, fast, and with well-understood statistical quality — sufficient
+/// for simulation workloads (this is not a cryptographic generator). The
+/// same seed always yields the same sequence on every platform.
+class Rng {
+ public:
+  /// Seeds the state by running SplitMix64 from `seed`.
+  explicit Rng(uint64_t seed = 0xd1ce5bd19e3779b9ULL) { Reseed(seed); }
+
+  /// Re-initializes the generator as if freshly constructed with `seed`.
+  void Reseed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      // SplitMix64 step (Vigna): decorrelates arbitrary user seeds.
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next 64 uniformly distributed bits.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    assert(lo <= hi);
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [0, n); n must be positive.
+  uint64_t NextIndex(uint64_t n) {
+    assert(n > 0);
+    // Lemire's nearly-divisionless bounded generation.
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(NextU64()) * static_cast<unsigned __int128>(n);
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    return lo + static_cast<int64_t>(NextIndex(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box–Muller (polar form avoided for determinism).
+  double Normal(double mean = 0.0, double stddev = 1.0) {
+    // Guard against log(0).
+    double u1 = 1.0 - NextDouble();
+    double u2 = NextDouble();
+    double z = std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+    return mean + stddev * z;
+  }
+
+  /// Exponential with rate `lambda` (mean 1/lambda).
+  double Exponential(double lambda) {
+    assert(lambda > 0);
+    return -std::log(1.0 - NextDouble()) / lambda;
+  }
+
+  /// Pareto with scale `xm > 0` and shape `alpha > 0` (heavy-tailed for
+  /// alpha <= 2; used by the ON/OFF self-similar trace generator).
+  double Pareto(double xm, double alpha) {
+    assert(xm > 0 && alpha > 0);
+    return xm / std::pow(1.0 - NextDouble(), 1.0 / alpha);
+  }
+
+  /// Fisher–Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(NextIndex(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator; used to give each experiment
+  /// trial / stream its own stable substream.
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace rod
+
+#endif  // ROD_COMMON_RANDOM_H_

@@ -1,0 +1,66 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Streaming and batch statistics used by the trace generators (normalized
+// rate variability, Fig. 2), the runtime metrics (latency percentiles), and
+// the experiment harnesses (mean/min/max ratios across trials).
+
+#ifndef ROD_COMMON_STATS_H_
+#define ROD_COMMON_STATS_H_
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace rod {
+
+/// Numerically stable running mean / variance / extrema (Welford).
+class RunningStats {
+ public:
+  /// Incorporates one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStats& other);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Batch percentile of `values` (q in [0,1]) using linear interpolation
+/// between order statistics. Copies and sorts; intended for end-of-run
+/// metric extraction, not hot paths. Returns 0 for empty input.
+double Percentile(std::vector<double> values, double q);
+
+/// Pearson correlation coefficient of two equally sized series; returns 0
+/// when either series is constant (the correlation-based baseline treats
+/// constant-load operators as uncorrelated).
+double PearsonCorrelation(const std::vector<double>& a,
+                          const std::vector<double>& b);
+
+/// Mean of `v` (0 for empty input).
+double Mean(const std::vector<double>& v);
+
+/// Population standard deviation of `v` (0 for fewer than two elements).
+double StdDev(const std::vector<double>& v);
+
+/// Aggregates a series into coarser windows by summing groups of `factor`
+/// consecutive elements (used by self-similarity analysis across
+/// time-scales). The tail remainder that does not fill a window is dropped.
+std::vector<double> AggregateSeries(const std::vector<double>& v, size_t factor);
+
+}  // namespace rod
+
+#endif  // ROD_COMMON_STATS_H_

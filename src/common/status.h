@@ -1,0 +1,146 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Error-handling primitives. The library does not throw exceptions across
+// its public API; fallible operations return `Status` or `Result<T>`
+// (RocksDB / Arrow idiom).
+
+#ifndef ROD_COMMON_STATUS_H_
+#define ROD_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace rod {
+
+/// Machine-readable category of a `Status`.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,    ///< Caller passed a malformed value.
+  kNotFound,           ///< A referenced entity does not exist.
+  kFailedPrecondition, ///< Object state does not permit the operation.
+  kOutOfRange,         ///< Index or value outside the permitted interval.
+  kUnimplemented,      ///< Feature intentionally not provided.
+  kInternal,           ///< Invariant violation inside the library.
+};
+
+/// Returns the canonical lower-case name of `code` ("ok", "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight success-or-error value.
+///
+/// A `Status` is either OK (no allocation, cheap to copy) or carries a code
+/// plus a human-readable message. Functions that can fail return `Status`
+/// (or `Result<T>`); callers must check `ok()` before relying on outputs.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with `code` and diagnostic `message`.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  /// True iff the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  StatusCode code() const { return code_; }
+
+  /// Diagnostic message; empty for OK statuses.
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code_name>: <message>" for logging.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value of type `T`, or the `Status` explaining why it is absent.
+///
+/// `Result<T>` is the return type of fallible constructors and computations.
+/// Access the payload only after checking `ok()`.
+template <typename T>
+class Result {
+ public:
+  /// Success: wraps `value`.
+  Result(T value)  // NOLINT(google-explicit-constructor): mirrors absl::StatusOr.
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Failure: wraps a non-OK `status`.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Payload accessors; undefined behaviour unless `ok()`.
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK status to the caller (`return` on error).
+#define ROD_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::rod::Status _rod_st = (expr);          \
+    if (!_rod_st.ok()) return _rod_st;       \
+  } while (0)
+
+/// Asserts OK in contexts where failure is a programming error.
+#define ROD_CHECK_OK(expr)                                            \
+  do {                                                                \
+    ::rod::Status _rod_st = (expr);                                   \
+    (void)_rod_st;                                                    \
+    assert(_rod_st.ok() && "ROD_CHECK_OK failed");                    \
+  } while (0)
+
+}  // namespace rod
+
+#endif  // ROD_COMMON_STATUS_H_

@@ -1,0 +1,58 @@
+#include "geometry/ascii_plot.h"
+
+#include <cmath>
+
+#include "geometry/feasible_set.h"
+
+namespace rod::geom {
+
+Result<std::string> RenderFeasibleSet2D(const Matrix& weights,
+                                        const AsciiPlotOptions& options,
+                                        const Vector* lower_bound) {
+  if (weights.cols() != 2) {
+    return Status::InvalidArgument("ASCII plot requires exactly 2 columns");
+  }
+  if (options.width < 4 || options.height < 4) {
+    return Status::InvalidArgument("plot area too small");
+  }
+  if (lower_bound != nullptr && lower_bound->size() != 2) {
+    return Status::InvalidArgument("lower bound must be 2-D");
+  }
+  const FeasibleSet fs(weights);
+
+  std::string out;
+  out.reserve((options.width + 8) * (options.height + 2));
+  // Rows top (y = y_max) to bottom (y = 0); the y axis is drawn at x = 0.
+  for (size_t row = 0; row < options.height; ++row) {
+    const double y = options.y_max *
+                     (static_cast<double>(options.height - row) - 0.5) /
+                     static_cast<double>(options.height);
+    out += (row == 0 ? "x2 ^" : "   |");
+    for (size_t col = 0; col < options.width; ++col) {
+      const double x = options.x_max * (static_cast<double>(col) + 0.5) /
+                       static_cast<double>(options.width);
+      char c;
+      if (lower_bound != nullptr &&
+          std::fabs(x - (*lower_bound)[0]) <=
+              0.5 * options.x_max / static_cast<double>(options.width) &&
+          std::fabs(y - (*lower_bound)[1]) <=
+              0.5 * options.y_max / static_cast<double>(options.height)) {
+        c = options.lower_bound_mark;
+      } else if (fs.Contains(Vector{x, y})) {
+        c = options.feasible;
+      } else if (x + y <= 1.0) {
+        c = options.infeasible_ideal;
+      } else {
+        c = options.outside;
+      }
+      out += c;
+    }
+    out += '\n';
+  }
+  out += "   +";
+  out.append(options.width, '-');
+  out += "> x1\n    '#' feasible, '.' below ideal hyperplane but overloaded\n";
+  return out;
+}
+
+}  // namespace rod::geom

@@ -1,0 +1,41 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Terminal rendering of 2-D normalized feasible sets — the paper's
+// Figures 3, 5, 6 and 12 as character grids. Used by the example binaries
+// and the Figure-5 benchmark so the geometry is visible without a plotting
+// stack.
+
+#ifndef ROD_GEOMETRY_ASCII_PLOT_H_
+#define ROD_GEOMETRY_ASCII_PLOT_H_
+
+#include <string>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace rod::geom {
+
+/// Rendering options.
+struct AsciiPlotOptions {
+  size_t width = 46;   ///< Character columns for x in [0, x_max].
+  size_t height = 23;  ///< Character rows for y in [0, y_max].
+  double x_max = 1.05; ///< Plotted range (normalized units).
+  double y_max = 1.05;
+
+  char feasible = '#';       ///< Inside the feasible set.
+  char infeasible_ideal = '.';  ///< Inside the ideal simplex but overloaded.
+  char outside = ' ';        ///< Above the ideal hyperplane.
+  char lower_bound_mark = 'B';  ///< The §6.1 floor point, if any.
+};
+
+/// Renders the feasible set of a 2-column weight matrix in normalized
+/// space, with the ideal hyperplane x + y = 1 as the boundary between
+/// '.' and ' '. Optionally marks a lower-bound point. Fails unless
+/// `weights` has exactly 2 columns.
+Result<std::string> RenderFeasibleSet2D(const Matrix& weights,
+                                        const AsciiPlotOptions& options = {},
+                                        const Vector* lower_bound = nullptr);
+
+}  // namespace rod::geom
+
+#endif  // ROD_GEOMETRY_ASCII_PLOT_H_

@@ -1,0 +1,86 @@
+#include "geometry/boundary.h"
+
+#include <limits>
+
+namespace rod::geom {
+
+namespace {
+
+Status CheckDirection(const Matrix& weights, std::span<const double> dir) {
+  if (dir.size() != weights.cols()) {
+    return Status::InvalidArgument("direction dimension mismatch");
+  }
+  bool any_positive = false;
+  for (double v : dir) {
+    if (v < 0.0) {
+      return Status::InvalidArgument("direction must be non-negative");
+    }
+    any_positive |= v > 0.0;
+  }
+  if (!any_positive) {
+    return Status::InvalidArgument("direction must be non-zero");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> BoundaryScale(const Matrix& weights,
+                             std::span<const double> direction) {
+  ROD_RETURN_IF_ERROR(CheckDirection(weights, direction));
+  double worst = 0.0;
+  for (size_t i = 0; i < weights.rows(); ++i) {
+    worst = std::max(worst, Dot(weights.Row(i), direction));
+  }
+  if (worst <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / worst;
+}
+
+Result<size_t> BottleneckNode(const Matrix& weights,
+                              std::span<const double> direction) {
+  ROD_RETURN_IF_ERROR(CheckDirection(weights, direction));
+  size_t best = weights.rows();
+  double worst = 0.0;
+  for (size_t i = 0; i < weights.rows(); ++i) {
+    const double load = Dot(weights.Row(i), direction);
+    if (load > worst) {
+      worst = load;
+      best = i;
+    }
+  }
+  if (best == weights.rows()) {
+    return Status::FailedPrecondition(
+        "no node loads on this direction; boundary at infinity");
+  }
+  return best;
+}
+
+Result<Vector> CriticalDirection(const Matrix& weights) {
+  size_t best = weights.rows();
+  double best_norm = 0.0;
+  double min_distance = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < weights.rows(); ++i) {
+    const double norm = Norm2(weights.Row(i));
+    if (norm <= 0.0) continue;
+    const double distance = 1.0 / norm;
+    if (distance < min_distance) {
+      min_distance = distance;
+      best = i;
+      best_norm = norm;
+    }
+  }
+  if (best == weights.rows()) {
+    return Status::FailedPrecondition("all node weight rows are zero");
+  }
+  Vector dir(weights.cols());
+  for (size_t k = 0; k < dir.size(); ++k) {
+    dir[k] = weights(best, k) / best_norm;
+  }
+  return dir;
+}
+
+Result<double> Headroom(const Matrix& weights, std::span<const double> x) {
+  return BoundaryScale(weights, x);
+}
+
+}  // namespace rod::geom

@@ -1,0 +1,46 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Feasibility-boundary analysis in the normalized space: how far a system
+// can be pushed along a given rate direction before some node saturates,
+// and which direction is the most fragile. Operators of capacity planning:
+// "at today's traffic mix, how much headroom is left, and what mix kills
+// us first?"
+
+#ifndef ROD_GEOMETRY_BOUNDARY_H_
+#define ROD_GEOMETRY_BOUNDARY_H_
+
+#include <span>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace rod::geom {
+
+/// Exact boundary scale along `direction` (componentwise >= 0, not all
+/// zero): the largest s such that `s * direction` is feasible for the
+/// weight matrix, i.e. `1 / max_i (W_i . direction)`. Returns +infinity
+/// when no node loads on the direction. Fails on a negative or all-zero
+/// direction.
+Result<double> BoundaryScale(const Matrix& weights,
+                             std::span<const double> direction);
+
+/// The index of the node whose hyperplane is hit first along `direction`
+/// (the saturating bottleneck). Fails like BoundaryScale; also fails when
+/// no node loads on the direction (no finite boundary).
+Result<size_t> BottleneckNode(const Matrix& weights,
+                              std::span<const double> direction);
+
+/// The most fragile direction: the unit vector pointing at the closest
+/// boundary point of the feasible set — the normal of the minimum-plane-
+/// distance row (weights are nonnegative, so the normal lies in the
+/// feasible orthant). Fails if every row is zero.
+Result<Vector> CriticalDirection(const Matrix& weights);
+
+/// Headroom of an operating point `x` (normalized): the factor by which
+/// `x` can still be scaled up before infeasibility; < 1 means the point is
+/// already infeasible. Equivalent to BoundaryScale(W, x).
+Result<double> Headroom(const Matrix& weights, std::span<const double> x);
+
+}  // namespace rod::geom
+
+#endif  // ROD_GEOMETRY_BOUNDARY_H_

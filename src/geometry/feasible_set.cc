@@ -1,0 +1,124 @@
+#include "geometry/feasible_set.h"
+
+#include <cmath>
+
+#include "geometry/qmc.h"
+
+namespace rod::geom {
+
+FeasibleSet::FeasibleSet(Matrix weights) : weights_(std::move(weights)) {
+  assert(weights_.rows() > 0 && weights_.cols() > 0);
+}
+
+bool FeasibleSet::Contains(std::span<const double> x, double tol) const {
+  assert(x.size() == weights_.cols());
+  for (size_t i = 0; i < weights_.rows(); ++i) {
+    if (Dot(weights_.Row(i), x) > 1.0 + tol) return false;
+  }
+  return true;
+}
+
+template <typename PointGen>
+double FeasibleSet::SampleRatio(size_t num_samples, PointGen&& gen) const {
+  size_t feasible = 0;
+  for (size_t s = 0; s < num_samples; ++s) {
+    if (Contains(gen())) ++feasible;
+  }
+  return static_cast<double>(feasible) / static_cast<double>(num_samples);
+}
+
+double FeasibleSet::RatioToIdeal(const VolumeOptions& options) const {
+  assert(options.num_samples > 0);
+  const size_t d = dims();
+  if (options.use_pseudo_random || d > options.max_halton_dims) {
+    Rng rng(options.seed);
+    return SampleRatio(options.num_samples, [&] {
+      Vector cube(d);
+      for (double& v : cube) v = rng.NextDouble();
+      return MapUnitCubeToSimplex(std::move(cube));
+    });
+  }
+  HaltonSequence halton(d);
+  return SampleRatio(options.num_samples, [&] {
+    return MapUnitCubeToSimplex(halton.Next());
+  });
+}
+
+double FeasibleSet::NormalizedVolume(const VolumeOptions& options) const {
+  double log_simplex = 0.0;
+  for (size_t k = 1; k <= dims(); ++k) {
+    log_simplex -= std::log(static_cast<double>(k));
+  }
+  return RatioToIdeal(options) * std::exp(log_simplex);
+}
+
+FeasibleSet::RatioEstimate FeasibleSet::RatioToIdealWithError(
+    size_t replications, const VolumeOptions& options) const {
+  assert(replications >= 2);
+  const size_t d = dims();
+  Rng shift_rng(options.seed ^ 0xc9a471e5ULL);
+  double sum = 0.0, sum2 = 0.0;
+  for (size_t r = 0; r < replications; ++r) {
+    // Cranley–Patterson rotation: shift every Halton point by a common
+    // uniform offset modulo 1. Each rotation is an unbiased estimator.
+    Vector shift(d);
+    for (double& v : shift) v = shift_rng.NextDouble();
+    HaltonSequence halton(d);
+    const double estimate = SampleRatio(options.num_samples, [&] {
+      Vector p = halton.Next();
+      for (size_t k = 0; k < d; ++k) {
+        p[k] += shift[k];
+        if (p[k] >= 1.0) p[k] -= 1.0;
+      }
+      return MapUnitCubeToSimplex(std::move(p));
+    });
+    sum += estimate;
+    sum2 += estimate * estimate;
+  }
+  RatioEstimate out;
+  out.replications = replications;
+  out.mean = sum / static_cast<double>(replications);
+  const double var =
+      std::max(0.0, (sum2 / static_cast<double>(replications) -
+                     out.mean * out.mean) *
+                        static_cast<double>(replications) /
+                        static_cast<double>(replications - 1));
+  out.std_error = std::sqrt(var / static_cast<double>(replications));
+  return out;
+}
+
+Result<double> FeasibleSet::RatioToIdealAbove(
+    std::span<const double> lower_bound, const VolumeOptions& options) const {
+  const size_t d = dims();
+  if (lower_bound.size() != d) {
+    return Status::InvalidArgument("lower bound dimension mismatch");
+  }
+  for (double b : lower_bound) {
+    if (b < 0.0) {
+      return Status::InvalidArgument("lower bound must be non-negative");
+    }
+  }
+  // {x >= b, sum x <= 1} is the simplex scaled by s = 1 - sum(b) and
+  // translated to b; sample it by affinely mapping simplex samples.
+  const double scale = 1.0 - Sum(lower_bound);
+  if (scale <= 0.0) return 0.0;
+
+  auto shift = [&](Vector x) {
+    for (size_t k = 0; k < d; ++k) x[k] = lower_bound[k] + scale * x[k];
+    return x;
+  };
+  if (options.use_pseudo_random || d > options.max_halton_dims) {
+    Rng rng(options.seed);
+    return SampleRatio(options.num_samples, [&] {
+      Vector cube(d);
+      for (double& v : cube) v = rng.NextDouble();
+      return shift(MapUnitCubeToSimplex(std::move(cube)));
+    });
+  }
+  HaltonSequence halton(d);
+  return SampleRatio(options.num_samples, [&] {
+    return shift(MapUnitCubeToSimplex(halton.Next()));
+  });
+}
+
+}  // namespace rod::geom

@@ -1,0 +1,134 @@
+#include "geometry/hyperplane.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace rod::geom {
+
+Result<Matrix> ComputeWeightMatrix(const Matrix& node_coeffs,
+                                   std::span<const double> total_coeffs,
+                                   std::span<const double> capacities) {
+  const size_t n = node_coeffs.rows();
+  const size_t dims = node_coeffs.cols();
+  if (total_coeffs.size() != dims) {
+    return Status::InvalidArgument("total_coeffs size mismatch");
+  }
+  if (capacities.size() != n) {
+    return Status::InvalidArgument("capacities size mismatch");
+  }
+  double total_capacity = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    if (capacities[i] <= 0.0) {
+      return Status::InvalidArgument("node " + std::to_string(i) +
+                                     " has non-positive capacity");
+    }
+    total_capacity += capacities[i];
+  }
+  for (size_t k = 0; k < dims; ++k) {
+    if (total_coeffs[k] <= 0.0) {
+      return Status::InvalidArgument(
+          "rate variable " + std::to_string(k) +
+          " has non-positive total load coefficient");
+    }
+  }
+  Matrix weights(n, dims);
+  for (size_t i = 0; i < n; ++i) {
+    const double cap_share = capacities[i] / total_capacity;
+    for (size_t k = 0; k < dims; ++k) {
+      weights(i, k) = (node_coeffs(i, k) / total_coeffs[k]) / cap_share;
+    }
+  }
+  return weights;
+}
+
+Result<double> IdealFeasibleVolume(std::span<const double> total_coeffs,
+                                   double total_capacity) {
+  if (total_capacity <= 0.0) {
+    return Status::InvalidArgument("non-positive total capacity");
+  }
+  const size_t d = total_coeffs.size();
+  if (d == 0) return Status::InvalidArgument("zero-dimensional rate space");
+  // C_T^d / (d! * prod l_k), computed in log space to avoid overflow for
+  // large d or extreme coefficient scales.
+  double log_vol = static_cast<double>(d) * std::log(total_capacity);
+  for (size_t k = 1; k <= d; ++k) log_vol -= std::log(static_cast<double>(k));
+  for (double lk : total_coeffs) {
+    if (lk <= 0.0) {
+      return Status::InvalidArgument("non-positive total load coefficient");
+    }
+    log_vol -= std::log(lk);
+  }
+  return std::exp(log_vol);
+}
+
+double PlaneDistance(std::span<const double> w_row) {
+  const double norm = Norm2(w_row);
+  if (norm == 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / norm;
+}
+
+double MinPlaneDistance(const Matrix& weights) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < weights.rows(); ++i) {
+    best = std::min(best, PlaneDistance(weights.Row(i)));
+  }
+  return best;
+}
+
+double PlaneDistanceFrom(std::span<const double> w_row,
+                         std::span<const double> b) {
+  const double norm = Norm2(w_row);
+  if (norm == 0.0) return std::numeric_limits<double>::infinity();
+  return (1.0 - Dot(w_row, b)) / norm;
+}
+
+double MinPlaneDistanceFrom(const Matrix& weights, std::span<const double> b) {
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < weights.rows(); ++i) {
+    best = std::min(best, PlaneDistanceFrom(weights.Row(i), b));
+  }
+  return best;
+}
+
+double AxisDistance(const Matrix& weights, size_t i, size_t k) {
+  const double w = weights(i, k);
+  if (w <= 0.0) return std::numeric_limits<double>::infinity();
+  return 1.0 / w;
+}
+
+Vector MinAxisDistances(const Matrix& weights) {
+  Vector out(weights.cols(), std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < weights.rows(); ++i) {
+    for (size_t k = 0; k < weights.cols(); ++k) {
+      out[k] = std::min(out[k], AxisDistance(weights, i, k));
+    }
+  }
+  return out;
+}
+
+double AxisDistanceVolumeLowerBound(const Matrix& weights) {
+  double bound = 1.0;
+  const Vector mins = MinAxisDistances(weights);
+  for (double a : mins) bound *= std::min(1.0, a);
+  return bound;
+}
+
+Vector NormalizePoint(std::span<const double> rates,
+                      std::span<const double> total_coeffs,
+                      double total_capacity) {
+  assert(rates.size() == total_coeffs.size());
+  assert(total_capacity > 0.0);
+  Vector x(rates.size());
+  for (size_t k = 0; k < rates.size(); ++k) {
+    x[k] = total_coeffs[k] * rates[k] / total_capacity;
+  }
+  return x;
+}
+
+double IdealPlaneDistance(size_t dims) {
+  assert(dims > 0);
+  return 1.0 / std::sqrt(static_cast<double>(dims));
+}
+
+}  // namespace rod::geom

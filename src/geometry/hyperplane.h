@@ -1,0 +1,83 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// The normalized feasible-set geometry of paper §3. After the coordinate
+// change x_k = l_k r_k / C_T, node i's hyperplane is
+// `w_i1 x_1 + ... + w_id x_d = 1` with weights
+// `w_ik = (l^n_ik / l_k) / (C_i / C_T)`, and the ideal hyperplane is
+// `x_1 + ... + x_d = 1`. All the distances ROD optimizes (MMAD axis
+// distances, MMPD plane distances, the §6.1 distance-from-lower-bound) are
+// computed here.
+
+#ifndef ROD_GEOMETRY_HYPERPLANE_H_
+#define ROD_GEOMETRY_HYPERPLANE_H_
+
+#include <span>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace rod::geom {
+
+/// Computes the weight matrix W (n x D) from the node load-coefficient
+/// matrix L^n (n x D), the per-variable total coefficients l (the column
+/// sums of L^o), and the node capacity vector C.
+///
+/// Fails if any l_k <= 0 (a rate variable no operator spends CPU on has no
+/// normalized direction; such variables should be dropped upstream) or any
+/// C_i <= 0.
+Result<Matrix> ComputeWeightMatrix(const Matrix& node_coeffs,
+                                   std::span<const double> total_coeffs,
+                                   std::span<const double> capacities);
+
+/// Volume of the ideal feasible set in the *original* rate space
+/// (Theorem 1): `C_T^d / (d! * prod_k l_k)`.
+Result<double> IdealFeasibleVolume(std::span<const double> total_coeffs,
+                                   double total_capacity);
+
+/// Distance from the origin to the hyperplane `w . x = 1`: `1 / ||w||_2`.
+/// Returns +infinity for an all-zero row (an empty node's hyperplane lies
+/// at infinity).
+double PlaneDistance(std::span<const double> w_row);
+
+/// `min_i PlaneDistance(W_i)` — the paper's `r`, the radius of the largest
+/// origin-centered hypersphere (intersected with the nonnegative orthant)
+/// inside the feasible set.
+double MinPlaneDistance(const Matrix& weights);
+
+/// Distance from point `b` to the hyperplane `w . x = 1`:
+/// `(1 - w . b) / ||w||_2` (signed; negative when `b` is already above the
+/// hyperplane, i.e. node overloaded at the lower bound). Used by the §6.1
+/// lower-bound extension.
+double PlaneDistanceFrom(std::span<const double> w_row,
+                         std::span<const double> b);
+
+/// `min_i PlaneDistanceFrom(W_i, b)`.
+double MinPlaneDistanceFrom(const Matrix& weights, std::span<const double> b);
+
+/// Axis distance of node i's hyperplane on axis k: `1 / w_ik`
+/// (+infinity when w_ik = 0). The ideal hyperplane has axis distance 1 on
+/// every axis.
+double AxisDistance(const Matrix& weights, size_t i, size_t k);
+
+/// Per-axis minimum axis distance over all nodes — the quantities MMAD
+/// maximizes. Size D.
+Vector MinAxisDistances(const Matrix& weights);
+
+/// The MMAD lower bound on V(F)/V(F*): `prod_k min(1, min_i 1/w_ik)`
+/// (§4.1: the feasible set always contains the sub-simplex scaled by the
+/// clamped minimum axis distances).
+double AxisDistanceVolumeLowerBound(const Matrix& weights);
+
+/// Maps a physical rate point R into the normalized space:
+/// `x_k = l_k r_k / C_T`.
+Vector NormalizePoint(std::span<const double> rates,
+                      std::span<const double> total_coeffs,
+                      double total_capacity);
+
+/// Distance from the origin to the ideal hyperplane, `1/sqrt(d)` — the
+/// paper's `r*`.
+double IdealPlaneDistance(size_t dims);
+
+}  // namespace rod::geom
+
+#endif  // ROD_GEOMETRY_HYPERPLANE_H_

@@ -1,0 +1,72 @@
+#include "geometry/polygon2d.h"
+
+#include <cmath>
+
+namespace rod::geom {
+
+double PolygonArea(const Polygon2& poly) {
+  if (poly.size() < 3) return 0.0;
+  double twice = 0.0;
+  for (size_t i = 0; i < poly.size(); ++i) {
+    const Point2& p = poly[i];
+    const Point2& q = poly[(i + 1) % poly.size()];
+    twice += p.x * q.y - q.x * p.y;
+  }
+  return std::fabs(twice) / 2.0;
+}
+
+Polygon2 ClipHalfPlane(const Polygon2& poly, double a, double b, double c) {
+  Polygon2 out;
+  if (poly.empty()) return out;
+  auto inside = [&](const Point2& p) { return a * p.x + b * p.y <= c + 1e-12; };
+  auto intersect = [&](const Point2& p, const Point2& q) {
+    // Segment p->q crosses a*x + b*y = c; solve for the parameter t.
+    const double fp = a * p.x + b * p.y - c;
+    const double fq = a * q.x + b * q.y - c;
+    const double t = fp / (fp - fq);
+    return Point2{p.x + t * (q.x - p.x), p.y + t * (q.y - p.y)};
+  };
+  for (size_t i = 0; i < poly.size(); ++i) {
+    const Point2& cur = poly[i];
+    const Point2& nxt = poly[(i + 1) % poly.size()];
+    const bool cur_in = inside(cur);
+    const bool nxt_in = inside(nxt);
+    if (cur_in) out.push_back(cur);
+    if (cur_in != nxt_in) out.push_back(intersect(cur, nxt));
+  }
+  return out;
+}
+
+Result<Polygon2> FeasiblePolygon(const Matrix& weights) {
+  if (weights.cols() != 2) {
+    return Status::InvalidArgument(
+        "exact polygon area requires exactly 2 rate variables");
+  }
+  // Start from the ideal triangle (the superset of every feasible set).
+  Polygon2 poly = {{0.0, 0.0}, {1.0, 0.0}, {0.0, 1.0}};
+  for (size_t i = 0; i < weights.rows() && !poly.empty(); ++i) {
+    poly = ClipHalfPlane(poly, weights(i, 0), weights(i, 1), 1.0);
+  }
+  // Drop (near-)duplicate consecutive vertices produced when a clipping
+  // plane passes exactly through an existing vertex.
+  Polygon2 dedup;
+  for (const Point2& p : poly) {
+    if (dedup.empty() || std::fabs(p.x - dedup.back().x) > 1e-12 ||
+        std::fabs(p.y - dedup.back().y) > 1e-12) {
+      dedup.push_back(p);
+    }
+  }
+  if (dedup.size() > 1 && std::fabs(dedup.front().x - dedup.back().x) < 1e-12 &&
+      std::fabs(dedup.front().y - dedup.back().y) < 1e-12) {
+    dedup.pop_back();
+  }
+  return dedup;
+}
+
+Result<double> ExactRatioToIdeal2D(const Matrix& weights) {
+  auto poly = FeasiblePolygon(weights);
+  if (!poly.ok()) return poly.status();
+  return PolygonArea(*poly) / 0.5;
+}
+
+}  // namespace rod::geom

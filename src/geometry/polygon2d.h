@@ -1,0 +1,44 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Exact 2-D feasible-set area via half-plane clipping. For two input
+// streams the feasible set is a convex polygon obtained by clipping the
+// ideal triangle with each node hyperplane; its shoelace area cross-checks
+// the QMC estimator and renders the paper's Figures 5–6 exactly.
+
+#ifndef ROD_GEOMETRY_POLYGON2D_H_
+#define ROD_GEOMETRY_POLYGON2D_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+
+namespace rod::geom {
+
+/// A 2-D point.
+struct Point2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// A convex polygon as a counter-clockwise vertex list.
+using Polygon2 = std::vector<Point2>;
+
+/// Shoelace area of a simple polygon (absolute value).
+double PolygonArea(const Polygon2& poly);
+
+/// Clips convex polygon `poly` by the half-plane `a*x + b*y <= c`
+/// (Sutherland–Hodgman step). Returns the (possibly empty) result.
+Polygon2 ClipHalfPlane(const Polygon2& poly, double a, double b, double c);
+
+/// Exact feasible polygon of a 2-column weight matrix in normalized space:
+/// the ideal triangle {(0,0),(1,0),(0,1)} clipped by every node constraint
+/// `W_i . x <= 1`. Fails unless `weights` has exactly 2 columns.
+Result<Polygon2> FeasiblePolygon(const Matrix& weights);
+
+/// Exact `V(F)/V(F*)` for d = 2: `PolygonArea(FeasiblePolygon(W)) / (1/2)`.
+Result<double> ExactRatioToIdeal2D(const Matrix& weights);
+
+}  // namespace rod::geom
+
+#endif  // ROD_GEOMETRY_POLYGON2D_H_

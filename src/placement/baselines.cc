@@ -1,0 +1,243 @@
+#include "placement/baselines.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+#include "common/stats.h"
+
+namespace rod::place {
+
+namespace {
+
+/// Index of the node with the smallest load/capacity ratio.
+size_t LeastLoadedNode(const Vector& node_loads, const SystemSpec& system) {
+  size_t best = 0;
+  double best_ratio = std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < node_loads.size(); ++i) {
+    const double ratio = node_loads[i] / system.capacities[i];
+    if (ratio < best_ratio) {
+      best_ratio = ratio;
+      best = i;
+    }
+  }
+  return best;
+}
+
+/// Operator ids sorted by `load` descending (stable for determinism).
+std::vector<size_t> SortByLoadDesc(const Vector& load) {
+  std::vector<size_t> order(load.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) { return load[a] > load[b]; });
+  return order;
+}
+
+Status CheckCommon(const query::LoadModel& model, const SystemSpec& system) {
+  ROD_RETURN_IF_ERROR(system.Validate());
+  if (model.num_operators() == 0) {
+    return Status::InvalidArgument("no operators to place");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Placement> RandomPlace(const query::LoadModel& model,
+                              const SystemSpec& system, Rng& rng) {
+  ROD_RETURN_IF_ERROR(CheckCommon(model, system));
+  const size_t m = model.num_operators();
+  const size_t n = system.num_nodes();
+  std::vector<size_t> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  std::vector<size_t> assignment(m, 0);
+  for (size_t pos = 0; pos < m; ++pos) {
+    assignment[order[pos]] = pos % n;  // round-robin: equal counts
+  }
+  return Placement(n, std::move(assignment));
+}
+
+Result<Placement> LargestLoadFirstPlace(const query::LoadModel& model,
+                                        const SystemSpec& system,
+                                        std::span<const double> avg_rates) {
+  ROD_RETURN_IF_ERROR(CheckCommon(model, system));
+  if (avg_rates.size() != model.num_system_inputs()) {
+    return Status::InvalidArgument("avg_rates size mismatch");
+  }
+  const Vector op_load = model.OperatorLoadsAt(avg_rates);
+  const std::vector<size_t> order = SortByLoadDesc(op_load);
+
+  const size_t n = system.num_nodes();
+  Vector node_loads(n, 0.0);
+  std::vector<size_t> assignment(model.num_operators(), 0);
+  for (size_t j : order) {
+    const size_t target = LeastLoadedNode(node_loads, system);
+    assignment[j] = target;
+    node_loads[target] += op_load[j];
+  }
+  return Placement(n, std::move(assignment));
+}
+
+Result<Placement> ConnectedLoadBalancePlace(const query::LoadModel& model,
+                                            const query::QueryGraph& graph,
+                                            const SystemSpec& system,
+                                            std::span<const double> avg_rates) {
+  ROD_RETURN_IF_ERROR(CheckCommon(model, system));
+  if (graph.num_operators() != model.num_operators()) {
+    return Status::InvalidArgument("graph/model operator count mismatch");
+  }
+  if (avg_rates.size() != model.num_system_inputs()) {
+    return Status::InvalidArgument("avg_rates size mismatch");
+  }
+  const size_t m = model.num_operators();
+  const size_t n = system.num_nodes();
+  const Vector op_load = model.OperatorLoadsAt(avg_rates);
+  const double total_load = Sum(op_load);
+  const double total_capacity = system.TotalCapacity();
+
+  // Undirected dataflow adjacency.
+  std::vector<std::vector<size_t>> neighbors(m);
+  for (query::OperatorId j = 0; j < m; ++j) {
+    for (const query::Arc& arc : graph.inputs_of(j)) {
+      if (arc.from.kind == query::StreamRef::Kind::kOperator) {
+        neighbors[j].push_back(arc.from.index);
+        neighbors[arc.from.index].push_back(j);
+      }
+    }
+  }
+
+  const std::vector<size_t> by_load = SortByLoadDesc(op_load);
+  std::vector<bool> assigned(m, false);
+  std::vector<size_t> assignment(m, 0);
+  Vector node_loads(n, 0.0);
+  size_t num_assigned = 0;
+
+  while (num_assigned < m) {
+    // Step 1: most loaded unassigned operator -> least loaded node.
+    size_t seed_op = m;
+    for (size_t j : by_load) {
+      if (!assigned[j]) {
+        seed_op = j;
+        break;
+      }
+    }
+    assert(seed_op < m);
+    const size_t target = LeastLoadedNode(node_loads, system);
+    const double share = total_load * system.capacities[target] / total_capacity;
+
+    auto place = [&](size_t j) {
+      assignment[j] = target;
+      assigned[j] = true;
+      node_loads[target] += op_load[j];
+      ++num_assigned;
+    };
+    place(seed_op);
+
+    // Step 2: grow the connected component onto this node while its load
+    // stays below its proportional share of the total. Expand the
+    // most-loaded connected candidate first.
+    bool grew = true;
+    while (grew && node_loads[target] < share && num_assigned < m) {
+      grew = false;
+      size_t best = m;
+      for (size_t j : by_load) {
+        if (assigned[j]) continue;
+        const bool connected =
+            std::any_of(neighbors[j].begin(), neighbors[j].end(),
+                        [&](size_t nb) {
+                          return assigned[nb] && assignment[nb] == target;
+                        });
+        if (connected) {
+          best = j;
+          break;  // by_load is descending: first hit is the most loaded
+        }
+      }
+      if (best < m && node_loads[target] + op_load[best] < share) {
+        place(best);
+        grew = true;
+      }
+    }
+  }
+  return Placement(n, std::move(assignment));
+}
+
+Result<Placement> CorrelationBasedPlace(const query::LoadModel& model,
+                                        const SystemSpec& system,
+                                        const Matrix& rate_series) {
+  ROD_RETURN_IF_ERROR(CheckCommon(model, system));
+  if (rate_series.cols() != model.num_system_inputs()) {
+    return Status::InvalidArgument("rate_series column count mismatch");
+  }
+  if (rate_series.rows() < 2) {
+    return Status::InvalidArgument(
+        "rate_series needs at least 2 time steps for correlations");
+  }
+  const size_t m = model.num_operators();
+  const size_t n = system.num_nodes();
+  const size_t horizon = rate_series.rows();
+
+  // Per-operator load time series under the rate history.
+  std::vector<std::vector<double>> op_series(m,
+                                             std::vector<double>(horizon, 0.0));
+  Vector mean_load(m, 0.0);
+  for (size_t t = 0; t < horizon; ++t) {
+    const Vector loads = model.OperatorLoadsAt(rate_series.Row(t));
+    for (size_t j = 0; j < m; ++j) {
+      op_series[j][t] = loads[j];
+      mean_load[j] += loads[j];
+    }
+  }
+  double total_mean_load = 0.0;
+  for (size_t j = 0; j < m; ++j) {
+    mean_load[j] /= static_cast<double>(horizon);
+    total_mean_load += mean_load[j];
+  }
+  const double total_capacity = system.TotalCapacity();
+
+  std::vector<std::vector<double>> node_series(
+      n, std::vector<double>(horizon, 0.0));
+  Vector node_mean(n, 0.0);
+  std::vector<size_t> assignment(m, 0);
+
+  for (size_t j : SortByLoadDesc(mean_load)) {
+    // Balance constraint: nodes at or below their proportional share of
+    // the mean load (always non-empty: the global mean cannot exceed every
+    // node's share simultaneously).
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i < n; ++i) {
+      const double share =
+          total_mean_load * system.capacities[i] / total_capacity;
+      if (node_mean[i] <= share + 1e-12) candidates.push_back(i);
+    }
+    if (candidates.empty()) {
+      candidates.resize(n);
+      std::iota(candidates.begin(), candidates.end(), 0);
+    }
+    // Separate correlated operators: prefer the candidate node whose load
+    // series is least correlated with this operator's.
+    size_t best = candidates[0];
+    double best_corr = std::numeric_limits<double>::infinity();
+    for (size_t i : candidates) {
+      const double corr = PearsonCorrelation(op_series[j], node_series[i]);
+      const bool better =
+          corr < best_corr - 1e-12 ||
+          (std::abs(corr - best_corr) <= 1e-12 &&
+           node_mean[i] / system.capacities[i] <
+               node_mean[best] / system.capacities[best]);
+      if (better) {
+        best_corr = corr;
+        best = i;
+      }
+    }
+    assignment[j] = best;
+    node_mean[best] += mean_load[j];
+    for (size_t t = 0; t < horizon; ++t) {
+      node_series[best][t] += op_series[j][t];
+    }
+  }
+  return Placement(n, std::move(assignment));
+}
+
+}  // namespace rod::place

@@ -1,0 +1,61 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// The four competing load-distribution schemes of paper §7.2: Random
+// (equal operator counts), Largest-Load-First load balancing, Connected
+// load balancing (co-locate connected operators), and Correlation-based
+// load balancing (the authors' earlier dynamic scheme [23], used here as a
+// static initial placement). All three balancing schemes optimize for a
+// *single* rate point / rate history, which is exactly the behaviour ROD's
+// feasible-set objective improves upon.
+
+#ifndef ROD_PLACEMENT_BASELINES_H_
+#define ROD_PLACEMENT_BASELINES_H_
+
+#include "common/matrix.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "placement/plan.h"
+#include "query/load_model.h"
+#include "query/query_graph.h"
+
+namespace rod::place {
+
+/// Random placement that keeps an equal number of operators per node
+/// (paper: "produces a random placement while maintaining an equal number
+/// of operators on each node"): shuffle, then deal round-robin.
+Result<Placement> RandomPlace(const query::LoadModel& model,
+                              const SystemSpec& system, Rng& rng);
+
+/// Largest-Load-First load balancing: compute each operator's load at the
+/// observed average rates `avg_rates` (physical, size = system inputs),
+/// sort descending, and assign each to the node with the smallest current
+/// load/capacity ratio.
+Result<Placement> LargestLoadFirstPlace(const query::LoadModel& model,
+                                        const SystemSpec& system,
+                                        std::span<const double> avg_rates);
+
+/// Connected load balancing: (1) assign the most loaded unassigned
+/// operator to the least (relatively) loaded node N_s; (2) keep pulling
+/// operators connected to N_s's operators onto N_s while N_s's load stays
+/// below its proportional share of the total; (3) repeat. Minimizes
+/// inter-node streams at the cost of stacking whole input subtrees on one
+/// node.
+Result<Placement> ConnectedLoadBalancePlace(const query::LoadModel& model,
+                                            const query::QueryGraph& graph,
+                                            const SystemSpec& system,
+                                            std::span<const double> avg_rates);
+
+/// Correlation-based load balancing (reimplementation of the scheme of
+/// Xing, Zdonik & Hwang, ICDE'05 [23], as used statically in §7.2): given a
+/// history of rate points (`rate_series`: T x d, physical rates), operators
+/// are ordered by mean load and greedily assigned, among nodes whose mean
+/// load is at or below their proportional share, to the node whose
+/// aggregate load time series has the *smallest* Pearson correlation with
+/// the operator's — separating operators whose loads spike together.
+Result<Placement> CorrelationBasedPlace(const query::LoadModel& model,
+                                        const SystemSpec& system,
+                                        const Matrix& rate_series);
+
+}  // namespace rod::place
+
+#endif  // ROD_PLACEMENT_BASELINES_H_

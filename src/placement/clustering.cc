@@ -1,0 +1,278 @@
+#include "placement/clustering.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <numeric>
+
+#include "geometry/hyperplane.h"
+#include "placement/evaluator.h"
+
+namespace rod::place {
+
+namespace {
+
+/// Union-find with path compression (no ranks; the forests are tiny).
+struct UnionFind {
+  explicit UnionFind(size_t n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  size_t Find(size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  }
+  void Union(size_t a, size_t b) { parent[Find(a)] = Find(b); }
+  std::vector<size_t> parent;
+};
+
+/// An operator->operator arc eligible for contraction.
+struct CandidateArc {
+  size_t from = 0;
+  size_t to = 0;
+  double ratio = 0.0;  ///< comm_cost / min(end-operator cost)
+};
+
+/// Weight vector (per-stream load fraction) of the set rooted at `root`.
+double MergedWeight(const Matrix& op_coeffs,
+                    std::span<const double> total_coeffs, UnionFind& uf,
+                    size_t root_a, size_t root_b,
+                    std::vector<Vector>& weight_of_root) {
+  double w = 0.0;
+  for (size_t k = 0; k < total_coeffs.size(); ++k) {
+    const double combined =
+        weight_of_root[root_a][k] +
+        (root_a == root_b ? 0.0 : weight_of_root[root_b][k]);
+    w = std::max(w, combined);
+  }
+  (void)op_coeffs;
+  (void)uf;
+  return w;
+}
+
+}  // namespace
+
+double Clustering::ClusterWeight(size_t c,
+                                 std::span<const double> total_coeffs) const {
+  assert(c < clusters.size());
+  double w = 0.0;
+  for (size_t k = 0; k < cluster_coeffs.cols(); ++k) {
+    assert(total_coeffs[k] > 0.0);
+    w = std::max(w, cluster_coeffs(c, k) / total_coeffs[k]);
+  }
+  return w;
+}
+
+Placement Clustering::ExpandPlacement(const Placement& cluster_placement) const {
+  assert(cluster_placement.num_operators() == clusters.size());
+  std::vector<size_t> assignment(cluster_of.size(), 0);
+  for (size_t j = 0; j < cluster_of.size(); ++j) {
+    assignment[j] = cluster_placement.node_of(cluster_of[j]);
+  }
+  return Placement(cluster_placement.num_nodes(), std::move(assignment));
+}
+
+Clustering SingletonClustering(const query::LoadModel& model) {
+  Clustering c;
+  const size_t m = model.num_operators();
+  c.cluster_of.resize(m);
+  c.clusters.resize(m);
+  for (size_t j = 0; j < m; ++j) {
+    c.cluster_of[j] = j;
+    c.clusters[j] = {j};
+  }
+  c.cluster_coeffs = model.op_coeffs();
+  return c;
+}
+
+Result<Clustering> ClusterOperators(const query::LoadModel& model,
+                                    const query::QueryGraph& graph,
+                                    const SystemSpec& system,
+                                    const ClusteringOptions& options) {
+  ROD_RETURN_IF_ERROR(system.Validate());
+  if (graph.num_operators() != model.num_operators()) {
+    return Status::InvalidArgument("graph/model operator count mismatch");
+  }
+  if (options.ratio_threshold <= 0.0) {
+    return Status::InvalidArgument("ratio_threshold must be positive");
+  }
+  const size_t m = model.num_operators();
+  const size_t dims = model.num_vars();
+
+  double weight_cap = options.max_cluster_weight;
+  if (weight_cap <= 0.0) {
+    weight_cap = *std::max_element(system.capacities.begin(),
+                                   system.capacities.end()) /
+                 system.TotalCapacity();
+  }
+
+  // Collect contractible arcs with their (static) clustering ratios.
+  std::vector<CandidateArc> arcs;
+  for (query::OperatorId j = 0; j < m; ++j) {
+    for (const query::Arc& arc : graph.inputs_of(j)) {
+      if (arc.from.kind != query::StreamRef::Kind::kOperator) continue;
+      if (arc.comm_cost <= 0.0) continue;
+      const double min_proc = std::min(graph.spec(arc.from.index).cost,
+                                       graph.spec(j).cost);
+      // A zero-cost endpoint makes any transfer overhead dominant.
+      const double ratio = min_proc > 0.0
+                               ? arc.comm_cost / min_proc
+                               : std::numeric_limits<double>::infinity();
+      arcs.push_back(CandidateArc{arc.from.index, j, ratio});
+    }
+  }
+
+  UnionFind uf(m);
+  // Per-root normalized weight vectors (fractions of each stream's total).
+  std::vector<Vector> weight_of_root(m, Vector(dims, 0.0));
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t k = 0; k < dims; ++k) {
+      assert(model.total_coeffs()[k] > 0.0);
+      weight_of_root[j][k] =
+          model.op_coeffs()(j, k) / model.total_coeffs()[k];
+    }
+  }
+
+  auto try_contract = [&](const CandidateArc& arc) -> bool {
+    const size_t ra = uf.Find(arc.from);
+    const size_t rb = uf.Find(arc.to);
+    if (ra == rb) return false;  // already clustered together
+    const double merged = MergedWeight(model.op_coeffs(), model.total_coeffs(),
+                                       uf, ra, rb, weight_of_root);
+    if (merged > weight_cap + 1e-12) return false;  // respect the cap
+    uf.Union(ra, rb);
+    const size_t root = uf.Find(ra);
+    const size_t other = root == ra ? rb : ra;
+    for (size_t k = 0; k < dims; ++k) {
+      weight_of_root[root][k] += weight_of_root[other][k];
+    }
+    return true;
+  };
+
+  if (options.scheme == ClusteringOptions::Scheme::kClusteringRatio) {
+    // Contract in descending ratio order until everything left is below
+    // the threshold (the ratio of an arc is a static property of its
+    // endpoints, so one sorted pass implements the repeat-loop).
+    std::stable_sort(arcs.begin(), arcs.end(),
+                     [](const CandidateArc& a, const CandidateArc& b) {
+                       return a.ratio > b.ratio;
+                     });
+    for (const CandidateArc& arc : arcs) {
+      if (arc.ratio < options.ratio_threshold) break;
+      try_contract(arc);
+    }
+  } else {
+    // kMinWeight: repeatedly contract, among above-threshold arcs, the pair
+    // of clusters with the minimum combined weight. Recomputed each round
+    // because weights grow as clusters merge.
+    for (;;) {
+      const CandidateArc* best = nullptr;
+      double best_weight = std::numeric_limits<double>::infinity();
+      for (const CandidateArc& arc : arcs) {
+        if (arc.ratio < options.ratio_threshold) continue;
+        const size_t ra = uf.Find(arc.from);
+        const size_t rb = uf.Find(arc.to);
+        if (ra == rb) continue;
+        const double merged = MergedWeight(
+            model.op_coeffs(), model.total_coeffs(), uf, ra, rb,
+            weight_of_root);
+        if (merged > weight_cap + 1e-12) continue;
+        if (merged < best_weight) {
+          best_weight = merged;
+          best = &arc;
+        }
+      }
+      if (best == nullptr) break;
+      [[maybe_unused]] const bool contracted = try_contract(*best);
+      assert(contracted);
+    }
+  }
+
+  // Materialize clusters in first-member order for deterministic ids.
+  Clustering out;
+  out.cluster_of.assign(m, SIZE_MAX);
+  std::vector<size_t> cluster_of_root(m, SIZE_MAX);
+  for (size_t j = 0; j < m; ++j) {
+    const size_t root = uf.Find(j);
+    if (cluster_of_root[root] == SIZE_MAX) {
+      cluster_of_root[root] = out.clusters.size();
+      out.clusters.emplace_back();
+    }
+    const size_t c = cluster_of_root[root];
+    out.cluster_of[j] = c;
+    out.clusters[c].push_back(j);
+  }
+  out.cluster_coeffs = Matrix(out.clusters.size(), dims);
+  for (size_t j = 0; j < m; ++j) {
+    auto row = model.op_coeffs().Row(j);
+    auto dst = out.cluster_coeffs.Row(out.cluster_of[j]);
+    for (size_t k = 0; k < dims; ++k) dst[k] += row[k];
+  }
+  return out;
+}
+
+Result<ClusterSweepResult> ClusteredRodPlace(const query::LoadModel& model,
+                                             const query::QueryGraph& graph,
+                                             const SystemSpec& system,
+                                             const ClusterSweepOptions& options) {
+  ROD_RETURN_IF_ERROR(system.Validate());
+
+  // Scores a clustering: ROD on its cluster-level matrix, expand, then the
+  // §6.3 selection metric — minimum plane distance with communication cost
+  // folded into the node coefficients (still normalized by the
+  // communication-free l_k, so extra crossings strictly lower the score).
+  auto evaluate = [&](Clustering clustering,
+                      ClusterSweepResult& best) -> Status {
+    auto cluster_plan =
+        RodPlaceMatrix(clustering.cluster_coeffs, model.total_coeffs(), system,
+                       options.rod);
+    ROD_RETURN_IF_ERROR(cluster_plan.status());
+    Placement plan = clustering.ExpandPlacement(*cluster_plan);
+    const Matrix node_coeffs = NodeCoeffsWithComm(plan, model, graph);
+    auto weights = geom::ComputeWeightMatrix(
+        node_coeffs, model.total_coeffs(), system.capacities);
+    ROD_RETURN_IF_ERROR(weights.status());
+    const double distance = geom::MinPlaneDistance(*weights);
+    ++best.plans_evaluated;
+    if (distance > best.plane_distance) {
+      best.plane_distance = distance;
+      best.placement = std::move(plan);
+      best.clustering = std::move(clustering);
+    }
+    return Status::OK();
+  };
+
+  ClusterSweepResult best{Placement(system.num_nodes(),
+                                    std::vector<size_t>(model.num_operators(), 0)),
+                          SingletonClustering(model),
+                          -std::numeric_limits<double>::infinity(), 0};
+
+  if (options.include_unclustered) {
+    ROD_RETURN_IF_ERROR(evaluate(SingletonClustering(model), best));
+  }
+  const std::vector<double> caps =
+      options.weight_caps.empty() ? std::vector<double>{0.0}
+                                  : options.weight_caps;
+  for (const auto scheme : {ClusteringOptions::Scheme::kClusteringRatio,
+                            ClusteringOptions::Scheme::kMinWeight}) {
+    for (double threshold : options.thresholds) {
+      for (double cap : caps) {
+        ClusteringOptions copts;
+        copts.scheme = scheme;
+        copts.ratio_threshold = threshold;
+        copts.max_cluster_weight = cap;
+        auto clustering = ClusterOperators(model, graph, system, copts);
+        ROD_RETURN_IF_ERROR(clustering.status());
+        ROD_RETURN_IF_ERROR(evaluate(std::move(*clustering), best));
+      }
+    }
+  }
+  if (best.plans_evaluated == 0) {
+    return Status::InvalidArgument("cluster sweep evaluated no plans");
+  }
+  return best;
+}
+
+}  // namespace rod::place

@@ -1,0 +1,113 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Operator clustering (paper §6.3): a preprocessing step that contracts
+// dataflow arcs whose per-tuple transfer cost is high relative to the
+// processing cost of their end operators, so that ROD never separates them
+// across the network. Two greedy schemes are provided, plus the paper's
+// practical recipe: sweep thresholds for both schemes, run ROD on every
+// resulting clustering, and keep the plan with the maximum
+// communication-aware plane distance.
+
+#ifndef ROD_PLACEMENT_CLUSTERING_H_
+#define ROD_PLACEMENT_CLUSTERING_H_
+
+#include <vector>
+
+#include "placement/plan.h"
+#include "placement/rod.h"
+#include "query/load_model.h"
+#include "query/query_graph.h"
+
+namespace rod::place {
+
+/// A partition of the operators into placement units.
+struct Clustering {
+  /// cluster id -> member operator ids (ascending).
+  std::vector<std::vector<query::OperatorId>> clusters;
+  /// operator id -> cluster id.
+  std::vector<size_t> cluster_of;
+  /// Per-cluster load-coefficient rows (sums of member L^o rows).
+  Matrix cluster_coeffs;
+
+  size_t num_clusters() const { return clusters.size(); }
+
+  /// Normalized weight of a cluster: `max_k (sum_j l^o_jk) / l_k` — the
+  /// largest fraction of any one stream's total load the cluster pins to a
+  /// single node.
+  double ClusterWeight(size_t c, std::span<const double> total_coeffs) const;
+
+  /// Expands a cluster-level placement into an operator-level one.
+  Placement ExpandPlacement(const Placement& cluster_placement) const;
+};
+
+/// Clustering configuration.
+struct ClusteringOptions {
+  /// Arc-selection rule for step (ii) of the greedy loop.
+  enum class Scheme {
+    kClusteringRatio,  ///< Contract the arc with the largest clustering
+                       ///< ratio (per-tuple transfer cost / min end-operator
+                       ///< processing cost) first.
+    kMinWeight,        ///< Among arcs above the threshold, contract the pair
+                       ///< of clusters with the minimum combined weight
+                       ///< (avoids building heavyweight clusters).
+  };
+
+  Scheme scheme = Scheme::kClusteringRatio;
+
+  /// Contraction stops once every remaining inter-cluster arc has
+  /// clustering ratio below this.
+  double ratio_threshold = 1.0;
+
+  /// Upper bound on any resulting cluster's weight; contractions that
+  /// would exceed it are skipped. <= 0 selects the default `max_i C_i/C_T`
+  /// (no cluster may exceed the largest node's proportional share of any
+  /// stream).
+  double max_cluster_weight = 0.0;
+};
+
+/// Builds a clustering of `graph`'s operators. Arcs with zero
+/// communication cost are never contracted.
+Result<Clustering> ClusterOperators(const query::LoadModel& model,
+                                    const query::QueryGraph& graph,
+                                    const SystemSpec& system,
+                                    const ClusteringOptions& options = {});
+
+/// The trivial clustering (every operator its own cluster).
+Clustering SingletonClustering(const query::LoadModel& model);
+
+/// Sweep configuration for `ClusteredRodPlace`.
+struct ClusterSweepOptions {
+  /// Thresholds tried for each scheme (paper: "systematically varying the
+  /// threshold values").
+  std::vector<double> thresholds = {0.5, 1.0, 2.0, 4.0};
+  /// ROD settings used for every candidate plan.
+  RodOptions rod;
+  /// Also evaluate the unclustered (singleton) plan.
+  bool include_unclustered = true;
+  /// Cluster weight caps to try for each (scheme, threshold) pair. The
+  /// default 0 entry selects ClusterOperators' default cap (largest node's
+  /// capacity share); larger caps permit heavyweight clusters, which win
+  /// when communication is so expensive that crossings dominate load.
+  std::vector<double> weight_caps = {0.0, 0.67, 1.0};
+};
+
+/// Outcome of the clustering sweep.
+struct ClusterSweepResult {
+  Placement placement;              ///< Best operator-level plan found.
+  Clustering clustering;            ///< The clustering it came from.
+  double plane_distance = 0.0;      ///< Its communication-aware min plane
+                                    ///< distance (the selection metric).
+  size_t plans_evaluated = 0;
+};
+
+/// The paper's end-to-end §6.3 procedure: generate clusterings for both
+/// schemes across `options.thresholds`, run ROD on each cluster-level load
+/// matrix, score every expanded plan by its minimum plane distance computed
+/// from communication-aware node coefficients, and return the best.
+Result<ClusterSweepResult> ClusteredRodPlace(
+    const query::LoadModel& model, const query::QueryGraph& graph,
+    const SystemSpec& system, const ClusterSweepOptions& options = {});
+
+}  // namespace rod::place
+
+#endif  // ROD_PLACEMENT_CLUSTERING_H_

@@ -1,0 +1,107 @@
+#include "placement/correlation_policy.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/stats.h"
+
+namespace rod::place {
+
+namespace {
+
+std::vector<double> ToVector(const std::deque<double>& q) {
+  return std::vector<double>(q.begin(), q.end());
+}
+
+}  // namespace
+
+std::vector<sim::Migration> CorrelationBalancer::Decide(const EpochView& view) {
+  const size_t m = view.assignment->size();
+  const size_t n = view.system->num_nodes();
+
+  // Record this epoch's history first (the policy must observe every
+  // epoch, even when it does not act).
+  if (op_history_.empty()) {
+    op_history_.resize(m);
+    node_history_.resize(n);
+  }
+  for (size_t j = 0; j < m; ++j) {
+    op_history_[j].push_back((*view.op_loads)[j]);
+    if (op_history_[j].size() > options_.history) op_history_[j].pop_front();
+  }
+  for (size_t i = 0; i < n; ++i) {
+    node_history_[i].push_back((*view.node_loads)[i]);
+    if (node_history_[i].size() > options_.history) {
+      node_history_[i].pop_front();
+    }
+  }
+
+  std::vector<sim::Migration> moves;
+  if (op_history_[0].size() < options_.min_history) return moves;
+  if (decided_before_ &&
+      view.epoch_index < last_decision_epoch_ + options_.cooldown_epochs) {
+    return moves;
+  }
+
+  Vector node_loads = *view.node_loads;
+  std::vector<size_t> assignment = *view.assignment;
+  auto util = [&](size_t i) {
+    return node_loads[i] / view.system->capacities[i];
+  };
+
+  for (size_t round = 0; round < options_.max_moves; ++round) {
+    size_t hot = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (util(i) > util(hot)) hot = i;
+    }
+    if (util(hot) < options_.high_watermark) break;
+
+    const double mean_util = [&] {
+      double acc = 0.0;
+      for (size_t i = 0; i < n; ++i) acc += util(i);
+      return acc / static_cast<double>(n);
+    }();
+
+    // Candidate destinations: below the mean utilization.
+    // Candidate operators: on the hot node. Pick the (op, dest) pair with
+    // the smallest correlation between the op's and the destination's
+    // recent load series, requiring the move to actually help.
+    size_t best_op = m;
+    size_t best_dest = n;
+    double best_corr = std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < m; ++j) {
+      if (assignment[j] != hot) continue;
+      const double load = (*view.op_loads)[j];
+      if (load <= 0.0) continue;
+      const std::vector<double> op_series = ToVector(op_history_[j]);
+      for (size_t i = 0; i < n; ++i) {
+        if (i == hot || util(i) > mean_util) continue;
+        const double dest_util =
+            (node_loads[i] + load) / view.system->capacities[i];
+        if (dest_util >= util(hot)) continue;
+        const double corr =
+            PearsonCorrelation(op_series, ToVector(node_history_[i]));
+        if (corr < best_corr) {
+          best_corr = corr;
+          best_op = j;
+          best_dest = i;
+        }
+      }
+    }
+    if (best_op == m) break;
+
+    moves.push_back(sim::Migration{best_op, best_dest});
+    const double load = (*view.op_loads)[best_op];
+    node_loads[hot] -= load;
+    node_loads[best_dest] += load;
+    assignment[best_op] = best_dest;
+  }
+
+  if (!moves.empty()) {
+    last_decision_epoch_ = view.epoch_index;
+    decided_before_ = true;
+  }
+  return moves;
+}
+
+}  // namespace rod::place

@@ -1,0 +1,59 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// The correlation-based *dynamic* load distribution scheme of Xing, Zdonik
+// & Hwang (ICDE'05, the paper's [23]) as a fluid-simulator migration
+// policy: when a node runs hot, move an operator to the underloaded node
+// whose recent load time series is *least correlated* with the operator's,
+// so that operators that spike together end up apart. This is the dynamic
+// comparator the paper positions ROD against (and complements: "lighter-
+// weight operators can be moved more frequently using a dynamic algorithm
+// (e.g., the correlation-based scheme that we proposed earlier [23])").
+
+#ifndef ROD_PLACEMENT_CORRELATION_POLICY_H_
+#define ROD_PLACEMENT_CORRELATION_POLICY_H_
+
+#include <deque>
+#include <vector>
+
+#include "runtime/fluid.h"
+
+namespace rod::place {
+
+/// Correlation-aware reactive migrator for the fluid simulator.
+class CorrelationBalancer : public sim::MigrationPolicy {
+ public:
+  struct Options {
+    /// Epochs of load history kept per operator / node.
+    size_t history = 16;
+
+    /// Minimum history before correlation-based decisions (falls back to
+    /// no-op before that).
+    size_t min_history = 4;
+
+    /// Migrate only when some node's utilization reaches this watermark.
+    double high_watermark = 0.9;
+
+    /// Minimum epochs between decisions.
+    size_t cooldown_epochs = 2;
+
+    /// Maximum operators moved per decision.
+    size_t max_moves = 2;
+  };
+
+  CorrelationBalancer() = default;
+  explicit CorrelationBalancer(const Options& options) : options_(options) {}
+
+  std::vector<sim::Migration> Decide(const EpochView& view) override;
+
+ private:
+  Options options_;
+  size_t last_decision_epoch_ = 0;
+  bool decided_before_ = false;
+  /// Rolling load history: per operator and per node, newest at the back.
+  std::vector<std::deque<double>> op_history_;
+  std::vector<std::deque<double>> node_history_;
+};
+
+}  // namespace rod::place
+
+#endif  // ROD_PLACEMENT_CORRELATION_POLICY_H_

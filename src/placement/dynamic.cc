@@ -1,0 +1,71 @@
+#include "placement/dynamic.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace rod::place {
+
+std::vector<sim::Migration> ReactiveBalancer::Decide(const EpochView& view) {
+  std::vector<sim::Migration> moves;
+  if (decided_before_ &&
+      view.epoch_index < last_decision_epoch_ + options_.cooldown_epochs) {
+    return moves;
+  }
+  const size_t n = view.system->num_nodes();
+  const size_t m = view.assignment->size();
+
+  // Working copies so successive moves within one decision see each other.
+  Vector node_loads = *view.node_loads;
+  std::vector<size_t> assignment = *view.assignment;
+
+  auto util = [&](size_t i) {
+    return node_loads[i] / view.system->capacities[i];
+  };
+
+  for (size_t round = 0; round < options_.max_moves; ++round) {
+    // Hottest and coolest nodes.
+    size_t hot = 0, cool = 0;
+    for (size_t i = 1; i < n; ++i) {
+      if (util(i) > util(hot)) hot = i;
+      if (util(i) < util(cool)) cool = i;
+    }
+    if (util(hot) < options_.high_watermark || hot == cool) break;
+
+    // Largest operator on the hot node whose move does not just swap the
+    // hotspot: after the move the destination must stay below the hot
+    // node's current level.
+    size_t best_op = m;
+    double best_load = 0.0;
+    for (size_t j = 0; j < m; ++j) {
+      if (assignment[j] != hot) continue;
+      const double load = (*view.op_loads)[j];
+      if (load <= best_load) continue;
+      if (load > options_.max_movable_load_fraction *
+                     view.system->capacities[cool]) {
+        continue;  // too heavy to migrate (hybrid mode)
+      }
+      const double dest_util =
+          (node_loads[cool] + load) / view.system->capacities[cool];
+      if (dest_util >= util(hot)) continue;
+      best_load = load;
+      best_op = j;
+    }
+    if (best_op == m) break;
+
+    moves.push_back(sim::Migration{best_op, cool});
+    node_loads[hot] -= best_load;
+    node_loads[cool] += best_load;
+    assignment[best_op] = cool;
+    ++proposed_moves_;
+
+    if (util(hot) <= options_.low_watermark) break;
+  }
+
+  if (!moves.empty()) {
+    last_decision_epoch_ = view.epoch_index;
+    decided_before_ = true;
+  }
+  return moves;
+}
+
+}  // namespace rod::place

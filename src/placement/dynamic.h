@@ -1,0 +1,59 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// A reactive dynamic load-distribution policy — the standard alternative
+// ROD is motivated against (paper §1: dynamic redistribution suits
+// medium-to-long-term variations, but "dealing with short-term load
+// fluctuations by frequent operator re-distribution is typically
+// prohibitive"). The balancer watches per-node utilization each epoch and
+// greedily sheds load from the hottest node to the coolest one, subject to
+// a trigger watermark, a cooldown, and a per-decision move budget.
+
+#ifndef ROD_PLACEMENT_DYNAMIC_H_
+#define ROD_PLACEMENT_DYNAMIC_H_
+
+#include "runtime/fluid.h"
+
+namespace rod::place {
+
+/// Reactive greedy balancer for the fluid simulator.
+class ReactiveBalancer : public sim::MigrationPolicy {
+ public:
+  struct Options {
+    /// Migrate only when some node's utilization reaches this watermark.
+    double high_watermark = 0.9;
+
+    /// Stop shedding once the hot node is projected below this.
+    double low_watermark = 0.75;
+
+    /// Minimum epochs between consecutive migration decisions (statistics
+    /// gathering + reaction delay of a real controller).
+    size_t cooldown_epochs = 2;
+
+    /// Maximum operators moved per decision.
+    size_t max_moves = 2;
+
+    /// Only operators whose current load is at most this fraction of the
+    /// destination node's capacity may move. The paper's hybrid proposal
+    /// (§1): pin heavy(-state) operators with ROD, migrate only
+    /// lightweight ones dynamically. 1.0 = everything may move.
+    double max_movable_load_fraction = 1.0;
+  };
+
+  ReactiveBalancer() = default;
+  explicit ReactiveBalancer(const Options& options) : options_(options) {}
+
+  /// Total moves proposed so far (for reporting).
+  size_t proposed_moves() const { return proposed_moves_; }
+
+  std::vector<sim::Migration> Decide(const EpochView& view) override;
+
+ private:
+  Options options_;
+  size_t last_decision_epoch_ = 0;
+  bool decided_before_ = false;
+  size_t proposed_moves_ = 0;
+};
+
+}  // namespace rod::place
+
+#endif  // ROD_PLACEMENT_DYNAMIC_H_

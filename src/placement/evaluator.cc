@@ -1,0 +1,147 @@
+#include "placement/evaluator.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "geometry/hyperplane.h"
+
+namespace rod::place {
+
+PlacementEvaluator::PlacementEvaluator(const query::LoadModel& model,
+                                       const SystemSpec& system)
+    : model_(&model), system_(&system) {
+  ROD_CHECK_OK(system.Validate());
+}
+
+Result<Matrix> PlacementEvaluator::WeightMatrix(
+    const Placement& placement) const {
+  if (placement.num_operators() != model_->num_operators()) {
+    return Status::InvalidArgument("placement/model operator count mismatch");
+  }
+  if (placement.num_nodes() != system_->num_nodes()) {
+    return Status::InvalidArgument("placement/system node count mismatch");
+  }
+  const Matrix node_coeffs = placement.NodeCoeffs(model_->op_coeffs());
+  return geom::ComputeWeightMatrix(node_coeffs, model_->total_coeffs(),
+                                   system_->capacities);
+}
+
+Result<double> PlacementEvaluator::RatioToIdeal(
+    const Placement& placement, const geom::VolumeOptions& options) const {
+  auto weights = WeightMatrix(placement);
+  if (!weights.ok()) return weights.status();
+  return geom::FeasibleSet(std::move(*weights)).RatioToIdeal(options);
+}
+
+Result<double> PlacementEvaluator::MinPlaneDistance(
+    const Placement& placement) const {
+  auto weights = WeightMatrix(placement);
+  if (!weights.ok()) return weights.status();
+  return geom::MinPlaneDistance(*weights);
+}
+
+Vector PlacementEvaluator::NodeLoadsAt(
+    const Placement& placement, std::span<const double> system_rates) const {
+  const Vector op_loads = model_->OperatorLoadsAt(system_rates);
+  Vector node_loads(placement.num_nodes(), 0.0);
+  for (size_t j = 0; j < op_loads.size(); ++j) {
+    node_loads[placement.node_of(j)] += op_loads[j];
+  }
+  return node_loads;
+}
+
+Vector PlacementEvaluator::NodeUtilizationAt(
+    const Placement& placement, std::span<const double> system_rates) const {
+  Vector util = NodeLoadsAt(placement, system_rates);
+  for (size_t i = 0; i < util.size(); ++i) {
+    util[i] /= system_->capacities[i];
+  }
+  return util;
+}
+
+bool PlacementEvaluator::FeasibleAt(const Placement& placement,
+                                    std::span<const double> system_rates,
+                                    double tol) const {
+  const Vector util = NodeUtilizationAt(placement, system_rates);
+  for (double u : util) {
+    if (u > 1.0 + tol) return false;
+  }
+  return true;
+}
+
+Result<double> PlacementEvaluator::IdealVolume() const {
+  if (model_->has_aux_vars()) {
+    return Status::FailedPrecondition(
+        "ideal volume in the original rate space is undefined for "
+        "linearized (auxiliary-variable) models");
+  }
+  return geom::IdealFeasibleVolume(model_->total_coeffs(),
+                                   system_->TotalCapacity());
+}
+
+Result<std::string> ExplainPlacement(const PlacementEvaluator& evaluator,
+                                     const Placement& placement,
+                                     const query::QueryGraph* graph,
+                                     const geom::VolumeOptions& options) {
+  auto weights = evaluator.WeightMatrix(placement);
+  if (!weights.ok()) return weights.status();
+  auto ratio = evaluator.RatioToIdeal(placement, options);
+  if (!ratio.ok()) return ratio.status();
+
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed;
+  const auto by_node = placement.OperatorsByNode();
+  for (size_t i = 0; i < by_node.size(); ++i) {
+    os << "node " << i << " (capacity "
+       << evaluator.system().capacities[i] << "):";
+    for (query::OperatorId j : by_node[i]) {
+      if (graph != nullptr) {
+        os << " " << graph->spec(j).name;
+      } else {
+        os << " op" << j;
+      }
+    }
+    os << "\n  weights:";
+    for (size_t k = 0; k < weights->cols(); ++k) {
+      os << " " << (*weights)(i, k);
+    }
+    os << "  (plane distance " << geom::PlaneDistance(weights->Row(i))
+       << ")\n";
+  }
+  os << "min plane distance r = " << geom::MinPlaneDistance(*weights)
+     << " (ideal r* = " << geom::IdealPlaneDistance(weights->cols()) << ")\n"
+     << "feasible-set ratio V(F)/V(F*) = " << *ratio << "\n";
+  return os.str();
+}
+
+Matrix NodeCoeffsWithComm(const Placement& placement,
+                          const query::LoadModel& model,
+                          const query::QueryGraph& graph) {
+  assert(graph.num_operators() == model.num_operators());
+  Matrix node_coeffs = placement.NodeCoeffs(model.op_coeffs());
+  const size_t dims = model.num_vars();
+  for (query::OperatorId j = 0; j < graph.num_operators(); ++j) {
+    const size_t dst_node = placement.node_of(j);
+    for (const query::Arc& arc : graph.inputs_of(j)) {
+      if (arc.comm_cost <= 0.0) continue;
+      if (arc.from.kind == query::StreamRef::Kind::kInput) {
+        // External source: the receiving node pays ingestion cost on the
+        // raw input-stream rate regardless of placement.
+        node_coeffs(dst_node, arc.from.index) += arc.comm_cost;
+        continue;
+      }
+      const size_t src_node = placement.node_of(arc.from.index);
+      if (src_node == dst_node) continue;  // local arc: no network transfer
+      auto rate = model.out_rate_coeffs().Row(arc.from.index);
+      for (size_t v = 0; v < dims; ++v) {
+        const double add = arc.comm_cost * rate[v];
+        node_coeffs(src_node, v) += add;  // marshal + send
+        node_coeffs(dst_node, v) += add;  // receive + unmarshal
+      }
+    }
+  }
+  return node_coeffs;
+}
+
+}  // namespace rod::place

@@ -1,0 +1,87 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Placement evaluation: connects a load model, a cluster, and a placement
+// into the paper's metrics — node load-coefficient and weight matrices,
+// feasible-set ratios, plane distances, per-node utilization at concrete
+// rate points, and communication-cost-aware node coefficients (§6.3).
+
+#ifndef ROD_PLACEMENT_EVALUATOR_H_
+#define ROD_PLACEMENT_EVALUATOR_H_
+
+#include <span>
+
+#include "geometry/feasible_set.h"
+#include "placement/plan.h"
+#include "query/load_model.h"
+
+namespace rod::place {
+
+/// Evaluates placements for one (load model, cluster) pair. Holds
+/// references: the model and system must outlive the evaluator.
+class PlacementEvaluator {
+ public:
+  /// `system` must validate and match any placement's node count.
+  PlacementEvaluator(const query::LoadModel& model, const SystemSpec& system);
+
+  const query::LoadModel& model() const { return *model_; }
+  const SystemSpec& system() const { return *system_; }
+
+  /// Normalized weight matrix W of `placement` (paper §3.3).
+  Result<Matrix> WeightMatrix(const Placement& placement) const;
+
+  /// `V(F(A)) / V(F*)`: the fraction of the ideal feasible set this
+  /// placement retains — the paper's primary metric.
+  Result<double> RatioToIdeal(const Placement& placement,
+                              const geom::VolumeOptions& options = {}) const;
+
+  /// The paper's `r`: minimum plane distance over node hyperplanes.
+  Result<double> MinPlaneDistance(const Placement& placement) const;
+
+  /// Per-node CPU load at physical input rates `R` (extends rates through
+  /// any auxiliary variables first).
+  Vector NodeLoadsAt(const Placement& placement,
+                     std::span<const double> system_rates) const;
+
+  /// Per-node load divided by capacity at `R`; > 1 means overloaded.
+  Vector NodeUtilizationAt(const Placement& placement,
+                           std::span<const double> system_rates) const;
+
+  /// True iff no node is overloaded at `R` (utilization <= 1 + tol).
+  bool FeasibleAt(const Placement& placement,
+                  std::span<const double> system_rates,
+                  double tol = 1e-9) const;
+
+  /// Volume of the ideal feasible set in the original rate space
+  /// (Theorem 1). Only meaningful for purely linear models (the original
+  /// space of a linearized model is not the Lebesgue box the integral
+  /// assumes); returns FailedPrecondition when auxiliary variables exist.
+  Result<double> IdealVolume() const;
+
+ private:
+  const query::LoadModel* model_;
+  const SystemSpec* system_;
+};
+
+/// Multi-line human-readable report of a placement: per-node operator
+/// lists (names resolved through `graph` when provided), per-node weight
+/// rows, plane distances against the ideal, and the feasible-set ratio.
+/// The operational "explain this plan" entry point used by the CLI tool.
+Result<std::string> ExplainPlacement(const PlacementEvaluator& evaluator,
+                                     const Placement& placement,
+                                     const query::QueryGraph* graph = nullptr,
+                                     const geom::VolumeOptions& options = {});
+
+/// Node load-coefficient matrix including per-tuple communication CPU cost
+/// (§6.3): for every dataflow arc that crosses nodes under `placement`, the
+/// arc's `comm_cost` is charged per transferred tuple on *both* endpoint
+/// nodes (send + receive); arcs from system input streams charge only the
+/// receiving node (the source is external). The transferred rate is the
+/// source stream's (linear) rate-coefficient vector, so the result remains
+/// a valid linear node coefficient matrix.
+Matrix NodeCoeffsWithComm(const Placement& placement,
+                          const query::LoadModel& model,
+                          const query::QueryGraph& graph);
+
+}  // namespace rod::place
+
+#endif  // ROD_PLACEMENT_EVALUATOR_H_

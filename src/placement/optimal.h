@@ -1,0 +1,49 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Brute-force optimal placement by exhaustive enumeration — the paper's
+// yardstick for small cases (§7.3.1: "no more than 12 operators and 2 to 5
+// input streams on two nodes"; ROD achieved >= 0.82 of optimal, 0.95 on
+// average). The number of distinct plans is n^m (n^m / n! up to node
+// relabeling on homogeneous clusters), so this is only usable for small m.
+
+#ifndef ROD_PLACEMENT_OPTIMAL_H_
+#define ROD_PLACEMENT_OPTIMAL_H_
+
+#include "geometry/feasible_set.h"
+#include "placement/plan.h"
+#include "query/load_model.h"
+
+namespace rod::place {
+
+/// Exhaustive-search configuration.
+struct OptimalOptions {
+  /// Sampling settings for the per-plan volume estimate. All plans are
+  /// scored against the *same* deterministic sample set, so plan
+  /// comparisons are exact with respect to the samples.
+  geom::VolumeOptions volume;
+
+  /// Enumerate canonical assignments only (restricted-growth strings) when
+  /// the cluster is homogeneous, cutting the space by up to n! without
+  /// losing any distinct plan.
+  bool exploit_node_symmetry = true;
+
+  /// Safety valve: fail instead of enumerating more than this many plans.
+  size_t max_plans = 1u << 22;
+};
+
+/// Outcome of the exhaustive search.
+struct OptimalResult {
+  Placement placement;        ///< A plan attaining the maximum sampled ratio.
+  double ratio_to_ideal = 0;  ///< Its V(F)/V(F*) estimate.
+  size_t plans_evaluated = 0;
+};
+
+/// Finds a feasible-set-maximizing placement by enumeration. Fails if the
+/// plan count would exceed `options.max_plans`.
+Result<OptimalResult> OptimalPlace(const query::LoadModel& model,
+                                   const SystemSpec& system,
+                                   const OptimalOptions& options = {});
+
+}  // namespace rod::place
+
+#endif  // ROD_PLACEMENT_OPTIMAL_H_

@@ -1,0 +1,127 @@
+#include "placement/plan.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace rod::place {
+
+Status SystemSpec::Validate() const {
+  if (capacities.empty()) {
+    return Status::InvalidArgument("system has no nodes");
+  }
+  for (double c : capacities) {
+    if (c <= 0.0) {
+      return Status::InvalidArgument("node capacities must be positive");
+    }
+  }
+  return Status::OK();
+}
+
+Placement::Placement(size_t num_nodes, std::vector<size_t> assignment)
+    : num_nodes_(num_nodes), assignment_(std::move(assignment)) {
+  assert(num_nodes_ > 0);
+  for ([[maybe_unused]] size_t node : assignment_) {
+    assert(node < num_nodes_ && "operator assigned to nonexistent node");
+  }
+}
+
+Matrix Placement::AllocationMatrix() const {
+  Matrix a(num_nodes_, assignment_.size());
+  for (size_t j = 0; j < assignment_.size(); ++j) {
+    a(assignment_[j], j) = 1.0;
+  }
+  return a;
+}
+
+Matrix Placement::NodeCoeffs(const Matrix& op_coeffs) const {
+  assert(op_coeffs.rows() == assignment_.size());
+  Matrix node_coeffs(num_nodes_, op_coeffs.cols());
+  for (size_t j = 0; j < assignment_.size(); ++j) {
+    auto row = op_coeffs.Row(j);
+    auto dst = node_coeffs.Row(assignment_[j]);
+    for (size_t k = 0; k < row.size(); ++k) dst[k] += row[k];
+  }
+  return node_coeffs;
+}
+
+std::vector<std::vector<query::OperatorId>> Placement::OperatorsByNode() const {
+  std::vector<std::vector<query::OperatorId>> by_node(num_nodes_);
+  for (size_t j = 0; j < assignment_.size(); ++j) {
+    by_node[assignment_[j]].push_back(j);
+  }
+  return by_node;
+}
+
+std::string SerializePlacement(const Placement& placement) {
+  std::ostringstream os;
+  os << "nodes=" << placement.num_nodes() << " assignment=";
+  const auto& a = placement.assignment();
+  for (size_t j = 0; j < a.size(); ++j) {
+    if (j > 0) os << ",";
+    os << a[j];
+  }
+  return os.str();
+}
+
+Result<Placement> ParsePlacement(const std::string& text) {
+  std::istringstream is(text);
+  std::string nodes_tok, assign_tok;
+  if (!(is >> nodes_tok >> assign_tok) ||
+      nodes_tok.rfind("nodes=", 0) != 0 ||
+      assign_tok.rfind("assignment=", 0) != 0) {
+    return Status::InvalidArgument(
+        "expected: nodes=<n> assignment=<a0,a1,...>");
+  }
+  size_t num_nodes = 0;
+  try {
+    num_nodes = std::stoul(nodes_tok.substr(6));
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("malformed node count");
+  }
+  if (num_nodes == 0) {
+    return Status::InvalidArgument("node count must be positive");
+  }
+  std::vector<size_t> assignment;
+  std::istringstream list(assign_tok.substr(11));
+  std::string part;
+  while (std::getline(list, part, ',')) {
+    size_t node = 0;
+    try {
+      size_t consumed = 0;
+      node = std::stoul(part, &consumed);
+      if (consumed != part.size()) {
+        return Status::InvalidArgument("malformed assignment entry '" +
+                                       part + "'");
+      }
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("malformed assignment entry '" + part +
+                                     "'");
+    }
+    if (node >= num_nodes) {
+      return Status::InvalidArgument("assignment references node " +
+                                     std::to_string(node) + " of " +
+                                     std::to_string(num_nodes));
+    }
+    assignment.push_back(node);
+  }
+  if (assignment.empty()) {
+    return Status::InvalidArgument("empty assignment");
+  }
+  return Placement(num_nodes, std::move(assignment));
+}
+
+size_t Placement::CountCrossNodeArcs(const query::QueryGraph& graph) const {
+  assert(graph.num_operators() == assignment_.size());
+  size_t crossing = 0;
+  for (query::OperatorId j = 0; j < graph.num_operators(); ++j) {
+    for (const query::Arc& arc : graph.inputs_of(j)) {
+      if (arc.from.kind == query::StreamRef::Kind::kOperator &&
+          assignment_[arc.from.index] != assignment_[j]) {
+        ++crossing;
+      }
+    }
+  }
+  return crossing;
+}
+
+}  // namespace rod::place

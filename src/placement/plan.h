@@ -1,0 +1,77 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Operator placement plans: the paper's operator allocation matrix
+// `A = {a_ij}` in the compact form `assignment[j] = node of operator j`,
+// plus the cluster (machine set) description.
+
+#ifndef ROD_PLACEMENT_PLAN_H_
+#define ROD_PLACEMENT_PLAN_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "query/query_graph.h"
+
+namespace rod::place {
+
+/// The computing cluster: one CPU capacity per node, in CPU-seconds of
+/// processing available per second of wall time (paper §2.1 assumes these
+/// are fixed and known).
+struct SystemSpec {
+  Vector capacities;
+
+  /// A homogeneous cluster of `n` nodes with capacity `capacity` each.
+  static SystemSpec Homogeneous(size_t n, double capacity = 1.0) {
+    return SystemSpec{Vector(n, capacity)};
+  }
+
+  size_t num_nodes() const { return capacities.size(); }
+  double TotalCapacity() const { return Sum(capacities); }
+
+  /// OK iff there is at least one node and all capacities are positive.
+  Status Validate() const;
+};
+
+/// An assignment of every operator to one node.
+class Placement {
+ public:
+  /// `assignment[j]` is the node hosting operator `j`; every entry must be
+  /// < `num_nodes` (asserted).
+  Placement(size_t num_nodes, std::vector<size_t> assignment);
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_operators() const { return assignment_.size(); }
+  size_t node_of(query::OperatorId j) const { return assignment_.at(j); }
+  const std::vector<size_t>& assignment() const { return assignment_; }
+
+  /// The paper's allocation matrix A (n x m, entries 0/1).
+  Matrix AllocationMatrix() const;
+
+  /// Node load-coefficient matrix `L^n = A . L^o` (n x D), computed by
+  /// summing each node's operator rows.
+  Matrix NodeCoeffs(const Matrix& op_coeffs) const;
+
+  /// Operators hosted by each node.
+  std::vector<std::vector<query::OperatorId>> OperatorsByNode() const;
+
+  /// Number of dataflow arcs whose endpoints live on different nodes
+  /// (arcs from system inputs are never counted: sources are external).
+  size_t CountCrossNodeArcs(const query::QueryGraph& graph) const;
+
+  bool operator==(const Placement& other) const = default;
+
+ private:
+  size_t num_nodes_;
+  std::vector<size_t> assignment_;
+};
+
+/// Serializes a placement as one line: "nodes=<n> assignment=<a0,a1,...>".
+std::string SerializePlacement(const Placement& placement);
+
+/// Parses the SerializePlacement format.
+Result<Placement> ParsePlacement(const std::string& text);
+
+}  // namespace rod::place
+
+#endif  // ROD_PLACEMENT_PLAN_H_

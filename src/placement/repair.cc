@@ -1,0 +1,126 @@
+#include "placement/repair.h"
+
+#include <algorithm>
+
+#include "geometry/hyperplane.h"
+
+namespace rod::place {
+
+Result<Placement> RodPlaceIncremental(const query::LoadModel& model,
+                                      const SystemSpec& system,
+                                      const std::vector<size_t>& fixed_assignment,
+                                      const RodOptions& options) {
+  if (fixed_assignment.size() != model.num_operators()) {
+    return Status::InvalidArgument("fixed_assignment size mismatch");
+  }
+  // The LoadModel overload handles lower-bound normalization; incremental
+  // mode reuses the matrix core directly (no kMinCrossArcs support here —
+  // incremental callers have no graph context).
+  if (options.tie_break == RodOptions::ClassITieBreak::kMinCrossArcs) {
+    return Status::InvalidArgument(
+        "incremental placement does not support kMinCrossArcs");
+  }
+  Vector norm_lb;
+  if (!options.lower_bound.empty()) {
+    if (options.lower_bound.size() != model.num_system_inputs()) {
+      return Status::InvalidArgument(
+          "lower bound must cover exactly the system input streams");
+    }
+    norm_lb.assign(model.num_vars(), 0.0);
+    const double total_capacity = system.TotalCapacity();
+    for (size_t k = 0; k < model.num_system_inputs(); ++k) {
+      norm_lb[k] =
+          model.total_coeffs()[k] * options.lower_bound[k] / total_capacity;
+    }
+  }
+  return RodPlaceMatrix(model.op_coeffs(), model.total_coeffs(), system,
+                        options, norm_lb, nullptr, &fixed_assignment);
+}
+
+Result<RepairResult> RepairPlacement(const query::LoadModel& model,
+                                     const Placement& old_placement,
+                                     const SystemSpec& new_system,
+                                     const std::vector<size_t>& node_mapping,
+                                     const RepairOptions& options) {
+  ROD_RETURN_IF_ERROR(new_system.Validate());
+  if (old_placement.num_operators() != model.num_operators()) {
+    return Status::InvalidArgument("placement/model operator count mismatch");
+  }
+  if (node_mapping.size() != old_placement.num_nodes()) {
+    return Status::InvalidArgument(
+        "node_mapping must cover every old node");
+  }
+  const size_t new_n = new_system.num_nodes();
+  for (size_t target : node_mapping) {
+    if (target != kUnassigned && target >= new_n) {
+      return Status::InvalidArgument("node_mapping points outside the new "
+                                     "system");
+    }
+  }
+
+  // Re-index survivors; orphan the rest.
+  const size_t m = model.num_operators();
+  std::vector<size_t> fixed(m, kUnassigned);
+  size_t orphans = 0;
+  for (size_t j = 0; j < m; ++j) {
+    const size_t target = node_mapping[old_placement.node_of(j)];
+    if (target == kUnassigned) {
+      ++orphans;
+    } else {
+      fixed[j] = target;
+    }
+  }
+
+  auto placed = RodPlaceIncremental(model, new_system, fixed, options.rod);
+  if (!placed.ok()) return placed.status();
+
+  RepairResult result{*placed, orphans, 0.0};
+
+  // Optional bounded rebalance: greedily move the single operator whose
+  // relocation most improves the minimum plane distance; stop when no
+  // move helps or the budget is spent.
+  const double total_capacity = new_system.TotalCapacity();
+  auto weight_matrix = [&](const Placement& p) {
+    return geom::ComputeWeightMatrix(p.NodeCoeffs(model.op_coeffs()),
+                                     model.total_coeffs(),
+                                     new_system.capacities);
+  };
+  auto score = [&](const Placement& p) {
+    auto w = weight_matrix(p);
+    return w.ok() ? geom::MinPlaneDistance(*w) : 0.0;
+  };
+  (void)total_capacity;
+
+  Placement current = result.placement;
+  double current_score = score(current);
+  for (size_t move = 0; move < options.max_rebalance_moves; ++move) {
+    double best_score = current_score;
+    size_t best_op = m;
+    size_t best_node = 0;
+    for (size_t j = 0; j < m; ++j) {
+      const size_t home = current.node_of(j);
+      for (size_t i = 0; i < new_n; ++i) {
+        if (i == home) continue;
+        std::vector<size_t> trial = current.assignment();
+        trial[j] = i;
+        const double s = score(Placement(new_n, std::move(trial)));
+        if (s > best_score + 1e-12) {
+          best_score = s;
+          best_op = j;
+          best_node = i;
+        }
+      }
+    }
+    if (best_op == m) break;
+    std::vector<size_t> next = current.assignment();
+    next[best_op] = best_node;
+    current = Placement(new_n, std::move(next));
+    current_score = best_score;
+    ++result.operators_moved;
+  }
+  result.placement = current;
+  result.plane_distance = current_score;
+  return result;
+}
+
+}  // namespace rod::place

@@ -1,0 +1,59 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Incremental placement maintenance. A resilient *static* placement still
+// has to change when the cluster does (node failure, decommission,
+// scale-out). Recomputing from scratch moves nearly every operator —
+// exactly the expensive migrations ROD exists to avoid — so this module
+// repairs an existing plan: operators on surviving nodes stay put, ROD's
+// greedy phase re-places only the orphaned ones against the frozen load
+// already on the survivors, and an optional bounded rebalance pass spends
+// a move budget where it buys the most plane distance.
+
+#ifndef ROD_PLACEMENT_REPAIR_H_
+#define ROD_PLACEMENT_REPAIR_H_
+
+#include "placement/rod.h"
+
+namespace rod::place {
+
+/// Incremental ROD: places only the operators whose `fixed_assignment`
+/// entry is `kUnassigned`, treating the rest as immovable load already on
+/// their nodes. With every entry unassigned this is exactly RodPlace.
+inline constexpr size_t kUnassigned = SIZE_MAX;
+
+Result<Placement> RodPlaceIncremental(const query::LoadModel& model,
+                                      const SystemSpec& system,
+                                      const std::vector<size_t>& fixed_assignment,
+                                      const RodOptions& options = {});
+
+/// Repair configuration.
+struct RepairOptions {
+  RodOptions rod;
+
+  /// After re-homing orphans, move up to this many additional operators
+  /// if each move strictly improves the minimum plane distance
+  /// (0 = repair only).
+  size_t max_rebalance_moves = 0;
+};
+
+/// Outcome of a repair.
+struct RepairResult {
+  Placement placement;
+  size_t operators_moved = 0;   ///< Orphans re-homed + rebalance moves.
+  double plane_distance = 0.0;  ///< Min plane distance of the result.
+};
+
+/// Adapts `old_placement` (over `old_system`'s nodes) to `new_system`.
+/// `node_mapping[i]` gives old node i's index in the new system, or
+/// `kUnassigned` if the node is gone. Operators on surviving nodes keep
+/// their (re-indexed) homes; orphaned operators are placed by incremental
+/// ROD; fresh nodes start empty and attract load naturally.
+Result<RepairResult> RepairPlacement(const query::LoadModel& model,
+                                     const Placement& old_placement,
+                                     const SystemSpec& new_system,
+                                     const std::vector<size_t>& node_mapping,
+                                     const RepairOptions& options = {});
+
+}  // namespace rod::place
+
+#endif  // ROD_PLACEMENT_REPAIR_H_

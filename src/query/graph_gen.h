@@ -1,0 +1,89 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Workload graph generators. `GenerateRandomTrees` reproduces the paper's
+// §7.1 experimental graphs: one operator tree rooted at each system input,
+// 1–3 downstream operators per tree node, tunable-cost delay operators with
+// the paper's cost and selectivity distributions. The two application
+// builders construct the domain workloads the paper's introduction
+// motivates (network traffic monitoring; financial compliance).
+
+#ifndef ROD_QUERY_GRAPH_GEN_H_
+#define ROD_QUERY_GRAPH_GEN_H_
+
+#include <cstddef>
+
+#include "common/random.h"
+#include "query/query_graph.h"
+
+namespace rod::query {
+
+/// Parameters for the §7.1 random operator-tree generator.
+struct GraphGenOptions {
+  /// Number of system input streams (= number of trees), the paper's `d`.
+  size_t num_input_streams = 5;
+
+  /// Operators per tree — §7.1 keeps this equal across trees "because the
+  /// maximum achievable feasible set size is determined by how well the
+  /// weight of each input stream can be balanced".
+  size_t ops_per_tree = 20;
+
+  /// Each tree node spawns U{min_children..max_children} downstream
+  /// operators (paper: 1–3, equal probability).
+  int min_children = 1;
+  int max_children = 3;
+
+  /// Per-tuple cost bounds in CPU-seconds; the paper's delay operators use
+  /// 0.1 ms – 10 ms.
+  double min_cost = 0.1e-3;
+  double max_cost = 10e-3;
+
+  /// Fraction of operators pinned to selectivity 1 (paper: one half); the
+  /// rest draw selectivity from U[min_selectivity, max_selectivity].
+  double frac_selectivity_one = 0.5;
+  double min_selectivity = 0.5;
+  double max_selectivity = 1.0;
+};
+
+/// Generates a random forest of operator trees per §7.1. All operators are
+/// kDelay (tunable cost & selectivity). Deterministic given `rng`'s state.
+QueryGraph GenerateRandomTrees(const GraphGenOptions& options, Rng& rng);
+
+/// Parameters for the aggregation-heavy traffic-monitoring workload.
+struct TrafficMonitoringOptions {
+  /// Number of monitored links; each contributes one input stream (packet
+  /// headers from that link).
+  size_t num_links = 3;
+
+  /// Aggregation windows (seconds) computed per link (e.g. 1 s, 10 s
+  /// byte/packet counts). Each window spawns a filter→map→aggregate chain.
+  std::vector<double> windows = {1.0, 10.0, 60.0};
+
+  /// Per-tuple cost scale in CPU-seconds.
+  double base_cost = 0.5e-3;
+
+  /// When true, adds a cross-link union + aggregate "top talkers" rollup.
+  bool include_global_rollup = true;
+};
+
+/// Builds the aggregation-heavy network traffic monitoring graph used by
+/// the latency experiments (stands in for the paper's monitoring queries).
+QueryGraph BuildTrafficMonitoringGraph(const TrafficMonitoringOptions& options);
+
+/// Parameters for the financial-compliance workload (§7.3.1 discussion: "a
+/// real-time proof-of-concept compliance application we built for 3
+/// compliance rules required 25 operators" — wide graphs of related queries
+/// with common subexpressions).
+struct ComplianceOptions {
+  size_t num_feeds = 2;       ///< Market data feeds (input streams).
+  size_t num_rules = 12;      ///< Compliance rules; ~8 operators each.
+  double base_cost = 0.2e-3;  ///< Per-tuple cost scale in CPU-seconds.
+};
+
+/// Builds a wide compliance-checking graph: shared normalization
+/// subexpressions per feed fanning out into per-rule filter/aggregate
+/// chains joined back by unions into per-rule alert sinks.
+QueryGraph BuildComplianceGraph(const ComplianceOptions& options);
+
+}  // namespace rod::query
+
+#endif  // ROD_QUERY_GRAPH_GEN_H_

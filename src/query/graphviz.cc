@@ -1,0 +1,84 @@
+#include "query/graphviz.h"
+
+#include <sstream>
+
+namespace rod::query {
+
+namespace {
+
+/// A colorblind-friendly cycling palette for node clusters.
+const char* NodeColor(size_t node) {
+  static const char* kPalette[] = {"#a6cee3", "#b2df8a", "#fdbf6f",
+                                   "#cab2d6", "#fb9a99", "#ffff99",
+                                   "#1f78b4", "#33a02c"};
+  return kPalette[node % (sizeof(kPalette) / sizeof(kPalette[0]))];
+}
+
+/// Escapes double quotes for DOT string literals.
+std::string Escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ToGraphviz(const QueryGraph& graph,
+                       const std::vector<size_t>* node_assignment) {
+  std::ostringstream os;
+  os << "digraph query {\n  rankdir=LR;\n  node [fontsize=10];\n";
+
+  for (InputStreamId k = 0; k < graph.num_input_streams(); ++k) {
+    os << "  in" << k << " [shape=box, style=bold, label=\""
+       << Escape(graph.input_name(k)) << "\"];\n";
+  }
+
+  // Group operators by node when a placement is given.
+  if (node_assignment != nullptr &&
+      node_assignment->size() == graph.num_operators()) {
+    size_t num_nodes = 0;
+    for (size_t node : *node_assignment) {
+      num_nodes = std::max(num_nodes, node + 1);
+    }
+    for (size_t i = 0; i < num_nodes; ++i) {
+      os << "  subgraph cluster_node" << i << " {\n    label=\"node " << i
+         << "\";\n    style=filled;\n    color=\"" << NodeColor(i)
+         << "\";\n";
+      for (OperatorId j = 0; j < graph.num_operators(); ++j) {
+        if ((*node_assignment)[j] == i) os << "    op" << j << ";\n";
+      }
+      os << "  }\n";
+    }
+  }
+
+  for (OperatorId j = 0; j < graph.num_operators(); ++j) {
+    const OperatorSpec& spec = graph.spec(j);
+    os << "  op" << j << " [label=\"" << Escape(spec.name) << "\\n"
+       << OperatorKindName(spec.kind) << " c=" << spec.cost;
+    if (spec.selectivity != 1.0) os << " s=" << spec.selectivity;
+    if (spec.window != 0.0) os << " w=" << spec.window;
+    os << "\"];\n";
+  }
+
+  for (OperatorId j = 0; j < graph.num_operators(); ++j) {
+    for (const Arc& arc : graph.inputs_of(j)) {
+      if (arc.from.kind == StreamRef::Kind::kInput) {
+        os << "  in" << arc.from.index;
+      } else {
+        os << "  op" << arc.from.index;
+      }
+      os << " -> op" << j;
+      if (arc.comm_cost > 0.0) {
+        os << " [label=\"comm=" << arc.comm_cost << "\"]";
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace rod::query

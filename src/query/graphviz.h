@@ -1,0 +1,27 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Graphviz (DOT) export of query graphs, optionally colored by a
+// placement — render with `dot -Tpng graph.dot -o graph.png` to see what
+// ROD did to a dataflow.
+
+#ifndef ROD_QUERY_GRAPHVIZ_H_
+#define ROD_QUERY_GRAPHVIZ_H_
+
+#include <string>
+#include <vector>
+
+#include "query/query_graph.h"
+
+namespace rod::query {
+
+/// Renders `graph` as a DOT digraph. Input streams appear as boxes,
+/// operators as ellipses labeled with kind/cost/selectivity, arcs with a
+/// nonzero communication cost carry an edge label. When
+/// `node_assignment` is provided (operator id -> node id), operators are
+/// filled with a per-node color and grouped into node clusters.
+std::string ToGraphviz(const QueryGraph& graph,
+                       const std::vector<size_t>* node_assignment = nullptr);
+
+}  // namespace rod::query
+
+#endif  // ROD_QUERY_GRAPHVIZ_H_

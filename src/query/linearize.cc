@@ -1,0 +1,112 @@
+#include "query/linearize.h"
+
+#include <cassert>
+
+#include "query/load_model.h"
+
+namespace rod::query {
+
+std::vector<OperatorId> PlanAuxVariables(const QueryGraph& graph) {
+  std::vector<OperatorId> aux;
+  for (OperatorId j = 0; j < graph.num_operators(); ++j) {
+    const OperatorSpec& s = graph.spec(j);
+    if (!IsLinearKind(s.kind) || s.variable_selectivity) aux.push_back(j);
+  }
+  return aux;
+}
+
+// Shared builder behind BuildLoadModel / BuildLinearizedLoadModel.
+//
+// Walks the operators in id order (a topological order), carrying for each
+// operator a coefficient vector expressing its output rate over the extended
+// variable set. Linear operators propagate coefficients; auxiliary
+// operators (joins, variable-selectivity) emit the unit vector of their own
+// auxiliary variable and, for joins, charge load (cost/selectivity) on that
+// variable — the paper's Example 3 rewrite load(o5) = (c5/s5) * r4.
+Result<LoadModel> BuildLoadModelImpl(const QueryGraph& graph,
+                                     bool allow_linearization) {
+  ROD_RETURN_IF_ERROR(graph.Validate());
+
+  const std::vector<OperatorId> aux_ops = PlanAuxVariables(graph);
+  if (!aux_ops.empty() && !allow_linearization) {
+    return Status::Internal(
+        "BuildLoadModelImpl called with aux operators but linearization "
+        "disabled");  // guarded by BuildLoadModel
+  }
+
+  const size_t d = graph.num_input_streams();
+  const size_t m = graph.num_operators();
+  const size_t num_vars = d + aux_ops.size();
+
+  LoadModel model;
+  model.num_system_inputs_ = d;
+  model.variables_.reserve(num_vars);
+  for (size_t k = 0; k < d; ++k) {
+    model.variables_.push_back({VariableInfo::Kind::kSystemInput, k});
+  }
+  // Auxiliary variable index for each operator, or SIZE_MAX if none.
+  std::vector<size_t> aux_var_of(m, SIZE_MAX);
+  for (OperatorId j : aux_ops) {
+    aux_var_of[j] = model.variables_.size();
+    model.variables_.push_back({VariableInfo::Kind::kAuxOutput, j});
+  }
+
+  model.op_coeffs_ = Matrix(m, num_vars);
+  model.out_rate_coeffs_ = Matrix(m, num_vars);
+
+  for (OperatorId j = 0; j < m; ++j) {
+    const OperatorSpec& spec = graph.spec(j);
+    const std::vector<Arc>& arcs = graph.inputs_of(j);
+
+    // Merged input-rate coefficients (sum over this operator's inputs).
+    Vector in_coeff(num_vars, 0.0);
+    for (const Arc& arc : arcs) {
+      if (arc.from.kind == StreamRef::Kind::kInput) {
+        in_coeff[arc.from.index] += 1.0;
+      } else {
+        auto up = model.out_rate_coeffs_.Row(arc.from.index);
+        for (size_t v = 0; v < num_vars; ++v) in_coeff[v] += up[v];
+      }
+    }
+
+    if (spec.kind == OperatorKind::kJoin) {
+      // load = cost * window * r_l * r_r = (cost/selectivity) * r_out,
+      // with r_out = selectivity * window * r_l * r_r the aux variable.
+      const size_t v = aux_var_of[j];
+      assert(v != SIZE_MAX);
+      model.op_coeffs_(j, v) = spec.cost / spec.selectivity;
+      model.out_rate_coeffs_(j, v) = 1.0;
+    } else {
+      // Linear load: cost per tuple on the merged input rate.
+      for (size_t v = 0; v < num_vars; ++v) {
+        model.op_coeffs_(j, v) = spec.cost * in_coeff[v];
+      }
+      if (spec.variable_selectivity) {
+        const size_t v = aux_var_of[j];
+        assert(v != SIZE_MAX);
+        model.out_rate_coeffs_(j, v) = 1.0;
+      } else {
+        for (size_t v = 0; v < num_vars; ++v) {
+          model.out_rate_coeffs_(j, v) = spec.selectivity * in_coeff[v];
+        }
+      }
+    }
+
+    // Evaluation info for concrete-rate propagation.
+    LoadModel::EvalOp ev;
+    ev.is_join = spec.kind == OperatorKind::kJoin;
+    ev.cost = spec.cost;
+    ev.selectivity = spec.selectivity;
+    ev.window = spec.window;
+    for (const Arc& arc : arcs) ev.inputs.push_back(arc.from);
+    model.eval_ops_.push_back(std::move(ev));
+  }
+
+  model.total_coeffs_.assign(num_vars, 0.0);
+  for (size_t v = 0; v < num_vars; ++v) {
+    model.total_coeffs_[v] = model.op_coeffs_.ColSum(v);
+  }
+  return model;
+}
+
+}  // namespace rod::query

@@ -1,0 +1,26 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Linearization internals (paper §6.2). The public entry points live in
+// load_model.h (BuildLoadModel / BuildLinearizedLoadModel); this header
+// exposes the variable-planning step for tests and diagnostics.
+
+#ifndef ROD_QUERY_LINEARIZE_H_
+#define ROD_QUERY_LINEARIZE_H_
+
+#include <vector>
+
+#include "query/load_model.h"
+#include "query/query_graph.h"
+
+namespace rod::query {
+
+/// Returns the operators whose output rate must become an auxiliary
+/// variable for the graph's load model to be linear: every join and every
+/// operator flagged `variable_selectivity`, in topological (id) order. The
+/// paper's goal of "as few additional variables as possible" (§6.2) is met
+/// because these are exactly the points where linearity is broken.
+std::vector<OperatorId> PlanAuxVariables(const QueryGraph& graph);
+
+}  // namespace rod::query
+
+#endif  // ROD_QUERY_LINEARIZE_H_

@@ -1,0 +1,76 @@
+#include "query/load_model.h"
+
+namespace rod::query {
+
+// Defined in linearize.cc.
+Result<LoadModel> BuildLoadModelImpl(const QueryGraph& graph,
+                                     bool allow_linearization);
+
+Result<LoadModel> BuildLoadModel(const QueryGraph& graph) {
+  if (graph.RequiresLinearization()) {
+    return Status::FailedPrecondition(
+        "graph contains nonlinear operators (joins or variable selectivity); "
+        "use BuildLinearizedLoadModel");
+  }
+  return BuildLoadModelImpl(graph, /*allow_linearization=*/false);
+}
+
+Result<LoadModel> BuildLinearizedLoadModel(const QueryGraph& graph) {
+  return BuildLoadModelImpl(graph, /*allow_linearization=*/true);
+}
+
+Vector LoadModel::ExtendRates(std::span<const double> system_rates) const {
+  assert(system_rates.size() == num_system_inputs_);
+  // Propagate concrete rates through the graph in operator order (a valid
+  // topological order by construction of QueryGraph).
+  std::vector<double> op_out(eval_ops_.size(), 0.0);
+  auto rate_of = [&](const StreamRef& ref) {
+    return ref.kind == StreamRef::Kind::kInput ? system_rates[ref.index]
+                                               : op_out[ref.index];
+  };
+  for (size_t j = 0; j < eval_ops_.size(); ++j) {
+    const EvalOp& op = eval_ops_[j];
+    if (op.is_join) {
+      op_out[j] = op.selectivity * op.window * rate_of(op.inputs[0]) *
+                  rate_of(op.inputs[1]);
+    } else {
+      double in = 0.0;
+      for (const StreamRef& ref : op.inputs) in += rate_of(ref);
+      op_out[j] = op.selectivity * in;
+    }
+  }
+  Vector x(num_vars(), 0.0);
+  for (size_t v = 0; v < variables_.size(); ++v) {
+    x[v] = variables_[v].kind == VariableInfo::Kind::kSystemInput
+               ? system_rates[variables_[v].index]
+               : op_out[variables_[v].index];
+  }
+  return x;
+}
+
+Vector LoadModel::OperatorLoadsAt(std::span<const double> system_rates) const {
+  assert(system_rates.size() == num_system_inputs_);
+  std::vector<double> op_out(eval_ops_.size(), 0.0);
+  auto rate_of = [&](const StreamRef& ref) {
+    return ref.kind == StreamRef::Kind::kInput ? system_rates[ref.index]
+                                               : op_out[ref.index];
+  };
+  Vector loads(eval_ops_.size(), 0.0);
+  for (size_t j = 0; j < eval_ops_.size(); ++j) {
+    const EvalOp& op = eval_ops_[j];
+    if (op.is_join) {
+      const double pairs =
+          op.window * rate_of(op.inputs[0]) * rate_of(op.inputs[1]);
+      loads[j] = op.cost * pairs;
+      op_out[j] = op.selectivity * pairs;
+    } else {
+      double in = 0.0;
+      for (const StreamRef& ref : op.inputs) in += rate_of(ref);
+      loads[j] = op.cost * in;
+      op_out[j] = op.selectivity * in;
+    }
+  }
+  return loads;
+}
+
+}  // namespace rod::query

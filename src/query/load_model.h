@@ -1,0 +1,114 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// The linear load model (paper §2.2): every operator's load expressed as a
+// linear function of a set of rate variables. For graphs of linear operators
+// the variables are exactly the system input stream rates; graphs containing
+// joins or unstable-selectivity operators are first *linearized* (paper
+// §6.2) by promoting certain intermediate stream rates to fresh variables.
+
+#ifndef ROD_QUERY_LOAD_MODEL_H_
+#define ROD_QUERY_LOAD_MODEL_H_
+
+#include <vector>
+
+#include "common/matrix.h"
+#include "common/status.h"
+#include "query/query_graph.h"
+
+namespace rod::query {
+
+/// What one column (rate variable) of the load model represents.
+struct VariableInfo {
+  enum class Kind {
+    kSystemInput,  ///< The rate of external input stream `index`.
+    kAuxOutput,    ///< The output rate of operator `index`, promoted to a
+                   ///< variable by linearization (join outputs and
+                   ///< variable-selectivity outputs).
+  };
+
+  Kind kind = Kind::kSystemInput;
+  size_t index = 0;
+
+  bool operator==(const VariableInfo&) const = default;
+};
+
+/// A fully linear view of a query graph's CPU load.
+///
+/// Rows of `op_coeffs()` are the paper's `l^o_j` vectors: operator `j`
+/// consumes `Dot(op_coeffs().Row(j), x)` CPU-seconds per second when the
+/// rate-variable vector is `x`. For a purely linear graph `x` is the system
+/// input rate vector `R`; otherwise `x = ExtendRates(R)` appends the
+/// concrete values of the auxiliary variables at `R`.
+class LoadModel {
+ public:
+  /// Number of operators `m` (rows of L^o).
+  size_t num_operators() const { return op_coeffs_.rows(); }
+  /// Total number of rate variables `D` (columns of L^o).
+  size_t num_vars() const { return op_coeffs_.cols(); }
+  /// Number of physical system input streams `d` (<= num_vars()).
+  size_t num_system_inputs() const { return num_system_inputs_; }
+  /// True iff linearization added auxiliary variables.
+  bool has_aux_vars() const { return num_vars() > num_system_inputs_; }
+
+  /// The operator load-coefficient matrix L^o (m x D).
+  const Matrix& op_coeffs() const { return op_coeffs_; }
+
+  /// Output-rate coefficients (m x D): row `j` expresses the rate of
+  /// operator `j`'s output stream in the extended variables.
+  const Matrix& out_rate_coeffs() const { return out_rate_coeffs_; }
+
+  /// Column sums of L^o — the paper's `l_k`, the total load coefficient of
+  /// each variable across all operators.
+  const Vector& total_coeffs() const { return total_coeffs_; }
+
+  /// Meaning of each variable, size num_vars(); the first
+  /// num_system_inputs() entries are the system inputs in order.
+  const std::vector<VariableInfo>& variables() const { return variables_; }
+
+  /// Maps a physical rate point `R` (size num_system_inputs()) to the
+  /// extended variable vector `x` (size num_vars()) by propagating rates
+  /// through the graph: linear operators emit `selectivity * sum(inputs)`,
+  /// joins emit `selectivity * window * r_left * r_right`.
+  Vector ExtendRates(std::span<const double> system_rates) const;
+
+  /// Exact per-operator loads at physical rates `R`, computed directly from
+  /// the graph semantics (not via coefficients). For linear graphs this
+  /// equals `op_coeffs() * R`; for linearized graphs it equals
+  /// `op_coeffs() * ExtendRates(R)` — both identities are exercised by the
+  /// property tests.
+  Vector OperatorLoadsAt(std::span<const double> system_rates) const;
+
+ private:
+  friend Result<LoadModel> BuildLoadModelImpl(const QueryGraph& graph,
+                                              bool allow_linearization);
+
+  /// Per-operator info retained for concrete-rate propagation.
+  struct EvalOp {
+    bool is_join = false;
+    double cost = 0.0;
+    double selectivity = 1.0;
+    double window = 0.0;
+    std::vector<StreamRef> inputs;
+  };
+
+  size_t num_system_inputs_ = 0;
+  Matrix op_coeffs_;
+  Matrix out_rate_coeffs_;
+  Vector total_coeffs_;
+  std::vector<VariableInfo> variables_;
+  std::vector<EvalOp> eval_ops_;
+};
+
+/// Builds the load model of a purely linear graph. Fails with
+/// FailedPrecondition if the graph contains joins or variable-selectivity
+/// operators (use BuildLinearizedLoadModel for those).
+Result<LoadModel> BuildLoadModel(const QueryGraph& graph);
+
+/// Builds the load model of any graph, introducing one auxiliary variable
+/// per join and per variable-selectivity operator (paper §6.2's "linear
+/// cut"). For an already linear graph this is identical to BuildLoadModel.
+Result<LoadModel> BuildLinearizedLoadModel(const QueryGraph& graph);
+
+}  // namespace rod::query
+
+#endif  // ROD_QUERY_LOAD_MODEL_H_

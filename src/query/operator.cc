@@ -1,0 +1,55 @@
+#include "query/operator.h"
+
+namespace rod::query {
+
+const char* OperatorKindName(OperatorKind kind) {
+  switch (kind) {
+    case OperatorKind::kFilter:
+      return "filter";
+    case OperatorKind::kMap:
+      return "map";
+    case OperatorKind::kUnion:
+      return "union";
+    case OperatorKind::kAggregate:
+      return "aggregate";
+    case OperatorKind::kDelay:
+      return "delay";
+    case OperatorKind::kJoin:
+      return "join";
+  }
+  return "unknown";
+}
+
+bool IsLinearKind(OperatorKind kind) { return kind != OperatorKind::kJoin; }
+
+Status OperatorSpec::Validate() const {
+  if (cost < 0.0) {
+    return Status::InvalidArgument("operator '" + name + "': negative cost");
+  }
+  if (selectivity < 0.0) {
+    return Status::InvalidArgument("operator '" + name +
+                                   "': negative selectivity");
+  }
+  if (kind == OperatorKind::kJoin) {
+    if (window <= 0.0) {
+      return Status::InvalidArgument("join '" + name +
+                                     "': window must be positive");
+    }
+    if (selectivity <= 0.0) {
+      // Linearization rewrites the join load as (cost/selectivity) * r_out
+      // (paper §6.2), which requires a strictly positive selectivity.
+      return Status::InvalidArgument(
+          "join '" + name + "': selectivity must be strictly positive");
+    }
+  } else if (window != 0.0) {
+    return Status::InvalidArgument("operator '" + name +
+                                   "': window is only valid for joins");
+  }
+  if (kind == OperatorKind::kFilter && selectivity > 1.0) {
+    return Status::InvalidArgument("filter '" + name +
+                                   "': selectivity must be <= 1");
+  }
+  return Status::OK();
+}
+
+}  // namespace rod::query

@@ -1,0 +1,78 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Continuous-query operator descriptors. An operator is the minimum task
+// allocation unit (paper §2.1): what the placement layer needs to know about
+// it is its per-tuple CPU cost and its selectivity, from which the load
+// model derives the load-coefficient matrix L^o.
+
+#ifndef ROD_QUERY_OPERATOR_H_
+#define ROD_QUERY_OPERATOR_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace rod::query {
+
+/// Dense identifier of an operator within its QueryGraph (0-based).
+using OperatorId = size_t;
+
+/// Dense identifier of a system input stream within its QueryGraph.
+using InputStreamId = size_t;
+
+/// Operator families. The distinction that matters to the load model is
+/// linear (load is a linear function of input rates, assuming stable
+/// selectivity: filter/map/union/aggregate/delay) versus nonlinear
+/// (time-window join: load ∝ product of its two input rates; paper §6.2).
+enum class OperatorKind {
+  kFilter,     ///< Drops tuples; selectivity in [0,1], one input.
+  kMap,        ///< Per-tuple transform; selectivity 1, one input.
+  kUnion,      ///< Merges streams; one output tuple per input tuple, >=1 inputs.
+  kAggregate,  ///< Windowed aggregate; selectivity models 1/window, one input.
+  kDelay,      ///< The paper's tunable-cost synthetic operator (§7.1), one input.
+  kJoin,       ///< Time-window join; exactly two inputs, nonlinear load.
+};
+
+/// Returns the lower-case kind name ("filter", "join", ...).
+const char* OperatorKindName(OperatorKind kind);
+
+/// True for kinds whose load is linear in their input rates (given constant
+/// selectivity); false for kJoin.
+bool IsLinearKind(OperatorKind kind);
+
+/// Immutable description of one operator.
+///
+/// Units: `cost` is CPU-seconds consumed per input tuple (per *tuple pair*
+/// for joins), so that a node with capacity C_i = 1.0 provides one
+/// CPU-second of processing per second of wall time. `selectivity` is the
+/// output-rate / input-rate ratio (output per tuple pair for joins).
+struct OperatorSpec {
+  std::string name;
+  OperatorKind kind = OperatorKind::kMap;
+
+  /// CPU-seconds per input tuple (joins: per tuple pair probed).
+  double cost = 0.0;
+
+  /// Output rate divided by input rate (joins: per pair; unions: applied to
+  /// the merged input rate, normally 1).
+  double selectivity = 1.0;
+
+  /// Join window length in seconds (kJoin only). The number of pairs probed
+  /// per unit time is `window * r_left * r_right` (paper Example 3).
+  double window = 0.0;
+
+  /// When true, the operator's selectivity is treated as rate-dependent /
+  /// unstable, so its *output* rate becomes a fresh variable during
+  /// linearization (paper Example 3, operator o1). `selectivity` is still
+  /// used as the nominal value when concrete rates are evaluated.
+  bool variable_selectivity = false;
+
+  /// Validates ranges (non-negative cost, selectivity, window; join
+  /// constraints). Returns OK when the spec is internally consistent.
+  Status Validate() const;
+};
+
+}  // namespace rod::query
+
+#endif  // ROD_QUERY_OPERATOR_H_

@@ -1,0 +1,228 @@
+#include "query/parser.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace rod::query {
+
+namespace {
+
+Status ParseError(size_t line, const std::string& message) {
+  return Status::InvalidArgument("line " + std::to_string(line) + ": " +
+                                 message);
+}
+
+/// Splits on whitespace.
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+/// Splits "a,b,c" on commas (no empty fields allowed by callers).
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : s) {
+    if (c == ',') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  parts.push_back(cur);
+  return parts;
+}
+
+Result<double> ParseDouble(const std::string& s, size_t line,
+                           const std::string& what) {
+  try {
+    size_t consumed = 0;
+    const double v = std::stod(s, &consumed);
+    if (consumed != s.size()) {
+      return ParseError(line, "trailing characters in " + what);
+    }
+    return v;
+  } catch (const std::exception&) {
+    return ParseError(line, "malformed number in " + what + ": '" + s + "'");
+  }
+}
+
+Result<OperatorKind> ParseKind(const std::string& s, size_t line) {
+  static const std::map<std::string, OperatorKind> kKinds = {
+      {"filter", OperatorKind::kFilter},     {"map", OperatorKind::kMap},
+      {"union", OperatorKind::kUnion},       {"aggregate", OperatorKind::kAggregate},
+      {"delay", OperatorKind::kDelay},       {"join", OperatorKind::kJoin},
+  };
+  auto it = kKinds.find(s);
+  if (it == kKinds.end()) {
+    return ParseError(line, "unknown operator kind '" + s + "'");
+  }
+  return it->second;
+}
+
+}  // namespace
+
+Result<QueryGraph> ParseQueryGraph(const std::string& text) {
+  QueryGraph graph;
+  std::map<std::string, InputStreamId> inputs_by_name;
+  std::map<std::string, OperatorId> ops_by_name;
+
+  std::istringstream is(text);
+  std::string raw;
+  size_t line_no = 0;
+  while (std::getline(is, raw)) {
+    ++line_no;
+    const size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const std::vector<std::string> tokens = Tokenize(raw);
+    if (tokens.empty()) continue;
+
+    if (tokens[0] == "input") {
+      if (tokens.size() != 2) {
+        return ParseError(line_no, "expected: input <name>");
+      }
+      const std::string& name = tokens[1];
+      if (inputs_by_name.count(name) || ops_by_name.count(name)) {
+        return ParseError(line_no, "duplicate name '" + name + "'");
+      }
+      inputs_by_name[name] = graph.AddInputStream(name);
+      continue;
+    }
+
+    if (tokens[0] != "op") {
+      return ParseError(line_no, "expected 'input' or 'op', got '" +
+                                     tokens[0] + "'");
+    }
+    if (tokens.size() < 4) {
+      return ParseError(line_no,
+                        "expected: op <name> <kind> key=value... inputs=...");
+    }
+    OperatorSpec spec;
+    spec.name = tokens[1];
+    if (inputs_by_name.count(spec.name) || ops_by_name.count(spec.name)) {
+      return ParseError(line_no, "duplicate name '" + spec.name + "'");
+    }
+    auto kind = ParseKind(tokens[2], line_no);
+    if (!kind.ok()) return kind.status();
+    spec.kind = *kind;
+
+    std::vector<StreamRef> input_refs;
+    std::vector<double> comm_costs;
+    bool saw_cost = false, saw_inputs = false;
+
+    for (size_t t = 3; t < tokens.size(); ++t) {
+      const std::string& token = tokens[t];
+      if (token == "varsel") {
+        spec.variable_selectivity = true;
+        continue;
+      }
+      const size_t eq = token.find('=');
+      if (eq == std::string::npos) {
+        return ParseError(line_no, "expected key=value, got '" + token + "'");
+      }
+      const std::string key = token.substr(0, eq);
+      const std::string value = token.substr(eq + 1);
+      if (key == "cost") {
+        auto v = ParseDouble(value, line_no, "cost");
+        if (!v.ok()) return v.status();
+        spec.cost = *v;
+        saw_cost = true;
+      } else if (key == "sel") {
+        auto v = ParseDouble(value, line_no, "sel");
+        if (!v.ok()) return v.status();
+        spec.selectivity = *v;
+      } else if (key == "window") {
+        auto v = ParseDouble(value, line_no, "window");
+        if (!v.ok()) return v.status();
+        spec.window = *v;
+      } else if (key == "inputs") {
+        for (const std::string& name : SplitCommas(value)) {
+          if (auto op_it = ops_by_name.find(name); op_it != ops_by_name.end()) {
+            input_refs.push_back(StreamRef::Op(op_it->second));
+          } else if (auto in_it = inputs_by_name.find(name);
+                     in_it != inputs_by_name.end()) {
+            input_refs.push_back(StreamRef::Input(in_it->second));
+          } else {
+            return ParseError(line_no, "unknown input '" + name + "'");
+          }
+        }
+        saw_inputs = true;
+      } else if (key == "comm") {
+        for (const std::string& part : SplitCommas(value)) {
+          auto v = ParseDouble(part, line_no, "comm");
+          if (!v.ok()) return v.status();
+          comm_costs.push_back(*v);
+        }
+      } else {
+        return ParseError(line_no, "unknown key '" + key + "'");
+      }
+    }
+    if (!saw_cost) return ParseError(line_no, "missing cost=");
+    if (!saw_inputs) return ParseError(line_no, "missing inputs=");
+    if (comm_costs.empty()) comm_costs.assign(input_refs.size(), 0.0);
+    if (comm_costs.size() != input_refs.size()) {
+      return ParseError(line_no, "comm= must list one cost per input");
+    }
+    auto id = graph.AddOperator(spec, input_refs, comm_costs);
+    if (!id.ok()) {
+      return ParseError(line_no, id.status().message());
+    }
+    ops_by_name[spec.name] = *id;
+  }
+
+  ROD_RETURN_IF_ERROR(graph.Validate());
+  return graph;
+}
+
+Result<QueryGraph> LoadQueryGraphFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseQueryGraph(buffer.str());
+}
+
+std::string SerializeQueryGraph(const QueryGraph& graph) {
+  std::ostringstream os;
+  os.precision(17);
+  for (InputStreamId k = 0; k < graph.num_input_streams(); ++k) {
+    os << "input " << graph.input_name(k) << "\n";
+  }
+  for (OperatorId j = 0; j < graph.num_operators(); ++j) {
+    const OperatorSpec& spec = graph.spec(j);
+    os << "op " << spec.name << " " << OperatorKindName(spec.kind)
+       << " cost=" << spec.cost;
+    if (spec.selectivity != 1.0) os << " sel=" << spec.selectivity;
+    if (spec.window != 0.0) os << " window=" << spec.window;
+    if (spec.variable_selectivity) os << " varsel";
+    os << " inputs=";
+    const auto& arcs = graph.inputs_of(j);
+    bool any_comm = false;
+    for (size_t a = 0; a < arcs.size(); ++a) {
+      if (a > 0) os << ",";
+      const StreamRef& ref = arcs[a].from;
+      os << (ref.kind == StreamRef::Kind::kInput
+                 ? graph.input_name(ref.index)
+                 : graph.spec(ref.index).name);
+      any_comm |= arcs[a].comm_cost != 0.0;
+    }
+    if (any_comm) {
+      os << " comm=";
+      for (size_t a = 0; a < arcs.size(); ++a) {
+        if (a > 0) os << ",";
+        os << arcs[a].comm_cost;
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rod::query

@@ -1,0 +1,42 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// A plain-text query-graph description format, so deployments can be
+// placed without writing C++. Line oriented; '#' starts a comment.
+//
+//   input <name>
+//   op <name> <kind> cost=<v> [sel=<v>] [window=<v>] [varsel]
+//      inputs=<name>[,<name>...] [comm=<v>[,<v>...]]
+//
+// Kinds: filter, map, union, aggregate, delay, join. `inputs` entries name
+// previously declared input streams or operators (operators shadow input
+// streams on name collision, matching declaration order requirements).
+// `comm` gives the per-tuple communication CPU cost of each input arc.
+//
+// Example:
+//   input packets
+//   op parse map cost=4e-3 inputs=packets
+//   op heavy filter cost=9e-3 sel=0.5 inputs=parse comm=1e-4
+
+#ifndef ROD_QUERY_PARSER_H_
+#define ROD_QUERY_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "query/query_graph.h"
+
+namespace rod::query {
+
+/// Parses a textual graph description. Errors carry the line number.
+Result<QueryGraph> ParseQueryGraph(const std::string& text);
+
+/// Reads and parses a description file.
+Result<QueryGraph> LoadQueryGraphFile(const std::string& path);
+
+/// Serializes `graph` back into the textual format (round-trips through
+/// ParseQueryGraph up to comment/whitespace differences).
+std::string SerializeQueryGraph(const QueryGraph& graph);
+
+}  // namespace rod::query
+
+#endif  // ROD_QUERY_PARSER_H_

@@ -1,0 +1,128 @@
+#include "query/query_graph.h"
+
+#include <algorithm>
+
+namespace rod::query {
+
+InputStreamId QueryGraph::AddInputStream(std::string name) {
+  input_names_.push_back(std::move(name));
+  input_consumers_.emplace_back();
+  return input_names_.size() - 1;
+}
+
+Result<OperatorId> QueryGraph::AddOperator(const OperatorSpec& spec,
+                                           const std::vector<StreamRef>& inputs) {
+  return AddOperatorInternal(spec, inputs,
+                             std::vector<double>(inputs.size(), 0.0));
+}
+
+Result<OperatorId> QueryGraph::AddOperator(const OperatorSpec& spec,
+                                           const std::vector<StreamRef>& inputs,
+                                           const std::vector<double>& comm_costs) {
+  if (comm_costs.size() != inputs.size()) {
+    return Status::InvalidArgument("operator '" + spec.name +
+                                   "': comm_costs size mismatch");
+  }
+  return AddOperatorInternal(spec, inputs, comm_costs);
+}
+
+Result<OperatorId> QueryGraph::AddOperatorInternal(
+    const OperatorSpec& spec, const std::vector<StreamRef>& inputs,
+    const std::vector<double>& comm_costs) {
+  ROD_RETURN_IF_ERROR(spec.Validate());
+
+  // Arity rules per kind.
+  const size_t arity = inputs.size();
+  switch (spec.kind) {
+    case OperatorKind::kJoin:
+      if (arity != 2) {
+        return Status::InvalidArgument("join '" + spec.name +
+                                       "' requires exactly 2 inputs");
+      }
+      break;
+    case OperatorKind::kUnion:
+      if (arity < 1) {
+        return Status::InvalidArgument("union '" + spec.name +
+                                       "' requires at least 1 input");
+      }
+      break;
+    default:
+      if (arity != 1) {
+        return Status::InvalidArgument("operator '" + spec.name +
+                                       "' requires exactly 1 input");
+      }
+  }
+
+  // Referenced streams must already exist (this is what guarantees
+  // acyclicity), and must not repeat.
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    const StreamRef& ref = inputs[i];
+    if (ref.kind == StreamRef::Kind::kInput) {
+      if (ref.index >= input_names_.size()) {
+        return Status::NotFound("operator '" + spec.name +
+                                "' references unknown input stream");
+      }
+    } else {
+      if (ref.index >= specs_.size()) {
+        return Status::NotFound("operator '" + spec.name +
+                                "' references unknown upstream operator");
+      }
+    }
+    if (comm_costs[i] < 0.0) {
+      return Status::InvalidArgument("operator '" + spec.name +
+                                     "': negative communication cost");
+    }
+    for (size_t l = 0; l < i; ++l) {
+      if (inputs[l] == ref) {
+        return Status::InvalidArgument("operator '" + spec.name +
+                                       "': duplicate input stream");
+      }
+    }
+  }
+
+  const OperatorId id = specs_.size();
+  specs_.push_back(spec);
+  inputs_.emplace_back();
+  op_consumers_.emplace_back();
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    inputs_[id].push_back(Arc{inputs[i], id, comm_costs[i]});
+    if (inputs[i].kind == StreamRef::Kind::kInput) {
+      input_consumers_[inputs[i].index].push_back(id);
+    } else {
+      op_consumers_[inputs[i].index].push_back(id);
+    }
+  }
+  return id;
+}
+
+std::vector<OperatorId> QueryGraph::Sinks() const {
+  std::vector<OperatorId> out;
+  for (OperatorId j = 0; j < specs_.size(); ++j) {
+    if (op_consumers_[j].empty()) out.push_back(j);
+  }
+  return out;
+}
+
+bool QueryGraph::RequiresLinearization() const {
+  return std::any_of(specs_.begin(), specs_.end(), [](const OperatorSpec& s) {
+    return !IsLinearKind(s.kind) || s.variable_selectivity;
+  });
+}
+
+Status QueryGraph::Validate() const {
+  if (specs_.empty()) {
+    return Status::FailedPrecondition("query graph has no operators");
+  }
+  if (input_names_.empty()) {
+    return Status::FailedPrecondition("query graph has no input streams");
+  }
+  for (InputStreamId k = 0; k < input_names_.size(); ++k) {
+    if (input_consumers_[k].empty()) {
+      return Status::FailedPrecondition("input stream '" + input_names_[k] +
+                                        "' feeds no operator");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace rod::query

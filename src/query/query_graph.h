@@ -1,0 +1,124 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// The dataflow query graph: an acyclic network of operators fed by system
+// input streams (paper Figure 1). Graphs are built incrementally; an
+// operator's inputs must already exist when it is added, so the graph is a
+// DAG by construction and insertion order is a topological order.
+
+#ifndef ROD_QUERY_QUERY_GRAPH_H_
+#define ROD_QUERY_QUERY_GRAPH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "query/operator.h"
+
+namespace rod::query {
+
+/// Where a stream consumed by an operator comes from: either a system input
+/// stream (external source) or the output of an upstream operator.
+struct StreamRef {
+  enum class Kind { kInput, kOperator };
+
+  Kind kind = Kind::kInput;
+  size_t index = 0;  ///< InputStreamId or OperatorId, depending on `kind`.
+
+  /// The external input stream `k`.
+  static StreamRef Input(InputStreamId k) { return {Kind::kInput, k}; }
+  /// The output of operator `j`.
+  static StreamRef Op(OperatorId j) { return {Kind::kOperator, j}; }
+
+  bool operator==(const StreamRef&) const = default;
+};
+
+/// A directed dataflow arc `from -> to_op` with an optional per-tuple
+/// communication CPU cost (paper §6.3); the cost is paid on both endpoints
+/// when the arc crosses nodes.
+struct Arc {
+  StreamRef from;
+  OperatorId to_op = 0;
+  double comm_cost = 0.0;  ///< CPU-seconds per tuple transferred.
+};
+
+/// An acyclic continuous-query network.
+///
+/// Usage:
+/// ```
+/// QueryGraph g;
+/// auto s = g.AddInputStream("packets");
+/// auto f = g.AddOperator({.name = "f", .kind = OperatorKind::kFilter,
+///                         .cost = 1e-4, .selectivity = 0.5},
+///                        {StreamRef::Input(s)});
+/// ```
+/// Operators keep their insertion index as id; that index order is a valid
+/// topological order of the DAG.
+class QueryGraph {
+ public:
+  /// Registers a new external input stream and returns its id.
+  InputStreamId AddInputStream(std::string name);
+
+  /// Adds an operator consuming `inputs`. Fails if the spec is invalid, if
+  /// any referenced stream does not exist yet, if the input arity does not
+  /// match the operator kind (joins: exactly 2; other kinds: exactly 1
+  /// except unions: >= 1), or if an input is duplicated.
+  Result<OperatorId> AddOperator(const OperatorSpec& spec,
+                                 const std::vector<StreamRef>& inputs);
+
+  /// As above, with explicit per-arc communication costs (one per input;
+  /// paper §6.3). `comm_costs` must have the same size as `inputs`.
+  Result<OperatorId> AddOperator(const OperatorSpec& spec,
+                                 const std::vector<StreamRef>& inputs,
+                                 const std::vector<double>& comm_costs);
+
+  size_t num_operators() const { return specs_.size(); }
+  size_t num_input_streams() const { return input_names_.size(); }
+
+  const OperatorSpec& spec(OperatorId j) const { return specs_.at(j); }
+  const std::string& input_name(InputStreamId k) const {
+    return input_names_.at(k);
+  }
+
+  /// Arcs feeding operator `j`, in the order they were declared.
+  const std::vector<Arc>& inputs_of(OperatorId j) const {
+    return inputs_.at(j);
+  }
+
+  /// Operators consuming the output of operator `j`.
+  const std::vector<OperatorId>& consumers_of(OperatorId j) const {
+    return op_consumers_.at(j);
+  }
+
+  /// Operators consuming input stream `k` directly.
+  const std::vector<OperatorId>& consumers_of_input(InputStreamId k) const {
+    return input_consumers_.at(k);
+  }
+
+  /// Operators whose output feeds no other operator (results go to
+  /// applications).
+  std::vector<OperatorId> Sinks() const;
+
+  /// True iff the graph contains at least one operator whose load is not a
+  /// linear function of the system input rates (a join, or an operator with
+  /// `variable_selectivity`); such graphs require linearization (§6.2).
+  bool RequiresLinearization() const;
+
+  /// Structural sanity check: every input stream feeds at least one
+  /// operator and the graph is non-empty.
+  Status Validate() const;
+
+ private:
+  Result<OperatorId> AddOperatorInternal(const OperatorSpec& spec,
+                                         const std::vector<StreamRef>& inputs,
+                                         const std::vector<double>& comm_costs);
+
+  std::vector<std::string> input_names_;
+  std::vector<OperatorSpec> specs_;
+  std::vector<std::vector<Arc>> inputs_;  ///< per-operator input arcs
+  std::vector<std::vector<OperatorId>> op_consumers_;
+  std::vector<std::vector<OperatorId>> input_consumers_;
+};
+
+}  // namespace rod::query
+
+#endif  // ROD_QUERY_QUERY_GRAPH_H_

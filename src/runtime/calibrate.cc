@@ -1,0 +1,86 @@
+#include "runtime/calibrate.h"
+
+#include "placement/baselines.h"
+#include "query/load_model.h"
+
+namespace rod::sim {
+
+Result<query::QueryGraph> CalibrateFromRun(const query::QueryGraph& topology,
+                                           const SimulationResult& run,
+                                           const CalibrateOptions& options) {
+  ROD_RETURN_IF_ERROR(topology.Validate());
+  if (run.op_stats.size() != topology.num_operators()) {
+    return Status::InvalidArgument(
+        "run statistics do not match the topology's operator count");
+  }
+
+  query::QueryGraph calibrated;
+  for (query::InputStreamId k = 0; k < topology.num_input_streams(); ++k) {
+    calibrated.AddInputStream(topology.input_name(k));
+  }
+  for (query::OperatorId j = 0; j < topology.num_operators(); ++j) {
+    query::OperatorSpec spec = topology.spec(j);
+    const auto& stats = run.op_stats[j];
+    const bool is_join = spec.kind == query::OperatorKind::kJoin;
+    const size_t samples =
+        is_join ? stats.pairs_probed : stats.tuples_processed;
+    if (samples >= options.min_samples) {
+      const double denom = static_cast<double>(samples);
+      spec.cost = std::max(0.0, stats.cpu_seconds / denom);
+      const double sel = static_cast<double>(stats.tuples_emitted) / denom;
+      // Keep kind-specific validity: filters cannot exceed 1; joins need
+      // strictly positive selectivity for linearization.
+      if (spec.kind == query::OperatorKind::kFilter) {
+        spec.selectivity = std::min(1.0, sel);
+      } else if (is_join && sel <= 0.0) {
+        // No match ever observed: keep the declared selectivity rather
+        // than producing an unlinearizable spec.
+      } else {
+        spec.selectivity = sel;
+      }
+    }
+    std::vector<query::StreamRef> inputs;
+    std::vector<double> comm;
+    for (const query::Arc& arc : topology.inputs_of(j)) {
+      inputs.push_back(arc.from);
+      comm.push_back(arc.comm_cost);
+    }
+    auto id = calibrated.AddOperator(spec, inputs, comm);
+    ROD_RETURN_IF_ERROR(id.status());
+  }
+  return calibrated;
+}
+
+Result<query::QueryGraph> CalibrateWithTrialRun(
+    const query::QueryGraph& topology, const place::SystemSpec& system,
+    std::span<const double> rates, double duration, uint64_t seed,
+    const CalibrateOptions& options) {
+  auto model = topology.RequiresLinearization()
+                   ? query::BuildLinearizedLoadModel(topology)
+                   : query::BuildLoadModel(topology);
+  if (!model.ok()) return model.status();
+
+  // The paper's procedure: a random trial distribution.
+  Rng rng(seed);
+  auto trial = place::RandomPlace(*model, system, rng);
+  if (!trial.ok()) return trial.status();
+
+  if (rates.size() != topology.num_input_streams()) {
+    return Status::InvalidArgument("one rate per input stream required");
+  }
+  std::vector<trace::RateTrace> traces;
+  for (double r : rates) {
+    trace::RateTrace t;
+    t.window_sec = duration;
+    t.rates = {r};
+    traces.push_back(std::move(t));
+  }
+  SimulationOptions sim_options;
+  sim_options.duration = duration;
+  sim_options.seed = seed ^ 0x5151ULL;
+  auto run = SimulatePlacement(topology, *trial, system, traces, sim_options);
+  if (!run.ok()) return run.status();
+  return CalibrateFromRun(topology, *run, options);
+}
+
+}  // namespace rod::sim

@@ -1,0 +1,48 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Statistics-driven model calibration — the paper's prototype workflow
+// (§7.1): "To measure the operator costs and selectivities in the
+// prototype implementation, we randomly distribute the operators and run
+// the system for a sufficiently long time to gather stable statistics."
+// Given the per-operator counters of a trial run, this module estimates
+// each operator's cost and selectivity and rebuilds the query graph with
+// the measured values, so placement can be driven by observations instead
+// of declared specs.
+
+#ifndef ROD_RUNTIME_CALIBRATE_H_
+#define ROD_RUNTIME_CALIBRATE_H_
+
+#include "common/status.h"
+#include "query/query_graph.h"
+#include "runtime/engine.h"
+
+namespace rod::sim {
+
+/// Calibration settings.
+struct CalibrateOptions {
+  /// Operators with fewer processed tuples (joins: probed pairs) than this
+  /// keep their declared spec instead of a noisy estimate.
+  size_t min_samples = 20;
+};
+
+/// Returns a copy of `topology` whose operator costs and selectivities are
+/// replaced by estimates from `run`:
+///   cost        = cpu_seconds / tuples_processed   (joins: / pairs_probed)
+///   selectivity = tuples_emitted / tuples_processed (joins: / pairs)
+/// Structure (streams, arcs, kinds, windows, comm costs) is preserved.
+/// Fails if `run.op_stats` does not cover the topology.
+Result<query::QueryGraph> CalibrateFromRun(const query::QueryGraph& topology,
+                                           const SimulationResult& run,
+                                           const CalibrateOptions& options = {});
+
+/// Convenience: run a random trial placement (the paper's procedure) at
+/// the given constant input rates for `duration` seconds and calibrate
+/// from it.
+Result<query::QueryGraph> CalibrateWithTrialRun(
+    const query::QueryGraph& topology, const place::SystemSpec& system,
+    std::span<const double> rates, double duration = 60.0,
+    uint64_t seed = 0xca11b7a7ULL, const CalibrateOptions& options = {});
+
+}  // namespace rod::sim
+
+#endif  // ROD_RUNTIME_CALIBRATE_H_

@@ -1,0 +1,57 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// A deployment compiles (query graph, placement, cluster) into the flat
+// routing tables the simulation engine executes: for every operator its
+// host node, per-tuple cost, emission behaviour, and consumer fan-out with
+// per-arc communication costs; for every input stream its direct consumers.
+
+#ifndef ROD_RUNTIME_DEPLOYMENT_H_
+#define ROD_RUNTIME_DEPLOYMENT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "placement/plan.h"
+#include "query/query_graph.h"
+
+namespace rod::sim {
+
+/// One dataflow edge in compiled form.
+struct Route {
+  uint32_t to_op = 0;
+  uint32_t to_port = 0;       ///< Input position at the consumer.
+  bool crosses_nodes = false; ///< Endpoints on different nodes.
+  double comm_cost = 0.0;     ///< CPU-seconds per tuple on each endpoint.
+};
+
+/// Compiled per-operator execution info.
+struct CompiledOp {
+  uint32_t node = 0;
+  bool is_join = false;
+  double cost = 0.0;         ///< CPU-seconds per tuple (per pair for joins).
+  double selectivity = 1.0;  ///< Emission ratio (per pair for joins).
+  double window = 0.0;       ///< Join window (seconds).
+  bool is_sink = false;      ///< Output goes to applications (latency taps).
+  std::vector<Route> consumers;
+};
+
+/// A runnable deployment.
+struct Deployment {
+  std::vector<CompiledOp> ops;
+  /// Per input stream: routes to its direct consumer operators.
+  std::vector<std::vector<Route>> input_routes;
+  place::SystemSpec system;
+
+  size_t num_nodes() const { return system.num_nodes(); }
+  size_t num_inputs() const { return input_routes.size(); }
+};
+
+/// Compiles a deployment; fails on graph/placement/system inconsistencies.
+Result<Deployment> CompileDeployment(const query::QueryGraph& graph,
+                                     const place::Placement& placement,
+                                     const place::SystemSpec& system);
+
+}  // namespace rod::sim
+
+#endif  // ROD_RUNTIME_DEPLOYMENT_H_

@@ -1,0 +1,337 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <memory>
+
+#include "common/stats.h"
+#include "runtime/event_queue.h"
+#include "runtime/metrics.h"
+#include "runtime/node.h"
+#include "runtime/workload_driver.h"
+
+namespace rod::sim {
+
+namespace {
+
+/// A tuple travelling between nodes (constant network latency makes the
+/// delivery order FIFO, so a deque suffices).
+struct PendingDelivery {
+  double time = 0.0;
+  uint32_t node = 0;
+  Task task;
+};
+
+/// Binomial(n, p) sample; exact Bernoulli loop for small n, normal
+/// approximation beyond (join probe counts can reach thousands).
+uint64_t SampleBinomial(uint64_t n, double p, Rng& rng) {
+  if (n == 0 || p <= 0.0) return 0;
+  if (p >= 1.0) return n;
+  if (n <= 64) {
+    uint64_t k = 0;
+    for (uint64_t i = 0; i < n; ++i) k += rng.Bernoulli(p) ? 1 : 0;
+    return k;
+  }
+  const double mean = static_cast<double>(n) * p;
+  const double sd = std::sqrt(mean * (1.0 - p));
+  const double draw = std::round(rng.Normal(mean, sd));
+  return static_cast<uint64_t>(std::clamp(draw, 0.0, static_cast<double>(n)));
+}
+
+/// Emission count of a non-join operator with `selectivity` s >= 0:
+/// floor(s) guaranteed outputs plus one more with probability frac(s).
+uint64_t SampleEmissions(double selectivity, Rng& rng) {
+  const double whole = std::floor(selectivity);
+  const double frac = selectivity - whole;
+  return static_cast<uint64_t>(whole) + (rng.Bernoulli(frac) ? 1 : 0);
+}
+
+/// In-flight service bookkeeping per node.
+struct InFlight {
+  Task task;
+  double start = 0.0;
+  double service = 0.0;
+  uint64_t probes = 0;  ///< Join pairings counted at service start.
+};
+
+}  // namespace
+
+Result<SimulationResult> Simulate(const Deployment& deployment,
+                                  const std::vector<trace::RateTrace>& inputs,
+                                  const SimulationOptions& options) {
+  if (inputs.size() != deployment.num_inputs()) {
+    return Status::InvalidArgument("one rate trace per input stream required");
+  }
+  if (options.duration <= 0.0 || options.utilization_window <= 0.0) {
+    return Status::InvalidArgument("duration and window must be positive");
+  }
+  if (options.warmup < 0.0 || options.warmup >= options.duration) {
+    return Status::InvalidArgument("warmup must lie in [0, duration)");
+  }
+
+  Rng master(options.seed);
+  std::vector<Rng> input_rngs;
+  input_rngs.reserve(inputs.size());
+  std::vector<std::unique_ptr<ArrivalGenerator>> arrivals;
+  for (size_t k = 0; k < inputs.size(); ++k) input_rngs.push_back(master.Fork());
+  for (size_t k = 0; k < inputs.size(); ++k) {
+    arrivals.push_back(std::make_unique<ArrivalGenerator>(
+        inputs[k], options.poisson_arrivals, &input_rngs[k]));
+  }
+  Rng emission_rng = master.Fork();
+
+  std::vector<SimNode> nodes;
+  nodes.reserve(deployment.num_nodes());
+  for (double cap : deployment.system.capacities) {
+    nodes.emplace_back(cap, options.scheduling);
+  }
+  std::vector<InFlight> inflight(nodes.size());
+
+  // Join window buffers: per operator, per port, timestamps of buffered
+  // tuples (empty for non-joins).
+  std::vector<std::array<std::deque<double>, 2>> join_state(
+      deployment.ops.size());
+
+  MetricsCollector metrics(nodes.size(), options.utilization_window,
+                           options.duration);
+  EventQueue events;
+  std::deque<PendingDelivery> network;
+  std::vector<SimulationResult::OperatorStats> op_stats(deployment.ops.size());
+  size_t shed_count = 0;
+  size_t warmup_outputs = 0;
+
+  // Seed the first arrival of each input.
+  for (uint32_t k = 0; k < inputs.size(); ++k) {
+    const double t = arrivals[k]->NextArrival(0.0);
+    if (std::isfinite(t) && t <= options.duration) {
+      events.Push(t, EventType::kExternalArrival, k);
+    }
+  }
+
+  // Starts service on `node` if it is idle with work queued.
+  auto try_start = [&](uint32_t node_id, double now) {
+    SimNode& node = nodes[node_id];
+    if (!node.CanStart()) return;
+    InFlight fl;
+    fl.task = node.StartService();
+    fl.start = now;
+    double cpu = fl.task.extra_cost;
+    if (fl.task.op != Task::kCommTask) {
+      const CompiledOp& op = deployment.ops[fl.task.op];
+      if (op.is_join) {
+        auto& state = join_state[fl.task.op];
+        auto& mine = state[fl.task.port & 1];
+        auto& other = state[1 - (fl.task.port & 1)];
+        // Evict expired tuples, probe the live window, join the window.
+        const double cutoff = now - op.window;
+        while (!other.empty() && other.front() < cutoff) other.pop_front();
+        while (!mine.empty() && mine.front() < cutoff) mine.pop_front();
+        fl.probes = other.size();
+        mine.push_back(now);
+        cpu += op.cost * static_cast<double>(fl.probes);
+      } else {
+        cpu += op.cost;
+      }
+    }
+    fl.service = node.ServiceTime(cpu);
+    inflight[node_id] = fl;
+    events.Push(now + fl.service, EventType::kNodeDone, node_id);
+  };
+
+  // Delivers a task to a node, possibly across the simulated network.
+  auto deliver = [&](const Route& route, double origin, double now) {
+    const uint32_t dst_node = deployment.ops[route.to_op].node;
+    Task task;
+    task.op = route.to_op;
+    task.port = route.to_port;
+    task.origin = origin;
+    task.extra_cost = route.crosses_nodes ? route.comm_cost : 0.0;
+    if (route.crosses_nodes && options.network_latency > 0.0) {
+      network.push_back(
+          PendingDelivery{now + options.network_latency, dst_node, task});
+      // kNodeDone/kExternalArrival drive the clock; deliveries ride a
+      // dedicated event indexed implicitly by FIFO order.
+      events.Push(now + options.network_latency, EventType::kExternalArrival,
+                  UINT32_MAX);
+    } else {
+      nodes[dst_node].Enqueue(task);
+      try_start(dst_node, now);
+    }
+  };
+
+  uint64_t processed_events = 0;
+  while (!events.empty()) {
+    const Event ev = events.Pop();
+    if (ev.time > options.duration) break;
+    if (++processed_events > options.max_events) {
+      return Status::FailedPrecondition(
+          "simulation exceeded max_events; reduce rates or duration");
+    }
+    const double now = ev.time;
+
+    if (ev.type == EventType::kExternalArrival && ev.index == UINT32_MAX) {
+      // Network delivery completion.
+      assert(!network.empty());
+      const PendingDelivery d = network.front();
+      network.pop_front();
+      assert(std::abs(d.time - now) < 1e-9);
+      nodes[d.node].Enqueue(d.task);
+      try_start(d.node, now);
+      continue;
+    }
+
+    if (ev.type == EventType::kExternalArrival) {
+      const uint32_t k = ev.index;
+      bool accepted = false;
+      bool shed = false;
+      for (const Route& route : deployment.input_routes[k]) {
+        // External ingestion: receiver pays the arc cost, no network hop
+        // is simulated (sources push directly into the cluster).
+        const uint32_t dst_node = deployment.ops[route.to_op].node;
+        if (options.shed_queue_threshold > 0 &&
+            nodes[dst_node].queue_length() >= options.shed_queue_threshold) {
+          shed = true;  // overload response: drop at the edge
+          continue;
+        }
+        Task task;
+        task.op = route.to_op;
+        task.port = route.to_port;
+        task.origin = now;
+        task.extra_cost = route.comm_cost;
+        nodes[dst_node].Enqueue(task);
+        try_start(dst_node, now);
+        accepted = true;
+      }
+      if (accepted) {
+        metrics.RecordInput();
+      } else if (shed) {
+        ++shed_count;
+      }
+      const double next = arrivals[k]->NextArrival(now);
+      if (std::isfinite(next) && next <= options.duration) {
+        events.Push(next, EventType::kExternalArrival, k);
+      }
+      continue;
+    }
+
+    // kNodeDone.
+    const uint32_t node_id = ev.index;
+    const InFlight fl = inflight[node_id];
+    nodes[node_id].FinishService(fl.service);
+    metrics.RecordService(node_id, fl.start, now);
+
+    if (fl.task.op != Task::kCommTask) {
+      const CompiledOp& op = deployment.ops[fl.task.op];
+      const uint64_t emitted =
+          op.is_join ? SampleBinomial(fl.probes, op.selectivity, emission_rng)
+                     : SampleEmissions(op.selectivity, emission_rng);
+      auto& stats = op_stats[fl.task.op];
+      ++stats.tuples_processed;
+      stats.pairs_probed += fl.probes;
+      stats.tuples_emitted += emitted;
+      // CPU attributable to the operator itself (comm overhead excluded).
+      stats.cpu_seconds +=
+          fl.service * nodes[node_id].capacity() - fl.task.extra_cost;
+      for (uint64_t e = 0; e < emitted; ++e) {
+        if (op.is_sink) {
+          if (fl.task.origin >= options.warmup) {
+            metrics.RecordOutput(fl.task.op, now - fl.task.origin);
+          } else {
+            ++warmup_outputs;
+          }
+          continue;
+        }
+        for (const Route& route : op.consumers) {
+          if (route.crosses_nodes && route.comm_cost > 0.0) {
+            // Send-side communication overhead on this node.
+            Task send;
+            send.op = Task::kCommTask;
+            send.origin = fl.task.origin;
+            send.extra_cost = route.comm_cost;
+            nodes[node_id].Enqueue(send);
+          }
+          deliver(route, fl.task.origin, now);
+        }
+      }
+    }
+    try_start(node_id, now);
+  }
+
+  // Assemble results.
+  SimulationResult result;
+  result.input_tuples = metrics.inputs();
+  result.shed_tuples = shed_count;
+  result.output_tuples = metrics.outputs() + warmup_outputs;
+  const auto& lat = metrics.latencies();
+  if (!lat.empty()) {
+    result.mean_latency = Mean(lat);
+    result.p50_latency = Percentile(lat, 0.50);
+    result.p95_latency = Percentile(lat, 0.95);
+    result.p99_latency = Percentile(lat, 0.99);
+    result.max_latency = *std::max_element(lat.begin(), lat.end());
+  }
+  for (const auto& [sink, samples] : metrics.sink_latencies()) {
+    SinkLatency s;
+    s.sink_op = sink;
+    s.outputs = samples.size();
+    s.mean = Mean(samples);
+    s.p50 = Percentile(samples, 0.50);
+    s.p95 = Percentile(samples, 0.95);
+    result.sink_latencies.push_back(s);
+  }
+  result.node_utilization.resize(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    result.node_utilization[i] = metrics.NodeUtilization(i, options.duration);
+    result.max_node_utilization =
+        std::max(result.max_node_utilization, result.node_utilization[i]);
+    result.final_backlog += nodes[i].queue_length() + (nodes[i].busy() ? 1 : 0);
+  }
+  result.op_stats = std::move(op_stats);
+  result.overloaded_windows =
+      metrics.OverloadedWindows(options.overload_threshold);
+  result.total_windows = metrics.num_windows();
+  // Saturation: a node pegged for a large share of the run, or a backlog
+  // disproportionate to the input volume remaining at the horizon.
+  const double backlog_limit =
+      50.0 + 0.02 * static_cast<double>(result.input_tuples);
+  result.saturated =
+      result.overloaded_windows * 2 >= result.total_windows ||
+      static_cast<double>(result.final_backlog) > backlog_limit;
+  return result;
+}
+
+Result<SimulationResult> SimulatePlacement(
+    const query::QueryGraph& graph, const place::Placement& placement,
+    const place::SystemSpec& system,
+    const std::vector<trace::RateTrace>& inputs,
+    const SimulationOptions& options) {
+  auto deployment = CompileDeployment(graph, placement, system);
+  if (!deployment.ok()) return deployment.status();
+  return Simulate(*deployment, inputs, options);
+}
+
+Result<bool> ProbeFeasibleAt(const query::QueryGraph& graph,
+                             const place::Placement& placement,
+                             const place::SystemSpec& system,
+                             std::span<const double> rates,
+                             const SimulationOptions& options) {
+  if (rates.size() != graph.num_input_streams()) {
+    return Status::InvalidArgument("one rate per input stream required");
+  }
+  std::vector<trace::RateTrace> traces;
+  traces.reserve(rates.size());
+  for (double r : rates) {
+    trace::RateTrace t;
+    t.window_sec = options.duration;
+    t.rates = {r};
+    traces.push_back(std::move(t));
+  }
+  auto result = SimulatePlacement(graph, placement, system, traces, options);
+  if (!result.ok()) return result.status();
+  return !result->saturated;
+}
+
+}  // namespace rod::sim

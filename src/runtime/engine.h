@@ -1,0 +1,142 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// The tuple-level stream-processing simulation engine — our stand-in for
+// the Borealis prototype (DESIGN.md substitution #2). Nodes are
+// capacity-scaled single-server FIFO queues; tuples flow through the
+// compiled deployment paying per-tuple operator costs and per-arc
+// communication costs; end-to-end latency and per-window utilization are
+// measured. A placement is feasible at a rate point exactly when queues
+// stay bounded — the same mechanism the paper probes with CPU utilization.
+
+#ifndef ROD_RUNTIME_ENGINE_H_
+#define ROD_RUNTIME_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "placement/plan.h"
+#include "query/query_graph.h"
+#include "runtime/deployment.h"
+#include "runtime/node.h"
+#include "trace/trace.h"
+
+namespace rod::sim {
+
+/// One simulation run's configuration.
+struct SimulationOptions {
+  /// Virtual seconds simulated.
+  double duration = 60.0;
+
+  /// One-way network latency added to tuples crossing nodes (seconds).
+  double network_latency = 1e-3;
+
+  /// Poisson arrivals (true) or evenly spaced within windows (false).
+  bool poisson_arrivals = true;
+
+  /// Node task-scheduling discipline (see node.h). Round-robin isolates
+  /// cheap query paths from bursts queued behind expensive operators;
+  /// throughput and utilization are unaffected.
+  Scheduling scheduling = Scheduling::kFifo;
+
+  /// Per-window utilization bucket width (seconds).
+  double utilization_window = 1.0;
+
+  /// Per-window busy fraction at/above which a window counts overloaded.
+  double overload_threshold = 0.99;
+
+  /// Abort guard: fail the run if it would process more than this many
+  /// simulation events (runaway load or miswired graphs).
+  uint64_t max_events = 200'000'000;
+
+  /// Measurement warm-up: sink outputs whose *origin* timestamp falls
+  /// before this many seconds are excluded from latency statistics (the
+  /// queues have not reached steady state yet). Utilization windows and
+  /// tuple counts are unaffected.
+  double warmup = 0.0;
+
+  /// Load shedding (Borealis-style overload response): when a node's queue
+  /// holds at least this many tasks, tuples arriving from *external input
+  /// streams* at that node are dropped instead of enqueued (internal
+  /// dataflow is never shed, so no partial work is wasted). 0 disables
+  /// shedding (queues grow without bound under overload).
+  size_t shed_queue_threshold = 0;
+
+  /// Seed for arrivals and probabilistic emission.
+  uint64_t seed = 0xdecaf5eedULL;
+};
+
+/// Latency summary of one sink operator's outputs.
+struct SinkLatency {
+  uint32_t sink_op = 0;
+  size_t outputs = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+};
+
+/// Aggregated results of one run.
+struct SimulationResult {
+  size_t input_tuples = 0;   ///< External tuples accepted by >= 1 consumer.
+  size_t shed_tuples = 0;    ///< External tuples dropped at *every*
+                             ///< consumer by load shedding.
+  size_t output_tuples = 0;
+
+  // End-to-end latency (seconds) over sink outputs.
+  double mean_latency = 0.0;
+  double p50_latency = 0.0;
+  double p95_latency = 0.0;
+  double p99_latency = 0.0;
+  double max_latency = 0.0;
+
+  /// Per-sink breakdown, ordered by sink operator id.
+  std::vector<SinkLatency> sink_latencies;
+
+  /// Per-operator execution statistics (indexed by operator id) — the raw
+  /// material for statistics-driven cost/selectivity calibration
+  /// (paper §7.1; see runtime/calibrate.h).
+  struct OperatorStats {
+    size_t tuples_processed = 0;  ///< Input tuples served (joins: probing
+                                  ///< tuples, not pairs).
+    size_t pairs_probed = 0;      ///< Join pairs examined (0 for non-joins).
+    size_t tuples_emitted = 0;    ///< Output tuples produced.
+    double cpu_seconds = 0.0;     ///< CPU time consumed (excl. comm).
+  };
+  std::vector<OperatorStats> op_stats;
+
+  Vector node_utilization;          ///< busy fraction per node, whole run
+  double max_node_utilization = 0.0;
+  size_t overloaded_windows = 0;    ///< windows with a pegged node
+  size_t total_windows = 0;
+  size_t final_backlog = 0;         ///< tasks still queued at the horizon
+
+  /// Heuristic saturation flag: a node was pegged for most of the run or a
+  /// large backlog remained — the run's rate point is infeasible for this
+  /// placement.
+  bool saturated = false;
+};
+
+/// Runs the deployment against one rate trace per input stream (sizes must
+/// match). Traces shorter than `duration` fall silent after they end.
+Result<SimulationResult> Simulate(const Deployment& deployment,
+                                  const std::vector<trace::RateTrace>& inputs,
+                                  const SimulationOptions& options = {});
+
+/// Convenience: compile and run in one call.
+Result<SimulationResult> SimulatePlacement(
+    const query::QueryGraph& graph, const place::Placement& placement,
+    const place::SystemSpec& system,
+    const std::vector<trace::RateTrace>& inputs,
+    const SimulationOptions& options = {});
+
+/// The paper's Borealis-style feasibility probe: run at constant rates `R`
+/// and report whether the system stayed un-saturated.
+Result<bool> ProbeFeasibleAt(const query::QueryGraph& graph,
+                             const place::Placement& placement,
+                             const place::SystemSpec& system,
+                             std::span<const double> rates,
+                             const SimulationOptions& options = {});
+
+}  // namespace rod::sim
+
+#endif  // ROD_RUNTIME_ENGINE_H_

@@ -1,0 +1,20 @@
+#include "runtime/event_queue.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rod::sim {
+
+void EventQueue::Push(double time, EventType type, uint32_t index) {
+  assert(std::isfinite(time));
+  heap_.push(Event{time, next_seq_++, type, index});
+}
+
+Event EventQueue::Pop() {
+  assert(!heap_.empty());
+  Event e = heap_.top();
+  heap_.pop();
+  return e;
+}
+
+}  // namespace rod::sim

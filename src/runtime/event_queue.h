@@ -1,0 +1,59 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Discrete-event core of the stream-processing runtime simulator: a
+// deterministic min-time event queue. Ties are broken by insertion
+// sequence so identical seeds replay identically.
+
+#ifndef ROD_RUNTIME_EVENT_QUEUE_H_
+#define ROD_RUNTIME_EVENT_QUEUE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+namespace rod::sim {
+
+/// What a scheduled event means.
+enum class EventType {
+  kExternalArrival,  ///< Next tuple of input stream `index` arrives.
+  kNodeDone,         ///< Node `index` finishes its current task.
+};
+
+/// One scheduled simulation event.
+struct Event {
+  double time = 0.0;
+  uint64_t seq = 0;  ///< Insertion order; makes equal-time ordering total.
+  EventType type = EventType::kExternalArrival;
+  uint32_t index = 0;  ///< Input stream id or node id, per `type`.
+};
+
+/// Min-heap of events ordered by (time, seq).
+class EventQueue {
+ public:
+  /// Schedules an event; `time` must be finite.
+  void Push(double time, EventType type, uint32_t index);
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// The earliest event (undefined when empty).
+  const Event& Top() const { return heap_.top(); }
+
+  /// Removes and returns the earliest event.
+  Event Pop();
+
+ private:
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace rod::sim
+
+#endif  // ROD_RUNTIME_EVENT_QUEUE_H_

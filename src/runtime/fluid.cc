@@ -1,0 +1,136 @@
+#include "runtime/fluid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rod::sim {
+
+Result<FluidResult> FluidSimulate(const query::LoadModel& model,
+                                  const place::Placement& initial,
+                                  const place::SystemSpec& system,
+                                  const std::vector<trace::RateTrace>& inputs,
+                                  const FluidOptions& options,
+                                  MigrationPolicy* policy) {
+  ROD_RETURN_IF_ERROR(system.Validate());
+  if (initial.num_operators() != model.num_operators()) {
+    return Status::InvalidArgument("placement/model operator count mismatch");
+  }
+  if (initial.num_nodes() != system.num_nodes()) {
+    return Status::InvalidArgument("placement/system node count mismatch");
+  }
+  if (inputs.size() != model.num_system_inputs()) {
+    return Status::InvalidArgument("one rate trace per input stream required");
+  }
+  if (options.epoch_sec <= 0.0) {
+    return Status::InvalidArgument("epoch_sec must be positive");
+  }
+  if (options.migration_latency < 0.0 || options.migration_cpu_cost < 0.0) {
+    return Status::InvalidArgument("migration costs must be non-negative");
+  }
+
+  const size_t n = system.num_nodes();
+  const size_t m = model.num_operators();
+  double horizon = 0.0;
+  for (const auto& t : inputs) horizon = std::max(horizon, t.duration());
+  const size_t epochs = static_cast<size_t>(
+      std::ceil(horizon / options.epoch_sec - 1e-9));
+  if (epochs == 0) {
+    return Status::InvalidArgument("input traces are empty");
+  }
+
+  std::vector<size_t> assignment = initial.assignment();
+  Vector backlog(n, 0.0);  // CPU-seconds of unserved work per node
+  if (!options.initial_backlog.empty()) {
+    if (options.initial_backlog.size() != n) {
+      return Status::InvalidArgument("initial_backlog size mismatch");
+    }
+    for (double b : options.initial_backlog) {
+      if (b < 0.0) {
+        return Status::InvalidArgument("initial_backlog must be >= 0");
+      }
+    }
+    backlog = options.initial_backlog;
+  }
+  Vector move_overhead(n, 0.0);  // CPU-seconds of migration work this epoch
+
+  FluidResult result;
+  result.epochs = epochs;
+
+  Vector rates(inputs.size());
+  for (size_t e = 0; e < epochs; ++e) {
+    const double t_mid =
+        (static_cast<double>(e) + 0.5) * options.epoch_sec;
+    for (size_t k = 0; k < inputs.size(); ++k) {
+      rates[k] = inputs[k].RateAt(t_mid);
+    }
+    const Vector op_loads = model.OperatorLoadsAt(rates);
+
+    // Demand per node: operator work plus this epoch's migration overhead
+    // amortized over the epoch.
+    Vector node_loads(n, 0.0);
+    for (size_t j = 0; j < m; ++j) node_loads[assignment[j]] += op_loads[j];
+    Vector demand = node_loads;
+    for (size_t i = 0; i < n; ++i) {
+      demand[i] += move_overhead[i] / options.epoch_sec;
+      move_overhead[i] = 0.0;
+    }
+
+    // Fluid queue update: unserved work accumulates, spare capacity drains
+    // backlog.
+    double epoch_max_util = 0.0;
+    double epoch_max_backlog_sec = 0.0;
+    bool overloaded = false;
+    for (size_t i = 0; i < n; ++i) {
+      const double cap = system.capacities[i];
+      const double util = demand[i] / cap;
+      epoch_max_util = std::max(epoch_max_util, util);
+      overloaded |= util >= options.overload_threshold - 1e-12;
+      backlog[i] = std::max(
+          0.0, backlog[i] + (demand[i] - cap) * options.epoch_sec);
+      epoch_max_backlog_sec = std::max(epoch_max_backlog_sec, backlog[i] / cap);
+    }
+    result.max_utilization = std::max(result.max_utilization, epoch_max_util);
+    result.mean_utilization += epoch_max_util;
+    result.overloaded_epochs += overloaded ? 1 : 0;
+    result.max_backlog_sec =
+        std::max(result.max_backlog_sec, epoch_max_backlog_sec);
+    result.mean_backlog_sec += epoch_max_backlog_sec;
+
+    // Consult the policy at the epoch boundary.
+    if (policy != nullptr && e + 1 < epochs) {
+      MigrationPolicy::EpochView view;
+      view.model = &model;
+      view.system = &system;
+      view.assignment = &assignment;
+      view.op_loads = &op_loads;
+      view.node_loads = &node_loads;
+      view.backlog = &backlog;
+      view.epoch_index = e;
+      for (const Migration& mv : policy->Decide(view)) {
+        if (mv.op >= m || mv.to_node >= n) continue;
+        const size_t from = assignment[mv.op];
+        if (from == mv.to_node) continue;
+        assignment[mv.op] = mv.to_node;
+        ++result.migrations;
+        // Marshalling overhead on both endpoints next epoch; the stalled
+        // operator's deferred work lands on the destination's backlog.
+        move_overhead[from] += options.migration_cpu_cost;
+        move_overhead[mv.to_node] += options.migration_cpu_cost;
+        backlog[mv.to_node] += op_loads[mv.op] * options.migration_latency;
+      }
+    }
+  }
+
+  result.mean_utilization /= static_cast<double>(epochs);
+  result.mean_backlog_sec /= static_cast<double>(epochs);
+  double final_backlog = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    final_backlog = std::max(final_backlog, backlog[i] / system.capacities[i]);
+  }
+  result.final_backlog_sec = final_backlog;
+  result.final_assignment = std::move(assignment);
+  result.final_backlog = std::move(backlog);
+  return result;
+}
+
+}  // namespace rod::sim

@@ -1,0 +1,114 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Epoch-based fluid simulation with optional dynamic operator migration.
+// Where the tuple-level engine (engine.h) resolves individual tuples, this
+// model advances in fixed epochs, treating load as a fluid: per-node
+// demand comes from the analytic load model at the epoch's rates, unserved
+// demand accumulates as backlog, and a pluggable MigrationPolicy may move
+// operators between epochs — paying the migration costs the paper's
+// introduction quantifies ("the base overhead of run-time operator
+// migration is on the order of a few hundred milliseconds", §1). This is
+// the substrate for the static-resilient vs dynamic-migration comparison
+// that motivates ROD.
+
+#ifndef ROD_RUNTIME_FLUID_H_
+#define ROD_RUNTIME_FLUID_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "placement/plan.h"
+#include "query/load_model.h"
+#include "trace/trace.h"
+
+namespace rod::sim {
+
+/// One operator move applied between epochs.
+struct Migration {
+  query::OperatorId op = 0;
+  size_t to_node = 0;
+};
+
+/// Decides migrations at epoch boundaries. Implementations observe the
+/// epoch that just ended and return moves to apply before the next one.
+class MigrationPolicy {
+ public:
+  virtual ~MigrationPolicy() = default;
+
+  /// Read-only view of the ended epoch.
+  struct EpochView {
+    const query::LoadModel* model = nullptr;
+    const place::SystemSpec* system = nullptr;
+    /// Current operator -> node assignment.
+    const std::vector<size_t>* assignment = nullptr;
+    /// Per-operator CPU demand during the epoch (CPU-seconds per second).
+    const Vector* op_loads = nullptr;
+    /// Per-node CPU demand during the epoch (CPU-seconds per second).
+    const Vector* node_loads = nullptr;
+    /// Per-node backlog at epoch end (CPU-seconds of unserved work).
+    const Vector* backlog = nullptr;
+    size_t epoch_index = 0;
+  };
+
+  /// Moves to apply before the next epoch (may be empty). Moves naming
+  /// unknown operators/nodes or the operator's current node are ignored.
+  virtual std::vector<Migration> Decide(const EpochView& view) = 0;
+};
+
+/// Fluid simulation knobs.
+struct FluidOptions {
+  /// Epoch width in seconds (also the policy's reaction granularity).
+  double epoch_sec = 1.0;
+
+  /// Seconds a migrating operator is stalled (its work during the stall is
+  /// deferred onto the destination node's backlog). Paper §1: "on the
+  /// order of a few hundred milliseconds", more for large state.
+  double migration_latency = 0.3;
+
+  /// CPU-seconds of marshalling overhead charged to both endpoints of a
+  /// move, spread over the epoch it lands in.
+  double migration_cpu_cost = 0.05;
+
+  /// Node utilization (demand/capacity) at/above which an epoch counts as
+  /// overloaded.
+  double overload_threshold = 1.0;
+
+  /// Carry-in backlog per node (CPU-seconds of unserved work), empty = all
+  /// zero. Enables composing runs across topology changes — e.g. run on n
+  /// nodes, a node fails, RepairPlacement re-homes its operators, and the
+  /// continuation run starts with the survivors' remaining backlog (the
+  /// dead node's queued work is lost with it).
+  Vector initial_backlog;
+};
+
+/// Aggregate results of one fluid run.
+struct FluidResult {
+  size_t epochs = 0;
+  size_t overloaded_epochs = 0;    ///< Epochs where some node's demand
+                                   ///< (incl. migration overhead) exceeded
+                                   ///< the overload threshold.
+  double max_utilization = 0.0;    ///< Peak per-epoch max-node utilization.
+  double mean_utilization = 0.0;   ///< Mean over epochs of max-node util.
+  double max_backlog_sec = 0.0;    ///< Peak node backlog / capacity — the
+                                   ///< fluid model's latency proxy.
+  double mean_backlog_sec = 0.0;   ///< Mean over epochs of the same.
+  double final_backlog_sec = 0.0;  ///< Left-over queueing delay at the end.
+  size_t migrations = 0;           ///< Moves actually applied.
+  std::vector<size_t> final_assignment;
+  Vector final_backlog;            ///< Per-node backlog at the horizon
+                                   ///< (CPU-seconds), for run composition.
+};
+
+/// Runs the fluid model: `inputs` supplies one rate trace per system input
+/// stream; `initial` places the operators; `policy` (may be null = fully
+/// static) is consulted at every epoch boundary.
+Result<FluidResult> FluidSimulate(const query::LoadModel& model,
+                                  const place::Placement& initial,
+                                  const place::SystemSpec& system,
+                                  const std::vector<trace::RateTrace>& inputs,
+                                  const FluidOptions& options = {},
+                                  MigrationPolicy* policy = nullptr);
+
+}  // namespace rod::sim
+
+#endif  // ROD_RUNTIME_FLUID_H_

@@ -1,0 +1,59 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace rod::sim {
+
+MetricsCollector::MetricsCollector(size_t num_nodes, double window_sec,
+                                   double duration)
+    : node_busy_(num_nodes, 0.0),
+      window_busy_(static_cast<size_t>(std::ceil(duration / window_sec)),
+                   num_nodes),
+      window_sec_(window_sec),
+      duration_(duration) {
+  assert(num_nodes > 0 && window_sec > 0 && duration > 0);
+}
+
+void MetricsCollector::RecordOutput(uint32_t sink_op, double latency) {
+  latencies_.push_back(latency);
+  sink_latencies_[sink_op].push_back(latency);
+}
+
+void MetricsCollector::RecordService(size_t node, double start, double end) {
+  assert(node < node_busy_.size());
+  assert(end >= start);
+  node_busy_[node] += end - start;
+  // Split the interval across utilization windows.
+  double cursor = start;
+  while (cursor < end) {
+    const size_t w = static_cast<size_t>(cursor / window_sec_);
+    if (w >= window_busy_.rows()) break;  // service past the horizon
+    const double w_end = static_cast<double>(w + 1) * window_sec_;
+    const double slice = std::min(end, w_end) - cursor;
+    window_busy_(w, node) += slice;
+    cursor = w_end;
+  }
+}
+
+double MetricsCollector::NodeUtilization(size_t node,
+                                         double capacity_duration) const {
+  assert(node < node_busy_.size());
+  return capacity_duration > 0 ? node_busy_[node] / capacity_duration : 0.0;
+}
+
+size_t MetricsCollector::OverloadedWindows(double threshold) const {
+  size_t count = 0;
+  for (size_t w = 0; w < window_busy_.rows(); ++w) {
+    for (size_t i = 0; i < window_busy_.cols(); ++i) {
+      if (window_busy_(w, i) / window_sec_ >= threshold) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return count;
+}
+
+}  // namespace rod::sim

@@ -1,0 +1,72 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Runtime measurement: end-to-end tuple latencies, per-node utilization
+// (overall and per fixed window — the paper's Borealis feasibility probe
+// deems a rate point feasible "if none of the nodes experience 100%
+// utilization"), and saturation indicators.
+
+#ifndef ROD_RUNTIME_METRICS_H_
+#define ROD_RUNTIME_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace rod::sim {
+
+/// Collects measurements during one simulation run.
+class MetricsCollector {
+ public:
+  /// `num_nodes` nodes, per-window utilization buckets of `window_sec`
+  /// seconds over `duration` seconds of virtual time.
+  MetricsCollector(size_t num_nodes, double window_sec, double duration);
+
+  /// Records one output of sink operator `sink_op` with end-to-end latency
+  /// `latency` seconds.
+  void RecordOutput(uint32_t sink_op, double latency);
+
+  /// Records one external input tuple.
+  void RecordInput() { ++inputs_; }
+
+  /// Accounts a service interval [start, end) on `node`, splitting the
+  /// busy time across utilization windows.
+  void RecordService(size_t node, double start, double end);
+
+  size_t inputs() const { return inputs_; }
+  size_t outputs() const { return latencies_.size(); }
+  const std::vector<double>& latencies() const { return latencies_; }
+
+  /// Per-sink latency samples, keyed by sink operator id.
+  const std::map<uint32_t, std::vector<double>>& sink_latencies() const {
+    return sink_latencies_;
+  }
+
+  /// Busy fraction of `node` over the whole run.
+  double NodeUtilization(size_t node, double capacity_duration) const;
+
+  /// Per-(window, node) busy fraction matrix (rows = windows).
+  const Matrix& window_busy() const { return window_busy_; }
+  double window_sec() const { return window_sec_; }
+
+  /// Number of windows where some node's busy fraction reached
+  /// `threshold` (default: effectively pegged).
+  size_t OverloadedWindows(double threshold = 0.99) const;
+
+  size_t num_windows() const { return window_busy_.rows(); }
+
+ private:
+  size_t inputs_ = 0;
+  std::vector<double> latencies_;
+  std::map<uint32_t, std::vector<double>> sink_latencies_;
+  Vector node_busy_;      ///< total busy seconds per node
+  Matrix window_busy_;    ///< busy seconds per (window, node)
+  double window_sec_;
+  double duration_;
+};
+
+}  // namespace rod::sim
+
+#endif  // ROD_RUNTIME_METRICS_H_

@@ -1,0 +1,51 @@
+#include "runtime/node.h"
+
+#include <cassert>
+
+namespace rod::sim {
+
+void SimNode::Enqueue(const Task& task) {
+  ++queued_;
+  if (scheduling_ == Scheduling::kFifo) {
+    fifo_.push_back(task);
+    return;
+  }
+  auto& queue = per_op_[task.op];
+  if (queue.empty()) rr_order_.push_back(task.op);
+  queue.push_back(task);
+}
+
+Task SimNode::StartService() {
+  assert(CanStart());
+  busy_ = true;
+  --queued_;
+  if (scheduling_ == Scheduling::kFifo) {
+    Task task = fifo_.front();
+    fifo_.pop_front();
+    return task;
+  }
+  assert(!rr_order_.empty());
+  const uint32_t op = rr_order_.front();
+  rr_order_.pop_front();
+  auto it = per_op_.find(op);
+  assert(it != per_op_.end() && !it->second.empty());
+  Task task = it->second.front();
+  it->second.pop_front();
+  // Re-queue the operator at the back of the rotation if it still has
+  // work; otherwise drop its (empty) bucket.
+  if (!it->second.empty()) {
+    rr_order_.push_back(op);
+  } else {
+    per_op_.erase(it);
+  }
+  return task;
+}
+
+void SimNode::FinishService(double service_seconds) {
+  assert(busy_);
+  busy_ = false;
+  busy_time_ += service_seconds;
+  ++tasks_processed_;
+}
+
+}  // namespace rod::sim

@@ -1,0 +1,38 @@
+#include "runtime/workload_driver.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace rod::sim {
+
+ArrivalGenerator::ArrivalGenerator(trace::RateTrace trace, bool poisson,
+                                   Rng* rng)
+    : trace_(std::move(trace)), poisson_(poisson), rng_(rng) {
+  assert(rng_ != nullptr);
+  assert(trace_.window_sec > 0.0);
+}
+
+double ArrivalGenerator::NextArrival(double now) {
+  // Walk windows from `now`, drawing the next gap at each window's rate;
+  // if the gap overruns the window, restart the draw from the next window
+  // (memorylessness makes this exact for Poisson; for deterministic
+  // spacing it yields evenly spaced arrivals within each window).
+  double t = std::max(now, 0.0);
+  const double horizon = trace_.duration();
+  while (t < horizon) {
+    const size_t w = static_cast<size_t>(t / trace_.window_sec);
+    const double w_end = static_cast<double>(w + 1) * trace_.window_sec;
+    const double rate = trace_.rates[w];
+    if (rate <= 0.0) {
+      t = w_end;
+      continue;
+    }
+    const double gap = poisson_ ? rng_->Exponential(rate) : 1.0 / rate;
+    if (t + gap < w_end) return t + gap;
+    t = w_end;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace rod::sim

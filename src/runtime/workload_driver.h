@@ -1,0 +1,38 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Workload driver: turns per-input rate traces into tuple arrival times.
+// Arrivals are Poisson with the trace's piecewise-constant intensity (the
+// event-based aperiodic nature of stream sources, paper §1) or, optionally,
+// deterministic and evenly spaced within each window.
+
+#ifndef ROD_RUNTIME_WORKLOAD_DRIVER_H_
+#define ROD_RUNTIME_WORKLOAD_DRIVER_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "trace/trace.h"
+
+namespace rod::sim {
+
+/// Generates successive arrival times for one input stream.
+class ArrivalGenerator {
+ public:
+  /// Poisson (when `poisson` is true) or evenly spaced arrivals following
+  /// `trace`'s piecewise-constant rate. The generator owns a copy of the
+  /// trace; `rng` must outlive it.
+  ArrivalGenerator(trace::RateTrace trace, bool poisson, Rng* rng);
+
+  /// Next arrival strictly after `now`, or +infinity when the trace's rate
+  /// is zero from `now` on.
+  double NextArrival(double now);
+
+ private:
+  trace::RateTrace trace_;
+  bool poisson_;
+  Rng* rng_;
+};
+
+}  // namespace rod::sim
+
+#endif  // ROD_RUNTIME_WORKLOAD_DRIVER_H_

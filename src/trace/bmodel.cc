@@ -1,0 +1,56 @@
+#include "trace/bmodel.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace rod::trace {
+
+RateTrace GenerateBModel(const BModelOptions& options, Rng& rng) {
+  assert(options.levels >= 1 && options.levels <= 24);
+  assert(options.bias >= 0.5 && options.bias < 1.0);
+  assert(options.mean_rate >= 0.0 && options.window_sec > 0.0);
+
+  const size_t n = size_t{1} << options.levels;
+  // Cascade: start from the total tuple volume and recursively split each
+  // segment, sending fraction `bias` to a uniformly random half.
+  std::vector<double> cur = {options.mean_rate * static_cast<double>(n) *
+                             options.window_sec};
+  for (size_t level = 0; level < options.levels; ++level) {
+    std::vector<double> next;
+    next.reserve(cur.size() * 2);
+    for (double total : cur) {
+      const double heavy = total * options.bias;
+      const double light = total - heavy;
+      if (rng.Bernoulli(0.5)) {
+        next.push_back(heavy);
+        next.push_back(light);
+      } else {
+        next.push_back(light);
+        next.push_back(heavy);
+      }
+    }
+    cur = std::move(next);
+  }
+
+  RateTrace trace;
+  trace.window_sec = options.window_sec;
+  trace.rates = std::move(cur);
+  for (double& tuples : trace.rates) tuples /= options.window_sec;
+  return trace;
+}
+
+double BModelTheoreticalCv(double bias, size_t levels) {
+  assert(bias >= 0.5 && bias < 1.0);
+  const double factor = 4.0 * bias * bias - 4.0 * bias + 2.0;
+  return std::sqrt(std::pow(factor, static_cast<double>(levels)) - 1.0);
+}
+
+double BModelBiasForCv(double target_cv, size_t levels) {
+  assert(target_cv >= 0.0 && levels >= 1);
+  // cv^2 + 1 = (4b^2 - 4b + 2)^levels, solved for b in [0.5, 1).
+  const double factor = std::pow(target_cv * target_cv + 1.0,
+                                 1.0 / static_cast<double>(levels));
+  return 0.5 * (1.0 + std::sqrt(factor - 1.0));
+}
+
+}  // namespace rod::trace

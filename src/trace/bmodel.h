@@ -1,0 +1,50 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// The b-model: a binomial multiplicative cascade that generates
+// self-similar, bursty traffic series (Wang et al., "Data Mining Meets
+// Performance Evaluation: Fast Algorithms for Modeling Bursty Traffic").
+// A bias b = 0.5 yields a flat series; b -> 1 concentrates volume in ever
+// fewer windows, raising burstiness at *every* aggregation level — the
+// property the paper's Figure 2 highlights ("similar behaviour is observed
+// at other time-scales due to the self-similar nature of these
+// workloads").
+
+#ifndef ROD_TRACE_BMODEL_H_
+#define ROD_TRACE_BMODEL_H_
+
+#include "common/random.h"
+#include "trace/trace.h"
+
+namespace rod::trace {
+
+/// b-model cascade parameters.
+struct BModelOptions {
+  /// Cascade depth; the series has 2^levels windows.
+  size_t levels = 12;
+
+  /// Split bias in [0.5, 1): at each level one random half of the interval
+  /// receives fraction `bias` of the volume, the other `1 - bias`.
+  double bias = 0.65;
+
+  /// Mean rate of the generated series (tuples/second).
+  double mean_rate = 1.0;
+
+  /// Window width in seconds.
+  double window_sec = 1.0;
+};
+
+/// Generates one b-model series. Deterministic given `rng`'s state.
+RateTrace GenerateBModel(const BModelOptions& options, Rng& rng);
+
+/// Theoretical burstiness handle: the cascade's coefficient of variation
+/// after `levels` splits, `sqrt((4b^2 - 4b + 2)^levels - 1)`. Useful to
+/// pick a bias for a target cv.
+double BModelTheoreticalCv(double bias, size_t levels);
+
+/// Inverse of BModelTheoreticalCv: the bias whose cascade attains the
+/// target coefficient of variation at the given depth (closed form).
+double BModelBiasForCv(double target_cv, size_t levels);
+
+}  // namespace rod::trace
+
+#endif  // ROD_TRACE_BMODEL_H_

@@ -1,0 +1,95 @@
+#include "trace/hurst.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/stats.h"
+
+namespace rod::trace {
+
+namespace {
+
+/// Least-squares slope of y against x.
+double Slope(const std::vector<double>& x, const std::vector<double>& y) {
+  const double mx = Mean(x);
+  const double my = Mean(y);
+  double num = 0.0, den = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    num += (x[i] - mx) * (y[i] - my);
+    den += (x[i] - mx) * (x[i] - mx);
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+/// Rescaled range of one block: range of the mean-adjusted cumulative sum
+/// divided by the block's standard deviation. Returns 0 for degenerate
+/// (constant) blocks.
+double RescaledRange(const double* block, size_t len) {
+  double mean = 0.0;
+  for (size_t i = 0; i < len; ++i) mean += block[i];
+  mean /= static_cast<double>(len);
+  double cum = 0.0, lo = 0.0, hi = 0.0, var = 0.0;
+  for (size_t i = 0; i < len; ++i) {
+    cum += block[i] - mean;
+    lo = std::min(lo, cum);
+    hi = std::max(hi, cum);
+    var += (block[i] - mean) * (block[i] - mean);
+  }
+  const double sd = std::sqrt(var / static_cast<double>(len));
+  return sd > 0.0 ? (hi - lo) / sd : 0.0;
+}
+
+}  // namespace
+
+Result<double> EstimateHurstRS(const std::vector<double>& series) {
+  if (series.size() < 32) {
+    return Status::InvalidArgument("R/S analysis needs >= 32 observations");
+  }
+  std::vector<double> log_size, log_rs;
+  // Geometric block sizes from 8 to n/2.
+  for (size_t size = 8; size * 2 <= series.size(); size *= 2) {
+    const size_t blocks = series.size() / size;
+    double sum_rs = 0.0;
+    size_t used = 0;
+    for (size_t b = 0; b < blocks; ++b) {
+      const double rs = RescaledRange(series.data() + b * size, size);
+      if (rs > 0.0) {
+        sum_rs += rs;
+        ++used;
+      }
+    }
+    if (used == 0) continue;
+    log_size.push_back(std::log(static_cast<double>(size)));
+    log_rs.push_back(std::log(sum_rs / static_cast<double>(used)));
+  }
+  if (log_size.size() < 2) {
+    return Status::FailedPrecondition(
+        "series too degenerate for R/S analysis");
+  }
+  return Slope(log_size, log_rs);
+}
+
+Result<double> EstimateHurstVarianceTime(const std::vector<double>& series) {
+  if (series.size() < 64) {
+    return Status::InvalidArgument(
+        "variance-time analysis needs >= 64 observations");
+  }
+  std::vector<double> log_m, log_var;
+  for (size_t level = 1; series.size() / level >= 8; level *= 2) {
+    // Mean-aggregate: average consecutive groups of `level` samples.
+    std::vector<double> agg = AggregateSeries(series, level);
+    for (double& v : agg) v /= static_cast<double>(level);
+    const double sd = StdDev(agg);
+    if (sd <= 0.0) continue;
+    log_m.push_back(std::log(static_cast<double>(level)));
+    log_var.push_back(std::log(sd * sd));
+  }
+  if (log_m.size() < 2) {
+    return Status::FailedPrecondition(
+        "series too degenerate for variance-time analysis");
+  }
+  const double beta = -Slope(log_m, log_var);
+  return 1.0 - beta / 2.0;
+}
+
+}  // namespace rod::trace

@@ -1,0 +1,31 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Hurst parameter estimation by rescaled-range (R/S) analysis — used to
+// verify that the synthetic traces are self-similar like the paper's
+// Figure 2 workloads ("similar behaviour is observed at other time-scales
+// due to the self-similar nature of these workloads"). H = 0.5 is
+// memoryless; 0.5 < H < 1 indicates long-range dependence.
+
+#ifndef ROD_TRACE_HURST_H_
+#define ROD_TRACE_HURST_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace rod::trace {
+
+/// Estimates the Hurst exponent of `series` by R/S analysis: the series is
+/// split into blocks at geometrically spaced sizes, the average rescaled
+/// range R/S per size is computed, and H is the least-squares slope of
+/// log(R/S) against log(size). Requires at least 32 observations.
+Result<double> EstimateHurstRS(const std::vector<double>& series);
+
+/// Variance-time alternative: the slope beta of log Var(aggregated series)
+/// vs log(aggregation level) gives H = 1 - beta/2 for the *mean*-aggregated
+/// series. Requires at least 64 observations. Cross-checks EstimateHurstRS.
+Result<double> EstimateHurstVarianceTime(const std::vector<double>& series);
+
+}  // namespace rod::trace
+
+#endif  // ROD_TRACE_HURST_H_

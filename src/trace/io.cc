@@ -1,0 +1,120 @@
+#include "trace/io.h"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+namespace rod::trace {
+
+std::string ToCsvString(const RateTrace& trace) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "window_sec," << trace.window_sec << "\n";
+  for (double r : trace.rates) os << r << "\n";
+  return os.str();
+}
+
+Result<RateTrace> FromCsvString(const std::string& csv) {
+  std::istringstream is(csv);
+  std::string header;
+  if (!std::getline(is, header)) {
+    return Status::InvalidArgument("empty trace CSV");
+  }
+  const std::string prefix = "window_sec,";
+  if (header.rfind(prefix, 0) != 0) {
+    return Status::InvalidArgument("trace CSV missing window_sec header");
+  }
+  RateTrace trace;
+  try {
+    trace.window_sec = std::stod(header.substr(prefix.size()));
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("malformed window_sec value");
+  }
+  if (!(trace.window_sec > 0.0) || !std::isfinite(trace.window_sec)) {
+    return Status::InvalidArgument("window_sec must be positive and finite");
+  }
+  std::string line;
+  size_t line_no = 1;
+  while (std::getline(is, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    double value = 0.0;
+    try {
+      size_t consumed = 0;
+      value = std::stod(line, &consumed);
+      if (consumed != line.size()) {
+        return Status::InvalidArgument("trailing characters on line " +
+                                       std::to_string(line_no));
+      }
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("malformed rate on line " +
+                                     std::to_string(line_no));
+    }
+    if (value < 0.0 || !std::isfinite(value)) {
+      return Status::InvalidArgument("negative or non-finite rate on line " +
+                                     std::to_string(line_no));
+    }
+    trace.rates.push_back(value);
+  }
+  if (trace.rates.empty()) {
+    return Status::InvalidArgument("trace CSV has no rate rows");
+  }
+  return trace;
+}
+
+Status SaveCsv(const RateTrace& trace, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  out << ToCsvString(trace);
+  out.flush();
+  if (!out) {
+    return Status::Internal("write to '" + path + "' failed");
+  }
+  return Status::OK();
+}
+
+Result<RateTrace> LoadCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return FromCsvString(buffer.str());
+}
+
+Result<RateTrace> RatesFromTimestamps(const std::vector<double>& timestamps,
+                                      double window_sec) {
+  if (window_sec <= 0.0) {
+    return Status::InvalidArgument("window_sec must be positive");
+  }
+  if (timestamps.empty()) {
+    return Status::InvalidArgument("no timestamps");
+  }
+  double prev = 0.0;
+  for (double t : timestamps) {
+    if (t < 0.0) {
+      return Status::InvalidArgument("negative timestamp");
+    }
+    if (t < prev) {
+      return Status::InvalidArgument("timestamps must be sorted");
+    }
+    prev = t;
+  }
+  RateTrace trace;
+  trace.window_sec = window_sec;
+  const size_t windows =
+      static_cast<size_t>(std::floor(timestamps.back() / window_sec)) + 1;
+  trace.rates.assign(windows, 0.0);
+  for (double t : timestamps) {
+    size_t w = static_cast<size_t>(t / window_sec);
+    w = std::min(w, windows - 1);  // t == back lands in the final window
+    trace.rates[w] += 1.0;
+  }
+  for (double& r : trace.rates) r /= window_sec;
+  return trace;
+}
+
+}  // namespace rod::trace

@@ -1,0 +1,42 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Trace persistence and conversion. Real traces (e.g. the Internet Traffic
+// Archive sets the paper uses) arrive either as per-window rate series or
+// as raw arrival-timestamp logs; this module loads both, and saves rate
+// traces in a plain CSV format so experiments can pin exact inputs.
+
+#ifndef ROD_TRACE_IO_H_
+#define ROD_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/trace.h"
+
+namespace rod::trace {
+
+/// Writes `trace` as CSV: a header line "window_sec,<value>" followed by
+/// one rate per line. Overwrites `path`.
+Status SaveCsv(const RateTrace& trace, const std::string& path);
+
+/// Reads a trace written by SaveCsv. Fails on malformed content.
+Result<RateTrace> LoadCsv(const std::string& path);
+
+/// Converts a sorted list of raw arrival timestamps (seconds) into a rate
+/// trace with windows of `window_sec`, covering [0, max timestamp]. This
+/// is how timestamp-log traces (ITA-style) become rate series. Fails on
+/// unsorted or negative timestamps, or non-positive window.
+Result<RateTrace> RatesFromTimestamps(const std::vector<double>& timestamps,
+                                      double window_sec);
+
+/// Serializes a trace to the CSV string form used by SaveCsv (exposed for
+/// tests and in-memory round-trips).
+std::string ToCsvString(const RateTrace& trace);
+
+/// Parses the CSV string form. Fails on malformed content.
+Result<RateTrace> FromCsvString(const std::string& csv);
+
+}  // namespace rod::trace
+
+#endif  // ROD_TRACE_IO_H_

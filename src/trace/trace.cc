@@ -1,0 +1,99 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/stats.h"
+#include "trace/bmodel.h"
+
+namespace rod::trace {
+
+double RateTrace::MeanRate() const { return Mean(rates); }
+
+double RateTrace::StdDevRate() const { return StdDev(rates); }
+
+double RateTrace::CoefficientOfVariation() const {
+  const double mean = MeanRate();
+  return mean > 0.0 ? StdDevRate() / mean : 0.0;
+}
+
+double RateTrace::RateAt(double t) const {
+  if (rates.empty()) return 0.0;
+  if (t <= 0.0) return rates.front();
+  size_t w = static_cast<size_t>(t / window_sec);
+  w = std::min(w, rates.size() - 1);
+  return rates[w];
+}
+
+RateTrace RateTrace::ScaledToMean(double target_mean) const {
+  assert(target_mean >= 0.0);
+  RateTrace out = *this;
+  const double mean = MeanRate();
+  if (mean <= 0.0) return out;
+  const double factor = target_mean / mean;
+  for (double& r : out.rates) r *= factor;
+  return out;
+}
+
+const char* TracePresetName(TracePreset preset) {
+  switch (preset) {
+    case TracePreset::kPkt:
+      return "PKT";
+    case TracePreset::kTcp:
+      return "TCP";
+    case TracePreset::kHttp:
+      return "HTTP";
+  }
+  return "unknown";
+}
+
+RateTrace GeneratePreset(TracePreset preset, size_t num_windows,
+                         double window_sec, Rng& rng) {
+  assert(num_windows > 0);
+  // Target coefficients of variation calibrated to the character of the
+  // paper's Figure 2 traces (TCP most bursty, PKT least).
+  double target_cv = 0.2;
+  switch (preset) {
+    case TracePreset::kPkt:
+      target_cv = 0.2;
+      break;
+    case TracePreset::kTcp:
+      target_cv = 0.5;
+      break;
+    case TracePreset::kHttp:
+      target_cv = 0.35;
+      break;
+  }
+  // Round the window count up to the next power of two for the cascade,
+  // then truncate back.
+  size_t levels = 1;
+  while ((size_t{1} << levels) < num_windows) ++levels;
+  BModelOptions options;
+  options.levels = levels;
+  options.bias = BModelBiasForCv(target_cv, levels);
+  options.mean_rate = 1.0;
+  options.window_sec = window_sec;
+  RateTrace trace = GenerateBModel(options, rng);
+  trace.rates.resize(num_windows);
+  return trace.Normalized();  // re-center the truncated series at mean 1
+}
+
+RateTrace GenerateSinusoid(const SinusoidOptions& options) {
+  assert(options.num_windows > 0 && options.window_sec > 0.0);
+  assert(options.mean >= 0.0 && options.period > 0.0);
+  RateTrace trace;
+  trace.window_sec = options.window_sec;
+  trace.rates.reserve(options.num_windows);
+  for (size_t w = 0; w < options.num_windows; ++w) {
+    const double t = (static_cast<double>(w) + 0.5) * options.window_sec;
+    const double value =
+        options.mean *
+        (1.0 + options.relative_amplitude *
+                   std::sin(2.0 * M_PI * t / options.period + options.phase));
+    trace.rates.push_back(std::max(0.0, value));
+  }
+  return trace;
+}
+
+}  // namespace rod::trace

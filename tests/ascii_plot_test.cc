@@ -1,0 +1,94 @@
+// Tests for the 2-D feasible-set terminal renderer.
+
+#include "geometry/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace rod::geom {
+namespace {
+
+/// Counts occurrences of `c` in the plot's grid rows only (the legend
+/// line below the axis also contains '#' and '.').
+size_t Count(const std::string& s, char c) {
+  size_t n = 0;
+  std::istringstream is(s);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("   |", 0) != 0 && line.rfind("x2 ^", 0) != 0) continue;
+    for (size_t i = 4; i < line.size(); ++i) n += line[i] == c;
+  }
+  return n;
+}
+
+TEST(AsciiPlotTest, IdealSetFillsWholeTriangle) {
+  const Matrix w = Matrix::FromRows({{1.0, 1.0}});
+  auto plot = RenderFeasibleSet2D(w);
+  ASSERT_TRUE(plot.ok());
+  // Everything below the ideal hyperplane is feasible: no '.' cells.
+  EXPECT_EQ(Count(*plot, '.'), 0u);
+  EXPECT_GT(Count(*plot, '#'), 100u);
+}
+
+TEST(AsciiPlotTest, FeasibleAreaTracksRatio) {
+  // Plan (a) of Example 2 keeps half the ideal triangle: the '#' count
+  // should be roughly half of the ('#' + '.') count.
+  const Matrix w = Matrix::FromRows({{2.0, 0.0}, {0.0, 2.0}});
+  AsciiPlotOptions options;
+  options.width = 100;
+  options.height = 100;
+  options.x_max = 1.0;
+  options.y_max = 1.0;
+  auto plot = RenderFeasibleSet2D(w, options);
+  ASSERT_TRUE(plot.ok());
+  const double feasible = static_cast<double>(Count(*plot, '#'));
+  const double ideal = feasible + static_cast<double>(Count(*plot, '.'));
+  EXPECT_NEAR(feasible / ideal, 0.5, 0.03);
+}
+
+TEST(AsciiPlotTest, MarksLowerBound) {
+  const Matrix w = Matrix::FromRows({{1.0, 1.0}});
+  const Vector b = {0.3, 0.2};
+  auto plot = RenderFeasibleSet2D(w, AsciiPlotOptions{}, &b);
+  ASSERT_TRUE(plot.ok());
+  EXPECT_GE(Count(*plot, 'B'), 1u);
+}
+
+TEST(AsciiPlotTest, GeometryOrientation) {
+  // For W = [[4, 0]] (feasible iff x <= 0.25) the bottom-left region is
+  // feasible and the bottom-right (x near 1, y near 0) shows '.'.
+  const Matrix w = Matrix::FromRows({{4.0, 0.0}});
+  AsciiPlotOptions options;
+  options.width = 40;
+  options.height = 20;
+  options.x_max = 1.0;  // keep the bottom row inside the ideal triangle
+  options.y_max = 1.0;
+  auto plot = RenderFeasibleSet2D(w, options);
+  ASSERT_TRUE(plot.ok());
+  // Examine the last grid row (y near 0): it must start with '#' cells and
+  // switch to '.' after x = 0.25.
+  std::istringstream is(*plot);
+  std::string line, last_grid;
+  while (std::getline(is, line)) {
+    if (line.rfind("   |", 0) == 0) last_grid = line;
+  }
+  ASSERT_FALSE(last_grid.empty());
+  const std::string cells = last_grid.substr(4);
+  EXPECT_EQ(cells[1], '#');                    // x ~ 0.04
+  EXPECT_EQ(cells[cells.size() - 3], '.');     // x ~ 0.98 < ideal, overloaded
+}
+
+TEST(AsciiPlotTest, ValidatesInputs) {
+  EXPECT_FALSE(RenderFeasibleSet2D(Matrix(1, 3, 1.0)).ok());
+  AsciiPlotOptions tiny;
+  tiny.width = 2;
+  EXPECT_FALSE(RenderFeasibleSet2D(Matrix(1, 2, 1.0), tiny).ok());
+  const Vector bad_bound = {0.1};
+  EXPECT_FALSE(RenderFeasibleSet2D(Matrix(1, 2, 1.0), AsciiPlotOptions{},
+                                   &bad_bound)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace rod::geom

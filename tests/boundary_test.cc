@@ -1,0 +1,111 @@
+// Tests for feasibility-boundary analysis.
+
+#include "geometry/boundary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rod::geom {
+namespace {
+
+TEST(BoundaryScaleTest, SimpleAxisCases) {
+  const Matrix w = Matrix::FromRows({{2.0, 0.0}, {0.0, 4.0}});
+  // Along axis 0: node 0 saturates at x = 0.5.
+  auto s0 = BoundaryScale(w, Vector{1.0, 0.0});
+  ASSERT_TRUE(s0.ok());
+  EXPECT_NEAR(*s0, 0.5, 1e-12);
+  // Along axis 1: node 1 saturates at y = 0.25.
+  auto s1 = BoundaryScale(w, Vector{0.0, 1.0});
+  ASSERT_TRUE(s1.ok());
+  EXPECT_NEAR(*s1, 0.25, 1e-12);
+}
+
+TEST(BoundaryScaleTest, DiagonalDirection) {
+  const Matrix w = Matrix::FromRows({{1.0, 1.0}});
+  auto s = BoundaryScale(w, Vector{1.0, 1.0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(*s, 0.5, 1e-12);  // x + y = 1 hit at (0.5, 0.5)
+}
+
+TEST(BoundaryScaleTest, InfiniteWhenUnloaded) {
+  const Matrix w = Matrix::FromRows({{0.0, 1.0}});
+  auto s = BoundaryScale(w, Vector{1.0, 0.0});
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(std::isinf(*s));
+}
+
+TEST(BoundaryScaleTest, ScaledPointIsOnBoundary) {
+  const Matrix w = Matrix::FromRows({{1.2, 0.4}, {0.3, 1.7}, {0.9, 0.9}});
+  const Vector dir = {0.6, 0.8};
+  auto s = BoundaryScale(w, dir);
+  ASSERT_TRUE(s.ok());
+  // At the boundary the binding node's constraint is exactly 1.
+  double max_load = 0.0;
+  for (size_t i = 0; i < w.rows(); ++i) {
+    max_load = std::max(max_load, Dot(w.Row(i), Scale(dir, *s)));
+  }
+  EXPECT_NEAR(max_load, 1.0, 1e-12);
+}
+
+TEST(BoundaryScaleTest, RejectsBadDirections) {
+  const Matrix w = Matrix::FromRows({{1.0, 1.0}});
+  EXPECT_FALSE(BoundaryScale(w, Vector{1.0}).ok());
+  EXPECT_FALSE(BoundaryScale(w, Vector{-1.0, 1.0}).ok());
+  EXPECT_FALSE(BoundaryScale(w, Vector{0.0, 0.0}).ok());
+}
+
+TEST(BottleneckNodeTest, IdentifiesBindingNode) {
+  const Matrix w = Matrix::FromRows({{2.0, 0.0}, {0.0, 4.0}});
+  auto along_x = BottleneckNode(w, Vector{1.0, 0.0});
+  ASSERT_TRUE(along_x.ok());
+  EXPECT_EQ(*along_x, 0u);
+  auto along_y = BottleneckNode(w, Vector{0.0, 1.0});
+  ASSERT_TRUE(along_y.ok());
+  EXPECT_EQ(*along_y, 1u);
+}
+
+TEST(BottleneckNodeTest, FailsWhenNoneBinds) {
+  const Matrix w = Matrix::FromRows({{0.0, 1.0}});
+  EXPECT_FALSE(BottleneckNode(w, Vector{1.0, 0.0}).ok());
+}
+
+TEST(CriticalDirectionTest, PointsAtWeakestHyperplane) {
+  const Matrix w = Matrix::FromRows({{3.0, 4.0}, {1.0, 0.5}});
+  // Row 0 has norm 5 -> distance 0.2; row 1 distance ~0.894.
+  auto dir = CriticalDirection(w);
+  ASSERT_TRUE(dir.ok());
+  EXPECT_NEAR((*dir)[0], 0.6, 1e-12);
+  EXPECT_NEAR((*dir)[1], 0.8, 1e-12);
+  // Boundary along the critical direction equals the min plane distance.
+  auto s = BoundaryScale(w, *dir);
+  ASSERT_TRUE(s.ok());
+  EXPECT_NEAR(*s, 0.2, 1e-12);
+}
+
+TEST(CriticalDirectionTest, FailsOnAllZero) {
+  EXPECT_FALSE(CriticalDirection(Matrix(2, 2, 0.0)).ok());
+}
+
+TEST(HeadroomTest, BelowAndAboveBoundary) {
+  const Matrix w = Matrix::FromRows({{1.0, 1.0}});
+  auto inside = Headroom(w, Vector{0.2, 0.2});
+  ASSERT_TRUE(inside.ok());
+  EXPECT_NEAR(*inside, 2.5, 1e-12);  // can scale 2.5x before x + y = 1
+  auto outside = Headroom(w, Vector{0.8, 0.8});
+  ASSERT_TRUE(outside.ok());
+  EXPECT_LT(*outside, 1.0);  // already infeasible
+}
+
+TEST(BoundaryScaleTest, MoreNodesNeverIncreaseBoundary) {
+  const Matrix one = Matrix::FromRows({{1.0, 0.7}});
+  const Matrix two = Matrix::FromRows({{1.0, 0.7}, {0.6, 1.3}});
+  const Vector dir = {0.5, 0.5};
+  auto s1 = BoundaryScale(one, dir);
+  auto s2 = BoundaryScale(two, dir);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_LE(*s2, *s1 + 1e-12);
+}
+
+}  // namespace
+}  // namespace rod::geom

@@ -1,0 +1,137 @@
+// Tests for statistics-driven calibration (§7.1 measurement workflow).
+
+#include "runtime/calibrate.h"
+
+#include <gtest/gtest.h>
+
+#include "placement/evaluator.h"
+#include "placement/rod.h"
+#include "query/graph_gen.h"
+#include "query/load_model.h"
+
+namespace rod::sim {
+namespace {
+
+using place::SystemSpec;
+using query::OperatorKind;
+using query::QueryGraph;
+using query::StreamRef;
+
+TEST(CalibrateTest, RecoversCostsAndSelectivities) {
+  QueryGraph g;
+  const auto in = g.AddInputStream("I");
+  auto a = g.AddOperator({.name = "a", .kind = OperatorKind::kFilter,
+                          .cost = 2e-3, .selectivity = 0.4},
+                         {StreamRef::Input(in)});
+  auto b = g.AddOperator({.name = "b", .kind = OperatorKind::kMap,
+                          .cost = 5e-4, .selectivity = 1.0},
+                         {StreamRef::Op(*a)});
+  ASSERT_TRUE(b.ok());
+
+  const SystemSpec system = SystemSpec::Homogeneous(1);
+  auto calibrated = CalibrateWithTrialRun(g, system, Vector{100.0},
+                                          /*duration=*/60.0);
+  ASSERT_TRUE(calibrated.ok()) << calibrated.status().ToString();
+  EXPECT_NEAR(calibrated->spec(*a).cost, 2e-3, 2e-4);
+  EXPECT_NEAR(calibrated->spec(*a).selectivity, 0.4, 0.05);
+  EXPECT_NEAR(calibrated->spec(*b).cost, 5e-4, 5e-5);
+  EXPECT_NEAR(calibrated->spec(*b).selectivity, 1.0, 0.01);
+  // Structure preserved.
+  EXPECT_EQ(calibrated->num_operators(), g.num_operators());
+  EXPECT_EQ(calibrated->inputs_of(*b)[0].from, StreamRef::Op(*a));
+}
+
+TEST(CalibrateTest, RecoversJoinParameters) {
+  QueryGraph g;
+  const auto l = g.AddInputStream("L");
+  const auto r = g.AddInputStream("R");
+  auto j = g.AddOperator({.name = "j", .kind = OperatorKind::kJoin,
+                          .cost = 2e-5, .selectivity = 0.3, .window = 0.4},
+                         {StreamRef::Input(l), StreamRef::Input(r)});
+  ASSERT_TRUE(j.ok());
+  const SystemSpec system = SystemSpec::Homogeneous(1);
+  auto calibrated =
+      CalibrateWithTrialRun(g, system, Vector{60.0, 60.0}, 60.0);
+  ASSERT_TRUE(calibrated.ok()) << calibrated.status().ToString();
+  EXPECT_NEAR(calibrated->spec(*j).cost, 2e-5, 4e-6);          // per pair
+  EXPECT_NEAR(calibrated->spec(*j).selectivity, 0.3, 0.05);    // per pair
+  EXPECT_DOUBLE_EQ(calibrated->spec(*j).window, 0.4);          // declared
+}
+
+TEST(CalibrateTest, CalibratedModelMatchesTrueModel) {
+  query::GraphGenOptions gen;
+  gen.num_input_streams = 3;
+  gen.ops_per_tree = 6;
+  gen.min_cost = 0.5e-3;
+  gen.max_cost = 2e-3;
+  Rng rng(9);
+  const QueryGraph g = query::GenerateRandomTrees(gen, rng);
+  const SystemSpec system = SystemSpec::Homogeneous(2);
+
+  Vector rates(3, 80.0);
+  auto calibrated = CalibrateWithTrialRun(g, system, rates, 120.0);
+  ASSERT_TRUE(calibrated.ok()) << calibrated.status().ToString();
+
+  auto true_model = query::BuildLoadModel(g);
+  auto est_model = query::BuildLoadModel(*calibrated);
+  ASSERT_TRUE(true_model.ok() && est_model.ok());
+  // Total per-stream load coefficients within 15%.
+  for (size_t k = 0; k < 3; ++k) {
+    EXPECT_NEAR(est_model->total_coeffs()[k], true_model->total_coeffs()[k],
+                0.15 * true_model->total_coeffs()[k])
+        << "stream " << k;
+  }
+  // And the placement driven by measurements performs nearly as well as
+  // the one driven by ground truth, judged under the *true* model.
+  auto plan_true = place::RodPlace(*true_model, system);
+  auto plan_est = place::RodPlace(*est_model, system);
+  ASSERT_TRUE(plan_true.ok() && plan_est.ok());
+  const place::PlacementEvaluator eval(*true_model, system);
+  geom::VolumeOptions vol;
+  vol.num_samples = 8192;
+  const double r_true = *eval.RatioToIdeal(*plan_true, vol);
+  const double r_est = *eval.RatioToIdeal(*plan_est, vol);
+  EXPECT_GT(r_est, 0.85 * r_true);
+}
+
+TEST(CalibrateTest, LowSampleOperatorsKeepDeclaredSpecs) {
+  QueryGraph g;
+  const auto in = g.AddInputStream("I");
+  // Selectivity 0 starves the downstream operator of samples.
+  auto a = g.AddOperator({.name = "a", .kind = OperatorKind::kFilter,
+                          .cost = 1e-3, .selectivity = 0.0},
+                         {StreamRef::Input(in)});
+  auto b = g.AddOperator({.name = "b", .kind = OperatorKind::kMap,
+                          .cost = 7e-3, .selectivity = 1.0},
+                         {StreamRef::Op(*a)});
+  ASSERT_TRUE(b.ok());
+  const SystemSpec system = SystemSpec::Homogeneous(1);
+  auto calibrated = CalibrateWithTrialRun(g, system, Vector{50.0}, 30.0);
+  ASSERT_TRUE(calibrated.ok());
+  EXPECT_DOUBLE_EQ(calibrated->spec(*b).cost, 7e-3);  // declared, untouched
+}
+
+TEST(CalibrateTest, ValidatesStatsShape) {
+  QueryGraph g;
+  const auto in = g.AddInputStream("I");
+  ASSERT_TRUE(g.AddOperator({.name = "a", .kind = OperatorKind::kMap,
+                             .cost = 1e-3},
+                            {StreamRef::Input(in)})
+                  .ok());
+  SimulationResult bogus;  // empty op_stats
+  EXPECT_FALSE(CalibrateFromRun(g, bogus).ok());
+}
+
+TEST(CalibrateTest, ValidatesRates) {
+  QueryGraph g;
+  const auto in = g.AddInputStream("I");
+  ASSERT_TRUE(g.AddOperator({.name = "a", .kind = OperatorKind::kMap,
+                             .cost = 1e-3},
+                            {StreamRef::Input(in)})
+                  .ok());
+  const SystemSpec system = SystemSpec::Homogeneous(1);
+  EXPECT_FALSE(CalibrateWithTrialRun(g, system, Vector{1.0, 2.0}).ok());
+}
+
+}  // namespace
+}  // namespace rod::sim

@@ -1,0 +1,151 @@
+// Property sweeps (TEST_P) for §6.3 operator clustering: partition
+// validity, load conservation, weight caps, and threshold monotonicity
+// over randomized graphs with random communication costs.
+
+#include <gtest/gtest.h>
+
+#include "geometry/hyperplane.h"
+#include "placement/clustering.h"
+#include "placement/evaluator.h"
+#include "query/graph_gen.h"
+#include "query/load_model.h"
+
+namespace rod::place {
+namespace {
+
+using query::QueryGraph;
+
+class ClusteringSweepTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    rod::Rng rng(GetParam());
+    query::GraphGenOptions gen;
+    gen.num_input_streams = 2 + rng.NextIndex(3);
+    gen.ops_per_tree = 6 + rng.NextIndex(10);
+    graph_with_comm_ = BuildWithComm(gen, rng);
+    auto model = query::BuildLoadModel(graph_with_comm_);
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(*model);
+    system_ = SystemSpec::Homogeneous(2 + rng.NextIndex(3));
+  }
+
+  /// Random trees re-built with random comm costs on operator arcs.
+  static QueryGraph BuildWithComm(const query::GraphGenOptions& gen,
+                                  Rng& rng) {
+    const QueryGraph base = query::GenerateRandomTrees(gen, rng);
+    QueryGraph out;
+    for (query::InputStreamId k = 0; k < base.num_input_streams(); ++k) {
+      out.AddInputStream(base.input_name(k));
+    }
+    for (query::OperatorId j = 0; j < base.num_operators(); ++j) {
+      std::vector<query::StreamRef> inputs;
+      std::vector<double> comm;
+      for (const query::Arc& arc : base.inputs_of(j)) {
+        inputs.push_back(arc.from);
+        comm.push_back(arc.from.kind == query::StreamRef::Kind::kOperator
+                           ? rng.Uniform(0.0, 5e-3)
+                           : 0.0);
+      }
+      EXPECT_TRUE(out.AddOperator(base.spec(j), inputs, comm).ok());
+    }
+    return out;
+  }
+
+  QueryGraph graph_with_comm_;
+  query::LoadModel model_;
+  SystemSpec system_;
+};
+
+TEST_P(ClusteringSweepTest, PartitionIsValid) {
+  for (auto scheme : {ClusteringOptions::Scheme::kClusteringRatio,
+                      ClusteringOptions::Scheme::kMinWeight}) {
+    ClusteringOptions options;
+    options.scheme = scheme;
+    options.ratio_threshold = 0.5;
+    auto c = ClusterOperators(model_, graph_with_comm_, system_, options);
+    ASSERT_TRUE(c.ok());
+    // Every operator in exactly one cluster, ids consistent.
+    std::vector<bool> seen(model_.num_operators(), false);
+    for (size_t cl = 0; cl < c->num_clusters(); ++cl) {
+      for (query::OperatorId j : c->clusters[cl]) {
+        EXPECT_EQ(c->cluster_of[j], cl);
+        EXPECT_FALSE(seen[j]);
+        seen[j] = true;
+      }
+    }
+    for (bool s : seen) EXPECT_TRUE(s);
+  }
+}
+
+TEST_P(ClusteringSweepTest, ClusterCoeffsConserveLoad) {
+  ClusteringOptions options;
+  options.ratio_threshold = 0.25;
+  auto c = ClusterOperators(model_, graph_with_comm_, system_, options);
+  ASSERT_TRUE(c.ok());
+  for (size_t k = 0; k < model_.num_vars(); ++k) {
+    EXPECT_NEAR(c->cluster_coeffs.ColSum(k), model_.total_coeffs()[k], 1e-9);
+  }
+}
+
+TEST_P(ClusteringSweepTest, MergedClustersRespectWeightCap) {
+  ClusteringOptions options;
+  options.ratio_threshold = 0.01;  // merge aggressively
+  options.max_cluster_weight = 0.4;
+  auto c = ClusterOperators(model_, graph_with_comm_, system_, options);
+  ASSERT_TRUE(c.ok());
+  for (size_t cl = 0; cl < c->num_clusters(); ++cl) {
+    if (c->clusters[cl].size() < 2) continue;  // singletons are exempt
+    EXPECT_LE(c->ClusterWeight(cl, model_.total_coeffs()), 0.4 + 1e-9);
+  }
+}
+
+TEST_P(ClusteringSweepTest, HigherThresholdMergesLess) {
+  ClusteringOptions lo;
+  lo.ratio_threshold = 0.1;
+  lo.max_cluster_weight = 1.0;
+  ClusteringOptions hi = lo;
+  hi.ratio_threshold = 10.0;
+  auto c_lo = ClusterOperators(model_, graph_with_comm_, system_, lo);
+  auto c_hi = ClusterOperators(model_, graph_with_comm_, system_, hi);
+  ASSERT_TRUE(c_lo.ok() && c_hi.ok());
+  EXPECT_GE(c_hi->num_clusters(), c_lo->num_clusters());
+}
+
+TEST_P(ClusteringSweepTest, ExpandedPlacementKeepsClustersTogether) {
+  ClusteringOptions options;
+  options.ratio_threshold = 0.2;
+  auto c = ClusterOperators(model_, graph_with_comm_, system_, options);
+  ASSERT_TRUE(c.ok());
+  auto cluster_plan = RodPlaceMatrix(c->cluster_coeffs, model_.total_coeffs(),
+                                     system_);
+  ASSERT_TRUE(cluster_plan.ok());
+  const Placement expanded = c->ExpandPlacement(*cluster_plan);
+  for (query::OperatorId j = 0; j < model_.num_operators(); ++j) {
+    EXPECT_EQ(expanded.node_of(j), cluster_plan->node_of(c->cluster_of[j]));
+  }
+  // Co-clustered operators are co-located.
+  for (size_t cl = 0; cl < c->num_clusters(); ++cl) {
+    for (query::OperatorId j : c->clusters[cl]) {
+      EXPECT_EQ(expanded.node_of(j), expanded.node_of(c->clusters[cl][0]));
+    }
+  }
+}
+
+TEST_P(ClusteringSweepTest, SweepBeatsOrMatchesPlainRodOnCommMetric) {
+  auto sweep = ClusteredRodPlace(model_, graph_with_comm_, system_);
+  ASSERT_TRUE(sweep.ok());
+  auto plain = RodPlace(model_, system_);
+  ASSERT_TRUE(plain.ok());
+  const Matrix plain_coeffs =
+      NodeCoeffsWithComm(*plain, model_, graph_with_comm_);
+  auto w = geom::ComputeWeightMatrix(plain_coeffs, model_.total_coeffs(),
+                                     system_.capacities);
+  ASSERT_TRUE(w.ok());
+  EXPECT_GE(sweep->plane_distance + 1e-12, geom::MinPlaneDistance(*w));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClusteringSweepTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace rod::place

@@ -1,0 +1,114 @@
+// Tests for the dense matrix / vector algebra.
+
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace rod {
+namespace {
+
+TEST(VectorOpsTest, Dot) {
+  Vector a = {1.0, 2.0, 3.0};
+  Vector b = {4.0, -5.0, 6.0};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 4.0 - 10.0 + 18.0);
+}
+
+TEST(VectorOpsTest, Norm2) {
+  Vector a = {3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(Norm2(Vector{}), 0.0);
+}
+
+TEST(VectorOpsTest, SumAddSubScale) {
+  Vector a = {1.0, 2.0};
+  Vector b = {10.0, 20.0};
+  EXPECT_DOUBLE_EQ(Sum(a), 3.0);
+  EXPECT_EQ(Add(a, b), (Vector{11.0, 22.0}));
+  EXPECT_EQ(Sub(b, a), (Vector{9.0, 18.0}));
+  EXPECT_EQ(Scale(a, 3.0), (Vector{3.0, 6.0}));
+}
+
+TEST(VectorOpsTest, AlmostEqual) {
+  EXPECT_TRUE(AlmostEqual(Vector{1.0, 2.0}, Vector{1.0 + 1e-12, 2.0}));
+  EXPECT_FALSE(AlmostEqual(Vector{1.0}, Vector{1.0, 2.0}));
+  EXPECT_FALSE(AlmostEqual(Vector{1.0}, Vector{1.1}));
+}
+
+TEST(MatrixTest, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+  EXPECT_TRUE(Matrix().empty());
+}
+
+TEST(MatrixTest, FromRows) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, RowSpanMutation) {
+  Matrix m(2, 2);
+  auto row = m.Row(1);
+  row[0] = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 7.0);
+}
+
+TEST(MatrixTest, ColAndColSum) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(m.Col(1), (Vector{2.0, 4.0}));
+  EXPECT_DOUBLE_EQ(m.ColSum(0), 4.0);
+}
+
+TEST(MatrixTest, MatMul) {
+  // The paper's L^n = A . L^o shape: allocation (2x3) times coeffs (3x2).
+  Matrix a = Matrix::FromRows({{1.0, 1.0, 0.0}, {0.0, 0.0, 1.0}});
+  Matrix lo = Matrix::FromRows({{4.0, 0.0}, {6.0, 0.0}, {0.0, 9.0}});
+  Matrix ln = a.MatMul(lo);
+  EXPECT_EQ(ln.rows(), 2u);
+  EXPECT_EQ(ln.cols(), 2u);
+  EXPECT_DOUBLE_EQ(ln(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(ln(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(ln(1, 1), 9.0);
+}
+
+TEST(MatrixTest, MatVec) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  EXPECT_EQ(m.MatVec(Vector{1.0, 1.0}), (Vector{3.0, 7.0}));
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(MatrixTest, TransposeIsInvolution) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}, {5.0, 6.0}});
+  EXPECT_TRUE(m.Transposed().Transposed().AlmostEquals(m));
+}
+
+TEST(MatrixTest, AlmostEquals) {
+  Matrix a = Matrix::FromRows({{1.0, 2.0}});
+  Matrix b = Matrix::FromRows({{1.0 + 1e-12, 2.0}});
+  Matrix c = Matrix::FromRows({{1.1, 2.0}});
+  EXPECT_TRUE(a.AlmostEquals(b));
+  EXPECT_FALSE(a.AlmostEquals(c));
+  EXPECT_FALSE(a.AlmostEquals(Matrix(2, 1)));
+}
+
+TEST(MatrixTest, ToStringRendersValues) {
+  Matrix m = Matrix::FromRows({{1.0, 2.0}, {3.0, 4.0}});
+  const std::string s = m.ToString();
+  EXPECT_NE(s.find('1'), std::string::npos);
+  EXPECT_NE(s.find('4'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rod

@@ -1,0 +1,161 @@
+// Tests for the deterministic PRNG.
+
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+namespace rod {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) differing += a.NextU64() != b.NextU64();
+  EXPECT_GT(differing, 60);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng a(7);
+  std::vector<uint64_t> first;
+  for (int i = 0; i < 10; ++i) first.push_back(a.NextU64());
+  a.Reseed(7);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.NextU64(), first[i]);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.Uniform(-3.0, 5.5);
+    EXPECT_GE(x, -3.0);
+    EXPECT_LT(x, 5.5);
+  }
+}
+
+TEST(RngTest, UniformMeanApproximatelyCentered) {
+  Rng rng(42);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform(0.0, 10.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, NextIndexCoversRangeUniformly) {
+  Rng rng(9);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.NextIndex(7)];
+  for (int c : counts) EXPECT_NEAR(c, n / 7, n / 7 * 0.1);
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values hit
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal(2.0, 3.0);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(var, 9.0, 0.2);
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(17);
+  const int n = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(4.0);
+  EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(RngTest, ParetoScaleAndMean) {
+  Rng rng(19);
+  const int n = 400000;
+  double sum = 0.0;
+  double min_seen = 1e300;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Pareto(2.0, 3.0);
+    min_seen = std::min(min_seen, x);
+    sum += x;
+  }
+  EXPECT_GE(min_seen, 2.0);          // support is [xm, inf)
+  EXPECT_NEAR(sum / n, 3.0, 0.05);   // mean = xm * a/(a-1) = 3
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(23);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ShuffleUniformFirstElement) {
+  Rng rng(29);
+  std::vector<int> counts(5, 0);
+  for (int trial = 0; trial < 50000; ++trial) {
+    std::vector<int> v = {0, 1, 2, 3, 4};
+    rng.Shuffle(v);
+    ++counts[v[0]];
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 1000);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(31);
+  Rng child = parent.Fork();
+  // The child must not replay the parent's continuation.
+  Rng parent_copy(31);
+  (void)parent_copy.Fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += child.NextU64() == parent.NextU64();
+  EXPECT_LT(equal, 4);
+}
+
+}  // namespace
+}  // namespace rod

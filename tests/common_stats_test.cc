@@ -1,0 +1,113 @@
+// Tests for running and batch statistics.
+
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rod {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStatsTest, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // unbiased
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.Add(x);
+    (i % 2 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.Merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 1.0);
+}
+
+TEST(PercentileTest, EmptyAndSingle) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({3.0}, 0.99), 3.0);
+}
+
+TEST(PercentileTest, InterpolatesOrderStatistics) {
+  std::vector<double> v = {4.0, 1.0, 3.0, 2.0};  // sorted: 1 2 3 4
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.5), 2.5);
+  EXPECT_NEAR(Percentile(v, 1.0 / 3.0), 2.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectCorrelation) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(PearsonCorrelation(a, b), 1.0, 1e-12);
+}
+
+TEST(PearsonTest, PerfectAntiCorrelation) {
+  std::vector<double> a = {1.0, 2.0, 3.0};
+  std::vector<double> b = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(PearsonCorrelation(a, b), -1.0, 1e-12);
+}
+
+TEST(PearsonTest, ConstantSeriesIsZero) {
+  std::vector<double> a = {1.0, 1.0, 1.0};
+  std::vector<double> b = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(PearsonCorrelation(a, b), 0.0);
+}
+
+TEST(PearsonTest, IndependentNearZero) {
+  std::vector<double> a, b;
+  for (int i = 0; i < 1000; ++i) {
+    a.push_back(std::sin(0.7 * i));
+    b.push_back(std::cos(1.3 * i + 0.5));
+  }
+  EXPECT_NEAR(PearsonCorrelation(a, b), 0.0, 0.1);
+}
+
+TEST(MeanStdDevTest, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(StdDev({5.0}), 0.0);
+  EXPECT_NEAR(StdDev({1.0, 3.0}), 1.0, 1e-12);  // population stddev
+}
+
+TEST(AggregateSeriesTest, SumsGroupsAndDropsTail) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_EQ(AggregateSeries(v, 2), (std::vector<double>{3.0, 7.0}));
+  EXPECT_EQ(AggregateSeries(v, 5), (std::vector<double>{15.0}));
+  EXPECT_TRUE(AggregateSeries(v, 6).empty());
+  EXPECT_EQ(AggregateSeries(v, 1), v);
+}
+
+}  // namespace
+}  // namespace rod

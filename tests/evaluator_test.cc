@@ -1,0 +1,231 @@
+// Tests for PlacementEvaluator and communication-aware node coefficients.
+
+#include "placement/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include "query/load_model.h"
+#include "query/query_graph.h"
+
+namespace rod::place {
+namespace {
+
+using query::InputStreamId;
+using query::OperatorKind;
+using query::QueryGraph;
+using query::StreamRef;
+
+/// The paper's Figure 4 / Example 2 fixture.
+struct Fixture {
+  QueryGraph g;
+  query::LoadModel model;
+  SystemSpec system = SystemSpec::Homogeneous(2);
+
+  Fixture() {
+    const InputStreamId i1 = g.AddInputStream("I1");
+    const InputStreamId i2 = g.AddInputStream("I2");
+    auto o1 = g.AddOperator({.name = "o1", .kind = OperatorKind::kMap,
+                             .cost = 4.0, .selectivity = 1.0},
+                            {StreamRef::Input(i1)});
+    auto o2 = g.AddOperator({.name = "o2", .kind = OperatorKind::kMap,
+                             .cost = 6.0, .selectivity = 1.0},
+                            {StreamRef::Op(*o1)});
+    auto o3 = g.AddOperator({.name = "o3", .kind = OperatorKind::kFilter,
+                             .cost = 9.0, .selectivity = 0.5},
+                            {StreamRef::Input(i2)});
+    auto o4 = g.AddOperator({.name = "o4", .kind = OperatorKind::kMap,
+                             .cost = 4.0, .selectivity = 1.0},
+                            {StreamRef::Op(*o3)});
+    EXPECT_TRUE(o4.ok());
+    model = *query::BuildLoadModel(g);
+  }
+};
+
+TEST(EvaluatorTest, WeightMatrixHandChecked) {
+  Fixture f;
+  const PlacementEvaluator eval(f.model, f.system);
+  // Plan (a): {o1,o2} | {o3,o4} -> L^n = [[10,0],[0,11]], w = [[2,0],[0,2]].
+  auto w = eval.WeightMatrix(Placement(2, {0, 0, 1, 1}));
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR((*w)(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR((*w)(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR((*w)(1, 1), 2.0, 1e-12);
+}
+
+TEST(EvaluatorTest, MismatchedPlacementRejected) {
+  Fixture f;
+  const PlacementEvaluator eval(f.model, f.system);
+  EXPECT_FALSE(eval.WeightMatrix(Placement(2, {0, 0, 1})).ok());
+  EXPECT_FALSE(eval.WeightMatrix(Placement(3, {0, 0, 1, 2})).ok());
+}
+
+TEST(EvaluatorTest, NodeLoadsAndUtilization) {
+  Fixture f;
+  const PlacementEvaluator eval(f.model, f.system);
+  const Placement plan(2, {0, 0, 1, 1});
+  const Vector loads = eval.NodeLoadsAt(plan, Vector{0.05, 0.02});
+  EXPECT_NEAR(loads[0], 10.0 * 0.05, 1e-12);
+  EXPECT_NEAR(loads[1], 11.0 * 0.02, 1e-12);
+  const Vector util = eval.NodeUtilizationAt(plan, Vector{0.05, 0.02});
+  EXPECT_NEAR(util[0], 0.5, 1e-12);
+}
+
+TEST(EvaluatorTest, FeasibleAtBoundary) {
+  Fixture f;
+  const PlacementEvaluator eval(f.model, f.system);
+  const Placement plan(2, {0, 0, 1, 1});
+  // Node 0 saturates at r1 = C/10 = 0.1.
+  EXPECT_TRUE(eval.FeasibleAt(plan, Vector{0.1, 0.0}));
+  EXPECT_FALSE(eval.FeasibleAt(plan, Vector{0.11, 0.0}));
+}
+
+TEST(EvaluatorTest, RatioToIdealMatchesExactGeometry) {
+  Fixture f;
+  const PlacementEvaluator eval(f.model, f.system);
+  geom::VolumeOptions options;
+  options.num_samples = 1u << 16;
+  auto ratio = eval.RatioToIdeal(Placement(2, {0, 0, 1, 1}), options);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_NEAR(*ratio, 0.5, 0.01);  // exact value from polygon cross-check
+}
+
+TEST(EvaluatorTest, MinPlaneDistance) {
+  Fixture f;
+  const PlacementEvaluator eval(f.model, f.system);
+  auto d = eval.MinPlaneDistance(Placement(2, {0, 0, 1, 1}));
+  ASSERT_TRUE(d.ok());
+  EXPECT_NEAR(*d, 0.5, 1e-12);  // rows (2,0) and (0,2): 1/2
+}
+
+TEST(EvaluatorTest, IdealVolumeClosedForm) {
+  Fixture f;
+  const PlacementEvaluator eval(f.model, f.system);
+  auto v = eval.IdealVolume();
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(*v, 4.0 / (2.0 * 10.0 * 11.0), 1e-12);
+}
+
+TEST(EvaluatorTest, IdealVolumeRejectsLinearizedModels) {
+  QueryGraph g;
+  const InputStreamId i1 = g.AddInputStream("I1");
+  const InputStreamId i2 = g.AddInputStream("I2");
+  auto j = g.AddOperator({.name = "j", .kind = OperatorKind::kJoin,
+                          .cost = 1.0, .selectivity = 0.5, .window = 1.0},
+                         {StreamRef::Input(i1), StreamRef::Input(i2)});
+  ASSERT_TRUE(j.ok());
+  auto model = query::BuildLinearizedLoadModel(g);
+  ASSERT_TRUE(model.ok());
+  const SystemSpec system = SystemSpec::Homogeneous(2);
+  const PlacementEvaluator eval(*model, system);
+  EXPECT_EQ(eval.IdealVolume().status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ExplainTest, ReportNamesOperatorsAndMetrics) {
+  Fixture f;
+  const PlacementEvaluator eval(f.model, f.system);
+  auto report = ExplainPlacement(eval, Placement(2, {0, 0, 1, 1}), &f.g);
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("o1"), std::string::npos);
+  EXPECT_NE(report->find("node 1"), std::string::npos);
+  EXPECT_NE(report->find("min plane distance"), std::string::npos);
+  EXPECT_NE(report->find("feasible-set ratio"), std::string::npos);
+}
+
+TEST(ExplainTest, FallsBackToOpIdsWithoutGraph) {
+  Fixture f;
+  const PlacementEvaluator eval(f.model, f.system);
+  auto report = ExplainPlacement(eval, Placement(2, {0, 0, 1, 1}));
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->find("op0"), std::string::npos);
+}
+
+TEST(ExplainTest, PropagatesEvaluationErrors) {
+  Fixture f;
+  const PlacementEvaluator eval(f.model, f.system);
+  EXPECT_FALSE(ExplainPlacement(eval, Placement(2, {0, 0, 1})).ok());
+}
+
+TEST(CommCoeffsTest, LocalArcsAddNothing) {
+  QueryGraph g;
+  const InputStreamId in = g.AddInputStream("I");
+  auto a = g.AddOperator({.name = "a", .kind = OperatorKind::kMap, .cost = 1.0},
+                         {StreamRef::Input(in)});
+  auto b = g.AddOperator({.name = "b", .kind = OperatorKind::kMap, .cost = 2.0},
+                         {StreamRef::Op(*a)}, {0.5});
+  ASSERT_TRUE(b.ok());
+  auto model = query::BuildLoadModel(g);
+  ASSERT_TRUE(model.ok());
+
+  const Placement colocated(2, {0, 0});
+  const Matrix with = NodeCoeffsWithComm(colocated, *model, g);
+  const Matrix base = colocated.NodeCoeffs(model->op_coeffs());
+  EXPECT_TRUE(with.AlmostEquals(base));
+}
+
+TEST(CommCoeffsTest, CrossingArcChargesBothEndpoints) {
+  QueryGraph g;
+  const InputStreamId in = g.AddInputStream("I");
+  auto a = g.AddOperator({.name = "a", .kind = OperatorKind::kMap,
+                          .cost = 1.0, .selectivity = 0.5},
+                         {StreamRef::Input(in)});
+  auto b = g.AddOperator({.name = "b", .kind = OperatorKind::kMap, .cost = 2.0},
+                         {StreamRef::Op(*a)}, {0.4});
+  ASSERT_TRUE(b.ok());
+  auto model = query::BuildLoadModel(g);
+  ASSERT_TRUE(model.ok());
+
+  const Placement split(2, {0, 1});
+  const Matrix with = NodeCoeffsWithComm(split, *model, g);
+  const Matrix base = split.NodeCoeffs(model->op_coeffs());
+  // Arc rate coefficient = selectivity(a) = 0.5 per unit input rate;
+  // each endpoint pays 0.4 * 0.5 = 0.2 extra per unit rate.
+  EXPECT_NEAR(with(0, 0) - base(0, 0), 0.2, 1e-12);
+  EXPECT_NEAR(with(1, 0) - base(1, 0), 0.2, 1e-12);
+}
+
+TEST(CommCoeffsTest, CrossingJoinOutputChargesAuxVariable) {
+  // A crossing arc downstream of a join transfers tuples at the join's
+  // *output* rate — an auxiliary variable after linearization — so the
+  // comm charge must land on the aux column, keeping the model linear.
+  QueryGraph g;
+  const InputStreamId i0 = g.AddInputStream("L");
+  const InputStreamId i1 = g.AddInputStream("R");
+  auto j = g.AddOperator({.name = "j", .kind = OperatorKind::kJoin,
+                          .cost = 1e-5, .selectivity = 0.5, .window = 1.0},
+                         {StreamRef::Input(i0), StreamRef::Input(i1)});
+  auto d = g.AddOperator({.name = "d", .kind = OperatorKind::kMap,
+                          .cost = 1e-3},
+                         {StreamRef::Op(*j)}, {2e-4});
+  ASSERT_TRUE(d.ok());
+  auto model = query::BuildLinearizedLoadModel(g);
+  ASSERT_TRUE(model.ok());
+  ASSERT_EQ(model->num_vars(), 3u);  // L, R, join-out
+
+  const Placement split(2, {0, 1});
+  const Matrix with = NodeCoeffsWithComm(split, *model, g);
+  const Matrix base = split.NodeCoeffs(model->op_coeffs());
+  // Aux column (index 2) gains 2e-4 on each endpoint; physical columns
+  // are untouched by the crossing.
+  EXPECT_NEAR(with(0, 2) - base(0, 2), 2e-4, 1e-12);
+  EXPECT_NEAR(with(1, 2) - base(1, 2), 2e-4, 1e-12);
+  EXPECT_NEAR(with(0, 0), base(0, 0), 1e-12);
+  EXPECT_NEAR(with(1, 1), base(1, 1), 1e-12);
+}
+
+TEST(CommCoeffsTest, InputIngestionChargedOnReceiverOnly) {
+  QueryGraph g;
+  const InputStreamId in = g.AddInputStream("I");
+  auto a = g.AddOperator({.name = "a", .kind = OperatorKind::kMap, .cost = 1.0},
+                         {StreamRef::Input(in)}, {0.3});
+  ASSERT_TRUE(a.ok());
+  auto model = query::BuildLoadModel(g);
+  ASSERT_TRUE(model.ok());
+  const Placement plan(2, {1});
+  const Matrix with = NodeCoeffsWithComm(plan, *model, g);
+  EXPECT_NEAR(with(1, 0), 1.0 + 0.3, 1e-12);
+  EXPECT_NEAR(with(0, 0), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rod::place

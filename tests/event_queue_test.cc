@@ -1,0 +1,65 @@
+// Tests for the deterministic event queue.
+
+#include "runtime/event_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace rod::sim {
+namespace {
+
+TEST(EventQueueTest, EmptyInitially) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  q.Push(3.0, EventType::kNodeDone, 0);
+  q.Push(1.0, EventType::kExternalArrival, 1);
+  q.Push(2.0, EventType::kNodeDone, 2);
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_DOUBLE_EQ(q.Pop().time, 1.0);
+  EXPECT_DOUBLE_EQ(q.Pop().time, 2.0);
+  EXPECT_DOUBLE_EQ(q.Pop().time, 3.0);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, EqualTimesPopInInsertionOrder) {
+  EventQueue q;
+  for (uint32_t i = 0; i < 10; ++i) q.Push(5.0, EventType::kNodeDone, i);
+  for (uint32_t i = 0; i < 10; ++i) {
+    const Event e = q.Pop();
+    EXPECT_EQ(e.index, i);
+  }
+}
+
+TEST(EventQueueTest, TopDoesNotRemove) {
+  EventQueue q;
+  q.Push(1.0, EventType::kExternalArrival, 7);
+  EXPECT_EQ(q.Top().index, 7u);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueueTest, CarriesTypeAndIndex) {
+  EventQueue q;
+  q.Push(1.0, EventType::kNodeDone, 42);
+  const Event e = q.Pop();
+  EXPECT_EQ(e.type, EventType::kNodeDone);
+  EXPECT_EQ(e.index, 42u);
+}
+
+TEST(EventQueueTest, InterleavedPushPop) {
+  EventQueue q;
+  q.Push(10.0, EventType::kNodeDone, 0);
+  q.Push(5.0, EventType::kNodeDone, 1);
+  EXPECT_EQ(q.Pop().index, 1u);
+  q.Push(7.0, EventType::kNodeDone, 2);
+  q.Push(1.0, EventType::kNodeDone, 3);
+  EXPECT_EQ(q.Pop().index, 3u);
+  EXPECT_EQ(q.Pop().index, 2u);
+  EXPECT_EQ(q.Pop().index, 0u);
+}
+
+}  // namespace
+}  // namespace rod::sim

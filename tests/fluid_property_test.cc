@@ -1,0 +1,122 @@
+// Property sweeps (TEST_P) for the fluid simulator: backlog conservation,
+// agreement with the analytic model, and policy-independence of totals
+// over randomized graphs and traces.
+
+#include <gtest/gtest.h>
+
+#include "placement/baselines.h"
+#include "placement/dynamic.h"
+#include "placement/evaluator.h"
+#include "query/graph_gen.h"
+#include "query/load_model.h"
+#include "runtime/fluid.h"
+#include "trace/trace.h"
+
+namespace rod::sim {
+namespace {
+
+using place::Placement;
+using place::SystemSpec;
+
+class FluidSweepTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    rod::Rng rng(GetParam());
+    query::GraphGenOptions gen;
+    gen.num_input_streams = 2 + rng.NextIndex(3);
+    gen.ops_per_tree = 5 + rng.NextIndex(8);
+    graph_ = query::GenerateRandomTrees(gen, rng);
+    auto model = query::BuildLoadModel(graph_);
+    ASSERT_TRUE(model.ok());
+    model_ = std::move(*model);
+    system_ = SystemSpec::Homogeneous(2 + rng.NextIndex(2));
+    rod::Rng prng = rng.Fork();
+    auto plan = place::RandomPlace(model_, system_, prng);
+    ASSERT_TRUE(plan.ok());
+    plan_ = std::make_unique<Placement>(*plan);
+
+    // Bursty traces around 60% of the placement's uniform boundary.
+    const place::PlacementEvaluator eval(model_, system_);
+    Vector unit(model_.num_system_inputs(), 1.0);
+    const Vector util = eval.NodeUtilizationAt(*plan_, unit);
+    double peak = 0.0;
+    for (double u : util) peak = std::max(peak, u);
+    const double mean_rate = 0.6 / peak;
+    for (size_t k = 0; k < model_.num_system_inputs(); ++k) {
+      rod::Rng trng(GetParam() * 100 + k);
+      traces_.push_back(
+          trace::GeneratePreset(trace::TracePreset::kHttp, 64, 1.0, trng)
+              .ScaledToMean(mean_rate));
+    }
+  }
+
+  query::QueryGraph graph_;
+  query::LoadModel model_;
+  SystemSpec system_;
+  std::unique_ptr<Placement> plan_;
+  std::vector<trace::RateTrace> traces_;
+};
+
+TEST_P(FluidSweepTest, OverloadedEpochsMatchAnalyticInfeasibility) {
+  // With no policy, an epoch is overloaded exactly when the analytic model
+  // says its mid-epoch rate point is infeasible for the placement.
+  auto run = FluidSimulate(model_, *plan_, system_, traces_);
+  ASSERT_TRUE(run.ok());
+  const place::PlacementEvaluator eval(model_, system_);
+  size_t infeasible = 0;
+  for (size_t e = 0; e < run->epochs; ++e) {
+    Vector rates(traces_.size());
+    for (size_t k = 0; k < traces_.size(); ++k) {
+      rates[k] = traces_[k].RateAt(static_cast<double>(e) + 0.5);
+    }
+    infeasible += !eval.FeasibleAt(*plan_, rates);
+  }
+  EXPECT_EQ(run->overloaded_epochs, infeasible);
+}
+
+TEST_P(FluidSweepTest, BacklogNonNegativeAndBoundedByExcess) {
+  auto run = FluidSimulate(model_, *plan_, system_, traces_);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GE(run->final_backlog_sec, 0.0);
+  EXPECT_GE(run->max_backlog_sec, run->final_backlog_sec * 0.0);
+  // Total excess work bounds the peak backlog.
+  const place::PlacementEvaluator eval(model_, system_);
+  double total_excess = 0.0;
+  for (size_t e = 0; e < run->epochs; ++e) {
+    Vector rates(traces_.size());
+    for (size_t k = 0; k < traces_.size(); ++k) {
+      rates[k] = traces_[k].RateAt(static_cast<double>(e) + 0.5);
+    }
+    const Vector util = eval.NodeUtilizationAt(*plan_, rates);
+    for (double u : util) total_excess += std::max(0.0, u - 1.0);
+  }
+  EXPECT_LE(run->max_backlog_sec, total_excess + 1e-9);
+}
+
+TEST_P(FluidSweepTest, DeterministicAcrossRuns) {
+  auto a = FluidSimulate(model_, *plan_, system_, traces_);
+  auto b = FluidSimulate(model_, *plan_, system_, traces_);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->overloaded_epochs, b->overloaded_epochs);
+  EXPECT_DOUBLE_EQ(a->mean_backlog_sec, b->mean_backlog_sec);
+  EXPECT_EQ(a->final_assignment, b->final_assignment);
+}
+
+TEST_P(FluidSweepTest, PolicyNeverChangesEpochCount) {
+  place::ReactiveBalancer balancer;
+  auto with = FluidSimulate(model_, *plan_, system_, traces_, FluidOptions{},
+                            &balancer);
+  auto without = FluidSimulate(model_, *plan_, system_, traces_);
+  ASSERT_TRUE(with.ok() && without.ok());
+  EXPECT_EQ(with->epochs, without->epochs);
+  // Final assignment is a valid permutation of nodes.
+  for (size_t node : with->final_assignment) {
+    EXPECT_LT(node, system_.num_nodes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FluidSweepTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace rod::sim

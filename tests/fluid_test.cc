@@ -1,0 +1,190 @@
+// Tests for the fluid epoch simulator and the reactive migration policy.
+
+#include "runtime/fluid.h"
+
+#include <gtest/gtest.h>
+
+#include "placement/dynamic.h"
+#include "query/query_graph.h"
+
+namespace rod::sim {
+namespace {
+
+using place::Placement;
+using place::SystemSpec;
+using query::InputStreamId;
+using query::OperatorKind;
+using query::QueryGraph;
+using query::StreamRef;
+
+/// Two independent single-op chains (one per stream), costs 1e-3 each.
+struct TwoOpFixture {
+  QueryGraph g;
+  query::LoadModel model;
+
+  TwoOpFixture() {
+    const InputStreamId i0 = g.AddInputStream("I0");
+    const InputStreamId i1 = g.AddInputStream("I1");
+    EXPECT_TRUE(g.AddOperator({.name = "a", .kind = OperatorKind::kMap,
+                               .cost = 1e-3},
+                              {StreamRef::Input(i0)})
+                    .ok());
+    EXPECT_TRUE(g.AddOperator({.name = "b", .kind = OperatorKind::kMap,
+                               .cost = 1e-3},
+                              {StreamRef::Input(i1)})
+                    .ok());
+    model = *query::BuildLoadModel(g);
+  }
+};
+
+trace::RateTrace Constant(double rate, size_t windows) {
+  trace::RateTrace t;
+  t.window_sec = 1.0;
+  t.rates.assign(windows, rate);
+  return t;
+}
+
+TEST(FluidTest, SteadyFeasibleLoadHasNoBacklog) {
+  TwoOpFixture f;
+  const SystemSpec system = SystemSpec::Homogeneous(2);
+  const Placement plan(2, {0, 1});
+  auto r = FluidSimulate(f.model, plan, system,
+                         {Constant(400.0, 20), Constant(400.0, 20)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->epochs, 20u);
+  EXPECT_EQ(r->overloaded_epochs, 0u);
+  EXPECT_NEAR(r->max_utilization, 0.4, 1e-9);
+  EXPECT_DOUBLE_EQ(r->max_backlog_sec, 0.0);
+  EXPECT_EQ(r->migrations, 0u);
+}
+
+TEST(FluidTest, OverloadAccumulatesBacklogLinearly) {
+  TwoOpFixture f;
+  const SystemSpec system = SystemSpec::Homogeneous(2);
+  const Placement plan(2, {0, 0});  // both ops on node 0
+  // Node 0 demand = 2 * 1e-3 * 700 = 1.4: overload 0.4 CPU-sec per sec.
+  auto r = FluidSimulate(f.model, plan, system,
+                         {Constant(700.0, 10), Constant(700.0, 10)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->overloaded_epochs, 10u);
+  EXPECT_NEAR(r->final_backlog_sec, 0.4 * 10.0, 1e-9);
+  EXPECT_NEAR(r->max_utilization, 1.4, 1e-9);
+}
+
+TEST(FluidTest, SpareCapacityDrainsBacklog) {
+  TwoOpFixture f;
+  const SystemSpec system = SystemSpec::Homogeneous(2);
+  const Placement plan(2, {0, 0});
+  // 5 overloaded epochs (1.4) then 15 light ones (0.2): backlog 2.0
+  // CPU-sec drains at 0.8/sec.
+  trace::RateTrace burst;
+  burst.window_sec = 1.0;
+  burst.rates.assign(5, 700.0);
+  burst.rates.resize(20, 100.0);
+  auto r = FluidSimulate(f.model, plan, system, {burst, burst});
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->max_backlog_sec, 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r->final_backlog_sec, 0.0);
+}
+
+TEST(FluidTest, ValidatesInputs) {
+  TwoOpFixture f;
+  const SystemSpec system = SystemSpec::Homogeneous(2);
+  const Placement plan(2, {0, 1});
+  // Wrong trace count.
+  EXPECT_FALSE(FluidSimulate(f.model, plan, system,
+                             {Constant(1.0, 5)})
+                   .ok());
+  // Bad epoch.
+  FluidOptions bad;
+  bad.epoch_sec = 0.0;
+  EXPECT_FALSE(FluidSimulate(f.model, plan, system,
+                             {Constant(1.0, 5), Constant(1.0, 5)}, bad)
+                   .ok());
+  // Mismatched placement.
+  EXPECT_FALSE(FluidSimulate(f.model, Placement(2, {0}), system,
+                             {Constant(1.0, 5), Constant(1.0, 5)})
+                   .ok());
+}
+
+TEST(ReactiveBalancerTest, MovesLoadOffHotNode) {
+  TwoOpFixture f;
+  const SystemSpec system = SystemSpec::Homogeneous(2);
+  const Placement plan(2, {0, 0});  // misplaced: both on node 0
+  place::ReactiveBalancer balancer;
+  auto r = FluidSimulate(f.model, plan, system,
+                         {Constant(480.0, 30), Constant(480.0, 30)},
+                         FluidOptions{}, &balancer);
+  ASSERT_TRUE(r.ok());
+  // Node 0 at 0.96 >= watermark: one op must migrate, after which both
+  // nodes run at 0.48 and no further moves happen.
+  EXPECT_EQ(r->migrations, 1u);
+  EXPECT_NE(r->final_assignment[0], r->final_assignment[1]);
+  EXPECT_EQ(r->overloaded_epochs, 0u);  // 0.96 < the 1.0 threshold
+}
+
+TEST(ReactiveBalancerTest, QuietBelowWatermark) {
+  TwoOpFixture f;
+  const SystemSpec system = SystemSpec::Homogeneous(2);
+  const Placement plan(2, {0, 0});
+  place::ReactiveBalancer balancer;
+  auto r = FluidSimulate(f.model, plan, system,
+                         {Constant(300.0, 20), Constant(300.0, 20)},
+                         FluidOptions{}, &balancer);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->migrations, 0u);  // 0.6 util: nothing to do
+}
+
+TEST(ReactiveBalancerTest, MigrationPaysCosts) {
+  TwoOpFixture f;
+  const SystemSpec system = SystemSpec::Homogeneous(2);
+  const Placement plan(2, {0, 0});
+  place::ReactiveBalancer balancer;
+  FluidOptions options;
+  options.migration_latency = 2.0;   // exaggerated stall
+  options.migration_cpu_cost = 0.5;  // exaggerated marshalling
+  auto with_costs =
+      FluidSimulate(f.model, plan, system,
+                    {Constant(480.0, 30), Constant(480.0, 30)}, options,
+                    &balancer);
+  ASSERT_TRUE(with_costs.ok());
+  ASSERT_EQ(with_costs->migrations, 1u);
+  // The stalled operator's deferred work shows up as backlog.
+  EXPECT_GT(with_costs->max_backlog_sec, 0.5);
+}
+
+TEST(ReactiveBalancerTest, CooldownLimitsThrashing) {
+  TwoOpFixture f;
+  const SystemSpec system = SystemSpec::Homogeneous(2);
+  const Placement plan(2, {0, 0});
+  place::ReactiveBalancer::Options bopts;
+  bopts.cooldown_epochs = 100;  // effectively one decision per run
+  bopts.max_moves = 1;
+  place::ReactiveBalancer balancer(bopts);
+  // Oscillating load that would tempt a reactive policy every epoch.
+  trace::RateTrace osc;
+  osc.window_sec = 1.0;
+  for (int i = 0; i < 40; ++i) osc.rates.push_back(i % 2 ? 900.0 : 100.0);
+  auto r = FluidSimulate(f.model, plan, system, {osc, osc}, FluidOptions{},
+                         &balancer);
+  ASSERT_TRUE(r.ok());
+  EXPECT_LE(r->migrations, 1u);
+}
+
+TEST(FluidTest, AgreesWithAnalyticFeasibilityOnConstantRates) {
+  TwoOpFixture f;
+  const SystemSpec system = SystemSpec::Homogeneous(2);
+  const Placement good(2, {0, 1});
+  auto r = FluidSimulate(f.model, good, system,
+                         {Constant(900.0, 10), Constant(900.0, 10)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->overloaded_epochs, 0u);  // 0.9 per node: feasible
+
+  auto bad = FluidSimulate(f.model, Placement(2, {0, 0}), system,
+                           {Constant(900.0, 10), Constant(900.0, 10)});
+  ASSERT_TRUE(bad.ok());
+  EXPECT_EQ(bad->overloaded_epochs, 10u);  // 1.8 on node 0
+}
+
+}  // namespace
+}  // namespace rod::sim

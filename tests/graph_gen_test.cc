@@ -1,0 +1,130 @@
+// Tests for the §7.1 random-tree generator and the application workloads.
+
+#include "query/graph_gen.h"
+
+#include <gtest/gtest.h>
+
+#include "query/load_model.h"
+
+namespace rod::query {
+namespace {
+
+TEST(GraphGenTest, ProducesRequestedShape) {
+  GraphGenOptions options;
+  options.num_input_streams = 5;
+  options.ops_per_tree = 20;
+  Rng rng(42);
+  const QueryGraph g = GenerateRandomTrees(options, rng);
+  EXPECT_EQ(g.num_input_streams(), 5u);
+  EXPECT_EQ(g.num_operators(), 100u);
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_FALSE(g.RequiresLinearization());
+}
+
+TEST(GraphGenTest, DeterministicGivenSeed) {
+  GraphGenOptions options;
+  Rng rng1(7), rng2(7);
+  const QueryGraph a = GenerateRandomTrees(options, rng1);
+  const QueryGraph b = GenerateRandomTrees(options, rng2);
+  ASSERT_EQ(a.num_operators(), b.num_operators());
+  for (OperatorId j = 0; j < a.num_operators(); ++j) {
+    EXPECT_DOUBLE_EQ(a.spec(j).cost, b.spec(j).cost);
+    EXPECT_DOUBLE_EQ(a.spec(j).selectivity, b.spec(j).selectivity);
+  }
+}
+
+TEST(GraphGenTest, TreesAreSingleInputTrees) {
+  GraphGenOptions options;
+  options.num_input_streams = 3;
+  options.ops_per_tree = 15;
+  Rng rng(11);
+  const QueryGraph g = GenerateRandomTrees(options, rng);
+  // Every operator has exactly one input, so each tree's operators load on
+  // exactly one input stream: each L^o row has exactly one nonzero.
+  auto model = BuildLoadModel(g);
+  ASSERT_TRUE(model.ok());
+  for (OperatorId j = 0; j < g.num_operators(); ++j) {
+    EXPECT_EQ(g.inputs_of(j).size(), 1u);
+    size_t nonzeros = 0;
+    for (size_t k = 0; k < model->num_vars(); ++k) {
+      if (model->op_coeffs()(j, k) != 0.0) ++nonzeros;
+    }
+    EXPECT_EQ(nonzeros, 1u) << "operator " << j;
+  }
+}
+
+TEST(GraphGenTest, CostsWithinPaperBounds) {
+  GraphGenOptions options;  // defaults: 0.1 ms - 10 ms
+  Rng rng(13);
+  const QueryGraph g = GenerateRandomTrees(options, rng);
+  for (OperatorId j = 0; j < g.num_operators(); ++j) {
+    EXPECT_GE(g.spec(j).cost, options.min_cost);
+    EXPECT_LE(g.spec(j).cost, options.max_cost);
+    const double s = g.spec(j).selectivity;
+    EXPECT_TRUE(s == 1.0 ||
+                (s >= options.min_selectivity && s <= options.max_selectivity))
+        << s;
+  }
+}
+
+TEST(GraphGenTest, AboutHalfSelectivityOne) {
+  GraphGenOptions options;
+  options.num_input_streams = 4;
+  options.ops_per_tree = 250;
+  Rng rng(17);
+  const QueryGraph g = GenerateRandomTrees(options, rng);
+  size_t ones = 0;
+  for (OperatorId j = 0; j < g.num_operators(); ++j) {
+    ones += g.spec(j).selectivity == 1.0;
+  }
+  const double frac = static_cast<double>(ones) /
+                      static_cast<double>(g.num_operators());
+  EXPECT_NEAR(frac, 0.5, 0.07);
+}
+
+TEST(TrafficMonitoringTest, BuildsValidLinearGraph) {
+  TrafficMonitoringOptions options;
+  options.num_links = 3;
+  const QueryGraph g = BuildTrafficMonitoringGraph(options);
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_EQ(g.num_input_streams(), 3u);
+  EXPECT_FALSE(g.RequiresLinearization());
+  EXPECT_TRUE(BuildLoadModel(g).ok());
+  // 1 parse + 3 protos * (1 filter + 3 windows * 2 ops) per link + rollup.
+  EXPECT_GT(g.num_operators(), 20u);
+}
+
+TEST(TrafficMonitoringTest, RollupUnionSpansLinks) {
+  TrafficMonitoringOptions options;
+  options.num_links = 2;
+  options.include_global_rollup = true;
+  const QueryGraph g = BuildTrafficMonitoringGraph(options);
+  auto model = BuildLoadModel(g);
+  ASSERT_TRUE(model.ok());
+  // The final aggregate (last operator) must load on both input streams.
+  const OperatorId top = g.num_operators() - 1;
+  EXPECT_GT(model->op_coeffs()(top, 0), 0.0);
+  EXPECT_GT(model->op_coeffs()(top, 1), 0.0);
+}
+
+TEST(ComplianceTest, BuildsWideValidGraph) {
+  ComplianceOptions options;
+  options.num_feeds = 2;
+  options.num_rules = 12;
+  const QueryGraph g = BuildComplianceGraph(options);
+  EXPECT_TRUE(g.Validate().ok());
+  EXPECT_GE(g.num_operators(), options.num_rules * 4);
+  EXPECT_TRUE(BuildLoadModel(g).ok());
+  // Wide: at least one sink per rule.
+  EXPECT_GE(g.Sinks().size(), options.num_rules);
+}
+
+TEST(ComplianceTest, ScalesWithRules) {
+  ComplianceOptions small{.num_feeds = 2, .num_rules = 3};
+  ComplianceOptions big{.num_feeds = 2, .num_rules = 30};
+  EXPECT_GT(BuildComplianceGraph(big).num_operators(),
+            BuildComplianceGraph(small).num_operators() * 5);
+}
+
+}  // namespace
+}  // namespace rod::query

@@ -1,0 +1,73 @@
+// Tests for DOT export.
+
+#include "query/graphviz.h"
+
+#include <gtest/gtest.h>
+
+namespace rod::query {
+namespace {
+
+QueryGraph SmallGraph() {
+  QueryGraph g;
+  const auto in = g.AddInputStream("pkts");
+  auto a = g.AddOperator({.name = "parse", .kind = OperatorKind::kMap,
+                          .cost = 1e-3},
+                         {StreamRef::Input(in)});
+  EXPECT_TRUE(g.AddOperator({.name = "agg\"x\"",
+                             .kind = OperatorKind::kAggregate,
+                             .cost = 2e-3,
+                             .selectivity = 0.1},
+                            {StreamRef::Op(*a)}, {5e-4})
+                  .ok());
+  return g;
+}
+
+TEST(GraphvizTest, EmitsNodesEdgesAndLabels) {
+  const std::string dot = ToGraphviz(SmallGraph());
+  EXPECT_NE(dot.find("digraph query"), std::string::npos);
+  EXPECT_NE(dot.find("in0 [shape=box"), std::string::npos);
+  EXPECT_NE(dot.find("pkts"), std::string::npos);
+  EXPECT_NE(dot.find("parse"), std::string::npos);
+  EXPECT_NE(dot.find("in0 -> op0"), std::string::npos);
+  EXPECT_NE(dot.find("op0 -> op1"), std::string::npos);
+  EXPECT_NE(dot.find("comm=0.0005"), std::string::npos);
+  // Selectivity shown only when != 1.
+  EXPECT_NE(dot.find("s=0.1"), std::string::npos);
+}
+
+TEST(GraphvizTest, EscapesQuotesInNames) {
+  const std::string dot = ToGraphviz(SmallGraph());
+  EXPECT_NE(dot.find("agg\\\"x\\\""), std::string::npos);
+}
+
+TEST(GraphvizTest, PlacementAddsClusters) {
+  const QueryGraph g = SmallGraph();
+  const std::vector<size_t> assignment = {0, 1};
+  const std::string dot = ToGraphviz(g, &assignment);
+  EXPECT_NE(dot.find("subgraph cluster_node0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_node1"), std::string::npos);
+  EXPECT_NE(dot.find("label=\"node 1\""), std::string::npos);
+}
+
+TEST(GraphvizTest, MismatchedAssignmentIgnored) {
+  const QueryGraph g = SmallGraph();
+  const std::vector<size_t> wrong_size = {0};
+  const std::string dot = ToGraphviz(g, &wrong_size);
+  EXPECT_EQ(dot.find("subgraph"), std::string::npos);
+}
+
+TEST(GraphvizTest, JoinWindowShown) {
+  QueryGraph g;
+  const auto l = g.AddInputStream("L");
+  const auto r = g.AddInputStream("R");
+  ASSERT_TRUE(g.AddOperator({.name = "j", .kind = OperatorKind::kJoin,
+                             .cost = 1e-5, .selectivity = 0.5,
+                             .window = 2.0},
+                            {StreamRef::Input(l), StreamRef::Input(r)})
+                  .ok());
+  const std::string dot = ToGraphviz(g);
+  EXPECT_NE(dot.find("w=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rod::query

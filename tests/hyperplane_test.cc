@@ -1,0 +1,149 @@
+// Tests for the normalized-space geometry, pinned to Theorem 1.
+
+#include "geometry/hyperplane.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace rod::geom {
+namespace {
+
+TEST(WeightMatrixTest, IdealBalanceGivesAllOnes) {
+  // Theorem 1: l^n*_ik = l_k * C_i / C_T  =>  w_ik = 1 everywhere.
+  const Vector total = {10.0, 11.0};
+  const Vector caps = {1.0, 3.0};
+  const double ct = 4.0;
+  Matrix node_coeffs(2, 2);
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t k = 0; k < 2; ++k) {
+      node_coeffs(i, k) = total[k] * caps[i] / ct;
+    }
+  }
+  auto w = ComputeWeightMatrix(node_coeffs, total, caps);
+  ASSERT_TRUE(w.ok());
+  for (size_t i = 0; i < 2; ++i) {
+    for (size_t k = 0; k < 2; ++k) {
+      EXPECT_NEAR((*w)(i, k), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(WeightMatrixTest, HandComputedExample) {
+  // Example 2, Plan (a): node1 = {o1,o2}, node2 = {o3,o4}; equal caps.
+  // L^n = [[10,0],[0,11]], l = (10,11), C_i/C_T = 1/2.
+  const Matrix node_coeffs = Matrix::FromRows({{10.0, 0.0}, {0.0, 11.0}});
+  const Vector total = {10.0, 11.0};
+  const Vector caps = {1.0, 1.0};
+  auto w = ComputeWeightMatrix(node_coeffs, total, caps);
+  ASSERT_TRUE(w.ok());
+  EXPECT_NEAR((*w)(0, 0), 2.0, 1e-12);  // all of stream 1 on half capacity
+  EXPECT_NEAR((*w)(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR((*w)(1, 0), 0.0, 1e-12);
+  EXPECT_NEAR((*w)(1, 1), 2.0, 1e-12);
+}
+
+TEST(WeightMatrixTest, RejectsBadInputs) {
+  const Matrix node_coeffs = Matrix::FromRows({{1.0, 1.0}});
+  EXPECT_FALSE(ComputeWeightMatrix(node_coeffs, Vector{1.0}, Vector{1.0}).ok());
+  EXPECT_FALSE(
+      ComputeWeightMatrix(node_coeffs, Vector{1.0, 0.0}, Vector{1.0}).ok());
+  EXPECT_FALSE(
+      ComputeWeightMatrix(node_coeffs, Vector{1.0, 1.0}, Vector{0.0}).ok());
+  EXPECT_FALSE(
+      ComputeWeightMatrix(node_coeffs, Vector{1.0, 1.0}, Vector{1.0, 1.0}).ok());
+}
+
+TEST(IdealVolumeTest, MatchesClosedForm) {
+  // V(F*) = C_T^d / (d! prod l_k); d = 2, C_T = 2, l = (10, 11):
+  // 4 / (2 * 110) = 1/55.
+  auto v = IdealFeasibleVolume(Vector{10.0, 11.0}, 2.0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_NEAR(*v, 4.0 / 220.0, 1e-12);
+}
+
+TEST(IdealVolumeTest, HighDimensionalStability) {
+  // d = 30 with unit coefficients: C_T^d / d! stays finite via log-space.
+  Vector total(30, 1.0);
+  auto v = IdealFeasibleVolume(total, 1.0);
+  ASSERT_TRUE(v.ok());
+  EXPECT_GT(*v, 0.0);
+  EXPECT_NEAR(std::log(*v), -std::lgamma(31.0), 1e-9);
+}
+
+TEST(IdealVolumeTest, RejectsDegenerate) {
+  EXPECT_FALSE(IdealFeasibleVolume(Vector{1.0}, 0.0).ok());
+  EXPECT_FALSE(IdealFeasibleVolume(Vector{0.0}, 1.0).ok());
+  EXPECT_FALSE(IdealFeasibleVolume(Vector{}, 1.0).ok());
+}
+
+TEST(PlaneDistanceTest, BasicAndEmptyRow) {
+  EXPECT_NEAR(PlaneDistance(Vector{3.0, 4.0}), 1.0 / 5.0, 1e-12);
+  EXPECT_TRUE(std::isinf(PlaneDistance(Vector{0.0, 0.0})));
+}
+
+TEST(PlaneDistanceTest, IdealHyperplaneDistance) {
+  // All-ones weight row: distance = 1/sqrt(d) = r*.
+  for (size_t d : {1u, 2u, 5u, 10u}) {
+    Vector row(d, 1.0);
+    EXPECT_NEAR(PlaneDistance(row), IdealPlaneDistance(d), 1e-12);
+  }
+}
+
+TEST(PlaneDistanceTest, MinOverNodes) {
+  const Matrix w = Matrix::FromRows({{1.0, 0.0}, {3.0, 4.0}});
+  EXPECT_NEAR(MinPlaneDistance(w), 0.2, 1e-12);
+}
+
+TEST(PlaneDistanceFromTest, ShiftedOrigin) {
+  // Hyperplane x + y = 1, from point (0.5, 0): (1 - 0.5)/sqrt(2).
+  EXPECT_NEAR(PlaneDistanceFrom(Vector{1.0, 1.0}, Vector{0.5, 0.0}),
+              0.5 / std::sqrt(2.0), 1e-12);
+  // Point above the hyperplane gives a negative (signed) distance.
+  EXPECT_LT(PlaneDistanceFrom(Vector{1.0, 1.0}, Vector{0.8, 0.8}), 0.0);
+}
+
+TEST(PlaneDistanceFromTest, OriginReducesToPlaneDistance) {
+  const Vector row = {2.0, 5.0, 1.0};
+  const Vector origin(3, 0.0);
+  EXPECT_NEAR(PlaneDistanceFrom(row, origin), PlaneDistance(row), 1e-12);
+}
+
+TEST(AxisDistanceTest, ReciprocalWeightsAndInfinity) {
+  const Matrix w = Matrix::FromRows({{2.0, 0.0}, {0.5, 4.0}});
+  EXPECT_NEAR(AxisDistance(w, 0, 0), 0.5, 1e-12);
+  EXPECT_TRUE(std::isinf(AxisDistance(w, 0, 1)));
+  EXPECT_NEAR(AxisDistance(w, 1, 1), 0.25, 1e-12);
+  const Vector mins = MinAxisDistances(w);
+  EXPECT_NEAR(mins[0], 0.5, 1e-12);
+  EXPECT_NEAR(mins[1], 0.25, 1e-12);
+}
+
+TEST(AxisDistanceBoundTest, MMADLowerBound) {
+  // §4.1: feasible ratio >= prod_k min(1, min-axis-distance_k).
+  const Matrix w = Matrix::FromRows({{2.0, 0.0}, {0.0, 2.0}});
+  EXPECT_NEAR(AxisDistanceVolumeLowerBound(w), 0.25, 1e-12);
+  // Ideal plan: bound = 1.
+  const Matrix ideal = Matrix::FromRows({{1.0, 1.0}, {1.0, 1.0}});
+  EXPECT_NEAR(AxisDistanceVolumeLowerBound(ideal), 1.0, 1e-12);
+}
+
+TEST(NormalizePointTest, MapsRatesToUnitlessSpace) {
+  // x_k = l_k r_k / C_T.
+  const Vector x = NormalizePoint(Vector{2.0, 3.0}, Vector{10.0, 11.0}, 4.0);
+  EXPECT_NEAR(x[0], 5.0, 1e-12);
+  EXPECT_NEAR(x[1], 8.25, 1e-12);
+}
+
+TEST(NormalizePointTest, IdealBoundaryMapsToUnitSimplexBoundary) {
+  // A rate point on the ideal hyperplane (l . R = C_T) maps to sum(x) = 1.
+  const Vector total = {4.0, 6.0};
+  const double ct = 12.0;
+  const Vector rates = {1.5, 1.0};  // 4*1.5 + 6*1 = 12 = C_T
+  const Vector x = NormalizePoint(rates, total, ct);
+  EXPECT_NEAR(x[0] + x[1], 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace rod::geom

@@ -1,0 +1,160 @@
+// Tests for the §6.2 linearization, pinned to the paper's Example 3:
+// a graph where o1 has unstable selectivity (output rate becomes r3) and
+// o5 is a windowed join (output rate becomes r4, load (c5/s5) r4).
+
+#include "query/linearize.h"
+
+#include <gtest/gtest.h>
+
+#include "query/load_model.h"
+#include "query/query_graph.h"
+
+namespace rod::query {
+namespace {
+
+struct Example3 {
+  QueryGraph g;
+  OperatorId o1, o2, o3, o4, o5, o6;
+};
+
+/// Paper Figure 13: I1 -> o1 -> o2 feeding o5 (join) -> o6,
+///                  I2 -> o3 -> o4 feeding o5's other side.
+/// o1 has variable selectivity; o5 is a time-window join.
+Example3 BuildExample3() {
+  Example3 e;
+  const InputStreamId i1 = e.g.AddInputStream("I1");
+  const InputStreamId i2 = e.g.AddInputStream("I2");
+  OperatorSpec o1{.name = "o1",
+                  .kind = OperatorKind::kFilter,
+                  .cost = 2.0,
+                  .selectivity = 0.8,
+                  .variable_selectivity = true};
+  e.o1 = *e.g.AddOperator(o1, {StreamRef::Input(i1)});
+  e.o2 = *e.g.AddOperator({.name = "o2",
+                           .kind = OperatorKind::kMap,
+                           .cost = 3.0,
+                           .selectivity = 1.0},
+                          {StreamRef::Op(e.o1)});
+  e.o3 = *e.g.AddOperator({.name = "o3",
+                           .kind = OperatorKind::kFilter,
+                           .cost = 5.0,
+                           .selectivity = 0.6},
+                          {StreamRef::Input(i2)});
+  e.o4 = *e.g.AddOperator({.name = "o4",
+                           .kind = OperatorKind::kMap,
+                           .cost = 1.0,
+                           .selectivity = 1.0},
+                          {StreamRef::Op(e.o3)});
+  e.o5 = *e.g.AddOperator({.name = "o5",
+                           .kind = OperatorKind::kJoin,
+                           .cost = 0.5,
+                           .selectivity = 0.25,
+                           .window = 2.0},
+                          {StreamRef::Op(e.o2), StreamRef::Op(e.o4)});
+  e.o6 = *e.g.AddOperator({.name = "o6",
+                           .kind = OperatorKind::kMap,
+                           .cost = 7.0,
+                           .selectivity = 1.0},
+                          {StreamRef::Op(e.o5)});
+  return e;
+}
+
+TEST(LinearizeTest, PlanAuxVariablesPicksExactlyTheNonlinearOps) {
+  Example3 e = BuildExample3();
+  const std::vector<OperatorId> aux = PlanAuxVariables(e.g);
+  EXPECT_EQ(aux, (std::vector<OperatorId>{e.o1, e.o5}));
+}
+
+TEST(LinearizeTest, Example3VariableLayout) {
+  Example3 e = BuildExample3();
+  auto model = BuildLinearizedLoadModel(e.g);
+  ASSERT_TRUE(model.ok());
+  // Four variables: r1, r2, r3 = out(o1), r4 = out(o5).
+  ASSERT_EQ(model->num_vars(), 4u);
+  EXPECT_EQ(model->num_system_inputs(), 2u);
+  EXPECT_TRUE(model->has_aux_vars());
+  EXPECT_EQ(model->variables()[2].kind, VariableInfo::Kind::kAuxOutput);
+  EXPECT_EQ(model->variables()[2].index, e.o1);
+  EXPECT_EQ(model->variables()[3].index, e.o5);
+}
+
+TEST(LinearizeTest, Example3LoadCoefficients) {
+  Example3 e = BuildExample3();
+  auto model = BuildLinearizedLoadModel(e.g);
+  ASSERT_TRUE(model.ok());
+  const Matrix& lo = model->op_coeffs();
+  // o1: load = c1 * r1 (its *load* stays linear; only its output is cut).
+  EXPECT_NEAR(lo(e.o1, 0), 2.0, 1e-12);
+  // o2: load = c2 * r3.
+  EXPECT_NEAR(lo(e.o2, 2), 3.0, 1e-12);
+  EXPECT_NEAR(lo(e.o2, 0), 0.0, 1e-12);
+  // o3: load = c3 * r2; o4: load = c4 * s3 * r2.
+  EXPECT_NEAR(lo(e.o3, 1), 5.0, 1e-12);
+  EXPECT_NEAR(lo(e.o4, 1), 1.0 * 0.6, 1e-12);
+  // o5 (join): load = (c5 / s5) * r4 = 2 * r4 (paper Example 3).
+  EXPECT_NEAR(lo(e.o5, 3), 0.5 / 0.25, 1e-12);
+  EXPECT_NEAR(lo(e.o5, 0), 0.0, 1e-12);
+  // o6: load = c6 * r4.
+  EXPECT_NEAR(lo(e.o6, 3), 7.0, 1e-12);
+}
+
+TEST(LinearizeTest, ExtendRatesComputesAuxValues) {
+  Example3 e = BuildExample3();
+  auto model = BuildLinearizedLoadModel(e.g);
+  ASSERT_TRUE(model.ok());
+  const Vector rates = {10.0, 4.0};
+  const Vector x = model->ExtendRates(rates);
+  ASSERT_EQ(x.size(), 4u);
+  EXPECT_DOUBLE_EQ(x[0], 10.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+  // r3 = nominal selectivity of o1 * r1.
+  const double r3 = 0.8 * 10.0;
+  EXPECT_NEAR(x[2], r3, 1e-12);
+  // r4 = s5 * w * rate(o2 out) * rate(o4 out) = 0.25 * 2 * r3 * (0.6 * 4).
+  EXPECT_NEAR(x[3], 0.25 * 2.0 * r3 * (0.6 * 4.0), 1e-12);
+}
+
+TEST(LinearizeTest, CoefficientLoadsMatchDirectLoadsAtExtendedPoint) {
+  // The key §6.2 identity: L^o . ExtendRates(R) == OperatorLoadsAt(R).
+  Example3 e = BuildExample3();
+  auto model = BuildLinearizedLoadModel(e.g);
+  ASSERT_TRUE(model.ok());
+  for (double r1 : {0.0, 1.0, 5.0}) {
+    for (double r2 : {0.0, 2.0, 9.0}) {
+      const Vector rates = {r1, r2};
+      const Vector direct = model->OperatorLoadsAt(rates);
+      const Vector via = model->op_coeffs().MatVec(model->ExtendRates(rates));
+      for (size_t j = 0; j < direct.size(); ++j) {
+        EXPECT_NEAR(direct[j], via[j], 1e-9)
+            << "op " << j << " at (" << r1 << "," << r2 << ")";
+      }
+    }
+  }
+}
+
+TEST(LinearizeTest, JoinLoadIsQuadraticInPhysicalRates) {
+  Example3 e = BuildExample3();
+  auto model = BuildLinearizedLoadModel(e.g);
+  ASSERT_TRUE(model.ok());
+  const double l1 = model->OperatorLoadsAt(Vector{1.0, 1.0})[e.o5];
+  const double l2 = model->OperatorLoadsAt(Vector{2.0, 2.0})[e.o5];
+  EXPECT_NEAR(l2, 4.0 * l1, 1e-9);  // doubling both rates quadruples pairs
+}
+
+TEST(LinearizeTest, LinearGraphGetsNoAuxVariables) {
+  QueryGraph g;
+  const InputStreamId in = g.AddInputStream("I");
+  ASSERT_TRUE(g.AddOperator({.name = "f",
+                             .kind = OperatorKind::kFilter,
+                             .cost = 1.0,
+                             .selectivity = 0.5},
+                            {StreamRef::Input(in)})
+                  .ok());
+  EXPECT_TRUE(PlanAuxVariables(g).empty());
+  auto model = BuildLinearizedLoadModel(g);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->has_aux_vars());
+}
+
+}  // namespace
+}  // namespace rod::query

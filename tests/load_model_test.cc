@@ -1,0 +1,163 @@
+// Tests for the linear load model, pinned to the paper's worked examples.
+
+#include "query/load_model.h"
+
+#include <gtest/gtest.h>
+
+#include "query/query_graph.h"
+
+namespace rod::query {
+namespace {
+
+/// Builds the paper's Example 1 / Example 2 graph (Figure 4): two chains,
+/// I1 -> o1 -> o2 and I2 -> o3 -> o4, with costs c = (4, 6, 9, 4) and
+/// selectivities s1 = 1, s3 = 0.5 (s2, s4 feed applications; irrelevant).
+QueryGraph PaperFigure4Graph() {
+  QueryGraph g;
+  const InputStreamId i1 = g.AddInputStream("I1");
+  const InputStreamId i2 = g.AddInputStream("I2");
+  auto o1 = g.AddOperator({.name = "o1",
+                           .kind = OperatorKind::kMap,
+                           .cost = 4.0,
+                           .selectivity = 1.0},
+                          {StreamRef::Input(i1)});
+  auto o2 = g.AddOperator({.name = "o2",
+                           .kind = OperatorKind::kMap,
+                           .cost = 6.0,
+                           .selectivity = 1.0},
+                          {StreamRef::Op(*o1)});
+  auto o3 = g.AddOperator({.name = "o3",
+                           .kind = OperatorKind::kFilter,
+                           .cost = 9.0,
+                           .selectivity = 0.5},
+                          {StreamRef::Input(i2)});
+  auto o4 = g.AddOperator({.name = "o4",
+                           .kind = OperatorKind::kMap,
+                           .cost = 4.0,
+                           .selectivity = 1.0},
+                          {StreamRef::Op(*o3)});
+  EXPECT_TRUE(o1.ok() && o2.ok() && o3.ok() && o4.ok());
+  return g;
+}
+
+TEST(LoadModelTest, PaperExample2Coefficients) {
+  // Example 1: load(o1) = c1 r1, load(o2) = c2 s1 r1, load(o3) = c3 r2,
+  // load(o4) = c4 s3 r2  =>  L^o = [[4,0],[6,0],[0,9],[0,2]].
+  const QueryGraph g = PaperFigure4Graph();
+  auto model = BuildLoadModel(g);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->num_operators(), 4u);
+  EXPECT_EQ(model->num_vars(), 2u);
+  EXPECT_EQ(model->num_system_inputs(), 2u);
+  EXPECT_FALSE(model->has_aux_vars());
+
+  const Matrix expected =
+      Matrix::FromRows({{4.0, 0.0}, {6.0, 0.0}, {0.0, 9.0}, {0.0, 2.0}});
+  EXPECT_TRUE(model->op_coeffs().AlmostEquals(expected));
+
+  // l_1 = 10, l_2 = 11 (column sums).
+  EXPECT_DOUBLE_EQ(model->total_coeffs()[0], 10.0);
+  EXPECT_DOUBLE_EQ(model->total_coeffs()[1], 11.0);
+}
+
+TEST(LoadModelTest, OperatorLoadsMatchCoefficients) {
+  const QueryGraph g = PaperFigure4Graph();
+  auto model = BuildLoadModel(g);
+  ASSERT_TRUE(model.ok());
+  const Vector rates = {3.0, 7.0};
+  const Vector direct = model->OperatorLoadsAt(rates);
+  const Vector via_coeffs = model->op_coeffs().MatVec(rates);
+  ASSERT_EQ(direct.size(), via_coeffs.size());
+  for (size_t j = 0; j < direct.size(); ++j) {
+    EXPECT_NEAR(direct[j], via_coeffs[j], 1e-12) << "operator " << j;
+  }
+}
+
+TEST(LoadModelTest, ExtendRatesIsIdentityForLinearGraphs) {
+  const QueryGraph g = PaperFigure4Graph();
+  auto model = BuildLoadModel(g);
+  ASSERT_TRUE(model.ok());
+  const Vector rates = {2.5, 0.5};
+  EXPECT_EQ(model->ExtendRates(rates), rates);
+}
+
+TEST(LoadModelTest, SelectivityChainsPropagate) {
+  // I -> a (sel 0.5) -> b (sel 0.4) -> c ; load(c) = cost_c * 0.2 * r.
+  QueryGraph g;
+  const InputStreamId in = g.AddInputStream("I");
+  auto a = g.AddOperator({.name = "a",
+                          .kind = OperatorKind::kFilter,
+                          .cost = 1.0,
+                          .selectivity = 0.5},
+                         {StreamRef::Input(in)});
+  auto b = g.AddOperator({.name = "b",
+                          .kind = OperatorKind::kFilter,
+                          .cost = 2.0,
+                          .selectivity = 0.4},
+                         {StreamRef::Op(*a)});
+  auto c = g.AddOperator({.name = "c",
+                          .kind = OperatorKind::kMap,
+                          .cost = 10.0,
+                          .selectivity = 1.0},
+                         {StreamRef::Op(*b)});
+  ASSERT_TRUE(c.ok());
+  auto model = BuildLoadModel(g);
+  ASSERT_TRUE(model.ok());
+  EXPECT_NEAR(model->op_coeffs()(*a, 0), 1.0, 1e-12);
+  EXPECT_NEAR(model->op_coeffs()(*b, 0), 2.0 * 0.5, 1e-12);
+  EXPECT_NEAR(model->op_coeffs()(*c, 0), 10.0 * 0.2, 1e-12);
+}
+
+TEST(LoadModelTest, UnionSumsInputRates) {
+  QueryGraph g;
+  const InputStreamId i0 = g.AddInputStream("I0");
+  const InputStreamId i1 = g.AddInputStream("I1");
+  auto u = g.AddOperator(
+      {.name = "u", .kind = OperatorKind::kUnion, .cost = 3.0},
+      {StreamRef::Input(i0), StreamRef::Input(i1)});
+  auto down = g.AddOperator(
+      {.name = "d", .kind = OperatorKind::kMap, .cost = 2.0},
+      {StreamRef::Op(*u)});
+  ASSERT_TRUE(down.ok());
+  auto model = BuildLoadModel(g);
+  ASSERT_TRUE(model.ok());
+  // Union pays cost on both streams; downstream sees the merged rate.
+  EXPECT_NEAR(model->op_coeffs()(*u, 0), 3.0, 1e-12);
+  EXPECT_NEAR(model->op_coeffs()(*u, 1), 3.0, 1e-12);
+  EXPECT_NEAR(model->op_coeffs()(*down, 0), 2.0, 1e-12);
+  EXPECT_NEAR(model->op_coeffs()(*down, 1), 2.0, 1e-12);
+}
+
+TEST(LoadModelTest, StrictBuilderRejectsJoins) {
+  QueryGraph g;
+  const InputStreamId i0 = g.AddInputStream("I0");
+  const InputStreamId i1 = g.AddInputStream("I1");
+  auto j = g.AddOperator({.name = "j",
+                          .kind = OperatorKind::kJoin,
+                          .cost = 1.0,
+                          .selectivity = 0.5,
+                          .window = 1.0},
+                         {StreamRef::Input(i0), StreamRef::Input(i1)});
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(BuildLoadModel(g).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(BuildLinearizedLoadModel(g).ok());
+}
+
+TEST(LoadModelTest, RejectsInvalidGraphs) {
+  QueryGraph empty;
+  EXPECT_FALSE(BuildLoadModel(empty).ok());
+}
+
+TEST(LoadModelTest, VariablesDescribeSystemInputsFirst) {
+  const QueryGraph g = PaperFigure4Graph();
+  auto model = BuildLoadModel(g);
+  ASSERT_TRUE(model.ok());
+  ASSERT_EQ(model->variables().size(), 2u);
+  EXPECT_EQ(model->variables()[0].kind, VariableInfo::Kind::kSystemInput);
+  EXPECT_EQ(model->variables()[0].index, 0u);
+  EXPECT_EQ(model->variables()[1].index, 1u);
+}
+
+}  // namespace
+}  // namespace rod::query

@@ -1,0 +1,79 @@
+// Tests for the runtime metrics collector.
+
+#include "runtime/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace rod::sim {
+namespace {
+
+TEST(MetricsTest, CountsInputsAndOutputs) {
+  MetricsCollector m(2, 1.0, 10.0);
+  m.RecordInput();
+  m.RecordInput();
+  m.RecordOutput(3, 0.5);
+  EXPECT_EQ(m.inputs(), 2u);
+  EXPECT_EQ(m.outputs(), 1u);
+  EXPECT_EQ(m.latencies(), (std::vector<double>{0.5}));
+}
+
+TEST(MetricsTest, PerSinkLatencyBuckets) {
+  MetricsCollector m(1, 1.0, 5.0);
+  m.RecordOutput(1, 0.1);
+  m.RecordOutput(2, 0.2);
+  m.RecordOutput(1, 0.3);
+  ASSERT_EQ(m.sink_latencies().size(), 2u);
+  EXPECT_EQ(m.sink_latencies().at(1), (std::vector<double>{0.1, 0.3}));
+  EXPECT_EQ(m.sink_latencies().at(2), (std::vector<double>{0.2}));
+}
+
+TEST(MetricsTest, ServiceSplitsAcrossWindows) {
+  MetricsCollector m(1, 1.0, 4.0);
+  // A service interval [0.5, 2.25) spans windows 0, 1, 2.
+  m.RecordService(0, 0.5, 2.25);
+  const Matrix& busy = m.window_busy();
+  ASSERT_EQ(busy.rows(), 4u);
+  EXPECT_NEAR(busy(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(busy(1, 0), 1.0, 1e-12);
+  EXPECT_NEAR(busy(2, 0), 0.25, 1e-12);
+  EXPECT_NEAR(busy(3, 0), 0.0, 1e-12);
+  EXPECT_NEAR(m.NodeUtilization(0, 4.0), 1.75 / 4.0, 1e-12);
+}
+
+TEST(MetricsTest, ServicePastHorizonIsClipped) {
+  MetricsCollector m(1, 1.0, 2.0);
+  m.RecordService(0, 1.5, 5.0);  // runs past the 2-window horizon
+  EXPECT_NEAR(m.window_busy()(1, 0), 0.5, 1e-12);
+  // Total busy time still counts the full interval.
+  EXPECT_NEAR(m.NodeUtilization(0, 2.0), 3.5 / 2.0, 1e-12);
+}
+
+TEST(MetricsTest, OverloadedWindowsThreshold) {
+  MetricsCollector m(2, 1.0, 3.0);
+  m.RecordService(0, 0.0, 1.0);    // window 0: node 0 pegged
+  m.RecordService(1, 1.0, 1.5);    // window 1: node 1 at 50%
+  m.RecordService(0, 2.0, 2.995);  // window 2: node 0 at 99.5%
+  EXPECT_EQ(m.OverloadedWindows(0.99), 2u);
+  EXPECT_EQ(m.OverloadedWindows(0.999), 1u);
+  EXPECT_EQ(m.OverloadedWindows(0.4), 3u);
+  EXPECT_EQ(m.num_windows(), 3u);
+}
+
+TEST(MetricsTest, MultiNodeWindowsIndependent) {
+  MetricsCollector m(3, 2.0, 4.0);
+  m.RecordService(0, 0.0, 2.0);
+  m.RecordService(2, 2.0, 4.0);
+  EXPECT_NEAR(m.window_busy()(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(m.window_busy()(0, 2), 0.0, 1e-12);
+  EXPECT_NEAR(m.window_busy()(1, 2), 2.0, 1e-12);
+  // Node 1 never busy.
+  EXPECT_NEAR(m.NodeUtilization(1, 4.0), 0.0, 1e-12);
+}
+
+TEST(MetricsTest, FractionalWindowCountRoundsUp) {
+  MetricsCollector m(1, 1.0, 2.5);
+  EXPECT_EQ(m.num_windows(), 3u);
+}
+
+}  // namespace
+}  // namespace rod::sim

@@ -1,0 +1,181 @@
+// Tests for the textual query-graph format.
+
+#include "query/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "query/graph_gen.h"
+#include "query/load_model.h"
+
+namespace rod::query {
+namespace {
+
+constexpr const char* kExample2 = R"(# paper Example 2
+input I1
+input I2
+op o1 map cost=4 inputs=I1
+op o2 map cost=6 inputs=o1
+op o3 filter cost=9 sel=0.5 inputs=I2
+op o4 map cost=4 inputs=o3
+)";
+
+TEST(ParserTest, ParsesExample2) {
+  auto g = ParseQueryGraph(kExample2);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_input_streams(), 2u);
+  EXPECT_EQ(g->num_operators(), 4u);
+  EXPECT_EQ(g->spec(2).kind, OperatorKind::kFilter);
+  EXPECT_DOUBLE_EQ(g->spec(2).selectivity, 0.5);
+  auto model = BuildLoadModel(*g);
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->total_coeffs()[0], 10.0);
+  EXPECT_DOUBLE_EQ(model->total_coeffs()[1], 11.0);
+}
+
+TEST(ParserTest, ParsesJoinsUnionsAndFlags) {
+  const char* text = R"(
+input L
+input R
+op fl filter cost=1 sel=0.5 varsel inputs=L
+op u union cost=0.1 inputs=fl,R
+op j join cost=0.01 sel=0.2 window=2.5 inputs=u,R
+)";
+  // 'j' reads from both u and R; R feeds two operators (fan-out).
+  auto g = ParseQueryGraph(text);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_TRUE(g->spec(0).variable_selectivity);
+  EXPECT_EQ(g->spec(1).kind, OperatorKind::kUnion);
+  EXPECT_EQ(g->inputs_of(1).size(), 2u);
+  EXPECT_DOUBLE_EQ(g->spec(2).window, 2.5);
+  EXPECT_TRUE(g->RequiresLinearization());
+  EXPECT_TRUE(BuildLinearizedLoadModel(*g).ok());
+}
+
+TEST(ParserTest, ParsesCommCosts) {
+  const char* text = R"(
+input I
+op a map cost=1 inputs=I
+op b map cost=2 inputs=a comm=0.25
+)";
+  auto g = ParseQueryGraph(text);
+  ASSERT_TRUE(g.ok());
+  EXPECT_DOUBLE_EQ(g->inputs_of(1)[0].comm_cost, 0.25);
+}
+
+TEST(ParserTest, CommentsAndBlankLinesIgnored) {
+  const char* text =
+      "# header\n\ninput I  # trailing comment\n\n"
+      "op a map cost=1 inputs=I\n";
+  auto g = ParseQueryGraph(text);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_operators(), 1u);
+}
+
+TEST(ParserTest, ErrorsCarryLineNumbers) {
+  auto missing_cost = ParseQueryGraph("input I\nop a map inputs=I\n");
+  ASSERT_FALSE(missing_cost.ok());
+  EXPECT_NE(missing_cost.status().message().find("line 2"),
+            std::string::npos);
+
+  auto bad_kind = ParseQueryGraph("input I\nop a blender cost=1 inputs=I\n");
+  ASSERT_FALSE(bad_kind.ok());
+  EXPECT_NE(bad_kind.status().message().find("blender"), std::string::npos);
+}
+
+TEST(ParserTest, RejectsStructuralErrors) {
+  // Unknown input reference.
+  EXPECT_FALSE(ParseQueryGraph("input I\nop a map cost=1 inputs=X\n").ok());
+  // Duplicate names.
+  EXPECT_FALSE(ParseQueryGraph("input I\ninput I\nop a map cost=1 inputs=I\n")
+                   .ok());
+  EXPECT_FALSE(
+      ParseQueryGraph("input I\nop a map cost=1 inputs=I\n"
+                      "op a map cost=1 inputs=I\n")
+          .ok());
+  // Mismatched comm list.
+  EXPECT_FALSE(
+      ParseQueryGraph("input I\nop a map cost=1 inputs=I comm=0.1,0.2\n")
+          .ok());
+  // Forward references are impossible (operator must exist already).
+  EXPECT_FALSE(
+      ParseQueryGraph("input I\nop a map cost=1 inputs=b\n"
+                      "op b map cost=1 inputs=I\n")
+          .ok());
+  // Orphan input stream fails final validation.
+  EXPECT_FALSE(ParseQueryGraph("input I\ninput J\nop a map cost=1 inputs=I\n")
+                   .ok());
+  // Unknown key.
+  EXPECT_FALSE(
+      ParseQueryGraph("input I\nop a map cost=1 zoom=3 inputs=I\n").ok());
+  // Empty graph.
+  EXPECT_FALSE(ParseQueryGraph("").ok());
+}
+
+TEST(ParserTest, SerializeRoundTrips) {
+  const char* text = R"(
+input L
+input R
+op fl filter cost=1.5 sel=0.5 inputs=L
+op fr map cost=2 varsel sel=0.8 inputs=R comm=0.125
+op j join cost=0.01 sel=0.2 window=2.5 inputs=fl,fr
+op down aggregate cost=0.5 sel=0.1 inputs=j
+)";
+  auto g = ParseQueryGraph(text);
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  const std::string serialized = SerializeQueryGraph(*g);
+  auto back = ParseQueryGraph(serialized);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << serialized;
+  ASSERT_EQ(back->num_operators(), g->num_operators());
+  for (OperatorId j = 0; j < g->num_operators(); ++j) {
+    EXPECT_EQ(back->spec(j).name, g->spec(j).name);
+    EXPECT_EQ(back->spec(j).kind, g->spec(j).kind);
+    EXPECT_DOUBLE_EQ(back->spec(j).cost, g->spec(j).cost);
+    EXPECT_DOUBLE_EQ(back->spec(j).selectivity, g->spec(j).selectivity);
+    EXPECT_DOUBLE_EQ(back->spec(j).window, g->spec(j).window);
+    EXPECT_EQ(back->spec(j).variable_selectivity,
+              g->spec(j).variable_selectivity);
+    ASSERT_EQ(back->inputs_of(j).size(), g->inputs_of(j).size());
+    for (size_t a = 0; a < g->inputs_of(j).size(); ++a) {
+      EXPECT_EQ(back->inputs_of(j)[a].from, g->inputs_of(j)[a].from);
+      EXPECT_DOUBLE_EQ(back->inputs_of(j)[a].comm_cost,
+                       g->inputs_of(j)[a].comm_cost);
+    }
+  }
+  // Identical load models, too.
+  auto m1 = BuildLinearizedLoadModel(*g);
+  auto m2 = BuildLinearizedLoadModel(*back);
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  EXPECT_TRUE(m1->op_coeffs().AlmostEquals(m2->op_coeffs()));
+}
+
+TEST(ParserTest, LoadFileNotFound) {
+  EXPECT_EQ(LoadQueryGraphFile("/no/such/graph.txt").status().code(),
+            StatusCode::kNotFound);
+}
+
+// Round-trip sweep: serialize randomly generated graphs and verify the
+// parsed copy produces an identical load model.
+class ParserSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserSweepTest, GeneratedGraphRoundTrips) {
+  Rng rng(GetParam());
+  GraphGenOptions gen;
+  gen.num_input_streams = 2 + rng.NextIndex(4);
+  gen.ops_per_tree = 4 + rng.NextIndex(12);
+  const QueryGraph g = GenerateRandomTrees(gen, rng);
+  auto back = ParseQueryGraph(SerializeQueryGraph(g));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_operators(), g.num_operators());
+  auto m1 = BuildLoadModel(g);
+  auto m2 = BuildLoadModel(*back);
+  ASSERT_TRUE(m1.ok() && m2.ok());
+  EXPECT_TRUE(m1->op_coeffs().AlmostEquals(m2->op_coeffs(), 1e-12));
+  EXPECT_TRUE(m1->out_rate_coeffs().AlmostEquals(m2->out_rate_coeffs(),
+                                                 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserSweepTest,
+                         ::testing::Range<uint64_t>(1, 11));
+
+}  // namespace
+}  // namespace rod::query

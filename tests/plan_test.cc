@@ -1,0 +1,105 @@
+// Tests for Placement / SystemSpec.
+
+#include "placement/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "query/query_graph.h"
+
+namespace rod::place {
+namespace {
+
+TEST(SystemSpecTest, HomogeneousFactory) {
+  const SystemSpec s = SystemSpec::Homogeneous(4, 2.0);
+  EXPECT_EQ(s.num_nodes(), 4u);
+  EXPECT_DOUBLE_EQ(s.TotalCapacity(), 8.0);
+  EXPECT_TRUE(s.Validate().ok());
+}
+
+TEST(SystemSpecTest, ValidateRejectsBadSpecs) {
+  EXPECT_FALSE(SystemSpec{}.Validate().ok());
+  EXPECT_FALSE((SystemSpec{Vector{1.0, 0.0}}).Validate().ok());
+  EXPECT_FALSE((SystemSpec{Vector{-1.0}}).Validate().ok());
+}
+
+TEST(PlacementTest, BasicAccessors) {
+  const Placement p(3, {0, 2, 2, 1});
+  EXPECT_EQ(p.num_nodes(), 3u);
+  EXPECT_EQ(p.num_operators(), 4u);
+  EXPECT_EQ(p.node_of(2), 2u);
+  const auto by_node = p.OperatorsByNode();
+  EXPECT_EQ(by_node[0], (std::vector<query::OperatorId>{0}));
+  EXPECT_EQ(by_node[2], (std::vector<query::OperatorId>{1, 2}));
+}
+
+TEST(PlacementTest, AllocationMatrixIsZeroOne) {
+  const Placement p(2, {0, 1, 0});
+  const Matrix a = p.AllocationMatrix();
+  EXPECT_EQ(a.rows(), 2u);
+  EXPECT_EQ(a.cols(), 3u);
+  EXPECT_DOUBLE_EQ(a(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a(1, 1), 1.0);
+  // Each column sums to 1 (every operator on exactly one node).
+  for (size_t j = 0; j < 3; ++j) EXPECT_DOUBLE_EQ(a.ColSum(j), 1.0);
+}
+
+TEST(PlacementTest, NodeCoeffsEqualsAllocationTimesOpCoeffs) {
+  const Placement p(2, {0, 0, 1, 1});
+  const Matrix lo =
+      Matrix::FromRows({{4.0, 0.0}, {6.0, 0.0}, {0.0, 9.0}, {0.0, 2.0}});
+  const Matrix direct = p.NodeCoeffs(lo);
+  const Matrix via_matmul = p.AllocationMatrix().MatMul(lo);
+  EXPECT_TRUE(direct.AlmostEquals(via_matmul));
+  EXPECT_DOUBLE_EQ(direct(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(direct(1, 1), 11.0);
+}
+
+TEST(PlacementTest, CountCrossNodeArcs) {
+  // Chain I -> a -> b -> c.
+  query::QueryGraph g;
+  const auto in = g.AddInputStream("I");
+  auto a = g.AddOperator({.name = "a", .kind = query::OperatorKind::kMap,
+                          .cost = 1.0},
+                         {query::StreamRef::Input(in)});
+  auto b = g.AddOperator({.name = "b", .kind = query::OperatorKind::kMap,
+                          .cost = 1.0},
+                         {query::StreamRef::Op(*a)});
+  auto c = g.AddOperator({.name = "c", .kind = query::OperatorKind::kMap,
+                          .cost = 1.0},
+                         {query::StreamRef::Op(*b)});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(Placement(2, {0, 0, 0}).CountCrossNodeArcs(g), 0u);
+  EXPECT_EQ(Placement(2, {0, 1, 0}).CountCrossNodeArcs(g), 2u);
+  EXPECT_EQ(Placement(2, {0, 0, 1}).CountCrossNodeArcs(g), 1u);
+  // Input-stream arcs never count.
+  EXPECT_EQ(Placement(2, {1, 1, 1}).CountCrossNodeArcs(g), 0u);
+}
+
+TEST(PlacementTest, Equality) {
+  EXPECT_EQ(Placement(2, {0, 1}), Placement(2, {0, 1}));
+  EXPECT_FALSE(Placement(2, {0, 1}) == Placement(2, {1, 0}));
+}
+
+TEST(PlacementSerializationTest, RoundTrip) {
+  const Placement p(3, {0, 2, 2, 1, 0});
+  const std::string text = SerializePlacement(p);
+  EXPECT_EQ(text, "nodes=3 assignment=0,2,2,1,0");
+  auto back = ParsePlacement(text);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, p);
+}
+
+TEST(PlacementSerializationTest, RejectsMalformed) {
+  EXPECT_FALSE(ParsePlacement("").ok());
+  EXPECT_FALSE(ParsePlacement("nodes=2").ok());
+  EXPECT_FALSE(ParsePlacement("assignment=0,1 nodes=2").ok());
+  EXPECT_FALSE(ParsePlacement("nodes=abc assignment=0").ok());
+  EXPECT_FALSE(ParsePlacement("nodes=0 assignment=0").ok());
+  EXPECT_FALSE(ParsePlacement("nodes=2 assignment=").ok());
+  EXPECT_FALSE(ParsePlacement("nodes=2 assignment=0,5").ok());   // bad node
+  EXPECT_FALSE(ParsePlacement("nodes=2 assignment=0,1x").ok());  // trailing
+}
+
+}  // namespace
+}  // namespace rod::place

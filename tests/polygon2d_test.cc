@@ -1,0 +1,93 @@
+// Tests for exact 2-D feasible polygon computation.
+
+#include "geometry/polygon2d.h"
+
+#include <gtest/gtest.h>
+
+namespace rod::geom {
+namespace {
+
+TEST(PolygonAreaTest, KnownShapes) {
+  const Polygon2 triangle = {{0, 0}, {1, 0}, {0, 1}};
+  EXPECT_NEAR(PolygonArea(triangle), 0.5, 1e-12);
+  const Polygon2 square = {{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  EXPECT_NEAR(PolygonArea(square), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(PolygonArea({}), 0.0);
+  EXPECT_DOUBLE_EQ(PolygonArea({{0, 0}, {1, 1}}), 0.0);
+}
+
+TEST(PolygonAreaTest, OrientationInvariant) {
+  const Polygon2 ccw = {{0, 0}, {1, 0}, {0, 1}};
+  const Polygon2 cw = {{0, 0}, {0, 1}, {1, 0}};
+  EXPECT_NEAR(PolygonArea(ccw), PolygonArea(cw), 1e-12);
+}
+
+TEST(ClipTest, HalfPlaneKeepsInsidePart) {
+  const Polygon2 square = {{0, 0}, {2, 0}, {2, 2}, {0, 2}};
+  // Keep x <= 1.
+  const Polygon2 clipped = ClipHalfPlane(square, 1.0, 0.0, 1.0);
+  EXPECT_NEAR(PolygonArea(clipped), 2.0, 1e-12);
+}
+
+TEST(ClipTest, NoOpWhenFullyInside) {
+  const Polygon2 tri = {{0, 0}, {1, 0}, {0, 1}};
+  const Polygon2 clipped = ClipHalfPlane(tri, 1.0, 1.0, 5.0);
+  EXPECT_NEAR(PolygonArea(clipped), 0.5, 1e-12);
+}
+
+TEST(ClipTest, EmptyWhenFullyOutside) {
+  const Polygon2 tri = {{1, 1}, {2, 1}, {1, 2}};
+  const Polygon2 clipped = ClipHalfPlane(tri, 1.0, 1.0, 1.0);
+  EXPECT_TRUE(clipped.empty());
+}
+
+TEST(FeasiblePolygonTest, IdealWeightsKeepWholeTriangle) {
+  const Matrix w = Matrix::FromRows({{1.0, 1.0}, {1.0, 1.0}});
+  auto ratio = ExactRatioToIdeal2D(w);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_NEAR(*ratio, 1.0, 1e-12);
+}
+
+TEST(FeasiblePolygonTest, PaperExample2PlanA) {
+  // Plan (a) of Example 2: W = [[2,0],[0,2]] (each node hosts one whole
+  // stream on half the capacity). Feasible set: x <= 1/2, y <= 1/2 within
+  // the triangle -> area = 1/4 + ... compute: the square [0,1/2]^2 lies
+  // under the ideal hyperplane except its upper-right half? x+y <= 1 always
+  // holds inside [0,.5]^2, so the feasible region *within the ideal
+  // triangle* is the full square: area 1/4, ratio 1/2.
+  const Matrix w = Matrix::FromRows({{2.0, 0.0}, {0.0, 2.0}});
+  auto ratio = ExactRatioToIdeal2D(w);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_NEAR(*ratio, 0.5, 1e-12);
+}
+
+TEST(FeasiblePolygonTest, SingleDominatingNode) {
+  // One node carries everything: W = [[2,2]] -> feasible is the scaled
+  // triangle x+y <= 1/2: ratio 1/4. (A second, empty node adds nothing.)
+  const Matrix w = Matrix::FromRows({{2.0, 2.0}, {0.0, 0.0}});
+  auto ratio = ExactRatioToIdeal2D(w);
+  ASSERT_TRUE(ratio.ok());
+  EXPECT_NEAR(*ratio, 0.25, 1e-12);
+}
+
+TEST(FeasiblePolygonTest, RequiresTwoColumns) {
+  EXPECT_FALSE(ExactRatioToIdeal2D(Matrix(1, 3, 1.0)).ok());
+}
+
+TEST(FeasiblePolygonTest, AsymmetricPlan) {
+  // W = [[1.5, 0.5], [0.5, 1.5]]: symmetric crossing planes. The corner
+  // (0.5, 0.5) satisfies both constraints with equality... 1.5*.5+.5*.5 = 1.
+  // Vertices: (0,0), (2/3,0), (.5,.5), (0,2/3). Area = shoelace.
+  const Matrix w = Matrix::FromRows({{1.5, 0.5}, {0.5, 1.5}});
+  auto poly = FeasiblePolygon(w);
+  ASSERT_TRUE(poly.ok());
+  auto ratio = ExactRatioToIdeal2D(w);
+  ASSERT_TRUE(ratio.ok());
+  // Shoelace of (0,0),(2/3,0),(1/2,1/2),(0,2/3): area = 1/3 + ... compute
+  // numerically: 0.5*|x1*y2 - x2*y1 + ...| = 0.5*(2/3*1/2 + 1/2*2/3)
+  // = 0.5*(1/3+1/3) = 1/3. Ratio = (1/3)/(1/2) = 2/3.
+  EXPECT_NEAR(*ratio, 2.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rod::geom

@@ -1,0 +1,160 @@
+// Tests for the query graph structure and validation rules.
+
+#include "query/query_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace rod::query {
+namespace {
+
+OperatorSpec Filter(std::string name, double cost, double sel) {
+  return {.name = std::move(name),
+          .kind = OperatorKind::kFilter,
+          .cost = cost,
+          .selectivity = sel};
+}
+
+TEST(OperatorSpecTest, ValidatesRanges) {
+  EXPECT_TRUE(Filter("f", 1.0, 0.5).Validate().ok());
+  EXPECT_FALSE(Filter("f", -1.0, 0.5).Validate().ok());
+  EXPECT_FALSE(Filter("f", 1.0, -0.5).Validate().ok());
+  EXPECT_FALSE(Filter("f", 1.0, 1.5).Validate().ok());  // filter sel > 1
+}
+
+TEST(OperatorSpecTest, JoinRequiresWindowAndPositiveSelectivity) {
+  OperatorSpec join{.name = "j",
+                    .kind = OperatorKind::kJoin,
+                    .cost = 1.0,
+                    .selectivity = 0.5,
+                    .window = 2.0};
+  EXPECT_TRUE(join.Validate().ok());
+  join.window = 0.0;
+  EXPECT_FALSE(join.Validate().ok());
+  join.window = 2.0;
+  join.selectivity = 0.0;
+  EXPECT_FALSE(join.Validate().ok());
+}
+
+TEST(OperatorSpecTest, WindowOnlyForJoins) {
+  OperatorSpec map{.name = "m",
+                   .kind = OperatorKind::kMap,
+                   .cost = 1.0,
+                   .selectivity = 1.0,
+                   .window = 3.0};
+  EXPECT_FALSE(map.Validate().ok());
+}
+
+TEST(OperatorKindTest, NamesAndLinearity) {
+  EXPECT_STREQ(OperatorKindName(OperatorKind::kJoin), "join");
+  EXPECT_STREQ(OperatorKindName(OperatorKind::kAggregate), "aggregate");
+  EXPECT_TRUE(IsLinearKind(OperatorKind::kFilter));
+  EXPECT_TRUE(IsLinearKind(OperatorKind::kUnion));
+  EXPECT_FALSE(IsLinearKind(OperatorKind::kJoin));
+}
+
+TEST(QueryGraphTest, BuildSimpleChain) {
+  QueryGraph g;
+  const InputStreamId in = g.AddInputStream("I0");
+  auto a = g.AddOperator(Filter("a", 1.0, 0.5), {StreamRef::Input(in)});
+  ASSERT_TRUE(a.ok());
+  auto b = g.AddOperator(Filter("b", 2.0, 1.0), {StreamRef::Op(*a)});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(g.num_operators(), 2u);
+  EXPECT_EQ(g.num_input_streams(), 1u);
+  EXPECT_EQ(g.consumers_of(*a), std::vector<OperatorId>{*b});
+  EXPECT_TRUE(g.consumers_of(*b).empty());
+  EXPECT_EQ(g.consumers_of_input(in), std::vector<OperatorId>{*a});
+  EXPECT_EQ(g.Sinks(), std::vector<OperatorId>{*b});
+  EXPECT_TRUE(g.Validate().ok());
+}
+
+TEST(QueryGraphTest, RejectsUnknownReferences) {
+  QueryGraph g;
+  g.AddInputStream("I0");
+  EXPECT_FALSE(
+      g.AddOperator(Filter("a", 1.0, 1.0), {StreamRef::Input(5)}).ok());
+  EXPECT_FALSE(g.AddOperator(Filter("a", 1.0, 1.0), {StreamRef::Op(3)}).ok());
+}
+
+TEST(QueryGraphTest, RejectsWrongArity) {
+  QueryGraph g;
+  const InputStreamId i0 = g.AddInputStream("I0");
+  const InputStreamId i1 = g.AddInputStream("I1");
+  // Single-input kinds refuse 2 inputs.
+  EXPECT_FALSE(g.AddOperator(Filter("f", 1.0, 1.0),
+                             {StreamRef::Input(i0), StreamRef::Input(i1)})
+                   .ok());
+  // Joins refuse 1 input.
+  OperatorSpec join{.name = "j",
+                    .kind = OperatorKind::kJoin,
+                    .cost = 1.0,
+                    .selectivity = 0.5,
+                    .window = 1.0};
+  EXPECT_FALSE(g.AddOperator(join, {StreamRef::Input(i0)}).ok());
+  // Unions accept many.
+  OperatorSpec u{.name = "u", .kind = OperatorKind::kUnion, .cost = 1.0};
+  EXPECT_TRUE(
+      g.AddOperator(u, {StreamRef::Input(i0), StreamRef::Input(i1)}).ok());
+}
+
+TEST(QueryGraphTest, RejectsDuplicateInputs) {
+  QueryGraph g;
+  const InputStreamId in = g.AddInputStream("I0");
+  OperatorSpec u{.name = "u", .kind = OperatorKind::kUnion, .cost = 1.0};
+  EXPECT_FALSE(
+      g.AddOperator(u, {StreamRef::Input(in), StreamRef::Input(in)}).ok());
+}
+
+TEST(QueryGraphTest, CommCostsSizeMustMatch) {
+  QueryGraph g;
+  const InputStreamId in = g.AddInputStream("I0");
+  EXPECT_FALSE(g.AddOperator(Filter("f", 1.0, 1.0), {StreamRef::Input(in)},
+                             {0.1, 0.2})
+                   .ok());
+  EXPECT_FALSE(
+      g.AddOperator(Filter("f", 1.0, 1.0), {StreamRef::Input(in)}, {-0.1})
+          .ok());
+  auto ok = g.AddOperator(Filter("f", 1.0, 1.0), {StreamRef::Input(in)}, {0.2});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(g.inputs_of(*ok)[0].comm_cost, 0.2);
+}
+
+TEST(QueryGraphTest, ValidateFlagsEmptyAndOrphans) {
+  QueryGraph empty;
+  EXPECT_FALSE(empty.Validate().ok());
+
+  QueryGraph orphan;
+  orphan.AddInputStream("used");
+  orphan.AddInputStream("unused");
+  ASSERT_TRUE(
+      orphan.AddOperator(Filter("f", 1.0, 1.0), {StreamRef::Input(0)}).ok());
+  EXPECT_FALSE(orphan.Validate().ok());
+}
+
+TEST(QueryGraphTest, RequiresLinearizationDetection) {
+  QueryGraph g;
+  const InputStreamId i0 = g.AddInputStream("I0");
+  const InputStreamId i1 = g.AddInputStream("I1");
+  ASSERT_TRUE(g.AddOperator(Filter("f", 1.0, 1.0), {StreamRef::Input(i0)}).ok());
+  EXPECT_FALSE(g.RequiresLinearization());
+
+  OperatorSpec varsel = Filter("v", 1.0, 0.5);
+  varsel.variable_selectivity = true;
+  ASSERT_TRUE(g.AddOperator(varsel, {StreamRef::Input(i1)}).ok());
+  EXPECT_TRUE(g.RequiresLinearization());
+}
+
+TEST(QueryGraphTest, FanOutSharesOutputStream) {
+  QueryGraph g;
+  const InputStreamId in = g.AddInputStream("I0");
+  auto src = g.AddOperator(Filter("src", 1.0, 1.0), {StreamRef::Input(in)});
+  ASSERT_TRUE(src.ok());
+  auto c1 = g.AddOperator(Filter("c1", 1.0, 1.0), {StreamRef::Op(*src)});
+  auto c2 = g.AddOperator(Filter("c2", 1.0, 1.0), {StreamRef::Op(*src)});
+  ASSERT_TRUE(c1.ok() && c2.ok());
+  EXPECT_EQ(g.consumers_of(*src).size(), 2u);
+  EXPECT_EQ(g.Sinks().size(), 2u);
+}
+
+}  // namespace
+}  // namespace rod::query

@@ -1,0 +1,107 @@
+// Tests for trace persistence and timestamp conversion.
+
+#include "trace/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace rod::trace {
+namespace {
+
+RateTrace SampleTrace() {
+  RateTrace t;
+  t.window_sec = 0.5;
+  t.rates = {1.25, 0.0, 3.75, 2.0};
+  return t;
+}
+
+TEST(TraceCsvTest, StringRoundTrip) {
+  const RateTrace t = SampleTrace();
+  auto back = FromCsvString(ToCsvString(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->window_sec, 0.5);
+  EXPECT_EQ(back->rates, t.rates);
+}
+
+TEST(TraceCsvTest, PreservesPrecision) {
+  RateTrace t;
+  t.window_sec = 1.0 / 3.0;
+  t.rates = {0.1 + 0.2, 1e-17 + 1.0};
+  auto back = FromCsvString(ToCsvString(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_DOUBLE_EQ(back->window_sec, t.window_sec);
+  EXPECT_DOUBLE_EQ(back->rates[0], t.rates[0]);
+}
+
+TEST(TraceCsvTest, RejectsMalformedContent) {
+  EXPECT_FALSE(FromCsvString("").ok());
+  EXPECT_FALSE(FromCsvString("bogus\n1.0\n").ok());
+  EXPECT_FALSE(FromCsvString("window_sec,abc\n1.0\n").ok());
+  EXPECT_FALSE(FromCsvString("window_sec,0\n1.0\n").ok());        // zero width
+  EXPECT_FALSE(FromCsvString("window_sec,1.0\n").ok());           // no rows
+  EXPECT_FALSE(FromCsvString("window_sec,1.0\n-2.0\n").ok());     // negative
+  EXPECT_FALSE(FromCsvString("window_sec,1.0\n1.0x\n").ok());     // trailing
+  EXPECT_FALSE(FromCsvString("window_sec,1.0\nnan\n").ok());      // non-finite
+}
+
+TEST(TraceCsvTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rod_trace_io_test.csv")
+          .string();
+  const RateTrace t = SampleTrace();
+  ASSERT_TRUE(SaveCsv(t, path).ok());
+  auto back = LoadCsv(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rates, t.rates);
+  std::remove(path.c_str());
+}
+
+TEST(TraceCsvTest, LoadMissingFileIsNotFound) {
+  auto r = LoadCsv("/definitely/not/here.csv");
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(TimestampsTest, CountsPerWindow) {
+  // 1-second windows: 3 arrivals in [0,1), 1 in [1,2), 2 in [2,3).
+  const std::vector<double> ts = {0.1, 0.5, 0.9, 1.5, 2.0, 2.99};
+  auto trace = RatesFromTimestamps(ts, 1.0);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_EQ(trace->rates, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(TimestampsTest, RatesScaleWithWindowWidth) {
+  const std::vector<double> ts = {0.0, 0.1, 0.2, 0.3};
+  auto trace = RatesFromTimestamps(ts, 0.5);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_DOUBLE_EQ(trace->window_sec, 0.5);
+  EXPECT_DOUBLE_EQ(trace->rates[0], 4.0 / 0.5);  // 4 tuples in 0.5 s
+}
+
+TEST(TimestampsTest, MeanRateMatchesArrivalDensity) {
+  std::vector<double> ts;
+  for (int i = 0; i < 1000; ++i) ts.push_back(i * 0.01);  // 100/s for 10 s
+  auto trace = RatesFromTimestamps(ts, 1.0);
+  ASSERT_TRUE(trace.ok());
+  EXPECT_NEAR(trace->MeanRate(), 100.0, 1.0);
+}
+
+TEST(TimestampsTest, RejectsBadInput) {
+  EXPECT_FALSE(RatesFromTimestamps({}, 1.0).ok());
+  EXPECT_FALSE(RatesFromTimestamps({1.0, 0.5}, 1.0).ok());   // unsorted
+  EXPECT_FALSE(RatesFromTimestamps({-1.0, 0.5}, 1.0).ok());  // negative
+  EXPECT_FALSE(RatesFromTimestamps({1.0}, 0.0).ok());        // bad window
+}
+
+TEST(TimestampsTest, RoundTripThroughCsv) {
+  const std::vector<double> ts = {0.2, 0.7, 1.1, 3.4, 3.5};
+  auto trace = RatesFromTimestamps(ts, 1.0);
+  ASSERT_TRUE(trace.ok());
+  auto back = FromCsvString(ToCsvString(*trace));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->rates, trace->rates);
+}
+
+}  // namespace
+}  // namespace rod::trace
