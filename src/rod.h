@@ -49,10 +49,12 @@
 #include "query/parser.h"
 #include "query/query_graph.h"
 #include "runtime/calibrate.h"
+#include "runtime/chaos.h"
 #include "runtime/deployment.h"
 #include "runtime/engine.h"
 #include "runtime/fluid.h"
 #include "runtime/metrics.h"
+#include "runtime/supervisor.h"
 #include "trace/bmodel.h"
 #include "trace/hurst.h"
 #include "trace/io.h"

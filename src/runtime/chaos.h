@@ -1,0 +1,94 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Fault injection for the tuple-level engine. A FailureSchedule describes
+// node crash / recover / slowdown events at virtual timestamps; the engine
+// replays them inside the Simulate event loop. A crashed node drops its
+// queued and in-flight tasks (counted as lost tuples) and rejects new
+// arrivals until it recovers. A RecoveryAgent — consulted one detection
+// delay after each crash — may re-home operators onto the survivors (see
+// runtime/supervisor.h for the production implementation built on
+// place::RepairPlacement).
+
+#ifndef ROD_RUNTIME_CHAOS_H_
+#define ROD_RUNTIME_CHAOS_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "runtime/deployment.h"
+
+namespace rod::sim {
+
+/// What happens to a node at a scheduled fault instant.
+enum class FaultKind {
+  kCrash,     ///< Node goes down: queued + in-flight tasks are lost,
+              ///< arrivals are rejected until recovery.
+  kRecover,   ///< Node comes back up, empty, at full capacity.
+  kSlowdown,  ///< Node capacity is multiplied by `factor` (straggler /
+              ///< co-tenant interference; > 1 models a speedup).
+};
+
+/// One scheduled fault.
+struct FaultEvent {
+  double time = 0.0;
+  uint32_t node = 0;
+  FaultKind kind = FaultKind::kCrash;
+  double factor = 1.0;  ///< Capacity multiplier (kSlowdown only).
+};
+
+/// A time-ordered script of faults for one simulation run. Build with the
+/// fluent CrashAt/RecoverAt/SlowdownAt calls; the engine validates the
+/// script against the cluster before the run starts.
+class FailureSchedule {
+ public:
+  FailureSchedule& CrashAt(double time, uint32_t node);
+  FailureSchedule& RecoverAt(double time, uint32_t node);
+  FailureSchedule& SlowdownAt(double time, uint32_t node, double factor);
+
+  const std::vector<FaultEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+
+  /// OK iff every event targets a node < `num_nodes` at a time >= 0 with a
+  /// positive slowdown factor, no node crashes twice without recovering in
+  /// between, and recoveries only follow crashes.
+  Status Validate(size_t num_nodes) const;
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// A re-homing decision returned by a RecoveryAgent.
+struct PlanUpdate {
+  /// New operator -> node assignment (size = number of operators). The
+  /// engine re-routes in place via ReassignOperators.
+  std::vector<size_t> assignment;
+
+  /// Migration pause: every *moved* operator is unavailable for this many
+  /// seconds after the plan is applied (state transfer). Tuples arriving
+  /// for a paused operator are buffered and replayed at pause end, or shed
+  /// when `shed_during_pause` is set.
+  double migration_pause = 0.0;
+  bool shed_during_pause = false;
+};
+
+/// Supervision hook: the engine calls OnFailureDetected one
+/// detection_delay() after each crash. Implementations see the current
+/// node up/down map and routing tables and may return a repaired plan
+/// (or nullopt to leave the placement unchanged).
+class RecoveryAgent {
+ public:
+  virtual ~RecoveryAgent() = default;
+
+  /// Seconds between a crash and the supervisor noticing it.
+  virtual double detection_delay() const = 0;
+
+  virtual std::optional<PlanUpdate> OnFailureDetected(
+      double now, uint32_t failed_node, const std::vector<bool>& node_up,
+      const Deployment& deployment) = 0;
+};
+
+}  // namespace rod::sim
+
+#endif  // ROD_RUNTIME_CHAOS_H_

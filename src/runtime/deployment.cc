@@ -61,4 +61,33 @@ Result<Deployment> CompileDeployment(const query::QueryGraph& graph,
   return dep;
 }
 
+Result<std::vector<uint32_t>> ReassignOperators(
+    Deployment& deployment, const std::vector<size_t>& assignment) {
+  if (assignment.size() != deployment.ops.size()) {
+    return Status::InvalidArgument("assignment/deployment operator count "
+                                   "mismatch");
+  }
+  for (size_t node : assignment) {
+    if (node >= deployment.num_nodes()) {
+      return Status::InvalidArgument("assignment points outside the cluster");
+    }
+  }
+  std::vector<uint32_t> moved;
+  for (uint32_t j = 0; j < deployment.ops.size(); ++j) {
+    const auto node = static_cast<uint32_t>(assignment[j]);
+    if (deployment.ops[j].node != node) {
+      deployment.ops[j].node = node;
+      moved.push_back(j);
+    }
+  }
+  // Refresh cross-node flags on every internal route (input routes always
+  // cross: sources are external).
+  for (CompiledOp& op : deployment.ops) {
+    for (Route& route : op.consumers) {
+      route.crosses_nodes = op.node != deployment.ops[route.to_op].node;
+    }
+  }
+  return moved;
+}
+
 }  // namespace rod::sim

@@ -52,6 +52,14 @@ Result<Deployment> CompileDeployment(const query::QueryGraph& graph,
                                      const place::Placement& placement,
                                      const place::SystemSpec& system);
 
+/// Incremental recompile for supervised re-homing: rewrites each
+/// operator's host per `assignment` (size = number of operators, entries
+/// < num_nodes) and refreshes every route's `crosses_nodes` flag in place
+/// — no graph needed, routing topology and costs are preserved. Returns
+/// the ids of the operators whose host changed.
+Result<std::vector<uint32_t>> ReassignOperators(
+    Deployment& deployment, const std::vector<size_t>& assignment);
+
 }  // namespace rod::sim
 
 #endif  // ROD_RUNTIME_DEPLOYMENT_H_

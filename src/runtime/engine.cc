@@ -6,6 +6,7 @@
 #include <cmath>
 #include <deque>
 #include <memory>
+#include <string>
 
 #include "common/stats.h"
 #include "runtime/event_queue.h"
@@ -18,10 +19,11 @@ namespace rod::sim {
 namespace {
 
 /// A tuple travelling between nodes (constant network latency makes the
-/// delivery order FIFO, so a deque suffices).
+/// delivery order FIFO, so a deque suffices). The destination node is
+/// resolved at *delivery* time: a supervisor may re-home the target
+/// operator while the tuple is on the wire.
 struct PendingDelivery {
   double time = 0.0;
-  uint32_t node = 0;
   Task task;
 };
 
@@ -57,6 +59,19 @@ struct InFlight {
   uint64_t probes = 0;  ///< Join pairings counted at service start.
 };
 
+/// Percentile summary of one incident phase's latency samples.
+PhaseLatency SummarizePhase(const std::vector<double>& samples) {
+  PhaseLatency p;
+  p.outputs = samples.size();
+  if (!samples.empty()) {
+    p.mean = Mean(samples);
+    p.p50 = Percentile(samples, 0.50);
+    p.p95 = Percentile(samples, 0.95);
+    p.p99 = Percentile(samples, 0.99);
+  }
+  return p;
+}
+
 }  // namespace
 
 Result<SimulationResult> Simulate(const Deployment& deployment,
@@ -71,6 +86,13 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
   if (options.warmup < 0.0 || options.warmup >= options.duration) {
     return Status::InvalidArgument("warmup must lie in [0, duration)");
   }
+  if (options.failures) {
+    ROD_RETURN_IF_ERROR(options.failures->Validate(deployment.num_nodes()));
+  }
+
+  // Working copy of the routing tables: supervised recovery re-homes
+  // operators in place mid-run (ReassignOperators).
+  Deployment dep = deployment;
 
   Rng master(options.seed);
   std::vector<Rng> input_rngs;
@@ -84,22 +106,32 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
   Rng emission_rng = master.Fork();
 
   std::vector<SimNode> nodes;
-  nodes.reserve(deployment.num_nodes());
-  for (double cap : deployment.system.capacities) {
+  nodes.reserve(dep.num_nodes());
+  for (double cap : dep.system.capacities) {
     nodes.emplace_back(cap, options.scheduling);
   }
   std::vector<InFlight> inflight(nodes.size());
 
   // Join window buffers: per operator, per port, timestamps of buffered
-  // tuples (empty for non-joins).
-  std::vector<std::array<std::deque<double>, 2>> join_state(
-      deployment.ops.size());
+  // tuples (empty for non-joins). Indexed by operator id, so the state
+  // survives a supervised migration — the pause models its transfer.
+  std::vector<std::array<std::deque<double>, 2>> join_state(dep.ops.size());
+
+  // Chaos state: node liveness, per-node service tokens (a crash bumps the
+  // token so the stale completion event is ignored), migration pauses.
+  std::vector<char> node_up(nodes.size(), 1);
+  std::vector<uint64_t> service_token(nodes.size(), 0);
+  std::vector<double> paused_until(dep.ops.size(), 0.0);
+  std::vector<std::vector<Task>> migration_buffer(dep.ops.size());
+  bool shed_during_pause = false;
+  IncidentReport incident;
+  bool have_incident = false;
 
   MetricsCollector metrics(nodes.size(), options.utilization_window,
                            options.duration);
   EventQueue events;
   std::deque<PendingDelivery> network;
-  std::vector<SimulationResult::OperatorStats> op_stats(deployment.ops.size());
+  std::vector<SimulationResult::OperatorStats> op_stats(dep.ops.size());
   size_t shed_count = 0;
   size_t warmup_outputs = 0;
 
@@ -110,17 +142,26 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
       events.Push(t, EventType::kExternalArrival, k);
     }
   }
+  // Schedule the fault script.
+  if (options.failures) {
+    const auto& faults = options.failures->events();
+    for (uint32_t i = 0; i < faults.size(); ++i) {
+      if (faults[i].time <= options.duration) {
+        events.Push(faults[i].time, EventType::kFault, i);
+      }
+    }
+  }
 
-  // Starts service on `node` if it is idle with work queued.
+  // Starts service on `node` if it is up and idle with work queued.
   auto try_start = [&](uint32_t node_id, double now) {
     SimNode& node = nodes[node_id];
-    if (!node.CanStart()) return;
+    if (!node_up[node_id] || !node.CanStart()) return;
     InFlight fl;
     fl.task = node.StartService();
     fl.start = now;
     double cpu = fl.task.extra_cost;
     if (fl.task.op != Task::kCommTask) {
-      const CompiledOp& op = deployment.ops[fl.task.op];
+      const CompiledOp& op = dep.ops[fl.task.op];
       if (op.is_join) {
         auto& state = join_state[fl.task.op];
         auto& mine = state[fl.task.port & 1];
@@ -138,27 +179,43 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
     }
     fl.service = node.ServiceTime(cpu);
     inflight[node_id] = fl;
-    events.Push(now + fl.service, EventType::kNodeDone, node_id);
+    events.Push(now + fl.service, EventType::kNodeDone, node_id,
+                ++service_token[node_id]);
   };
 
-  // Delivers a task to a node, possibly across the simulated network.
+  // Hands a tuple-task to its operator's *current* host, honouring
+  // migration pauses and node liveness. False iff the task was dropped
+  // (destination down, or shed during a migration pause).
+  auto place_task = [&](const Task& task, double now) -> bool {
+    if (paused_until[task.op] > now) {
+      if (shed_during_pause) {
+        ++incident.migration_shed;
+        return false;
+      }
+      migration_buffer[task.op].push_back(task);
+      ++incident.migration_buffered;
+      return true;
+    }
+    const uint32_t dst = dep.ops[task.op].node;
+    if (!node_up[dst]) return false;
+    nodes[dst].Enqueue(task);
+    try_start(dst, now);
+    return true;
+  };
+
+  // Delivers a task to an operator, possibly across the simulated network.
   auto deliver = [&](const Route& route, double origin, double now) {
-    const uint32_t dst_node = deployment.ops[route.to_op].node;
     Task task;
     task.op = route.to_op;
     task.port = route.to_port;
     task.origin = origin;
     task.extra_cost = route.crosses_nodes ? route.comm_cost : 0.0;
     if (route.crosses_nodes && options.network_latency > 0.0) {
-      network.push_back(
-          PendingDelivery{now + options.network_latency, dst_node, task});
-      // kNodeDone/kExternalArrival drive the clock; deliveries ride a
-      // dedicated event indexed implicitly by FIFO order.
-      events.Push(now + options.network_latency, EventType::kExternalArrival,
-                  UINT32_MAX);
-    } else {
-      nodes[dst_node].Enqueue(task);
-      try_start(dst_node, now);
+      network.push_back(PendingDelivery{now + options.network_latency, task});
+      events.Push(now + options.network_latency, EventType::kNetworkDelivery,
+                  0);
+    } else if (!place_task(task, now)) {
+      ++incident.lost_network;
     }
   };
 
@@ -166,20 +223,35 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
   while (!events.empty()) {
     const Event ev = events.Pop();
     if (ev.time > options.duration) break;
-    if (++processed_events > options.max_events) {
-      return Status::FailedPrecondition(
-          "simulation exceeded max_events; reduce rates or duration");
-    }
     const double now = ev.time;
+    if (++processed_events > options.max_events) {
+      // Name the hot spot so runaway-load aborts are diagnosable.
+      size_t hot_node = 0;
+      for (size_t i = 1; i < nodes.size(); ++i) {
+        if (nodes[i].queue_length() > nodes[hot_node].queue_length()) {
+          hot_node = i;
+        }
+      }
+      const auto [hot_op, hot_count] = nodes[hot_node].HottestOperator();
+      std::string msg = "simulation exceeded max_events at t=" +
+                        std::to_string(now) + "s; hottest node " +
+                        std::to_string(hot_node) + " has " +
+                        std::to_string(nodes[hot_node].queue_length()) +
+                        " queued tasks";
+      if (hot_count > 0 && hot_op != Task::kCommTask) {
+        msg += ", most at operator " + std::to_string(hot_op) + " (" +
+               std::to_string(hot_count) + ")";
+      }
+      msg += "; reduce rates or duration";
+      return Status::FailedPrecondition(std::move(msg));
+    }
 
-    if (ev.type == EventType::kExternalArrival && ev.index == UINT32_MAX) {
-      // Network delivery completion.
+    if (ev.type == EventType::kNetworkDelivery) {
       assert(!network.empty());
       const PendingDelivery d = network.front();
       network.pop_front();
       assert(std::abs(d.time - now) < 1e-9);
-      nodes[d.node].Enqueue(d.task);
-      try_start(d.node, now);
+      if (!place_task(d.task, now)) ++incident.lost_network;
       continue;
     }
 
@@ -187,26 +259,45 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
       const uint32_t k = ev.index;
       bool accepted = false;
       bool shed = false;
-      for (const Route& route : deployment.input_routes[k]) {
+      bool rejected = false;
+      for (const Route& route : dep.input_routes[k]) {
         // External ingestion: receiver pays the arc cost, no network hop
         // is simulated (sources push directly into the cluster).
-        const uint32_t dst_node = deployment.ops[route.to_op].node;
-        if (options.shed_queue_threshold > 0 &&
-            nodes[dst_node].queue_length() >= options.shed_queue_threshold) {
-          shed = true;  // overload response: drop at the edge
-          continue;
-        }
         Task task;
         task.op = route.to_op;
         task.port = route.to_port;
         task.origin = now;
         task.extra_cost = route.comm_cost;
+        if (paused_until[task.op] > now) {
+          // Consumer is mid-migration: hold (or shed) at the edge.
+          if (shed_during_pause) {
+            ++incident.migration_shed;
+            shed = true;
+          } else {
+            migration_buffer[task.op].push_back(task);
+            ++incident.migration_buffered;
+            accepted = true;
+          }
+          continue;
+        }
+        const uint32_t dst_node = dep.ops[route.to_op].node;
+        if (!node_up[dst_node]) {
+          rejected = true;  // crashed node: arrivals bounce
+          continue;
+        }
+        if (options.shed_queue_threshold > 0 &&
+            nodes[dst_node].queue_length() >= options.shed_queue_threshold) {
+          shed = true;  // overload response: drop at the edge
+          continue;
+        }
         nodes[dst_node].Enqueue(task);
         try_start(dst_node, now);
         accepted = true;
       }
       if (accepted) {
         metrics.RecordInput();
+      } else if (rejected) {
+        ++incident.rejected_inputs;
       } else if (shed) {
         ++shed_count;
       }
@@ -217,14 +308,103 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
       continue;
     }
 
+    if (ev.type == EventType::kFault) {
+      const FaultEvent& fault = options.failures->events()[ev.index];
+      if (fault.kind == FaultKind::kCrash) {
+        node_up[fault.node] = 0;
+        // Queued and in-flight tuple-tasks are lost (comm overhead tasks
+        // are bookkeeping, not tuples).
+        for (const Task& t : nodes[fault.node].DrainAll()) {
+          if (t.op != Task::kCommTask) ++incident.lost_queued;
+        }
+        if (nodes[fault.node].busy()) {
+          const InFlight& fl = inflight[fault.node];
+          if (fl.task.op != Task::kCommTask) ++incident.lost_inflight;
+          metrics.RecordService(fault.node, fl.start, now);
+          nodes[fault.node].AbortService();
+          ++service_token[fault.node];  // cancel the pending kNodeDone
+        }
+        if (!have_incident) {
+          have_incident = true;
+          incident.crash_time = now;
+          incident.failed_node = fault.node;
+        }
+        if (options.recovery) {
+          events.Push(now + options.recovery->detection_delay(),
+                      EventType::kFailureDetected, fault.node);
+        }
+      } else if (fault.kind == FaultKind::kRecover) {
+        node_up[fault.node] = 1;
+        nodes[fault.node].set_capacity(dep.system.capacities[fault.node]);
+      } else {  // kSlowdown
+        nodes[fault.node].set_capacity(dep.system.capacities[fault.node] *
+                                       fault.factor);
+      }
+      continue;
+    }
+
+    if (ev.type == EventType::kFailureDetected) {
+      if (have_incident && incident.detect_time < 0) {
+        incident.detect_time = now;
+      }
+      auto update = options.recovery->OnFailureDetected(
+          now, ev.index, std::vector<bool>(node_up.begin(), node_up.end()),
+          dep);
+      if (update) {
+        auto moved = ReassignOperators(dep, update->assignment);
+        if (!moved.ok()) return moved.status();
+        shed_during_pause = update->shed_during_pause;
+        incident.operators_moved += moved->size();
+        if (incident.plan_applied_time < 0) {
+          incident.plan_applied_time = now;
+        }
+        if (!moved->empty()) {
+          std::vector<char> is_moved(dep.ops.size(), 0);
+          for (uint32_t j : *moved) is_moved[j] = 1;
+          if (update->migration_pause > 0.0) {
+            for (uint32_t j : *moved) {
+              paused_until[j] = now + update->migration_pause;
+              if (!update->shed_during_pause) {
+                events.Push(paused_until[j], EventType::kMigrationRelease, j);
+              }
+            }
+          }
+          // Tasks already queued on survivors for a moved operator follow
+          // it to its new host (through the migration pause, if any).
+          for (uint32_t i = 0; i < nodes.size(); ++i) {
+            if (!node_up[i]) continue;
+            auto orphaned = nodes[i].ExtractIf([&](const Task& t) {
+              return t.op != Task::kCommTask && is_moved[t.op];
+            });
+            for (const Task& t : orphaned) {
+              if (!place_task(t, now)) ++incident.lost_network;
+            }
+          }
+        }
+      }
+      continue;
+    }
+
+    if (ev.type == EventType::kMigrationRelease) {
+      const uint32_t op = ev.index;
+      if (paused_until[op] > now + 1e-12) continue;  // superseded pause
+      const std::vector<Task> held = std::move(migration_buffer[op]);
+      migration_buffer[op].clear();
+      for (const Task& t : held) {
+        if (!place_task(t, now)) ++incident.lost_network;
+      }
+      continue;
+    }
+
     // kNodeDone.
     const uint32_t node_id = ev.index;
+    if (ev.tag != service_token[node_id]) continue;  // crash-cancelled
     const InFlight fl = inflight[node_id];
     nodes[node_id].FinishService(fl.service);
     metrics.RecordService(node_id, fl.start, now);
 
     if (fl.task.op != Task::kCommTask) {
-      const CompiledOp& op = deployment.ops[fl.task.op];
+      const CompiledOp& op = dep.ops[fl.task.op];
       const uint64_t emitted =
           op.is_join ? SampleBinomial(fl.probes, op.selectivity, emission_rng)
                      : SampleEmissions(op.selectivity, emission_rng);
@@ -238,7 +418,7 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
       for (uint64_t e = 0; e < emitted; ++e) {
         if (op.is_sink) {
           if (fl.task.origin >= options.warmup) {
-            metrics.RecordOutput(fl.task.op, now - fl.task.origin);
+            metrics.RecordOutput(fl.task.op, now - fl.task.origin, now);
           } else {
             ++warmup_outputs;
           }
@@ -289,6 +469,7 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
         std::max(result.max_node_utilization, result.node_utilization[i]);
     result.final_backlog += nodes[i].queue_length() + (nodes[i].busy() ? 1 : 0);
   }
+  for (const auto& held : migration_buffer) result.final_backlog += held.size();
   result.op_stats = std::move(op_stats);
   result.overloaded_windows =
       metrics.OverloadedWindows(options.overload_threshold);
@@ -300,6 +481,63 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
   result.saturated =
       result.overloaded_windows * 2 >= result.total_windows ||
       static_cast<double>(result.final_backlog) > backlog_limit;
+
+  if (have_incident) {
+    incident.lost_tuples = incident.lost_queued + incident.lost_inflight +
+                           incident.lost_network + incident.rejected_inputs;
+    const double offered = static_cast<double>(
+        result.input_tuples + incident.rejected_inputs + result.shed_tuples);
+    incident.availability =
+        offered > 0 ? static_cast<double>(result.input_tuples) / offered : 1.0;
+
+    // Recovery point: the earliest utilization window at/after the plan
+    // went live (or the crash, unsupervised) from which every remaining
+    // window stays below the recovered threshold.
+    const double anchor = incident.plan_applied_time >= 0.0
+                              ? incident.plan_applied_time
+                              : incident.crash_time;
+    const size_t num_w = metrics.num_windows();
+    const size_t start_w = std::min(
+        num_w, static_cast<size_t>(anchor / options.utilization_window));
+    size_t recovered_w = num_w;
+    for (size_t w = num_w; w-- > start_w;) {
+      if (metrics.WindowMaxBusyFraction(w) < options.recovered_utilization) {
+        recovered_w = w;
+      } else {
+        break;
+      }
+    }
+    double recovery_abs = options.duration;
+    if (recovered_w < num_w) {
+      incident.recovered = true;
+      recovery_abs =
+          static_cast<double>(recovered_w) * options.utilization_window;
+      incident.recovery_time =
+          std::max(0.0, recovery_abs - incident.crash_time);
+      for (size_t w = recovered_w; w < num_w; ++w) {
+        incident.post_recovery_max_utilization =
+            std::max(incident.post_recovery_max_utilization,
+                     metrics.WindowMaxBusyFraction(w));
+      }
+    }
+
+    // Phase latency split by output completion time.
+    std::vector<double> pre, during, post;
+    const auto& times = metrics.output_times();
+    for (size_t i = 0; i < lat.size(); ++i) {
+      if (times[i] < incident.crash_time) {
+        pre.push_back(lat[i]);
+      } else if (times[i] < recovery_abs) {
+        during.push_back(lat[i]);
+      } else {
+        post.push_back(lat[i]);
+      }
+    }
+    incident.pre_failure = SummarizePhase(pre);
+    incident.during_recovery = SummarizePhase(during);
+    incident.post_recovery = SummarizePhase(post);
+    result.incident = incident;
+  }
   return result;
 }
 

@@ -12,11 +12,13 @@
 #define ROD_RUNTIME_ENGINE_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/status.h"
 #include "placement/plan.h"
 #include "query/query_graph.h"
+#include "runtime/chaos.h"
 #include "runtime/deployment.h"
 #include "runtime/node.h"
 #include "trace/trace.h"
@@ -64,6 +66,70 @@ struct SimulationOptions {
 
   /// Seed for arrivals and probabilistic emission.
   uint64_t seed = 0xdecaf5eedULL;
+
+  /// Fault injection script (crash / recover / slowdown events; see
+  /// runtime/chaos.h). Not owned; null disables chaos.
+  const FailureSchedule* failures = nullptr;
+
+  /// Supervised recovery: consulted one detection delay after each crash
+  /// to re-home operators (see runtime/supervisor.h). Not owned; null
+  /// means nobody repairs — orphaned operators stay dark until their node
+  /// recovers.
+  RecoveryAgent* recovery = nullptr;
+
+  /// Incident report: per-window max busy fraction at/below which the
+  /// cluster counts as recovered after a crash.
+  double recovered_utilization = 0.95;
+};
+
+/// Latency percentiles over the sink outputs completing in one incident
+/// phase (pre-failure / during recovery / post-recovery).
+struct PhaseLatency {
+  size_t outputs = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// What a mid-run node crash cost, and how the run recovered. Times are
+/// virtual seconds; the report covers the run's *first* crash (subsequent
+/// faults still execute and contribute to the loss counters).
+struct IncidentReport {
+  double crash_time = 0.0;
+  uint32_t failed_node = 0;
+
+  double detect_time = -1.0;        ///< Supervisor consulted (-1: none).
+  double plan_applied_time = -1.0;  ///< Repaired routing live (-1: never).
+  size_t operators_moved = 0;       ///< Re-homed by all plan updates.
+
+  // Tuples lost to the incident, by mechanism, plus the total.
+  size_t lost_queued = 0;     ///< Queued on a node when it crashed.
+  size_t lost_inflight = 0;   ///< Being served on a node when it crashed.
+  size_t lost_network = 0;    ///< In transit to a node that was down on
+                              ///< delivery.
+  size_t rejected_inputs = 0; ///< External tuples rejected because every
+                              ///< consumer's node was down.
+  size_t lost_tuples = 0;     ///< Sum of the four above.
+
+  // Migration pause bookkeeping (state transfer of moved operators).
+  size_t migration_buffered = 0;  ///< Tuples held and replayed.
+  size_t migration_shed = 0;      ///< Tuples dropped (shed_during_pause).
+
+  /// Recovery: the first utilization window at/after the repaired plan
+  /// went live (or the crash, without a supervisor) from which every
+  /// remaining window stays below `recovered_utilization`.
+  bool recovered = false;
+  double recovery_time = -1.0;  ///< Crash -> start of that window (s).
+  double post_recovery_max_utilization = 0.0;
+
+  /// Accepted fraction of external tuples offered over the whole run:
+  /// accepted / (accepted + rejected_inputs + shed).
+  double availability = 1.0;
+
+  PhaseLatency pre_failure;      ///< Outputs completing before the crash.
+  PhaseLatency during_recovery;  ///< Crash until recovered (or horizon).
+  PhaseLatency post_recovery;    ///< After the recovery point.
 };
 
 /// Latency summary of one sink operator's outputs.
@@ -114,6 +180,9 @@ struct SimulationResult {
   /// large backlog remained — the run's rate point is infeasible for this
   /// placement.
   bool saturated = false;
+
+  /// Present iff a node crashed during the run (options.failures).
+  std::optional<IncidentReport> incident;
 };
 
 /// Runs the deployment against one rate trace per input stream (sizes must

@@ -5,9 +5,10 @@
 
 namespace rod::sim {
 
-void EventQueue::Push(double time, EventType type, uint32_t index) {
+void EventQueue::Push(double time, EventType type, uint32_t index,
+                      uint64_t tag) {
   assert(std::isfinite(time));
-  heap_.push(Event{time, next_seq_++, type, index});
+  heap_.push(Event{time, next_seq_++, type, index, tag});
 }
 
 Event EventQueue::Pop() {

@@ -16,8 +16,12 @@ namespace rod::sim {
 
 /// What a scheduled event means.
 enum class EventType {
-  kExternalArrival,  ///< Next tuple of input stream `index` arrives.
-  kNodeDone,         ///< Node `index` finishes its current task.
+  kExternalArrival,   ///< Next tuple of input stream `index` arrives.
+  kNodeDone,          ///< Node `index` finishes its current task.
+  kNetworkDelivery,   ///< The oldest in-flight network transfer lands.
+  kFault,             ///< Scheduled fault `index` fires (see chaos.h).
+  kFailureDetected,   ///< The supervisor notices node `index` crashed.
+  kMigrationRelease,  ///< Operator `index` finishes its migration pause.
 };
 
 /// One scheduled simulation event.
@@ -26,13 +30,15 @@ struct Event {
   uint64_t seq = 0;  ///< Insertion order; makes equal-time ordering total.
   EventType type = EventType::kExternalArrival;
   uint32_t index = 0;  ///< Input stream id or node id, per `type`.
+  uint64_t tag = 0;    ///< Optional payload; kNodeDone carries the service
+                       ///< token so crashes can cancel stale completions.
 };
 
 /// Min-heap of events ordered by (time, seq).
 class EventQueue {
  public:
   /// Schedules an event; `time` must be finite.
-  void Push(double time, EventType type, uint32_t index);
+  void Push(double time, EventType type, uint32_t index, uint64_t tag = 0);
 
   bool empty() const { return heap_.empty(); }
   size_t size() const { return heap_.size(); }

@@ -16,8 +16,10 @@ MetricsCollector::MetricsCollector(size_t num_nodes, double window_sec,
   assert(num_nodes > 0 && window_sec > 0 && duration > 0);
 }
 
-void MetricsCollector::RecordOutput(uint32_t sink_op, double latency) {
+void MetricsCollector::RecordOutput(uint32_t sink_op, double latency,
+                                    double completion_time) {
   latencies_.push_back(latency);
+  output_times_.push_back(completion_time);
   sink_latencies_[sink_op].push_back(latency);
 }
 
@@ -41,6 +43,15 @@ double MetricsCollector::NodeUtilization(size_t node,
                                          double capacity_duration) const {
   assert(node < node_busy_.size());
   return capacity_duration > 0 ? node_busy_[node] / capacity_duration : 0.0;
+}
+
+double MetricsCollector::WindowMaxBusyFraction(size_t w) const {
+  assert(w < window_busy_.rows());
+  double max_frac = 0.0;
+  for (size_t i = 0; i < window_busy_.cols(); ++i) {
+    max_frac = std::max(max_frac, window_busy_(w, i) / window_sec_);
+  }
+  return max_frac;
 }
 
 size_t MetricsCollector::OverloadedWindows(double threshold) const {

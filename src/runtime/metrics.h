@@ -25,8 +25,11 @@ class MetricsCollector {
   MetricsCollector(size_t num_nodes, double window_sec, double duration);
 
   /// Records one output of sink operator `sink_op` with end-to-end latency
-  /// `latency` seconds.
-  void RecordOutput(uint32_t sink_op, double latency);
+  /// `latency` seconds, completing at virtual time `completion_time` (the
+  /// timestamp lets incident reports split latencies into pre-failure /
+  /// recovery / post-recovery phases).
+  void RecordOutput(uint32_t sink_op, double latency,
+                    double completion_time = 0.0);
 
   /// Records one external input tuple.
   void RecordInput() { ++inputs_; }
@@ -38,6 +41,9 @@ class MetricsCollector {
   size_t inputs() const { return inputs_; }
   size_t outputs() const { return latencies_.size(); }
   const std::vector<double>& latencies() const { return latencies_; }
+
+  /// Completion time of each latency sample, parallel to latencies().
+  const std::vector<double>& output_times() const { return output_times_; }
 
   /// Per-sink latency samples, keyed by sink operator id.
   const std::map<uint32_t, std::vector<double>>& sink_latencies() const {
@@ -55,11 +61,15 @@ class MetricsCollector {
   /// `threshold` (default: effectively pegged).
   size_t OverloadedWindows(double threshold = 0.99) const;
 
+  /// Largest per-node busy fraction within window `w`.
+  double WindowMaxBusyFraction(size_t w) const;
+
   size_t num_windows() const { return window_busy_.rows(); }
 
  private:
   size_t inputs_ = 0;
   std::vector<double> latencies_;
+  std::vector<double> output_times_;
   std::map<uint32_t, std::vector<double>> sink_latencies_;
   Vector node_busy_;      ///< total busy seconds per node
   Matrix window_busy_;    ///< busy seconds per (window, node)

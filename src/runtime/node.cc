@@ -48,4 +48,90 @@ void SimNode::FinishService(double service_seconds) {
   ++tasks_processed_;
 }
 
+void SimNode::AbortService() {
+  assert(busy_);
+  busy_ = false;
+}
+
+std::vector<Task> SimNode::DrainAll() {
+  std::vector<Task> dropped;
+  dropped.reserve(queued_);
+  if (scheduling_ == Scheduling::kFifo) {
+    dropped.assign(fifo_.begin(), fifo_.end());
+    fifo_.clear();
+  } else {
+    // Per-operator queues in rotation order so the drop order is the
+    // service order the tasks would have seen.
+    for (uint32_t op : rr_order_) {
+      auto& queue = per_op_[op];
+      dropped.insert(dropped.end(), queue.begin(), queue.end());
+    }
+    per_op_.clear();
+    rr_order_.clear();
+  }
+  queued_ = 0;
+  return dropped;
+}
+
+std::vector<Task> SimNode::ExtractIf(
+    const std::function<bool(const Task&)>& pred) {
+  std::vector<Task> extracted;
+  if (scheduling_ == Scheduling::kFifo) {
+    std::deque<Task> kept;
+    for (const Task& t : fifo_) {
+      if (pred(t)) {
+        extracted.push_back(t);
+      } else {
+        kept.push_back(t);
+      }
+    }
+    fifo_ = std::move(kept);
+    queued_ = fifo_.size();
+    return extracted;
+  }
+  std::deque<uint32_t> order;
+  size_t remaining = 0;
+  for (uint32_t op : rr_order_) {
+    auto it = per_op_.find(op);
+    assert(it != per_op_.end());
+    std::deque<Task> kept;
+    for (const Task& t : it->second) {
+      if (pred(t)) {
+        extracted.push_back(t);
+      } else {
+        kept.push_back(t);
+      }
+    }
+    if (kept.empty()) {
+      per_op_.erase(it);
+    } else {
+      remaining += kept.size();
+      it->second = std::move(kept);
+      order.push_back(op);
+    }
+  }
+  rr_order_ = std::move(order);
+  queued_ = remaining;
+  return extracted;
+}
+
+std::pair<uint32_t, size_t> SimNode::HottestOperator() const {
+  std::unordered_map<uint32_t, size_t> counts;
+  if (scheduling_ == Scheduling::kFifo) {
+    for (const Task& t : fifo_) ++counts[t.op];
+  } else {
+    for (const auto& [op, queue] : per_op_) counts[op] += queue.size();
+  }
+  std::pair<uint32_t, size_t> hottest{Task::kCommTask, 0};
+  for (const auto& [op, n] : counts) {
+    if (n > hottest.second) hottest = {op, n};
+  }
+  return hottest;
+}
+
+void SimNode::set_capacity(double capacity) {
+  assert(capacity > 0.0);
+  capacity_ = capacity;
+}
+
 }  // namespace rod::sim

@@ -14,7 +14,10 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace rod::sim {
 
@@ -64,6 +67,26 @@ class SimNode {
 
   /// Marks the current task finished after `service_seconds` of wall time.
   void FinishService(double service_seconds);
+
+  /// Cancels the in-flight task without crediting busy time (node crash:
+  /// the work is lost, the caller accounts the partial busy interval).
+  void AbortService();
+
+  /// Empties every queue and returns the dropped tasks (node crash).
+  std::vector<Task> DrainAll();
+
+  /// Removes and returns the queued tasks matching `pred`, preserving the
+  /// arrival order of the survivors (operator migration re-homes queued
+  /// work onto the operator's new host).
+  std::vector<Task> ExtractIf(const std::function<bool(const Task&)>& pred);
+
+  /// The operator with the most queued tasks and its count (0 tasks ->
+  /// {Task::kCommTask, 0}); diagnostic for runaway-load aborts.
+  std::pair<uint32_t, size_t> HottestOperator() const;
+
+  /// Rescales capacity mid-run (slowdown / recovery). Affects services
+  /// started after the call; the in-flight one keeps its old rate.
+  void set_capacity(double capacity);
 
   /// Wall-clock service time of `cpu_cost` CPU-seconds on this node.
   double ServiceTime(double cpu_cost) const { return cpu_cost / capacity_; }

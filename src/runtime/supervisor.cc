@@ -1,0 +1,85 @@
+#include "runtime/supervisor.h"
+
+#include <utility>
+
+namespace rod::sim {
+
+std::optional<PlanUpdate> Supervisor::OnFailureDetected(
+    double /*now*/, uint32_t /*failed_node*/,
+    const std::vector<bool>& node_up, const Deployment& deployment) {
+  if (options_.policy == Policy::kNone) return std::nullopt;
+
+  const size_t n = deployment.num_nodes();
+  const size_t m = deployment.ops.size();
+  std::vector<size_t> assignment(m);
+  for (size_t j = 0; j < m; ++j) assignment[j] = deployment.ops[j].node;
+
+  if (options_.policy == Policy::kNaiveDump) {
+    // Baseline incident response: pile every orphan onto the first
+    // surviving node, keep everything else where it is.
+    size_t dump = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (node_up[i]) {
+        dump = i;
+        break;
+      }
+    }
+    if (dump == n) {
+      last_status_ = Status::FailedPrecondition("no surviving node");
+      return std::nullopt;
+    }
+    bool changed = false;
+    for (size_t j = 0; j < m; ++j) {
+      if (!node_up[assignment[j]]) {
+        assignment[j] = dump;
+        changed = true;
+      }
+    }
+    if (!changed) return std::nullopt;
+    ++repairs_;
+    last_status_ = Status::OK();
+    return PlanUpdate{std::move(assignment), options_.migration_pause,
+                      options_.shed_during_pause};
+  }
+
+  // kRepair: compact the survivors into a fresh SystemSpec, repair the
+  // placement incrementally, then expand the result back to the full
+  // cluster's node ids (crashed nodes keep their slot, hosting nothing).
+  std::vector<size_t> survivor_ids;
+  std::vector<size_t> node_mapping(n, place::kUnassigned);
+  place::SystemSpec survivors;
+  for (size_t i = 0; i < n; ++i) {
+    if (!node_up[i]) continue;
+    node_mapping[i] = survivor_ids.size();
+    survivor_ids.push_back(i);
+    survivors.capacities.push_back(deployment.system.capacities[i]);
+  }
+  if (survivor_ids.empty()) {
+    last_status_ = Status::FailedPrecondition("no surviving node");
+    return std::nullopt;
+  }
+
+  place::RepairOptions repair_options;
+  repair_options.rod = options_.rod;
+  repair_options.max_rebalance_moves = options_.rebalance_budget;
+  auto repaired = place::RepairPlacement(
+      *model_, place::Placement(n, assignment), survivors, node_mapping,
+      repair_options);
+  if (!repaired.ok()) {
+    last_status_ = repaired.status();
+    return std::nullopt;
+  }
+  ++repairs_;
+  operators_moved_ += repaired->operators_moved;
+  last_plane_distance_ = repaired->plane_distance;
+  last_status_ = Status::OK();
+
+  std::vector<size_t> expanded(m);
+  for (size_t j = 0; j < m; ++j) {
+    expanded[j] = survivor_ids[repaired->placement.node_of(j)];
+  }
+  return PlanUpdate{std::move(expanded), options_.migration_pause,
+                    options_.shed_during_pause};
+}
+
+}  // namespace rod::sim

@@ -1,0 +1,84 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Supervised recovery for the tuple-level engine. The Supervisor is the
+// RecoveryAgent the engine consults when it detects a crash: it derives
+// the current placement from the live routing tables, re-homes the
+// orphaned operators with place::RepairPlacement (incremental ROD over
+// the surviving nodes, plus an optional bounded rebalance), and returns
+// the new assignment together with a per-moved-operator migration pause
+// that models state transfer. A naive dump-on-one-node policy is provided
+// as the baseline the repair path must beat.
+
+#ifndef ROD_RUNTIME_SUPERVISOR_H_
+#define ROD_RUNTIME_SUPERVISOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "placement/repair.h"
+#include "query/load_model.h"
+#include "runtime/chaos.h"
+
+namespace rod::sim {
+
+class Supervisor : public RecoveryAgent {
+ public:
+  /// How the supervisor re-homes orphans.
+  enum class Policy {
+    kRepair,     ///< place::RepairPlacement over the survivors.
+    kNaiveDump,  ///< Every orphan onto the lowest-numbered up node.
+    kNone,       ///< Observe only; leave the placement untouched.
+  };
+
+  struct Options {
+    /// Seconds between a crash and the supervisor noticing it (failure
+    /// detector timeout).
+    double detection_delay = 0.5;
+
+    /// Each moved operator is unavailable for this long after the plan is
+    /// applied (state transfer); arrivals buffer (default) or shed.
+    double migration_pause = 0.0;
+    bool shed_during_pause = false;
+
+    Policy policy = Policy::kRepair;
+
+    /// RepairOptions::max_rebalance_moves for the kRepair policy.
+    size_t rebalance_budget = 0;
+
+    /// ROD knobs for the incremental repair (kMinCrossArcs is not
+    /// supported incrementally and is rejected by RepairPlacement).
+    place::RodOptions rod;
+  };
+
+  /// `model` must describe the deployed query graph and outlive the
+  /// supervisor.
+  Supervisor(const query::LoadModel& model, Options options)
+      : model_(&model), options_(std::move(options)) {}
+
+  double detection_delay() const override {
+    return options_.detection_delay;
+  }
+
+  std::optional<PlanUpdate> OnFailureDetected(
+      double now, uint32_t failed_node, const std::vector<bool>& node_up,
+      const Deployment& deployment) override;
+
+  /// Introspection for tests and benchmarks.
+  size_t repairs_performed() const { return repairs_; }
+  size_t operators_moved() const { return operators_moved_; }
+  double last_plane_distance() const { return last_plane_distance_; }
+  const Status& last_status() const { return last_status_; }
+
+ private:
+  const query::LoadModel* model_;
+  Options options_;
+  size_t repairs_ = 0;
+  size_t operators_moved_ = 0;
+  double last_plane_distance_ = 0.0;
+  Status last_status_ = Status::OK();
+};
+
+}  // namespace rod::sim
+
+#endif  // ROD_RUNTIME_SUPERVISOR_H_

@@ -109,5 +109,46 @@ TEST(DeploymentTest, FanOutCompilesOneRoutePerConsumer) {
   EXPECT_EQ(crossing, 2u);  // consumers on node 1
 }
 
+TEST(DeploymentTest, ReassignOperatorsRemapsHostsAndCrossFlags) {
+  QueryGraph g;
+  const InputStreamId in = g.AddInputStream("I");
+  auto a = g.AddOperator({.name = "a", .kind = OperatorKind::kMap,
+                          .cost = 1e-3},
+                         {StreamRef::Input(in)});
+  auto b = g.AddOperator({.name = "b", .kind = OperatorKind::kMap,
+                          .cost = 1e-3},
+                         {StreamRef::Op(*a)}, {2e-3});
+  ASSERT_TRUE(b.ok());
+  const SystemSpec system = SystemSpec::Homogeneous(3);
+  auto dep = CompileDeployment(g, Placement(3, {0, 0}), system);
+  ASSERT_TRUE(dep.ok());
+  EXPECT_FALSE(dep->ops[0].consumers[0].crosses_nodes);
+
+  // Move b to node 2: the a->b arc now crosses, comm cost unchanged.
+  auto moved = ReassignOperators(*dep, {0, 2});
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, std::vector<uint32_t>{1});
+  EXPECT_EQ(dep->ops[1].node, 2u);
+  EXPECT_TRUE(dep->ops[0].consumers[0].crosses_nodes);
+  EXPECT_DOUBLE_EQ(dep->ops[0].consumers[0].comm_cost, 2e-3);
+  // Input routes keep crossing (external sources).
+  EXPECT_TRUE(dep->input_routes[0][0].crosses_nodes);
+
+  // Reunite both on node 2: the arc stops crossing.
+  auto moved2 = ReassignOperators(*dep, {2, 2});
+  ASSERT_TRUE(moved2.ok());
+  EXPECT_EQ(*moved2, std::vector<uint32_t>{0});
+  EXPECT_FALSE(dep->ops[0].consumers[0].crosses_nodes);
+
+  // No-op reassignment moves nothing.
+  auto moved3 = ReassignOperators(*dep, {2, 2});
+  ASSERT_TRUE(moved3.ok());
+  EXPECT_TRUE(moved3->empty());
+
+  // Validation: wrong size, node outside the cluster.
+  EXPECT_FALSE(ReassignOperators(*dep, {0}).ok());
+  EXPECT_FALSE(ReassignOperators(*dep, {0, 3}).ok());
+}
+
 }  // namespace
 }  // namespace rod::sim

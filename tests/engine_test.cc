@@ -371,6 +371,47 @@ TEST(EngineTest, LoadSheddingBoundsQueuesUnderOverload) {
   EXPECT_LT(r->p99_latency, 0.06);
 }
 
+TEST(EngineTest, SheddingConservesOfferedTuples) {
+  // With deterministic evenly-spaced arrivals the offered volume is known
+  // exactly: every offered tuple is either accepted or shed, never lost.
+  const QueryGraph g = OneOpGraph(1e-3, 1.0);
+  const SystemSpec system = SystemSpec::Homogeneous(1);
+  SimulationOptions options;
+  options.duration = 20.0;
+  options.poisson_arrivals = false;
+  options.shed_queue_threshold = 40;
+  const double rate = 1800.0;  // rho = 1.8: well past the threshold
+  auto r = SimulatePlacement(g, Placement(1, {0}), system,
+                             {ConstantTrace(rate, options.duration)}, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->shed_tuples, 0u);
+  EXPECT_LE(r->final_backlog, options.shed_queue_threshold + 1);
+  // Conservation: accepted + shed = offered (evenly spaced arrivals give
+  // exactly rate * duration offered tuples, +/- the boundary arrival).
+  const auto offered = static_cast<size_t>(rate * options.duration);
+  EXPECT_NEAR(static_cast<double>(r->input_tuples + r->shed_tuples),
+              static_cast<double>(offered), 1.0);
+  // Accepted tuples are all accounted for: emitted or still queued.
+  EXPECT_EQ(r->input_tuples, r->output_tuples + r->final_backlog);
+}
+
+TEST(EngineTest, MaxEventsAbortNamesTheHotSpot) {
+  // An overloaded run that trips the event guard must say where the
+  // backlog piled up, not just that it aborted.
+  const QueryGraph g = OneOpGraph(1e-3, 1.0);
+  const SystemSpec system = SystemSpec::Homogeneous(1);
+  SimulationOptions options;
+  options.duration = 30.0;
+  options.max_events = 20'000;
+  auto r = SimulatePlacement(g, Placement(1, {0}), system,
+                             {ConstantTrace(2000.0, 30.0)}, options);
+  ASSERT_FALSE(r.ok());
+  const std::string& msg = r.status().message();
+  EXPECT_NE(msg.find("hottest node 0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("operator 0"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("queued"), std::string::npos) << msg;
+}
+
 TEST(EngineTest, NoSheddingBelowThresholdOrWhenDisabled) {
   const QueryGraph g = OneOpGraph(1e-3, 1.0);
   const SystemSpec system = SystemSpec::Homogeneous(1);

@@ -47,6 +47,19 @@ TEST(EventQueueTest, CarriesTypeAndIndex) {
   const Event e = q.Pop();
   EXPECT_EQ(e.type, EventType::kNodeDone);
   EXPECT_EQ(e.index, 42u);
+  EXPECT_EQ(e.tag, 0u);  // default payload
+}
+
+TEST(EventQueueTest, CarriesTagPayload) {
+  EventQueue q;
+  q.Push(1.0, EventType::kNodeDone, 3, 77);
+  q.Push(2.0, EventType::kFault, 0);
+  q.Push(3.0, EventType::kMigrationRelease, 9);
+  EXPECT_EQ(q.Pop().tag, 77u);
+  EXPECT_EQ(q.Pop().type, EventType::kFault);
+  const Event e = q.Pop();
+  EXPECT_EQ(e.type, EventType::kMigrationRelease);
+  EXPECT_EQ(e.index, 9u);
 }
 
 TEST(EventQueueTest, InterleavedPushPop) {

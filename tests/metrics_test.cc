@@ -17,6 +17,24 @@ TEST(MetricsTest, CountsInputsAndOutputs) {
   EXPECT_EQ(m.latencies(), (std::vector<double>{0.5}));
 }
 
+TEST(MetricsTest, RecordsOutputCompletionTimes) {
+  MetricsCollector m(1, 1.0, 10.0);
+  m.RecordOutput(0, 0.5, 2.0);
+  m.RecordOutput(0, 0.7, 4.5);
+  EXPECT_EQ(m.output_times(), (std::vector<double>{2.0, 4.5}));
+  EXPECT_EQ(m.output_times().size(), m.latencies().size());
+}
+
+TEST(MetricsTest, WindowMaxBusyFraction) {
+  MetricsCollector m(2, 1.0, 3.0);
+  m.RecordService(0, 0.0, 0.25);
+  m.RecordService(1, 0.0, 0.75);
+  m.RecordService(1, 1.0, 1.1);
+  EXPECT_NEAR(m.WindowMaxBusyFraction(0), 0.75, 1e-12);
+  EXPECT_NEAR(m.WindowMaxBusyFraction(1), 0.1, 1e-12);
+  EXPECT_NEAR(m.WindowMaxBusyFraction(2), 0.0, 1e-12);
+}
+
 TEST(MetricsTest, PerSinkLatencyBuckets) {
   MetricsCollector m(1, 1.0, 5.0);
   m.RecordOutput(1, 0.1);
