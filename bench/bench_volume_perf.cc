@@ -1,0 +1,228 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Perf baseline of the feasible-set volume engine. Sweeps dims x nodes x
+// samples x threads over ROD-placed weight matrices and measures the
+// membership-kernel throughput (samples/sec), the speedup over 1 thread,
+// bit-exact agreement between the parallel and sequential estimates, and
+// the sample-cache cold (generate) vs warm (reuse) cost. Emits a
+// machine-readable JSON baseline (fields documented in
+// docs/BENCH_VOLUME.md) so later PRs can regress against it.
+//
+//   bench_volume_perf [--smoke] [--out=PATH] [--threads=1,2,4,8]
+//
+// --smoke shrinks the sweep for CI; --out defaults to BENCH_volume.json.
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "geometry/feasible_set.h"
+#include "geometry/hyperplane.h"
+#include "geometry/sample_cache.h"
+#include "placement/plan.h"
+#include "placement/rod.h"
+
+namespace {
+
+using namespace rod;
+
+struct Workload {
+  size_t dims = 0;
+  size_t nodes = 0;
+};
+
+struct Measurement {
+  size_t dims, nodes, samples, threads, reps;
+  double ratio = 0.0;
+  double seconds = 0.0;
+  double samples_per_sec = 0.0;
+  double speedup_vs_1 = 0.0;
+  bool bitexact_vs_seq = false;
+  double cache_cold_ms = 0.0;
+  double cache_warm_ms = 0.0;
+};
+
+/// A representative evaluator input: random operator load coefficients
+/// (each operator mostly loads one stream), ROD-placed on a homogeneous
+/// cluster — the exact shape every bench sweep feeds the estimator.
+geom::FeasibleSet MakeWorkload(const Workload& w, uint64_t seed) {
+  const size_t m = 6 * w.nodes;
+  Matrix op_coeffs(m, w.dims);
+  Rng rng(seed);
+  for (size_t j = 0; j < m; ++j) {
+    op_coeffs(j, j % w.dims) = rng.Uniform(0.5, 2.0);
+    for (size_t k = 0; k < w.dims; ++k) {
+      if (k != j % w.dims && rng.Bernoulli(0.3)) {
+        op_coeffs(j, k) = rng.Uniform(0.05, 0.4);
+      }
+    }
+  }
+  Vector totals(w.dims, 0.0);
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t k = 0; k < w.dims; ++k) totals[k] += op_coeffs(j, k);
+  }
+  const auto system = place::SystemSpec::Homogeneous(w.nodes);
+  auto placement = place::RodPlaceMatrix(op_coeffs, totals, system);
+  ROD_CHECK_OK(placement.status());
+  auto weights = geom::ComputeWeightMatrix(placement->NodeCoeffs(op_coeffs),
+                                           totals, system.capacities);
+  ROD_CHECK_OK(weights.status());
+  return geom::FeasibleSet(std::move(*weights));
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::vector<size_t> ParseThreadList(const std::string& spec) {
+  std::vector<size_t> threads;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const unsigned long v = std::stoul(item);
+    if (v > 0) threads.push_back(v);
+  }
+  return threads;
+}
+
+std::string JsonBool(bool b) { return b ? "true" : "false"; }
+
+void WriteJson(const std::string& path, const std::string& mode,
+               const std::vector<Measurement>& rows) {
+  std::ofstream out(path);
+  out.precision(15);
+  out << "{\n"
+      << "  \"bench\": \"bench_volume_perf\",\n"
+      << "  \"mode\": \"" << mode << "\",\n"
+      << "  \"hardware_concurrency\": "
+      << std::max(1u, std::thread::hardware_concurrency()) << ",\n"
+      << "  \"entries\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Measurement& m = rows[i];
+    out << "    {\"dims\": " << m.dims << ", \"nodes\": " << m.nodes
+        << ", \"samples\": " << m.samples << ", \"threads\": " << m.threads
+        << ", \"reps\": " << m.reps << ", \"ratio\": " << m.ratio
+        << ", \"seconds\": " << m.seconds
+        << ", \"samples_per_sec\": " << m.samples_per_sec
+        << ", \"speedup_vs_1\": " << m.speedup_vs_1
+        << ", \"bitexact_vs_seq\": " << JsonBool(m.bitexact_vs_seq)
+        << ", \"cache_cold_ms\": " << m.cache_cold_ms
+        << ", \"cache_warm_ms\": " << m.cache_warm_ms << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_volume.json";
+  std::vector<size_t> threads_list;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads_list = ParseThreadList(arg.substr(10));
+    } else {
+      std::cerr << "usage: bench_volume_perf [--smoke] [--out=PATH] "
+                   "[--threads=1,2,4,8]\n";
+      return 2;
+    }
+  }
+  if (threads_list.empty()) {
+    threads_list = smoke ? std::vector<size_t>{1, 2}
+                         : std::vector<size_t>{1, 2, 4, 8};
+  }
+
+  const std::vector<Workload> workloads =
+      smoke ? std::vector<Workload>{{3, 5}, {6, 20}}
+            : std::vector<Workload>{{3, 5}, {6, 20}, {10, 20}};
+  const std::vector<size_t> sample_counts =
+      smoke ? std::vector<size_t>{8192} : std::vector<size_t>{16384, 32768};
+  // Samples evaluated per timed measurement (reps = target / samples).
+  const size_t target_evals = smoke ? (1u << 17) : (1u << 22);
+
+  bench::Banner("volume-engine perf sweep (dims x nodes x samples x threads)");
+  bench::Table table({"dims", "nodes", "samples", "threads", "Msamples/s",
+                      "speedup", "bitexact", "cold ms", "warm ms"});
+  std::vector<Measurement> rows;
+  bool all_bitexact = true;
+
+  for (const Workload& w : workloads) {
+    const geom::FeasibleSet fs = MakeWorkload(w, /*seed=*/42);
+    for (size_t samples : sample_counts) {
+      geom::VolumeOptions vol;
+      vol.num_samples = samples;
+
+      // Cold vs warm cache cost for this (dims, samples) key: generation
+      // (miss) against a lookup returning the shared buffer (hit).
+      geom::SimplexSampleCache fresh(4);
+      geom::SimplexSampleKey key;
+      key.dims = w.dims;
+      key.num_samples = samples;
+      auto t_cold = std::chrono::steady_clock::now();
+      (void)fresh.Get(key);
+      const double cold_ms = SecondsSince(t_cold) * 1e3;
+      auto t_warm = std::chrono::steady_clock::now();
+      (void)fresh.Get(key);
+      const double warm_ms = SecondsSince(t_warm) * 1e3;
+
+      const size_t reps = std::max<size_t>(1, target_evals / samples);
+      double base_sps = 0.0;
+      double seq_ratio = 0.0;
+      for (size_t threads : threads_list) {
+        vol.num_threads = threads;
+        (void)fs.RatioToIdeal(vol);  // warm the global cache / pool
+        double ratio = 0.0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (size_t r = 0; r < reps; ++r) ratio = fs.RatioToIdeal(vol);
+        const double secs = SecondsSince(t0);
+        Measurement m;
+        m.dims = w.dims;
+        m.nodes = w.nodes;
+        m.samples = samples;
+        m.threads = threads;
+        m.reps = reps;
+        m.ratio = ratio;
+        m.seconds = secs;
+        m.samples_per_sec =
+            static_cast<double>(samples) * static_cast<double>(reps) / secs;
+        if (threads == threads_list.front()) {
+          base_sps = m.samples_per_sec;
+          seq_ratio = ratio;
+        }
+        m.speedup_vs_1 = m.samples_per_sec / base_sps;
+        m.bitexact_vs_seq = (ratio == seq_ratio);
+        all_bitexact = all_bitexact && m.bitexact_vs_seq;
+        m.cache_cold_ms = cold_ms;
+        m.cache_warm_ms = warm_ms;
+        rows.push_back(m);
+        table.AddRow({std::to_string(m.dims), std::to_string(m.nodes),
+                      std::to_string(m.samples), std::to_string(m.threads),
+                      bench::Fmt(m.samples_per_sec / 1e6, 1),
+                      bench::Fmt(m.speedup_vs_1, 2),
+                      m.bitexact_vs_seq ? "yes" : "NO",
+                      bench::Fmt(m.cache_cold_ms, 2),
+                      bench::Fmt(m.cache_warm_ms, 4)});
+      }
+    }
+  }
+  table.Print();
+  std::cout << "\nparallel/sequential estimates bit-exact: "
+            << (all_bitexact ? "yes" : "NO") << "\n";
+
+  WriteJson(out_path, smoke ? "smoke" : "full", rows);
+  std::cout << "wrote " << out_path << " (" << rows.size() << " entries)\n";
+  return all_bitexact ? 0 : 1;
+}

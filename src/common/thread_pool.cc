@@ -1,0 +1,120 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <memory>
+
+namespace rod {
+
+namespace {
+
+/// Set while a thread is executing pool tasks; a nested ParallelFor issued
+/// from a worker runs inline instead of re-entering the pool (a worker
+/// blocking on sub-tasks behind it in the queue would deadlock the pool).
+thread_local bool t_inside_pool_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t count = std::max<size_t>(num_threads, 1);
+  workers_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(!stop_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_inside_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and queue drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(
+      std::max<size_t>(1, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+void ParallelFor(ThreadPool& pool, size_t num_threads, size_t n, size_t grain,
+                 const std::function<void(size_t, size_t, size_t)>& fn) {
+  assert(grain > 0);
+  if (n == 0) return;
+  const size_t num_chunks = (n + grain - 1) / grain;
+  auto run_chunk = [&fn, n, grain](size_t c) {
+    fn(c, c * grain, std::min(n, (c + 1) * grain));
+  };
+  if (num_threads <= 1 || num_chunks <= 1 || t_inside_pool_worker) {
+    for (size_t c = 0; c < num_chunks; ++c) run_chunk(c);
+    return;
+  }
+
+  // Workers (including the caller) pull chunk indices from a shared
+  // cursor. The state block is shared-owned because a helper task can
+  // outlive this frame's local scope only between its final notify and
+  // the caller's wakeup.
+  struct State {
+    std::atomic<size_t> next_chunk{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t done_helpers = 0;
+  };
+  auto state = std::make_shared<State>();
+  auto drain = [state, num_chunks, &run_chunk] {
+    for (;;) {
+      const size_t c = state->next_chunk.fetch_add(1);
+      if (c >= num_chunks) return;
+      run_chunk(c);
+    }
+  };
+  // The caller is one of the `num_threads` lanes; the rest are pool tasks.
+  const size_t helpers = std::min(num_threads, num_chunks) - 1;
+  for (size_t h = 0; h < helpers; ++h) {
+    pool.Submit([state, drain] {
+      drain();
+      {
+        std::lock_guard<std::mutex> lock(state->mu);
+        ++state->done_helpers;
+      }
+      state->cv.notify_one();
+    });
+  }
+  drain();
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->cv.wait(lock,
+                 [&] { return state->done_helpers == helpers; });
+}
+
+void ParallelFor(size_t num_threads, size_t n, size_t grain,
+                 const std::function<void(size_t, size_t, size_t)>& fn) {
+  ParallelFor(ThreadPool::Shared(), num_threads, n, grain, fn);
+}
+
+}  // namespace rod

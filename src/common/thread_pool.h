@@ -1,0 +1,75 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// A small fixed-size worker pool plus a chunked ParallelFor, built for the
+// volume-estimation hot path. Determinism contract: ParallelFor splits
+// [0, n) into chunks whose boundaries depend only on `n` and `grain` —
+// never on the thread count or on scheduling — so a caller that writes
+// per-chunk results into chunk-indexed slots and reduces them in chunk
+// order gets bit-identical output for every `num_threads`.
+
+#ifndef ROD_COMMON_THREAD_POOL_H_
+#define ROD_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rod {
+
+/// A fixed set of worker threads draining a shared task queue. Tasks must
+/// not throw (an escaping exception terminates the process). Destruction
+/// drains every queued task, then joins the workers.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Process-wide pool sized to the hardware concurrency (>= 1), created
+  /// on first use. The ParallelFor overload without an explicit pool runs
+  /// on this instance.
+  static ThreadPool& Shared();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Chunked parallel loop over [0, n): invokes `fn(chunk, begin, end)` once
+/// for every chunk `[c*grain, min(n, (c+1)*grain))`. Chunk boundaries are a
+/// pure function of `n` and `grain`; only the chunk-to-thread mapping is
+/// dynamic. At most `num_threads` chunks execute concurrently (the calling
+/// thread participates as one of them). Runs inline on the caller when
+/// `num_threads <= 1`, when there is a single chunk, or when called from
+/// inside a pool worker (nested loops never re-enter the pool, so a worker
+/// can never deadlock waiting on its own queue). Blocks until every chunk
+/// has completed. `fn` must not throw and must only write chunk-owned
+/// (disjoint) state.
+void ParallelFor(ThreadPool& pool, size_t num_threads, size_t n, size_t grain,
+                 const std::function<void(size_t chunk, size_t begin,
+                                          size_t end)>& fn);
+
+/// ParallelFor over ThreadPool::Shared().
+void ParallelFor(size_t num_threads, size_t n, size_t grain,
+                 const std::function<void(size_t, size_t, size_t)>& fn);
+
+}  // namespace rod
+
+#endif  // ROD_COMMON_THREAD_POOL_H_

@@ -1,10 +1,93 @@
 #include "geometry/feasible_set.h"
 
 #include <cmath>
+#include <vector>
 
-#include "geometry/qmc.h"
+#include "common/thread_pool.h"
+#include "geometry/sample_cache.h"
 
 namespace rod::geom {
+
+namespace {
+
+/// Tolerance of the membership tests (matches Contains' default).
+constexpr double kMembershipTol = 1e-12;
+
+/// Samples per ParallelFor chunk in the membership kernel: large enough to
+/// amortize dispatch, small enough to load-balance a 2^15-sample estimate
+/// across 8 threads.
+constexpr size_t kKernelGrain = 1024;
+
+/// The sample-set key RatioToIdeal / RatioToIdealAbove integrate over.
+SimplexSampleKey BaseKey(size_t dims, const VolumeOptions& options) {
+  SimplexSampleKey key;
+  key.dims = dims;
+  key.num_samples = options.num_samples;
+  if (options.use_pseudo_random || dims > options.max_halton_dims) {
+    key.pseudo_random = true;
+    key.seed = options.seed;
+  }
+  return key;
+}
+
+/// The sample set of Cranley–Patterson replication `r` — or, past the
+/// Halton cutoff, of the independently reseeded pseudo-random replication.
+SimplexSampleKey ReplicationKey(size_t dims, const VolumeOptions& options,
+                                size_t r) {
+  SimplexSampleKey key = BaseKey(dims, options);
+  if (key.pseudo_random) {
+    key.seed = options.seed ^ (0x9e3779b97f4a7c15ULL * (r + 1));
+  } else {
+    key.shift_index = r + 1;
+    key.shift_seed = options.seed ^ 0xc9a471e5ULL;
+  }
+  return key;
+}
+
+/// Blocked membership kernel: counts rows `x` of `samples` — optionally
+/// affinely mapped to `lower_bound + scale * x` first — that satisfy
+/// `W x <= 1 + tol`, with per-sample early exit over the node rows.
+/// Chunk boundaries are fixed by kKernelGrain and partial counts are
+/// integers reduced in chunk order, so the result is bit-identical for
+/// every `num_threads`.
+size_t CountContainedImpl(const Matrix& weights, const Matrix& samples,
+                          size_t num_threads,
+                          std::span<const double> lower_bound, double scale,
+                          double tol) {
+  const size_t num_samples = samples.rows();
+  const size_t d = samples.cols();
+  assert(weights.cols() == d);
+  const size_t num_chunks = (num_samples + kKernelGrain - 1) / kKernelGrain;
+  std::vector<size_t> counts(num_chunks, 0);
+  ParallelFor(num_threads, num_samples, kKernelGrain,
+              [&](size_t chunk, size_t begin, size_t end) {
+                Vector mapped(lower_bound.empty() ? 0 : d);
+                size_t feasible = 0;
+                for (size_t s = begin; s < end; ++s) {
+                  std::span<const double> x = samples.Row(s);
+                  if (!lower_bound.empty()) {
+                    for (size_t k = 0; k < d; ++k) {
+                      mapped[k] = lower_bound[k] + scale * x[k];
+                    }
+                    x = mapped;
+                  }
+                  bool inside = true;
+                  for (size_t i = 0; i < weights.rows(); ++i) {
+                    if (Dot(weights.Row(i), x) > 1.0 + tol) {
+                      inside = false;
+                      break;
+                    }
+                  }
+                  if (inside) ++feasible;
+                }
+                counts[chunk] = feasible;
+              });
+  size_t total = 0;
+  for (size_t c : counts) total += c;
+  return total;
+}
+
+}  // namespace
 
 FeasibleSet::FeasibleSet(Matrix weights) : weights_(std::move(weights)) {
   assert(weights_.rows() > 0 && weights_.cols() > 0);
@@ -18,30 +101,18 @@ bool FeasibleSet::Contains(std::span<const double> x, double tol) const {
   return true;
 }
 
-template <typename PointGen>
-double FeasibleSet::SampleRatio(size_t num_samples, PointGen&& gen) const {
-  size_t feasible = 0;
-  for (size_t s = 0; s < num_samples; ++s) {
-    if (Contains(gen())) ++feasible;
-  }
-  return static_cast<double>(feasible) / static_cast<double>(num_samples);
+size_t FeasibleSet::CountContained(const Matrix& samples, size_t num_threads,
+                                   double tol) const {
+  return CountContainedImpl(weights_, samples, num_threads, {}, 1.0, tol);
 }
 
 double FeasibleSet::RatioToIdeal(const VolumeOptions& options) const {
   assert(options.num_samples > 0);
-  const size_t d = dims();
-  if (options.use_pseudo_random || d > options.max_halton_dims) {
-    Rng rng(options.seed);
-    return SampleRatio(options.num_samples, [&] {
-      Vector cube(d);
-      for (double& v : cube) v = rng.NextDouble();
-      return MapUnitCubeToSimplex(std::move(cube));
-    });
-  }
-  HaltonSequence halton(d);
-  return SampleRatio(options.num_samples, [&] {
-    return MapUnitCubeToSimplex(halton.Next());
-  });
+  const auto samples = SimplexSampleCache::Global().Get(BaseKey(dims(), options));
+  const size_t feasible = CountContainedImpl(
+      weights_, *samples, options.num_threads, {}, 1.0, kMembershipTol);
+  return static_cast<double>(feasible) /
+         static_cast<double>(options.num_samples);
 }
 
 double FeasibleSet::NormalizedVolume(const VolumeOptions& options) const {
@@ -56,22 +127,24 @@ FeasibleSet::RatioEstimate FeasibleSet::RatioToIdealWithError(
     size_t replications, const VolumeOptions& options) const {
   assert(replications >= 2);
   const size_t d = dims();
-  Rng shift_rng(options.seed ^ 0xc9a471e5ULL);
+  // One lane per replication: each fetches (or generates) its own rotated
+  // sample set and runs the kernel single-threaded. Estimates land in
+  // replication-indexed slots and are merged in replication order, so the
+  // result is bit-identical for every thread count.
+  std::vector<double> estimates(replications, 0.0);
+  ParallelFor(options.num_threads, replications, 1,
+              [&](size_t, size_t begin, size_t end) {
+                for (size_t r = begin; r < end; ++r) {
+                  const auto samples = SimplexSampleCache::Global().Get(
+                      ReplicationKey(d, options, r));
+                  const size_t feasible = CountContainedImpl(
+                      weights_, *samples, 1, {}, 1.0, kMembershipTol);
+                  estimates[r] = static_cast<double>(feasible) /
+                                 static_cast<double>(options.num_samples);
+                }
+              });
   double sum = 0.0, sum2 = 0.0;
-  for (size_t r = 0; r < replications; ++r) {
-    // Cranley–Patterson rotation: shift every Halton point by a common
-    // uniform offset modulo 1. Each rotation is an unbiased estimator.
-    Vector shift(d);
-    for (double& v : shift) v = shift_rng.NextDouble();
-    HaltonSequence halton(d);
-    const double estimate = SampleRatio(options.num_samples, [&] {
-      Vector p = halton.Next();
-      for (size_t k = 0; k < d; ++k) {
-        p[k] += shift[k];
-        if (p[k] >= 1.0) p[k] -= 1.0;
-      }
-      return MapUnitCubeToSimplex(std::move(p));
-    });
+  for (double estimate : estimates) {
     sum += estimate;
     sum2 += estimate * estimate;
   }
@@ -99,26 +172,17 @@ Result<double> FeasibleSet::RatioToIdealAbove(
     }
   }
   // {x >= b, sum x <= 1} is the simplex scaled by s = 1 - sum(b) and
-  // translated to b; sample it by affinely mapping simplex samples.
+  // translated to b; the kernel maps the cached simplex samples through
+  // that affine map before testing membership.
   const double scale = 1.0 - Sum(lower_bound);
   if (scale <= 0.0) return 0.0;
 
-  auto shift = [&](Vector x) {
-    for (size_t k = 0; k < d; ++k) x[k] = lower_bound[k] + scale * x[k];
-    return x;
-  };
-  if (options.use_pseudo_random || d > options.max_halton_dims) {
-    Rng rng(options.seed);
-    return SampleRatio(options.num_samples, [&] {
-      Vector cube(d);
-      for (double& v : cube) v = rng.NextDouble();
-      return shift(MapUnitCubeToSimplex(std::move(cube)));
-    });
-  }
-  HaltonSequence halton(d);
-  return SampleRatio(options.num_samples, [&] {
-    return shift(MapUnitCubeToSimplex(halton.Next()));
-  });
+  const auto samples = SimplexSampleCache::Global().Get(BaseKey(d, options));
+  const size_t feasible =
+      CountContainedImpl(weights_, *samples, options.num_threads, lower_bound,
+                         scale, kMembershipTol);
+  return static_cast<double>(feasible) /
+         static_cast<double>(options.num_samples);
 }
 
 }  // namespace rod::geom

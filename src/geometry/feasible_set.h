@@ -34,6 +34,12 @@ struct VolumeOptions {
 
   /// Seed for pseudo-random sampling (ignored by Halton).
   uint64_t seed = 0x5eedf00dULL;
+
+  /// Parallelism of the estimate: > 1 runs the membership kernel (and the
+  /// Cranley–Patterson replications of RatioToIdealWithError) on the
+  /// shared thread pool. Results are bit-identical for every value —
+  /// chunking is fixed and partial counts are reduced in chunk order.
+  size_t num_threads = 1;
 };
 
 /// The normalized feasible set of one placement: rows of `weights` are the
@@ -70,7 +76,10 @@ class FeasibleSet {
   /// `replications` independent Cranley–Patterson rotations of the Halton
   /// set (each a random modulo-1 shift of every point) give independent
   /// unbiased estimates whose spread quantifies the integration error.
-  /// Each replication uses `options.num_samples` points.
+  /// Each replication uses `options.num_samples` points. Honors
+  /// `use_pseudo_random` / `max_halton_dims` like the other estimators:
+  /// past the Halton cutoff each replication is an independently reseeded
+  /// pseudo-random estimate instead of a rotation.
   RatioEstimate RatioToIdealWithError(size_t replications = 8,
                                       const VolumeOptions& options = {}) const;
 
@@ -81,10 +90,14 @@ class FeasibleSet {
   Result<double> RatioToIdealAbove(std::span<const double> lower_bound,
                                    const VolumeOptions& options = {}) const;
 
- private:
-  template <typename PointGen>
-  double SampleRatio(size_t num_samples, PointGen&& gen) const;
+  /// Membership kernel: the number of rows `x` of `samples` (an S x d
+  /// matrix of points) with `W x <= 1 + tol`, testing node rows with
+  /// per-sample early exit. Chunked over the shared pool when
+  /// `num_threads > 1`; the count is identical for every thread count.
+  size_t CountContained(const Matrix& samples, size_t num_threads = 1,
+                        double tol = 1e-12) const;
 
+ private:
   Matrix weights_;
 };
 

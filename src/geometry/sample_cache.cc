@@ -1,0 +1,134 @@
+#include "geometry/sample_cache.h"
+
+#include <cassert>
+#include <utility>
+
+#include "common/random.h"
+#include "geometry/qmc.h"
+
+namespace rod::geom {
+
+namespace {
+
+uint64_t MixHash(uint64_t h, uint64_t v) {
+  // Boost-style combine over 64-bit lanes.
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+}  // namespace
+
+Matrix GenerateSimplexSamples(const SimplexSampleKey& key) {
+  assert(key.dims > 0 && key.num_samples > 0);
+  const size_t d = key.dims;
+  Matrix samples(key.num_samples, d);
+  auto store = [&](size_t s, const Vector& point) {
+    auto row = samples.Row(s);
+    for (size_t k = 0; k < d; ++k) row[k] = point[k];
+  };
+
+  if (key.pseudo_random) {
+    Rng rng(key.seed);
+    for (size_t s = 0; s < key.num_samples; ++s) {
+      Vector cube(d);
+      for (double& v : cube) v = rng.NextDouble();
+      store(s, MapUnitCubeToSimplex(std::move(cube)));
+    }
+    return samples;
+  }
+
+  HaltonSequence halton(d);
+  if (key.shift_index == 0) {
+    for (size_t s = 0; s < key.num_samples; ++s) {
+      store(s, MapUnitCubeToSimplex(halton.Next()));
+    }
+    return samples;
+  }
+
+  // Cranley–Patterson rotation. Replication r consumes draws
+  // [r*d, (r+1)*d) of the shift stream, exactly as the sequential
+  // estimator drew them when it ran replications 0..r in order — so the
+  // shift for a given (shift_seed, shift_index) never depends on which
+  // replications were generated before it.
+  Rng shift_rng(key.shift_seed);
+  Vector shift(d);
+  for (uint64_t rep = 0; rep < key.shift_index; ++rep) {
+    for (double& v : shift) v = shift_rng.NextDouble();
+  }
+  for (size_t s = 0; s < key.num_samples; ++s) {
+    Vector p = halton.Next();
+    for (size_t k = 0; k < d; ++k) {
+      p[k] += shift[k];
+      if (p[k] >= 1.0) p[k] -= 1.0;
+    }
+    store(s, MapUnitCubeToSimplex(std::move(p)));
+  }
+  return samples;
+}
+
+size_t SimplexSampleCache::KeyHash::operator()(
+    const SimplexSampleKey& key) const {
+  uint64_t h = 0x243f6a8885a308d3ULL;
+  h = MixHash(h, key.dims);
+  h = MixHash(h, key.num_samples);
+  h = MixHash(h, key.pseudo_random ? 1 : 0);
+  h = MixHash(h, key.seed);
+  h = MixHash(h, key.shift_index);
+  h = MixHash(h, key.shift_seed);
+  return static_cast<size_t>(h);
+}
+
+SimplexSampleCache::SimplexSampleCache(size_t max_entries)
+    : max_entries_(std::max<size_t>(max_entries, 1)) {}
+
+std::shared_ptr<const Matrix> SimplexSampleCache::Get(
+    const SimplexSampleKey& key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  auto matrix = std::make_shared<const Matrix>(GenerateSimplexSamples(key));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.emplace(key, matrix);
+  if (!inserted) return it->second;  // lost a generation race; use winner
+  insertion_order_.push_back(key);
+  while (entries_.size() > max_entries_) {
+    entries_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+  }
+  return matrix;
+}
+
+size_t SimplexSampleCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t SimplexSampleCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t SimplexSampleCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void SimplexSampleCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  insertion_order_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+SimplexSampleCache& SimplexSampleCache::Global() {
+  static SimplexSampleCache cache;
+  return cache;
+}
+
+}  // namespace rod::geom

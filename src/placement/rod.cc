@@ -8,6 +8,7 @@
 #include <string>
 
 #include "common/random.h"
+#include "common/thread_pool.h"
 #include "geometry/hyperplane.h"
 
 namespace rod::place {
@@ -105,23 +106,41 @@ Result<Placement> RodPlaceMatrix(
   const bool has_lb = !normalized_lower_bound.empty();
   std::vector<Candidate> cand(n);
   std::vector<size_t> class_one_nodes;
+  std::vector<size_t> all_nodes(n);
+  std::iota(all_nodes.begin(), all_nodes.end(), 0);
+  // Nodes per parallel chunk of the candidate evaluation; below one chunk
+  // per lane the pool dispatch costs more than the dims-length row scans.
+  constexpr size_t kNodeGrain = 16;
 
   for (size_t j : order) {
-    class_one_nodes.clear();
-    for (size_t i = 0; i < n; ++i) {
+    auto eval_node = [&](size_t i, Vector& scratch) {
       bool class_one = true;
       double max_weight = 0.0;
       for (size_t k = 0; k < dims; ++k) {
-        w[k] = (node_coeffs(i, k) + op_coeffs(j, k)) / total_coeffs[k] /
-               cap_share[i];
-        max_weight = std::max(max_weight, w[k]);
-        if (w[k] > 1.0 + kClassITolerance) class_one = false;
+        scratch[k] = (node_coeffs(i, k) + op_coeffs(j, k)) / total_coeffs[k] /
+                     cap_share[i];
+        max_weight = std::max(max_weight, scratch[k]);
+        if (scratch[k] > 1.0 + kClassITolerance) class_one = false;
       }
-      const double pd = has_lb
-                            ? geom::PlaneDistanceFrom(w, normalized_lower_bound)
-                            : geom::PlaneDistance(w);
+      const double pd =
+          has_lb ? geom::PlaneDistanceFrom(scratch, normalized_lower_bound)
+                 : geom::PlaneDistance(scratch);
       cand[i] = Candidate{class_one, pd, max_weight};
-      if (class_one) class_one_nodes.push_back(i);
+    };
+    if (options.num_threads > 1 && n > kNodeGrain) {
+      ParallelFor(options.num_threads, n, kNodeGrain,
+                  [&](size_t, size_t begin, size_t end) {
+                    Vector scratch(dims);
+                    for (size_t i = begin; i < end; ++i) {
+                      eval_node(i, scratch);
+                    }
+                  });
+    } else {
+      for (size_t i = 0; i < n; ++i) eval_node(i, w);
+    }
+    class_one_nodes.clear();
+    for (size_t i = 0; i < n; ++i) {
+      if (cand[i].class_one) class_one_nodes.push_back(i);
     }
 
     // Node selection.
@@ -134,8 +153,6 @@ Result<Placement> RodPlaceMatrix(
       }
       return best;
     };
-    std::vector<size_t> all_nodes(n);
-    std::iota(all_nodes.begin(), all_nodes.end(), 0);
 
     switch (options.mode) {
       case RodOptions::Mode::kMmpdOnly:

@@ -25,6 +25,7 @@
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 #include "geometry/ascii_plot.h"
 #include "geometry/boundary.h"
 #include "geometry/exact_volume.h"
@@ -32,6 +33,7 @@
 #include "geometry/hyperplane.h"
 #include "geometry/polygon2d.h"
 #include "geometry/qmc.h"
+#include "geometry/sample_cache.h"
 #include "placement/baselines.h"
 #include "placement/clustering.h"
 #include "placement/correlation_policy.h"

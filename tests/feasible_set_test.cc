@@ -8,6 +8,7 @@
 #include <cmath>
 
 #include "geometry/polygon2d.h"
+#include "geometry/sample_cache.h"
 
 namespace rod::geom {
 namespace {
@@ -157,6 +158,121 @@ TEST(RandomizedQmcTest, IdealSetHasZeroError) {
   const auto est = fs.RatioToIdealWithError(4);
   EXPECT_DOUBLE_EQ(est.mean, 1.0);
   EXPECT_DOUBLE_EQ(est.std_error, 0.0);
+}
+
+TEST(RandomizedQmcTest, HonorsForcedPseudoRandom) {
+  // The forced-pseudo-random replications must reproduce, bit for bit,
+  // the per-replication reseeding contract: replication r is a plain
+  // RatioToIdeal with seed `seed ^ (0x9e3779b97f4a7c15 * (r + 1))`.
+  const Matrix w = Matrix::FromRows({{1.5, 0.5}, {0.5, 1.5}});
+  VolumeOptions options;
+  options.num_samples = 4096;
+  options.use_pseudo_random = true;
+  const size_t reps = 4;
+  const auto est = FeasibleSet(w).RatioToIdealWithError(reps, options);
+  double sum = 0.0;
+  for (size_t r = 0; r < reps; ++r) {
+    VolumeOptions rep = options;
+    rep.seed = options.seed ^ (0x9e3779b97f4a7c15ULL * (r + 1));
+    sum += FeasibleSet(w).RatioToIdeal(rep);
+  }
+  EXPECT_DOUBLE_EQ(est.mean, sum / static_cast<double>(reps));
+  EXPECT_NEAR(est.mean, 2.0 / 3.0, 0.05);
+  EXPECT_GT(est.std_error, 0.0);  // Halton rotations would differ; pseudo
+                                  // replications genuinely vary
+}
+
+TEST(RandomizedQmcTest, HighDimensionFallsBackToPseudoRandom) {
+  // d = 16 exceeds max_halton_dims: each replication must be a reseeded
+  // pseudo-random estimate (same contract as above), not a Halton
+  // rotation.
+  Matrix w(1, 16, 1.0 / 0.95);  // ratio = 0.95^16, non-trivial
+  VolumeOptions options;
+  options.num_samples = 4096;
+  const size_t reps = 3;
+  const auto est = FeasibleSet(w).RatioToIdealWithError(reps, options);
+  double sum = 0.0;
+  for (size_t r = 0; r < reps; ++r) {
+    VolumeOptions rep = options;
+    rep.seed = options.seed ^ (0x9e3779b97f4a7c15ULL * (r + 1));
+    sum += FeasibleSet(w).RatioToIdeal(rep);
+  }
+  EXPECT_DOUBLE_EQ(est.mean, sum / static_cast<double>(reps));
+  EXPECT_NEAR(est.mean, std::pow(0.95, 16.0), 0.05);
+}
+
+TEST(ParallelVolumeTest, RatioBitExactAcrossThreadCounts) {
+  const Matrix w = Matrix::FromRows({{1.3, 0.8, 0.4, 0.9, 0.2, 0.6},
+                                     {0.6, 1.4, 0.7, 0.3, 0.8, 0.5},
+                                     {0.9, 0.5, 1.2, 0.6, 0.4, 1.1}});
+  const FeasibleSet fs(w);
+  VolumeOptions options;
+  options.num_samples = 1u << 14;
+  options.num_threads = 1;
+  const double sequential = fs.RatioToIdeal(options);
+  for (size_t threads : {2u, 8u}) {
+    options.num_threads = threads;
+    EXPECT_EQ(fs.RatioToIdeal(options), sequential) << threads;
+  }
+}
+
+TEST(ParallelVolumeTest, WithErrorBitExactAcrossThreadCounts) {
+  const Matrix w = Matrix::FromRows({{1.2, 0.9, 0.4}, {0.5, 1.1, 1.3}});
+  const FeasibleSet fs(w);
+  VolumeOptions options;
+  options.num_samples = 4096;
+  options.num_threads = 1;
+  const auto sequential = fs.RatioToIdealWithError(8, options);
+  for (size_t threads : {2u, 8u}) {
+    options.num_threads = threads;
+    const auto parallel = fs.RatioToIdealWithError(8, options);
+    EXPECT_EQ(parallel.mean, sequential.mean) << threads;
+    EXPECT_EQ(parallel.std_error, sequential.std_error) << threads;
+  }
+}
+
+TEST(ParallelVolumeTest, AboveBitExactAcrossThreadCounts) {
+  const FeasibleSet fs(Matrix::FromRows({{2.0, 0.0}, {0.0, 2.0}}));
+  VolumeOptions options;
+  options.num_samples = 1u << 14;
+  options.num_threads = 1;
+  const double sequential = *fs.RatioToIdealAbove(Vector{0.25, 0.0}, options);
+  for (size_t threads : {2u, 8u}) {
+    options.num_threads = threads;
+    EXPECT_EQ(*fs.RatioToIdealAbove(Vector{0.25, 0.0}, options), sequential)
+        << threads;
+  }
+}
+
+TEST(ParallelVolumeTest, SampleSetSharedAcrossPlacements) {
+  // Two different weight matrices with the same options must hit the same
+  // cached sample set: the second estimate costs no generation.
+  VolumeOptions options;
+  options.num_samples = 2048;
+  const FeasibleSet a(Matrix::FromRows({{1.4, 0.7}, {0.9, 1.2}}));
+  const FeasibleSet b(Matrix::FromRows({{0.8, 1.6}, {1.1, 0.3}}));
+  auto& cache = SimplexSampleCache::Global();
+  (void)a.RatioToIdeal(options);  // key resident after this call
+  const size_t misses_before = cache.misses();
+  const size_t hits_before = cache.hits();
+  (void)b.RatioToIdeal(options);
+  EXPECT_EQ(cache.misses(), misses_before);  // no regeneration
+  EXPECT_EQ(cache.hits(), hits_before + 1);
+}
+
+TEST(ParallelVolumeTest, MembershipKernelMatchesContains) {
+  const FeasibleSet fs(Matrix::FromRows({{1.5, 0.5}, {0.5, 1.5}}));
+  SimplexSampleKey key;
+  key.dims = 2;
+  key.num_samples = 1024;
+  const Matrix samples = GenerateSimplexSamples(key);
+  size_t expected = 0;
+  for (size_t s = 0; s < samples.rows(); ++s) {
+    if (fs.Contains(samples.Row(s))) ++expected;
+  }
+  for (size_t threads : {1u, 2u, 8u}) {
+    EXPECT_EQ(fs.CountContained(samples, threads), expected) << threads;
+  }
 }
 
 }  // namespace

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
 #include "geometry/hyperplane.h"
 #include "placement/evaluator.h"
 #include "query/graph_gen.h"
@@ -305,6 +306,42 @@ TEST(RodTest, MinMaxWeightTieBreakBalancesAxes) {
   ASSERT_TRUE(plan.ok());
   for (const auto& ops : plan->OperatorsByNode()) {
     EXPECT_EQ(ops.size(), 2u);
+  }
+}
+
+TEST(RodTest, PlacementIdenticalAcrossThreadCounts) {
+  // The parallel candidate evaluation writes node-indexed slots and keeps
+  // selection sequential, so the greedy outcome must not depend on
+  // num_threads — including with a lower bound and in ablation modes.
+  Rng rng(0xabc123);
+  const size_t m = 60, dims = 4, n = 24;
+  Matrix op_coeffs(m, dims);
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t k = 0; k < dims; ++k) {
+      op_coeffs(j, k) = rng.Bernoulli(0.4) ? rng.Uniform(0.1, 2.0) : 0.0;
+    }
+    op_coeffs(j, j % dims) += 0.5;
+  }
+  Vector totals(dims, 0.0);
+  for (size_t j = 0; j < m; ++j) {
+    for (size_t k = 0; k < dims; ++k) totals[k] += op_coeffs(j, k);
+  }
+  const SystemSpec system = SystemSpec::Homogeneous(n);
+  const Vector lb(dims, 0.01);
+  for (auto mode : {RodOptions::Mode::kCombined, RodOptions::Mode::kMmadOnly,
+                    RodOptions::Mode::kMmpdOnly}) {
+    RodOptions options;
+    options.mode = mode;
+    options.num_threads = 1;
+    auto sequential = RodPlaceMatrix(op_coeffs, totals, system, options, lb);
+    ASSERT_TRUE(sequential.ok());
+    for (size_t threads : {2u, 8u}) {
+      options.num_threads = threads;
+      auto parallel = RodPlaceMatrix(op_coeffs, totals, system, options, lb);
+      ASSERT_TRUE(parallel.ok());
+      EXPECT_EQ(parallel->assignment(), sequential->assignment())
+          << "mode " << static_cast<int>(mode) << " threads " << threads;
+    }
   }
 }
 

@@ -1,0 +1,160 @@
+// Tests for the simplex sample cache: hit/reuse semantics (same key ->
+// same shared buffer, no regeneration), exact reproduction of the
+// sequential generators (Halton, pseudo-random, Cranley–Patterson shifts),
+// access-order independence of shift replications, and FIFO eviction.
+
+#include "geometry/sample_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "geometry/qmc.h"
+
+namespace rod::geom {
+namespace {
+
+SimplexSampleKey HaltonKey(size_t dims, size_t num_samples) {
+  SimplexSampleKey key;
+  key.dims = dims;
+  key.num_samples = num_samples;
+  return key;
+}
+
+TEST(SampleCacheTest, SameKeyReturnsSameBufferWithoutRegeneration) {
+  SimplexSampleCache cache;
+  const auto key = HaltonKey(3, 64);
+  const auto first = cache.Get(key);
+  const auto second = cache.Get(key);
+  EXPECT_EQ(first.get(), second.get());  // the same shared matrix
+  EXPECT_EQ(cache.misses(), 1u);         // generated exactly once
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SampleCacheTest, DistinctKeysGetDistinctBuffers) {
+  SimplexSampleCache cache;
+  const auto a = cache.Get(HaltonKey(3, 64));
+  const auto b = cache.Get(HaltonKey(3, 128));
+  const auto c = cache.Get(HaltonKey(4, 64));
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_NE(a.get(), c.get());
+  EXPECT_EQ(cache.misses(), 3u);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(SampleCacheTest, HaltonMatchesSequentialDraw) {
+  const size_t d = 3, S = 32;
+  const auto key = HaltonKey(d, S);
+  const Matrix generated = GenerateSimplexSamples(key);
+  HaltonSequence halton(d);
+  for (size_t s = 0; s < S; ++s) {
+    const Vector expected = MapUnitCubeToSimplex(halton.Next());
+    for (size_t k = 0; k < d; ++k) {
+      EXPECT_EQ(generated(s, k), expected[k]) << "sample " << s;
+    }
+  }
+}
+
+TEST(SampleCacheTest, PseudoRandomMatchesSequentialDraw) {
+  SimplexSampleKey key;
+  key.dims = 4;
+  key.num_samples = 32;
+  key.pseudo_random = true;
+  key.seed = 0xfeedULL;
+  const Matrix generated = GenerateSimplexSamples(key);
+  Rng rng(key.seed);
+  for (size_t s = 0; s < key.num_samples; ++s) {
+    Vector cube(key.dims);
+    for (double& v : cube) v = rng.NextDouble();
+    const Vector expected = MapUnitCubeToSimplex(std::move(cube));
+    for (size_t k = 0; k < key.dims; ++k) {
+      EXPECT_EQ(generated(s, k), expected[k]) << "sample " << s;
+    }
+  }
+}
+
+TEST(SampleCacheTest, ShiftReplicationMatchesSequentialRotationStream) {
+  // Replication r must use draws [r*d, (r+1)*d) of the shift stream — the
+  // values the sequential estimator drew when running replications in
+  // order — regardless of which replications were generated before it.
+  const size_t d = 3, S = 16;
+  const uint64_t shift_seed = 0xabcdULL;
+  Rng shift_rng(shift_seed);
+  Vector shift(d);
+  for (int rep = 0; rep < 3; ++rep) {  // keep draws for replication 2
+    for (double& v : shift) v = shift_rng.NextDouble();
+  }
+  HaltonSequence halton(d);
+  Matrix expected(S, d);
+  for (size_t s = 0; s < S; ++s) {
+    Vector p = halton.Next();
+    for (size_t k = 0; k < d; ++k) {
+      p[k] += shift[k];
+      if (p[k] >= 1.0) p[k] -= 1.0;
+    }
+    const Vector point = MapUnitCubeToSimplex(std::move(p));
+    for (size_t k = 0; k < d; ++k) expected(s, k) = point[k];
+  }
+
+  SimplexSampleKey key = HaltonKey(d, S);
+  key.shift_index = 3;  // replication 2
+  key.shift_seed = shift_seed;
+  // Generated directly, with no earlier replications ever requested.
+  EXPECT_TRUE(GenerateSimplexSamples(key).AlmostEquals(expected, 0.0));
+}
+
+TEST(SampleCacheTest, SamplesLieInTheSolidSimplex) {
+  for (bool pseudo : {false, true}) {
+    SimplexSampleKey key = HaltonKey(5, 256);
+    key.pseudo_random = pseudo;
+    key.seed = pseudo ? 7u : 0u;
+    const Matrix samples = GenerateSimplexSamples(key);
+    for (size_t s = 0; s < samples.rows(); ++s) {
+      double sum = 0.0;
+      for (size_t k = 0; k < samples.cols(); ++k) {
+        EXPECT_GE(samples(s, k), 0.0);
+        sum += samples(s, k);
+      }
+      EXPECT_LE(sum, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(SampleCacheTest, EvictsOldestInsertFirst) {
+  SimplexSampleCache cache(/*max_entries=*/2);
+  (void)cache.Get(HaltonKey(2, 16));
+  (void)cache.Get(HaltonKey(3, 16));
+  (void)cache.Get(HaltonKey(4, 16));  // evicts (2, 16)
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.misses(), 3u);
+  (void)cache.Get(HaltonKey(3, 16));  // still resident
+  EXPECT_EQ(cache.hits(), 1u);
+  (void)cache.Get(HaltonKey(2, 16));  // evicted: regenerated
+  EXPECT_EQ(cache.misses(), 4u);
+}
+
+TEST(SampleCacheTest, EvictedBufferSurvivesThroughSharedPtr) {
+  SimplexSampleCache cache(/*max_entries=*/1);
+  const auto held = cache.Get(HaltonKey(2, 16));
+  (void)cache.Get(HaltonKey(3, 16));  // evicts the held entry
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(held->rows(), 16u);  // still valid
+  EXPECT_EQ(held->cols(), 2u);
+}
+
+TEST(SampleCacheTest, ClearResetsEntriesAndCounters) {
+  SimplexSampleCache cache;
+  (void)cache.Get(HaltonKey(2, 16));
+  (void)cache.Get(HaltonKey(2, 16));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(SampleCacheTest, GlobalIsOneInstance) {
+  EXPECT_EQ(&SimplexSampleCache::Global(), &SimplexSampleCache::Global());
+}
+
+}  // namespace
+}  // namespace rod::geom

@@ -1,0 +1,141 @@
+// Tests for the worker pool and the chunked ParallelFor determinism
+// contract: chunk boundaries depend only on (n, grain), never on the
+// thread count, and chunk-slot reductions are bit-identical for every
+// parallelism level. The stress cases double as ASan/UBSan/TSan targets.
+
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+namespace rod {
+namespace {
+
+TEST(ThreadPoolTest, AtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&ran] { ran.fetch_add(1); });
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (ran.load() < 64 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 32; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // ~ThreadPool drains, then joins
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  for (size_t threads : {1u, 2u, 8u}) {
+    std::vector<int> visits(1003, 0);
+    ParallelFor(threads, visits.size(), 17,
+                [&](size_t, size_t begin, size_t end) {
+                  for (size_t i = begin; i < end; ++i) ++visits[i];
+                });
+    EXPECT_EQ(std::accumulate(visits.begin(), visits.end(), 0), 1003)
+        << threads;
+    for (int v : visits) EXPECT_EQ(v, 1);
+  }
+}
+
+TEST(ParallelForTest, ChunkBoundariesIndependentOfThreadCount) {
+  const size_t n = 777, grain = 32;
+  const size_t num_chunks = (n + grain - 1) / grain;
+  auto boundaries = [&](size_t threads) {
+    std::vector<std::pair<size_t, size_t>> out(num_chunks);
+    ParallelFor(threads, n, grain, [&](size_t chunk, size_t begin,
+                                       size_t end) {
+      out[chunk] = {begin, end};
+    });
+    return out;
+  };
+  const auto seq = boundaries(1);
+  for (size_t c = 0; c < num_chunks; ++c) {
+    EXPECT_EQ(seq[c].first, c * grain);
+    EXPECT_EQ(seq[c].second, std::min(n, (c + 1) * grain));
+  }
+  EXPECT_EQ(boundaries(2), seq);
+  EXPECT_EQ(boundaries(8), seq);
+}
+
+TEST(ParallelForTest, ChunkOrderedReductionIsBitExact) {
+  // Sum sin(i) per chunk slot, reduce in chunk order: every thread count
+  // must produce the exact same double.
+  const size_t n = 5000, grain = 64;
+  auto reduce = [&](size_t threads) {
+    std::vector<double> partial((n + grain - 1) / grain, 0.0);
+    ParallelFor(threads, n, grain, [&](size_t chunk, size_t begin,
+                                       size_t end) {
+      double s = 0.0;
+      for (size_t i = begin; i < end; ++i) {
+        s += std::sin(static_cast<double>(i));
+      }
+      partial[chunk] = s;
+    });
+    double total = 0.0;
+    for (double p : partial) total += p;
+    return total;
+  };
+  const double seq = reduce(1);
+  EXPECT_EQ(reduce(2), seq);
+  EXPECT_EQ(reduce(8), seq);
+}
+
+TEST(ParallelForTest, SingleThreadRunsInlineOnCaller) {
+  const auto caller = std::this_thread::get_id();
+  ParallelFor(1, 100, 10, [&](size_t, size_t, size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ParallelForTest, NestedCallsCompleteWithoutDeadlock) {
+  std::atomic<int> inner_total{0};
+  ParallelFor(4, 8, 1, [&](size_t, size_t, size_t) {
+    ParallelFor(4, 16, 4, [&](size_t, size_t begin, size_t end) {
+      inner_total.fetch_add(static_cast<int>(end - begin));
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ParallelForTest, ZeroItemsIsANoop) {
+  ParallelFor(8, 0, 16, [&](size_t, size_t, size_t) { FAIL(); });
+}
+
+TEST(ParallelForTest, ExplicitPoolStress) {
+  // Many small loops over a private pool — the sanitizer job chews on the
+  // queue handoff and the completion protocol here.
+  ThreadPool pool(8);
+  for (int round = 0; round < 100; ++round) {
+    std::vector<int> hits(257, 0);
+    ParallelFor(pool, 8, hits.size(), 7,
+                [&](size_t, size_t begin, size_t end) {
+                  for (size_t i = begin; i < end; ++i) ++hits[i];
+                });
+    for (int h : hits) ASSERT_EQ(h, 1);
+  }
+}
+
+}  // namespace
+}  // namespace rod
