@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dynamic_vs_static.dir/bench_dynamic_vs_static.cc.o"
+  "CMakeFiles/bench_dynamic_vs_static.dir/bench_dynamic_vs_static.cc.o.d"
+  "bench_dynamic_vs_static"
+  "bench_dynamic_vs_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dynamic_vs_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_resiliency.dir/bench_fig14_resiliency.cc.o"
+  "CMakeFiles/bench_fig14_resiliency.dir/bench_fig14_resiliency.cc.o.d"
+  "bench_fig14_resiliency"
+  "bench_fig14_resiliency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_resiliency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_dimensions.dir/bench_fig15_dimensions.cc.o"
+  "CMakeFiles/bench_fig15_dimensions.dir/bench_fig15_dimensions.cc.o.d"
+  "bench_fig15_dimensions"
+  "bench_fig15_dimensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_dimensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_example.dir/bench_fig5_example.cc.o"
+  "CMakeFiles/bench_fig5_example.dir/bench_fig5_example.cc.o.d"
+  "bench_fig5_example"
+  "bench_fig5_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

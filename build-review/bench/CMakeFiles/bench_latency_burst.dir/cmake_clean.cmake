@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_burst.dir/bench_latency_burst.cc.o"
+  "CMakeFiles/bench_latency_burst.dir/bench_latency_burst.cc.o.d"
+  "bench_latency_burst"
+  "bench_latency_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_qmc.dir/bench_micro_qmc.cc.o"
+  "CMakeFiles/bench_micro_qmc.dir/bench_micro_qmc.cc.o.d"
+  "bench_micro_qmc"
+  "bench_micro_qmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_qmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

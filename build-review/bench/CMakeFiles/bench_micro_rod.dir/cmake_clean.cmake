@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_rod.dir/bench_micro_rod.cc.o"
+  "CMakeFiles/bench_micro_rod.dir/bench_micro_rod.cc.o.d"
+  "bench_micro_rod"
+  "bench_micro_rod.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_rod.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

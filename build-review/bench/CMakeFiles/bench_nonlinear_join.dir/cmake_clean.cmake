@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_nonlinear_join.dir/bench_nonlinear_join.cc.o"
+  "CMakeFiles/bench_nonlinear_join.dir/bench_nonlinear_join.cc.o.d"
+  "bench_nonlinear_join"
+  "bench_nonlinear_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_nonlinear_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimal_gap.dir/bench_optimal_gap.cc.o"
+  "CMakeFiles/bench_optimal_gap.dir/bench_optimal_gap.cc.o.d"
+  "bench_optimal_gap"
+  "bench_optimal_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimal_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_volume_perf.dir/bench_volume_perf.cc.o"
+  "CMakeFiles/bench_volume_perf.dir/bench_volume_perf.cc.o.d"
+  "bench_volume_perf"
+  "bench_volume_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_volume_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

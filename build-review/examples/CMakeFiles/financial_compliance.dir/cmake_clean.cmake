@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/financial_compliance.dir/financial_compliance.cc.o"
+  "CMakeFiles/financial_compliance.dir/financial_compliance.cc.o.d"
+  "financial_compliance"
+  "financial_compliance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/financial_compliance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_linearization.dir/join_linearization.cc.o"
+  "CMakeFiles/join_linearization.dir/join_linearization.cc.o.d"
+  "join_linearization"
+  "join_linearization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_linearization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_monitoring.dir/traffic_monitoring.cc.o"
+  "CMakeFiles/traffic_monitoring.dir/traffic_monitoring.cc.o.d"
+  "traffic_monitoring"
+  "traffic_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/matrix.cc" "src/CMakeFiles/rod_common.dir/common/matrix.cc.o" "gcc" "src/CMakeFiles/rod_common.dir/common/matrix.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/rod_common.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/rod_common.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/rod_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/rod_common.dir/common/status.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/rod_common.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/rod_common.dir/common/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

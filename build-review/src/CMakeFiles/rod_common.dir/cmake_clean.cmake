@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rod_common.dir/common/matrix.cc.o"
+  "CMakeFiles/rod_common.dir/common/matrix.cc.o.d"
+  "CMakeFiles/rod_common.dir/common/stats.cc.o"
+  "CMakeFiles/rod_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/rod_common.dir/common/status.cc.o"
+  "CMakeFiles/rod_common.dir/common/status.cc.o.d"
+  "CMakeFiles/rod_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/rod_common.dir/common/thread_pool.cc.o.d"
+  "librod_common.a"
+  "librod_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rod_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rod_dynamic.dir/placement/correlation_policy.cc.o"
+  "CMakeFiles/rod_dynamic.dir/placement/correlation_policy.cc.o.d"
+  "CMakeFiles/rod_dynamic.dir/placement/dynamic.cc.o"
+  "CMakeFiles/rod_dynamic.dir/placement/dynamic.cc.o.d"
+  "librod_dynamic.a"
+  "librod_dynamic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rod_dynamic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geometry/ascii_plot.cc" "src/CMakeFiles/rod_geometry.dir/geometry/ascii_plot.cc.o" "gcc" "src/CMakeFiles/rod_geometry.dir/geometry/ascii_plot.cc.o.d"
+  "/root/repo/src/geometry/boundary.cc" "src/CMakeFiles/rod_geometry.dir/geometry/boundary.cc.o" "gcc" "src/CMakeFiles/rod_geometry.dir/geometry/boundary.cc.o.d"
+  "/root/repo/src/geometry/exact_volume.cc" "src/CMakeFiles/rod_geometry.dir/geometry/exact_volume.cc.o" "gcc" "src/CMakeFiles/rod_geometry.dir/geometry/exact_volume.cc.o.d"
+  "/root/repo/src/geometry/feasible_set.cc" "src/CMakeFiles/rod_geometry.dir/geometry/feasible_set.cc.o" "gcc" "src/CMakeFiles/rod_geometry.dir/geometry/feasible_set.cc.o.d"
+  "/root/repo/src/geometry/hyperplane.cc" "src/CMakeFiles/rod_geometry.dir/geometry/hyperplane.cc.o" "gcc" "src/CMakeFiles/rod_geometry.dir/geometry/hyperplane.cc.o.d"
+  "/root/repo/src/geometry/polygon2d.cc" "src/CMakeFiles/rod_geometry.dir/geometry/polygon2d.cc.o" "gcc" "src/CMakeFiles/rod_geometry.dir/geometry/polygon2d.cc.o.d"
+  "/root/repo/src/geometry/qmc.cc" "src/CMakeFiles/rod_geometry.dir/geometry/qmc.cc.o" "gcc" "src/CMakeFiles/rod_geometry.dir/geometry/qmc.cc.o.d"
+  "/root/repo/src/geometry/sample_cache.cc" "src/CMakeFiles/rod_geometry.dir/geometry/sample_cache.cc.o" "gcc" "src/CMakeFiles/rod_geometry.dir/geometry/sample_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/rod_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rod_geometry.dir/geometry/ascii_plot.cc.o"
+  "CMakeFiles/rod_geometry.dir/geometry/ascii_plot.cc.o.d"
+  "CMakeFiles/rod_geometry.dir/geometry/boundary.cc.o"
+  "CMakeFiles/rod_geometry.dir/geometry/boundary.cc.o.d"
+  "CMakeFiles/rod_geometry.dir/geometry/exact_volume.cc.o"
+  "CMakeFiles/rod_geometry.dir/geometry/exact_volume.cc.o.d"
+  "CMakeFiles/rod_geometry.dir/geometry/feasible_set.cc.o"
+  "CMakeFiles/rod_geometry.dir/geometry/feasible_set.cc.o.d"
+  "CMakeFiles/rod_geometry.dir/geometry/hyperplane.cc.o"
+  "CMakeFiles/rod_geometry.dir/geometry/hyperplane.cc.o.d"
+  "CMakeFiles/rod_geometry.dir/geometry/polygon2d.cc.o"
+  "CMakeFiles/rod_geometry.dir/geometry/polygon2d.cc.o.d"
+  "CMakeFiles/rod_geometry.dir/geometry/qmc.cc.o"
+  "CMakeFiles/rod_geometry.dir/geometry/qmc.cc.o.d"
+  "CMakeFiles/rod_geometry.dir/geometry/sample_cache.cc.o"
+  "CMakeFiles/rod_geometry.dir/geometry/sample_cache.cc.o.d"
+  "librod_geometry.a"
+  "librod_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rod_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

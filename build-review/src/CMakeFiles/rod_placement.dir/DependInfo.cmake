@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/baselines.cc" "src/CMakeFiles/rod_placement.dir/placement/baselines.cc.o" "gcc" "src/CMakeFiles/rod_placement.dir/placement/baselines.cc.o.d"
+  "/root/repo/src/placement/clustering.cc" "src/CMakeFiles/rod_placement.dir/placement/clustering.cc.o" "gcc" "src/CMakeFiles/rod_placement.dir/placement/clustering.cc.o.d"
+  "/root/repo/src/placement/evaluator.cc" "src/CMakeFiles/rod_placement.dir/placement/evaluator.cc.o" "gcc" "src/CMakeFiles/rod_placement.dir/placement/evaluator.cc.o.d"
+  "/root/repo/src/placement/optimal.cc" "src/CMakeFiles/rod_placement.dir/placement/optimal.cc.o" "gcc" "src/CMakeFiles/rod_placement.dir/placement/optimal.cc.o.d"
+  "/root/repo/src/placement/plan.cc" "src/CMakeFiles/rod_placement.dir/placement/plan.cc.o" "gcc" "src/CMakeFiles/rod_placement.dir/placement/plan.cc.o.d"
+  "/root/repo/src/placement/repair.cc" "src/CMakeFiles/rod_placement.dir/placement/repair.cc.o" "gcc" "src/CMakeFiles/rod_placement.dir/placement/repair.cc.o.d"
+  "/root/repo/src/placement/rod.cc" "src/CMakeFiles/rod_placement.dir/placement/rod.cc.o" "gcc" "src/CMakeFiles/rod_placement.dir/placement/rod.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/rod_query.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/rod_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/rod_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rod_placement.dir/placement/baselines.cc.o"
+  "CMakeFiles/rod_placement.dir/placement/baselines.cc.o.d"
+  "CMakeFiles/rod_placement.dir/placement/clustering.cc.o"
+  "CMakeFiles/rod_placement.dir/placement/clustering.cc.o.d"
+  "CMakeFiles/rod_placement.dir/placement/evaluator.cc.o"
+  "CMakeFiles/rod_placement.dir/placement/evaluator.cc.o.d"
+  "CMakeFiles/rod_placement.dir/placement/optimal.cc.o"
+  "CMakeFiles/rod_placement.dir/placement/optimal.cc.o.d"
+  "CMakeFiles/rod_placement.dir/placement/plan.cc.o"
+  "CMakeFiles/rod_placement.dir/placement/plan.cc.o.d"
+  "CMakeFiles/rod_placement.dir/placement/repair.cc.o"
+  "CMakeFiles/rod_placement.dir/placement/repair.cc.o.d"
+  "CMakeFiles/rod_placement.dir/placement/rod.cc.o"
+  "CMakeFiles/rod_placement.dir/placement/rod.cc.o.d"
+  "librod_placement.a"
+  "librod_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rod_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

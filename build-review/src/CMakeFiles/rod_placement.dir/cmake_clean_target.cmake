@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librod_placement.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/graph_gen.cc" "src/CMakeFiles/rod_query.dir/query/graph_gen.cc.o" "gcc" "src/CMakeFiles/rod_query.dir/query/graph_gen.cc.o.d"
+  "/root/repo/src/query/graphviz.cc" "src/CMakeFiles/rod_query.dir/query/graphviz.cc.o" "gcc" "src/CMakeFiles/rod_query.dir/query/graphviz.cc.o.d"
+  "/root/repo/src/query/linearize.cc" "src/CMakeFiles/rod_query.dir/query/linearize.cc.o" "gcc" "src/CMakeFiles/rod_query.dir/query/linearize.cc.o.d"
+  "/root/repo/src/query/load_model.cc" "src/CMakeFiles/rod_query.dir/query/load_model.cc.o" "gcc" "src/CMakeFiles/rod_query.dir/query/load_model.cc.o.d"
+  "/root/repo/src/query/operator.cc" "src/CMakeFiles/rod_query.dir/query/operator.cc.o" "gcc" "src/CMakeFiles/rod_query.dir/query/operator.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/CMakeFiles/rod_query.dir/query/parser.cc.o" "gcc" "src/CMakeFiles/rod_query.dir/query/parser.cc.o.d"
+  "/root/repo/src/query/query_graph.cc" "src/CMakeFiles/rod_query.dir/query/query_graph.cc.o" "gcc" "src/CMakeFiles/rod_query.dir/query/query_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/rod_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rod_query.dir/query/graph_gen.cc.o"
+  "CMakeFiles/rod_query.dir/query/graph_gen.cc.o.d"
+  "CMakeFiles/rod_query.dir/query/graphviz.cc.o"
+  "CMakeFiles/rod_query.dir/query/graphviz.cc.o.d"
+  "CMakeFiles/rod_query.dir/query/linearize.cc.o"
+  "CMakeFiles/rod_query.dir/query/linearize.cc.o.d"
+  "CMakeFiles/rod_query.dir/query/load_model.cc.o"
+  "CMakeFiles/rod_query.dir/query/load_model.cc.o.d"
+  "CMakeFiles/rod_query.dir/query/operator.cc.o"
+  "CMakeFiles/rod_query.dir/query/operator.cc.o.d"
+  "CMakeFiles/rod_query.dir/query/parser.cc.o"
+  "CMakeFiles/rod_query.dir/query/parser.cc.o.d"
+  "CMakeFiles/rod_query.dir/query/query_graph.cc.o"
+  "CMakeFiles/rod_query.dir/query/query_graph.cc.o.d"
+  "librod_query.a"
+  "librod_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rod_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/calibrate.cc" "src/CMakeFiles/rod_runtime.dir/runtime/calibrate.cc.o" "gcc" "src/CMakeFiles/rod_runtime.dir/runtime/calibrate.cc.o.d"
+  "/root/repo/src/runtime/chaos.cc" "src/CMakeFiles/rod_runtime.dir/runtime/chaos.cc.o" "gcc" "src/CMakeFiles/rod_runtime.dir/runtime/chaos.cc.o.d"
+  "/root/repo/src/runtime/deployment.cc" "src/CMakeFiles/rod_runtime.dir/runtime/deployment.cc.o" "gcc" "src/CMakeFiles/rod_runtime.dir/runtime/deployment.cc.o.d"
+  "/root/repo/src/runtime/engine.cc" "src/CMakeFiles/rod_runtime.dir/runtime/engine.cc.o" "gcc" "src/CMakeFiles/rod_runtime.dir/runtime/engine.cc.o.d"
+  "/root/repo/src/runtime/event_queue.cc" "src/CMakeFiles/rod_runtime.dir/runtime/event_queue.cc.o" "gcc" "src/CMakeFiles/rod_runtime.dir/runtime/event_queue.cc.o.d"
+  "/root/repo/src/runtime/fluid.cc" "src/CMakeFiles/rod_runtime.dir/runtime/fluid.cc.o" "gcc" "src/CMakeFiles/rod_runtime.dir/runtime/fluid.cc.o.d"
+  "/root/repo/src/runtime/metrics.cc" "src/CMakeFiles/rod_runtime.dir/runtime/metrics.cc.o" "gcc" "src/CMakeFiles/rod_runtime.dir/runtime/metrics.cc.o.d"
+  "/root/repo/src/runtime/node.cc" "src/CMakeFiles/rod_runtime.dir/runtime/node.cc.o" "gcc" "src/CMakeFiles/rod_runtime.dir/runtime/node.cc.o.d"
+  "/root/repo/src/runtime/supervisor.cc" "src/CMakeFiles/rod_runtime.dir/runtime/supervisor.cc.o" "gcc" "src/CMakeFiles/rod_runtime.dir/runtime/supervisor.cc.o.d"
+  "/root/repo/src/runtime/workload_driver.cc" "src/CMakeFiles/rod_runtime.dir/runtime/workload_driver.cc.o" "gcc" "src/CMakeFiles/rod_runtime.dir/runtime/workload_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/rod_query.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/rod_placement.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/rod_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/rod_geometry.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/CMakeFiles/rod_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

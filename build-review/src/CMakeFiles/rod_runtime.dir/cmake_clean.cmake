@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rod_runtime.dir/runtime/calibrate.cc.o"
+  "CMakeFiles/rod_runtime.dir/runtime/calibrate.cc.o.d"
+  "CMakeFiles/rod_runtime.dir/runtime/chaos.cc.o"
+  "CMakeFiles/rod_runtime.dir/runtime/chaos.cc.o.d"
+  "CMakeFiles/rod_runtime.dir/runtime/deployment.cc.o"
+  "CMakeFiles/rod_runtime.dir/runtime/deployment.cc.o.d"
+  "CMakeFiles/rod_runtime.dir/runtime/engine.cc.o"
+  "CMakeFiles/rod_runtime.dir/runtime/engine.cc.o.d"
+  "CMakeFiles/rod_runtime.dir/runtime/event_queue.cc.o"
+  "CMakeFiles/rod_runtime.dir/runtime/event_queue.cc.o.d"
+  "CMakeFiles/rod_runtime.dir/runtime/fluid.cc.o"
+  "CMakeFiles/rod_runtime.dir/runtime/fluid.cc.o.d"
+  "CMakeFiles/rod_runtime.dir/runtime/metrics.cc.o"
+  "CMakeFiles/rod_runtime.dir/runtime/metrics.cc.o.d"
+  "CMakeFiles/rod_runtime.dir/runtime/node.cc.o"
+  "CMakeFiles/rod_runtime.dir/runtime/node.cc.o.d"
+  "CMakeFiles/rod_runtime.dir/runtime/supervisor.cc.o"
+  "CMakeFiles/rod_runtime.dir/runtime/supervisor.cc.o.d"
+  "CMakeFiles/rod_runtime.dir/runtime/workload_driver.cc.o"
+  "CMakeFiles/rod_runtime.dir/runtime/workload_driver.cc.o.d"
+  "librod_runtime.a"
+  "librod_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rod_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

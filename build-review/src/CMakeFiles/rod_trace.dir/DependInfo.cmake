@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/bmodel.cc" "src/CMakeFiles/rod_trace.dir/trace/bmodel.cc.o" "gcc" "src/CMakeFiles/rod_trace.dir/trace/bmodel.cc.o.d"
+  "/root/repo/src/trace/hurst.cc" "src/CMakeFiles/rod_trace.dir/trace/hurst.cc.o" "gcc" "src/CMakeFiles/rod_trace.dir/trace/hurst.cc.o.d"
+  "/root/repo/src/trace/io.cc" "src/CMakeFiles/rod_trace.dir/trace/io.cc.o" "gcc" "src/CMakeFiles/rod_trace.dir/trace/io.cc.o.d"
+  "/root/repo/src/trace/onoff.cc" "src/CMakeFiles/rod_trace.dir/trace/onoff.cc.o" "gcc" "src/CMakeFiles/rod_trace.dir/trace/onoff.cc.o.d"
+  "/root/repo/src/trace/trace.cc" "src/CMakeFiles/rod_trace.dir/trace/trace.cc.o" "gcc" "src/CMakeFiles/rod_trace.dir/trace/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/CMakeFiles/rod_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

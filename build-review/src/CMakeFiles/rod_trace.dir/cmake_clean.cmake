@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rod_trace.dir/trace/bmodel.cc.o"
+  "CMakeFiles/rod_trace.dir/trace/bmodel.cc.o.d"
+  "CMakeFiles/rod_trace.dir/trace/hurst.cc.o"
+  "CMakeFiles/rod_trace.dir/trace/hurst.cc.o.d"
+  "CMakeFiles/rod_trace.dir/trace/io.cc.o"
+  "CMakeFiles/rod_trace.dir/trace/io.cc.o.d"
+  "CMakeFiles/rod_trace.dir/trace/onoff.cc.o"
+  "CMakeFiles/rod_trace.dir/trace/onoff.cc.o.d"
+  "CMakeFiles/rod_trace.dir/trace/trace.cc.o"
+  "CMakeFiles/rod_trace.dir/trace/trace.cc.o.d"
+  "librod_trace.a"
+  "librod_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rod_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

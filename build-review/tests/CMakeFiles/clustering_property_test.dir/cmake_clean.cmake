@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_property_test.dir/clustering_property_test.cc.o"
+  "CMakeFiles/clustering_property_test.dir/clustering_property_test.cc.o.d"
+  "clustering_property_test"
+  "clustering_property_test.pdb"
+  "clustering_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

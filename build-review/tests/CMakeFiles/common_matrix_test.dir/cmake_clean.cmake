@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_matrix_test.dir/common_matrix_test.cc.o"
+  "CMakeFiles/common_matrix_test.dir/common_matrix_test.cc.o.d"
+  "common_matrix_test"
+  "common_matrix_test.pdb"
+  "common_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_policy_test.dir/dynamic_policy_test.cc.o"
+  "CMakeFiles/dynamic_policy_test.dir/dynamic_policy_test.cc.o.d"
+  "dynamic_policy_test"
+  "dynamic_policy_test.pdb"
+  "dynamic_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exact_volume_test.dir/exact_volume_test.cc.o"
+  "CMakeFiles/exact_volume_test.dir/exact_volume_test.cc.o.d"
+  "exact_volume_test"
+  "exact_volume_test.pdb"
+  "exact_volume_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exact_volume_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

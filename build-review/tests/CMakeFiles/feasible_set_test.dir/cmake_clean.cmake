@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feasible_set_test.dir/feasible_set_test.cc.o"
+  "CMakeFiles/feasible_set_test.dir/feasible_set_test.cc.o.d"
+  "feasible_set_test"
+  "feasible_set_test.pdb"
+  "feasible_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feasible_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fluid_property_test.dir/fluid_property_test.cc.o"
+  "CMakeFiles/fluid_property_test.dir/fluid_property_test.cc.o.d"
+  "fluid_property_test"
+  "fluid_property_test.pdb"
+  "fluid_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fluid_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

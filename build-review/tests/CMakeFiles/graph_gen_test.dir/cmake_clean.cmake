@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_gen_test.dir/graph_gen_test.cc.o"
+  "CMakeFiles/graph_gen_test.dir/graph_gen_test.cc.o.d"
+  "graph_gen_test"
+  "graph_gen_test.pdb"
+  "graph_gen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

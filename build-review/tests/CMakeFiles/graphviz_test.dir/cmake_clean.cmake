@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graphviz_test.dir/graphviz_test.cc.o"
+  "CMakeFiles/graphviz_test.dir/graphviz_test.cc.o.d"
+  "graphviz_test"
+  "graphviz_test.pdb"
+  "graphviz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graphviz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

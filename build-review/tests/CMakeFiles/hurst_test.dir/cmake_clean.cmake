@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hurst_test.dir/hurst_test.cc.o"
+  "CMakeFiles/hurst_test.dir/hurst_test.cc.o.d"
+  "hurst_test"
+  "hurst_test.pdb"
+  "hurst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hurst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

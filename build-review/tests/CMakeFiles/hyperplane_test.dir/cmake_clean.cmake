@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperplane_test.dir/hyperplane_test.cc.o"
+  "CMakeFiles/hyperplane_test.dir/hyperplane_test.cc.o.d"
+  "hyperplane_test"
+  "hyperplane_test.pdb"
+  "hyperplane_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperplane_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linearize_test.dir/linearize_test.cc.o"
+  "CMakeFiles/linearize_test.dir/linearize_test.cc.o.d"
+  "linearize_test"
+  "linearize_test.pdb"
+  "linearize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linearize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

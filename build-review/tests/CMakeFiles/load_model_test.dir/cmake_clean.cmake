@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/load_model_test.dir/load_model_test.cc.o"
+  "CMakeFiles/load_model_test.dir/load_model_test.cc.o.d"
+  "load_model_test"
+  "load_model_test.pdb"
+  "load_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/load_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

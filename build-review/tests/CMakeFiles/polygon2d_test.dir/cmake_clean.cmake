@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polygon2d_test.dir/polygon2d_test.cc.o"
+  "CMakeFiles/polygon2d_test.dir/polygon2d_test.cc.o.d"
+  "polygon2d_test"
+  "polygon2d_test.pdb"
+  "polygon2d_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polygon2d_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

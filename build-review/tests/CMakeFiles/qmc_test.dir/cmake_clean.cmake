@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qmc_test.dir/qmc_test.cc.o"
+  "CMakeFiles/qmc_test.dir/qmc_test.cc.o.d"
+  "qmc_test"
+  "qmc_test.pdb"
+  "qmc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qmc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rod_algorithm_test.dir/rod_algorithm_test.cc.o"
+  "CMakeFiles/rod_algorithm_test.dir/rod_algorithm_test.cc.o.d"
+  "rod_algorithm_test"
+  "rod_algorithm_test.pdb"
+  "rod_algorithm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rod_algorithm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sample_cache_test.dir/sample_cache_test.cc.o"
+  "CMakeFiles/sample_cache_test.dir/sample_cache_test.cc.o.d"
+  "sample_cache_test"
+  "sample_cache_test.pdb"
+  "sample_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sample_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

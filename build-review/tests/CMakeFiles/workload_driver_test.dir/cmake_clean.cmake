@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_driver_test.dir/workload_driver_test.cc.o"
+  "CMakeFiles/workload_driver_test.dir/workload_driver_test.cc.o.d"
+  "workload_driver_test"
+  "workload_driver_test.pdb"
+  "workload_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
