@@ -6,6 +6,7 @@
 // recovery-phase tail latency from the tuple-level engine — the numbers
 // the fluid-model repair analysis (bench_repair) cannot see.
 
+#include <deque>
 #include <iostream>
 #include <string>
 
@@ -13,6 +14,7 @@
 #include "runtime/chaos.h"
 #include "runtime/engine.h"
 #include "runtime/supervisor.h"
+#include "runtime/sweep.h"
 
 namespace {
 
@@ -88,38 +90,57 @@ int main() {
   Table table({"policy", "detect(s)", "moves budget", "ops moved", "lost",
                "avail", "recovery(s)", "rec p95(ms)", "post p95(ms)"});
 
-  auto run = [&](Supervisor::Policy policy, double delay, size_t budget,
-                 const std::string& label) {
+  // Every (policy, delay, budget) point is an independent crash run, so
+  // the whole grid is one parallel sweep. Each case owns its Supervisor
+  // (the recovery agent is stateful); the deque keeps addresses stable.
+  struct Grid {
+    Supervisor::Policy policy;
+    double delay;
+    size_t budget;
+    std::string label;
+  };
+  std::vector<Grid> grid = {{Supervisor::Policy::kNone, 0.5, 0, "none"},
+                            {Supervisor::Policy::kNaiveDump, 0.5, 0, "dump"}};
+  for (double delay : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    for (size_t budget : {size_t{0}, size_t{2}, size_t{4}}) {
+      grid.push_back({Supervisor::Policy::kRepair, delay, budget, "repair"});
+    }
+  }
+
+  std::deque<Supervisor> supervisors;
+  std::vector<rod::sim::SimulationCase> cases;
+  for (const Grid& p : grid) {
     Supervisor::Options sup_options;
-    sup_options.detection_delay = delay;
-    sup_options.policy = policy;
-    sup_options.rebalance_budget = budget;
-    Supervisor supervisor(*model, sup_options);
-    SimulationOptions options;
-    options.duration = kDuration;
-    options.failures = &chaos;
-    options.recovery = &supervisor;
-    auto r = rod::sim::SimulatePlacement(graph, *plan, system, traces,
-                                         options);
+    sup_options.detection_delay = p.delay;
+    sup_options.policy = p.policy;
+    sup_options.rebalance_budget = p.budget;
+    supervisors.emplace_back(*model, sup_options);
+    rod::sim::SimulationCase c;
+    c.graph = &graph;
+    c.placement = &*plan;
+    c.system = &system;
+    c.inputs = &traces;
+    c.options.duration = kDuration;
+    c.options.failures = &chaos;
+    c.options.recovery = &supervisors.back();
+    cases.push_back(c);
+  }
+  const auto results = rod::sim::SimulateSweep(cases);
+
+  for (size_t i = 0; i < grid.size(); ++i) {
+    const Grid& p = grid[i];
+    const auto& r = results[i];
     if (!r.ok() || !r->incident) {
-      std::cerr << label << ": " << r.status().ToString() << "\n";
-      return;
+      std::cerr << p.label << ": " << r.status().ToString() << "\n";
+      continue;
     }
     const auto& inc = *r->incident;
-    table.AddRow({label, Fmt(delay, 2), std::to_string(budget),
+    table.AddRow({p.label, Fmt(p.delay, 2), std::to_string(p.budget),
                   std::to_string(inc.operators_moved),
                   std::to_string(inc.lost_tuples), Fmt(inc.availability, 4),
                   inc.recovered ? Fmt(inc.recovery_time, 2) : "never",
                   Fmt(inc.during_recovery.p95 * 1e3, 2),
                   Fmt(inc.post_recovery.p95 * 1e3, 2)});
-  };
-
-  run(Supervisor::Policy::kNone, 0.5, 0, "none");
-  run(Supervisor::Policy::kNaiveDump, 0.5, 0, "dump");
-  for (double delay : {0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
-    for (size_t budget : {size_t{0}, size_t{2}, size_t{4}}) {
-      run(Supervisor::Policy::kRepair, delay, budget, "repair");
-    }
   }
   table.Print();
   std::cout << "\nlost = tuples dropped by the crash + rejected while dark; "

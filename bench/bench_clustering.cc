@@ -7,12 +7,14 @@
 // at a fixed operating point.
 
 #include <algorithm>
+#include <deque>
 #include <iostream>
 
 #include "bench_util.h"
 #include "geometry/hyperplane.h"
 #include "placement/clustering.h"
 #include "runtime/engine.h"
+#include "runtime/sweep.h"
 
 namespace {
 
@@ -64,68 +66,104 @@ int main() {
                "crossing tuple\n";
 
   const SystemSpec system = SystemSpec::Homogeneous(3);
-  for (double gamma : {0.0, 0.5, 1.0, 2.0}) {
+  const std::vector<double> kGammas = {0.0, 0.5, 1.0, 2.0};
+
+  // Build every gamma's workload and the three candidate plans up front,
+  // then run all (gamma x plan) tuple-level simulations as one parallel
+  // deterministic sweep.
+  struct GammaSetup {
+    QueryGraph graph;
+    rod::query::LoadModel model;
+    rod::Result<Placement> rod_plain{rod::Status::Internal("unset")};
+    rod::Result<rod::place::ClusterSweepResult> sweep{
+        rod::Status::Internal("unset")};
+    rod::Result<Placement> connected{rod::Status::Internal("unset")};
+    std::vector<rod::trace::RateTrace> traces;
+  };
+  std::deque<GammaSetup> setups;
+  std::vector<rod::sim::SimulationCase> cases;
+  rod::sim::SimulationOptions sopts;
+  sopts.duration = 60.0;
+  for (double gamma : kGammas) {
     rod::Rng graph_rng(0xea000);
-    const QueryGraph g = ChainWorkload(gamma * 1e-3, graph_rng);
-    auto model = rod::query::BuildLoadModel(g);
+    GammaSetup& s = setups.emplace_back();
+    s.graph = ChainWorkload(gamma * 1e-3, graph_rng);
+    auto model = rod::query::BuildLoadModel(s.graph);
     if (!model.ok()) {
       std::cerr << model.status().ToString() << "\n";
       return 1;
     }
-    const PlacementEvaluator eval(*model, system);
+    s.model = std::move(*model);
+    const PlacementEvaluator eval(s.model, system);
 
-    auto rod_plain = rod::place::RodPlace(*model, system);
-    auto sweep = rod::place::ClusteredRodPlace(*model, g, system);
-    rod::Rng base_rng(1);
+    s.rod_plain = rod::place::RodPlace(s.model, system);
+    s.sweep = rod::place::ClusteredRodPlace(s.model, s.graph, system);
     Vector flat(3, 1.0);
-    auto connected =
-        rod::place::ConnectedLoadBalancePlace(*model, g, system, flat);
-    if (!rod_plain.ok() || !sweep.ok() || !connected.ok()) {
+    s.connected =
+        rod::place::ConnectedLoadBalancePlace(s.model, s.graph, system, flat);
+    if (!s.rod_plain.ok() || !s.sweep.ok() || !s.connected.ok()) {
       std::cerr << "placement failed\n";
       return 1;
     }
 
-    // Operating point: 70% of plain ROD's comm-free uniform boundary.
+    // Operating point: 70% of plain ROD's comm-free uniform boundary
+    // (the analytic boundary scale along the all-ones direction).
     Vector unit(3, 1.0);
-    const Vector util = eval.NodeUtilizationAt(*rod_plain, unit);
-    const double rate =
-        0.7 / *std::max_element(util.begin(), util.end());
-    rod::sim::SimulationOptions sopts;
-    sopts.duration = 60.0;
-    std::vector<rod::trace::RateTrace> traces;
+    auto boundary = eval.BoundaryScaleAlong(*s.rod_plain, unit);
+    if (!boundary.ok()) {
+      std::cerr << boundary.status().ToString() << "\n";
+      return 1;
+    }
+    const double rate = 0.7 * *boundary;
     for (int k = 0; k < 3; ++k) {
       rod::trace::RateTrace t;
       t.window_sec = sopts.duration;
       t.rates = {rate};
-      traces.push_back(std::move(t));
+      s.traces.push_back(std::move(t));
     }
 
-    rod::bench::Banner("gamma = " + Fmt(gamma, 1) +
+    for (const Placement* plan : {&*s.rod_plain, &s.sweep->placement,
+                                  &*s.connected}) {
+      rod::sim::SimulationCase c;
+      c.graph = &s.graph;
+      c.placement = plan;
+      c.system = &system;
+      c.inputs = &s.traces;
+      c.options = sopts;
+      cases.push_back(c);
+    }
+  }
+  const auto results = rod::sim::SimulateSweep(cases);
+
+  for (size_t gi = 0; gi < kGammas.size(); ++gi) {
+    const GammaSetup& s = setups[gi];
+    rod::bench::Banner("gamma = " + Fmt(kGammas[gi], 1) +
                        " (comm cost / ~avg op cost)");
     Table table({"plan", "clusters", "cross arcs", "comm-aware r",
                  "sim p95 ms", "sim max util", "saturated"});
-    struct Case {
+    struct Row {
       std::string name;
       const Placement* plan;
       size_t clusters;
     };
-    const std::vector<Case> cases = {
-        {"ROD (unclustered)", &*rod_plain, g.num_operators()},
-        {"ROD + clustering sweep", &sweep->placement,
-         sweep->clustering.num_clusters()},
-        {"Connected", &*connected, 0},
+    const std::vector<Row> rows = {
+        {"ROD (unclustered)", &*s.rod_plain, s.graph.num_operators()},
+        {"ROD + clustering sweep", &s.sweep->placement,
+         s.sweep->clustering.num_clusters()},
+        {"Connected", &*s.connected, 0},
     };
-    for (const Case& c : cases) {
-      auto run =
-          rod::sim::SimulatePlacement(g, *c.plan, system, traces, sopts);
+    for (size_t ri = 0; ri < rows.size(); ++ri) {
+      const Row& row = rows[ri];
+      const auto& run = results[gi * rows.size() + ri];
       if (!run.ok()) {
-        std::cerr << c.name << ": " << run.status().ToString() << "\n";
+        std::cerr << row.name << ": " << run.status().ToString() << "\n";
         return 1;
       }
-      table.AddRow({c.name,
-                    c.clusters == 0 ? "-" : std::to_string(c.clusters),
-                    std::to_string(c.plan->CountCrossNodeArcs(g)),
-                    Fmt(CommAwarePlaneDistance(*c.plan, *model, g, system)),
+      table.AddRow({row.name,
+                    row.clusters == 0 ? "-" : std::to_string(row.clusters),
+                    std::to_string(row.plan->CountCrossNodeArcs(s.graph)),
+                    Fmt(CommAwarePlaneDistance(*row.plan, s.model, s.graph,
+                                               system)),
                     Fmt(run->p95_latency * 1e3, 2),
                     Fmt(run->max_node_utilization, 2),
                     run->saturated ? "YES" : "no"});

@@ -1,0 +1,371 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Perf baseline of the tuple-level simulation engine. Sweeps graph size x
+// offered load on the single-run hot path (calendar queue + streaming
+// latency metrics vs the legacy binary-heap + store-all-percentiles
+// configuration, both in this binary) and the sweep runner (N independent
+// runs across the thread pool), reporting events/sec, tuples/sec, sweep
+// wall time, and bit-exactness between every configuration pair that must
+// agree. Emits a machine-readable JSON baseline (fields documented in
+// docs/BENCH_ENGINE.md) so later PRs can regress against it.
+//
+//   bench_engine_perf [--mode smoke|full] [--out=PATH] [--threads=1,2,4,8]
+//
+// --mode smoke shrinks the sweep for CI; --out defaults to
+// BENCH_engine.json. Exit code is nonzero iff a bit-exactness check fails.
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "placement/evaluator.h"
+#include "placement/rod.h"
+#include "query/graph_gen.h"
+#include "query/load_model.h"
+#include "runtime/sweep.h"
+
+namespace {
+
+using namespace rod;
+
+struct Workload {
+  size_t streams = 0;
+  size_t ops_per_tree = 0;
+  double load_level = 0.0;  ///< Fraction of the placement's boundary.
+  size_t total_ops() const { return streams * ops_per_tree; }
+};
+
+struct SingleRun {
+  Workload w;
+  double duration = 0.0;
+  size_t reps = 0;
+  uint64_t events = 0;  ///< Events per rep (identical across reps).
+  size_t input_tuples = 0;
+  size_t output_tuples = 0;
+  double legacy_events_per_sec = 0.0;  ///< kBinaryHeap + exact_percentiles.
+  double events_per_sec = 0.0;         ///< kCalendar + streaming metrics.
+  double tuples_per_sec = 0.0;
+  double speedup_vs_legacy = 0.0;
+  bool bitexact_vs_heap = false;
+};
+
+struct SweepRun {
+  Workload w;
+  size_t cases = 0;
+  size_t threads = 0;
+  double seconds = 0.0;
+  double speedup_vs_1 = 0.0;
+  bool bitexact_vs_seq = false;
+};
+
+/// One compiled workload: random trees, ROD-placed, rates at `load_level`
+/// of the analytic uniform boundary.
+struct Setup {
+  query::QueryGraph graph;
+  place::SystemSpec system;
+  Result<place::Placement> plan{Status::Internal("unset")};
+  std::vector<trace::RateTrace> traces;
+};
+
+Setup MakeSetup(const Workload& w, double duration, uint64_t seed) {
+  Setup s;
+  query::GraphGenOptions gen;
+  gen.num_input_streams = w.streams;
+  gen.ops_per_tree = w.ops_per_tree;
+  // Cheap operators (vs the paper's 0.1-10ms delay ops): the feasibility
+  // boundary moves to thousands of tuples/sec, so a run executes millions
+  // of events and the measurement exercises the hot loop, not the setup.
+  gen.min_cost = 2e-6;
+  gen.max_cost = 2e-5;
+  Rng rng(seed);
+  s.graph = query::GenerateRandomTrees(gen, rng);
+  auto model = query::BuildLoadModel(s.graph);
+  ROD_CHECK_OK(model.status());
+  s.system = place::SystemSpec::Homogeneous(std::max<size_t>(2, w.streams));
+  s.plan = place::RodPlace(*model, s.system);
+  ROD_CHECK_OK(s.plan.status());
+  const place::PlacementEvaluator eval(*model, s.system);
+  Vector unit(model->num_system_inputs(), 1.0);
+  auto boundary = eval.BoundaryScaleAlong(*s.plan, unit);
+  ROD_CHECK_OK(boundary.status());
+  const double rate = w.load_level * *boundary;
+  for (size_t k = 0; k < w.streams; ++k) {
+    trace::RateTrace t;
+    t.window_sec = duration;
+    t.rates = {rate};
+    s.traces.push_back(std::move(t));
+  }
+  return s;
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// The fields every configuration pair must agree on bit-for-bit.
+bool SameResult(const sim::SimulationResult& a,
+                const sim::SimulationResult& b) {
+  return a.input_tuples == b.input_tuples &&
+         a.output_tuples == b.output_tuples &&
+         a.processed_events == b.processed_events &&
+         a.mean_latency == b.mean_latency && a.max_latency == b.max_latency &&
+         a.node_utilization == b.node_utilization &&
+         a.final_backlog == b.final_backlog && a.saturated == b.saturated;
+}
+
+std::vector<size_t> ParseThreadList(const std::string& spec) {
+  std::vector<size_t> threads;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const unsigned long v = std::stoul(item);
+    if (v > 0) threads.push_back(v);
+  }
+  return threads;
+}
+
+std::string JsonBool(bool b) { return b ? "true" : "false"; }
+
+void WriteJson(const std::string& path, const std::string& mode,
+               const std::vector<SingleRun>& singles,
+               const std::vector<SweepRun>& sweeps) {
+  std::ofstream out(path);
+  out.precision(15);
+  out << "{\n"
+      << "  \"bench\": \"bench_engine_perf\",\n"
+      << "  \"mode\": \"" << mode << "\",\n"
+      << "  \"hardware_concurrency\": "
+      << std::max(1u, std::thread::hardware_concurrency()) << ",\n"
+      << "  \"single_runs\": [\n";
+  for (size_t i = 0; i < singles.size(); ++i) {
+    const SingleRun& r = singles[i];
+    out << "    {\"streams\": " << r.w.streams
+        << ", \"total_ops\": " << r.w.total_ops()
+        << ", \"load_level\": " << r.w.load_level
+        << ", \"duration\": " << r.duration << ", \"reps\": " << r.reps
+        << ", \"events\": " << r.events
+        << ", \"input_tuples\": " << r.input_tuples
+        << ", \"output_tuples\": " << r.output_tuples
+        << ", \"legacy_events_per_sec\": " << r.legacy_events_per_sec
+        << ", \"events_per_sec\": " << r.events_per_sec
+        << ", \"tuples_per_sec\": " << r.tuples_per_sec
+        << ", \"speedup_vs_legacy\": " << r.speedup_vs_legacy
+        << ", \"bitexact_vs_heap\": " << JsonBool(r.bitexact_vs_heap) << "}"
+        << (i + 1 < singles.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"sweeps\": [\n";
+  for (size_t i = 0; i < sweeps.size(); ++i) {
+    const SweepRun& r = sweeps[i];
+    out << "    {\"streams\": " << r.w.streams
+        << ", \"total_ops\": " << r.w.total_ops()
+        << ", \"load_level\": " << r.w.load_level
+        << ", \"cases\": " << r.cases << ", \"threads\": " << r.threads
+        << ", \"seconds\": " << r.seconds
+        << ", \"speedup_vs_1\": " << r.speedup_vs_1
+        << ", \"bitexact_vs_seq\": " << JsonBool(r.bitexact_vs_seq) << "}"
+        << (i + 1 < sweeps.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mode = "full";
+  std::string out_path = "BENCH_engine.json";
+  std::vector<size_t> threads_list;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--mode" && a + 1 < argc) {
+      mode = argv[++a];
+    } else if (arg.rfind("--mode=", 0) == 0) {
+      mode = arg.substr(7);
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_path = arg.substr(6);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      threads_list = ParseThreadList(arg.substr(10));
+    } else {
+      std::cerr << "usage: bench_engine_perf [--mode smoke|full] "
+                   "[--out=PATH] [--threads=1,2,4,8]\n";
+      return 2;
+    }
+  }
+  if (mode != "smoke" && mode != "full") {
+    std::cerr << "unknown mode '" << mode << "' (want smoke or full)\n";
+    return 2;
+  }
+  const bool smoke = mode == "smoke";
+  if (threads_list.empty()) {
+    threads_list = smoke ? std::vector<size_t>{1, 2}
+                         : std::vector<size_t>{1, 2, 4, 8};
+  }
+
+  // Graph size x offered load; the last entry is the "largest smoke
+  // configuration" the acceptance criterion pins the single-run speedup to.
+  const std::vector<Workload> workloads =
+      smoke ? std::vector<Workload>{{2, 10, 0.5}, {4, 25, 0.8}}
+            : std::vector<Workload>{{2, 10, 0.5}, {4, 25, 0.5}, {4, 25, 0.8},
+                                    {5, 40, 0.8}};
+  const double duration = smoke ? 15.0 : 40.0;
+  const size_t reps = smoke ? 2 : 4;
+  // The sweep section re-simulates the largest workload many times per
+  // thread count, so it gets a shorter horizon than the single-run path.
+  const double sweep_duration = smoke ? 6.0 : 12.0;
+  const size_t sweep_cases = smoke ? 6 : 16;
+
+  bench::Banner("engine single-run hot path (calendar+streaming vs legacy)");
+  bench::Table single_table({"streams", "ops", "load", "events", "legacy ev/s",
+                             "new ev/s", "speedup", "tuples/s", "bitexact"});
+  std::vector<SingleRun> singles;
+  bool all_bitexact = true;
+
+  for (const Workload& w : workloads) {
+    const Setup s = MakeSetup(w, duration, /*seed=*/0xe9f0 + w.total_ops());
+
+    sim::SimulationOptions fast;
+    fast.duration = duration;
+    fast.event_queue = sim::EventQueueImpl::kCalendar;
+    // A realistic wide-area hop keeps hundreds of deliveries in flight,
+    // so the event queue runs deep enough to exercise the queue kernel
+    // (identical for every configuration; does not affect bit-exactness).
+    fast.network_latency = 10e-3;
+    sim::SimulationOptions legacy = fast;
+    legacy.event_queue = sim::EventQueueImpl::kBinaryHeap;
+    legacy.exact_percentiles = true;
+    sim::SimulationOptions heap_fast = fast;  // heap + streaming: isolates
+    heap_fast.event_queue = sim::EventQueueImpl::kBinaryHeap;
+
+    auto time_runs = [&](const sim::SimulationOptions& options) {
+      // One short warmup (grows the thread-local workspace), then `reps`
+      // individually timed runs; best-of-reps filters scheduler noise.
+      sim::SimulationOptions warm_options = options;
+      warm_options.duration = std::min(duration, 2.0);
+      auto warm = sim::SimulatePlacement(s.graph, *s.plan, s.system,
+                                         s.traces, warm_options);
+      ROD_CHECK_OK(warm.status());
+      double best = 0.0;
+      Result<sim::SimulationResult> result(Status::Internal("no reps"));
+      for (size_t r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        auto run = sim::SimulatePlacement(s.graph, *s.plan, s.system,
+                                          s.traces, options);
+        const double secs = SecondsSince(t0);
+        ROD_CHECK_OK(run.status());
+        if (r == 0 || secs < best) best = secs;
+        result = std::move(run);
+      }
+      return std::pair(std::move(*result), best);
+    };
+
+    auto [fast_result, fast_secs] = time_runs(fast);
+    auto [legacy_result, legacy_secs] = time_runs(legacy);
+    auto [heap_result, heap_secs] = time_runs(heap_fast);
+    (void)heap_secs;
+
+    SingleRun r;
+    r.w = w;
+    r.duration = duration;
+    r.reps = reps;
+    r.events = fast_result.processed_events;
+    r.input_tuples = fast_result.input_tuples;
+    r.output_tuples = fast_result.output_tuples;
+    r.legacy_events_per_sec = static_cast<double>(r.events) / legacy_secs;
+    r.events_per_sec = static_cast<double>(r.events) / fast_secs;
+    r.tuples_per_sec = static_cast<double>(r.input_tuples) / fast_secs;
+    r.speedup_vs_legacy = r.events_per_sec / r.legacy_events_per_sec;
+    // Calendar + streaming must equal heap + streaming bit-for-bit (the
+    // percentile mode is allowed to differ from `legacy`, the queue not).
+    r.bitexact_vs_heap = SameResult(fast_result, heap_result) &&
+                         fast_result.p99_latency == heap_result.p99_latency;
+    all_bitexact = all_bitexact && r.bitexact_vs_heap;
+    singles.push_back(r);
+    single_table.AddRow(
+        {std::to_string(w.streams), std::to_string(w.total_ops()),
+         bench::Fmt(w.load_level, 1), std::to_string(r.events),
+         bench::Fmt(r.legacy_events_per_sec / 1e6, 2),
+         bench::Fmt(r.events_per_sec / 1e6, 2),
+         bench::Fmt(r.speedup_vs_legacy, 2), bench::Fmt(r.tuples_per_sec / 1e6, 2),
+         r.bitexact_vs_heap ? "yes" : "NO"});
+  }
+  single_table.Print();
+
+  bench::Banner("sweep runner wall time (largest workload)");
+  bench::Table sweep_table(
+      {"cases", "threads", "seconds", "speedup", "bitexact"});
+  std::vector<SweepRun> sweeps;
+  {
+    const Workload& w = workloads.back();
+    const Setup s =
+        MakeSetup(w, sweep_duration, /*seed=*/0xe9f0 + w.total_ops());
+    const auto seeds = sim::ForkSeeds(0x5eedba5e, sweep_cases);
+    std::vector<sim::SimulationCase> cases;
+    for (size_t i = 0; i < sweep_cases; ++i) {
+      sim::SimulationCase c;
+      c.graph = &s.graph;
+      c.placement = &*s.plan;
+      c.system = &s.system;
+      c.inputs = &s.traces;
+      c.options.duration = sweep_duration;
+      c.options.seed = seeds[i];
+      cases.push_back(c);
+    }
+    std::vector<sim::SimulationResult> reference;
+    double base_secs = 0.0;
+    {
+      // One warm pass grows the pool workers' thread-local workspaces.
+      sim::SweepOptions warm;
+      warm.num_threads = threads_list.back();
+      (void)sim::SimulateSweep(cases, warm);
+    }
+    for (size_t threads : threads_list) {
+      sim::SweepOptions sweep;
+      sweep.num_threads = threads;
+      const auto t0 = std::chrono::steady_clock::now();
+      auto results = sim::SimulateSweep(cases, sweep);
+      const double secs = SecondsSince(t0);
+      bool bitexact = true;
+      if (threads == threads_list.front()) {
+        base_secs = secs;
+        for (auto& r : results) {
+          ROD_CHECK_OK(r.status());
+          reference.push_back(std::move(*r));
+        }
+      } else {
+        for (size_t i = 0; i < results.size(); ++i) {
+          ROD_CHECK_OK(results[i].status());
+          bitexact = bitexact && SameResult(*results[i], reference[i]) &&
+                     results[i]->p99_latency == reference[i].p99_latency;
+        }
+      }
+      all_bitexact = all_bitexact && bitexact;
+      SweepRun r;
+      r.w = w;
+      r.cases = sweep_cases;
+      r.threads = threads;
+      r.seconds = secs;
+      r.speedup_vs_1 = base_secs / secs;
+      r.bitexact_vs_seq = bitexact;
+      sweeps.push_back(r);
+      sweep_table.AddRow({std::to_string(sweep_cases),
+                          std::to_string(threads), bench::Fmt(secs, 3),
+                          bench::Fmt(r.speedup_vs_1, 2),
+                          bitexact ? "yes" : "NO"});
+    }
+  }
+  sweep_table.Print();
+
+  std::cout << "\nall bit-exactness checks passed: "
+            << (all_bitexact ? "yes" : "NO") << "\n";
+  WriteJson(out_path, mode, singles, sweeps);
+  std::cout << "wrote " << out_path << " (" << singles.size()
+            << " single runs, " << sweeps.size() << " sweep points)\n";
+  return all_bitexact ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "runtime/sweep.h"
 
 namespace {
 
@@ -40,42 +41,68 @@ int main() {
 
   // Each point averages over several independent graph realizations (the
   // paper repeats every algorithm except ROD ten times; averaging over
-  // graphs additionally smooths single-realization noise).
+  // graphs additionally smooths single-realization noise). Every
+  // (size, graph) realization is an independent unit of work — graph
+  // generation, placement trials, and volume estimates are pure functions
+  // of the unit index — so the grid runs as one deterministic SweepMap.
   constexpr int kGraphs = 4;
+  struct Unit {
+    rod::Status status;
+    // Per-algorithm ratio-to-ideal of every trial, AlgorithmNames() order.
+    std::vector<std::vector<double>> ratios;
+  };
+  const size_t num_units = kOpCounts.size() * kGraphs;
+  const auto units = rod::sim::SweepMap(num_units, [&](size_t u) {
+    const size_t total_ops = kOpCounts[u / kGraphs];
+    const int gi = static_cast<int>(u % kGraphs);
+    Unit unit;
+    rod::query::GraphGenOptions gen;
+    gen.num_input_streams = kInputs;
+    gen.ops_per_tree = total_ops / kInputs;
+    rod::Rng graph_rng(0xf14000 + total_ops * 17 + gi);
+    const rod::query::QueryGraph g =
+        rod::query::GenerateRandomTrees(gen, graph_rng);
+    auto model = rod::query::BuildLoadModel(g);
+    if (!model.ok()) {
+      unit.status = model.status();
+      return unit;
+    }
+    const SystemSpec system = SystemSpec::Homogeneous(kNodes);
+    const PlacementEvaluator eval(*model, system);
+    const AlgorithmSuite suite{g, *model, system};
+
+    for (size_t a = 0; a < AlgorithmNames().size(); ++a) {
+      const std::string& name = AlgorithmNames()[a];
+      rod::Rng trial_rng(0xabc + total_ops * 13 + gi);
+      const int trials = name == "ROD" ? 1 : kTrials;
+      std::vector<double> alg_ratios;
+      for (int t = 0; t < trials; ++t) {
+        auto plan = suite.Run(name, trial_rng);
+        if (!plan.ok()) {
+          unit.status = plan.status();
+          return unit;
+        }
+        alg_ratios.push_back(*eval.RatioToIdeal(*plan, vol));
+      }
+      unit.ratios.push_back(std::move(alg_ratios));
+    }
+    return unit;
+  });
+
   std::vector<Row> rows;
-  for (size_t total_ops : kOpCounts) {
+  for (size_t s = 0; s < kOpCounts.size(); ++s) {
     std::vector<rod::RunningStats> per_alg(AlgorithmNames().size());
     for (int gi = 0; gi < kGraphs; ++gi) {
-      rod::query::GraphGenOptions gen;
-      gen.num_input_streams = kInputs;
-      gen.ops_per_tree = total_ops / kInputs;
-      rod::Rng graph_rng(0xf14000 + total_ops * 17 + gi);
-      const rod::query::QueryGraph g =
-          rod::query::GenerateRandomTrees(gen, graph_rng);
-      auto model = rod::query::BuildLoadModel(g);
-      if (!model.ok()) {
-        std::cerr << model.status().ToString() << "\n";
+      const Unit& unit = units[s * kGraphs + gi];
+      if (!unit.status.ok()) {
+        std::cerr << unit.status.ToString() << "\n";
         return 1;
       }
-      const SystemSpec system = SystemSpec::Homogeneous(kNodes);
-      const PlacementEvaluator eval(*model, system);
-      const AlgorithmSuite suite{g, *model, system};
-
-      for (size_t a = 0; a < AlgorithmNames().size(); ++a) {
-        const std::string& name = AlgorithmNames()[a];
-        rod::Rng trial_rng(0xabc + total_ops * 13 + gi);
-        const int trials = name == "ROD" ? 1 : kTrials;
-        for (int t = 0; t < trials; ++t) {
-          auto plan = suite.Run(name, trial_rng);
-          if (!plan.ok()) {
-            std::cerr << name << ": " << plan.status().ToString() << "\n";
-            return 1;
-          }
-          per_alg[a].Add(*eval.RatioToIdeal(*plan, vol));
-        }
+      for (size_t a = 0; a < per_alg.size(); ++a) {
+        for (double r : unit.ratios[a]) per_alg[a].Add(r);
       }
     }
-    Row row{total_ops, {}};
+    Row row{kOpCounts[s], {}};
     for (const auto& stats : per_alg) row.ratios.push_back(stats.mean());
     rows.push_back(std::move(row));
   }

@@ -39,16 +39,32 @@ double RunningStats::variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
+void ReservoirSampler::Add(double x) {
+  ++count_;
+  if (capacity_ == 0 || samples_.size() < capacity_) {
+    samples_.push_back(x);
+    return;
+  }
+  // Algorithm R: the incoming observation replaces a uniformly random
+  // retained one with probability capacity / count.
+  const uint64_t j = rng_.NextIndex(count_);
+  if (j < capacity_) samples_[j] = x;
+}
+
 double Percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  assert(q >= 0.0 && q <= 1.0);
   std::sort(values.begin(), values.end());
-  if (values.size() == 1) return values[0];
-  const double pos = q * static_cast<double>(values.size() - 1);
+  return QuantileOfSorted(values, q);
+}
+
+double QuantileOfSorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  assert(q >= 0.0 && q <= 1.0);
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, values.size() - 1);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return values[lo] + frac * (values[hi] - values[lo]);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
 }
 
 double PearsonCorrelation(const std::vector<double>& a,

@@ -8,8 +8,12 @@
 #define ROD_COMMON_STATS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
+#include <span>
 #include <vector>
+
+#include "common/random.h"
 
 namespace rod {
 
@@ -39,10 +43,53 @@ class RunningStats {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
+/// Fixed-memory uniform sample of a stream (Vitter's Algorithm R). With
+/// `capacity` 0 every observation is kept (exact mode); otherwise at most
+/// `capacity` doubles are retained and each of the n observations seen so
+/// far is present with probability capacity/n. Replacement draws come
+/// from an internal Rng seeded at construction, so the retained set is a
+/// pure function of (capacity, seed, observation order) — deterministic
+/// across runs, threads, and platforms.
+class ReservoirSampler {
+ public:
+  explicit ReservoirSampler(size_t capacity = 0, uint64_t seed = 0)
+      : capacity_(capacity), rng_(seed) {}
+
+  /// Incorporates one observation.
+  void Add(double x);
+
+  /// Total observations offered (not the retained count).
+  size_t count() const { return count_; }
+
+  /// True when every observation is retained (capacity 0, or the stream
+  /// has not yet exceeded the capacity).
+  bool exact() const { return capacity_ == 0 || count_ <= capacity_; }
+
+  /// The retained sample, in an implementation-defined order.
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// Drops all observations; keeps capacity, seed state, and storage.
+  void Clear() {
+    samples_.clear();
+    count_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  size_t count_ = 0;
+  std::vector<double> samples_;
+  Rng rng_;
+};
+
 /// Batch percentile of `values` (q in [0,1]) using linear interpolation
 /// between order statistics. Copies and sorts; intended for end-of-run
 /// metric extraction, not hot paths. Returns 0 for empty input.
 double Percentile(std::vector<double> values, double q);
+
+/// Percentile of an already ascending-sorted span (q in [0,1]), linear
+/// interpolation between order statistics; the allocation-free core of
+/// `Percentile`. Returns 0 for empty input.
+double QuantileOfSorted(std::span<const double> sorted, double q);
 
 /// Pearson correlation coefficient of two equally sized series; returns 0
 /// when either series is constant (the correlation-based baseline treats

@@ -1,6 +1,9 @@
 #include "placement/evaluator.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "geometry/hyperplane.h"
@@ -67,6 +70,59 @@ bool PlacementEvaluator::FeasibleAt(const Placement& placement,
     if (u > 1.0 + tol) return false;
   }
   return true;
+}
+
+Result<double> PlacementEvaluator::BoundaryScaleAlong(
+    const Placement& placement, std::span<const double> direction,
+    double rel_tol) const {
+  if (direction.size() != model_->num_system_inputs()) {
+    return Status::InvalidArgument("one direction entry per input stream");
+  }
+  double max_dir = 0.0;
+  for (double d : direction) {
+    if (d < 0.0 || !std::isfinite(d)) {
+      return Status::InvalidArgument("direction must be finite, >= 0");
+    }
+    max_dir = std::max(max_dir, d);
+  }
+  if (max_dir <= 0.0) {
+    return Status::InvalidArgument("direction must have a positive entry");
+  }
+
+  Vector scaled(direction.begin(), direction.end());
+  auto feasible_at_scale = [&](double s) {
+    for (size_t k = 0; k < direction.size(); ++k) scaled[k] = s * direction[k];
+    return FeasibleAt(placement, scaled);
+  };
+
+  if (!model_->has_aux_vars()) {
+    // Linear model: utilization scales linearly, closed form.
+    const Vector util = NodeUtilizationAt(placement, direction);
+    double max_util = 0.0;
+    for (double u : util) max_util = std::max(max_util, u);
+    if (max_util <= 0.0) return std::numeric_limits<double>::infinity();
+    return 1.0 / max_util;
+  }
+
+  // Linearized model: load grows superlinearly in s (join auxiliary
+  // variables are rate products), so bracket by doubling and bisect.
+  double lo = 0.0;
+  double hi = 1.0;
+  size_t guard = 0;
+  while (feasible_at_scale(hi)) {
+    lo = hi;
+    hi *= 2.0;
+    if (++guard > 1024) return std::numeric_limits<double>::infinity();
+  }
+  while (hi - lo > rel_tol * hi) {
+    const double mid = 0.5 * (lo + hi);
+    if (feasible_at_scale(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
 }
 
 Result<double> PlacementEvaluator::IdealVolume() const {

@@ -51,6 +51,18 @@ class PlacementEvaluator {
                   std::span<const double> system_rates,
                   double tol = 1e-9) const;
 
+  /// Analytic feasibility boundary along `direction` (componentwise >= 0,
+  /// not all zero) in physical rate space: the largest scale s with
+  /// FeasibleAt(s * direction). Purely linear models resolve in closed
+  /// form (1 / max utilization at `direction`); linearized models with
+  /// auxiliary variables — where load is no longer linear in s — use a
+  /// bracketed bisection on FeasibleAt with relative tolerance `rel_tol`.
+  /// Returns +infinity when no node ever loads along the direction. The
+  /// model-level counterpart of the engine's SimulatedBoundaryScale.
+  Result<double> BoundaryScaleAlong(const Placement& placement,
+                                    std::span<const double> direction,
+                                    double rel_tol = 1e-9) const;
+
   /// Volume of the ideal feasible set in the original rate space
   /// (Theorem 1). Only meaningful for purely linear models (the original
   /// space of a linearized model is not the Lebesgue box the integral

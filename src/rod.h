@@ -57,6 +57,7 @@
 #include "runtime/fluid.h"
 #include "runtime/metrics.h"
 #include "runtime/supervisor.h"
+#include "runtime/sweep.h"
 #include "trace/bmodel.h"
 #include "trace/hurst.h"
 #include "trace/io.h"

@@ -22,6 +22,11 @@ Result<Deployment> CompileDeployment(const query::QueryGraph& graph,
   for (query::OperatorId j = 0; j < graph.num_operators(); ++j) {
     const query::OperatorSpec& spec = graph.spec(j);
     CompiledOp& op = dep.ops[j];
+    if (placement.node_of(j) >= system.num_nodes()) {
+      // Placement's constructor asserts this, but asserts vanish in release
+      // builds and placements also arrive via deserialization.
+      return Status::InvalidArgument("operator assigned to nonexistent node");
+    }
     op.node = static_cast<uint32_t>(placement.node_of(j));
     op.is_join = spec.kind == query::OperatorKind::kJoin;
     op.cost = spec.cost;

@@ -4,9 +4,10 @@
 #include <array>
 #include <cassert>
 #include <cmath>
-#include <deque>
 #include <memory>
+#include <span>
 #include <string>
+#include <utility>
 
 #include "common/stats.h"
 #include "runtime/event_queue.h"
@@ -19,7 +20,7 @@ namespace rod::sim {
 namespace {
 
 /// A tuple travelling between nodes (constant network latency makes the
-/// delivery order FIFO, so a deque suffices). The destination node is
+/// delivery order FIFO, so a queue suffices). The destination node is
 /// resolved at *delivery* time: a supervisor may re-home the target
 /// operator while the tuple is on the wire.
 struct PendingDelivery {
@@ -59,18 +60,72 @@ struct InFlight {
   uint64_t probes = 0;  ///< Join pairings counted at service start.
 };
 
-/// Percentile summary of one incident phase's latency samples.
-PhaseLatency SummarizePhase(const std::vector<double>& samples) {
+/// Percentile summary of one incident phase's latency samples; `scratch`
+/// holds the sorted copy (reused across phases, no per-phase vectors).
+PhaseLatency SummarizePhase(std::span<const double> samples,
+                            std::vector<double>& scratch) {
   PhaseLatency p;
   p.outputs = samples.size();
-  if (!samples.empty()) {
-    p.mean = Mean(samples);
-    p.p50 = Percentile(samples, 0.50);
-    p.p95 = Percentile(samples, 0.95);
-    p.p99 = Percentile(samples, 0.99);
-  }
+  if (samples.empty()) return p;
+  scratch.assign(samples.begin(), samples.end());
+  std::sort(scratch.begin(), scratch.end());
+  double sum = 0.0;
+  for (double x : scratch) sum += x;
+  p.mean = sum / static_cast<double>(scratch.size());
+  p.p50 = QuantileOfSorted(scratch, 0.50);
+  p.p95 = QuantileOfSorted(scratch, 0.95);
+  p.p99 = QuantileOfSorted(scratch, 0.99);
   return p;
 }
+
+/// Per-run mutable state, pooled so repeated Simulate() calls (feasibility
+/// probes, sweeps) reuse warmed-up allocations instead of rebuilding every
+/// vector from scratch. One workspace per thread; a re-entrant call on the
+/// same thread (defensive — recovery agents do not simulate) falls back to
+/// a heap-allocated scratch workspace.
+struct EngineWorkspace {
+  bool in_use = false;
+
+  Deployment dep;  ///< Working copy of the routing tables.
+  std::vector<Rng> input_rngs;
+  std::vector<std::unique_ptr<ArrivalGenerator>> arrivals;
+  std::vector<SimNode> nodes;
+  std::vector<InFlight> inflight;
+  std::vector<std::array<FifoBuffer<double>, 2>> join_state;
+  std::vector<char> node_up;
+  std::vector<uint64_t> service_token;
+  std::vector<double> paused_until;
+  std::vector<std::vector<Task>> migration_buffer;
+  std::vector<Task> release_scratch;  ///< Replay staging, kMigrationRelease.
+  EventQueue events;
+  FifoBuffer<PendingDelivery> network;
+  std::vector<SimulationResult::OperatorStats> op_stats;
+  std::vector<double> phase_scratch;  ///< SummarizePhase sort buffer.
+};
+
+class WorkspaceLease {
+ public:
+  WorkspaceLease() {
+    thread_local EngineWorkspace tls;
+    if (tls.in_use) {
+      owned_ = std::make_unique<EngineWorkspace>();
+      ws_ = owned_.get();
+    } else {
+      ws_ = &tls;
+    }
+    ws_->in_use = true;
+  }
+  ~WorkspaceLease() { ws_->in_use = false; }
+  WorkspaceLease(const WorkspaceLease&) = delete;
+  WorkspaceLease& operator=(const WorkspaceLease&) = delete;
+
+  EngineWorkspace& operator*() const { return *ws_; }
+  EngineWorkspace* operator->() const { return ws_; }
+
+ private:
+  EngineWorkspace* ws_ = nullptr;
+  std::unique_ptr<EngineWorkspace> owned_;
+};
 
 }  // namespace
 
@@ -90,48 +145,92 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
     ROD_RETURN_IF_ERROR(options.failures->Validate(deployment.num_nodes()));
   }
 
+  WorkspaceLease lease;
+  EngineWorkspace& ws = *lease;
+
   // Working copy of the routing tables: supervised recovery re-homes
-  // operators in place mid-run (ReassignOperators).
-  Deployment dep = deployment;
+  // operators in place mid-run (ReassignOperators). Copy-assignment into
+  // the pooled copy reuses its vector capacity.
+  ws.dep = deployment;
+  Deployment& dep = ws.dep;
+  const size_t num_nodes = dep.num_nodes();
+  const size_t num_ops = dep.ops.size();
 
   Rng master(options.seed);
-  std::vector<Rng> input_rngs;
-  input_rngs.reserve(inputs.size());
-  std::vector<std::unique_ptr<ArrivalGenerator>> arrivals;
-  for (size_t k = 0; k < inputs.size(); ++k) input_rngs.push_back(master.Fork());
+  ws.input_rngs.clear();
+  ws.input_rngs.reserve(inputs.size());
+  ws.arrivals.clear();
   for (size_t k = 0; k < inputs.size(); ++k) {
-    arrivals.push_back(std::make_unique<ArrivalGenerator>(
-        inputs[k], options.poisson_arrivals, &input_rngs[k]));
+    ws.input_rngs.push_back(master.Fork());
   }
+  for (size_t k = 0; k < inputs.size(); ++k) {
+    ws.arrivals.push_back(std::make_unique<ArrivalGenerator>(
+        inputs[k], options.poisson_arrivals, &ws.input_rngs[k]));
+  }
+  auto& arrivals = ws.arrivals;
   Rng emission_rng = master.Fork();
 
-  std::vector<SimNode> nodes;
-  nodes.reserve(dep.num_nodes());
-  for (double cap : dep.system.capacities) {
-    nodes.emplace_back(cap, options.scheduling);
+  while (ws.nodes.size() < num_nodes) {
+    ws.nodes.emplace_back(1.0, options.scheduling);
   }
-  std::vector<InFlight> inflight(nodes.size());
+  ws.nodes.erase(ws.nodes.begin() + static_cast<ptrdiff_t>(num_nodes),
+                 ws.nodes.end());
+  for (size_t i = 0; i < num_nodes; ++i) {
+    ws.nodes[i].Reset(dep.system.capacities[i], options.scheduling);
+  }
+  auto& nodes = ws.nodes;
+  ws.inflight.assign(num_nodes, InFlight{});
+  auto& inflight = ws.inflight;
 
   // Join window buffers: per operator, per port, timestamps of buffered
   // tuples (empty for non-joins). Indexed by operator id, so the state
   // survives a supervised migration — the pause models its transfer.
-  std::vector<std::array<std::deque<double>, 2>> join_state(dep.ops.size());
+  ws.join_state.resize(num_ops);
+  for (auto& state : ws.join_state) {
+    state[0].clear();
+    state[1].clear();
+  }
+  auto& join_state = ws.join_state;
 
   // Chaos state: node liveness, per-node service tokens (a crash bumps the
   // token so the stale completion event is ignored), migration pauses.
-  std::vector<char> node_up(nodes.size(), 1);
-  std::vector<uint64_t> service_token(nodes.size(), 0);
-  std::vector<double> paused_until(dep.ops.size(), 0.0);
-  std::vector<std::vector<Task>> migration_buffer(dep.ops.size());
+  ws.node_up.assign(num_nodes, 1);
+  ws.service_token.assign(num_nodes, 0);
+  ws.paused_until.assign(num_ops, 0.0);
+  ws.migration_buffer.resize(num_ops);
+  for (auto& held : ws.migration_buffer) held.clear();
+  auto& node_up = ws.node_up;
+  auto& service_token = ws.service_token;
+  auto& paused_until = ws.paused_until;
+  auto& migration_buffer = ws.migration_buffer;
   bool shed_during_pause = false;
   IncidentReport incident;
   bool have_incident = false;
 
-  MetricsCollector metrics(nodes.size(), options.utilization_window,
-                           options.duration);
-  EventQueue events;
-  std::deque<PendingDelivery> network;
-  std::vector<SimulationResult::OperatorStats> op_stats(dep.ops.size());
+  // Latency collection: fixed-memory streaming summary on the hot path;
+  // exact store-all mode for tests and for incident analysis (the phase
+  // split needs the full timed series).
+  LatencyStatsOptions lat_opts;
+  if (!options.exact_percentiles && options.failures == nullptr) {
+    lat_opts.reservoir = options.latency_reservoir;
+    // Independent of the run's random streams: derived by constant
+    // mixing, never by drawing from `master`.
+    lat_opts.seed = options.seed ^ 0x5ca1ab1e0ddba11ULL;
+  }
+  MetricsCollector metrics(num_nodes, options.utilization_window,
+                           options.duration, lat_opts);
+
+  if (ws.events.impl() != options.event_queue) {
+    ws.events = EventQueue(options.event_queue);
+  } else {
+    ws.events.Clear();
+  }
+  ws.events.Reserve(2 * num_nodes + inputs.size() + 64);
+  EventQueue& events = ws.events;
+  ws.network.clear();
+  auto& network = ws.network;
+  ws.op_stats.assign(num_ops, SimulationResult::OperatorStats{});
+  auto& op_stats = ws.op_stats;
   size_t shed_count = 0;
   size_t warmup_outputs = 0;
 
@@ -388,9 +487,12 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
     if (ev.type == EventType::kMigrationRelease) {
       const uint32_t op = ev.index;
       if (paused_until[op] > now + 1e-12) continue;  // superseded pause
-      const std::vector<Task> held = std::move(migration_buffer[op]);
-      migration_buffer[op].clear();
-      for (const Task& t : held) {
+      // Swap the held tuples into reusable staging: place_task may buffer
+      // into *other* paused operators, never back into `op` (its pause
+      // has expired), so iterating the swapped-out vector is safe.
+      ws.release_scratch.clear();
+      std::swap(ws.release_scratch, migration_buffer[op]);
+      for (const Task& t : ws.release_scratch) {
         if (!place_task(t, now)) ++incident.lost_network;
       }
       continue;
@@ -442,24 +544,25 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
 
   // Assemble results.
   SimulationResult result;
+  result.processed_events = processed_events;
   result.input_tuples = metrics.inputs();
   result.shed_tuples = shed_count;
   result.output_tuples = metrics.outputs() + warmup_outputs;
-  const auto& lat = metrics.latencies();
-  if (!lat.empty()) {
-    result.mean_latency = Mean(lat);
-    result.p50_latency = Percentile(lat, 0.50);
-    result.p95_latency = Percentile(lat, 0.95);
-    result.p99_latency = Percentile(lat, 0.99);
-    result.max_latency = *std::max_element(lat.begin(), lat.end());
+  {
+    const LatencySummary total = metrics.TotalLatency();
+    result.mean_latency = total.mean;
+    result.p50_latency = total.p50;
+    result.p95_latency = total.p95;
+    result.p99_latency = total.p99;
+    result.max_latency = total.max;
   }
-  for (const auto& [sink, samples] : metrics.sink_latencies()) {
+  for (const auto& [sink, summary] : metrics.SinkSummaries()) {
     SinkLatency s;
     s.sink_op = sink;
-    s.outputs = samples.size();
-    s.mean = Mean(samples);
-    s.p50 = Percentile(samples, 0.50);
-    s.p95 = Percentile(samples, 0.95);
+    s.outputs = summary.count;
+    s.mean = summary.mean;
+    s.p50 = summary.p50;
+    s.p95 = summary.p95;
     result.sink_latencies.push_back(s);
   }
   result.node_utilization.resize(nodes.size());
@@ -470,7 +573,7 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
     result.final_backlog += nodes[i].queue_length() + (nodes[i].busy() ? 1 : 0);
   }
   for (const auto& held : migration_buffer) result.final_backlog += held.size();
-  result.op_stats = std::move(op_stats);
+  result.op_stats = op_stats;
   result.overloaded_windows =
       metrics.OverloadedWindows(options.overload_threshold);
   result.total_windows = metrics.num_windows();
@@ -521,21 +624,26 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
       }
     }
 
-    // Phase latency split by output completion time.
-    std::vector<double> pre, during, post;
+    // Phase latency split by output completion time. Runs with a failure
+    // schedule always retain the full series, and completion times are
+    // nondecreasing (events fire in time order), so the phases are
+    // contiguous spans located by binary search — no per-phase copies.
+    const std::span<const double> lat(metrics.latencies());
     const auto& times = metrics.output_times();
-    for (size_t i = 0; i < lat.size(); ++i) {
-      if (times[i] < incident.crash_time) {
-        pre.push_back(lat[i]);
-      } else if (times[i] < recovery_abs) {
-        during.push_back(lat[i]);
-      } else {
-        post.push_back(lat[i]);
-      }
-    }
-    incident.pre_failure = SummarizePhase(pre);
-    incident.during_recovery = SummarizePhase(during);
-    incident.post_recovery = SummarizePhase(post);
+    assert(lat.size() == times.size());
+    const size_t crash_idx = static_cast<size_t>(
+        std::lower_bound(times.begin(), times.end(), incident.crash_time) -
+        times.begin());
+    const size_t recov_idx = static_cast<size_t>(
+        std::lower_bound(times.begin() + static_cast<ptrdiff_t>(crash_idx),
+                         times.end(), recovery_abs) -
+        times.begin());
+    incident.pre_failure =
+        SummarizePhase(lat.subspan(0, crash_idx), ws.phase_scratch);
+    incident.during_recovery = SummarizePhase(
+        lat.subspan(crash_idx, recov_idx - crash_idx), ws.phase_scratch);
+    incident.post_recovery =
+        SummarizePhase(lat.subspan(recov_idx), ws.phase_scratch);
     result.incident = incident;
   }
   return result;

@@ -20,6 +20,7 @@
 #include "query/query_graph.h"
 #include "runtime/chaos.h"
 #include "runtime/deployment.h"
+#include "runtime/event_queue.h"
 #include "runtime/node.h"
 #include "trace/trace.h"
 
@@ -80,6 +81,22 @@ struct SimulationOptions {
   /// Incident report: per-window max busy fraction at/below which the
   /// cluster counts as recovered after a crash.
   double recovered_utilization = 0.95;
+
+  /// Event-queue implementation. Both produce the same (time, seq) event
+  /// order, so results are bit-identical; the calendar queue is O(1)
+  /// amortized, the binary heap is the legacy reference.
+  EventQueueImpl event_queue = EventQueueImpl::kCalendar;
+
+  /// Store every latency sample and compute exact percentiles (the
+  /// pre-overhaul behavior) instead of the fixed-memory streaming
+  /// summary. Mean and max are exact either way; runs with a failure
+  /// schedule always keep full samples (incident phase analysis needs
+  /// the timed series).
+  bool exact_percentiles = false;
+
+  /// Reservoir size per latency series when streaming summaries are in
+  /// use (ignored under exact_percentiles; 0 also forces exact).
+  size_t latency_reservoir = 8192;
 };
 
 /// Latency percentiles over the sink outputs completing in one incident
@@ -180,6 +197,10 @@ struct SimulationResult {
   /// large backlog remained — the run's rate point is infeasible for this
   /// placement.
   bool saturated = false;
+
+  /// Discrete events executed by the run (throughput denominator for
+  /// bench_engine_perf).
+  uint64_t processed_events = 0;
 
   /// Present iff a node crashed during the run (options.failures).
   std::optional<IncidentReport> incident;

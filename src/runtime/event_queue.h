@@ -3,13 +3,30 @@
 // Discrete-event core of the stream-processing runtime simulator: a
 // deterministic min-time event queue. Ties are broken by insertion
 // sequence so identical seeds replay identically.
+//
+// Two implementations share the same (time, seq) total order:
+//
+//  * kCalendar (default): a bucketed calendar queue (Brown, CACM '88).
+//    Events hash to `floor((time - base) / width)` virtual slots; slots
+//    wrap onto a power-of-two bucket array and each bucket is kept as a
+//    small (time, seq) binary heap. The engine's event times are
+//    near-monotone, so push and pop are O(1) amortized; the structure
+//    resizes itself (gather + redistribute) when occupancy drifts.
+//    Correctness does not depend on floating-point bucket boundaries:
+//    the pop test compares virtual slots computed by the same monotone
+//    time->slot map used on push, so an event in an earlier slot can
+//    never be passed over, and equal times always share a bucket where
+//    the heap breaks ties by seq. Pop order is therefore bit-identical
+//    to the binary heap's.
+//  * kBinaryHeap: the original std::push_heap/pop_heap binary heap.
+//    Kept as the reference order for tests and as the in-binary
+//    baseline for bench_engine_perf.
 
 #ifndef ROD_RUNTIME_EVENT_QUEUE_H_
 #define ROD_RUNTIME_EVENT_QUEUE_H_
 
 #include <cstddef>
 #include <cstdint>
-#include <queue>
 #include <vector>
 
 namespace rod::sim {
@@ -34,20 +51,39 @@ struct Event {
                        ///< token so crashes can cancel stale completions.
 };
 
-/// Min-heap of events ordered by (time, seq).
+/// Which backing structure orders the events (same observable order).
+enum class EventQueueImpl {
+  kCalendar,    ///< Bucketed calendar queue, O(1) amortized.
+  kBinaryHeap,  ///< Legacy binary heap, O(log n).
+};
+
+/// Min-queue of events ordered by (time, seq).
 class EventQueue {
  public:
+  explicit EventQueue(EventQueueImpl impl = EventQueueImpl::kCalendar)
+      : impl_(impl) {}
+
+  EventQueueImpl impl() const { return impl_; }
+
   /// Schedules an event; `time` must be finite.
   void Push(double time, EventType type, uint32_t index, uint64_t tag = 0);
 
-  bool empty() const { return heap_.empty(); }
-  size_t size() const { return heap_.size(); }
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
 
-  /// The earliest event (undefined when empty).
-  const Event& Top() const { return heap_.top(); }
+  /// The earliest event (undefined when empty). Non-const: the calendar
+  /// implementation advances its bucket cursor to locate the minimum.
+  const Event& Top();
 
   /// Removes and returns the earliest event.
   Event Pop();
+
+  /// Pre-sizes internal storage for about `n` concurrently queued events.
+  void Reserve(size_t n);
+
+  /// Empties the queue and resets the tie-break sequence counter, keeping
+  /// allocated storage so a pooled queue can be reused across runs.
+  void Clear();
 
  private:
   struct Later {
@@ -56,8 +92,38 @@ class EventQueue {
       return a.seq > b.seq;
     }
   };
-  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+
+  /// Monotone map from event time to virtual calendar slot. Shared by
+  /// push placement and the pop-window test so rounding cannot strand or
+  /// reorder events; out-of-range values clamp (still monotone).
+  uint64_t VslotOf(double time) const;
+
+  /// Moves the cursor to the bucket holding the global minimum and
+  /// returns that bucket's index.
+  size_t FindMinBucket();
+
+  /// Gathers every event and redistributes into `new_bucket_count`
+  /// buckets with a width recomputed from the observed time span.
+  void Rebuild(size_t new_bucket_count);
+
+  void PushCalendar(const Event& e);
+
+  EventQueueImpl impl_;
+  size_t size_ = 0;
   uint64_t next_seq_ = 0;
+
+  // kBinaryHeap state.
+  std::vector<Event> heap_;
+
+  // kCalendar state. `buckets_[s & mask_]` is a (time, seq) min-heap of
+  // the events whose virtual slot s wraps there.
+  std::vector<std::vector<Event>> buckets_;
+  std::vector<Event> scratch_;  ///< Rebuild staging, reused across resizes.
+  size_t mask_ = 0;             ///< bucket_count - 1 (power of two).
+  double base_ = 0.0;           ///< Time of virtual slot 0.
+  double width_ = 1.0;          ///< Seconds per virtual slot.
+  uint64_t cur_vslot_ = 0;      ///< Cursor: earliest slot that may hold work.
+  size_t cur_bucket_ = 0;       ///< cur_vslot_ & mask_.
 };
 
 }  // namespace rod::sim

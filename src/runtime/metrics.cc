@@ -4,11 +4,27 @@
 #include <cassert>
 #include <cmath>
 
+#include "common/stats.h"
+
 namespace rod::sim {
+namespace {
+
+/// Decorrelates per-sink reservoir streams from the run-level stream
+/// without consuming any run randomness (splitmix64-style mix).
+uint64_t SinkSeed(uint64_t base, uint32_t sink_op) {
+  uint64_t z = base + 0x9e3779b97f4a7c15ULL * (uint64_t{sink_op} + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
 
 MetricsCollector::MetricsCollector(size_t num_nodes, double window_sec,
-                                   double duration)
-    : node_busy_(num_nodes, 0.0),
+                                   double duration, LatencyStatsOptions stats)
+    : stats_options_(stats),
+      total_samples_(stats.reservoir, stats.seed),
+      node_busy_(num_nodes, 0.0),
       window_busy_(static_cast<size_t>(std::ceil(duration / window_sec)),
                    num_nodes),
       window_sec_(window_sec),
@@ -18,9 +34,20 @@ MetricsCollector::MetricsCollector(size_t num_nodes, double window_sec,
 
 void MetricsCollector::RecordOutput(uint32_t sink_op, double latency,
                                     double completion_time) {
-  latencies_.push_back(latency);
-  output_times_.push_back(completion_time);
-  sink_latencies_[sink_op].push_back(latency);
+  total_stats_.Add(latency);
+  total_samples_.Add(latency);
+  if (exact()) output_times_.push_back(completion_time);
+  if (sink_op != last_sink_ || last_acc_ == nullptr) {
+    auto [it, inserted] = sinks_.try_emplace(sink_op);
+    if (inserted) {
+      it->second.samples = ReservoirSampler(
+          stats_options_.reservoir, SinkSeed(stats_options_.seed, sink_op));
+    }
+    last_sink_ = sink_op;
+    last_acc_ = &it->second;
+  }
+  last_acc_->stats.Add(latency);
+  last_acc_->samples.Add(latency);
 }
 
 void MetricsCollector::RecordService(size_t node, double start, double end) {
@@ -37,6 +64,43 @@ void MetricsCollector::RecordService(size_t node, double start, double end) {
     window_busy_(w, node) += slice;
     cursor = w_end;
   }
+}
+
+LatencySummary MetricsCollector::Summarize(const RunningStats& stats,
+                                           const ReservoirSampler& samples) {
+  LatencySummary s;
+  s.count = stats.count();
+  s.exact = samples.exact();
+  if (s.count == 0) return s;
+  s.mean = stats.mean();
+  s.max = stats.max();
+  std::vector<double> sorted(samples.samples());
+  std::sort(sorted.begin(), sorted.end());
+  s.p50 = QuantileOfSorted(sorted, 0.50);
+  s.p95 = QuantileOfSorted(sorted, 0.95);
+  s.p99 = QuantileOfSorted(sorted, 0.99);
+  return s;
+}
+
+LatencySummary MetricsCollector::TotalLatency() const {
+  return Summarize(total_stats_, total_samples_);
+}
+
+std::vector<std::pair<uint32_t, LatencySummary>>
+MetricsCollector::SinkSummaries() const {
+  std::vector<std::pair<uint32_t, LatencySummary>> out;
+  out.reserve(sinks_.size());
+  for (const auto& [op, acc] : sinks_) {
+    out.emplace_back(op, Summarize(acc.stats, acc.samples));
+  }
+  return out;
+}
+
+const std::vector<double>& MetricsCollector::SinkSamples(
+    uint32_t sink_op) const {
+  static const std::vector<double> kEmpty;
+  auto it = sinks_.find(sink_op);
+  return it == sinks_.end() ? kEmpty : it->second.samples.samples();
 }
 
 double MetricsCollector::NodeUtilization(size_t node,

@@ -4,6 +4,13 @@
 // (overall and per fixed window — the paper's Borealis feasibility probe
 // deems a rate point feasible "if none of the nodes experience 100%
 // utilization"), and saturation indicators.
+//
+// Latency collection has two modes. The default (reservoir = 0) keeps
+// every sample, so percentiles are exact and the raw (latency, time)
+// series is available — what tests and incident analysis want. With a
+// positive reservoir size, only exact mean/max (Welford) plus a
+// fixed-size deterministic reservoir are kept, making RecordOutput O(1)
+// in memory regardless of output volume — what the engine hot path wants.
 
 #ifndef ROD_RUNTIME_METRICS_H_
 #define ROD_RUNTIME_METRICS_H_
@@ -14,20 +21,46 @@
 #include <vector>
 
 #include "common/matrix.h"
+#include "common/stats.h"
 
 namespace rod::sim {
+
+/// How latency samples are retained (see file comment).
+struct LatencyStatsOptions {
+  /// 0: store every sample (exact percentiles). > 0: keep a
+  /// deterministic uniform reservoir of this many samples per series.
+  size_t reservoir = 0;
+
+  /// Seed of the reservoir-replacement stream; ignored in exact mode.
+  /// The retained set is a pure function of (reservoir, seed, sample
+  /// order), so identical runs summarize identically.
+  uint64_t seed = 0;
+};
+
+/// Latency distribution summary of one output series.
+struct LatencySummary {
+  size_t count = 0;  ///< Outputs observed (not the retained sample size).
+  double mean = 0.0;  ///< Exact (streaming) regardless of mode.
+  double max = 0.0;   ///< Exact (streaming) regardless of mode.
+  double p50 = 0.0;   ///< Exact, or reservoir estimate.
+  double p95 = 0.0;
+  double p99 = 0.0;
+  bool exact = true;  ///< False when percentiles come from a reservoir.
+};
 
 /// Collects measurements during one simulation run.
 class MetricsCollector {
  public:
   /// `num_nodes` nodes, per-window utilization buckets of `window_sec`
   /// seconds over `duration` seconds of virtual time.
-  MetricsCollector(size_t num_nodes, double window_sec, double duration);
+  MetricsCollector(size_t num_nodes, double window_sec, double duration,
+                   LatencyStatsOptions stats = {});
 
   /// Records one output of sink operator `sink_op` with end-to-end latency
   /// `latency` seconds, completing at virtual time `completion_time` (the
   /// timestamp lets incident reports split latencies into pre-failure /
-  /// recovery / post-recovery phases).
+  /// recovery / post-recovery phases; timestamps are retained only in
+  /// exact mode).
   void RecordOutput(uint32_t sink_op, double latency,
                     double completion_time = 0.0);
 
@@ -39,16 +72,27 @@ class MetricsCollector {
   void RecordService(size_t node, double start, double end);
 
   size_t inputs() const { return inputs_; }
-  size_t outputs() const { return latencies_.size(); }
-  const std::vector<double>& latencies() const { return latencies_; }
+  size_t outputs() const { return total_stats_.count(); }
+
+  /// True when every latency sample is retained (reservoir disabled).
+  bool exact() const { return stats_options_.reservoir == 0; }
+
+  /// Every recorded latency in output order. Exact mode only.
+  const std::vector<double>& latencies() const { return total_samples_.samples(); }
 
   /// Completion time of each latency sample, parallel to latencies().
+  /// Exact mode only (empty otherwise).
   const std::vector<double>& output_times() const { return output_times_; }
 
-  /// Per-sink latency samples, keyed by sink operator id.
-  const std::map<uint32_t, std::vector<double>>& sink_latencies() const {
-    return sink_latencies_;
-  }
+  /// Summary of all sink outputs (percentiles sorted once per call).
+  LatencySummary TotalLatency() const;
+
+  /// Per-sink summaries, ordered by sink operator id.
+  std::vector<std::pair<uint32_t, LatencySummary>> SinkSummaries() const;
+
+  /// Retained latency samples of one sink (all of them in exact mode);
+  /// empty for an unknown sink.
+  const std::vector<double>& SinkSamples(uint32_t sink_op) const;
 
   /// Busy fraction of `node` over the whole run.
   double NodeUtilization(size_t node, double capacity_duration) const;
@@ -67,10 +111,24 @@ class MetricsCollector {
   size_t num_windows() const { return window_busy_.rows(); }
 
  private:
+  struct SinkAccumulator {
+    RunningStats stats;
+    ReservoirSampler samples;
+  };
+
+  static LatencySummary Summarize(const RunningStats& stats,
+                                  const ReservoirSampler& samples);
+
   size_t inputs_ = 0;
-  std::vector<double> latencies_;
-  std::vector<double> output_times_;
-  std::map<uint32_t, std::vector<double>> sink_latencies_;
+  LatencyStatsOptions stats_options_;
+  RunningStats total_stats_;
+  ReservoirSampler total_samples_;
+  std::vector<double> output_times_;  ///< Exact mode only.
+  std::map<uint32_t, SinkAccumulator> sinks_;
+  // Most runs have a handful of sinks and long same-sink bursts; cache
+  // the last accumulator to skip the map lookup on the hot path.
+  uint32_t last_sink_ = UINT32_MAX;
+  SinkAccumulator* last_acc_ = nullptr;
   Vector node_busy_;      ///< total busy seconds per node
   Matrix window_busy_;    ///< busy seconds per (window, node)
   double window_sec_;

@@ -1,8 +1,29 @@
 #include "runtime/node.h"
 
 #include <cassert>
+#include <unordered_map>
 
 namespace rod::sim {
+
+void SimNode::Reset(double capacity, Scheduling scheduling) {
+  assert(capacity > 0.0);
+  capacity_ = capacity;
+  scheduling_ = scheduling;
+  queued_ = 0;
+  busy_ = false;
+  busy_time_ = 0.0;
+  tasks_processed_ = 0;
+  fifo_.clear();
+  for (auto& bucket : per_op_) bucket.clear();
+  comm_.clear();
+  rr_order_.clear();
+}
+
+FifoBuffer<Task>& SimNode::BucketFor(uint32_t op) {
+  if (op == Task::kCommTask) return comm_;
+  if (op >= per_op_.size()) per_op_.resize(op + 1);
+  return per_op_[op];
+}
 
 void SimNode::Enqueue(const Task& task) {
   ++queued_;
@@ -10,9 +31,9 @@ void SimNode::Enqueue(const Task& task) {
     fifo_.push_back(task);
     return;
   }
-  auto& queue = per_op_[task.op];
-  if (queue.empty()) rr_order_.push_back(task.op);
-  queue.push_back(task);
+  FifoBuffer<Task>& bucket = BucketFor(task.op);
+  if (bucket.empty()) rr_order_.push_back(task.op);
+  bucket.push_back(task);
 }
 
 Task SimNode::StartService() {
@@ -27,17 +48,13 @@ Task SimNode::StartService() {
   assert(!rr_order_.empty());
   const uint32_t op = rr_order_.front();
   rr_order_.pop_front();
-  auto it = per_op_.find(op);
-  assert(it != per_op_.end() && !it->second.empty());
-  Task task = it->second.front();
-  it->second.pop_front();
+  FifoBuffer<Task>& bucket = BucketFor(op);
+  assert(!bucket.empty());
+  Task task = bucket.front();
+  bucket.pop_front();
   // Re-queue the operator at the back of the rotation if it still has
-  // work; otherwise drop its (empty) bucket.
-  if (!it->second.empty()) {
-    rr_order_.push_back(op);
-  } else {
-    per_op_.erase(it);
-  }
+  // work (empty buckets simply leave the rotation, keeping storage).
+  if (!bucket.empty()) rr_order_.push_back(op);
   return task;
 }
 
@@ -63,10 +80,10 @@ std::vector<Task> SimNode::DrainAll() {
     // Per-operator queues in rotation order so the drop order is the
     // service order the tasks would have seen.
     for (uint32_t op : rr_order_) {
-      auto& queue = per_op_[op];
-      dropped.insert(dropped.end(), queue.begin(), queue.end());
+      FifoBuffer<Task>& bucket = BucketFor(op);
+      dropped.insert(dropped.end(), bucket.begin(), bucket.end());
+      bucket.clear();
     }
-    per_op_.clear();
     rr_order_.clear();
   }
   queued_ = 0;
@@ -77,36 +94,17 @@ std::vector<Task> SimNode::ExtractIf(
     const std::function<bool(const Task&)>& pred) {
   std::vector<Task> extracted;
   if (scheduling_ == Scheduling::kFifo) {
-    std::deque<Task> kept;
-    for (const Task& t : fifo_) {
-      if (pred(t)) {
-        extracted.push_back(t);
-      } else {
-        kept.push_back(t);
-      }
-    }
-    fifo_ = std::move(kept);
+    fifo_.ExtractInto(pred, extracted);
     queued_ = fifo_.size();
     return extracted;
   }
-  std::deque<uint32_t> order;
+  FifoBuffer<uint32_t> order;
   size_t remaining = 0;
   for (uint32_t op : rr_order_) {
-    auto it = per_op_.find(op);
-    assert(it != per_op_.end());
-    std::deque<Task> kept;
-    for (const Task& t : it->second) {
-      if (pred(t)) {
-        extracted.push_back(t);
-      } else {
-        kept.push_back(t);
-      }
-    }
-    if (kept.empty()) {
-      per_op_.erase(it);
-    } else {
-      remaining += kept.size();
-      it->second = std::move(kept);
+    FifoBuffer<Task>& bucket = BucketFor(op);
+    bucket.ExtractInto(pred, extracted);
+    if (!bucket.empty()) {
+      remaining += bucket.size();
       order.push_back(op);
     }
   }
@@ -116,16 +114,19 @@ std::vector<Task> SimNode::ExtractIf(
 }
 
 std::pair<uint32_t, size_t> SimNode::HottestOperator() const {
-  std::unordered_map<uint32_t, size_t> counts;
-  if (scheduling_ == Scheduling::kFifo) {
-    for (const Task& t : fifo_) ++counts[t.op];
-  } else {
-    for (const auto& [op, queue] : per_op_) counts[op] += queue.size();
-  }
   std::pair<uint32_t, size_t> hottest{Task::kCommTask, 0};
-  for (const auto& [op, n] : counts) {
-    if (n > hottest.second) hottest = {op, n};
+  if (scheduling_ == Scheduling::kFifo) {
+    std::unordered_map<uint32_t, size_t> counts;
+    for (const Task& t : fifo_) ++counts[t.op];
+    for (const auto& [op, n] : counts) {
+      if (n > hottest.second) hottest = {op, n};
+    }
+    return hottest;
   }
+  for (uint32_t op = 0; op < per_op_.size(); ++op) {
+    if (per_op_[op].size() > hottest.second) hottest = {op, per_op_[op].size()};
+  }
+  if (comm_.size() > hottest.second) hottest = {Task::kCommTask, comm_.size()};
   return hottest;
 }
 

@@ -7,19 +7,80 @@
 // Borealis-style scheduling disciplines are provided: a single global FIFO
 // and per-operator queues served round-robin (which isolates cheap query
 // paths from bursts on expensive ones).
+//
+// All queues are flat ring-ish buffers (vector + head index with amortized
+// compaction) and the round-robin state is indexed by operator id, so a
+// node allocates only while a queue grows past its high-water mark —
+// steady-state Enqueue/StartService never touch the allocator, and pooled
+// nodes reused across runs (SimNode::Reset) start with warm capacity.
 
 #ifndef ROD_RUNTIME_NODE_H_
 #define ROD_RUNTIME_NODE_H_
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 namespace rod::sim {
+
+/// FIFO over a vector: pop_front advances a head index and lazily
+/// compacts once the dead prefix dominates, so push/pop are amortized
+/// O(1) without deque's per-block allocations, and capacity survives
+/// clear() for reuse across simulation runs.
+template <typename T>
+class FifoBuffer {
+ public:
+  bool empty() const { return head_ == items_.size(); }
+  size_t size() const { return items_.size() - head_; }
+
+  void push_back(const T& v) { items_.push_back(v); }
+  T& front() { return items_[head_]; }
+  const T& front() const { return items_[head_]; }
+
+  void pop_front() {
+    ++head_;
+    if (head_ >= 32 && head_ * 2 >= items_.size()) Compact();
+  }
+
+  /// Drops all elements, keeping the allocation.
+  void clear() {
+    items_.clear();
+    head_ = 0;
+  }
+
+  /// Live elements, front to back.
+  const T* begin() const { return items_.data() + head_; }
+  const T* end() const { return items_.data() + items_.size(); }
+
+  /// Moves the elements matching `pred` into `out` (in queue order) and
+  /// keeps the rest, preserving their order. O(size), in place.
+  template <typename Pred>
+  void ExtractInto(Pred pred, std::vector<T>& out) {
+    size_t w = head_;
+    for (size_t r = head_; r < items_.size(); ++r) {
+      if (pred(items_[r])) {
+        out.push_back(items_[r]);
+      } else {
+        if (w != r) items_[w] = items_[r];
+        ++w;
+      }
+    }
+    items_.resize(w);
+    if (head_ == items_.size()) clear();
+  }
+
+ private:
+  void Compact() {
+    items_.erase(items_.begin(),
+                 items_.begin() + static_cast<ptrdiff_t>(head_));
+    head_ = 0;
+  }
+
+  std::vector<T> items_;
+  size_t head_ = 0;
+};
 
 /// How a node picks the next task to serve.
 enum class Scheduling {
@@ -52,6 +113,11 @@ class SimNode {
   size_t queue_length() const { return queued_; }
   double busy_time() const { return busy_time_; }
   size_t tasks_processed() const { return tasks_processed_; }
+
+  /// Reinitializes the node for a fresh run (pooled reuse): queues are
+  /// emptied but keep their storage, counters reset, capacity and
+  /// discipline replaced.
+  void Reset(double capacity, Scheduling scheduling);
 
   /// Enqueues a task; the engine starts service separately.
   void Enqueue(const Task& task);
@@ -92,6 +158,10 @@ class SimNode {
   double ServiceTime(double cpu_cost) const { return cpu_cost / capacity_; }
 
  private:
+  /// The round-robin bucket of `op` (kCommTask maps to the comm bucket),
+  /// growing the per-operator table on first sight of a new id.
+  FifoBuffer<Task>& BucketFor(uint32_t op);
+
   double capacity_;
   Scheduling scheduling_;
   size_t queued_ = 0;
@@ -100,12 +170,14 @@ class SimNode {
   size_t tasks_processed_ = 0;
 
   // kFifo state.
-  std::deque<Task> fifo_;
+  FifoBuffer<Task> fifo_;
 
-  // kRoundRobin state: per-operator queues plus the cyclic order of
-  // operators that currently have work (each op id appears at most once).
-  std::unordered_map<uint32_t, std::deque<Task>> per_op_;
-  std::deque<uint32_t> rr_order_;
+  // kRoundRobin state: per-operator queues (indexed by operator id; comm
+  // work has its own bucket) plus the cyclic order of buckets that
+  // currently have work (each id appears at most once).
+  std::vector<FifoBuffer<Task>> per_op_;
+  FifoBuffer<Task> comm_;
+  FifoBuffer<uint32_t> rr_order_;
 };
 
 }  // namespace rod::sim

@@ -40,9 +40,86 @@ TEST(MetricsTest, PerSinkLatencyBuckets) {
   m.RecordOutput(1, 0.1);
   m.RecordOutput(2, 0.2);
   m.RecordOutput(1, 0.3);
-  ASSERT_EQ(m.sink_latencies().size(), 2u);
-  EXPECT_EQ(m.sink_latencies().at(1), (std::vector<double>{0.1, 0.3}));
-  EXPECT_EQ(m.sink_latencies().at(2), (std::vector<double>{0.2}));
+  const auto summaries = m.SinkSummaries();
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].first, 1u);
+  EXPECT_EQ(summaries[0].second.count, 2u);
+  EXPECT_EQ(summaries[1].first, 2u);
+  EXPECT_EQ(summaries[1].second.count, 1u);
+  EXPECT_EQ(m.SinkSamples(1), (std::vector<double>{0.1, 0.3}));
+  EXPECT_EQ(m.SinkSamples(2), (std::vector<double>{0.2}));
+  EXPECT_TRUE(m.SinkSamples(7).empty());
+}
+
+TEST(MetricsTest, TotalLatencySummaryIsExactByDefault) {
+  MetricsCollector m(1, 1.0, 5.0);
+  for (double x : {0.4, 0.1, 0.3, 0.2}) m.RecordOutput(0, x);
+  const LatencySummary s = m.TotalLatency();
+  EXPECT_TRUE(s.exact);
+  EXPECT_TRUE(m.exact());
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_NEAR(s.mean, 0.25, 1e-12);
+  EXPECT_NEAR(s.max, 0.4, 1e-12);
+  EXPECT_NEAR(s.p50, 0.25, 1e-12);
+}
+
+TEST(MetricsTest, ReservoirModeKeepsExactMeanMaxAndCounts) {
+  LatencyStatsOptions opts;
+  opts.reservoir = 16;
+  opts.seed = 42;
+  MetricsCollector m(1, 1.0, 5.0, opts);
+  double sum = 0.0;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = static_cast<double>(i) * 1e-3;
+    sum += x;
+    m.RecordOutput(0, x);
+  }
+  EXPECT_FALSE(m.exact());
+  const LatencySummary s = m.TotalLatency();
+  EXPECT_FALSE(s.exact);
+  EXPECT_EQ(s.count, 1000u);
+  EXPECT_NEAR(s.mean, sum / 1000.0, 1e-12);       // streaming-exact
+  EXPECT_NEAR(s.max, 0.999, 1e-12);               // streaming-exact
+  EXPECT_EQ(m.SinkSamples(0).size(), 16u);        // fixed memory
+  EXPECT_GT(s.p50, 0.0);                          // sampled estimate
+  EXPECT_LT(s.p50, 0.999);
+}
+
+TEST(MetricsTest, ReservoirIsDeterministicGivenSeedAndOrder) {
+  LatencyStatsOptions opts;
+  opts.reservoir = 8;
+  opts.seed = 7;
+  MetricsCollector a(1, 1.0, 5.0, opts);
+  MetricsCollector b(1, 1.0, 5.0, opts);
+  for (int i = 0; i < 500; ++i) {
+    const double x = static_cast<double>((i * 37) % 101);
+    a.RecordOutput(0, x);
+    b.RecordOutput(0, x);
+  }
+  EXPECT_EQ(a.SinkSamples(0), b.SinkSamples(0));
+  const LatencySummary sa = a.TotalLatency();
+  const LatencySummary sb = b.TotalLatency();
+  EXPECT_EQ(sa.p50, sb.p50);
+  EXPECT_EQ(sa.p95, sb.p95);
+  EXPECT_EQ(sa.p99, sb.p99);
+}
+
+TEST(MetricsTest, ReservoirBelowCapacityMatchesExact) {
+  LatencyStatsOptions opts;
+  opts.reservoir = 64;
+  MetricsCollector sampled(1, 1.0, 5.0, opts);
+  MetricsCollector exact(1, 1.0, 5.0);
+  for (int i = 0; i < 50; ++i) {
+    const double x = static_cast<double>((i * 13) % 29);
+    sampled.RecordOutput(0, x);
+    exact.RecordOutput(0, x);
+  }
+  const LatencySummary s = sampled.TotalLatency();
+  const LatencySummary e = exact.TotalLatency();
+  EXPECT_TRUE(s.exact);  // stream never exceeded the reservoir
+  EXPECT_EQ(s.p50, e.p50);
+  EXPECT_EQ(s.p95, e.p95);
+  EXPECT_EQ(s.p99, e.p99);
 }
 
 TEST(MetricsTest, ServiceSplitsAcrossWindows) {

@@ -1,0 +1,301 @@
+// Tests for the parallel deterministic sweep runner: results must be
+// bit-identical for every thread count and identical to a sequential
+// loop over Simulate() — the contract the benches and the feasibility
+// boundary search rely on.
+
+#include "runtime/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "placement/evaluator.h"
+#include "query/load_model.h"
+#include "runtime/deployment.h"
+
+namespace rod::sim {
+namespace {
+
+using place::Placement;
+using place::SystemSpec;
+using query::InputStreamId;
+using query::OperatorKind;
+using query::QueryGraph;
+using query::StreamRef;
+
+trace::RateTrace ConstantTrace(double rate, double duration) {
+  trace::RateTrace t;
+  t.window_sec = duration;
+  t.rates = {rate};
+  return t;
+}
+
+/// Two chains on two nodes with a cross-node hop: exercises network
+/// events, per-sink metrics, and both scheduling queues.
+QueryGraph TwoChainGraph() {
+  QueryGraph g;
+  const InputStreamId i0 = g.AddInputStream("A");
+  const InputStreamId i1 = g.AddInputStream("B");
+  auto a = g.AddOperator({.name = "a", .kind = OperatorKind::kMap,
+                          .cost = 1e-3, .selectivity = 0.9},
+                         {StreamRef::Input(i0)});
+  EXPECT_TRUE(a.ok());
+  auto a2 = g.AddOperator({.name = "a2", .kind = OperatorKind::kMap,
+                           .cost = 5e-4},
+                          {StreamRef::Op(*a)});
+  EXPECT_TRUE(a2.ok());
+  auto b = g.AddOperator({.name = "b", .kind = OperatorKind::kMap,
+                          .cost = 2e-3, .selectivity = 0.5},
+                         {StreamRef::Input(i1)});
+  EXPECT_TRUE(b.ok());
+  return g;
+}
+
+void ExpectIdentical(const SimulationResult& x, const SimulationResult& y) {
+  EXPECT_EQ(x.input_tuples, y.input_tuples);
+  EXPECT_EQ(x.shed_tuples, y.shed_tuples);
+  EXPECT_EQ(x.output_tuples, y.output_tuples);
+  EXPECT_EQ(x.mean_latency, y.mean_latency);  // bit-exact, not NEAR
+  EXPECT_EQ(x.p50_latency, y.p50_latency);
+  EXPECT_EQ(x.p95_latency, y.p95_latency);
+  EXPECT_EQ(x.p99_latency, y.p99_latency);
+  EXPECT_EQ(x.max_latency, y.max_latency);
+  ASSERT_EQ(x.sink_latencies.size(), y.sink_latencies.size());
+  for (size_t i = 0; i < x.sink_latencies.size(); ++i) {
+    EXPECT_EQ(x.sink_latencies[i].sink_op, y.sink_latencies[i].sink_op);
+    EXPECT_EQ(x.sink_latencies[i].outputs, y.sink_latencies[i].outputs);
+    EXPECT_EQ(x.sink_latencies[i].mean, y.sink_latencies[i].mean);
+    EXPECT_EQ(x.sink_latencies[i].p50, y.sink_latencies[i].p50);
+    EXPECT_EQ(x.sink_latencies[i].p95, y.sink_latencies[i].p95);
+  }
+  ASSERT_EQ(x.op_stats.size(), y.op_stats.size());
+  for (size_t i = 0; i < x.op_stats.size(); ++i) {
+    EXPECT_EQ(x.op_stats[i].tuples_processed, y.op_stats[i].tuples_processed);
+    EXPECT_EQ(x.op_stats[i].pairs_probed, y.op_stats[i].pairs_probed);
+    EXPECT_EQ(x.op_stats[i].tuples_emitted, y.op_stats[i].tuples_emitted);
+    EXPECT_EQ(x.op_stats[i].cpu_seconds, y.op_stats[i].cpu_seconds);
+  }
+  EXPECT_EQ(x.node_utilization, y.node_utilization);
+  EXPECT_EQ(x.max_node_utilization, y.max_node_utilization);
+  EXPECT_EQ(x.overloaded_windows, y.overloaded_windows);
+  EXPECT_EQ(x.total_windows, y.total_windows);
+  EXPECT_EQ(x.final_backlog, y.final_backlog);
+  EXPECT_EQ(x.saturated, y.saturated);
+  EXPECT_EQ(x.processed_events, y.processed_events);
+}
+
+TEST(SweepTest, MatchesSequentialSimulateForEveryThreadCount) {
+  const QueryGraph g = TwoChainGraph();
+  const SystemSpec system = SystemSpec::Homogeneous(2);
+  const Placement plan(2, {0, 0, 1});
+
+  // Distinct rates and seeds per case so a mixed-up slot would show.
+  const std::vector<uint64_t> seeds = ForkSeeds(123, 4);
+  std::vector<std::vector<trace::RateTrace>> inputs;
+  std::vector<SimulationCase> cases;
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    const double rate = 40.0 + 25.0 * static_cast<double>(i);
+    inputs.push_back({ConstantTrace(rate, 12.0), ConstantTrace(rate, 12.0)});
+  }
+  for (size_t i = 0; i < seeds.size(); ++i) {
+    SimulationCase c;
+    c.graph = &g;
+    c.placement = &plan;
+    c.system = &system;
+    c.inputs = &inputs[i];
+    c.options.duration = 12.0;
+    c.options.seed = seeds[i];
+    cases.push_back(c);
+  }
+
+  // Ground truth: a plain sequential loop over SimulatePlacement.
+  std::vector<SimulationResult> expected;
+  for (const SimulationCase& c : cases) {
+    auto r = SimulatePlacement(*c.graph, *c.placement, *c.system, *c.inputs,
+                               c.options);
+    ASSERT_TRUE(r.ok()) << r.status().message();
+    expected.push_back(std::move(*r));
+  }
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    SweepOptions sweep;
+    sweep.num_threads = threads;
+    auto results = SimulateSweep(cases, sweep);
+    ASSERT_EQ(results.size(), cases.size());
+    for (size_t i = 0; i < results.size(); ++i) {
+      ASSERT_TRUE(results[i].ok()) << "threads=" << threads << " case=" << i;
+      ExpectIdentical(*results[i], expected[i]);
+    }
+  }
+}
+
+TEST(SweepTest, AcceptsPrecompiledDeployments) {
+  const QueryGraph g = TwoChainGraph();
+  const SystemSpec system = SystemSpec::Homogeneous(2);
+  const Placement plan(2, {0, 1, 1});
+  auto deployment = CompileDeployment(g, plan, system);
+  ASSERT_TRUE(deployment.ok());
+
+  const std::vector<trace::RateTrace> inputs = {ConstantTrace(60.0, 8.0),
+                                                ConstantTrace(60.0, 8.0)};
+  SimulationCase c;
+  c.deployment = &*deployment;
+  c.inputs = &inputs;
+  c.options.duration = 8.0;
+  c.options.seed = 7;
+
+  auto direct = Simulate(*deployment, inputs, c.options);
+  ASSERT_TRUE(direct.ok());
+  auto swept = SimulateSweep(std::vector<SimulationCase>{c, c});
+  ASSERT_EQ(swept.size(), 2u);
+  for (auto& r : swept) {
+    ASSERT_TRUE(r.ok());
+    ExpectIdentical(*r, *direct);
+  }
+}
+
+TEST(SweepTest, ReportsPerCaseErrorsInPlace) {
+  const QueryGraph g = TwoChainGraph();
+  const SystemSpec system = SystemSpec::Homogeneous(2);
+  const Placement plan(2, {0, 0, 1});
+  const std::vector<trace::RateTrace> good = {ConstantTrace(50.0, 5.0),
+                                              ConstantTrace(50.0, 5.0)};
+
+  SimulationCase ok_case;
+  ok_case.graph = &g;
+  ok_case.placement = &plan;
+  ok_case.system = &system;
+  ok_case.inputs = &good;
+  ok_case.options.duration = 5.0;
+
+  SimulationCase missing_inputs = ok_case;
+  missing_inputs.inputs = nullptr;
+
+  SimulationCase underspecified;  // neither deployment nor triple
+  underspecified.inputs = &good;
+
+  auto results = SimulateSweep(
+      std::vector<SimulationCase>{ok_case, missing_inputs, underspecified});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok());
+  EXPECT_FALSE(results[1].ok());
+  EXPECT_FALSE(results[2].ok());
+}
+
+TEST(SweepTest, ProbeFeasibleSweepMatchesPointProbes) {
+  const QueryGraph g = TwoChainGraph();
+  const SystemSpec system = SystemSpec::Homogeneous(2);
+  const Placement plan(2, {0, 0, 1});
+  SimulationOptions options;
+  options.duration = 15.0;
+
+  // Rates straddling the boundary (node 0 saturates near rate ~714).
+  std::vector<Vector> points;
+  for (double r : {100.0, 400.0, 900.0, 1500.0}) {
+    points.push_back(Vector{r, r});
+  }
+
+  std::vector<bool> expected;
+  for (const Vector& p : points) {
+    auto probe = ProbeFeasibleAt(g, plan, system, p, options);
+    ASSERT_TRUE(probe.ok());
+    expected.push_back(*probe);
+  }
+  EXPECT_TRUE(expected.front());
+  EXPECT_FALSE(expected.back());
+
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    SweepOptions sweep;
+    sweep.num_threads = threads;
+    auto swept = ProbeFeasibleSweep(g, plan, system, points, options, sweep);
+    ASSERT_EQ(swept.size(), points.size());
+    for (size_t i = 0; i < swept.size(); ++i) {
+      ASSERT_TRUE(swept[i].ok());
+      EXPECT_EQ(*swept[i], expected[i]) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(SweepTest, ProbeFeasibleSweepRejectsBadPointDimension) {
+  const QueryGraph g = TwoChainGraph();
+  const SystemSpec system = SystemSpec::Homogeneous(2);
+  const Placement plan(2, {0, 0, 1});
+  std::vector<Vector> points = {Vector{100.0, 100.0}, Vector{100.0}};
+  auto swept = ProbeFeasibleSweep(g, plan, system, points);
+  ASSERT_EQ(swept.size(), 2u);
+  EXPECT_TRUE(swept[0].ok());
+  EXPECT_FALSE(swept[1].ok());
+}
+
+TEST(SweepTest, BoundaryScaleIsThreadIndependentAndNearAnalytic) {
+  const QueryGraph g = TwoChainGraph();
+  auto model = query::BuildLoadModel(g);
+  ASSERT_TRUE(model.ok());
+  const SystemSpec system = SystemSpec::Homogeneous(2);
+  const Placement plan(2, {0, 0, 1});
+  const place::PlacementEvaluator eval(*model, system);
+  const Vector direction = {1.0, 1.0};
+  auto analytic = eval.BoundaryScaleAlong(plan, direction);
+  ASSERT_TRUE(analytic.ok());
+
+  SimulationOptions options;
+  options.duration = 20.0;
+  BoundarySearchOptions search;
+  search.rel_tol = 0.05;
+
+  double first = 0.0;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+    SweepOptions sweep;
+    sweep.num_threads = threads;
+    auto scale = SimulatedBoundaryScale(g, plan, system, direction, options,
+                                        search, sweep);
+    ASSERT_TRUE(scale.ok()) << scale.status().message();
+    if (threads == 1) {
+      first = *scale;
+      // The simulated boundary should land near the analytic one (the
+      // probe adds queueing slack, so allow a generous band).
+      EXPECT_GT(*scale, 0.5 * *analytic);
+      EXPECT_LT(*scale, 1.5 * *analytic);
+    } else {
+      EXPECT_EQ(*scale, first) << "threads=" << threads;  // bit-exact
+    }
+  }
+}
+
+TEST(SweepTest, BoundaryScaleValidatesDirection) {
+  const QueryGraph g = TwoChainGraph();
+  const SystemSpec system = SystemSpec::Homogeneous(2);
+  const Placement plan(2, {0, 0, 1});
+  EXPECT_FALSE(SimulatedBoundaryScale(g, plan, system, Vector{1.0}).ok());
+  EXPECT_FALSE(
+      SimulatedBoundaryScale(g, plan, system, Vector{0.0, 0.0}).ok());
+  EXPECT_FALSE(
+      SimulatedBoundaryScale(g, plan, system, Vector{-1.0, 1.0}).ok());
+}
+
+TEST(SweepTest, ForkSeedsAreDeterministicAndDistinct) {
+  const auto a = ForkSeeds(42, 16);
+  const auto b = ForkSeeds(42, 16);
+  EXPECT_EQ(a, b);
+  std::set<uint64_t> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), a.size());
+  const auto c = ForkSeeds(43, 16);
+  EXPECT_NE(a, c);
+}
+
+TEST(SweepTest, SweepMapPreservesInputOrder) {
+  for (size_t threads : {size_t{1}, size_t{3}, size_t{8}}) {
+    SweepOptions sweep;
+    sweep.num_threads = threads;
+    auto out = SweepMap(
+        100, [](size_t i) { return static_cast<int>(i) * 3 + 1; }, sweep);
+    ASSERT_EQ(out.size(), 100u);
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i], static_cast<int>(i) * 3 + 1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace rod::sim
