@@ -24,7 +24,14 @@ struct Variant {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rod::bench::BenchFlags bench_flags =
+      rod::bench::ParseBenchFlags(argc, argv);
+  if (!bench_flags.rest.empty()) {
+    std::cerr << "usage: " << argv[0] << " [--json=PATH] [--trace=PATH]\n";
+    return 2;
+  }
+  rod::bench::TelemetrySession telemetry_session(bench_flags);
   std::cout << "ROD reproduction -- ablation of ROD's design choices\n"
             << "5 streams x 20 ops, 5 nodes, 8 random graphs, QMC 2^13\n";
 

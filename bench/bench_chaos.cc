@@ -35,7 +35,14 @@ constexpr double kLoadLevel = 0.45;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rod::bench::BenchFlags bench_flags =
+      rod::bench::ParseBenchFlags(argc, argv);
+  if (!bench_flags.rest.empty()) {
+    std::cerr << "usage: " << argv[0] << " [--json=PATH] [--trace=PATH]\n";
+    return 2;
+  }
+  rod::bench::TelemetrySession telemetry_session(bench_flags);
   std::cout << "ROD reproduction -- A4: mid-run node crash, supervised "
                "recovery (tuple-level engine)\n"
             << "3 streams x 10 ops, 3 nodes at " << Fmt(kLoadLevel * 100, 0)
@@ -114,6 +121,7 @@ int main() {
     sup_options.detection_delay = p.delay;
     sup_options.policy = p.policy;
     sup_options.rebalance_budget = p.budget;
+    sup_options.telemetry = telemetry_session.telemetry();
     supervisors.emplace_back(*model, sup_options);
     rod::sim::SimulationCase c;
     c.graph = &graph;
@@ -123,9 +131,12 @@ int main() {
     c.options.duration = kDuration;
     c.options.failures = &chaos;
     c.options.recovery = &supervisors.back();
+    c.options.telemetry = telemetry_session.telemetry();
     cases.push_back(c);
   }
-  const auto results = rod::sim::SimulateSweep(cases);
+  rod::sim::SweepOptions sweep_options;
+  sweep_options.telemetry = telemetry_session.telemetry();
+  const auto results = rod::sim::SimulateSweep(cases, sweep_options);
 
   for (size_t i = 0; i < grid.size(); ++i) {
     const Grid& p = grid[i];

@@ -59,7 +59,14 @@ double CommAwarePlaneDistance(const Placement& plan,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rod::bench::BenchFlags bench_flags =
+      rod::bench::ParseBenchFlags(argc, argv);
+  if (!bench_flags.rest.empty()) {
+    std::cerr << "usage: " << argv[0] << " [--json=PATH] [--trace=PATH]\n";
+    return 2;
+  }
+  rod::bench::TelemetrySession telemetry_session(bench_flags);
   std::cout << "ROD reproduction -- E10 (§6.3): operator clustering vs "
                "communication cost\n"
             << "3 chains x 8 operators, 3 nodes; comm cost gamma x 1ms per "
@@ -84,6 +91,7 @@ int main() {
   std::vector<rod::sim::SimulationCase> cases;
   rod::sim::SimulationOptions sopts;
   sopts.duration = 60.0;
+  sopts.telemetry = telemetry_session.telemetry();
   for (double gamma : kGammas) {
     rod::Rng graph_rng(0xea000);
     GammaSetup& s = setups.emplace_back();
@@ -133,7 +141,9 @@ int main() {
       cases.push_back(c);
     }
   }
-  const auto results = rod::sim::SimulateSweep(cases);
+  rod::sim::SweepOptions sweep_options;
+  sweep_options.telemetry = telemetry_session.telemetry();
+  const auto results = rod::sim::SimulateSweep(cases, sweep_options);
 
   for (size_t gi = 0; gi < kGammas.size(); ++gi) {
     const GammaSetup& s = setups[gi];

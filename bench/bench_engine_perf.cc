@@ -6,19 +6,25 @@
 // configuration, both in this binary) and the sweep runner (N independent
 // runs across the thread pool), reporting events/sec, tuples/sec, sweep
 // wall time, and bit-exactness between every configuration pair that must
-// agree. Emits a machine-readable JSON baseline (fields documented in
+// agree. Also times the hot path with a telemetry sink attached, so the
+// enabled-telemetry overhead is part of the baseline, and runs a small
+// telemetry-enabled showcase (chaos run + parallel sweep) whose metrics
+// snapshot is embedded in the JSON and whose Chrome trace --trace exports.
+// Emits a machine-readable JSON baseline (fields documented in
 // docs/BENCH_ENGINE.md) so later PRs can regress against it.
 //
-//   bench_engine_perf [--mode smoke|full] [--out=PATH] [--threads=1,2,4,8]
+//   bench_engine_perf [--mode smoke|full] [--json=PATH] [--trace=PATH]
+//                     [--threads=1,2,4,8] [--max-telemetry-overhead=PCT]
 //
-// --mode smoke shrinks the sweep for CI; --out defaults to
-// BENCH_engine.json. Exit code is nonzero iff a bit-exactness check fails.
+// --mode smoke shrinks the sweep for CI; --json defaults to
+// BENCH_engine.json. Exit code is nonzero iff a bit-exactness check fails
+// or the enabled-telemetry overhead on the largest workload exceeds
+// --max-telemetry-overhead (0, the default, disables that check).
 
 #include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -28,7 +34,11 @@
 #include "placement/rod.h"
 #include "query/graph_gen.h"
 #include "query/load_model.h"
+#include "runtime/chaos.h"
+#include "runtime/supervisor.h"
 #include "runtime/sweep.h"
+#include "telemetry/json_writer.h"
+#include "telemetry/telemetry.h"
 
 namespace {
 
@@ -53,6 +63,9 @@ struct SingleRun {
   double tuples_per_sec = 0.0;
   double speedup_vs_legacy = 0.0;
   bool bitexact_vs_heap = false;
+  double telemetry_events_per_sec = 0.0;  ///< Fast path + telemetry sink.
+  double telemetry_overhead_pct = 0.0;    ///< 100 * (off/on - 1), by ev/s.
+  bool bitexact_vs_telemetry = false;
 };
 
 struct SweepRun {
@@ -69,6 +82,7 @@ struct SweepRun {
 struct Setup {
   query::QueryGraph graph;
   place::SystemSpec system;
+  Result<query::LoadModel> model{Status::Internal("unset")};
   Result<place::Placement> plan{Status::Internal("unset")};
   std::vector<trace::RateTrace> traces;
 };
@@ -85,13 +99,13 @@ Setup MakeSetup(const Workload& w, double duration, uint64_t seed) {
   gen.max_cost = 2e-5;
   Rng rng(seed);
   s.graph = query::GenerateRandomTrees(gen, rng);
-  auto model = query::BuildLoadModel(s.graph);
-  ROD_CHECK_OK(model.status());
+  s.model = query::BuildLoadModel(s.graph);
+  ROD_CHECK_OK(s.model.status());
   s.system = place::SystemSpec::Homogeneous(std::max<size_t>(2, w.streams));
-  s.plan = place::RodPlace(*model, s.system);
+  s.plan = place::RodPlace(*s.model, s.system);
   ROD_CHECK_OK(s.plan.status());
-  const place::PlacementEvaluator eval(*model, s.system);
-  Vector unit(model->num_system_inputs(), 1.0);
+  const place::PlacementEvaluator eval(*s.model, s.system);
+  Vector unit(s.model->num_system_inputs(), 1.0);
   auto boundary = eval.BoundaryScaleAlong(*s.plan, unit);
   ROD_CHECK_OK(boundary.status());
   const double rate = w.load_level * *boundary;
@@ -121,80 +135,82 @@ bool SameResult(const sim::SimulationResult& a,
          a.final_backlog == b.final_backlog && a.saturated == b.saturated;
 }
 
-std::vector<size_t> ParseThreadList(const std::string& spec) {
-  std::vector<size_t> threads;
-  std::stringstream ss(spec);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    const unsigned long v = std::stoul(item);
-    if (v > 0) threads.push_back(v);
-  }
-  return threads;
-}
-
-std::string JsonBool(bool b) { return b ? "true" : "false"; }
-
 void WriteJson(const std::string& path, const std::string& mode,
                const std::vector<SingleRun>& singles,
-               const std::vector<SweepRun>& sweeps) {
+               const std::vector<SweepRun>& sweeps,
+               const telemetry::MetricsSnapshot& showcase) {
   std::ofstream out(path);
-  out.precision(15);
-  out << "{\n"
-      << "  \"bench\": \"bench_engine_perf\",\n"
-      << "  \"mode\": \"" << mode << "\",\n"
-      << "  \"hardware_concurrency\": "
-      << std::max(1u, std::thread::hardware_concurrency()) << ",\n"
-      << "  \"single_runs\": [\n";
-  for (size_t i = 0; i < singles.size(); ++i) {
-    const SingleRun& r = singles[i];
-    out << "    {\"streams\": " << r.w.streams
-        << ", \"total_ops\": " << r.w.total_ops()
-        << ", \"load_level\": " << r.w.load_level
-        << ", \"duration\": " << r.duration << ", \"reps\": " << r.reps
-        << ", \"events\": " << r.events
-        << ", \"input_tuples\": " << r.input_tuples
-        << ", \"output_tuples\": " << r.output_tuples
-        << ", \"legacy_events_per_sec\": " << r.legacy_events_per_sec
-        << ", \"events_per_sec\": " << r.events_per_sec
-        << ", \"tuples_per_sec\": " << r.tuples_per_sec
-        << ", \"speedup_vs_legacy\": " << r.speedup_vs_legacy
-        << ", \"bitexact_vs_heap\": " << JsonBool(r.bitexact_vs_heap) << "}"
-        << (i + 1 < singles.size() ? "," : "") << "\n";
+  telemetry::JsonWriter w(out);
+  w.BeginObject();
+  w.Key("bench").String("bench_engine_perf");
+  w.Key("mode").String(mode);
+  w.Key("hardware_concurrency")
+      .Uint(std::max(1u, std::thread::hardware_concurrency()));
+  w.Key("single_runs").BeginArray();
+  for (const SingleRun& r : singles) {
+    w.BeginObjectInline();
+    w.Key("streams").Uint(r.w.streams);
+    w.Key("total_ops").Uint(r.w.total_ops());
+    w.Key("load_level").Double(r.w.load_level);
+    w.Key("duration").Double(r.duration);
+    w.Key("reps").Uint(r.reps);
+    w.Key("events").Uint(r.events);
+    w.Key("input_tuples").Uint(r.input_tuples);
+    w.Key("output_tuples").Uint(r.output_tuples);
+    w.Key("legacy_events_per_sec").Double(r.legacy_events_per_sec);
+    w.Key("events_per_sec").Double(r.events_per_sec);
+    w.Key("tuples_per_sec").Double(r.tuples_per_sec);
+    w.Key("speedup_vs_legacy").Double(r.speedup_vs_legacy);
+    w.Key("bitexact_vs_heap").Bool(r.bitexact_vs_heap);
+    w.Key("telemetry_events_per_sec").Double(r.telemetry_events_per_sec);
+    w.Key("telemetry_overhead_pct").Double(r.telemetry_overhead_pct);
+    w.Key("bitexact_vs_telemetry").Bool(r.bitexact_vs_telemetry);
+    w.EndObject();
   }
-  out << "  ],\n  \"sweeps\": [\n";
-  for (size_t i = 0; i < sweeps.size(); ++i) {
-    const SweepRun& r = sweeps[i];
-    out << "    {\"streams\": " << r.w.streams
-        << ", \"total_ops\": " << r.w.total_ops()
-        << ", \"load_level\": " << r.w.load_level
-        << ", \"cases\": " << r.cases << ", \"threads\": " << r.threads
-        << ", \"seconds\": " << r.seconds
-        << ", \"speedup_vs_1\": " << r.speedup_vs_1
-        << ", \"bitexact_vs_seq\": " << JsonBool(r.bitexact_vs_seq) << "}"
-        << (i + 1 < sweeps.size() ? "," : "") << "\n";
+  w.EndArray();
+  w.Key("sweeps").BeginArray();
+  for (const SweepRun& r : sweeps) {
+    w.BeginObjectInline();
+    w.Key("streams").Uint(r.w.streams);
+    w.Key("total_ops").Uint(r.w.total_ops());
+    w.Key("load_level").Double(r.w.load_level);
+    w.Key("cases").Uint(r.cases);
+    w.Key("threads").Uint(r.threads);
+    w.Key("seconds").Double(r.seconds);
+    w.Key("speedup_vs_1").Double(r.speedup_vs_1);
+    w.Key("bitexact_vs_seq").Bool(r.bitexact_vs_seq);
+    w.EndObject();
   }
-  out << "  ]\n}\n";
+  w.EndArray();
+  w.Key("telemetry");
+  telemetry::WriteSnapshotJson(showcase, w);
+  w.EndObject();
+  out << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::BenchFlags flags = bench::ParseBenchFlags(argc, argv);
   std::string mode = "full";
-  std::string out_path = "BENCH_engine.json";
+  std::string json_path = flags.json_path.empty() ? std::string("BENCH_engine.json")
+                                                  : flags.json_path;
   std::vector<size_t> threads_list;
-  for (int a = 1; a < argc; ++a) {
-    const std::string arg = argv[a];
-    if (arg == "--mode" && a + 1 < argc) {
-      mode = argv[++a];
+  double max_telemetry_overhead = 0.0;  // 0 disables the check
+  for (size_t a = 0; a < flags.rest.size(); ++a) {
+    const std::string& arg = flags.rest[a];
+    if (arg == "--mode" && a + 1 < flags.rest.size()) {
+      mode = flags.rest[++a];
     } else if (arg.rfind("--mode=", 0) == 0) {
       mode = arg.substr(7);
-    } else if (arg.rfind("--out=", 0) == 0) {
-      out_path = arg.substr(6);
     } else if (arg.rfind("--threads=", 0) == 0) {
-      threads_list = ParseThreadList(arg.substr(10));
+      threads_list = bench::ParseThreadList(arg.substr(10));
+    } else if (arg.rfind("--max-telemetry-overhead=", 0) == 0) {
+      max_telemetry_overhead = std::stod(arg.substr(25));
     } else {
       std::cerr << "usage: bench_engine_perf [--mode smoke|full] "
-                   "[--out=PATH] [--threads=1,2,4,8]\n";
+                   "[--json=PATH] [--trace=PATH] [--threads=1,2,4,8] "
+                   "[--max-telemetry-overhead=PCT]\n";
       return 2;
     }
   }
@@ -223,7 +239,8 @@ int main(int argc, char** argv) {
 
   bench::Banner("engine single-run hot path (calendar+streaming vs legacy)");
   bench::Table single_table({"streams", "ops", "load", "events", "legacy ev/s",
-                             "new ev/s", "speedup", "tuples/s", "bitexact"});
+                             "new ev/s", "speedup", "tel ev/s", "tel ovh%",
+                             "bitexact"});
   std::vector<SingleRun> singles;
   bool all_bitexact = true;
 
@@ -242,6 +259,10 @@ int main(int argc, char** argv) {
     legacy.exact_percentiles = true;
     sim::SimulationOptions heap_fast = fast;  // heap + streaming: isolates
     heap_fast.event_queue = sim::EventQueueImpl::kBinaryHeap;
+    // Fast path with a live telemetry sink: the enabled-overhead column.
+    telemetry::Telemetry run_telemetry;
+    sim::SimulationOptions fast_telemetry = fast;
+    fast_telemetry.telemetry = &run_telemetry;
 
     auto time_runs = [&](const sim::SimulationOptions& options) {
       // One short warmup (grows the thread-local workspace), then `reps`
@@ -268,6 +289,7 @@ int main(int argc, char** argv) {
     auto [fast_result, fast_secs] = time_runs(fast);
     auto [legacy_result, legacy_secs] = time_runs(legacy);
     auto [heap_result, heap_secs] = time_runs(heap_fast);
+    auto [tel_result, tel_secs] = time_runs(fast_telemetry);
     (void)heap_secs;
 
     SingleRun r;
@@ -285,15 +307,24 @@ int main(int argc, char** argv) {
     // percentile mode is allowed to differ from `legacy`, the queue not).
     r.bitexact_vs_heap = SameResult(fast_result, heap_result) &&
                          fast_result.p99_latency == heap_result.p99_latency;
-    all_bitexact = all_bitexact && r.bitexact_vs_heap;
+    // Telemetry is observation-only, so attaching it must not move a bit.
+    r.bitexact_vs_telemetry = SameResult(fast_result, tel_result) &&
+                              fast_result.p99_latency == tel_result.p99_latency;
+    r.telemetry_events_per_sec = static_cast<double>(r.events) / tel_secs;
+    r.telemetry_overhead_pct =
+        100.0 * (r.events_per_sec / r.telemetry_events_per_sec - 1.0);
+    all_bitexact =
+        all_bitexact && r.bitexact_vs_heap && r.bitexact_vs_telemetry;
     singles.push_back(r);
     single_table.AddRow(
         {std::to_string(w.streams), std::to_string(w.total_ops()),
          bench::Fmt(w.load_level, 1), std::to_string(r.events),
          bench::Fmt(r.legacy_events_per_sec / 1e6, 2),
          bench::Fmt(r.events_per_sec / 1e6, 2),
-         bench::Fmt(r.speedup_vs_legacy, 2), bench::Fmt(r.tuples_per_sec / 1e6, 2),
-         r.bitexact_vs_heap ? "yes" : "NO"});
+         bench::Fmt(r.speedup_vs_legacy, 2),
+         bench::Fmt(r.telemetry_events_per_sec / 1e6, 2),
+         bench::Fmt(r.telemetry_overhead_pct, 1),
+         r.bitexact_vs_heap && r.bitexact_vs_telemetry ? "yes" : "NO"});
   }
   single_table.Print();
 
@@ -362,10 +393,81 @@ int main(int argc, char** argv) {
   }
   sweep_table.Print();
 
+  // Telemetry showcase: one fully instrumented incident run (crash +
+  // supervised repair) plus a small parallel sweep with the sink attached
+  // to the sweep runner and the shared pool, so the embedded snapshot —
+  // and the --trace export — carries engine, supervisor, sweep, and
+  // thread-pool series.
+  bench::Banner("telemetry showcase (chaos run + parallel sweep)");
+  telemetry::Telemetry showcase;
+  {
+    const Workload& w = workloads.front();
+    const double demo_duration = 10.0;
+    const Setup s = MakeSetup(w, demo_duration, /*seed=*/0xe9f0);
+    ThreadPool::Shared().set_telemetry(&showcase);
+
+    sim::FailureSchedule chaos;
+    chaos.CrashAt(demo_duration * 0.3, /*node=*/1);
+    sim::Supervisor::Options sup_options;
+    sup_options.detection_delay = 0.5;
+    sup_options.policy = sim::Supervisor::Policy::kRepair;
+    sup_options.telemetry = &showcase;
+    sim::Supervisor supervisor(*s.model, sup_options);
+    sim::SimulationOptions incident;
+    incident.duration = demo_duration;
+    incident.failures = &chaos;
+    incident.recovery = &supervisor;
+    incident.telemetry = &showcase;
+    auto incident_run =
+        sim::SimulatePlacement(s.graph, *s.plan, s.system, s.traces, incident);
+    ROD_CHECK_OK(incident_run.status());
+
+    const auto seeds = sim::ForkSeeds(0x7e1e, 4);
+    std::vector<sim::SimulationCase> cases;
+    for (uint64_t seed : seeds) {
+      sim::SimulationCase c;
+      c.graph = &s.graph;
+      c.placement = &*s.plan;
+      c.system = &s.system;
+      c.inputs = &s.traces;
+      c.options.duration = demo_duration;
+      c.options.seed = seed;
+      c.options.telemetry = &showcase;
+      cases.push_back(c);
+    }
+    sim::SweepOptions sweep;
+    sweep.num_threads = threads_list.back();
+    sweep.telemetry = &showcase;
+    auto results = sim::SimulateSweep(cases, sweep);
+    for (auto& r : results) ROD_CHECK_OK(r.status());
+    ThreadPool::Shared().set_telemetry(nullptr);
+
+    const telemetry::MetricsSnapshot snap = showcase.Snapshot();
+    std::cout << "showcase recorded " << snap.counters.size() << " counters, "
+              << snap.histograms.size() << " histograms, "
+              << snap.trace_events_recorded << " trace events ("
+              << snap.trace_events_dropped << " dropped)\n";
+    if (!flags.trace_path.empty()) {
+      std::ofstream trace_out(flags.trace_path);
+      showcase.WriteChromeTrace(trace_out);
+      std::cout << "wrote " << flags.trace_path << " (chrome trace)\n";
+    }
+  }
+
+  bool overhead_ok = true;
+  if (max_telemetry_overhead > 0.0) {
+    const double worst = singles.back().telemetry_overhead_pct;
+    overhead_ok = worst <= max_telemetry_overhead;
+    std::cout << "telemetry overhead on largest workload: "
+              << bench::Fmt(worst, 1) << "% (limit "
+              << bench::Fmt(max_telemetry_overhead, 1) << "%): "
+              << (overhead_ok ? "ok" : "EXCEEDED") << "\n";
+  }
+
   std::cout << "\nall bit-exactness checks passed: "
             << (all_bitexact ? "yes" : "NO") << "\n";
-  WriteJson(out_path, mode, singles, sweeps);
-  std::cout << "wrote " << out_path << " (" << singles.size()
+  WriteJson(json_path, mode, singles, sweeps, showcase.Snapshot());
+  std::cout << "wrote " << json_path << " (" << singles.size()
             << " single runs, " << sweeps.size() << " sweep points)\n";
-  return all_bitexact ? 0 : 1;
+  return all_bitexact && overhead_ok ? 0 : 1;
 }

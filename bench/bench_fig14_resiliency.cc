@@ -27,7 +27,14 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rod::bench::BenchFlags bench_flags =
+      rod::bench::ParseBenchFlags(argc, argv);
+  if (!bench_flags.rest.empty()) {
+    std::cerr << "usage: " << argv[0] << " [--json=PATH] [--trace=PATH]\n";
+    return 2;
+  }
+  rod::bench::TelemetrySession telemetry_session(bench_flags);
   std::cout << "ROD reproduction -- E4 (Figure 14): base resiliency\n"
             << "5 input streams, 5 homogeneous nodes, 10 trials per "
                "baseline, QMC 2^13 samples\n";

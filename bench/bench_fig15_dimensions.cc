@@ -19,7 +19,14 @@ using rod::place::SystemSpec;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rod::bench::BenchFlags bench_flags =
+      rod::bench::ParseBenchFlags(argc, argv);
+  if (!bench_flags.rest.empty()) {
+    std::cerr << "usage: " << argv[0] << " [--json=PATH] [--trace=PATH]\n";
+    return 2;
+  }
+  rod::bench::TelemetrySession telemetry_session(bench_flags);
   std::cout << "ROD reproduction -- E5 (Figure 15): varying the number of "
                "inputs\n"
             << "20 operators per tree, 5 homogeneous nodes, 10 trials per "

@@ -50,7 +50,14 @@ QueryGraph Figure4Graph() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rod::bench::BenchFlags bench_flags =
+      rod::bench::ParseBenchFlags(argc, argv);
+  if (!bench_flags.rest.empty()) {
+    std::cerr << "usage: " << argv[0] << " [--json=PATH] [--trace=PATH]\n";
+    return 2;
+  }
+  rod::bench::TelemetrySession telemetry_session(bench_flags);
   std::cout << "ROD reproduction -- E2 (Table 2, Figures 5-6): Example 2\n";
   const QueryGraph g = Figure4Graph();
   auto model = rod::query::BuildLoadModel(g);

@@ -36,7 +36,14 @@ double SphereBoundRatio(double r, size_t d) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rod::bench::BenchFlags bench_flags =
+      rod::bench::ParseBenchFlags(argc, argv);
+  if (!bench_flags.rest.empty()) {
+    std::cerr << "usage: " << argv[0] << " [--json=PATH] [--trace=PATH]\n";
+    return 2;
+  }
+  rod::bench::TelemetrySession telemetry_session(bench_flags);
   std::cout << "ROD reproduction -- E3 (Figure 9): r vs feasible-set size\n";
   constexpr size_t kNodes = 10;
   constexpr size_t kDims = 3;

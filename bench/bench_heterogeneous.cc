@@ -21,7 +21,14 @@ using rod::place::SystemSpec;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rod::bench::BenchFlags bench_flags =
+      rod::bench::ParseBenchFlags(argc, argv);
+  if (!bench_flags.rest.empty()) {
+    std::cerr << "usage: " << argv[0] << " [--json=PATH] [--trace=PATH]\n";
+    return 2;
+  }
+  rod::bench::TelemetrySession telemetry_session(bench_flags);
   std::cout << "ROD reproduction -- A2: heterogeneous node capacities\n"
             << "5 streams x 20 ops, 5 nodes, total capacity fixed at 5.0, "
                "10 trials per baseline\n";

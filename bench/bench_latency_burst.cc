@@ -26,7 +26,14 @@ using rod::place::SystemSpec;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rod::bench::BenchFlags bench_flags =
+      rod::bench::ParseBenchFlags(argc, argv);
+  if (!bench_flags.rest.empty()) {
+    std::cerr << "usage: " << argv[0] << " [--json=PATH] [--trace=PATH]\n";
+    return 2;
+  }
+  rod::bench::TelemetrySession telemetry_session(bench_flags);
   std::cout << "ROD reproduction -- E7: latency under bursty load "
                "(traffic-monitoring workload, TCP-like traces)\n";
 
@@ -55,6 +62,7 @@ int main() {
 
   rod::sim::SimulationOptions sopts;
   sopts.duration = 180.0;
+  sopts.telemetry = telemetry_session.telemetry();
 
   for (double level : {0.5, 0.7, 0.85}) {
     rod::bench::Banner("mean load = " + Fmt(level, 2) +

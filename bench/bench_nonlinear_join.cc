@@ -79,7 +79,14 @@ double UniformBoundary(const PlacementEvaluator& eval,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const rod::bench::BenchFlags bench_flags =
+      rod::bench::ParseBenchFlags(argc, argv);
+  if (!bench_flags.rest.empty()) {
+    std::cerr << "usage: " << argv[0] << " [--json=PATH] [--trace=PATH]\n";
+    return 2;
+  }
+  rod::bench::TelemetrySession telemetry_session(bench_flags);
   std::cout << "ROD reproduction -- E9 (§6.2): join graphs via "
                "linearization\n"
             << "3 nodes; feasibility sampled over the physical rate box "

@@ -7,20 +7,118 @@
 #define ROD_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "placement/baselines.h"
 #include "placement/evaluator.h"
 #include "placement/rod.h"
 #include "query/graph_gen.h"
 #include "query/load_model.h"
+#include "telemetry/telemetry.h"
 
 namespace rod::bench {
+
+/// The standard CLI flags every bench binary accepts (the google-benchmark
+/// micro benches excepted — they own their argv):
+///   --json=PATH   machine-readable JSON. For most benches this is the
+///                 telemetry metrics snapshot; the two perf benches write
+///                 their results baseline here instead (bench_engine_perf
+///                 embeds the snapshot under a "telemetry" key).
+///   --trace=PATH  Chrome trace_event JSON of the run, loadable in
+///                 chrome://tracing / Perfetto.
+/// Everything else lands in `rest` for the binary's own parser.
+struct BenchFlags {
+  std::string json_path;
+  std::string trace_path;
+  std::vector<std::string> rest;
+};
+
+inline BenchFlags ParseBenchFlags(int argc, char** argv) {
+  BenchFlags f;
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg.rfind("--json=", 0) == 0) {
+      f.json_path = arg.substr(7);
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      f.trace_path = arg.substr(8);
+    } else {
+      f.rest.push_back(arg);
+    }
+  }
+  return f;
+}
+
+/// Comma-separated positive thread counts ("1,2,4,8").
+inline std::vector<size_t> ParseThreadList(const std::string& spec) {
+  std::vector<size_t> threads;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const unsigned long v = std::stoul(item);
+    if (v > 0) threads.push_back(v);
+  }
+  return threads;
+}
+
+/// RAII telemetry wiring for a bench binary: when --json / --trace asked
+/// for output, owns a Telemetry, attaches it to the shared thread pool for
+/// the binary's lifetime, and exports the requested files on destruction.
+/// The bench passes `telemetry()` into SimulationOptions / SweepOptions /
+/// Supervisor::Options wherever it builds them; the null return when
+/// neither flag was given keeps every instrumented path on its
+/// telemetry-off branch. Export happens after the bench's parallel work
+/// has finished (ParallelFor and the sweep entry points block until every
+/// chunk completes), satisfying the exporters' quiescence requirement.
+class TelemetrySession {
+ public:
+  /// `owns_json`: export the metrics snapshot to --json (the default).
+  /// The perf benches pass false — their results baseline owns that path.
+  explicit TelemetrySession(const BenchFlags& flags, bool owns_json = true)
+      : json_path_(owns_json ? flags.json_path : std::string()),
+        trace_path_(flags.trace_path) {
+    if (!json_path_.empty() || !trace_path_.empty()) {
+      telemetry_ = std::make_unique<telemetry::Telemetry>();
+      ThreadPool::Shared().set_telemetry(telemetry_.get());
+    }
+  }
+  ~TelemetrySession() { Finish(); }
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+  /// Null when no telemetry output was requested.
+  telemetry::Telemetry* telemetry() { return telemetry_.get(); }
+
+  /// Detaches the pool and writes the exports. Idempotent.
+  void Finish() {
+    if (telemetry_ == nullptr || finished_) return;
+    finished_ = true;
+    ThreadPool::Shared().set_telemetry(nullptr);
+    if (!trace_path_.empty()) {
+      std::ofstream out(trace_path_);
+      telemetry_->WriteChromeTrace(out);
+      std::cout << "wrote " << trace_path_ << " (chrome trace)\n";
+    }
+    if (!json_path_.empty()) {
+      std::ofstream out(json_path_);
+      telemetry_->WriteMetricsJson(out);
+      std::cout << "wrote " << json_path_ << " (metrics snapshot)\n";
+    }
+  }
+
+ private:
+  std::string json_path_;
+  std::string trace_path_;
+  std::unique_ptr<telemetry::Telemetry> telemetry_;
+  bool finished_ = false;
+};
 
 /// Fixed-width console table: set a header once, stream rows, print.
 class Table {

@@ -8,14 +8,18 @@
 // machine-readable JSON baseline (fields documented in
 // docs/BENCH_VOLUME.md) so later PRs can regress against it.
 //
-//   bench_volume_perf [--smoke] [--out=PATH] [--threads=1,2,4,8]
+//   bench_volume_perf [--smoke] [--json=PATH] [--trace=PATH]
+//                     [--threads=1,2,4,8]
 //
-// --smoke shrinks the sweep for CI; --out defaults to BENCH_volume.json.
+// --smoke shrinks the sweep for CI; --json defaults to BENCH_volume.json.
+// --trace attaches a telemetry sink to the shared thread pool and exports
+// a Chrome trace of the pool's task spans (note: the per-task spans add
+// measurable overhead, so trace-enabled throughput numbers are not
+// comparable to the committed baseline).
 
 #include <chrono>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +30,7 @@
 #include "geometry/sample_cache.h"
 #include "placement/plan.h"
 #include "placement/rod.h"
+#include "telemetry/json_writer.h"
 
 namespace {
 
@@ -81,62 +86,57 @@ double SecondsSince(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
-std::vector<size_t> ParseThreadList(const std::string& spec) {
-  std::vector<size_t> threads;
-  std::stringstream ss(spec);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    const unsigned long v = std::stoul(item);
-    if (v > 0) threads.push_back(v);
-  }
-  return threads;
-}
-
-std::string JsonBool(bool b) { return b ? "true" : "false"; }
-
 void WriteJson(const std::string& path, const std::string& mode,
                const std::vector<Measurement>& rows) {
   std::ofstream out(path);
-  out.precision(15);
-  out << "{\n"
-      << "  \"bench\": \"bench_volume_perf\",\n"
-      << "  \"mode\": \"" << mode << "\",\n"
-      << "  \"hardware_concurrency\": "
-      << std::max(1u, std::thread::hardware_concurrency()) << ",\n"
-      << "  \"entries\": [\n";
-  for (size_t i = 0; i < rows.size(); ++i) {
-    const Measurement& m = rows[i];
-    out << "    {\"dims\": " << m.dims << ", \"nodes\": " << m.nodes
-        << ", \"samples\": " << m.samples << ", \"threads\": " << m.threads
-        << ", \"reps\": " << m.reps << ", \"ratio\": " << m.ratio
-        << ", \"seconds\": " << m.seconds
-        << ", \"samples_per_sec\": " << m.samples_per_sec
-        << ", \"speedup_vs_1\": " << m.speedup_vs_1
-        << ", \"bitexact_vs_seq\": " << JsonBool(m.bitexact_vs_seq)
-        << ", \"cache_cold_ms\": " << m.cache_cold_ms
-        << ", \"cache_warm_ms\": " << m.cache_warm_ms << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+  telemetry::JsonWriter w(out);
+  w.BeginObject();
+  w.Key("bench").String("bench_volume_perf");
+  w.Key("mode").String(mode);
+  w.Key("hardware_concurrency")
+      .Uint(std::max(1u, std::thread::hardware_concurrency()));
+  w.Key("entries").BeginArray();
+  for (const Measurement& m : rows) {
+    w.BeginObjectInline();
+    w.Key("dims").Uint(m.dims);
+    w.Key("nodes").Uint(m.nodes);
+    w.Key("samples").Uint(m.samples);
+    w.Key("threads").Uint(m.threads);
+    w.Key("reps").Uint(m.reps);
+    w.Key("ratio").Double(m.ratio);
+    w.Key("seconds").Double(m.seconds);
+    w.Key("samples_per_sec").Double(m.samples_per_sec);
+    w.Key("speedup_vs_1").Double(m.speedup_vs_1);
+    w.Key("bitexact_vs_seq").Bool(m.bitexact_vs_seq);
+    w.Key("cache_cold_ms").Double(m.cache_cold_ms);
+    w.Key("cache_warm_ms").Double(m.cache_warm_ms);
+    w.EndObject();
   }
-  out << "  ]\n}\n";
+  w.EndArray();
+  w.EndObject();
+  out << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  const bench::BenchFlags flags = bench::ParseBenchFlags(argc, argv);
+  // The results baseline owns --json; the session only exports --trace
+  // (pool task spans — the volume kernel itself runs inside pool chunks).
+  bench::TelemetrySession telemetry(flags, /*owns_json=*/false);
   bool smoke = false;
-  std::string out_path = "BENCH_volume.json";
+  std::string out_path = flags.json_path.empty()
+                             ? std::string("BENCH_volume.json")
+                             : flags.json_path;
   std::vector<size_t> threads_list;
-  for (int a = 1; a < argc; ++a) {
-    const std::string arg = argv[a];
+  for (const std::string& arg : flags.rest) {
     if (arg == "--smoke") {
       smoke = true;
-    } else if (arg.rfind("--out=", 0) == 0) {
-      out_path = arg.substr(6);
     } else if (arg.rfind("--threads=", 0) == 0) {
-      threads_list = ParseThreadList(arg.substr(10));
+      threads_list = bench::ParseThreadList(arg.substr(10));
     } else {
-      std::cerr << "usage: bench_volume_perf [--smoke] [--out=PATH] "
-                   "[--threads=1,2,4,8]\n";
+      std::cerr << "usage: bench_volume_perf [--smoke] [--json=PATH] "
+                   "[--trace=PATH] [--threads=1,2,4,8]\n";
       return 2;
     }
   }

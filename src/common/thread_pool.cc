@@ -38,22 +38,50 @@ void ThreadPool::Submit(std::function<void()> task) {
     std::lock_guard<std::mutex> lock(mu_);
     assert(!stop_);
     queue_.push_back(std::move(task));
+    if (telemetry_ != nullptr) {
+      queue_depth_gauge_.Set(static_cast<double>(queue_.size()));
+    }
   }
   cv_.notify_one();
+}
+
+void ThreadPool::set_telemetry(telemetry::Telemetry* telemetry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  telemetry_ = telemetry;
+  if (telemetry != nullptr) {
+    tasks_counter_ = telemetry->counter("pool.tasks");
+    queue_depth_gauge_ = telemetry->gauge("pool.queue_depth");
+  } else {
+    tasks_counter_ = telemetry::Counter();
+    queue_depth_gauge_ = telemetry::Gauge();
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   t_inside_pool_worker = true;
   for (;;) {
     std::function<void()> task;
+    telemetry::Telemetry* telemetry = nullptr;
+    telemetry::Counter tasks_counter;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ set and queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      telemetry = telemetry_;
+      if (telemetry != nullptr) {
+        tasks_counter = tasks_counter_;
+        queue_depth_gauge_.Set(static_cast<double>(queue_.size()));
+      }
     }
-    task();
+    if (telemetry != nullptr) {
+      telemetry::TraceSpan span(telemetry, "pool", "task");
+      tasks_counter.Add();
+      task();
+    } else {
+      task();
+    }
   }
 }
 

@@ -18,6 +18,8 @@
 #include <thread>
 #include <vector>
 
+#include "telemetry/telemetry.h"
+
 namespace rod {
 
 /// A fixed set of worker threads draining a shared task queue. Tasks must
@@ -37,6 +39,13 @@ class ThreadPool {
   /// Enqueues `task` for execution on some worker.
   void Submit(std::function<void()> task);
 
+  /// Attaches (or, with nullptr, detaches) a telemetry sink: workers
+  /// record a "pool/task" span per executed task, a `pool.tasks`
+  /// counter, and a `pool.queue_depth` gauge. Not owned; the sink must
+  /// outlive its attachment, and detaching while tasks are still queued
+  /// is the caller's race to avoid (quiesce first).
+  void set_telemetry(telemetry::Telemetry* telemetry);
+
   /// Process-wide pool sized to the hardware concurrency (>= 1), created
   /// on first use. The ParallelFor overload without an explicit pool runs
   /// on this instance.
@@ -49,6 +58,10 @@ class ThreadPool {
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
+  // Guarded by mu_; copied out before use so spans run unlocked.
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Counter tasks_counter_;
+  telemetry::Gauge queue_depth_gauge_;
   std::vector<std::thread> workers_;
 };
 

@@ -5,6 +5,8 @@
 // compile time matters.
 //
 // Layer map (bottom-up):
+//   telemetry/ metric registry (counters/gauges/histograms), trace
+//              spans, Chrome-trace + metrics-snapshot JSON exporters
 //   common/    Status/Result, Rng, Matrix/Vector, statistics
 //   query/     operators, query graphs, load models, linearization,
 //              workload generators, text format, Graphviz export
@@ -58,6 +60,8 @@
 #include "runtime/metrics.h"
 #include "runtime/supervisor.h"
 #include "runtime/sweep.h"
+#include "telemetry/json_writer.h"
+#include "telemetry/telemetry.h"
 #include "trace/bmodel.h"
 #include "trace/hurst.h"
 #include "trace/io.h"

@@ -14,6 +14,7 @@
 #include "runtime/metrics.h"
 #include "runtime/node.h"
 #include "runtime/workload_driver.h"
+#include "telemetry/telemetry.h"
 
 namespace rod::sim {
 
@@ -145,6 +146,12 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
     ROD_RETURN_IF_ERROR(options.failures->Validate(deployment.num_nodes()));
   }
 
+  // Telemetry is observation-only: it never draws from the run's random
+  // streams and never branches the simulation, so results are bit-exact
+  // with `tel` attached or null.
+  telemetry::Telemetry* const tel = options.telemetry;
+  telemetry::TraceSpan setup_span(tel, "engine", "setup");
+
   WorkspaceLease lease;
   EngineWorkspace& ws = *lease;
 
@@ -225,6 +232,8 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
   } else {
     ws.events.Clear();
   }
+  // Unconditional: the pooled queue must not keep a stale sink across runs.
+  ws.events.set_telemetry(tel);
   ws.events.Reserve(2 * num_nodes + inputs.size() + 64);
   EventQueue& events = ws.events;
   ws.network.clear();
@@ -318,6 +327,9 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
     }
   };
 
+  setup_span.End();
+  telemetry::TraceSpan run_span(tel, "engine", "run");
+
   uint64_t processed_events = 0;
   while (!events.empty()) {
     const Event ev = events.Pop();
@@ -409,6 +421,14 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
 
     if (ev.type == EventType::kFault) {
       const FaultEvent& fault = options.failures->events()[ev.index];
+      if (tel != nullptr) {
+        const char* kind = fault.kind == FaultKind::kCrash ? "crash"
+                           : fault.kind == FaultKind::kRecover
+                               ? "recover"
+                               : "slowdown";
+        tel->RecordInstant("engine", kind, fault.node, /*has_arg=*/true);
+        tel->Count("engine.faults");
+      }
       if (fault.kind == FaultKind::kCrash) {
         node_up[fault.node] = 0;
         // Queued and in-flight tuple-tasks are lost (comm overhead tasks
@@ -446,16 +466,24 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
       if (have_incident && incident.detect_time < 0) {
         incident.detect_time = now;
       }
+      telemetry::TraceSpan detect_span(tel, "supervisor", "detect",
+                                       uint64_t{ev.index});
       auto update = options.recovery->OnFailureDetected(
           now, ev.index, std::vector<bool>(node_up.begin(), node_up.end()),
           dep);
+      detect_span.End();
       if (update) {
+        telemetry::TraceSpan reassign_span(tel, "supervisor", "reassign");
         auto moved = ReassignOperators(dep, update->assignment);
         if (!moved.ok()) return moved.status();
         shed_during_pause = update->shed_during_pause;
         incident.operators_moved += moved->size();
         if (incident.plan_applied_time < 0) {
           incident.plan_applied_time = now;
+        }
+        if (tel != nullptr) {
+          tel->Count("supervisor.plan_updates");
+          tel->Count("supervisor.operators_moved", moved->size());
         }
         if (!moved->empty()) {
           std::vector<char> is_moved(dep.ops.size(), 0);
@@ -541,6 +569,9 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
     }
     try_start(node_id, now);
   }
+
+  run_span.End();
+  telemetry::TraceSpan finalize_span(tel, "engine", "finalize");
 
   // Assemble results.
   SimulationResult result;
@@ -645,6 +676,22 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
     incident.post_recovery =
         SummarizePhase(lat.subspan(recov_idx), ws.phase_scratch);
     result.incident = incident;
+  }
+
+  if (tel != nullptr) {
+    tel->Count("engine.runs");
+    tel->Count("engine.events_processed", result.processed_events);
+    tel->Count("engine.input_tuples", result.input_tuples);
+    tel->Count("engine.output_tuples", result.output_tuples);
+    tel->Count("engine.shed_tuples", result.shed_tuples);
+    tel->Observe("engine.run.mean_latency_ms", result.mean_latency * 1e3);
+    tel->Observe("engine.run.max_utilization", result.max_node_utilization);
+    if (result.incident) {
+      tel->Count("engine.incident.lost_tuples", result.incident->lost_tuples);
+      tel->Count("engine.migration.buffered",
+                 result.incident->migration_buffered);
+      tel->Count("engine.migration.shed", result.incident->migration_shed);
+    }
   }
   return result;
 }

@@ -97,6 +97,12 @@ struct SimulationOptions {
   /// Reservoir size per latency series when streaming summaries are in
   /// use (ignored under exact_percentiles; 0 also forces exact).
   size_t latency_reservoir = 8192;
+
+  /// Telemetry sink (metrics + trace spans; see docs/TELEMETRY.md). Not
+  /// owned; null (the default) disables all recording. Telemetry never
+  /// touches the run's random streams or control flow, so results are
+  /// bit-identical whether it is attached or not.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Latency percentiles over the sink outputs completing in one incident

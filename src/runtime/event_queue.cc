@@ -123,6 +123,11 @@ Event EventQueue::Pop() {
 }
 
 void EventQueue::Rebuild(size_t new_bucket_count) {
+  if (telemetry_ != nullptr) {
+    telemetry_->Count("engine.calendar.resizes");
+    telemetry_->RecordInstant("engine", "calendar_resize", new_bucket_count,
+                              /*has_arg=*/true);
+  }
   scratch_.clear();
   scratch_.reserve(size_);
   for (auto& bucket : buckets_) {

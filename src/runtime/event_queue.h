@@ -29,6 +29,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "telemetry/telemetry.h"
+
 namespace rod::sim {
 
 /// What a scheduled event means.
@@ -85,6 +87,13 @@ class EventQueue {
   /// allocated storage so a pooled queue can be reused across runs.
   void Clear();
 
+  /// Telemetry sink for calendar resize events (`engine.calendar.resizes`
+  /// counter + "calendar_resize" instants). Not owned; null disables.
+  /// Never consulted outside Push/Pop, so re-attaching per run is safe.
+  void set_telemetry(telemetry::Telemetry* telemetry) {
+    telemetry_ = telemetry;
+  }
+
  private:
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -111,6 +120,7 @@ class EventQueue {
   EventQueueImpl impl_;
   size_t size_ = 0;
   uint64_t next_seq_ = 0;
+  telemetry::Telemetry* telemetry_ = nullptr;
 
   // kBinaryHeap state.
   std::vector<Event> heap_;

@@ -37,6 +37,9 @@ std::optional<PlanUpdate> Supervisor::OnFailureDetected(
     }
     if (!changed) return std::nullopt;
     ++repairs_;
+    if (options_.telemetry != nullptr) {
+      options_.telemetry->Count("supervisor.repairs");
+    }
     last_status_ = Status::OK();
     return PlanUpdate{std::move(assignment), options_.migration_pause,
                       options_.shed_during_pause};
@@ -62,14 +65,19 @@ std::optional<PlanUpdate> Supervisor::OnFailureDetected(
   place::RepairOptions repair_options;
   repair_options.rod = options_.rod;
   repair_options.max_rebalance_moves = options_.rebalance_budget;
+  telemetry::TraceSpan repair_span(options_.telemetry, "supervisor", "repair");
   auto repaired = place::RepairPlacement(
       *model_, place::Placement(n, assignment), survivors, node_mapping,
       repair_options);
+  repair_span.End();
   if (!repaired.ok()) {
     last_status_ = repaired.status();
     return std::nullopt;
   }
   ++repairs_;
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->Count("supervisor.repairs");
+  }
   operators_moved_ += repaired->operators_moved;
   last_plane_distance_ = repaired->plane_distance;
   last_status_ = Status::OK();

@@ -19,6 +19,7 @@
 #include "placement/repair.h"
 #include "query/load_model.h"
 #include "runtime/chaos.h"
+#include "telemetry/telemetry.h"
 
 namespace rod::sim {
 
@@ -49,6 +50,10 @@ class Supervisor : public RecoveryAgent {
     /// ROD knobs for the incremental repair (kMinCrossArcs is not
     /// supported incrementally and is rejected by RepairPlacement).
     place::RodOptions rod;
+
+    /// Telemetry sink ("supervisor.repair" spans, supervisor.* counters).
+    /// Not owned; null disables.
+    telemetry::Telemetry* telemetry = nullptr;
   };
 
   /// `model` must describe the deployed query graph and outlive the

@@ -56,7 +56,12 @@ std::vector<Result<SimulationResult>> SimulateSweep(
               sweep.grain == 0 ? 1 : sweep.grain,
               [&](size_t, size_t begin, size_t end) {
                 for (size_t i = begin; i < end; ++i) {
+                  telemetry::TraceSpan span(sweep.telemetry, "sweep", "case",
+                                            static_cast<uint64_t>(i));
                   results[i] = RunCase(cases[i]);
+                }
+                if (sweep.telemetry != nullptr) {
+                  sweep.telemetry->Count("sweep.cases", end - begin);
                 }
               });
   return results;
@@ -85,7 +90,12 @@ std::vector<Result<bool>> ProbeFeasibleSweep(const query::QueryGraph& graph,
       sweep.grain == 0 ? 1 : sweep.grain,
       [&](size_t, size_t begin, size_t end) {
         std::vector<trace::RateTrace> traces;
+        if (sweep.telemetry != nullptr) {
+          sweep.telemetry->Count("sweep.probes", end - begin);
+        }
         for (size_t i = begin; i < end; ++i) {
+          telemetry::TraceSpan span(sweep.telemetry, "sweep", "probe",
+                                    static_cast<uint64_t>(i));
           const Vector& rates = rate_points[i];
           if (rates.size() != num_streams) {
             results[i] = Result<bool>(Status::InvalidArgument(

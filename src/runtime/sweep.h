@@ -41,6 +41,11 @@ struct SweepOptions {
   /// Cases per scheduling chunk. 1 (the default) balances best; raise it
   /// only when cases are very short.
   size_t grain = 1;
+
+  /// Telemetry sink for sweep-level series ("sweep" spans per case/probe,
+  /// `sweep.cases` / `sweep.probes` counters). Not owned; null disables.
+  /// Independent of any per-case SimulationOptions::telemetry.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Resolves SweepOptions::num_threads (0 -> hardware concurrency).

@@ -1,0 +1,192 @@
+#include "telemetry/json_writer.h"
+
+#include <cassert>
+#include <cstdio>
+
+namespace rod::telemetry {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& out, int precision) : out_(out) {
+  out_.precision(precision);
+}
+
+void JsonWriter::Indent(size_t depth) {
+  for (size_t i = 0; i < depth; ++i) out_ << "  ";
+}
+
+void JsonWriter::BeforeElement() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // "key": <value> — separator already emitted by Key().
+  }
+  if (stack_.empty()) {
+    assert(!wrote_root_ && "JSON document already complete");
+    return;
+  }
+  Frame& top = stack_.back();
+  assert(!top.is_object && "object members need a Key() first");
+  if (top.count > 0) out_ << (top.inline_mode ? ", " : ",");
+  if (!top.inline_mode) {
+    out_ << "\n";
+    Indent(stack_.size());
+  }
+  ++top.count;
+}
+
+void JsonWriter::BeforeContainer(bool inline_mode) {
+  const bool inherited =
+      inline_mode || (!stack_.empty() && stack_.back().inline_mode);
+  const bool was_key = pending_key_;
+  BeforeElement();
+  (void)was_key;
+  stack_.push_back(Frame{false, inherited, 0});
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeContainer(false);
+  stack_.back().is_object = true;
+  out_ << "{";
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginObjectInline() {
+  BeforeContainer(true);
+  stack_.back().is_object = true;
+  out_ << "{";
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  assert(!stack_.empty() && stack_.back().is_object);
+  const Frame top = stack_.back();
+  stack_.pop_back();
+  if (!top.inline_mode && top.count > 0) {
+    out_ << "\n";
+    Indent(stack_.size());
+  }
+  out_ << "}";
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeContainer(false);
+  out_ << "[";
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArrayInline() {
+  BeforeContainer(true);
+  out_ << "[";
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  assert(!stack_.empty() && !stack_.back().is_object);
+  const Frame top = stack_.back();
+  stack_.pop_back();
+  if (!top.inline_mode && top.count > 0) {
+    out_ << "\n";
+    Indent(stack_.size());
+  }
+  out_ << "]";
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  assert(!stack_.empty() && stack_.back().is_object && !pending_key_);
+  Frame& top = stack_.back();
+  if (top.count > 0) out_ << (top.inline_mode ? ", " : ",");
+  if (!top.inline_mode) {
+    out_ << "\n";
+    Indent(stack_.size());
+  }
+  ++top.count;
+  out_ << '"' << JsonEscape(key) << "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view v) {
+  BeforeElement();
+  out_ << '"' << JsonEscape(v) << '"';
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  BeforeElement();
+  out_ << (v ? "true" : "false");
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Uint(uint64_t v) {
+  BeforeElement();
+  out_ << v;
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t v) {
+  BeforeElement();
+  out_ << v;
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double v) {
+  BeforeElement();
+  out_ << v;
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  BeforeElement();
+  out_ << "null";
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+}  // namespace rod::telemetry

@@ -1,0 +1,82 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// A small streaming JSON writer with correct string escaping and
+// comma/indent bookkeeping — the single JSON-emission path for the
+// telemetry exporters and the bench baselines (which used to hand-roll
+// their JSON with `<<` chains and no escaping).
+//
+// Layout model: containers opened with BeginObject/BeginArray are
+// pretty-printed (one element per line, two-space indent) unless opened
+// with the *Inline variants, which render the whole container on one
+// line ("{"k": 1, "v": 2}") — the shape the committed BENCH_*.json
+// baselines use for their per-entry rows. Doubles are written with the
+// stream's default format at precision 15, matching the pre-telemetry
+// emitters byte for byte.
+
+#ifndef ROD_TELEMETRY_JSON_WRITER_H_
+#define ROD_TELEMETRY_JSON_WRITER_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rod::telemetry {
+
+/// Escapes `s` for use inside a JSON string literal (quotes, backslash,
+/// control characters; non-ASCII bytes pass through untouched, so UTF-8
+/// input stays UTF-8).
+std::string JsonEscape(std::string_view s);
+
+class JsonWriter {
+ public:
+  /// Writes into `out`; sets the stream's precision to `precision` for
+  /// the writer's lifetime (doubles use the default float format).
+  explicit JsonWriter(std::ostream& out, int precision = 15);
+
+  // Containers. The *Inline variants suppress newlines/indentation for
+  // the container and everything nested inside it.
+  JsonWriter& BeginObject();
+  JsonWriter& BeginObjectInline();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& BeginArrayInline();
+  JsonWriter& EndArray();
+
+  /// Object member key; must be followed by a value or container.
+  JsonWriter& Key(std::string_view key);
+
+  // Scalar values (as array elements, or after Key()).
+  JsonWriter& String(std::string_view v);
+  JsonWriter& Bool(bool v);
+  JsonWriter& Uint(uint64_t v);
+  JsonWriter& Int(int64_t v);
+  JsonWriter& Double(double v);
+  JsonWriter& Null();
+
+  /// True once every opened container has been closed.
+  bool done() const { return stack_.empty() && wrote_root_; }
+
+ private:
+  struct Frame {
+    bool is_object = false;
+    bool inline_mode = false;
+    size_t count = 0;
+  };
+
+  /// Emits the separator/indent due before the next element (or before
+  /// a value completing a key).
+  void BeforeElement();
+  void BeforeContainer(bool inline_mode);
+  void Indent(size_t depth);
+
+  std::ostream& out_;
+  std::vector<Frame> stack_;
+  bool pending_key_ = false;  ///< Key() written, value expected.
+  bool wrote_root_ = false;
+};
+
+}  // namespace rod::telemetry
+
+#endif  // ROD_TELEMETRY_JSON_WRITER_H_

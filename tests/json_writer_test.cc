@@ -1,0 +1,131 @@
+// Tests for the streaming JSON writer: escaping, pretty vs inline
+// container layout, comma/indent bookkeeping, and the double format the
+// bench baselines rely on.
+
+#include "telemetry/json_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace rod::telemetry {
+namespace {
+
+TEST(JsonEscapeTest, PassesPlainTextThrough) {
+  EXPECT_EQ(JsonEscape("engine.events_per_sec"), "engine.events_per_sec");
+}
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashAndControls) {
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape("\b\f\r"), "\\b\\f\\r");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(JsonEscapeTest, LeavesUtf8Alone) {
+  EXPECT_EQ(JsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+}
+
+TEST(JsonWriterTest, EmptyObjectAndArray) {
+  {
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.BeginObject().EndObject();
+    EXPECT_TRUE(w.done());
+    EXPECT_EQ(out.str(), "{}");
+  }
+  {
+    std::ostringstream out;
+    JsonWriter w(out);
+    w.BeginArray().EndArray();
+    EXPECT_EQ(out.str(), "[]");
+  }
+}
+
+TEST(JsonWriterTest, PrettyObjectIndentsTwoSpaces) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Key("a").Uint(1);
+  w.Key("b").String("x");
+  w.EndObject();
+  EXPECT_EQ(out.str(), "{\n  \"a\": 1,\n  \"b\": \"x\"\n}");
+}
+
+TEST(JsonWriterTest, InlineObjectStaysOnOneLine) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginObjectInline();
+  w.Key("a").Uint(1);
+  w.Key("ok").Bool(true);
+  w.EndObject();
+  EXPECT_EQ(out.str(), "{\"a\": 1, \"ok\": true}");
+}
+
+TEST(JsonWriterTest, InlinePropagatesToNestedContainers) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginObjectInline();
+  w.Key("buckets").BeginArray();  // nested inside inline: stays inline
+  w.BeginArrayInline().Double(0.5).Uint(3).EndArray();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(out.str(), "{\"buckets\": [[0.5, 3]]}");
+}
+
+TEST(JsonWriterTest, ArrayOfInlineRowsMatchesBaselineShape) {
+  // The committed BENCH_*.json row shape: a pretty outer array whose
+  // elements are one-line objects.
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Key("entries").BeginArray();
+  w.BeginObjectInline().Key("dims").Uint(3).EndObject();
+  w.BeginObjectInline().Key("dims").Uint(6).EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(out.str(),
+            "{\n  \"entries\": [\n    {\"dims\": 3},\n    {\"dims\": 6}\n"
+            "  ]\n}");
+}
+
+TEST(JsonWriterTest, DoublesUsePrecision15DefaultFormat) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginArrayInline();
+  w.Double(0.1);
+  w.Double(1.0);
+  w.Double(1234567.25);
+  w.Double(1e-7);
+  w.EndArray();
+  EXPECT_EQ(out.str(), "[0.1, 1, 1234567.25, 1e-07]");
+}
+
+TEST(JsonWriterTest, SignedAndNullValues) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginArrayInline().Int(-3).Null().EndArray();
+  EXPECT_EQ(out.str(), "[-3, null]");
+}
+
+TEST(JsonWriterTest, EscapesKeysAndStringValues) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginObjectInline().Key("a\"b").String("c\nd").EndObject();
+  EXPECT_EQ(out.str(), "{\"a\\\"b\": \"c\\nd\"}");
+}
+
+TEST(JsonWriterTest, DoneOnlyAfterRootCloses) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  EXPECT_FALSE(w.done());
+  w.BeginObject();
+  EXPECT_FALSE(w.done());
+  w.EndObject();
+  EXPECT_TRUE(w.done());
+}
+
+}  // namespace
+}  // namespace rod::telemetry
