@@ -39,7 +39,9 @@ int main(int argc, char** argv) {
   const rod::bench::BenchFlags bench_flags =
       rod::bench::ParseBenchFlags(argc, argv);
   if (!bench_flags.rest.empty()) {
-    std::cerr << "usage: " << argv[0] << " [--json=PATH] [--trace=PATH]\n";
+    std::cerr << "usage: " << argv[0]
+              << " [--json=PATH] [--trace=PATH] [--serve=PORT]"
+                 " [--flightrecorder=PATH]\n";
     return 2;
   }
   rod::bench::TelemetrySession telemetry_session(bench_flags);
@@ -122,6 +124,7 @@ int main(int argc, char** argv) {
     sup_options.policy = p.policy;
     sup_options.rebalance_budget = p.budget;
     sup_options.telemetry = telemetry_session.telemetry();
+    sup_options.flight_recorder = telemetry_session.flight_recorder();
     supervisors.emplace_back(*model, sup_options);
     rod::sim::SimulationCase c;
     c.graph = &graph;
@@ -132,8 +135,10 @@ int main(int argc, char** argv) {
     c.options.failures = &chaos;
     c.options.recovery = &supervisors.back();
     c.options.telemetry = telemetry_session.telemetry();
+    c.options.flight_recorder = telemetry_session.flight_recorder();
     cases.push_back(c);
   }
+  telemetry_session.set_ready(true);  // setup done; /readyz flips to 200
   rod::sim::SweepOptions sweep_options;
   sweep_options.telemetry = telemetry_session.telemetry();
   const auto results = rod::sim::SimulateSweep(cases, sweep_options);

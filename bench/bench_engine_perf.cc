@@ -210,10 +210,19 @@ int main(int argc, char** argv) {
     } else {
       std::cerr << "usage: bench_engine_perf [--mode smoke|full] "
                    "[--json=PATH] [--trace=PATH] [--threads=1,2,4,8] "
-                   "[--max-telemetry-overhead=PCT]\n";
+                   "[--max-telemetry-overhead=PCT] [--serve=PORT] "
+                   "[--flightrecorder=PATH]\n";
       return 2;
     }
   }
+  // The live plane (--serve / --flightrecorder) gets its own session and
+  // sink; --json/--trace stay owned by this binary's baseline writer and
+  // showcase, so they are cleared from the session's view.
+  bench::BenchFlags plane_flags = flags;
+  plane_flags.json_path.clear();
+  plane_flags.trace_path.clear();
+  bench::TelemetrySession plane(plane_flags);
+  plane.set_ready(true);
   if (mode != "smoke" && mode != "full") {
     std::cerr << "unknown mode '" << mode << "' (want smoke or full)\n";
     return 2;
@@ -260,9 +269,15 @@ int main(int argc, char** argv) {
     sim::SimulationOptions heap_fast = fast;  // heap + streaming: isolates
     heap_fast.event_queue = sim::EventQueueImpl::kBinaryHeap;
     // Fast path with a live telemetry sink: the enabled-overhead column.
+    // Under --serve the runs record into the live plane's sink instead —
+    // the aggregator samples and the HTTP server scrapes it concurrently,
+    // so the overhead gate then covers the entire plane, not just the
+    // recording fast path.
     telemetry::Telemetry run_telemetry;
     sim::SimulationOptions fast_telemetry = fast;
-    fast_telemetry.telemetry = &run_telemetry;
+    fast_telemetry.telemetry = plane.telemetry() != nullptr
+                                   ? plane.telemetry()
+                                   : &run_telemetry;
 
     auto time_runs = [&](const sim::SimulationOptions& options) {
       // One short warmup (grows the thread-local workspace), then `reps`
@@ -412,12 +427,17 @@ int main(int argc, char** argv) {
     sup_options.detection_delay = 0.5;
     sup_options.policy = sim::Supervisor::Policy::kRepair;
     sup_options.telemetry = &showcase;
+    // Under --serve / --flightrecorder the showcase crash also exercises
+    // the flight recorder, so /flightrecorder (and the exported artifact)
+    // carries a real incident.
+    sup_options.flight_recorder = plane.flight_recorder();
     sim::Supervisor supervisor(*s.model, sup_options);
     sim::SimulationOptions incident;
     incident.duration = demo_duration;
     incident.failures = &chaos;
     incident.recovery = &supervisor;
     incident.telemetry = &showcase;
+    incident.flight_recorder = plane.flight_recorder();
     auto incident_run =
         sim::SimulatePlacement(s.graph, *s.plan, s.system, s.traces, incident);
     ROD_CHECK_OK(incident_run.status());
@@ -440,7 +460,8 @@ int main(int argc, char** argv) {
     sweep.telemetry = &showcase;
     auto results = sim::SimulateSweep(cases, sweep);
     for (auto& r : results) ROD_CHECK_OK(r.status());
-    ThreadPool::Shared().set_telemetry(nullptr);
+    // Re-attach the plane's sink (a no-op null when --serve is off).
+    ThreadPool::Shared().set_telemetry(plane.telemetry());
 
     const telemetry::MetricsSnapshot snap = showcase.Snapshot();
     std::cout << "showcase recorded " << snap.counters.size() << " counters, "

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_main.h"
 #include "geometry/feasible_set.h"
 #include "geometry/qmc.h"
 
@@ -76,3 +77,5 @@ BENCHMARK(BM_RatioToIdealHalton)
 BENCHMARK(BM_RatioToIdealPseudo)->Args({5, 32768})->Args({16, 32768});
 BENCHMARK(BM_HaltonNext)->Arg(3)->Arg(10);
 BENCHMARK(BM_SimplexMap)->Arg(3)->Arg(10);
+
+ROD_MICRO_BENCH_MAIN()

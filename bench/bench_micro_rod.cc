@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_micro_main.h"
 #include "placement/rod.h"
 #include "query/graph_gen.h"
 #include "query/load_model.h"
@@ -83,3 +84,5 @@ BENCHMARK(BM_RodPlace)->Args({400, 2, 5})->Args({400, 16, 5})->Args({400, 64, 5}
 BENCHMARK(BM_RodPlace)->Args({400, 8, 2})->Args({400, 8, 8})->Args({400, 8, 16});
 BENCHMARK(BM_RodPlaceLowerBound);
 BENCHMARK(BM_BuildLoadModel)->Arg(100)->Arg(1000)->Arg(10000);
+
+ROD_MICRO_BENCH_MAIN()

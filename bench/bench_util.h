@@ -6,8 +6,10 @@
 #ifndef ROD_BENCH_BENCH_UTIL_H_
 #define ROD_BENCH_BENCH_UTIL_H_
 
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <functional>
 #include <iomanip>
 #include <iostream>
 #include <memory>
@@ -22,22 +24,39 @@
 #include "placement/rod.h"
 #include "query/graph_gen.h"
 #include "query/load_model.h"
+#include "telemetry/aggregator.h"
+#include "telemetry/exposition.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/http_server.h"
 #include "telemetry/telemetry.h"
 
 namespace rod::bench {
 
 /// The standard CLI flags every bench binary accepts (the google-benchmark
-/// micro benches excepted — they own their argv):
-///   --json=PATH   machine-readable JSON. For most benches this is the
-///                 telemetry metrics snapshot; the two perf benches write
-///                 their results baseline here instead (bench_engine_perf
-///                 embeds the snapshot under a "telemetry" key).
-///   --trace=PATH  Chrome trace_event JSON of the run, loadable in
-///                 chrome://tracing / Perfetto.
+/// micro benches strip these before handing the rest to the benchmark
+/// library's own parser):
+///   --json=PATH           machine-readable JSON. For most benches this is
+///                         the telemetry metrics snapshot; the two perf
+///                         benches write their results baseline here
+///                         instead (bench_engine_perf embeds the snapshot
+///                         under a "telemetry" key).
+///   --trace=PATH          Chrome trace_event JSON of the run, loadable in
+///                         chrome://tracing / Perfetto.
+///   --serve=PORT          serve the live observability plane on
+///                         127.0.0.1:PORT while the bench runs (0 picks an
+///                         ephemeral port, printed at startup): /metrics
+///                         (Prometheus), /metrics.json, /aggregator,
+///                         /flightrecorder, /healthz, /readyz. See
+///                         docs/OBSERVABILITY.md.
+///   --flightrecorder=PATH write the incident flight-recorder artifact
+///                         (rod.flight_recorder.v1 JSON) at exit.
 /// Everything else lands in `rest` for the binary's own parser.
 struct BenchFlags {
   std::string json_path;
   std::string trace_path;
+  std::string flightrecorder_path;
+  bool serve = false;
+  uint16_t serve_port = 0;
   std::vector<std::string> rest;
 };
 
@@ -49,6 +68,11 @@ inline BenchFlags ParseBenchFlags(int argc, char** argv) {
       f.json_path = arg.substr(7);
     } else if (arg.rfind("--trace=", 0) == 0) {
       f.trace_path = arg.substr(8);
+    } else if (arg.rfind("--flightrecorder=", 0) == 0) {
+      f.flightrecorder_path = arg.substr(17);
+    } else if (arg.rfind("--serve=", 0) == 0) {
+      f.serve = true;
+      f.serve_port = static_cast<uint16_t>(std::stoul(arg.substr(8)));
     } else {
       f.rest.push_back(arg);
     }
@@ -68,26 +92,54 @@ inline std::vector<size_t> ParseThreadList(const std::string& spec) {
   return threads;
 }
 
-/// RAII telemetry wiring for a bench binary: when --json / --trace asked
-/// for output, owns a Telemetry, attaches it to the shared thread pool for
-/// the binary's lifetime, and exports the requested files on destruction.
-/// The bench passes `telemetry()` into SimulationOptions / SweepOptions /
-/// Supervisor::Options wherever it builds them; the null return when
-/// neither flag was given keeps every instrumented path on its
-/// telemetry-off branch. Export happens after the bench's parallel work
-/// has finished (ParallelFor and the sweep entry points block until every
-/// chunk completes), satisfying the exporters' quiescence requirement.
+/// The high-water gauges the Aggregator re-arms after every sample (see
+/// Gauge::Max): peak thread-pool queue depth and peak event-queue size.
+inline std::vector<std::string> HighWaterGauges() {
+  return {"pool.queue_depth_high_water", "event_queue.size_high_water"};
+}
+
+/// RAII telemetry wiring for a bench binary: when --json / --trace /
+/// --serve / --flightrecorder asked for output, owns a Telemetry,
+/// attaches it to the shared thread pool for the binary's lifetime, and
+/// exports the requested files on destruction. The bench passes
+/// `telemetry()` (and `flight_recorder()`) into SimulationOptions /
+/// SweepOptions / Supervisor::Options wherever it builds them; the null
+/// return when no flag was given keeps every instrumented path on its
+/// telemetry-off branch. File export happens after the bench's parallel
+/// work has finished (ParallelFor and the sweep entry points block until
+/// every chunk completes), satisfying the exporters' quiescence
+/// requirement; the live endpoints use the concurrent-safe accessors
+/// (Snapshot / SnapshotTrace / Window / WriteJson), so scraping mid-run
+/// is fine.
+///
+/// With --serve the session runs the full plane: an Aggregator sampling
+/// once a second (resetting the high-water gauges) and an HttpServer on
+/// 127.0.0.1 with /metrics, /metrics.json, /aggregator, /flightrecorder,
+/// /healthz, and /readyz. /healthz answers 200 as long as the process
+/// serves; /readyz answers 503 until set_ready(true) (benches flip it
+/// after setup so a scraper can tell "warming up" from "measuring").
 class TelemetrySession {
  public:
   /// `owns_json`: export the metrics snapshot to --json (the default).
   /// The perf benches pass false — their results baseline owns that path.
   explicit TelemetrySession(const BenchFlags& flags, bool owns_json = true)
       : json_path_(owns_json ? flags.json_path : std::string()),
-        trace_path_(flags.trace_path) {
-    if (!json_path_.empty() || !trace_path_.empty()) {
-      telemetry_ = std::make_unique<telemetry::Telemetry>();
-      ThreadPool::Shared().set_telemetry(telemetry_.get());
-    }
+        trace_path_(flags.trace_path),
+        flightrecorder_path_(flags.flightrecorder_path) {
+    const bool plane = flags.serve || !flightrecorder_path_.empty();
+    if (json_path_.empty() && trace_path_.empty() && !plane) return;
+    telemetry_ = std::make_unique<telemetry::Telemetry>();
+    ThreadPool::Shared().set_telemetry(telemetry_.get());
+    if (!plane) return;
+
+    telemetry::AggregatorOptions agg;
+    agg.reset_gauges = HighWaterGauges();
+    aggregator_ =
+        std::make_unique<telemetry::Aggregator>(telemetry_.get(), agg);
+    aggregator_->Start();
+    recorder_ = std::make_unique<telemetry::FlightRecorder>(
+        telemetry_.get(), aggregator_.get());
+    if (flags.serve) StartServer(flags.serve_port);
   }
   ~TelemetrySession() { Finish(); }
   TelemetrySession(const TelemetrySession&) = delete;
@@ -96,10 +148,25 @@ class TelemetrySession {
   /// Null when no telemetry output was requested.
   telemetry::Telemetry* telemetry() { return telemetry_.get(); }
 
-  /// Detaches the pool and writes the exports. Idempotent.
+  /// Null unless --serve / --flightrecorder was given.
+  telemetry::FlightRecorder* flight_recorder() { return recorder_.get(); }
+  telemetry::Aggregator* aggregator() { return aggregator_.get(); }
+
+  /// The live plane's bound port; 0 when not serving.
+  uint16_t serve_port() const {
+    return server_ != nullptr ? server_->port() : 0;
+  }
+
+  /// Flips /readyz between 503 (false) and 200 (true).
+  void set_ready(bool ready) { ready_.store(ready); }
+
+  /// Stops the live plane, detaches the pool, and writes the exports.
+  /// Idempotent.
   void Finish() {
     if (telemetry_ == nullptr || finished_) return;
     finished_ = true;
+    if (server_ != nullptr) server_->Stop();
+    if (aggregator_ != nullptr) aggregator_->Stop();
     ThreadPool::Shared().set_telemetry(nullptr);
     if (!trace_path_.empty()) {
       std::ofstream out(trace_path_);
@@ -111,12 +178,75 @@ class TelemetrySession {
       telemetry_->WriteMetricsJson(out);
       std::cout << "wrote " << json_path_ << " (metrics snapshot)\n";
     }
+    if (!flightrecorder_path_.empty() && recorder_ != nullptr) {
+      std::ofstream out(flightrecorder_path_);
+      recorder_->WriteJson(out);
+      std::cout << "wrote " << flightrecorder_path_ << " (flight recorder, "
+                << recorder_->incident_count() << " incidents)\n";
+    }
   }
 
  private:
+  void StartServer(uint16_t port) {
+    server_ = std::make_unique<telemetry::HttpServer>();
+    telemetry::Telemetry* tel = telemetry_.get();
+    telemetry::Aggregator* agg = aggregator_.get();
+    telemetry::FlightRecorder* rec = recorder_.get();
+    server_->Handle("/metrics", [tel](std::string_view) {
+      std::ostringstream body;
+      telemetry::WritePrometheusText(tel->Snapshot(), body);
+      return telemetry::HttpServer::Response{
+          200, telemetry::kPrometheusContentType, body.str()};
+    });
+    server_->Handle("/metrics.json", [tel](std::string_view) {
+      std::ostringstream body;
+      tel->WriteMetricsJson(body);
+      return telemetry::HttpServer::Response{200, "application/json",
+                                             body.str()};
+    });
+    server_->Handle("/aggregator", [agg](std::string_view) {
+      std::ostringstream body;
+      agg->WriteWindowJson(body);
+      return telemetry::HttpServer::Response{200, "application/json",
+                                             body.str()};
+    });
+    server_->Handle("/flightrecorder", [rec](std::string_view) {
+      std::ostringstream body;
+      rec->WriteJson(body);
+      return telemetry::HttpServer::Response{200, "application/json",
+                                             body.str()};
+    });
+    server_->Handle("/healthz", [](std::string_view) {
+      return telemetry::HttpServer::Response{
+          200, "text/plain; charset=utf-8", "ok\n"};
+    });
+    const std::atomic<bool>* ready = &ready_;
+    server_->Handle("/readyz", [ready](std::string_view) {
+      return ready->load()
+                 ? telemetry::HttpServer::Response{
+                       200, "text/plain; charset=utf-8", "ready\n"}
+                 : telemetry::HttpServer::Response{
+                       503, "text/plain; charset=utf-8", "warming up\n"};
+    });
+    std::string error;
+    if (!server_->Start(port, &error)) {
+      std::cerr << "observability plane failed to start: " << error << "\n";
+      server_.reset();
+      return;
+    }
+    std::cout << "observability plane on http://127.0.0.1:" << server_->port()
+              << " (/metrics /metrics.json /aggregator /flightrecorder"
+              << " /healthz /readyz)\n";
+  }
+
   std::string json_path_;
   std::string trace_path_;
+  std::string flightrecorder_path_;
   std::unique_ptr<telemetry::Telemetry> telemetry_;
+  std::unique_ptr<telemetry::Aggregator> aggregator_;
+  std::unique_ptr<telemetry::FlightRecorder> recorder_;
+  std::unique_ptr<telemetry::HttpServer> server_;
+  std::atomic<bool> ready_{false};
   bool finished_ = false;
 };
 

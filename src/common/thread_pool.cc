@@ -40,20 +40,29 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
     if (telemetry_ != nullptr) {
       queue_depth_gauge_.Set(static_cast<double>(queue_.size()));
+      queue_depth_high_water_.Max(static_cast<double>(queue_.size()));
     }
   }
   cv_.notify_one();
 }
 
 void ThreadPool::set_telemetry(telemetry::Telemetry* telemetry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  assert(!t_inside_pool_worker);
+  std::unique_lock<std::mutex> lock(mu_);
+  // Quiesce before swapping: a worker ends its "pool/task" span after
+  // the task's effects (including a ParallelFor completion notify) are
+  // visible, so the previous sink stays reachable until no worker is
+  // mid-task. Once this returns the old sink may be destroyed.
+  idle_cv_.wait(lock, [this] { return queue_.empty() && busy_workers_ == 0; });
   telemetry_ = telemetry;
   if (telemetry != nullptr) {
     tasks_counter_ = telemetry->counter("pool.tasks");
     queue_depth_gauge_ = telemetry->gauge("pool.queue_depth");
+    queue_depth_high_water_ = telemetry->gauge("pool.queue_depth_high_water");
   } else {
     tasks_counter_ = telemetry::Counter();
     queue_depth_gauge_ = telemetry::Gauge();
+    queue_depth_high_water_ = telemetry::Gauge();
   }
 }
 
@@ -69,6 +78,7 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // stop_ set and queue drained
       task = std::move(queue_.front());
       queue_.pop_front();
+      ++busy_workers_;
       telemetry = telemetry_;
       if (telemetry != nullptr) {
         tasks_counter = tasks_counter_;
@@ -81,6 +91,15 @@ void ThreadPool::WorkerLoop() {
       task();
     } else {
       task();
+    }
+    // The span above has ended and the task's captures are gone: the
+    // worker no longer touches the sink, so it may count as idle for
+    // set_telemetry's quiescence wait.
+    task = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --busy_workers_;
+      if (busy_workers_ == 0 && queue_.empty()) idle_cv_.notify_all();
     }
   }
 }

@@ -41,9 +41,19 @@ class ThreadPool {
 
   /// Attaches (or, with nullptr, detaches) a telemetry sink: workers
   /// record a "pool/task" span per executed task, a `pool.tasks`
-  /// counter, and a `pool.queue_depth` gauge. Not owned; the sink must
-  /// outlive its attachment, and detaching while tasks are still queued
-  /// is the caller's race to avoid (quiesce first).
+  /// counter, a `pool.queue_depth` gauge, and a
+  /// `pool.queue_depth_high_water` gauge (peak depth, ratcheted with
+  /// Gauge::Max on submit; the Aggregator resets it each sample). Not
+  /// owned; the sink must outlive its attachment.
+  ///
+  /// Swapping quiesces: the call blocks until the queue is empty and no
+  /// worker is mid-task, because a worker ends its "pool/task" span
+  /// *after* the task's completion becomes observable (a ParallelFor
+  /// caller can wake, return, and destroy a scoped sink while the span
+  /// end is still in flight — the swap must not race that). After
+  /// set_telemetry returns, no worker can touch the previous sink, so
+  /// the caller may destroy it. Must not be called from a pool task
+  /// (it would wait on itself).
   void set_telemetry(telemetry::Telemetry* telemetry);
 
   /// Process-wide pool sized to the hardware concurrency (>= 1), created
@@ -56,12 +66,15 @@ class ThreadPool {
 
   std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable idle_cv_;  ///< Signals queue empty + no busy worker.
   std::deque<std::function<void()>> queue_;
+  size_t busy_workers_ = 0;  ///< Guarded by mu_; includes the span end.
   bool stop_ = false;
   // Guarded by mu_; copied out before use so spans run unlocked.
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::Counter tasks_counter_;
   telemetry::Gauge queue_depth_gauge_;
+  telemetry::Gauge queue_depth_high_water_;
   std::vector<std::thread> workers_;
 };
 

@@ -14,6 +14,8 @@
 #include "runtime/metrics.h"
 #include "runtime/node.h"
 #include "runtime/workload_driver.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/json_writer.h"
 #include "telemetry/telemetry.h"
 
 namespace rod::sim {
@@ -150,6 +152,7 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
   // streams and never branches the simulation, so results are bit-exact
   // with `tel` attached or null.
   telemetry::Telemetry* const tel = options.telemetry;
+  telemetry::FlightRecorder* const recorder = options.flight_recorder;
   telemetry::TraceSpan setup_span(tel, "engine", "setup");
 
   WorkspaceLease lease;
@@ -429,6 +432,20 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
         tel->RecordInstant("engine", kind, fault.node, /*has_arg=*/true);
         tel->Count("engine.faults");
       }
+      if (recorder != nullptr) {
+        const std::string what =
+            (fault.kind == FaultKind::kCrash      ? "crash node "
+             : fault.kind == FaultKind::kRecover  ? "recover node "
+                                                  : "slowdown node ") +
+            std::to_string(fault.node) + " at t=" + std::to_string(now);
+        if (fault.kind == FaultKind::kCrash && !recorder->pending()) {
+          // First crash: freeze pre-incident state (metrics snapshot,
+          // trace rings, aggregator window) as of this instant.
+          recorder->BeginIncident("node_crash", what);
+        } else {
+          recorder->Note(what);
+        }
+      }
       if (fault.kind == FaultKind::kCrash) {
         node_up[fault.node] = 0;
         // Queued and in-flight tuple-tasks are lost (comm overhead tasks
@@ -484,6 +501,11 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
         if (tel != nullptr) {
           tel->Count("supervisor.plan_updates");
           tel->Count("supervisor.operators_moved", moved->size());
+        }
+        if (recorder != nullptr) {
+          recorder->Note("plan applied at t=" + std::to_string(now) +
+                         ", moved " + std::to_string(moved->size()) +
+                         " operators");
         }
         if (!moved->empty()) {
           std::vector<char> is_moved(dep.ops.size(), 0);
@@ -693,7 +715,56 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
       tel->Count("engine.migration.shed", result.incident->migration_shed);
     }
   }
+  if (recorder != nullptr && recorder->pending()) {
+    // Close out the incident opened at the crash instant: the full
+    // IncidentReport is only known now that the run has finished.
+    if (result.incident) {
+      const IncidentReport& report = *result.incident;
+      recorder->CompleteIncident([&report](telemetry::JsonWriter& w) {
+        WriteIncidentReportJson(report, w);
+      });
+    } else {
+      recorder->CompleteIncident();
+    }
+  }
   return result;
+}
+
+void WriteIncidentReportJson(const IncidentReport& report,
+                             telemetry::JsonWriter& w) {
+  const auto write_phase = [&w](const char* key, const PhaseLatency& p) {
+    w.Key(key).BeginObjectInline();
+    w.Key("outputs").Uint(p.outputs);
+    w.Key("mean").Double(p.mean);
+    w.Key("p50").Double(p.p50);
+    w.Key("p95").Double(p.p95);
+    w.Key("p99").Double(p.p99);
+    w.EndObject();
+  };
+  // Inline so the flight recorder can splice the rendered object into
+  // its per-incident artifact via JsonWriter::Raw.
+  w.BeginObjectInline();
+  w.Key("crash_time").Double(report.crash_time);
+  w.Key("failed_node").Uint(report.failed_node);
+  w.Key("detect_time").Double(report.detect_time);
+  w.Key("plan_applied_time").Double(report.plan_applied_time);
+  w.Key("operators_moved").Uint(report.operators_moved);
+  w.Key("lost_queued").Uint(report.lost_queued);
+  w.Key("lost_inflight").Uint(report.lost_inflight);
+  w.Key("lost_network").Uint(report.lost_network);
+  w.Key("rejected_inputs").Uint(report.rejected_inputs);
+  w.Key("lost_tuples").Uint(report.lost_tuples);
+  w.Key("migration_buffered").Uint(report.migration_buffered);
+  w.Key("migration_shed").Uint(report.migration_shed);
+  w.Key("recovered").Bool(report.recovered);
+  w.Key("recovery_time").Double(report.recovery_time);
+  w.Key("post_recovery_max_utilization")
+      .Double(report.post_recovery_max_utilization);
+  w.Key("availability").Double(report.availability);
+  write_phase("pre_failure", report.pre_failure);
+  write_phase("during_recovery", report.during_recovery);
+  write_phase("post_recovery", report.post_recovery);
+  w.EndObject();
 }
 
 Result<SimulationResult> SimulatePlacement(

@@ -24,6 +24,11 @@
 #include "runtime/node.h"
 #include "trace/trace.h"
 
+namespace rod::telemetry {
+class FlightRecorder;
+class JsonWriter;
+}  // namespace rod::telemetry
+
 namespace rod::sim {
 
 /// One simulation run's configuration.
@@ -103,6 +108,16 @@ struct SimulationOptions {
   /// touches the run's random streams or control flow, so results are
   /// bit-identical whether it is attached or not.
   telemetry::Telemetry* telemetry = nullptr;
+
+  /// Incident flight recorder (see telemetry/flight_recorder.h): the
+  /// first crash of the run opens an incident — freezing the metrics
+  /// snapshot, trace rings, and aggregator window as they stood at the
+  /// fault instant — subsequent faults and supervisor milestones append
+  /// notes, and the run's IncidentReport is attached when the incident
+  /// completes at the end of the run. Observation-only, like
+  /// `telemetry`: results are bit-identical with or without it. Not
+  /// owned; null disables.
+  telemetry::FlightRecorder* flight_recorder = nullptr;
 };
 
 /// Latency percentiles over the sink outputs completing in one incident
@@ -224,6 +239,13 @@ Result<SimulationResult> SimulatePlacement(
     const place::SystemSpec& system,
     const std::vector<trace::RateTrace>& inputs,
     const SimulationOptions& options = {});
+
+/// Writes `report` as one inline JSON object — the flight recorder's
+/// per-incident "report" member (schema in docs/OBSERVABILITY.md). The
+/// engine calls this when completing an incident; exposed so tests and
+/// tools can render reports standalone.
+void WriteIncidentReportJson(const IncidentReport& report,
+                             telemetry::JsonWriter& w);
 
 /// The paper's Borealis-style feasibility probe: run at constant rates `R`
 /// and report whether the system stayed un-saturated.

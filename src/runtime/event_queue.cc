@@ -30,9 +30,10 @@ void EventQueue::Push(double time, EventType type, uint32_t index,
     heap_.push_back(e);
     std::push_heap(heap_.begin(), heap_.end(), Later{});
     ++size_;
-    return;
+  } else {
+    PushCalendar(e);
   }
-  PushCalendar(e);
+  size_high_water_.Max(static_cast<double>(size_));
 }
 
 void EventQueue::PushCalendar(const Event& e) {

@@ -88,10 +88,17 @@ class EventQueue {
   void Clear();
 
   /// Telemetry sink for calendar resize events (`engine.calendar.resizes`
-  /// counter + "calendar_resize" instants). Not owned; null disables.
-  /// Never consulted outside Push/Pop, so re-attaching per run is safe.
+  /// counter + "calendar_resize" instants) and the
+  /// `event_queue.size_high_water` gauge (peak queued events, ratcheted
+  /// with Gauge::Max per push; the Aggregator resets it each sample, so
+  /// a sample reads "peak since the previous sample"). Not owned; null
+  /// disables. Never consulted outside Push/Pop, so re-attaching per run
+  /// is safe.
   void set_telemetry(telemetry::Telemetry* telemetry) {
     telemetry_ = telemetry;
+    size_high_water_ = telemetry != nullptr
+                           ? telemetry->gauge("event_queue.size_high_water")
+                           : telemetry::Gauge();
   }
 
  private:
@@ -121,6 +128,7 @@ class EventQueue {
   size_t size_ = 0;
   uint64_t next_seq_ = 0;
   telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Gauge size_high_water_;  ///< Peak size_, Max() per push.
 
   // kBinaryHeap state.
   std::vector<Event> heap_;

@@ -1,12 +1,24 @@
 #include "runtime/supervisor.h"
 
+#include <string>
 #include <utility>
 
 namespace rod::sim {
 
+namespace {
+
+void NoteIncident(telemetry::FlightRecorder* recorder, std::string text) {
+  if (recorder != nullptr) recorder->Note(std::move(text));
+}
+
+}  // namespace
+
 std::optional<PlanUpdate> Supervisor::OnFailureDetected(
-    double /*now*/, uint32_t /*failed_node*/,
-    const std::vector<bool>& node_up, const Deployment& deployment) {
+    double now, uint32_t failed_node, const std::vector<bool>& node_up,
+    const Deployment& deployment) {
+  NoteIncident(options_.flight_recorder,
+               "supervisor: failure of node " + std::to_string(failed_node) +
+                   " detected at t=" + std::to_string(now));
   if (options_.policy == Policy::kNone) return std::nullopt;
 
   const size_t n = deployment.num_nodes();
@@ -40,6 +52,7 @@ std::optional<PlanUpdate> Supervisor::OnFailureDetected(
     if (options_.telemetry != nullptr) {
       options_.telemetry->Count("supervisor.repairs");
     }
+    NoteIncident(options_.flight_recorder, "supervisor: naive dump repair");
     last_status_ = Status::OK();
     return PlanUpdate{std::move(assignment), options_.migration_pause,
                       options_.shed_during_pause};
@@ -71,6 +84,8 @@ std::optional<PlanUpdate> Supervisor::OnFailureDetected(
       repair_options);
   repair_span.End();
   if (!repaired.ok()) {
+    NoteIncident(options_.flight_recorder,
+                 "supervisor: repair failed: " + repaired.status().ToString());
     last_status_ = repaired.status();
     return std::nullopt;
   }
@@ -78,6 +93,9 @@ std::optional<PlanUpdate> Supervisor::OnFailureDetected(
   if (options_.telemetry != nullptr) {
     options_.telemetry->Count("supervisor.repairs");
   }
+  NoteIncident(options_.flight_recorder,
+               "supervisor: repair moved " +
+                   std::to_string(repaired->operators_moved) + " operators");
   operators_moved_ += repaired->operators_moved;
   last_plane_distance_ = repaired->plane_distance;
   last_status_ = Status::OK();

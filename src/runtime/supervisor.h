@@ -19,6 +19,7 @@
 #include "placement/repair.h"
 #include "query/load_model.h"
 #include "runtime/chaos.h"
+#include "telemetry/flight_recorder.h"
 #include "telemetry/telemetry.h"
 
 namespace rod::sim {
@@ -54,6 +55,12 @@ class Supervisor : public RecoveryAgent {
     /// Telemetry sink ("supervisor.repair" spans, supervisor.* counters).
     /// Not owned; null disables.
     telemetry::Telemetry* telemetry = nullptr;
+
+    /// Incident flight recorder: detection and repair milestones are
+    /// appended as timestamped notes to the calling thread's pending
+    /// incident (opened by the engine at the crash instant). Not owned;
+    /// null disables.
+    telemetry::FlightRecorder* flight_recorder = nullptr;
   };
 
   /// `model` must describe the deployed query graph and outlive the

@@ -1,0 +1,134 @@
+#include "telemetry/aggregator.h"
+
+#include <chrono>
+#include <utility>
+
+#include "telemetry/json_writer.h"
+
+namespace rod::telemetry {
+
+Aggregator::Aggregator(Telemetry* telemetry, AggregatorOptions options)
+    : telemetry_(telemetry), options_(std::move(options)) {
+  last_snapshot_ = telemetry_->Snapshot();
+  last_wall_us_ = telemetry_->NowMicros();
+}
+
+Aggregator::~Aggregator() { Stop(); }
+
+void Aggregator::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  thread_ = std::thread([this] { Run(); });
+}
+
+void Aggregator::Stop() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+    to_join = std::move(thread_);
+  }
+  cv_.notify_all();
+  to_join.join();
+}
+
+bool Aggregator::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return thread_.joinable();
+}
+
+void Aggregator::Run() {
+  const auto period = std::chrono::duration<double>(options_.period_sec);
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    // wait_for rather than wait_until: a long Snapshot() just delays the
+    // next sample — dt_sec carries the true spacing, so rates stay right.
+    if (cv_.wait_for(lock, period, [this] { return stop_; })) return;
+    lock.unlock();
+    SampleNow();
+    lock.lock();
+  }
+}
+
+Aggregator::Sample Aggregator::SampleNow() {
+  Sample s;
+  s.snapshot = telemetry_->Snapshot();
+  s.wall_us = telemetry_->NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s.dt_sec = (s.wall_us - last_wall_us_) / 1e6;
+    if (s.dt_sec < 0.0) s.dt_sec = 0.0;
+    for (const auto& [name, total] : s.snapshot.counters) {
+      const auto prev = last_snapshot_.counters.find(name);
+      const uint64_t before =
+          prev == last_snapshot_.counters.end() ? 0 : prev->second;
+      // Counters are monotone per thread but a mid-update concurrent
+      // snapshot can read a shard both times at different merge points;
+      // clamp so a sample never reports a negative delta.
+      const uint64_t delta = total >= before ? total - before : 0;
+      s.counter_deltas[name] = delta;
+      s.counter_rates[name] =
+          s.dt_sec > 0.0 ? static_cast<double>(delta) / s.dt_sec : 0.0;
+    }
+    last_snapshot_ = s.snapshot;
+    last_wall_us_ = s.wall_us;
+    samples_.push_back(s);
+    while (samples_.size() > options_.window) samples_.pop_front();
+  }
+  // Re-arm the high-water gauges outside mu_ (SetGauge takes the
+  // registry mutex; no need to hold both). Only names the registry
+  // already knows — the reset list must not mint instruments.
+  for (const auto& name : options_.reset_gauges) {
+    if (s.snapshot.gauges.count(name) != 0) telemetry_->SetGauge(name, 0.0);
+  }
+  return s;
+}
+
+std::vector<Aggregator::Sample> Aggregator::Window() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<Sample>(samples_.begin(), samples_.end());
+}
+
+void Aggregator::WriteWindowJson(JsonWriter& w) const {
+  const std::vector<Sample> window = Window();
+  w.BeginObject();
+  w.Key("period_sec").Double(options_.period_sec);
+  w.Key("window").Uint(options_.window);
+  w.Key("samples").BeginArray();
+  for (const Sample& s : window) WriteSampleJson(s, w);
+  w.EndArray();
+  w.EndObject();
+}
+
+void Aggregator::WriteSampleJson(const Sample& s, JsonWriter& w) {
+  w.BeginObject();
+  w.Key("wall_us").Double(s.wall_us);
+  w.Key("dt_sec").Double(s.dt_sec);
+  w.Key("counters").BeginObject();
+  for (const auto& [name, delta] : s.counter_deltas) {
+    const auto total = s.snapshot.counters.find(name);
+    w.Key(name).BeginObjectInline();
+    w.Key("total").Uint(total == s.snapshot.counters.end() ? 0
+                                                           : total->second);
+    w.Key("delta").Uint(delta);
+    w.Key("rate").Double(s.counter_rates.at(name));
+    w.EndObject();
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObjectInline();
+  for (const auto& [name, value] : s.snapshot.gauges) {
+    w.Key(name).Double(value);
+  }
+  w.EndObject();
+  w.EndObject();
+}
+
+void Aggregator::WriteWindowJson(std::ostream& out) const {
+  JsonWriter w(out);
+  WriteWindowJson(w);
+  out << "\n";
+}
+
+}  // namespace rod::telemetry

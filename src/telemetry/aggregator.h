@@ -1,0 +1,130 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Background sampler for the live observability plane: snapshots a
+// Telemetry registry on a fixed period into a bounded ring of
+// timestamped samples, each carrying per-counter deltas and rates
+// against the previous sample — the `rate()`-style windowed view a
+// scraper wants, computed without touching the recording path (the
+// registry's Snapshot() is already safe against running recorders).
+//
+// The sampler also owns the reset half of the high-water-gauge contract:
+// gauges written with Gauge::Max() ratchet upward monotonically; after
+// every sample the Aggregator sets each name listed in
+// AggregatorOptions::reset_gauges back to zero, so a sample's value is
+// "peak since the previous sample" rather than "peak since process
+// start". Only gauges that already exist are reset — the list never
+// creates instruments.
+//
+// Timestamps come from Telemetry::NowMicros(), so under a manual clock
+// the whole sample stream is deterministic; SampleNow() exposes the
+// sampling step directly for such tests (and for callers who want a
+// sample at a specific instant, e.g. the flight recorder at a fault).
+
+#ifndef ROD_TELEMETRY_AGGREGATOR_H_
+#define ROD_TELEMETRY_AGGREGATOR_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace rod::telemetry {
+
+class JsonWriter;
+
+struct AggregatorOptions {
+  /// Seconds between background samples (Start()/Stop() thread only;
+  /// SampleNow() ignores it).
+  double period_sec = 1.0;
+
+  /// Samples retained, oldest dropped first. At the default period this
+  /// is two minutes of history.
+  size_t window = 120;
+
+  /// High-water gauge names (written via Gauge::Max) reset to zero after
+  /// each sample. Names not present in the registry are skipped.
+  std::vector<std::string> reset_gauges;
+};
+
+class Aggregator {
+ public:
+  /// One periodic observation of the registry.
+  struct Sample {
+    double wall_us = 0.0;  ///< Telemetry::NowMicros() at sample time.
+    double dt_sec = 0.0;   ///< Seconds since the previous sample (0 first).
+    MetricsSnapshot snapshot;
+    /// Counter increase since the previous sample (first sample: since
+    /// the Aggregator's construction baseline).
+    std::map<std::string, uint64_t> counter_deltas;
+    /// counter_deltas / dt_sec, per second; 0 when dt_sec == 0.
+    std::map<std::string, double> counter_rates;
+  };
+
+  /// Captures the construction-time snapshot as the delta baseline.
+  /// `telemetry` must outlive the Aggregator and must not be null.
+  Aggregator(Telemetry* telemetry, AggregatorOptions options = {});
+  ~Aggregator();
+
+  Aggregator(const Aggregator&) = delete;
+  Aggregator& operator=(const Aggregator&) = delete;
+
+  const AggregatorOptions& options() const { return options_; }
+
+  /// Starts the background sampling thread (no-op if running).
+  void Start();
+
+  /// Stops and joins the background thread (no-op if not running;
+  /// called by the destructor). Retained samples survive Stop().
+  void Stop();
+
+  bool running() const;
+
+  /// Takes one sample immediately (thread-safe; the background thread
+  /// uses this too) and returns a copy of it.
+  Sample SampleNow();
+
+  /// Copies the retained window, oldest first.
+  std::vector<Sample> Window() const;
+
+  /// Writes the window as one JSON object into an in-progress writer
+  /// (after Key() or as an array element): {"period_sec":…, "window":…,
+  /// "samples":[{"wall_us":…, "dt_sec":…, "counters":{name:
+  /// {"total":…, "delta":…, "rate":…}}, "gauges":{name: value}}]}.
+  /// Histograms are cumulative, not windowed — they live in the full
+  /// metrics snapshot, so the window omits them.
+  void WriteWindowJson(JsonWriter& w) const;
+
+  /// WriteWindowJson over a fresh writer rooted at `out`.
+  void WriteWindowJson(std::ostream& out) const;
+
+  /// Writes one sample as the per-sample object used inside the window
+  /// ("samples" element). Exposed so the flight recorder can render a
+  /// window it froze earlier.
+  static void WriteSampleJson(const Sample& s, JsonWriter& w);
+
+ private:
+  void Run();
+
+  Telemetry* const telemetry_;
+  const AggregatorOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;        ///< Wakes Run() on Stop().
+  bool stop_ = false;                 ///< Guarded by mu_.
+  std::thread thread_;                ///< Guarded by mu_ (start/stop).
+  std::deque<Sample> samples_;        ///< Guarded by mu_; oldest first.
+  MetricsSnapshot last_snapshot_;     ///< Guarded by mu_; delta baseline.
+  double last_wall_us_ = 0.0;         ///< Guarded by mu_.
+};
+
+}  // namespace rod::telemetry
+
+#endif  // ROD_TELEMETRY_AGGREGATOR_H_

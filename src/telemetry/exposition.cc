@@ -1,0 +1,153 @@
+#include "telemetry/exposition.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace rod::telemetry {
+
+namespace {
+
+bool LegalFirst(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool LegalRest(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+/// Serializes the constant label set once ('{a="b",c="d"}' or ""); the
+/// histogram path splices its `le` label in before the closing brace.
+std::string RenderLabels(const PrometheusOptions& options) {
+  if (options.labels.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : options.labels) {
+    if (!first) out += ",";
+    first = false;
+    out += SanitizePrometheusName(name);
+    out += "=\"";
+    out += EscapePrometheusLabelValue(value);
+    out += "\"";
+  }
+  out += "}";
+  return out;
+}
+
+/// Labels with one extra `le` pair appended (histogram buckets).
+std::string RenderBucketLabels(const std::string& base,
+                               const std::string& le) {
+  std::string out;
+  if (base.empty()) {
+    out = "{le=\"" + le + "\"}";
+  } else {
+    out = base.substr(0, base.size() - 1) + ",le=\"" + le + "\"}";
+  }
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  std::ostringstream os;
+  os.precision(15);
+  os << v;
+  return os.str();
+}
+
+void WriteType(std::ostream& out, const std::string& name,
+               const char* type) {
+  out << "# TYPE " << name << " " << type << "\n";
+}
+
+}  // namespace
+
+std::string SanitizePrometheusName(std::string_view name) {
+  if (name.empty()) return "_";
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    if (i == 0) {
+      if (LegalFirst(c)) {
+        out += c;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        out += '_';
+        out += c;
+      } else {
+        out += '_';
+      }
+    } else {
+      out += LegalRest(c) ? c : '_';
+    }
+  }
+  return out;
+}
+
+std::string EscapePrometheusLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+void WritePrometheusText(const MetricsSnapshot& snap, std::ostream& out,
+                         const PrometheusOptions& options) {
+  const std::string labels = RenderLabels(options);
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string p = SanitizePrometheusName(name);
+    WriteType(out, p, "counter");
+    out << p << labels << " " << value << "\n";
+  }
+
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string p = SanitizePrometheusName(name);
+    WriteType(out, p, "gauge");
+    out << p << labels << " " << FormatDouble(value) << "\n";
+  }
+
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string p = SanitizePrometheusName(name);
+    WriteType(out, p, "histogram");
+    // The registry stores per-bucket (non-cumulative) counts over
+    // half-open log buckets; Prometheus wants cumulative counts at each
+    // upper bound. An empty histogram still exposes the +Inf bucket.
+    uint64_t cumulative = 0;
+    for (const auto& [upper, count] : h.buckets) {
+      cumulative += count;
+      out << p << "_bucket"
+          << RenderBucketLabels(labels, FormatDouble(upper)) << " "
+          << cumulative << "\n";
+    }
+    out << p << "_bucket" << RenderBucketLabels(labels, "+Inf") << " "
+        << h.count << "\n";
+    out << p << "_sum" << labels << " " << FormatDouble(h.sum) << "\n";
+    out << p << "_count" << labels << " " << h.count << "\n";
+  }
+
+  // Registry self-observation: ring retention and cap overflow are the
+  // two ways recorded data can silently go missing — scrape them.
+  WriteType(out, "telemetry_trace_events_recorded", "counter");
+  out << "telemetry_trace_events_recorded" << labels << " "
+      << snap.trace_events_recorded << "\n";
+  WriteType(out, "telemetry_trace_events_dropped", "counter");
+  out << "telemetry_trace_events_dropped" << labels << " "
+      << snap.trace_events_dropped << "\n";
+  WriteType(out, "telemetry_dropped_registrations", "counter");
+  out << "telemetry_dropped_registrations" << labels << " "
+      << snap.dropped_registrations << "\n";
+}
+
+}  // namespace rod::telemetry

@@ -1,0 +1,56 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Prometheus text exposition (format version 0.0.4) for a
+// MetricsSnapshot — the scrape side of the live observability plane.
+// Dotted registry names ("engine.events_processed") sanitize to
+// Prometheus-legal ones ("engine_events_processed"); log-bucketed
+// histograms render as the conventional cumulative `_bucket`/`_sum`/
+// `_count` triple with `le` bounds taken from the registry's bucket
+// upper bounds plus the mandatory `+Inf` bucket. Output is sorted by
+// name (the snapshot maps are ordered), so a deterministic program
+// produces byte-identical exposition — pinned by
+// tests/golden/prometheus_metrics.txt.
+
+#ifndef ROD_TELEMETRY_EXPOSITION_H_
+#define ROD_TELEMETRY_EXPOSITION_H_
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "telemetry/telemetry.h"
+
+namespace rod::telemetry {
+
+struct PrometheusOptions {
+  /// Labels attached to every exposed series (typically job/instance
+  /// style identity). Names are sanitized like metric names; values are
+  /// escaped per the exposition format (backslash, quote, newline).
+  std::map<std::string, std::string> labels;
+};
+
+/// Maps an arbitrary registry name onto [a-zA-Z_:][a-zA-Z0-9_:]* by
+/// replacing every illegal character (dots included) with '_'; a leading
+/// digit gains a '_' prefix. Empty input becomes "_".
+std::string SanitizePrometheusName(std::string_view name);
+
+/// Escapes a label value for use inside double quotes: backslash, double
+/// quote, and newline per the text exposition format.
+std::string EscapePrometheusLabelValue(std::string_view value);
+
+/// Renders the snapshot in Prometheus text exposition format 0.0.4:
+/// every counter (TYPE counter), gauge (TYPE gauge), and histogram
+/// (TYPE histogram, cumulative `le` buckets + `_sum` + `_count`), plus
+/// the registry's own health series (`telemetry_trace_events_recorded`,
+/// `telemetry_trace_events_dropped`, `telemetry_dropped_registrations`).
+void WritePrometheusText(const MetricsSnapshot& snap, std::ostream& out,
+                         const PrometheusOptions& options = {});
+
+/// The scrape Content-Type for this format.
+inline constexpr const char* kPrometheusContentType =
+    "text/plain; version=0.0.4; charset=utf-8";
+
+}  // namespace rod::telemetry
+
+#endif  // ROD_TELEMETRY_EXPOSITION_H_

@@ -1,0 +1,164 @@
+#include "telemetry/flight_recorder.h"
+
+#include <sstream>
+#include <utility>
+
+#include "telemetry/json_writer.h"
+
+namespace rod::telemetry {
+
+FlightRecorder::FlightRecorder(Telemetry* telemetry, Aggregator* aggregator,
+                               FlightRecorderOptions options)
+    : telemetry_(telemetry), aggregator_(aggregator), options_(options) {}
+
+void FlightRecorder::BeginIncident(std::string kind, std::string detail) {
+  // Freeze first, lock second: the captures only read the registry and
+  // are the expensive part — keep them outside mu_ so concurrent
+  // incidents on other threads don't serialize on each other.
+  Pending p;
+  p.kind = std::move(kind);
+  p.detail = std::move(detail);
+  p.begin_us = telemetry_->NowMicros();
+  p.metrics = telemetry_->Snapshot();
+  p.trace = telemetry_->SnapshotTrace();
+  if (aggregator_ != nullptr) {
+    p.window = aggregator_->Window();
+    p.has_window = true;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] =
+      pending_.insert_or_assign(std::this_thread::get_id(), std::move(p));
+  (void)it;
+  if (!inserted) telemetry_->Count("telemetry.flightrecorder.abandoned");
+}
+
+void FlightRecorder::Note(std::string text) {
+  const double now_us = telemetry_->NowMicros();
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = pending_.find(std::this_thread::get_id());
+  if (it == pending_.end()) return;
+  it->second.notes.emplace_back(now_us, std::move(text));
+}
+
+void FlightRecorder::CompleteIncident(
+    const std::function<void(JsonWriter&)>& report_writer) {
+  const double end_us = telemetry_->NowMicros();
+
+  Pending p;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = pending_.find(std::this_thread::get_id());
+    if (it == pending_.end()) return;
+    p = std::move(it->second);
+    pending_.erase(it);
+  }
+
+  // The report renders outside mu_ too — the callback is caller code.
+  std::string report_json;
+  if (report_writer) {
+    std::ostringstream report;
+    JsonWriter w(report);
+    report_writer(w);
+    report_json = report.str();
+  }
+
+  std::string rendered = RenderIncident(p, end_us, report_json);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  incidents_.push_back(std::move(rendered));
+  while (incidents_.size() > options_.max_incidents) {
+    incidents_.pop_front();
+    ++dropped_incidents_;
+  }
+}
+
+std::string FlightRecorder::RenderIncident(
+    const Pending& p, double end_us, const std::string& report_json) const {
+  // Inline-rendered so the artifact writer can splice it with Raw()
+  // regardless of its own indentation depth.
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.BeginObjectInline();
+  w.Key("kind").String(p.kind);
+  w.Key("detail").String(p.detail);
+  w.Key("begin_us").Double(p.begin_us);
+  w.Key("end_us").Double(end_us);
+  w.Key("notes").BeginArray();
+  for (const auto& [ts_us, text] : p.notes) {
+    w.BeginObject();
+    w.Key("ts_us").Double(ts_us);
+    w.Key("text").String(text);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("metrics");
+  WriteSnapshotJson(p.metrics, w);
+  w.Key("trace").BeginArray();
+  for (const TraceEventView& e : p.trace) {
+    w.BeginObject();
+    w.Key("tid").Uint(e.tid);
+    w.Key("cat").String(e.category);
+    w.Key("name").String(e.name);
+    w.Key("ts").Double(e.ts_us);
+    w.Key("ph").String(e.instant ? "i" : "X");
+    if (!e.instant) w.Key("dur").Double(e.dur_us);
+    if (e.has_arg) w.Key("arg").Uint(e.arg);
+    w.EndObject();
+  }
+  w.EndArray();
+  if (p.has_window) {
+    w.Key("aggregator").BeginObject();
+    w.Key("samples").BeginArray();
+    for (const Aggregator::Sample& s : p.window) {
+      Aggregator::WriteSampleJson(s, w);
+    }
+    w.EndArray();
+    w.EndObject();
+  } else {
+    w.Key("aggregator").Null();
+  }
+  if (report_json.empty()) {
+    w.Key("report").Null();
+  } else {
+    w.Key("report").Raw(report_json);
+  }
+  w.EndObject();
+  return out.str();
+}
+
+size_t FlightRecorder::incident_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return incidents_.size();
+}
+
+bool FlightRecorder::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.count(std::this_thread::get_id()) != 0;
+}
+
+void FlightRecorder::WriteJson(JsonWriter& w) const {
+  // Copy out under the lock, render outside it.
+  std::vector<std::string> incidents;
+  size_t dropped = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    incidents.assign(incidents_.begin(), incidents_.end());
+    dropped = dropped_incidents_;
+  }
+  w.BeginObject();
+  w.Key("schema").String("rod.flight_recorder.v1");
+  w.Key("dropped_incidents").Uint(dropped);
+  w.Key("incidents").BeginArray();
+  for (const std::string& incident : incidents) w.Raw(incident);
+  w.EndArray();
+  w.EndObject();
+}
+
+void FlightRecorder::WriteJson(std::ostream& out) const {
+  JsonWriter w(out);
+  WriteJson(w);
+  out << "\n";
+}
+
+}  // namespace rod::telemetry

@@ -1,0 +1,132 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Incident flight recorder: when something goes wrong mid-run (a fault
+// fires, the supervisor detects a failure), the state worth debugging is
+// the state *just before* the incident — and by the time a human looks,
+// the trace rings have wrapped and the gauges have moved on. The
+// recorder freezes that state at the incident instant:
+//
+//   BeginIncident(kind, detail)   — at the fault/detection instant:
+//                                   captures the metrics snapshot, every
+//                                   thread's trace ring, and the
+//                                   Aggregator's sample window, as they
+//                                   stand right now.
+//   Note(text)                    — timestamped breadcrumbs while the
+//                                   incident unfolds (detection,
+//                                   recovery start, …).
+//   CompleteIncident(report)      — closes the incident; `report` (a
+//                                   JsonWriter callback) embeds a
+//                                   caller-defined report object — e.g.
+//                                   the runtime's IncidentReport — so
+//                                   this layer needs no knowledge of
+//                                   upper-layer types.
+//
+// Incidents are keyed by the calling thread (parallel sweeps can have
+// several in flight); completed incidents land in a bounded ring,
+// oldest dropped first. The artifact schema (one self-contained JSON
+// object per incident) is documented in docs/OBSERVABILITY.md and
+// pinned by tests/golden/flight_recorder_incident.json under a manual
+// clock.
+//
+// Like the rest of the plane this is observation-only: freezing reads
+// registry snapshots and release-published ring prefixes; it never
+// blocks or perturbs recording threads.
+
+#ifndef ROD_TELEMETRY_FLIGHT_RECORDER_H_
+#define ROD_TELEMETRY_FLIGHT_RECORDER_H_
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/aggregator.h"
+#include "telemetry/telemetry.h"
+
+namespace rod::telemetry {
+
+class JsonWriter;
+
+struct FlightRecorderOptions {
+  /// Completed incidents retained (oldest dropped first, counted).
+  size_t max_incidents = 16;
+};
+
+class FlightRecorder {
+ public:
+  /// `telemetry` must outlive the recorder and must not be null;
+  /// `aggregator` is optional (null omits the window from incidents).
+  explicit FlightRecorder(Telemetry* telemetry,
+                          Aggregator* aggregator = nullptr,
+                          FlightRecorderOptions options = {});
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Opens an incident on the calling thread and freezes pre-incident
+  /// state now. A second Begin on the same thread before Complete
+  /// replaces the pending incident (the first is abandoned, counted in
+  /// `telemetry.flightrecorder.abandoned`).
+  void BeginIncident(std::string kind, std::string detail = "");
+
+  /// Appends a timestamped note to this thread's pending incident;
+  /// no-op when none is pending.
+  void Note(std::string text);
+
+  /// Closes this thread's pending incident and stores the finished
+  /// artifact. `report_writer`, when given, is invoked once with a
+  /// JsonWriter positioned to write exactly one JSON value (rendered
+  /// inline) — the incident's "report" member; omitted -> null. No-op
+  /// when no incident is pending on this thread.
+  void CompleteIncident(
+      const std::function<void(JsonWriter&)>& report_writer = nullptr);
+
+  /// Completed incidents currently retained.
+  size_t incident_count() const;
+
+  /// True if the calling thread has an open incident.
+  bool pending() const;
+
+  /// Writes the full artifact into an in-progress writer: {"schema":
+  /// "rod.flight_recorder.v1", "dropped_incidents": n, "incidents":
+  /// [...]} — schema detailed in docs/OBSERVABILITY.md.
+  void WriteJson(JsonWriter& w) const;
+
+  /// WriteJson over a fresh writer rooted at `out`.
+  void WriteJson(std::ostream& out) const;
+
+ private:
+  struct Pending {
+    std::string kind;
+    std::string detail;
+    double begin_us = 0.0;
+    MetricsSnapshot metrics;
+    std::vector<TraceEventView> trace;
+    std::vector<Aggregator::Sample> window;
+    bool has_window = false;
+    std::vector<std::pair<double, std::string>> notes;  ///< (ts_us, text).
+  };
+
+  /// Renders one finished incident as a self-contained inline JSON
+  /// object string (spliced into the artifact via JsonWriter::Raw).
+  std::string RenderIncident(const Pending& p, double end_us,
+                             const std::string& report_json) const;
+
+  Telemetry* const telemetry_;
+  Aggregator* const aggregator_;
+  const FlightRecorderOptions options_;
+
+  mutable std::mutex mu_;
+  std::map<std::thread::id, Pending> pending_;  ///< Guarded by mu_.
+  std::deque<std::string> incidents_;           ///< Guarded by mu_.
+  size_t dropped_incidents_ = 0;                ///< Guarded by mu_.
+};
+
+}  // namespace rod::telemetry
+
+#endif  // ROD_TELEMETRY_FLIGHT_RECORDER_H_

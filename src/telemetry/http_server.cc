@@ -1,0 +1,199 @@
+#include "telemetry/http_server.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <utility>
+
+namespace rod::telemetry {
+
+namespace {
+
+const char* StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Internal Server Error";
+  }
+}
+
+/// Writes the whole buffer, retrying short writes; best-effort (a gone
+/// client is the client's problem).
+void WriteAll(int fd, const char* data, size_t len) {
+  size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+bool FillError(std::string* error, const char* what) {
+  if (error != nullptr) {
+    *error = std::string(what) + ": " + std::strerror(errno);
+  }
+  return false;
+}
+
+}  // namespace
+
+void HttpServer::Handle(std::string path, Handler handler) {
+  handlers_[std::move(path)] = std::move(handler);
+}
+
+bool HttpServer::Start(uint16_t port, std::string* error) {
+  if (serving()) {
+    if (error != nullptr) *error = "already serving";
+    return false;
+  }
+  if (::pipe(wake_pipe_) != 0) return FillError(error, "pipe");
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    FillError(error, "socket");
+    Stop();
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    FillError(error, "bind");
+    Stop();
+    return false;
+  }
+  if (::listen(listen_fd_, /*backlog=*/16) != 0) {
+    FillError(error, "listen");
+    Stop();
+    return false;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    FillError(error, "getsockname");
+    Stop();
+    return false;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 'q';
+    // Wakes poll(); the loop sees the pipe readable and exits.
+    (void)!::write(wake_pipe_[1], &byte, 1);
+  }
+  if (thread_.joinable()) thread_.join();
+  for (int* fd : {&listen_fd_, &wake_pipe_[0], &wake_pipe_[1]}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+  port_ = 0;
+}
+
+void HttpServer::AcceptLoop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    const int ready = ::poll(fds, 2, /*timeout_ms=*/-1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    if (fds[1].revents != 0) return;  // Stop() wrote the wake byte.
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    // A stalled client must not wedge the scrape endpoint forever.
+    timeval timeout{/*tv_sec=*/2, /*tv_usec=*/0};
+    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    ServeConnection(client);
+    ::close(client);
+  }
+}
+
+void HttpServer::ServeConnection(int client_fd) {
+  // Read until the end of the request headers (or the buffer cap — the
+  // request line is all we use, so oversized headers are fine to cut).
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16384 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    const ssize_t n = ::read(client_fd, buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  Response response;
+  const size_t line_end = request.find("\r\n");
+  const std::string_view line =
+      std::string_view(request).substr(0, line_end == std::string::npos
+                                              ? request.size()
+                                              : line_end);
+  const size_t method_end = line.find(' ');
+  const size_t target_end =
+      method_end == std::string_view::npos ? std::string_view::npos
+                                           : line.find(' ', method_end + 1);
+  if (method_end == std::string_view::npos ||
+      target_end == std::string_view::npos) {
+    response = Response{400, "text/plain; charset=utf-8", "bad request\n"};
+  } else if (line.substr(0, method_end) != "GET") {
+    response =
+        Response{405, "text/plain; charset=utf-8", "method not allowed\n"};
+  } else {
+    std::string_view path =
+        line.substr(method_end + 1, target_end - method_end - 1);
+    const size_t query = path.find('?');
+    if (query != std::string_view::npos) path = path.substr(0, query);
+    const auto it = handlers_.find(path);
+    if (it == handlers_.end()) {
+      response = Response{404, "text/plain; charset=utf-8", "not found\n"};
+    } else {
+      response = it->second(path);
+    }
+  }
+
+  std::string head = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                     StatusText(response.status) +
+                     "\r\nContent-Type: " + response.content_type +
+                     "\r\nContent-Length: " +
+                     std::to_string(response.body.size()) +
+                     "\r\nConnection: close\r\n\r\n";
+  WriteAll(client_fd, head.data(), head.size());
+  WriteAll(client_fd, response.body.data(), response.body.size());
+}
+
+}  // namespace rod::telemetry

@@ -1,0 +1,79 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// A minimal, dependency-free blocking HTTP/1.1 server for the live
+// observability plane: one accept thread, plain POSIX sockets, one
+// request per connection (Connection: close — no keep-alive, pipelining,
+// or TLS), GET only. Built for low-rate scrapers (Prometheus, curl, a
+// readiness probe), not for traffic; requests are served serially on the
+// accept thread, so a handler's cost bounds scrape latency, never
+// correctness.
+//
+// Handlers are registered before Start() and looked up by exact path
+// (the query string is stripped). They run on the server thread, so they
+// must be thread-safe against the process's recording threads —
+// Telemetry::Snapshot() and the Aggregator/FlightRecorder accessors are.
+
+#ifndef ROD_TELEMETRY_HTTP_SERVER_H_
+#define ROD_TELEMETRY_HTTP_SERVER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace rod::telemetry {
+
+class HttpServer {
+ public:
+  struct Response {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+  };
+
+  /// Handler for one exact path; receives the path (query string already
+  /// stripped) and returns the full response.
+  using Handler = std::function<Response(std::string_view path)>;
+
+  HttpServer() = default;
+  ~HttpServer() { Stop(); }
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for GET `path` (exact match). Must be called
+  /// before Start().
+  void Handle(std::string path, Handler handler);
+
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port — see port()),
+  /// then starts the accept thread. Loopback only: the plane observes a
+  /// local process; fronting it for remote scrapers is a proxy's job.
+  /// Returns false on failure and fills `*error` when given (this layer
+  /// sits below rod_common, so no Status here).
+  bool Start(uint16_t port, std::string* error = nullptr);
+
+  /// The bound port; 0 until Start() succeeded.
+  uint16_t port() const { return port_; }
+
+  bool serving() const { return listen_fd_ >= 0; }
+
+  /// Shuts the listener down and joins the accept thread. Idempotent;
+  /// called by the destructor.
+  void Stop();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int client_fd);
+
+  std::map<std::string, Handler, std::less<>> handlers_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};  ///< Self-pipe: unblocks poll() in Stop().
+  uint16_t port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace rod::telemetry
+
+#endif  // ROD_TELEMETRY_HTTP_SERVER_H_

@@ -189,4 +189,11 @@ JsonWriter& JsonWriter::Null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::Raw(std::string_view json) {
+  BeforeElement();
+  out_ << json;
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
 }  // namespace rod::telemetry

@@ -55,6 +55,13 @@ class JsonWriter {
   JsonWriter& Double(double v);
   JsonWriter& Null();
 
+  /// Splices `json` — a complete, already-serialized JSON value — as the
+  /// next element (or key's value). The writer trusts the caller that it
+  /// is valid JSON; pass inline-rendered values (no newlines) so nesting
+  /// indentation stays coherent. Lets the flight recorder embed incident
+  /// payloads rendered earlier by a different writer.
+  JsonWriter& Raw(std::string_view json);
+
   /// True once every opened container has been closed.
   bool done() const { return stack_.empty() && wrote_root_; }
 

@@ -126,6 +126,7 @@ struct Telemetry::Impl {
   std::vector<std::string> counter_names;
   std::vector<std::string> gauge_names;
   std::vector<std::string> hist_names;
+  uint64_t dropped_registrations = 0;  ///< Guarded by mu.
   // Fixed-size so Set() needs no lock: id-indexed, last write wins.
   std::array<std::atomic<double>, kMaxGauges> gauge_values{};
   const std::chrono::steady_clock::time_point t0;
@@ -141,7 +142,10 @@ Counter Telemetry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lock(impl_->mu);
   auto it = impl_->counter_ids.find(std::string(name));
   if (it != impl_->counter_ids.end()) return Counter(this, it->second);
-  if (impl_->counter_names.size() >= kMaxCounters) return Counter();
+  if (impl_->counter_names.size() >= kMaxCounters) {
+    ++impl_->dropped_registrations;
+    return Counter();
+  }
   const uint32_t id = static_cast<uint32_t>(impl_->counter_names.size());
   impl_->counter_names.emplace_back(name);
   impl_->counter_ids.emplace(std::string(name), id);
@@ -152,7 +156,10 @@ Gauge Telemetry::gauge(std::string_view name) {
   std::lock_guard<std::mutex> lock(impl_->mu);
   auto it = impl_->gauge_ids.find(std::string(name));
   if (it != impl_->gauge_ids.end()) return Gauge(this, it->second);
-  if (impl_->gauge_names.size() >= kMaxGauges) return Gauge();
+  if (impl_->gauge_names.size() >= kMaxGauges) {
+    ++impl_->dropped_registrations;
+    return Gauge();
+  }
   const uint32_t id = static_cast<uint32_t>(impl_->gauge_names.size());
   impl_->gauge_names.emplace_back(name);
   impl_->gauge_ids.emplace(std::string(name), id);
@@ -163,7 +170,10 @@ Histogram Telemetry::histogram(std::string_view name) {
   std::lock_guard<std::mutex> lock(impl_->mu);
   auto it = impl_->hist_ids.find(std::string(name));
   if (it != impl_->hist_ids.end()) return Histogram(this, it->second);
-  if (impl_->hist_names.size() >= kMaxHistograms) return Histogram();
+  if (impl_->hist_names.size() >= kMaxHistograms) {
+    ++impl_->dropped_registrations;
+    return Histogram();
+  }
   const uint32_t id = static_cast<uint32_t>(impl_->hist_names.size());
   impl_->hist_names.emplace_back(name);
   impl_->hist_ids.emplace(std::string(name), id);
@@ -182,6 +192,17 @@ void Telemetry::CounterAdd(uint32_t id, uint64_t n) {
 void Telemetry::GaugeSet(uint32_t id, double v) {
   if (id >= kMaxGauges) return;
   impl_->gauge_values[id].store(v, std::memory_order_relaxed);
+}
+
+void Telemetry::GaugeMax(uint32_t id, double v) {
+  if (id >= kMaxGauges) return;
+  auto& slot = impl_->gauge_values[id];
+  double cur = slot.load(std::memory_order_relaxed);
+  // CAS-max: typically one load (v below the high water) — cheap enough
+  // for per-push hot paths like the event queue.
+  while (v > cur &&
+         !slot.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
 }
 
 void Telemetry::HistogramRecord(uint32_t id, double v) {
@@ -236,7 +257,10 @@ void Telemetry::RecordSpan(const char* category, const char* name,
   shard.ring.push_back(TraceEvent{category, name, begin_us,
                                   std::max(0.0, end_us - begin_us), arg,
                                   has_arg, /*instant=*/false});
-  shard.recorded.store(shard.ring.size(), std::memory_order_relaxed);
+  // Release-publish: SnapshotTrace may read the ring from another thread
+  // mid-run, bounded by an acquire load of `recorded` (the ring's storage
+  // never reallocates — capacity is reserved up front).
+  shard.recorded.store(shard.ring.size(), std::memory_order_release);
 }
 
 void Telemetry::RecordInstant(const char* category, const char* name,
@@ -250,7 +274,7 @@ void Telemetry::RecordInstant(const char* category, const char* name,
   }
   shard.ring.push_back(TraceEvent{category, name, NowMicros(), 0.0, arg,
                                   has_arg, /*instant=*/true});
-  shard.recorded.store(shard.ring.size(), std::memory_order_relaxed);
+  shard.recorded.store(shard.ring.size(), std::memory_order_release);
 }
 
 double HistogramSnapshot::Quantile(double q) const {
@@ -316,7 +340,30 @@ MetricsSnapshot Telemetry::Snapshot() const {
         shard->recorded.load(std::memory_order_relaxed);
     snap.trace_events_dropped += shard->dropped.load(std::memory_order_relaxed);
   }
+  snap.dropped_registrations = impl_->dropped_registrations;
   return snap;
+}
+
+std::vector<TraceEventView> Telemetry::SnapshotTrace() const {
+  std::vector<TraceEventView> events;
+  std::lock_guard<std::mutex> lock(impl_->mu);
+  for (const auto& shard : impl_->shards) {
+    // Acquire pairs with the recorder's release store: events at indices
+    // < `published` are fully written even while the owner keeps
+    // recording. Read through the data pointer (stable: capacity is
+    // reserved up front, push_back never reallocates) rather than
+    // vector::size(), which the owner mutates.
+    const size_t published = static_cast<size_t>(
+        shard->recorded.load(std::memory_order_acquire));
+    const size_t n = std::min(published, shard->capacity);
+    const TraceEvent* ring = shard->ring.data();
+    for (size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = ring[i];
+      events.push_back(TraceEventView{shard->tid, e.category, e.name, e.ts_us,
+                                      e.dur_us, e.arg, e.has_arg, e.instant});
+    }
+  }
+  return events;
 }
 
 void WriteSnapshotJson(const MetricsSnapshot& snap, JsonWriter& w) {
@@ -349,6 +396,9 @@ void WriteSnapshotJson(const MetricsSnapshot& snap, JsonWriter& w) {
   w.Key("trace").BeginObjectInline();
   w.Key("recorded").Uint(snap.trace_events_recorded);
   w.Key("dropped").Uint(snap.trace_events_dropped);
+  w.EndObject();
+  w.Key("registry").BeginObjectInline();
+  w.Key("dropped_registrations").Uint(snap.dropped_registrations);
   w.EndObject();
   w.EndObject();
 }

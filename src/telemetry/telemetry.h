@@ -87,6 +87,10 @@ class Gauge {
  public:
   Gauge() = default;
   inline void Set(double v);
+  /// Raises the gauge to `v` if above its current value (atomic max) —
+  /// the high-water idiom. An external reset (Telemetry::SetGauge from
+  /// e.g. the Aggregator) re-arms it.
+  inline void Max(double v);
   bool valid() const { return telemetry_ != nullptr; }
 
  private:
@@ -137,6 +141,23 @@ struct MetricsSnapshot {
   std::map<std::string, HistogramSnapshot> histograms;
   uint64_t trace_events_recorded = 0;  ///< Retained in rings.
   uint64_t trace_events_dropped = 0;   ///< Lost to full rings.
+  /// Registrations refused because a capacity cap (counters, gauges, or
+  /// histograms) was already full — each refused `counter()`-style call
+  /// counts once, so cap overflow is observable instead of silent.
+  uint64_t dropped_registrations = 0;
+};
+
+/// One trace event copied out of a thread's ring by SnapshotTrace().
+/// `category`/`name` point at the recorder's string literals.
+struct TraceEventView {
+  uint32_t tid = 0;
+  const char* category = nullptr;
+  const char* name = nullptr;
+  double ts_us = 0.0;
+  double dur_us = 0.0;  ///< 0 for instants.
+  uint64_t arg = 0;
+  bool has_arg = false;
+  bool instant = false;
 };
 
 class Telemetry {
@@ -185,8 +206,20 @@ class Telemetry {
 
   // --- export ----------------------------------------------------------
 
-  /// Merges every shard into a deterministic snapshot.
+  /// Merges every shard into a deterministic snapshot. Safe to call while
+  /// recorders are still running (counters/buckets are atomics; the trace
+  /// rings are only counted, not read), at the price of reading a value
+  /// mid-update: concurrent snapshots are approximate, quiescent ones
+  /// exact.
   MetricsSnapshot Snapshot() const;
+
+  /// Copies every thread's trace ring, in shard (tid) order then ring
+  /// order. Unlike WriteChromeTrace this is safe while recorders are
+  /// still running: each ring's readable prefix is bounded by its
+  /// release-published `recorded` count, so a concurrent caller (the
+  /// flight recorder freezing state at a fault instant) sees only fully
+  /// written events — it may simply miss the newest ones.
+  std::vector<TraceEventView> SnapshotTrace() const;
 
   /// Flat metrics-snapshot JSON (schema in docs/TELEMETRY.md).
   void WriteMetricsJson(std::ostream& out) const;
@@ -198,6 +231,7 @@ class Telemetry {
   // Fast-path entry points used by the handles (shard-local, lock-free).
   void CounterAdd(uint32_t id, uint64_t n);
   void GaugeSet(uint32_t id, double v);
+  void GaugeMax(uint32_t id, double v);
   void HistogramRecord(uint32_t id, double v);
 
  private:
@@ -211,6 +245,9 @@ inline void Counter::Add(uint64_t n) {
 }
 inline void Gauge::Set(double v) {
   if (telemetry_ != nullptr) telemetry_->GaugeSet(id_, v);
+}
+inline void Gauge::Max(double v) {
+  if (telemetry_ != nullptr) telemetry_->GaugeMax(id_, v);
 }
 inline void Histogram::Record(double v) {
   if (telemetry_ != nullptr) telemetry_->HistogramRecord(id_, v);

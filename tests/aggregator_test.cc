@@ -1,0 +1,147 @@
+// Aggregator tests under a manual clock: SampleNow() deltas/rates,
+// window bounding, the high-water-gauge reset contract, and the window
+// JSON shape. The background thread is exercised only for lifecycle
+// (Start/Stop) — sampling math is tested deterministically via
+// SampleNow().
+
+#include "telemetry/aggregator.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "telemetry/telemetry.h"
+
+namespace rod::telemetry {
+namespace {
+
+TelemetryOptions ManualClock() {
+  TelemetryOptions o;
+  o.manual_clock = true;
+  return o;
+}
+
+TEST(AggregatorTest, SampleNowComputesDeltasAndRates) {
+  Telemetry tel(ManualClock());
+  Counter events = tel.counter("engine.events");
+  events.Add(100);  // Before the baseline snapshot.
+
+  Aggregator agg(&tel);  // Baseline: events = 100.
+  events.Add(10);
+  tel.AdvanceClock(2'000'000.0);  // +2 s.
+  const Aggregator::Sample s1 = agg.SampleNow();
+  EXPECT_DOUBLE_EQ(s1.wall_us, 2'000'000.0);
+  EXPECT_DOUBLE_EQ(s1.dt_sec, 2.0);
+  EXPECT_EQ(s1.snapshot.counters.at("engine.events"), 110u);
+  EXPECT_EQ(s1.counter_deltas.at("engine.events"), 10u);
+  EXPECT_DOUBLE_EQ(s1.counter_rates.at("engine.events"), 5.0);
+
+  events.Add(30);
+  tel.AdvanceClock(1'000'000.0);  // +1 s.
+  const Aggregator::Sample s2 = agg.SampleNow();
+  EXPECT_DOUBLE_EQ(s2.dt_sec, 1.0);
+  EXPECT_EQ(s2.counter_deltas.at("engine.events"), 30u);
+  EXPECT_DOUBLE_EQ(s2.counter_rates.at("engine.events"), 30.0);
+}
+
+TEST(AggregatorTest, FirstSampleWithZeroDtHasZeroRate) {
+  Telemetry tel(ManualClock());
+  tel.Count("c", 5);
+  Aggregator agg(&tel);
+  tel.Count("c", 7);
+  const Aggregator::Sample s = agg.SampleNow();  // Clock never advanced.
+  EXPECT_DOUBLE_EQ(s.dt_sec, 0.0);
+  EXPECT_EQ(s.counter_deltas.at("c"), 7u);
+  EXPECT_DOUBLE_EQ(s.counter_rates.at("c"), 0.0);
+}
+
+TEST(AggregatorTest, WindowIsBoundedOldestDroppedFirst) {
+  Telemetry tel(ManualClock());
+  AggregatorOptions options;
+  options.window = 2;
+  Aggregator agg(&tel, options);
+  for (int i = 0; i < 3; ++i) {
+    tel.AdvanceClock(1'000'000.0);
+    agg.SampleNow();
+  }
+  const std::vector<Aggregator::Sample> window = agg.Window();
+  ASSERT_EQ(window.size(), 2u);
+  EXPECT_DOUBLE_EQ(window[0].wall_us, 2'000'000.0);
+  EXPECT_DOUBLE_EQ(window[1].wall_us, 3'000'000.0);
+}
+
+TEST(AggregatorTest, ResetGaugesZeroHighWaterAfterEachSample) {
+  Telemetry tel(ManualClock());
+  Gauge high_water = tel.gauge("pool.queue_depth_high_water");
+  high_water.Max(9.0);
+  AggregatorOptions options;
+  options.reset_gauges = {"pool.queue_depth_high_water", "never.registered"};
+  Aggregator agg(&tel, options);
+
+  tel.AdvanceClock(1'000'000.0);
+  const Aggregator::Sample s1 = agg.SampleNow();
+  EXPECT_DOUBLE_EQ(s1.snapshot.gauges.at("pool.queue_depth_high_water"), 9.0);
+  // Reset re-arms the ratchet: a smaller later peak is now visible.
+  high_water.Max(3.0);
+  tel.AdvanceClock(1'000'000.0);
+  const Aggregator::Sample s2 = agg.SampleNow();
+  EXPECT_DOUBLE_EQ(s2.snapshot.gauges.at("pool.queue_depth_high_water"), 3.0);
+  // The reset list never mints instruments.
+  EXPECT_EQ(s2.snapshot.gauges.count("never.registered"), 0u);
+}
+
+TEST(AggregatorTest, CounterResetClampsDeltaToZero) {
+  // A concurrent snapshot can observe a shard mid-merge and look like a
+  // counter went backwards; the delta clamps at zero rather than
+  // wrapping to ~2^64.
+  Telemetry tel(ManualClock());
+  tel.Count("c", 50);
+  Aggregator agg(&tel);  // Baseline: c = 50.
+  tel.AdvanceClock(1'000'000.0);
+  const Aggregator::Sample s1 = agg.SampleNow();  // c still 50: delta 0.
+  EXPECT_EQ(s1.counter_deltas.at("c"), 0u);
+  EXPECT_DOUBLE_EQ(s1.counter_rates.at("c"), 0.0);
+}
+
+TEST(AggregatorTest, WriteWindowJsonHasDocumentedShape) {
+  Telemetry tel(ManualClock());
+  tel.Count("engine.events", 4);
+  tel.SetGauge("depth", 2.5);
+  Aggregator agg(&tel);
+  tel.AdvanceClock(1'000'000.0);
+  tel.Count("engine.events", 6);
+  agg.SampleNow();
+
+  std::ostringstream out;
+  agg.WriteWindowJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"period_sec\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"window\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"samples\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"engine.events\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"total\": 10"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"delta\": 6"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rate\": 6"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"depth\": 2.5"), std::string::npos) << json;
+}
+
+TEST(AggregatorTest, StartStopLifecycle) {
+  Telemetry tel;  // Real clock: the background thread needs wall time.
+  AggregatorOptions options;
+  options.period_sec = 0.005;
+  Aggregator agg(&tel, options);
+  EXPECT_FALSE(agg.running());
+  agg.Start();
+  EXPECT_TRUE(agg.running());
+  agg.Start();  // No-op while running.
+  agg.Stop();
+  EXPECT_FALSE(agg.running());
+  agg.Stop();  // Idempotent.
+  // Samples (if any were taken) survive Stop().
+  const size_t after_stop = agg.Window().size();
+  EXPECT_EQ(agg.Window().size(), after_stop);
+}
+
+}  // namespace
+}  // namespace rod::telemetry

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <sstream>
+#include <string>
 
 #include "placement/evaluator.h"
 #include "placement/rod.h"
@@ -255,6 +257,46 @@ TEST(ChaosTest, SupervisedRepairRecoversFromMidRunCrash) {
   EXPECT_LT(inc.post_recovery_max_utilization, options.overload_threshold);
   EXPECT_GT(inc.post_recovery.outputs, 0u);
   EXPECT_FALSE(r->saturated);
+}
+
+TEST(ChaosTest, FlightRecorderCapturesSupervisedCrashIncident) {
+  Scenario s;
+  const double kDuration = 80.0;
+  FailureSchedule chaos;
+  chaos.CrashAt(20.0, s.NodeOfInput0());
+
+  telemetry::Telemetry tel;
+  telemetry::FlightRecorder recorder(&tel);
+
+  Supervisor::Options sup_options;
+  sup_options.detection_delay = 1.0;
+  sup_options.flight_recorder = &recorder;
+  Supervisor supervisor(s.model, sup_options);
+
+  SimulationOptions options;
+  options.duration = kDuration;
+  options.failures = &chaos;
+  options.recovery = &supervisor;
+  options.flight_recorder = &recorder;
+
+  auto r = SimulatePlacement(s.graph, s.plan, s.system,
+                             s.Traces(0.5, kDuration), options);
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->incident.has_value());
+
+  // One incident: opened at the crash, completed at run finalize, with
+  // breadcrumbs from both the engine and the supervisor and the full
+  // IncidentReport embedded as the report object.
+  EXPECT_FALSE(recorder.pending());
+  ASSERT_EQ(recorder.incident_count(), 1u);
+  std::ostringstream out;
+  recorder.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"kind\": \"node_crash\""), std::string::npos) << json;
+  EXPECT_NE(json.find("failure of node"), std::string::npos) << json;
+  EXPECT_NE(json.find("plan applied"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"operators_moved\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"recovered\": true"), std::string::npos) << json;
 }
 
 TEST(ChaosTest, ShorterDetectionDelayLosesStrictlyFewerTuples) {

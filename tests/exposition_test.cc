@@ -1,0 +1,141 @@
+// Prometheus text exposition tests: name sanitization, label escaping,
+// cumulative bucket rendering, and the byte-exact golden scrape pinned
+// by tests/golden/prometheus_metrics.txt.
+
+#include "telemetry/exposition.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace rod::telemetry {
+namespace {
+
+TEST(SanitizePrometheusNameTest, ReplacesIllegalCharacters) {
+  EXPECT_EQ(SanitizePrometheusName("engine.events_processed"),
+            "engine_events_processed");
+  EXPECT_EQ(SanitizePrometheusName("pool.queue_depth_high_water"),
+            "pool_queue_depth_high_water");
+  EXPECT_EQ(SanitizePrometheusName("a-b/c d"), "a_b_c_d");
+  EXPECT_EQ(SanitizePrometheusName("legal_name:sub"), "legal_name:sub");
+}
+
+TEST(SanitizePrometheusNameTest, LeadingDigitGainsUnderscore) {
+  EXPECT_EQ(SanitizePrometheusName("9lives"), "_9lives");
+  EXPECT_EQ(SanitizePrometheusName("0"), "_0");
+}
+
+TEST(SanitizePrometheusNameTest, EmptyBecomesUnderscore) {
+  EXPECT_EQ(SanitizePrometheusName(""), "_");
+}
+
+TEST(EscapePrometheusLabelValueTest, EscapesBackslashQuoteNewline) {
+  EXPECT_EQ(EscapePrometheusLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapePrometheusLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapePrometheusLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapePrometheusLabelValue("line1\nline2"), "line1\\nline2");
+}
+
+TEST(PrometheusTextTest, EmptyHistogramStillEmitsInfSumCount) {
+  Telemetry tel;
+  tel.histogram("empty.hist");  // Registered, never recorded.
+  std::ostringstream out;
+  WritePrometheusText(tel.Snapshot(), out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("empty_hist_bucket{le=\"+Inf\"} 0\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("empty_hist_sum 0\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("empty_hist_count 0\n"), std::string::npos) << text;
+}
+
+TEST(PrometheusTextTest, HistogramBucketsAreCumulativeAndMonotone) {
+  Telemetry tel;
+  Histogram h = tel.histogram("lat");
+  const std::vector<double> values = {0.5, 1.0, 1.0, 3.0, 40.0, 1000.0};
+  for (double v : values) h.Record(v);
+  std::ostringstream out;
+  WritePrometheusText(tel.Snapshot(), out);
+
+  // Parse every lat_bucket line; cumulative counts must be nondecreasing
+  // and the +Inf bucket must equal the total count.
+  std::istringstream lines(out.str());
+  std::string line;
+  uint64_t prev = 0;
+  uint64_t inf_count = 0;
+  size_t bucket_lines = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("lat_bucket{", 0) != 0) continue;
+    ++bucket_lines;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const uint64_t count = std::stoull(line.substr(space + 1));
+    EXPECT_GE(count, prev) << "non-monotone cumulative bucket: " << line;
+    prev = count;
+    if (line.find("le=\"+Inf\"") != std::string::npos) inf_count = count;
+  }
+  EXPECT_GT(bucket_lines, 2u);
+  EXPECT_EQ(inf_count, values.size());
+  EXPECT_NE(out.str().find("lat_count 6\n"), std::string::npos);
+}
+
+TEST(PrometheusTextTest, LabelsAttachToEverySeries) {
+  Telemetry tel;
+  tel.Count("events", 3);
+  tel.SetGauge("depth", 2.0);
+  PrometheusOptions options;
+  options.labels = {{"job", "rod"}, {"weird label", "a\"b\\c\nd"}};
+  std::ostringstream out;
+  WritePrometheusText(tel.Snapshot(), out, options);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("events{job=\"rod\",weird_label=\"a\\\"b\\\\c\\nd\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("depth{job=\"rod\""), std::string::npos) << text;
+  // Bucket series merge the identity labels with `le`.
+  tel.Observe("lat", 1.0);
+  std::ostringstream out2;
+  WritePrometheusText(tel.Snapshot(), out2, options);
+  EXPECT_NE(out2.str().find("lat_bucket{job=\"rod\""), std::string::npos)
+      << out2.str();
+}
+
+TEST(PrometheusTextTest, GoldenScrapeIsByteExact) {
+  TelemetryOptions topt;
+  topt.manual_clock = true;
+  Telemetry tel(topt);
+  tel.Count("engine.events_processed", 1234);
+  tel.Count("engine.tuples_emitted", 56);
+  tel.SetGauge("event_queue.size_high_water", 17.0);
+  tel.SetGauge("pool.queue_depth_high_water", 4.0);
+  Histogram lat = tel.histogram("engine.latency_us");
+  lat.Record(0.0);
+  lat.Record(1.0);
+  lat.Record(1.5);
+  lat.Record(100.0);
+  tel.RecordInstant("test", "tick");
+
+  PrometheusOptions options;
+  options.labels = {{"job", "rod_bench"}};
+  std::ostringstream out;
+  WritePrometheusText(tel.Snapshot(), out, options);
+
+  const std::string golden_path =
+      std::string(ROD_TESTS_SOURCE_DIR) + "/golden/prometheus_metrics.txt";
+  std::ifstream golden_in(golden_path);
+  ASSERT_TRUE(golden_in.good()) << "missing golden: " << golden_path;
+  std::ostringstream golden;
+  golden << golden_in.rdbuf();
+  EXPECT_EQ(out.str(), golden.str())
+      << "--- actual ---\n"
+      << out.str() << "--- golden (" << golden_path << ") ---\n"
+      << golden.str();
+}
+
+}  // namespace
+}  // namespace rod::telemetry

@@ -1,0 +1,150 @@
+// Flight recorder tests: the frozen-at-incident contract (metrics,
+// trace ring, aggregator window), notes, the bounded incident ring, and
+// the golden artifact pinned by tests/golden/flight_recorder_incident.json
+// under a manual clock.
+
+#include "telemetry/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "telemetry/aggregator.h"
+#include "telemetry/json_writer.h"
+#include "telemetry/telemetry.h"
+
+namespace rod::telemetry {
+namespace {
+
+TelemetryOptions ManualClock() {
+  TelemetryOptions o;
+  o.manual_clock = true;
+  return o;
+}
+
+TEST(FlightRecorderTest, NoteAndCompleteWithoutPendingAreNoOps) {
+  Telemetry tel(ManualClock());
+  FlightRecorder recorder(&tel);
+  recorder.Note("lost");          // No pending incident: dropped.
+  recorder.CompleteIncident();    // No-op.
+  EXPECT_EQ(recorder.incident_count(), 0u);
+  EXPECT_FALSE(recorder.pending());
+}
+
+TEST(FlightRecorderTest, BeginFreezesStateAtTheIncidentInstant) {
+  Telemetry tel(ManualClock());
+  Counter events = tel.counter("engine.events");
+  events.Add(10);
+  FlightRecorder recorder(&tel);
+
+  recorder.BeginIncident("node_crash", "crash node 1");
+  EXPECT_TRUE(recorder.pending());
+  // Everything recorded after Begin must NOT appear in the frozen state.
+  events.Add(999);
+  tel.AdvanceClock(500.0);
+  recorder.Note("detected");
+  recorder.CompleteIncident();
+  EXPECT_FALSE(recorder.pending());
+  ASSERT_EQ(recorder.incident_count(), 1u);
+
+  std::ostringstream out;
+  recorder.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"engine.events\": 10"), std::string::npos) << json;
+  EXPECT_EQ(json.find("1009"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"detected\""), std::string::npos) << json;
+}
+
+TEST(FlightRecorderTest, SecondBeginAbandonsAndCounts) {
+  Telemetry tel(ManualClock());
+  FlightRecorder recorder(&tel);
+  recorder.BeginIncident("node_crash", "first");
+  recorder.BeginIncident("node_crash", "second");  // Abandons the first.
+  recorder.CompleteIncident();
+  EXPECT_EQ(recorder.incident_count(), 1u);
+  EXPECT_EQ(tel.Snapshot().counters.at("telemetry.flightrecorder.abandoned"),
+            1u);
+  std::ostringstream out;
+  recorder.WriteJson(out);
+  EXPECT_NE(out.str().find("\"second\""), std::string::npos);
+  EXPECT_EQ(out.str().find("\"first\""), std::string::npos);
+}
+
+TEST(FlightRecorderTest, IncidentRingIsBoundedAndCountsDrops) {
+  Telemetry tel(ManualClock());
+  FlightRecorderOptions options;
+  options.max_incidents = 2;
+  FlightRecorder recorder(&tel, nullptr, options);
+  for (int i = 0; i < 5; ++i) {
+    recorder.BeginIncident("node_crash", "incident " + std::to_string(i));
+    recorder.CompleteIncident();
+  }
+  EXPECT_EQ(recorder.incident_count(), 2u);
+  std::ostringstream out;
+  recorder.WriteJson(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"dropped_incidents\": 3"), std::string::npos) << json;
+  // Oldest dropped first: 3 and 4 survive.
+  EXPECT_NE(json.find("incident 3"), std::string::npos) << json;
+  EXPECT_NE(json.find("incident 4"), std::string::npos) << json;
+  EXPECT_EQ(json.find("incident 0"), std::string::npos) << json;
+}
+
+TEST(FlightRecorderTest, GoldenArtifactIsByteExact) {
+  Telemetry tel(ManualClock());
+  Counter events = tel.counter("engine.events_processed");
+  events.Add(100);
+  Aggregator agg(&tel);  // Baseline: 100.
+
+  tel.AdvanceClock(1'000'000.0);
+  events.Add(50);
+  agg.SampleNow();  // Window: one sample (delta 50, rate 50/s).
+
+  tel.AdvanceClock(500'000.0);
+  tel.RecordSpan("engine", "sweep", 1'400'000.0, 1'500'000.0, 3, true);
+  tel.RecordInstant("engine", "crash", 1, true);
+
+  FlightRecorder recorder(&tel, &agg);
+  recorder.BeginIncident("node_crash", "crash node 1 at t=1.5");
+  tel.AdvanceClock(100'000.0);
+  recorder.Note("supervisor: failure of node 1 detected");
+  tel.AdvanceClock(100'000.0);
+  recorder.Note("plan applied, moved 2 operators");
+  recorder.CompleteIncident([](JsonWriter& w) {
+    w.BeginObjectInline();
+    w.Key("failed_node").Uint(1);
+    w.Key("recovered").Bool(true);
+    w.Key("availability").Double(0.97);
+    w.EndObject();
+  });
+
+  std::ostringstream out;
+  recorder.WriteJson(out);
+
+  const std::string golden_path = std::string(ROD_TESTS_SOURCE_DIR) +
+                                  "/golden/flight_recorder_incident.json";
+  std::ifstream golden_in(golden_path);
+  ASSERT_TRUE(golden_in.good()) << "missing golden: " << golden_path;
+  std::ostringstream golden;
+  golden << golden_in.rdbuf();
+  EXPECT_EQ(out.str(), golden.str())
+      << "--- actual ---\n"
+      << out.str() << "\n--- golden (" << golden_path << ") ---\n"
+      << golden.str();
+}
+
+TEST(FlightRecorderTest, NullAggregatorOmitsWindow) {
+  Telemetry tel(ManualClock());
+  FlightRecorder recorder(&tel);
+  recorder.BeginIncident("node_crash", "no window");
+  recorder.CompleteIncident();
+  std::ostringstream out;
+  recorder.WriteJson(out);
+  EXPECT_NE(out.str().find("\"aggregator\": null"), std::string::npos)
+      << out.str();
+}
+
+}  // namespace
+}  // namespace rod::telemetry

@@ -1,0 +1,173 @@
+// Loopback tests for the observability-plane HTTP server: a raw-socket
+// client scrapes /metrics (Prometheus text) and /healthz off an
+// ephemeral port, plus the error paths (404, 405, 400) and lifecycle
+// (Stop idempotency, restart).
+
+#include "telemetry/http_server.h"
+
+#include <arpa/inet.h>
+#include <gtest/gtest.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "telemetry/exposition.h"
+#include "telemetry/telemetry.h"
+
+namespace rod::telemetry {
+namespace {
+
+/// Sends one raw request to 127.0.0.1:port and returns the full
+/// response (status line + headers + body). Empty string on failure.
+std::string RawRequest(uint16_t port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& path) {
+  return RawRequest(port, "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n");
+}
+
+TEST(HttpServerTest, ServesMetricsAndHealthOnEphemeralPort) {
+  Telemetry tel;
+  tel.Count("engine.events_processed", 42);
+
+  HttpServer server;
+  server.Handle("/metrics", [&tel](std::string_view) {
+    HttpServer::Response r;
+    r.content_type = kPrometheusContentType;
+    std::ostringstream out;
+    WritePrometheusText(tel.Snapshot(), out);
+    r.body = out.str();
+    return r;
+  });
+  server.Handle("/healthz", [](std::string_view) {
+    HttpServer::Response r;
+    r.body = "ok\n";
+    return r;
+  });
+
+  std::string error;
+  ASSERT_TRUE(server.Start(0, &error)) << error;
+  ASSERT_NE(server.port(), 0);
+  EXPECT_TRUE(server.serving());
+
+  const std::string metrics = Get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("HTTP/1.1 200 OK"), std::string::npos) << metrics;
+  EXPECT_NE(metrics.find("Content-Type: text/plain; version=0.0.4"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("engine_events_processed 42"), std::string::npos)
+      << metrics;
+
+  const std::string health = Get(server.port(), "/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos) << health;
+  EXPECT_NE(health.find("ok\n"), std::string::npos) << health;
+}
+
+TEST(HttpServerTest, QueryStringIsStrippedBeforeDispatch) {
+  HttpServer server;
+  server.Handle("/metrics", [](std::string_view path) {
+    HttpServer::Response r;
+    r.body = std::string("path=") + std::string(path);
+    return r;
+  });
+  ASSERT_TRUE(server.Start(0));
+  const std::string resp = Get(server.port(), "/metrics?format=prometheus");
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("path=/metrics"), std::string::npos) << resp;
+}
+
+TEST(HttpServerTest, UnknownPathIs404) {
+  HttpServer server;
+  server.Handle("/metrics", [](std::string_view) {
+    return HttpServer::Response{};
+  });
+  ASSERT_TRUE(server.Start(0));
+  const std::string resp = Get(server.port(), "/nope");
+  EXPECT_NE(resp.find("HTTP/1.1 404"), std::string::npos) << resp;
+}
+
+TEST(HttpServerTest, NonGetMethodIs405) {
+  HttpServer server;
+  server.Handle("/metrics", [](std::string_view) {
+    return HttpServer::Response{};
+  });
+  ASSERT_TRUE(server.Start(0));
+  const std::string resp = RawRequest(
+      server.port(),
+      "POST /metrics HTTP/1.1\r\nHost: x\r\nContent-Length: 0\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 405"), std::string::npos) << resp;
+}
+
+TEST(HttpServerTest, MalformedRequestIs400) {
+  HttpServer server;
+  ASSERT_TRUE(server.Start(0));
+  // No spaces in the request line: not even a method/target to parse.
+  const std::string resp = RawRequest(server.port(), "garbage\r\n\r\n");
+  EXPECT_NE(resp.find("HTTP/1.1 400"), std::string::npos) << resp;
+}
+
+TEST(HttpServerTest, StopIsIdempotentAndRestartWorks) {
+  HttpServer server;
+  server.Handle("/healthz", [](std::string_view) {
+    HttpServer::Response r;
+    r.body = "ok\n";
+    return r;
+  });
+  ASSERT_TRUE(server.Start(0));
+  const uint16_t first_port = server.port();
+  EXPECT_FALSE(Get(first_port, "/healthz").empty());
+  server.Stop();
+  server.Stop();  // Idempotent.
+  EXPECT_FALSE(server.serving());
+
+  ASSERT_TRUE(server.Start(0));
+  EXPECT_NE(Get(server.port(), "/healthz").find("200 OK"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, StartOnBusyPortReportsError) {
+  HttpServer first;
+  ASSERT_TRUE(first.Start(0));
+  HttpServer second;
+  std::string error;
+  EXPECT_FALSE(second.Start(first.port(), &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(second.serving());
+}
+
+}  // namespace
+}  // namespace rod::telemetry

@@ -70,6 +70,45 @@ TEST(TelemetryTest, RegistrationBeyondCapacityReturnsInertHandles) {
   EXPECT_EQ(snap.counters.at("c0"), 1u);
   EXPECT_EQ(snap.counters.at("c255"), 1u);
   EXPECT_EQ(snap.counters.count("c256"), 0u);
+  // Cap overflow is counted, not silent: 300 - 256 refused registrations.
+  EXPECT_EQ(snap.dropped_registrations, 44u);
+  // Re-registering an existing name is idempotent, not a drop.
+  tel.counter("c0");
+  EXPECT_EQ(tel.Snapshot().dropped_registrations, 44u);
+}
+
+TEST(TelemetryTest, GaugeMaxRatchetsUpward) {
+  Telemetry tel;
+  Gauge g = tel.gauge("event_queue.size_high_water");
+  g.Max(3.0);
+  g.Max(9.0);
+  g.Max(5.0);  // below the high water: ignored
+  EXPECT_EQ(tel.Snapshot().gauges.at("event_queue.size_high_water"), 9.0);
+  // An external reset (the Aggregator's job) re-arms the ratchet.
+  tel.SetGauge("event_queue.size_high_water", 0.0);
+  g.Max(4.0);
+  EXPECT_EQ(tel.Snapshot().gauges.at("event_queue.size_high_water"), 4.0);
+}
+
+TEST(TelemetryTest, SnapshotTraceCopiesRingsInOrder) {
+  TelemetryOptions options;
+  options.manual_clock = true;
+  Telemetry tel(options);
+  {
+    TraceSpan span(&tel, "engine", "run", uint64_t{7});
+    tel.AdvanceClock(100.0);
+  }
+  tel.RecordInstant("engine", "crash", 2, /*has_arg=*/true);
+  const std::vector<TraceEventView> events = tel.SnapshotTrace();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "run");
+  EXPECT_FALSE(events[0].instant);
+  EXPECT_EQ(events[0].dur_us, 100.0);
+  EXPECT_TRUE(events[0].has_arg);
+  EXPECT_EQ(events[0].arg, 7u);
+  EXPECT_STREQ(events[1].name, "crash");
+  EXPECT_TRUE(events[1].instant);
+  EXPECT_EQ(events[1].arg, 2u);
 }
 
 TEST(TelemetryTest, HistogramSnapshotBasics) {
@@ -230,7 +269,8 @@ TEST(TelemetryTest, MetricsJsonIsDeterministic) {
             "\"mean\": 1, \"p50\": 1, \"p95\": 1, \"p99\": 1, "
             "\"buckets\": [[1, 1]]}\n"
             "  },\n"
-            "  \"trace\": {\"recorded\": 0, \"dropped\": 0}\n"
+            "  \"trace\": {\"recorded\": 0, \"dropped\": 0},\n"
+            "  \"registry\": {\"dropped_registrations\": 0}\n"
             "}\n");
 }
 

@@ -137,5 +137,44 @@ TEST(ParallelForTest, ExplicitPoolStress) {
   }
 }
 
+TEST(ThreadPoolTest, SetTelemetryQuiescesBeforeSwap) {
+  // Regression: a worker ends its "pool/task" span after the task's
+  // completion is observable, so swapping the sink and destroying the
+  // old one right after a ParallelFor used to race the span end
+  // (use-after-free, bad_alloc from a garbage ring capacity). The swap
+  // now blocks until no worker is mid-task; this loop crashes under
+  // ASan without that guarantee.
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    telemetry::Telemetry scoped;
+    pool.set_telemetry(&scoped);
+    std::atomic<int> sum{0};
+    ParallelFor(pool, 4, 64, 1,
+                [&](size_t, size_t begin, size_t end) {
+                  sum += static_cast<int>(end - begin);
+                });
+    EXPECT_EQ(sum.load(), 64);
+    pool.set_telemetry(nullptr);
+    // `scoped` dies here; no worker may still be recording into it.
+  }
+}
+
+TEST(ThreadPoolTest, SubmitRecordsQueueHighWaterGauge) {
+  telemetry::Telemetry tel;
+  ThreadPool pool(1);
+  pool.set_telemetry(&tel);
+  std::mutex gate;
+  gate.lock();  // Hold the single worker so the queue backs up.
+  pool.Submit([&gate] { gate.lock(); gate.unlock(); });
+  for (int i = 0; i < 5; ++i) pool.Submit([] {});
+  const double high_water =
+      tel.Snapshot().gauges.at("pool.queue_depth_high_water");
+  EXPECT_GE(high_water, 5.0);
+  gate.unlock();
+  pool.set_telemetry(nullptr);  // Quiesces: all tasks drained.
+  // The ratchet survives until an Aggregator-style reset.
+  EXPECT_GE(tel.Snapshot().gauges.at("pool.queue_depth_high_water"), 5.0);
+}
+
 }  // namespace
 }  // namespace rod
