@@ -1,0 +1,340 @@
+// Experiment A5 (ours) — graceful degradation past the feasible
+// boundary: goodput and p99 latency vs. load scale for ROD and Random
+// placements under each overflow/shedding policy. Below the boundary all
+// configurations are equivalent; past it, unbounded queues blow up the
+// tail while bounded queues trade a controlled fraction of the input for
+// bounded latency — and QoS-aware eviction keeps more of the *valuable*
+// tuples than blind dropping. With --smoke the binary asserts the
+// degradation contract on a reduced grid (CI's Release overload gate).
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "runtime/engine.h"
+#include "runtime/node.h"
+#include "runtime/sweep.h"
+#include "telemetry/json_writer.h"
+
+namespace {
+
+using rod::Vector;
+using rod::bench::Fmt;
+using rod::bench::Table;
+using rod::place::PlacementEvaluator;
+using rod::place::SystemSpec;
+using rod::sim::OverflowPolicy;
+using rod::sim::SimulationOptions;
+using rod::sim::SimulationResult;
+
+constexpr double kDuration = 40.0;
+constexpr size_t kQueueCapacity = 256;
+
+struct PolicyChoice {
+  std::string label;
+  bool bounded = false;
+  OverflowPolicy policy = OverflowPolicy::kDropNewest;
+};
+
+const std::vector<PolicyChoice>& Policies() {
+  static const std::vector<PolicyChoice> kPolicies = {
+      {"unbounded", false, OverflowPolicy::kDropNewest},
+      {"drop-new", true, OverflowPolicy::kDropNewest},
+      {"drop-old", true, OverflowPolicy::kDropOldest},
+      {"random", true, OverflowPolicy::kRandom},
+      {"qos", true, OverflowPolicy::kQosWeighted},
+  };
+  return kPolicies;
+}
+
+struct Row {
+  std::string placement;
+  std::string policy;
+  double scale = 0.0;
+  double goodput = 0.0;  ///< Sink outputs per virtual second.
+  double p99_ms = 0.0;
+  double shed_fraction = 0.0;
+  size_t queue_high_water = 0;
+  bool saturated = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const rod::bench::BenchFlags bench_flags =
+      rod::bench::ParseBenchFlags(argc, argv);
+  bool smoke = false;
+  std::string out_json;
+  size_t num_threads = 0;
+  for (const std::string& arg : bench_flags.rest) {
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_json = arg.substr(6);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      num_threads = std::stoul(arg.substr(10));
+    } else {
+      std::cerr << "usage: " << argv[0]
+                << " [--smoke] [--out=PATH] [--threads=N] [--json=PATH]"
+                   " [--trace=PATH] [--serve=PORT] [--flightrecorder=PATH]\n";
+      return 2;
+    }
+  }
+  rod::bench::TelemetrySession telemetry_session(bench_flags);
+  std::cout << "ROD reproduction -- A5: degradation curves past the feasible "
+               "boundary\n3 streams x 8 ops, 3 nodes; bounded queues ("
+            << kQueueCapacity << " tuples) vs. unbounded, "
+            << kDuration << "s per point\n";
+
+  rod::query::GraphGenOptions gen;
+  gen.num_input_streams = 3;
+  gen.ops_per_tree = 8;
+  // Uniform per-tuple cost with a wide selectivity spread: every queued
+  // tuple costs the same CPU, so the compiled drop weights (expected
+  // downstream outputs; cost-blind by design) rank exactly by goodput
+  // contribution and the qos-vs-blind comparison isolates the eviction
+  // policy rather than cost heterogeneity.
+  gen.min_cost = 1e-3;
+  gen.max_cost = 1e-3;
+  gen.min_selectivity = 0.05;
+  rod::Rng rng(0xa50001);
+  const rod::query::QueryGraph graph =
+      rod::query::GenerateRandomTrees(gen, rng);
+  auto model = rod::query::BuildLoadModel(graph);
+  if (!model.ok()) {
+    std::cerr << model.status().ToString() << "\n";
+    return 1;
+  }
+  const SystemSpec system = SystemSpec::Homogeneous(3);
+
+  struct Plan {
+    std::string label;
+    rod::place::Placement placement{1, {}};
+  };
+  std::vector<Plan> plans;
+  {
+    auto p = rod::place::RodPlace(*model, system);
+    if (!p.ok()) {
+      std::cerr << p.status().ToString() << "\n";
+      return 1;
+    }
+    plans.push_back({"ROD", std::move(*p)});
+    rod::Rng prng(0xa50002);
+    auto q = rod::place::RandomPlace(*model, system, prng);
+    if (!q.ok()) {
+      std::cerr << q.status().ToString() << "\n";
+      return 1;
+    }
+    plans.push_back({"Random", std::move(*q)});
+  }
+
+  // Rates are expressed as multiples of each plan's own analytic
+  // feasible boundary along the uniform direction, so "scale 2.0" means
+  // the same thing — 2x what this placement can absorb — for both plans.
+  const PlacementEvaluator eval(*model, system);
+  const Vector unit(model->num_system_inputs(), 1.0);
+  std::vector<double> boundary_rate(plans.size());
+  for (size_t p = 0; p < plans.size(); ++p) {
+    const Vector util = eval.NodeUtilizationAt(plans[p].placement, unit);
+    double peak = 0.0;
+    for (double u : util) peak = std::max(peak, u);
+    boundary_rate[p] = 1.0 / peak;  // uniform per-stream boundary rate
+  }
+
+  const std::vector<double> scales =
+      smoke ? std::vector<double>{0.6, 2.0}
+            : std::vector<double>{0.6, 0.9, 1.1, 1.5, 2.0, 3.0};
+
+  // One grid point = (plan, policy, scale); every point is an independent
+  // deterministic run, so the full grid is a single parallel sweep.
+  struct Point {
+    size_t plan;
+    size_t policy;
+    double scale;
+  };
+  std::vector<Point> points;
+  std::vector<std::vector<rod::trace::RateTrace>> traces;  // stable storage
+  for (size_t p = 0; p < plans.size(); ++p) {
+    for (size_t q = 0; q < Policies().size(); ++q) {
+      for (double s : scales) {
+        points.push_back({p, q, s});
+        std::vector<rod::trace::RateTrace> t;
+        for (size_t k = 0; k < model->num_system_inputs(); ++k) {
+          rod::trace::RateTrace one;
+          one.window_sec = kDuration;
+          one.rates = {s * boundary_rate[p]};
+          t.push_back(std::move(one));
+        }
+        traces.push_back(std::move(t));
+      }
+    }
+  }
+
+  std::vector<rod::sim::SimulationCase> cases;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& pt = points[i];
+    const PolicyChoice& pc = Policies()[pt.policy];
+    rod::sim::SimulationCase c;
+    c.graph = &graph;
+    c.placement = &plans[pt.plan].placement;
+    c.system = &system;
+    c.inputs = &traces[i];
+    c.options.duration = kDuration;
+    c.options.warmup = 5.0;
+    if (pc.bounded) {
+      c.options.queue_bound.capacity = kQueueCapacity;
+      c.options.queue_bound.policy = pc.policy;
+    }
+    c.options.telemetry = telemetry_session.telemetry();
+    cases.push_back(c);
+  }
+  telemetry_session.set_ready(true);
+  rod::sim::SweepOptions sweep_options;
+  sweep_options.num_threads = num_threads;
+  sweep_options.telemetry = telemetry_session.telemetry();
+  const auto results = rod::sim::SimulateSweep(cases, sweep_options);
+
+  std::vector<Row> rows;
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& pt = points[i];
+    if (!results[i].ok()) {
+      std::cerr << plans[pt.plan].label << "/" << Policies()[pt.policy].label
+                << " @" << pt.scale << ": "
+                << results[i].status().ToString() << "\n";
+      return 1;
+    }
+    const SimulationResult& r = *results[i];
+    const size_t offered =
+        r.input_tuples + r.shed_tuples + r.overload.shed_overflow;
+    Row row;
+    row.placement = plans[pt.plan].label;
+    row.policy = Policies()[pt.policy].label;
+    row.scale = pt.scale;
+    row.goodput = static_cast<double>(r.output_tuples) / kDuration;
+    row.p99_ms = r.p99_latency * 1e3;
+    row.shed_fraction =
+        offered == 0 ? 0.0
+                     : static_cast<double>(r.overload.total_shed()) /
+                           static_cast<double>(offered);
+    row.queue_high_water = r.overload.queue_depth_high_water;
+    row.saturated = r.saturated;
+    rows.push_back(row);
+  }
+
+  Table table({"placement", "policy", "scale", "goodput(t/s)", "p99(ms)",
+               "shed frac", "queue hw", "saturated"});
+  for (const Row& row : rows) {
+    table.AddRow({row.placement, row.policy, Fmt(row.scale, 1),
+                  Fmt(row.goodput, 1), Fmt(row.p99_ms, 2),
+                  Fmt(row.shed_fraction, 3),
+                  std::to_string(row.queue_high_water),
+                  row.saturated ? "yes" : "no"});
+  }
+  table.Print();
+  std::cout << "\ngoodput = sink outputs/s; shed frac = dropped/offered; "
+               "queue hw = deepest per-node tuple queue seen.\nPast scale "
+               "1.0 the unbounded rows saturate (runaway queues and p99); "
+               "bounded rows shed the excess and keep both in check.\n";
+
+  if (!out_json.empty()) {
+    std::ofstream out(out_json);
+    rod::telemetry::JsonWriter w(out);
+    w.BeginObject();
+    w.Key("schema").String("rod.bench_overload.v1");
+    w.Key("duration_sec").Double(kDuration);
+    w.Key("queue_capacity").Uint(kQueueCapacity);
+    w.Key("rows").BeginArray();
+    for (const Row& row : rows) {
+      w.BeginObjectInline();
+      w.Key("placement").String(row.placement);
+      w.Key("policy").String(row.policy);
+      w.Key("scale").Double(row.scale);
+      w.Key("goodput").Double(row.goodput);
+      w.Key("p99_ms").Double(row.p99_ms);
+      w.Key("shed_fraction").Double(row.shed_fraction);
+      w.Key("queue_high_water").Uint(row.queue_high_water);
+      w.Key("saturated").Bool(row.saturated);
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    out << "\n";
+    std::cout << "wrote " << out_json << " (degradation curves)\n";
+  }
+
+  if (smoke) {
+    // Degradation contract at 2x the feasible boundary (the CI gate):
+    //  1. every bounded policy keeps a goodput floor — at least 60% of
+    //     what the boundary itself can deliver — while shedding;
+    //  2. bounded queue depth never exceeds the configured capacity;
+    //  3. QoS-aware eviction is never worse than blind drop-newest;
+    //  4. the whole grid is deterministic across thread counts.
+    auto find_row = [&](const std::string& plan, const std::string& policy,
+                        double scale) -> const Row* {
+      for (const Row& row : rows) {
+        if (row.placement == plan && row.policy == policy &&
+            row.scale == scale) {
+          return &row;
+        }
+      }
+      return nullptr;
+    };
+    int failures = 0;
+    auto expect = [&](bool ok, const std::string& what) {
+      if (!ok) {
+        std::cerr << "SMOKE FAIL: " << what << "\n";
+        ++failures;
+      }
+    };
+    for (const Plan& plan : plans) {
+      const Row* calm = find_row(plan.label, "drop-new", 0.6);
+      expect(calm != nullptr, plan.label + ": missing calm row");
+      for (const PolicyChoice& pc : Policies()) {
+        if (!pc.bounded) continue;
+        const Row* hot = find_row(plan.label, pc.label, 2.0);
+        expect(hot != nullptr, plan.label + "/" + pc.label + ": missing row");
+        if (hot == nullptr || calm == nullptr) continue;
+        // At 2x the boundary a shedding system still runs its nodes flat
+        // out, so goodput must stay at least at the 0.6x-load level
+        // (= 60% of the boundary throughput), not collapse.
+        expect(hot->goodput >= 0.8 * calm->goodput,
+               plan.label + "/" + pc.label + ": goodput " +
+                   Fmt(hot->goodput, 1) + " under the floor " +
+                   Fmt(0.8 * calm->goodput, 1));
+        expect(hot->queue_high_water <= kQueueCapacity,
+               plan.label + "/" + pc.label + ": queue high water " +
+                   std::to_string(hot->queue_high_water) + " > capacity");
+        expect(hot->shed_fraction > 0.0,
+               plan.label + "/" + pc.label + ": no shedding at 2x");
+      }
+      const Row* qos = find_row(plan.label, "qos", 2.0);
+      const Row* blind = find_row(plan.label, "drop-new", 2.0);
+      if (qos != nullptr && blind != nullptr) {
+        expect(qos->goodput >= blind->goodput * 0.999,
+               plan.label + ": qos goodput " + Fmt(qos->goodput, 1) +
+                   " < drop-newest " + Fmt(blind->goodput, 1));
+      }
+    }
+    // Re-run the grid sequentially; results must be bit-identical.
+    rod::sim::SweepOptions seq;
+    seq.num_threads = 1;
+    const auto sequential = rod::sim::SimulateSweep(cases, seq);
+    for (size_t i = 0; i < results.size(); ++i) {
+      expect(sequential[i].ok(), "sequential rerun failed");
+      if (!sequential[i].ok()) continue;
+      expect(sequential[i]->output_tuples == results[i]->output_tuples &&
+                 sequential[i]->shed_tuples == results[i]->shed_tuples &&
+                 sequential[i]->processed_events ==
+                     results[i]->processed_events,
+             "thread-count dependence at grid point " + std::to_string(i));
+    }
+    if (failures > 0) {
+      std::cerr << failures << " smoke assertion(s) failed\n";
+      return 1;
+    }
+    std::cout << "smoke: all degradation assertions held\n";
+  }
+  return 0;
+}

@@ -93,9 +93,11 @@ inline std::vector<size_t> ParseThreadList(const std::string& spec) {
 }
 
 /// The high-water gauges the Aggregator re-arms after every sample (see
-/// Gauge::Max): peak thread-pool queue depth and peak event-queue size.
+/// Gauge::Max): peak thread-pool queue depth, peak event-queue size, and
+/// the engine's peak per-node tuple-queue depth.
 inline std::vector<std::string> HighWaterGauges() {
-  return {"pool.queue_depth_high_water", "event_queue.size_high_water"};
+  return {"pool.queue_depth_high_water", "event_queue.size_high_water",
+          "node.queue_depth_high_water"};
 }
 
 /// RAII telemetry wiring for a bench binary: when --json / --trace /

@@ -45,6 +45,10 @@ Status OperatorSpec::Validate() const {
     return Status::InvalidArgument("operator '" + name +
                                    "': window is only valid for joins");
   }
+  if (qos_weight < 0.0) {
+    return Status::InvalidArgument("operator '" + name +
+                                   "': negative qos_weight");
+  }
   if (kind == OperatorKind::kFilter && selectivity > 1.0) {
     return Status::InvalidArgument("filter '" + name +
                                    "': selectivity must be <= 1");

@@ -68,6 +68,13 @@ struct OperatorSpec {
   /// used as the nominal value when concrete rates are evaluated.
   bool variable_selectivity = false;
 
+  /// Relative application value of tuples processed by this operator,
+  /// used by QoS-aware load shedding (semantic drop, Borealis §"QoS"):
+  /// under overflow the runtime prefers to drop tuples headed through
+  /// low-weight operators. Must be >= 0; the default treats all paths as
+  /// equally valuable.
+  double qos_weight = 1.0;
+
   /// Validates ranges (non-negative cost, selectivity, window; join
   /// constraints). Returns OK when the spec is internally consistent.
   Status Validate() const;

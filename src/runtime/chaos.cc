@@ -21,9 +21,21 @@ FailureSchedule& FailureSchedule::SlowdownAt(double time, uint32_t node,
   return *this;
 }
 
-Status FailureSchedule::Validate(size_t num_nodes) const {
+FailureSchedule& FailureSchedule::LoadSpikeAt(double time, uint32_t stream,
+                                              double factor) {
+  events_.push_back(FaultEvent{time, stream, FaultKind::kLoadSpike, factor});
+  return *this;
+}
+
+Status FailureSchedule::Validate(size_t num_nodes, size_t num_streams) const {
   for (const FaultEvent& e : events_) {
-    if (e.node >= num_nodes) {
+    if (e.kind == FaultKind::kLoadSpike) {
+      if (e.node >= num_streams) {
+        return Status::InvalidArgument("load spike targets input stream " +
+                                       std::to_string(e.node) +
+                                       " outside the query");
+      }
+    } else if (e.node >= num_nodes) {
       return Status::InvalidArgument("fault targets node " +
                                      std::to_string(e.node) +
                                      " outside the cluster");
@@ -34,9 +46,13 @@ Status FailureSchedule::Validate(size_t num_nodes) const {
     if (e.kind == FaultKind::kSlowdown && e.factor <= 0.0) {
       return Status::InvalidArgument("slowdown factor must be positive");
     }
+    if (e.kind == FaultKind::kLoadSpike && e.factor < 0.0) {
+      return Status::InvalidArgument("load spike factor must be >= 0");
+    }
   }
   // Replay the per-node up/down state machine in time order (stable sort
-  // keeps insertion order for simultaneous events).
+  // keeps insertion order for simultaneous events, which is also the
+  // engine's replay order: EventQueue breaks time ties by push sequence).
   std::vector<size_t> order(events_.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
@@ -66,9 +82,22 @@ Status FailureSchedule::Validate(size_t num_nodes) const {
                                          std::to_string(e.node));
         }
         break;
+      case FaultKind::kLoadSpike:
+        break;  // stream event: node liveness does not apply
     }
   }
   return Status::OK();
+}
+
+Status FailureSchedule::Validate(size_t num_nodes) const {
+  for (const FaultEvent& e : events_) {
+    if (e.kind == FaultKind::kLoadSpike) {
+      return Status::InvalidArgument(
+          "schedule contains load spikes; validate with the "
+          "(num_nodes, num_streams) overload");
+    }
+  }
+  return Validate(num_nodes, 0);
 }
 
 }  // namespace rod::sim

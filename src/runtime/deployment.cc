@@ -42,6 +42,23 @@ Result<Deployment> CompileDeployment(const query::QueryGraph& graph,
     op.is_sink = graph.consumers_of(j).empty();
   }
 
+  // Shedding priority: expected sink outputs per tuple entering operator
+  // j, folded backward over the DAG (insertion order is topological, so
+  // reverse id order visits consumers before producers), scaled by the
+  // operator's declared qos_weight. Joins contribute their per-pair
+  // selectivity — a rate-free stand-in for the true window*rate product —
+  // which keeps the ordering meaningful without runtime rate estimates.
+  for (size_t r = graph.num_operators(); r-- > 0;) {
+    const query::OperatorSpec& spec = graph.spec(r);
+    double downstream = 1.0;  // sinks deliver straight to the application
+    const auto& consumers = graph.consumers_of(r);
+    if (!consumers.empty()) {
+      downstream = 0.0;
+      for (query::OperatorId c : consumers) downstream += dep.ops[c].drop_weight;
+    }
+    dep.ops[r].drop_weight = spec.qos_weight * spec.selectivity * downstream;
+  }
+
   // Wire routes from each arc's source to its consumer.
   for (query::OperatorId j = 0; j < graph.num_operators(); ++j) {
     const auto& arcs = graph.inputs_of(j);

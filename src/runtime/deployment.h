@@ -33,6 +33,14 @@ struct CompiledOp {
   double selectivity = 1.0;  ///< Emission ratio (per pair for joins).
   double window = 0.0;       ///< Join window (seconds).
   bool is_sink = false;      ///< Output goes to applications (latency taps).
+
+  /// Shedding priority of a tuple queued at this operator: the operator's
+  /// qos_weight times the expected number of sink outputs a tuple entering
+  /// it eventually produces (product of downstream selectivities, summed
+  /// over consumer branches; joins use their per-pair selectivity as a
+  /// rate-free heuristic). QoS-aware overflow policies evict the
+  /// lowest-weight queued tuple first.
+  double drop_weight = 1.0;
   std::vector<Route> consumers;
 };
 

@@ -22,12 +22,23 @@ namespace rod::sim {
 
 namespace {
 
+/// Sender id used where a parked delivery has no upstream node to stall
+/// (external arrivals, migration replays, orphan re-homing).
+constexpr uint32_t kNoUpstream = UINT32_MAX;
+
 /// A tuple travelling between nodes (constant network latency makes the
 /// delivery order FIFO, so a queue suffices). The destination node is
 /// resolved at *delivery* time: a supervisor may re-home the target
 /// operator while the tuple is on the wire.
 struct PendingDelivery {
   double time = 0.0;
+  uint32_t from = kNoUpstream;  ///< Sending node (backpressure stalls it).
+  Task task;
+};
+
+/// A delivery parked at a congested node until its queue drains.
+struct HeldDelivery {
+  uint32_t from = kNoUpstream;
   Task task;
 };
 
@@ -100,6 +111,21 @@ struct EngineWorkspace {
   std::vector<double> paused_until;
   std::vector<std::vector<Task>> migration_buffer;
   std::vector<Task> release_scratch;  ///< Replay staging, kMigrationRelease.
+
+  // Overload machinery (bounded queues / backpressure / control loop).
+  std::vector<double> drop_weights;    ///< Per-op, borrowed by the nodes.
+  std::vector<char> congested;         ///< Per-node backpressure state.
+  std::vector<double> congested_since;
+  std::vector<std::vector<HeldDelivery>> bp_held;  ///< Parked deliveries.
+  std::vector<HeldDelivery> bp_release_scratch;
+  std::vector<char> bp_blocked;       ///< [from * nodes + to] stall edges.
+  std::vector<uint32_t> stall_refs;   ///< Congested downstreams per node.
+  std::vector<char> source_stalled;   ///< Per input stream.
+  std::vector<double> source_stall_since;
+  std::vector<double> source_held_origin;
+  std::vector<char> arrival_live;     ///< Arrival event in flight per stream.
+  std::vector<uint64_t> window_arrivals;  ///< Arrivals since detector tick.
+
   EventQueue events;
   FifoBuffer<PendingDelivery> network;
   std::vector<SimulationResult::OperatorStats> op_stats;
@@ -145,7 +171,16 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
     return Status::InvalidArgument("warmup must lie in [0, duration)");
   }
   if (options.failures) {
-    ROD_RETURN_IF_ERROR(options.failures->Validate(deployment.num_nodes()));
+    ROD_RETURN_IF_ERROR(
+        options.failures->Validate(deployment.num_nodes(), inputs.size()));
+  }
+  if (options.backpressure.enabled && options.backpressure.high_water == 0) {
+    return Status::InvalidArgument("backpressure high_water must be positive");
+  }
+  if (options.overload.enabled && (options.overload.check_interval <= 0.0 ||
+                                   options.overload.queue_high_water == 0)) {
+    return Status::InvalidArgument(
+        "overload detector needs a positive check_interval and high water");
   }
 
   // Telemetry is observation-only: it never draws from the run's random
@@ -189,6 +224,17 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
     ws.nodes[i].Reset(dep.system.capacities[i], options.scheduling);
   }
   auto& nodes = ws.nodes;
+  const bool bounded = options.queue_bound.capacity > 0;
+  if (bounded) {
+    ws.drop_weights.resize(num_ops);
+    for (size_t j = 0; j < num_ops; ++j) {
+      ws.drop_weights[j] = dep.ops[j].drop_weight;
+    }
+    for (size_t i = 0; i < num_nodes; ++i) {
+      nodes[i].ConfigureOverflow(options.queue_bound, ws.drop_weights.data(),
+                                 num_ops);
+    }
+  }
   ws.inflight.assign(num_nodes, InFlight{});
   auto& inflight = ws.inflight;
 
@@ -216,6 +262,42 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
   bool shed_during_pause = false;
   IncidentReport incident;
   bool have_incident = false;
+
+  // Backpressure and overload-control state. All of it is inert — never
+  // branched into, no RNG draws — unless the corresponding knob is on, so
+  // default runs stay bit-exact with previous releases.
+  const bool bp_on = options.backpressure.enabled;
+  const bool oc_on = options.overload.enabled;
+  const size_t bp_low = options.backpressure.low_water > 0
+                            ? options.backpressure.low_water
+                            : options.backpressure.high_water / 2;
+  const size_t oc_clear = options.overload.clear_low_water > 0
+                              ? options.overload.clear_low_water
+                              : options.overload.queue_high_water / 4;
+  ws.congested.assign(num_nodes, 0);
+  ws.congested_since.assign(num_nodes, 0.0);
+  ws.bp_held.resize(num_nodes);
+  for (auto& held : ws.bp_held) held.clear();
+  ws.bp_blocked.assign(num_nodes * num_nodes, 0);
+  ws.stall_refs.assign(num_nodes, 0);
+  ws.source_stalled.assign(inputs.size(), 0);
+  ws.source_stall_since.assign(inputs.size(), 0.0);
+  ws.source_held_origin.assign(inputs.size(), 0.0);
+  ws.arrival_live.assign(inputs.size(), 0);
+  ws.window_arrivals.assign(inputs.size(), 0);
+  auto& congested = ws.congested;
+  auto& stall_refs = ws.stall_refs;
+  auto& source_stalled = ws.source_stalled;
+  SimulationResult::OverloadStats ov;
+  double oc_breach_since = -1.0;   ///< Breach latch (hysteresis): >= 0 on.
+  double oc_last_consult = -1e300;
+  double active_shed = 0.0;        ///< Control-directed source drop rate.
+  bool overload_signalled = false;
+  double recent_latency_max = 0.0;
+  // Overflow eviction and directive shedding draw from a control stream
+  // derived by constant mixing — never an extra master.Fork() — so runs
+  // without those features keep their historical random streams.
+  Rng control_rng(options.seed ^ 0x0ddba11c0ffee5ULL);
 
   // Latency collection: fixed-memory streaming summary on the hot path;
   // exact store-all mode for tests and for incident analysis (the phase
@@ -251,6 +333,7 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
     const double t = arrivals[k]->NextArrival(0.0);
     if (std::isfinite(t) && t <= options.duration) {
       events.Push(t, EventType::kExternalArrival, k);
+      ws.arrival_live[k] = 1;
     }
   }
   // Schedule the fault script.
@@ -262,11 +345,19 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
       }
     }
   }
+  // First overload-detector sample.
+  if (oc_on && options.overload.check_interval <= options.duration) {
+    events.Push(options.overload.check_interval, EventType::kOverloadCheck, 0);
+  }
 
-  // Starts service on `node` if it is up and idle with work queued.
+  // Starts service on `node` if it is up, unstalled, and idle with work
+  // queued. A node with a congested downstream (stall_refs > 0) holds its
+  // queue instead of producing into the congestion.
   auto try_start = [&](uint32_t node_id, double now) {
     SimNode& node = nodes[node_id];
-    if (!node_up[node_id] || !node.CanStart()) return;
+    if (!node_up[node_id] || stall_refs[node_id] > 0 || !node.CanStart()) {
+      return;
+    }
     InFlight fl;
     fl.task = node.StartService();
     fl.start = now;
@@ -294,10 +385,37 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
                 ++service_token[node_id]);
   };
 
+  // Flags `n` congested once its tuple queue reaches the high-water mark.
+  auto note_congestion = [&](uint32_t n, double now) {
+    if (congested[n] == 0 &&
+        nodes[n].tuple_queue_length() >= options.backpressure.high_water) {
+      congested[n] = 1;
+      ws.congested_since[n] = now;
+      ++ov.congestion_episodes;
+      if (tel != nullptr) tel->Count("engine.backpressure.episodes");
+    }
+  };
+
+  // Parks a delivery at congested node `dst`; the sending node (when
+  // there is one) stalls until the congestion clears.
+  auto park_delivery = [&](const Task& task, uint32_t dst, uint32_t from) {
+    ws.bp_held[dst].push_back(HeldDelivery{from, task});
+    ++ov.backpressure_deferred;
+    if (from != kNoUpstream) {
+      char& blocked = ws.bp_blocked[from * num_nodes + dst];
+      if (blocked == 0) {
+        blocked = 1;
+        ++stall_refs[from];
+      }
+    }
+  };
+
   // Hands a tuple-task to its operator's *current* host, honouring
-  // migration pauses and node liveness. False iff the task was dropped
-  // (destination down, or shed during a migration pause).
-  auto place_task = [&](const Task& task, double now) -> bool {
+  // migration pauses, node liveness, backpressure, and the queue bound.
+  // False iff the task was dropped as *lost* (destination down, or shed
+  // during a migration pause); overflow-policy drops are accounted as
+  // shed, not lost, and still return true.
+  auto place_task = [&](const Task& task, uint32_t from, double now) -> bool {
     if (paused_until[task.op] > now) {
       if (shed_during_pause) {
         ++incident.migration_shed;
@@ -309,25 +427,223 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
     }
     const uint32_t dst = dep.ops[task.op].node;
     if (!node_up[dst]) return false;
-    nodes[dst].Enqueue(task);
+    if (bp_on && congested[dst] != 0) {
+      park_delivery(task, dst, from);
+      return true;
+    }
+    if (bounded) {
+      const auto outcome = nodes[dst].EnqueueBounded(task, control_rng);
+      if (outcome.evicted) ++ov.shed_overflow;
+      if (!outcome.accepted) {
+        ++ov.shed_overflow;
+        return true;
+      }
+    } else {
+      nodes[dst].Enqueue(task);
+    }
+    if (bp_on) note_congestion(dst, now);
     try_start(dst, now);
     return true;
   };
 
   // Delivers a task to an operator, possibly across the simulated network.
-  auto deliver = [&](const Route& route, double origin, double now) {
+  auto deliver = [&](const Route& route, double origin, double now,
+                     uint32_t from) {
     Task task;
     task.op = route.to_op;
     task.port = route.to_port;
     task.origin = origin;
     task.extra_cost = route.crosses_nodes ? route.comm_cost : 0.0;
     if (route.crosses_nodes && options.network_latency > 0.0) {
-      network.push_back(PendingDelivery{now + options.network_latency, task});
+      network.push_back(
+          PendingDelivery{now + options.network_latency, from, task});
       events.Push(now + options.network_latency, EventType::kNetworkDelivery,
                   0);
-    } else if (!place_task(task, now)) {
+    } else if (!place_task(task, from, now)) {
       ++incident.lost_network;
     }
+  };
+
+  // True when stream `k` currently feeds a congested (live, unpaused)
+  // consumer node — arrivals must hold at the source.
+  auto source_blocked = [&](uint32_t k, double now) -> bool {
+    for (const Route& route : dep.input_routes[k]) {
+      if (paused_until[route.to_op] > now) continue;
+      const uint32_t dst = dep.ops[route.to_op].node;
+      if (node_up[dst] != 0 && congested[dst] != 0) return true;
+    }
+    return false;
+  };
+
+  auto schedule_next_arrival = [&](uint32_t k, double now) {
+    const double next = arrivals[k]->NextArrival(now);
+    if (std::isfinite(next) && next <= options.duration) {
+      events.Push(next, EventType::kExternalArrival, k);
+      ws.arrival_live[k] = 1;
+    } else {
+      ws.arrival_live[k] = 0;
+    }
+  };
+
+  // Fans one external tuple of stream `k` out to its consumers with the
+  // full accounting (accept > reject > shed precedence per arrival).
+  auto deliver_arrival = [&](uint32_t k, double origin, double now) {
+    bool accepted = false;
+    bool shed = false;
+    bool rejected = false;
+    for (const Route& route : dep.input_routes[k]) {
+      // External ingestion: receiver pays the arc cost, no network hop
+      // is simulated (sources push directly into the cluster).
+      Task task;
+      task.op = route.to_op;
+      task.port = route.to_port;
+      task.origin = origin;
+      task.extra_cost = route.comm_cost;
+      if (paused_until[task.op] > now) {
+        // Consumer is mid-migration: hold (or shed) at the edge.
+        if (shed_during_pause) {
+          ++incident.migration_shed;
+          shed = true;
+        } else {
+          migration_buffer[task.op].push_back(task);
+          ++incident.migration_buffered;
+          accepted = true;
+        }
+        continue;
+      }
+      const uint32_t dst_node = dep.ops[route.to_op].node;
+      if (!node_up[dst_node]) {
+        rejected = true;  // crashed node: arrivals bounce
+        continue;
+      }
+      if (bp_on && congested[dst_node] != 0) {
+        // Backpressured edge: park rather than drop (the stall is the
+        // throttle; the tuple keeps its origin and pays it as latency).
+        park_delivery(task, dst_node, kNoUpstream);
+        accepted = true;
+        continue;
+      }
+      if (options.shed_queue_threshold > 0 &&
+          nodes[dst_node].queue_length() >= options.shed_queue_threshold) {
+        shed = true;  // overload response: drop at the edge
+        continue;
+      }
+      if (bounded) {
+        const auto outcome = nodes[dst_node].EnqueueBounded(task, control_rng);
+        if (outcome.evicted) ++ov.shed_overflow;
+        if (!outcome.accepted) {
+          shed = true;  // bounded ingress: tail-dropped at the edge
+          continue;
+        }
+      } else {
+        nodes[dst_node].Enqueue(task);
+      }
+      if (bp_on) note_congestion(dst_node, now);
+      try_start(dst_node, now);
+      accepted = true;
+    }
+    if (accepted) {
+      metrics.RecordInput();
+    } else if (rejected) {
+      ++incident.rejected_inputs;
+    } else if (shed) {
+      ++shed_count;
+    }
+  };
+
+  // Clears node `n`'s congestion: unstalls its upstreams, replays (or,
+  // when the node crashed, counts as lost) the parked deliveries, and
+  // releases any source that is no longer blocked.
+  auto release_congestion = [&](uint32_t n, double now, bool replay) {
+    congested[n] = 0;
+    ov.node_congested_seconds += now - ws.congested_since[n];
+    for (uint32_t a = 0; a < num_nodes; ++a) {
+      char& blocked = ws.bp_blocked[a * num_nodes + n];
+      if (blocked != 0) {
+        blocked = 0;
+        assert(stall_refs[a] > 0);
+        --stall_refs[a];
+      }
+    }
+    ws.bp_release_scratch.clear();
+    std::swap(ws.bp_release_scratch, ws.bp_held[n]);
+    for (const HeldDelivery& h : ws.bp_release_scratch) {
+      if (!replay) {
+        ++incident.lost_network;  // parked at a node that then crashed
+      } else if (!place_task(h.task, h.from, now)) {
+        ++incident.lost_network;
+      }
+    }
+    for (uint32_t a = 0; a < num_nodes; ++a) {
+      if (stall_refs[a] == 0) try_start(a, now);
+    }
+    for (uint32_t k = 0; k < source_stalled.size(); ++k) {
+      if (source_stalled[k] == 0 || source_blocked(k, now)) continue;
+      source_stalled[k] = 0;
+      ov.source_stall_seconds += now - ws.source_stall_since[k];
+      deliver_arrival(k, ws.source_held_origin[k], now);
+      schedule_next_arrival(k, now);
+    }
+  };
+
+  // Drains congestion state once the queue falls to the low-water mark.
+  auto maybe_clear_congestion = [&](uint32_t n, double now) {
+    if (!bp_on || congested[n] == 0) return;
+    if (nodes[n].tuple_queue_length() > bp_low) return;
+    release_congestion(n, now, /*replay=*/true);
+  };
+
+  // Applies a control-agent plan update — crash repair or overload
+  // re-placement take the identical path: re-route in place, start the
+  // migration pauses, and re-home tasks already queued for the moved
+  // operators.
+  auto apply_plan = [&](const PlanUpdate& update, double now) -> Status {
+    telemetry::TraceSpan reassign_span(tel, "supervisor", "reassign");
+    auto moved = ReassignOperators(dep, update.assignment);
+    if (!moved.ok()) return moved.status();
+    shed_during_pause = update.shed_during_pause;
+    incident.operators_moved += moved->size();
+    if (incident.plan_applied_time < 0) {
+      incident.plan_applied_time = now;
+    }
+    if (tel != nullptr) {
+      tel->Count("supervisor.plan_updates");
+      tel->Count("supervisor.operators_moved", moved->size());
+    }
+    if (recorder != nullptr) {
+      recorder->Note("plan applied at t=" + std::to_string(now) + ", moved " +
+                     std::to_string(moved->size()) + " operators");
+    }
+    if (!moved->empty()) {
+      std::vector<char> is_moved(dep.ops.size(), 0);
+      for (uint32_t j : *moved) is_moved[j] = 1;
+      if (update.migration_pause > 0.0) {
+        for (uint32_t j : *moved) {
+          paused_until[j] = now + update.migration_pause;
+          if (!update.shed_during_pause) {
+            events.Push(paused_until[j], EventType::kMigrationRelease, j);
+          }
+        }
+      }
+      // Tasks already queued on survivors for a moved operator follow
+      // it to its new host (through the migration pause, if any).
+      for (uint32_t i = 0; i < nodes.size(); ++i) {
+        if (!node_up[i]) continue;
+        auto orphaned = nodes[i].ExtractIf([&](const Task& t) {
+          return t.op != Task::kCommTask && is_moved[t.op];
+        });
+        for (const Task& t : orphaned) {
+          if (!place_task(t, kNoUpstream, now)) ++incident.lost_network;
+        }
+      }
+      // The extraction may have drained a congested queue.
+      if (bp_on) {
+        for (uint32_t i = 0; i < num_nodes; ++i) {
+          if (node_up[i]) maybe_clear_congestion(i, now);
+        }
+      }
+    }
+    return Status::OK();
   };
 
   setup_span.End();
@@ -365,60 +681,32 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
       const PendingDelivery d = network.front();
       network.pop_front();
       assert(std::abs(d.time - now) < 1e-9);
-      if (!place_task(d.task, now)) ++incident.lost_network;
+      if (!place_task(d.task, d.from, now)) ++incident.lost_network;
       continue;
     }
 
     if (ev.type == EventType::kExternalArrival) {
       const uint32_t k = ev.index;
-      bool accepted = false;
-      bool shed = false;
-      bool rejected = false;
-      for (const Route& route : dep.input_routes[k]) {
-        // External ingestion: receiver pays the arc cost, no network hop
-        // is simulated (sources push directly into the cluster).
-        Task task;
-        task.op = route.to_op;
-        task.port = route.to_port;
-        task.origin = now;
-        task.extra_cost = route.comm_cost;
-        if (paused_until[task.op] > now) {
-          // Consumer is mid-migration: hold (or shed) at the edge.
-          if (shed_during_pause) {
-            ++incident.migration_shed;
-            shed = true;
-          } else {
-            migration_buffer[task.op].push_back(task);
-            ++incident.migration_buffered;
-            accepted = true;
-          }
-          continue;
-        }
-        const uint32_t dst_node = dep.ops[route.to_op].node;
-        if (!node_up[dst_node]) {
-          rejected = true;  // crashed node: arrivals bounce
-          continue;
-        }
-        if (options.shed_queue_threshold > 0 &&
-            nodes[dst_node].queue_length() >= options.shed_queue_threshold) {
-          shed = true;  // overload response: drop at the edge
-          continue;
-        }
-        nodes[dst_node].Enqueue(task);
-        try_start(dst_node, now);
-        accepted = true;
+      if (oc_on) ++ws.window_arrivals[k];
+      if (active_shed > 0.0 && control_rng.Bernoulli(active_shed)) {
+        // Control-directed shedding drops the whole tuple at the source.
+        ++ov.shed_directive;
+        schedule_next_arrival(k, now);
+        continue;
       }
-      if (accepted) {
-        metrics.RecordInput();
-      } else if (rejected) {
-        ++incident.rejected_inputs;
-      } else if (shed) {
-        ++shed_count;
+      if (bp_on && source_blocked(k, now)) {
+        // A consumer is congested: the source pauses — the tuple is held
+        // (keeping its origin for latency accounting) and no further
+        // arrivals are drawn until the congestion clears.
+        source_stalled[k] = 1;
+        ws.source_stall_since[k] = now;
+        ws.source_held_origin[k] = now;
+        ws.arrival_live[k] = 0;
+        ++ov.source_stalls;
+        continue;
       }
-      const double next = arrivals[k]->NextArrival(now);
-      if (std::isfinite(next) && next <= options.duration) {
-        events.Push(next, EventType::kExternalArrival, k);
-      }
+      deliver_arrival(k, now, now);
+      schedule_next_arrival(k, now);
       continue;
     }
 
@@ -426,17 +714,20 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
       const FaultEvent& fault = options.failures->events()[ev.index];
       if (tel != nullptr) {
         const char* kind = fault.kind == FaultKind::kCrash ? "crash"
-                           : fault.kind == FaultKind::kRecover
-                               ? "recover"
-                               : "slowdown";
+                           : fault.kind == FaultKind::kRecover ? "recover"
+                           : fault.kind == FaultKind::kSlowdown
+                               ? "slowdown"
+                               : "load_spike";
         tel->RecordInstant("engine", kind, fault.node, /*has_arg=*/true);
         tel->Count("engine.faults");
       }
       if (recorder != nullptr) {
         const std::string what =
-            (fault.kind == FaultKind::kCrash      ? "crash node "
-             : fault.kind == FaultKind::kRecover  ? "recover node "
-                                                  : "slowdown node ") +
+            (fault.kind == FaultKind::kCrash     ? "crash node "
+             : fault.kind == FaultKind::kRecover ? "recover node "
+             : fault.kind == FaultKind::kSlowdown
+                 ? "slowdown node "
+                 : "load spike on stream ") +
             std::to_string(fault.node) + " at t=" + std::to_string(now);
         if (fault.kind == FaultKind::kCrash && !recorder->pending()) {
           // First crash: freeze pre-incident state (metrics snapshot,
@@ -465,6 +756,11 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
           incident.crash_time = now;
           incident.failed_node = fault.node;
         }
+        if (congested[fault.node] != 0) {
+          // The congested queue is gone with the node: parked deliveries
+          // are lost in transit, its upstreams and sources resume.
+          release_congestion(fault.node, now, /*replay=*/false);
+        }
         if (options.recovery) {
           events.Push(now + options.recovery->detection_delay(),
                       EventType::kFailureDetected, fault.node);
@@ -472,6 +768,16 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
       } else if (fault.kind == FaultKind::kRecover) {
         node_up[fault.node] = 1;
         nodes[fault.node].set_capacity(dep.system.capacities[fault.node]);
+      } else if (fault.kind == FaultKind::kLoadSpike) {
+        // `node` indexes the input stream. If the stream's arrival chain
+        // had run dry (zero-rate tail), restart it so the spike takes
+        // effect; a live chain keeps its already-drawn next arrival and
+        // applies the multiplier from the following draw on.
+        arrivals[fault.node]->set_rate_multiplier(fault.factor);
+        if (ws.arrival_live[fault.node] == 0 &&
+            source_stalled[fault.node] == 0) {
+          schedule_next_arrival(fault.node, now);
+        }
       } else {  // kSlowdown
         nodes[fault.node].set_capacity(dep.system.capacities[fault.node] *
                                        fault.factor);
@@ -490,45 +796,19 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
           dep);
       detect_span.End();
       if (update) {
-        telemetry::TraceSpan reassign_span(tel, "supervisor", "reassign");
-        auto moved = ReassignOperators(dep, update->assignment);
-        if (!moved.ok()) return moved.status();
-        shed_during_pause = update->shed_during_pause;
-        incident.operators_moved += moved->size();
-        if (incident.plan_applied_time < 0) {
-          incident.plan_applied_time = now;
-        }
-        if (tel != nullptr) {
-          tel->Count("supervisor.plan_updates");
-          tel->Count("supervisor.operators_moved", moved->size());
-        }
-        if (recorder != nullptr) {
-          recorder->Note("plan applied at t=" + std::to_string(now) +
-                         ", moved " + std::to_string(moved->size()) +
-                         " operators");
-        }
-        if (!moved->empty()) {
-          std::vector<char> is_moved(dep.ops.size(), 0);
-          for (uint32_t j : *moved) is_moved[j] = 1;
-          if (update->migration_pause > 0.0) {
-            for (uint32_t j : *moved) {
-              paused_until[j] = now + update->migration_pause;
-              if (!update->shed_during_pause) {
-                events.Push(paused_until[j], EventType::kMigrationRelease, j);
-              }
-            }
+        ROD_RETURN_IF_ERROR(apply_plan(*update, now));
+      } else {
+        // The agent declined (or its repair failed): a positive retry
+        // delay re-runs the detection later, with backoff owned by the
+        // agent (see Supervisor::RepairRetryDelay).
+        const double retry = options.recovery->RepairRetryDelay();
+        if (retry > 0.0 && now + retry <= options.duration) {
+          events.Push(now + retry, EventType::kFailureDetected, ev.index);
+          if (recorder != nullptr) {
+            recorder->Note("supervisor: repair retry in " +
+                           std::to_string(retry) + "s");
           }
-          // Tasks already queued on survivors for a moved operator follow
-          // it to its new host (through the migration pause, if any).
-          for (uint32_t i = 0; i < nodes.size(); ++i) {
-            if (!node_up[i]) continue;
-            auto orphaned = nodes[i].ExtractIf([&](const Task& t) {
-              return t.op != Task::kCommTask && is_moved[t.op];
-            });
-            for (const Task& t : orphaned) {
-              if (!place_task(t, now)) ++incident.lost_network;
-            }
-          }
+          if (tel != nullptr) tel->Count("supervisor.repair_retries");
         }
       }
       continue;
@@ -543,7 +823,105 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
       ws.release_scratch.clear();
       std::swap(ws.release_scratch, migration_buffer[op]);
       for (const Task& t : ws.release_scratch) {
-        if (!place_task(t, now)) ++incident.lost_network;
+        if (!place_task(t, kNoUpstream, now)) ++incident.lost_network;
+      }
+      continue;
+    }
+
+    if (ev.type == EventType::kOverloadCheck) {
+      // Sustained-overload detector: sample the deepest live queue, latch
+      // a breach with hysteresis, and escalate to the control agent once
+      // the breach has held for `sustain` seconds (one consult per
+      // `cooldown`).
+      uint32_t hot = 0;
+      size_t depth = 0;
+      for (uint32_t i = 0; i < num_nodes; ++i) {
+        if (node_up[i] != 0 && nodes[i].tuple_queue_length() > depth) {
+          depth = nodes[i].tuple_queue_length();
+          hot = i;
+        }
+      }
+      const bool trigger =
+          depth >= options.overload.queue_high_water ||
+          (options.overload.latency_slo > 0.0 &&
+           recent_latency_max > options.overload.latency_slo);
+      if (trigger && oc_breach_since < 0.0) oc_breach_since = now;
+      if (oc_breach_since >= 0.0) {
+        const bool sustained =
+            now - oc_breach_since >= options.overload.sustain - 1e-12;
+        if (sustained && ov.overload_detect_time < 0.0) {
+          ov.overload_detect_time = now;
+          if (tel != nullptr) {
+            tel->RecordInstant("engine", "overload_detected", hot,
+                               /*has_arg=*/true);
+          }
+        }
+        if (sustained && options.recovery != nullptr &&
+            now - oc_last_consult >= options.overload.cooldown - 1e-12) {
+          OverloadSignal signal;
+          signal.time = now;
+          signal.hot_node = hot;
+          signal.queue_depth = depth;
+          signal.queue_high_water = options.overload.queue_high_water;
+          signal.recent_max_latency = recent_latency_max;
+          signal.sustained_seconds = now - oc_breach_since;
+          signal.observed_rates.resize(inputs.size());
+          for (size_t k = 0; k < inputs.size(); ++k) {
+            signal.observed_rates[k] =
+                static_cast<double>(ws.window_arrivals[k]) /
+                options.overload.check_interval;
+          }
+          signal.node_up.assign(node_up.begin(), node_up.end());
+          if (recorder != nullptr) {
+            const std::string what =
+                "overload: node " + std::to_string(hot) + " depth " +
+                std::to_string(depth) + " at t=" + std::to_string(now);
+            if (!recorder->pending()) {
+              recorder->BeginIncident("overload", what);
+            } else {
+              recorder->Note(what);
+            }
+          }
+          telemetry::TraceSpan consult_span(tel, "supervisor", "overload");
+          auto decision = options.recovery->OnOverload(signal, dep);
+          consult_span.End();
+          ++ov.control_consults;
+          oc_last_consult = now;
+          if (tel != nullptr) tel->Count("engine.overload.consults");
+          if (decision) {
+            overload_signalled = true;
+            active_shed = std::clamp(decision->shed_fraction, 0.0, 1.0);
+            ov.shed_rate_applied = active_shed;
+            if (recorder != nullptr) {
+              recorder->Note("overload directive: shed " +
+                             std::to_string(active_shed) +
+                             (decision->plan ? ", re-place" : ""));
+            }
+            if (decision->plan) {
+              ROD_RETURN_IF_ERROR(apply_plan(*decision->plan, now));
+            }
+          }
+        }
+        if (!trigger && depth <= oc_clear) {
+          // Hysteresis satisfied: the overload is over.
+          oc_breach_since = -1.0;
+          if (overload_signalled) {
+            overload_signalled = false;
+            active_shed = 0.0;
+            options.recovery->OnOverloadCleared(now);
+            if (recorder != nullptr) {
+              recorder->Note("overload cleared at t=" + std::to_string(now));
+            }
+            if (tel != nullptr) tel->Count("engine.overload.cleared");
+          }
+        }
+      }
+      recent_latency_max = 0.0;
+      std::fill(ws.window_arrivals.begin(), ws.window_arrivals.end(),
+                uint64_t{0});
+      const double next = now + options.overload.check_interval;
+      if (next <= options.duration) {
+        events.Push(next, EventType::kOverloadCheck, 0);
       }
       continue;
     }
@@ -571,6 +949,10 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
         if (op.is_sink) {
           if (fl.task.origin >= options.warmup) {
             metrics.RecordOutput(fl.task.op, now - fl.task.origin, now);
+            if (oc_on) {
+              recent_latency_max =
+                  std::max(recent_latency_max, now - fl.task.origin);
+            }
           } else {
             ++warmup_outputs;
           }
@@ -585,11 +967,12 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
             send.extra_cost = route.comm_cost;
             nodes[node_id].Enqueue(send);
           }
-          deliver(route, fl.task.origin, now);
+          deliver(route, fl.task.origin, now, node_id);
         }
       }
     }
     try_start(node_id, now);
+    maybe_clear_congestion(node_id, now);
   }
 
   run_span.End();
@@ -599,8 +982,24 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
   SimulationResult result;
   result.processed_events = processed_events;
   result.input_tuples = metrics.inputs();
-  result.shed_tuples = shed_count;
+  // Degradation accounting: close out stall intervals still open at the
+  // horizon, then fold the breakdown into the headline counters.
+  ov.shed_edge = shed_count;
+  for (uint32_t k = 0; k < source_stalled.size(); ++k) {
+    if (source_stalled[k] != 0) {
+      ov.source_stall_seconds += options.duration - ws.source_stall_since[k];
+    }
+  }
+  for (uint32_t i = 0; i < num_nodes; ++i) {
+    if (congested[i] != 0) {
+      ov.node_congested_seconds += options.duration - ws.congested_since[i];
+    }
+    ov.queue_depth_high_water =
+        std::max(ov.queue_depth_high_water, nodes[i].queue_high_water());
+  }
+  result.shed_tuples = shed_count + ov.shed_directive;
   result.output_tuples = metrics.outputs() + warmup_outputs;
+  result.overload = ov;
   {
     const LatencySummary total = metrics.TotalLatency();
     result.mean_latency = total.mean;
@@ -626,6 +1025,7 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
     result.final_backlog += nodes[i].queue_length() + (nodes[i].busy() ? 1 : 0);
   }
   for (const auto& held : migration_buffer) result.final_backlog += held.size();
+  for (const auto& held : ws.bp_held) result.final_backlog += held.size();
   result.op_stats = op_stats;
   result.overloaded_windows =
       metrics.OverloadedWindows(options.overload_threshold);
@@ -641,6 +1041,9 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
   if (have_incident) {
     incident.lost_tuples = incident.lost_queued + incident.lost_inflight +
                            incident.lost_network + incident.rejected_inputs;
+    incident.overload_shed = ov.total_shed();
+    incident.backpressure_deferred = ov.backpressure_deferred;
+    incident.source_stall_seconds = ov.source_stall_seconds;
     const double offered = static_cast<double>(
         result.input_tuples + incident.rejected_inputs + result.shed_tuples);
     incident.availability =
@@ -706,6 +1109,15 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
     tel->Count("engine.input_tuples", result.input_tuples);
     tel->Count("engine.output_tuples", result.output_tuples);
     tel->Count("engine.shed_tuples", result.shed_tuples);
+    // Overload families are registered (at zero) on every instrumented
+    // run, so the live plane always exposes them.
+    tel->Count("engine.tuples_shed", ov.total_shed());
+    tel->gauge("node.queue_depth_high_water")
+        .Max(static_cast<double>(ov.queue_depth_high_water));
+    tel->Count("engine.backpressure.deferred", ov.backpressure_deferred);
+    if (ov.source_stall_seconds > 0.0) {
+      tel->Observe("engine.source_stall_seconds", ov.source_stall_seconds);
+    }
     tel->Observe("engine.run.mean_latency_ms", result.mean_latency * 1e3);
     tel->Observe("engine.run.max_utilization", result.max_node_utilization);
     if (result.incident) {
@@ -756,6 +1168,9 @@ void WriteIncidentReportJson(const IncidentReport& report,
   w.Key("lost_tuples").Uint(report.lost_tuples);
   w.Key("migration_buffered").Uint(report.migration_buffered);
   w.Key("migration_shed").Uint(report.migration_shed);
+  w.Key("overload_shed").Uint(report.overload_shed);
+  w.Key("backpressure_deferred").Uint(report.backpressure_deferred);
+  w.Key("source_stall_seconds").Double(report.source_stall_seconds);
   w.Key("recovered").Bool(report.recovered);
   w.Key("recovery_time").Double(report.recovery_time);
   w.Key("post_recovery_max_utilization")

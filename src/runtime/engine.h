@@ -70,6 +70,48 @@ struct SimulationOptions {
   /// shedding (queues grow without bound under overload).
   size_t shed_queue_threshold = 0;
 
+  /// Bounded per-node ingress queues: at most `queue_bound.capacity`
+  /// tuple tasks queued per node, overflow resolved by the configured
+  /// OverflowPolicy (see runtime/node.h) — kQosWeighted uses the compiled
+  /// per-operator drop weights. Capacity 0 (the default) keeps the legacy
+  /// unbounded queues, bit-exact with previous releases. Dropped tuples
+  /// are counted in OverloadStats (and, for rejected external arrivals,
+  /// in shed_tuples).
+  QueueBound queue_bound;
+
+  /// Backpressure propagation: a node whose tuple queue reaches
+  /// `high_water` becomes congested; deliveries to it are parked, the
+  /// sending nodes stall (no new service starts) and sources feeding it
+  /// pause, all until its queue drains to `low_water`. Parked tuples keep
+  /// their origin timestamps, so the stall surfaces as latency, not loss.
+  /// Congestion cycles among nodes can dead-stall the affected component
+  /// — by design (DESIGN.md §11): shedding, not backpressure, is the
+  /// mechanism that restores an infeasible system.
+  struct BackpressureOptions {
+    bool enabled = false;
+    size_t high_water = 64;
+    size_t low_water = 0;  ///< 0 -> high_water / 2.
+  };
+  BackpressureOptions backpressure;
+
+  /// Sustained-overload detector: sampled every `check_interval` virtual
+  /// seconds, a breach is a node tuple-queue at/above `queue_high_water`
+  /// or (when `latency_slo` > 0) a sink latency above the SLO since the
+  /// last sample. A breach sustained for `sustain` seconds escalates to
+  /// `recovery`->OnOverload (at most once per `cooldown`); the ordered
+  /// shed fraction applies to external arrivals until the deepest queue
+  /// drains to `clear_low_water`, which also notifies OnOverloadCleared.
+  struct OverloadControlOptions {
+    bool enabled = false;
+    double check_interval = 0.25;
+    size_t queue_high_water = 128;
+    double latency_slo = 0.0;  ///< Seconds; 0 disables the latency trigger.
+    double sustain = 0.5;
+    double cooldown = 2.0;
+    size_t clear_low_water = 0;  ///< 0 -> queue_high_water / 4.
+  };
+  OverloadControlOptions overload;
+
   /// Seed for arrivals and probabilistic emission.
   uint64_t seed = 0xdecaf5eedULL;
 
@@ -77,11 +119,13 @@ struct SimulationOptions {
   /// runtime/chaos.h). Not owned; null disables chaos.
   const FailureSchedule* failures = nullptr;
 
-  /// Supervised recovery: consulted one detection delay after each crash
-  /// to re-home operators (see runtime/supervisor.h). Not owned; null
-  /// means nobody repairs — orphaned operators stay dark until their node
-  /// recovers.
-  RecoveryAgent* recovery = nullptr;
+  /// Supervision: consulted one detection delay after each crash to
+  /// re-home operators, and — when `overload.enabled` — on sustained
+  /// overload to pick a shed rate or re-placement (see
+  /// runtime/supervisor.h). Not owned; null means nobody repairs —
+  /// orphaned operators stay dark until their node recovers, and the
+  /// overload detector observes without acting.
+  ControlAgent* recovery = nullptr;
 
   /// Incident report: per-window max busy fraction at/below which the
   /// cluster counts as recovered after a crash.
@@ -165,6 +209,12 @@ struct IncidentReport {
   /// accepted / (accepted + rejected_inputs + shed).
   double availability = 1.0;
 
+  // Overload breakdown over the whole run (mirrors OverloadStats, so an
+  // incident artifact is self-contained).
+  size_t overload_shed = 0;            ///< Edge + overflow + directive drops.
+  size_t backpressure_deferred = 0;    ///< Deliveries parked by congestion.
+  double source_stall_seconds = 0.0;   ///< Summed source pause time.
+
   PhaseLatency pre_failure;      ///< Outputs completing before the crash.
   PhaseLatency during_recovery;  ///< Crash until recovered (or horizon).
   PhaseLatency post_recovery;    ///< After the recovery point.
@@ -222,6 +272,34 @@ struct SimulationResult {
   /// Discrete events executed by the run (throughput denominator for
   /// bench_engine_perf).
   uint64_t processed_events = 0;
+
+  /// Degradation accounting: what the overload machinery (bounded
+  /// queues, backpressure, control-loop shedding) did this run. All
+  /// zeros when the corresponding knobs are off.
+  struct OverloadStats {
+    size_t shed_edge = 0;       ///< External tuples dropped at ingress
+                                ///< (threshold or full bounded queue).
+    size_t shed_overflow = 0;   ///< Queued tuples evicted by an overflow
+                                ///< policy (internal dataflow included).
+    size_t shed_directive = 0;  ///< External tuples dropped by the control
+                                ///< agent's ordered shed fraction.
+    size_t backpressure_deferred = 0;  ///< Deliveries parked at congested
+                                       ///< nodes (later replayed).
+    size_t congestion_episodes = 0;    ///< Times a node crossed high water.
+    size_t source_stalls = 0;          ///< Times a source was paused.
+    double source_stall_seconds = 0.0; ///< Summed source pause time.
+    double node_congested_seconds = 0.0;  ///< Summed per-node congestion.
+    size_t queue_depth_high_water = 0;  ///< Max tuple-queue depth seen on
+                                        ///< any node.
+    double overload_detect_time = -1.0; ///< First sustained breach (-1:
+                                        ///< never).
+    size_t control_consults = 0;   ///< OnOverload calls made.
+    double shed_rate_applied = 0.0;  ///< Last directive in force.
+    size_t total_shed() const {
+      return shed_edge + shed_overflow + shed_directive;
+    }
+  };
+  OverloadStats overload;
 
   /// Present iff a node crashed during the run (options.failures).
   std::optional<IncidentReport> incident;

@@ -41,6 +41,7 @@ enum class EventType {
   kFault,             ///< Scheduled fault `index` fires (see chaos.h).
   kFailureDetected,   ///< The supervisor notices node `index` crashed.
   kMigrationRelease,  ///< Operator `index` finishes its migration pause.
+  kOverloadCheck,     ///< The overload detector's periodic sample fires.
 };
 
 /// One scheduled simulation event.

@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/random.h"
+
 namespace rod::sim {
 
 /// FIFO over a vector: pop_front advances a head index and lazily
@@ -53,6 +55,18 @@ class FifoBuffer {
   /// Live elements, front to back.
   const T* begin() const { return items_.data() + head_; }
   const T* end() const { return items_.data() + items_.size(); }
+
+  /// The i-th live element (0 = front).
+  const T& at(size_t i) const { return items_[head_ + i]; }
+
+  /// Removes and returns the i-th live element, preserving the order of
+  /// the rest. O(size - i); overflow eviction only, never the hot path.
+  T RemoveAt(size_t i) {
+    T v = items_[head_ + i];
+    items_.erase(items_.begin() + static_cast<ptrdiff_t>(head_ + i));
+    if (head_ == items_.size()) clear();
+    return v;
+  }
 
   /// Moves the elements matching `pred` into `out` (in queue order) and
   /// keeps the rest, preserving their order. O(size), in place.
@@ -88,6 +102,24 @@ enum class Scheduling {
   kRoundRobin,  ///< Per-operator queues served cyclically.
 };
 
+/// What a bounded ingress queue does with a tuple that would push it past
+/// capacity. Communication (kCommTask) tasks are bookkeeping, not data,
+/// and are never bounded or evicted.
+enum class OverflowPolicy {
+  kDropNewest,   ///< Reject the arriving tuple (tail drop).
+  kDropOldest,   ///< Evict the longest-queued tuple, admit the arrival.
+  kRandom,       ///< Drop uniformly among the queued tuples + the arrival.
+  kQosWeighted,  ///< Evict the lowest drop-weight tuple (semantic shed);
+                 ///< the arrival is rejected when it weighs least itself.
+};
+
+/// Ingress-queue bound of one node. capacity 0 keeps the legacy
+/// unbounded queues (the bit-exact default).
+struct QueueBound {
+  size_t capacity = 0;  ///< Max queued *tuple* tasks (comm tasks exempt).
+  OverflowPolicy policy = OverflowPolicy::kDropNewest;
+};
+
 /// A unit of work queued on a node: process one tuple at one operator, or
 /// pay a communication overhead (op == kCommTask).
 struct Task {
@@ -111,16 +143,38 @@ class SimNode {
   Scheduling scheduling() const { return scheduling_; }
   bool busy() const { return busy_; }
   size_t queue_length() const { return queued_; }
+  size_t tuple_queue_length() const { return queued_tuples_; }
+  size_t queue_high_water() const { return queue_high_water_; }
   double busy_time() const { return busy_time_; }
   size_t tasks_processed() const { return tasks_processed_; }
 
   /// Reinitializes the node for a fresh run (pooled reuse): queues are
   /// emptied but keep their storage, counters reset, capacity and
-  /// discipline replaced.
+  /// discipline replaced. Clears any queue bound.
   void Reset(double capacity, Scheduling scheduling);
+
+  /// Installs a queue bound (capacity 0 = unbounded) and, for
+  /// kQosWeighted, the per-operator drop-weight table (borrowed; must
+  /// outlive the run; ops >= `num_weights` weigh 1.0).
+  void ConfigureOverflow(const QueueBound& bound,
+                         const double* drop_weights = nullptr,
+                         size_t num_weights = 0);
 
   /// Enqueues a task; the engine starts service separately.
   void Enqueue(const Task& task);
+
+  /// What EnqueueBounded did with the arriving task.
+  struct EnqueueOutcome {
+    bool accepted = true;  ///< The arrival is now queued.
+    bool evicted = false;  ///< An already-queued tuple was dropped for it.
+    Task victim{};         ///< The evicted tuple (valid iff `evicted`).
+  };
+
+  /// Enqueue honouring the configured bound: comm tasks and under-bound
+  /// tuples are admitted unconditionally; at capacity the overflow policy
+  /// decides who is dropped. `rng` is only drawn from by kRandom, and
+  /// only on overflow.
+  EnqueueOutcome EnqueueBounded(const Task& task, Rng& rng);
 
   /// True iff a task is available and the CPU is idle.
   bool CanStart() const { return !busy_ && queued_ > 0; }
@@ -162,9 +216,40 @@ class SimNode {
   /// growing the per-operator table on first sight of a new id.
   FifoBuffer<Task>& BucketFor(uint32_t op);
 
+  double DropWeightOf(uint32_t op) const {
+    return (drop_weights_ != nullptr && op < num_weights_) ? drop_weights_[op]
+                                                           : 1.0;
+  }
+
+  /// Removes the oldest queued tuple task (round-robin: the front of the
+  /// fullest bucket, lowest operator id on ties — the tuple whose wait is
+  /// deepest). Requires queued_tuples_ > 0.
+  Task EvictOldestTuple();
+
+  /// Removes the i-th queued tuple task in deterministic enumeration
+  /// order (FIFO: queue order; round-robin: ascending operator id, then
+  /// bucket order). Requires i < queued_tuples_.
+  Task EvictNthTuple(size_t i);
+
+  /// Removes the front tuple of the lowest drop-weight non-empty bucket
+  /// (FIFO: the oldest minimum-weight tuple). Requires queued_tuples_ > 0.
+  Task EvictCheapestTuple();
+
+  /// Smallest drop weight among the queued tuples (+inf when none).
+  double CheapestQueuedWeight() const;
+
+  /// Removes the i-th live element of `bucket`, maintaining queue/rr
+  /// bookkeeping. `op` identifies the bucket under round-robin.
+  Task RemoveFromBucket(FifoBuffer<Task>& bucket, uint32_t op, size_t i);
+
   double capacity_;
   Scheduling scheduling_;
   size_t queued_ = 0;
+  size_t queued_tuples_ = 0;      ///< Queued tasks with op != kCommTask.
+  size_t queue_high_water_ = 0;   ///< Max queued_tuples_ seen this run.
+  QueueBound bound_;
+  const double* drop_weights_ = nullptr;  ///< Borrowed, kQosWeighted only.
+  size_t num_weights_ = 0;
   bool busy_ = false;
   double busy_time_ = 0.0;
   size_t tasks_processed_ = 0;

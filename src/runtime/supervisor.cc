@@ -1,5 +1,7 @@
 #include "runtime/supervisor.h"
 
+#include <algorithm>
+#include <cmath>
 #include <string>
 #include <utility>
 
@@ -13,12 +15,78 @@ void NoteIncident(telemetry::FlightRecorder* recorder, std::string text) {
 
 }  // namespace
 
+void Supervisor::ObserveLiveness(const std::vector<bool>& node_up) {
+  if (last_known_up_.size() < node_up.size()) {
+    last_known_up_.resize(node_up.size(), true);
+    crash_counts_.resize(node_up.size(), 0);
+    quarantined_.resize(node_up.size(), 0);
+  }
+  for (size_t i = 0; i < node_up.size(); ++i) {
+    if (last_known_up_[i] && !node_up[i]) {
+      ++crash_counts_[i];
+      if (options_.quarantine_after > 0 && quarantined_[i] == 0 &&
+          crash_counts_[i] >= options_.quarantine_after) {
+        quarantined_[i] = 1;
+        NoteIncident(options_.flight_recorder,
+                     "supervisor: node " + std::to_string(i) +
+                         " quarantined after " +
+                         std::to_string(crash_counts_[i]) + " crashes");
+        if (options_.telemetry != nullptr) {
+          options_.telemetry->Count("supervisor.quarantines");
+        }
+      }
+    }
+    last_known_up_[i] = node_up[i];
+  }
+}
+
+size_t Supervisor::num_quarantined() const {
+  size_t count = 0;
+  for (char q : quarantined_) count += (q != 0);
+  return count;
+}
+
+void Supervisor::Reset() {
+  repairs_ = 0;
+  operators_moved_ = 0;
+  last_plane_distance_ = 0.0;
+  last_status_ = Status::OK();
+  retry_pending_ = false;
+  retries_attempted_ = 0;
+  repair_retries_ = 0;
+  last_known_up_.clear();
+  crash_counts_.clear();
+  quarantined_.clear();
+  overload_consults_ = 0;
+  overload_rebalances_ = 0;
+  overload_sheds_ = 0;
+  last_shed_fraction_ = 0.0;
+}
+
+double Supervisor::RepairRetryDelay() {
+  if (!retry_pending_) return 0.0;
+  if (retries_attempted_ >= options_.max_repair_retries) {
+    NoteIncident(options_.flight_recorder,
+                 "supervisor: repair retries exhausted (" +
+                     std::to_string(retries_attempted_) + ")");
+    return 0.0;
+  }
+  const double delay =
+      std::min(options_.repair_retry_backoff *
+                   std::ldexp(1.0, static_cast<int>(retries_attempted_)),
+               options_.repair_retry_backoff_max);
+  ++retries_attempted_;
+  ++repair_retries_;
+  return delay;
+}
+
 std::optional<PlanUpdate> Supervisor::OnFailureDetected(
     double now, uint32_t failed_node, const std::vector<bool>& node_up,
     const Deployment& deployment) {
   NoteIncident(options_.flight_recorder,
                "supervisor: failure of node " + std::to_string(failed_node) +
                    " detected at t=" + std::to_string(now));
+  ObserveLiveness(node_up);
   if (options_.policy == Policy::kNone) return std::nullopt;
 
   const size_t n = deployment.num_nodes();
@@ -26,23 +94,38 @@ std::optional<PlanUpdate> Supervisor::OnFailureDetected(
   std::vector<size_t> assignment(m);
   for (size_t j = 0; j < m; ++j) assignment[j] = deployment.ops[j].node;
 
+  // Quarantined nodes are treated as down for placement purposes — unless
+  // that would leave no home at all, in which case survival beats policy.
+  std::vector<bool> usable(node_up);
+  bool any_usable = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (i < quarantined_.size() && quarantined_[i] != 0) usable[i] = false;
+    any_usable = any_usable || usable[i];
+  }
+  if (!any_usable) {
+    usable = node_up;
+    NoteIncident(options_.flight_recorder,
+                 "supervisor: quarantine waived, no other node up");
+  }
+
   if (options_.policy == Policy::kNaiveDump) {
     // Baseline incident response: pile every orphan onto the first
     // surviving node, keep everything else where it is.
     size_t dump = n;
     for (size_t i = 0; i < n; ++i) {
-      if (node_up[i]) {
+      if (usable[i]) {
         dump = i;
         break;
       }
     }
     if (dump == n) {
       last_status_ = Status::FailedPrecondition("no surviving node");
+      retry_pending_ = true;
       return std::nullopt;
     }
     bool changed = false;
     for (size_t j = 0; j < m; ++j) {
-      if (!node_up[assignment[j]]) {
+      if (!usable[assignment[j]]) {
         assignment[j] = dump;
         changed = true;
       }
@@ -54,6 +137,8 @@ std::optional<PlanUpdate> Supervisor::OnFailureDetected(
     }
     NoteIncident(options_.flight_recorder, "supervisor: naive dump repair");
     last_status_ = Status::OK();
+    retry_pending_ = false;
+    retries_attempted_ = 0;
     return PlanUpdate{std::move(assignment), options_.migration_pause,
                       options_.shed_during_pause};
   }
@@ -65,13 +150,14 @@ std::optional<PlanUpdate> Supervisor::OnFailureDetected(
   std::vector<size_t> node_mapping(n, place::kUnassigned);
   place::SystemSpec survivors;
   for (size_t i = 0; i < n; ++i) {
-    if (!node_up[i]) continue;
+    if (!usable[i]) continue;
     node_mapping[i] = survivor_ids.size();
     survivor_ids.push_back(i);
     survivors.capacities.push_back(deployment.system.capacities[i]);
   }
   if (survivor_ids.empty()) {
     last_status_ = Status::FailedPrecondition("no surviving node");
+    retry_pending_ = true;
     return std::nullopt;
   }
 
@@ -87,6 +173,7 @@ std::optional<PlanUpdate> Supervisor::OnFailureDetected(
     NoteIncident(options_.flight_recorder,
                  "supervisor: repair failed: " + repaired.status().ToString());
     last_status_ = repaired.status();
+    retry_pending_ = true;
     return std::nullopt;
   }
   ++repairs_;
@@ -99,6 +186,8 @@ std::optional<PlanUpdate> Supervisor::OnFailureDetected(
   operators_moved_ += repaired->operators_moved;
   last_plane_distance_ = repaired->plane_distance;
   last_status_ = Status::OK();
+  retry_pending_ = false;
+  retries_attempted_ = 0;
 
   std::vector<size_t> expanded(m);
   for (size_t j = 0; j < m; ++j) {
@@ -106,6 +195,113 @@ std::optional<PlanUpdate> Supervisor::OnFailureDetected(
   }
   return PlanUpdate{std::move(expanded), options_.migration_pause,
                     options_.shed_during_pause};
+}
+
+std::optional<OverloadDecision> Supervisor::OnOverload(
+    const OverloadSignal& signal, const Deployment& deployment) {
+  ++overload_consults_;
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->Count("supervisor.overload_consults");
+  }
+  NoteIncident(options_.flight_recorder,
+               "supervisor: overload on node " +
+                   std::to_string(signal.hot_node) + " (depth " +
+                   std::to_string(signal.queue_depth) + ", sustained " +
+                   std::to_string(signal.sustained_seconds) + "s)");
+  if (options_.policy == Policy::kNone) return std::nullopt;
+
+  double total_rate = 0.0;
+  for (double r : signal.observed_rates) total_rate += r;
+
+  // Expected tuples lost to shedding over the remaining overload horizon.
+  const double shed_cost =
+      options_.overload_shed_fraction * total_rate * options_.overload_horizon;
+
+  // Candidate re-placement: incremental ROD over the up, non-quarantined
+  // nodes with the overload rebalance budget. Every moved operator pauses
+  // for the migration pause, during which its share of the input keeps
+  // arriving — that is the migration cost.
+  if (options_.overload_rebalance_budget > 0 &&
+      options_.policy == Policy::kRepair) {
+    const size_t n = deployment.num_nodes();
+    const size_t m = deployment.ops.size();
+    std::vector<size_t> assignment(m);
+    for (size_t j = 0; j < m; ++j) assignment[j] = deployment.ops[j].node;
+
+    std::vector<size_t> survivor_ids;
+    std::vector<size_t> node_mapping(n, place::kUnassigned);
+    place::SystemSpec survivors;
+    for (size_t i = 0; i < n; ++i) {
+      if (i < signal.node_up.size() && !signal.node_up[i]) continue;
+      if (i < quarantined_.size() && quarantined_[i] != 0) continue;
+      node_mapping[i] = survivor_ids.size();
+      survivor_ids.push_back(i);
+      survivors.capacities.push_back(deployment.system.capacities[i]);
+    }
+    if (!survivor_ids.empty()) {
+      place::RepairOptions repair_options;
+      repair_options.rod = options_.rod;
+      repair_options.max_rebalance_moves = options_.overload_rebalance_budget;
+      telemetry::TraceSpan span(options_.telemetry, "supervisor",
+                                "overload_rebalance");
+      auto repaired = place::RepairPlacement(
+          *model_, place::Placement(n, assignment), survivors, node_mapping,
+          repair_options);
+      span.End();
+      if (repaired.ok() && repaired->operators_moved > 0) {
+        const double migrate_cost = static_cast<double>(
+                                        repaired->operators_moved) *
+                                    options_.migration_pause * total_rate /
+                                    std::max<size_t>(m, 1);
+        if (migrate_cost < shed_cost) {
+          ++overload_rebalances_;
+          if (options_.telemetry != nullptr) {
+            options_.telemetry->Count("supervisor.overload_rebalances");
+          }
+          NoteIncident(options_.flight_recorder,
+                       "supervisor: overload re-placement, moved " +
+                           std::to_string(repaired->operators_moved) +
+                           " operators (cost " + std::to_string(migrate_cost) +
+                           " < shed " + std::to_string(shed_cost) + ")");
+          last_plane_distance_ = repaired->plane_distance;
+          last_status_ = Status::OK();
+          std::vector<size_t> expanded(m);
+          for (size_t j = 0; j < m; ++j) {
+            expanded[j] = survivor_ids[repaired->placement.node_of(j)];
+          }
+          OverloadDecision decision;
+          decision.plan = PlanUpdate{std::move(expanded),
+                                     options_.migration_pause,
+                                     options_.shed_during_pause};
+          return decision;
+        }
+      }
+    }
+  }
+
+  // Fall back to QoS-blind source shedding: cheaper than the re-placement
+  // (or no useful re-placement exists).
+  ++overload_sheds_;
+  last_shed_fraction_ = options_.overload_shed_fraction;
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->Count("supervisor.overload_sheds");
+  }
+  NoteIncident(options_.flight_recorder,
+               "supervisor: shedding " +
+                   std::to_string(options_.overload_shed_fraction) +
+                   " of arrivals");
+  OverloadDecision decision;
+  decision.shed_fraction = options_.overload_shed_fraction;
+  return decision;
+}
+
+void Supervisor::OnOverloadCleared(double now) {
+  last_shed_fraction_ = 0.0;
+  NoteIncident(options_.flight_recorder,
+               "supervisor: overload cleared at t=" + std::to_string(now));
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->Count("supervisor.overload_cleared");
+  }
 }
 
 }  // namespace rod::sim

@@ -23,7 +23,7 @@ double ArrivalGenerator::NextArrival(double now) {
   while (t < horizon) {
     const size_t w = static_cast<size_t>(t / trace_.window_sec);
     const double w_end = static_cast<double>(w + 1) * trace_.window_sec;
-    const double rate = trace_.rates[w];
+    const double rate = trace_.rates[w] * rate_multiplier_;
     if (rate <= 0.0) {
       t = w_end;
       continue;

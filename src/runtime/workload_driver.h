@@ -27,9 +27,16 @@ class ArrivalGenerator {
   /// is zero from `now` on.
   double NextArrival(double now);
 
+  /// Scales every subsequent rate draw by `m` (chaos kLoadSpike: flash
+  /// crowds and lulls layered over the scripted trace). Multiplier 0
+  /// silences the stream; already-scheduled arrivals are unaffected.
+  void set_rate_multiplier(double m) { rate_multiplier_ = m; }
+  double rate_multiplier() const { return rate_multiplier_; }
+
  private:
   trace::RateTrace trace_;
   bool poisson_;
+  double rate_multiplier_ = 1.0;
   Rng* rng_;
 };
 

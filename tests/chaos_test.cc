@@ -120,6 +120,59 @@ TEST(FailureScheduleTest, ValidatesScripts) {
   EXPECT_FALSE(bad_factor.Validate(2).ok());
 }
 
+TEST(FailureScheduleTest, ValidatesLoadSpikes) {
+  FailureSchedule ok;
+  ok.LoadSpikeAt(5.0, 1, 3.0).LoadSpikeAt(9.0, 1, 1.0).LoadSpikeAt(2.0, 0,
+                                                                   0.0);
+  EXPECT_TRUE(ok.Validate(/*num_nodes=*/1, /*num_streams=*/2).ok());
+
+  // `node` indexes the stream universe for spikes, not the cluster.
+  FailureSchedule bad_stream;
+  bad_stream.LoadSpikeAt(1.0, 5, 2.0);
+  EXPECT_FALSE(bad_stream.Validate(8, 2).ok());
+
+  FailureSchedule negative_factor;
+  negative_factor.LoadSpikeAt(1.0, 0, -0.5);
+  EXPECT_FALSE(negative_factor.Validate(1, 1).ok());
+
+  // The legacy single-arg form cannot know the stream universe.
+  FailureSchedule spike;
+  spike.LoadSpikeAt(1.0, 0, 2.0);
+  EXPECT_FALSE(spike.Validate(4).ok());
+  EXPECT_TRUE(spike.Validate(4, 1).ok());
+
+  // Spikes are stream events: they are legal while nodes are down.
+  FailureSchedule during_outage;
+  during_outage.CrashAt(5.0, 0).LoadSpikeAt(6.0, 0, 2.0);
+  EXPECT_TRUE(during_outage.Validate(1, 1).ok());
+}
+
+TEST(FailureScheduleTest, RejectsSlowdownOfCrashedNode) {
+  // A slowdown must target a node that is up at that instant.
+  FailureSchedule down;
+  down.CrashAt(5.0, 0).SlowdownAt(6.0, 0, 0.5);
+  EXPECT_FALSE(down.Validate(1).ok());
+  EXPECT_FALSE(down.Validate(1, 0).ok());
+
+  FailureSchedule recovered;
+  recovered.CrashAt(5.0, 0).RecoverAt(6.0, 0).SlowdownAt(6.5, 0, 0.5);
+  EXPECT_TRUE(recovered.Validate(1).ok());
+
+  // Same-instant events apply in insertion order, matching the engine's
+  // replay: crash-then-slowdown is invalid, slowdown-then-crash is fine.
+  FailureSchedule crash_first;
+  crash_first.CrashAt(5.0, 0).SlowdownAt(5.0, 0, 0.5);
+  EXPECT_FALSE(crash_first.Validate(1).ok());
+
+  FailureSchedule slowdown_first;
+  slowdown_first.SlowdownAt(5.0, 0, 0.5).CrashAt(5.0, 0);
+  EXPECT_TRUE(slowdown_first.Validate(1).ok());
+
+  FailureSchedule recover_then_slow;
+  recover_then_slow.CrashAt(4.0, 0).RecoverAt(5.0, 0).SlowdownAt(5.0, 0, 2.0);
+  EXPECT_TRUE(recover_then_slow.Validate(1).ok());
+}
+
 TEST(ChaosTest, UnsupervisedCrashDropsWorkAndRejectsArrivals) {
   const QueryGraph g = OneOpGraph(1e-3);
   const SystemSpec system = SystemSpec::Homogeneous(1);
@@ -400,6 +453,232 @@ TEST(ChaosTest, MigrationPauseBuffersAndReplays) {
   ASSERT_TRUE(shed_run->incident.has_value());
   EXPECT_GT(shed_run->incident->migration_shed, 0u);
   EXPECT_EQ(shed_run->incident->migration_buffered, 0u);
+}
+
+TEST(ChaosTest, MigrationPauseLossAttributionAndDeterminism) {
+  Scenario s;
+  const double kDuration = 60.0;
+  FailureSchedule chaos;
+  chaos.CrashAt(20.0, s.NodeOfInput0());
+
+  auto run_variant = [&](bool shed_during_pause) {
+    Supervisor::Options sup_options;
+    sup_options.detection_delay = 1.0;
+    sup_options.migration_pause = 0.5;
+    sup_options.shed_during_pause = shed_during_pause;
+    Supervisor supervisor(s.model, sup_options);
+    SimulationOptions options;
+    options.duration = kDuration;
+    options.failures = &chaos;
+    options.recovery = &supervisor;
+    auto r = SimulatePlacement(s.graph, s.plan, s.system,
+                               s.Traces(0.5, kDuration), options);
+    EXPECT_TRUE(r.ok());
+    EXPECT_TRUE(r->incident.has_value());
+    return *r;
+  };
+
+  const SimulationResult buffered = run_variant(false);
+  const SimulationResult buffered_again = run_variant(false);
+  const SimulationResult shed = run_variant(true);
+
+  // The buffered-replay control is bit-exact across runs.
+  EXPECT_EQ(buffered.input_tuples, buffered_again.input_tuples);
+  EXPECT_EQ(buffered.output_tuples, buffered_again.output_tuples);
+  EXPECT_EQ(buffered.processed_events, buffered_again.processed_events);
+  EXPECT_EQ(buffered.mean_latency, buffered_again.mean_latency);
+  EXPECT_EQ(buffered.incident->lost_tuples, buffered_again.incident->lost_tuples);
+
+  // Loss attribution: the total is exactly the sum of the mechanisms, and
+  // migration-pause drops are accounted separately, never as crash loss.
+  for (const SimulationResult* r : {&buffered, &shed}) {
+    const IncidentReport& inc = *r->incident;
+    EXPECT_EQ(inc.lost_tuples, inc.lost_queued + inc.lost_inflight +
+                                   inc.lost_network + inc.rejected_inputs);
+  }
+  EXPECT_GT(buffered.incident->migration_buffered, 0u);
+  EXPECT_EQ(buffered.incident->migration_shed, 0u);
+  EXPECT_GT(shed.incident->migration_shed, 0u);
+  EXPECT_EQ(shed.incident->migration_buffered, 0u);
+
+  // Shedding forfeits the held tuples (and the two trajectories diverge
+  // stochastically after the pause), so it outputs no more than the
+  // replaying control.
+  EXPECT_LE(shed.output_tuples, buffered.output_tuples);
+}
+
+TEST(ChaosTest, ReCrashDuringMigrationPauseIsHandled) {
+  Scenario s;
+  const double kDuration = 80.0;
+  const uint32_t first = s.NodeOfInput0();
+  const uint32_t second = (first + 1) % 3;
+
+  // Detection at 21, plan applied at 21, pause until 24; the second node
+  // dies at 22 — mid-pause — orphaning operators that may be paused with
+  // buffered tuples.
+  FailureSchedule chaos;
+  chaos.CrashAt(20.0, first).CrashAt(22.0, second);
+  ASSERT_TRUE(chaos.Validate(3, s.model.num_system_inputs()).ok());
+
+  for (bool shed_during_pause : {false, true}) {
+    Supervisor::Options sup_options;
+    sup_options.detection_delay = 1.0;
+    sup_options.migration_pause = 3.0;
+    sup_options.shed_during_pause = shed_during_pause;
+    Supervisor supervisor(s.model, sup_options);
+    SimulationOptions options;
+    options.duration = kDuration;
+    options.failures = &chaos;
+    options.recovery = &supervisor;
+    auto r = SimulatePlacement(s.graph, s.plan, s.system,
+                               s.Traces(0.4, kDuration), options);
+    ASSERT_TRUE(r.ok()) << "shed=" << shed_during_pause;
+    ASSERT_TRUE(r->incident.has_value());
+    EXPECT_EQ(r->incident->failed_node, first);
+    EXPECT_EQ(supervisor.repairs_performed(), 2u);
+    EXPECT_GT(r->output_tuples, 0u);
+
+    auto again = SimulatePlacement(s.graph, s.plan, s.system,
+                                   s.Traces(0.4, kDuration), options);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(r->output_tuples, again->output_tuples);
+    EXPECT_EQ(r->incident->lost_tuples, again->incident->lost_tuples);
+  }
+}
+
+TEST(SupervisorTest, ResetClearsIntrospectionState) {
+  Scenario s;
+  FailureSchedule chaos;
+  chaos.CrashAt(20.0, s.NodeOfInput0());
+
+  Supervisor::Options sup_options;
+  sup_options.detection_delay = 1.0;
+  Supervisor supervisor(s.model, sup_options);
+  SimulationOptions options;
+  options.duration = 40.0;
+  options.failures = &chaos;
+  options.recovery = &supervisor;
+
+  auto first = SimulatePlacement(s.graph, s.plan, s.system,
+                                 s.Traces(0.5, 40.0), options);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(supervisor.repairs_performed(), 1u);
+  EXPECT_GT(supervisor.operators_moved(), 0u);
+  EXPECT_GT(supervisor.last_plane_distance(), 0.0);
+
+  supervisor.Reset();
+  EXPECT_EQ(supervisor.repairs_performed(), 0u);
+  EXPECT_EQ(supervisor.operators_moved(), 0u);
+  EXPECT_EQ(supervisor.last_plane_distance(), 0.0);
+  EXPECT_EQ(supervisor.repair_retries(), 0u);
+  EXPECT_EQ(supervisor.overload_consults(), 0u);
+  EXPECT_EQ(supervisor.num_quarantined(), 0u);
+  EXPECT_TRUE(supervisor.last_status().ok());
+
+  // A reset supervisor serves a second run exactly like a fresh one.
+  auto second = SimulatePlacement(s.graph, s.plan, s.system,
+                                  s.Traces(0.5, 40.0), options);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(supervisor.repairs_performed(), 1u);
+  EXPECT_EQ(first->output_tuples, second->output_tuples);
+  EXPECT_EQ(first->processed_events, second->processed_events);
+}
+
+TEST(SupervisorTest, FailedRepairRetriesWithDoublingBackoff) {
+  Scenario s;
+  auto dep = CompileDeployment(s.graph, s.plan, s.system);
+  ASSERT_TRUE(dep.ok());
+
+  // kMinCrossArcs is rejected by the incremental RepairPlacement, so
+  // every repair attempt fails deterministically.
+  Supervisor::Options sup_options;
+  sup_options.rod.tie_break = place::RodOptions::ClassITieBreak::kMinCrossArcs;
+  sup_options.max_repair_retries = 3;
+  sup_options.repair_retry_backoff = 0.5;
+  sup_options.repair_retry_backoff_max = 8.0;
+  Supervisor supervisor(s.model, sup_options);
+
+  std::vector<bool> node_up{true, true, true};
+  node_up[s.NodeOfInput0()] = false;
+
+  // No retry is pending before the first failure.
+  EXPECT_EQ(supervisor.RepairRetryDelay(), 0.0);
+  auto update = supervisor.OnFailureDetected(10.0, s.NodeOfInput0(), node_up,
+                                             *dep);
+  EXPECT_FALSE(update.has_value());
+  EXPECT_FALSE(supervisor.last_status().ok());
+  EXPECT_EQ(supervisor.repairs_performed(), 0u);
+
+  // Doubling backoff: 0.5, 1.0, 2.0, then exhausted.
+  EXPECT_EQ(supervisor.RepairRetryDelay(), 0.5);
+  EXPECT_EQ(supervisor.RepairRetryDelay(), 1.0);
+  EXPECT_EQ(supervisor.RepairRetryDelay(), 2.0);
+  EXPECT_EQ(supervisor.RepairRetryDelay(), 0.0);
+  EXPECT_EQ(supervisor.repair_retries(), 3u);
+}
+
+TEST(SupervisorTest, EngineReFiresDetectionUntilRetriesExhaust) {
+  Scenario s;
+  FailureSchedule chaos;
+  chaos.CrashAt(10.0, s.NodeOfInput0());
+
+  Supervisor::Options sup_options;
+  sup_options.detection_delay = 0.5;
+  sup_options.rod.tie_break = place::RodOptions::ClassITieBreak::kMinCrossArcs;
+  sup_options.max_repair_retries = 3;
+  sup_options.repair_retry_backoff = 0.5;
+  Supervisor supervisor(s.model, sup_options);
+
+  SimulationOptions options;
+  options.duration = 40.0;
+  options.failures = &chaos;
+  options.recovery = &supervisor;
+  auto r = SimulatePlacement(s.graph, s.plan, s.system, s.Traces(0.5, 40.0),
+                             options);
+  ASSERT_TRUE(r.ok());
+  // Every attempt failed; the engine re-scheduled detection once per
+  // granted retry, then accepted the failure as final.
+  EXPECT_EQ(supervisor.repairs_performed(), 0u);
+  EXPECT_EQ(supervisor.repair_retries(), 3u);
+  EXPECT_FALSE(supervisor.last_status().ok());
+  EXPECT_TRUE(r->incident.has_value());
+  EXPECT_LT(r->incident->plan_applied_time, 0.0);  // never repaired
+}
+
+TEST(SupervisorTest, FlappingNodeIsQuarantined) {
+  Scenario s;
+  auto dep = CompileDeployment(s.graph, s.plan, s.system);
+  ASSERT_TRUE(dep.ok());
+
+  Supervisor::Options sup_options;
+  sup_options.quarantine_after = 2;
+  Supervisor supervisor(s.model, sup_options);
+
+  const std::vector<bool> n1_down{true, false, true};
+  const std::vector<bool> n2_down{true, true, false};
+
+  // Crash #1 of node 1: repaired, not yet quarantined.
+  auto u1 = supervisor.OnFailureDetected(10.0, 1, n1_down, *dep);
+  ASSERT_TRUE(u1.has_value());
+  EXPECT_FALSE(supervisor.quarantined(1));
+
+  // Node 1 recovers (visible in the next liveness map); node 2 crashes.
+  supervisor.OnFailureDetected(20.0, 2, n2_down, *dep);
+
+  // Crash #2 of node 1: now quarantined.
+  supervisor.OnFailureDetected(30.0, 1, n1_down, *dep);
+  EXPECT_TRUE(supervisor.quarantined(1));
+  EXPECT_EQ(supervisor.num_quarantined(), 1u);
+
+  // Node 1 is nominally up in the next repair, but the supervisor never
+  // places an operator on a quarantined node.
+  auto update = supervisor.OnFailureDetected(40.0, 2, n2_down, *dep);
+  ASSERT_TRUE(update.has_value());
+  for (size_t node : update->assignment) EXPECT_NE(node, 1u);
+
+  supervisor.Reset();
+  EXPECT_FALSE(supervisor.quarantined(1));
+  EXPECT_EQ(supervisor.num_quarantined(), 0u);
 }
 
 TEST(ChaosTest, RebalanceBudgetDoesNotHurtPlaneDistance) {
