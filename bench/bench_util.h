@@ -19,6 +19,7 @@
 
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "geometry/simd_kernel.h"
 #include "placement/baselines.h"
 #include "placement/evaluator.h"
 #include "placement/rod.h"
@@ -28,6 +29,7 @@
 #include "telemetry/exposition.h"
 #include "telemetry/flight_recorder.h"
 #include "telemetry/http_server.h"
+#include "telemetry/json_writer.h"
 #include "telemetry/telemetry.h"
 
 namespace rod::bench {
@@ -90,6 +92,40 @@ inline std::vector<size_t> ParseThreadList(const std::string& spec) {
     if (v > 0) threads.push_back(v);
   }
   return threads;
+}
+
+/// The compiler that built this binary, e.g. "gcc 12.2.0".
+inline std::string CompilerVersion() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+/// The optimization/codegen flags the build applied to the bench binary
+/// and the library it links (injected by bench/CMakeLists.txt).
+inline const char* BenchCxxFlags() {
+#ifdef ROD_BENCH_CXX_FLAGS
+  return ROD_BENCH_CXX_FLAGS;
+#else
+  return "";
+#endif
+}
+
+/// Stamps build/runtime provenance into a bench JSON: without the
+/// compiler, flags, and the SIMD ISA the runtime dispatcher actually
+/// selected, two baseline files cannot be compared meaningfully. Written
+/// as a "metadata" object by every bench baseline writer (schemas in
+/// docs/BENCH_ENGINE.md and docs/BENCH_VOLUME.md).
+inline void WriteBuildMetadata(telemetry::JsonWriter& w) {
+  w.Key("metadata").BeginObjectInline();
+  w.Key("compiler").String(CompilerVersion());
+  w.Key("cxx_flags").String(BenchCxxFlags());
+  w.Key("simd_isa").String(geom::ActiveSimdIsa());
+  w.EndObject();
 }
 
 /// The high-water gauges the Aggregator re-arms after every sample (see

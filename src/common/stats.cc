@@ -6,15 +6,6 @@
 
 namespace rod {
 
-void RunningStats::Add(double x) {
-  ++count_;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (x - mean_);
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
-}
-
 void RunningStats::Merge(const RunningStats& other) {
   if (other.count_ == 0) return;
   if (count_ == 0) {
@@ -38,18 +29,6 @@ double RunningStats::variance() const {
 }
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
-
-void ReservoirSampler::Add(double x) {
-  ++count_;
-  if (capacity_ == 0 || samples_.size() < capacity_) {
-    samples_.push_back(x);
-    return;
-  }
-  // Algorithm R: the incoming observation replaces a uniformly random
-  // retained one with probability capacity / count.
-  const uint64_t j = rng_.NextIndex(count_);
-  if (j < capacity_) samples_[j] = x;
-}
 
 double Percentile(std::vector<double> values, double q) {
   std::sort(values.begin(), values.end());

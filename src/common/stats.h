@@ -7,6 +7,7 @@
 #ifndef ROD_COMMON_STATS_H_
 #define ROD_COMMON_STATS_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -20,8 +21,16 @@ namespace rod {
 /// Numerically stable running mean / variance / extrema (Welford).
 class RunningStats {
  public:
-  /// Incorporates one observation.
-  void Add(double x);
+  /// Incorporates one observation. Inline: this runs once per simulated
+  /// tuple on the engine's output path.
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
 
   /// Merges another accumulator into this one.
   void Merge(const RunningStats& other);
@@ -55,8 +64,19 @@ class ReservoirSampler {
   explicit ReservoirSampler(size_t capacity = 0, uint64_t seed = 0)
       : capacity_(capacity), rng_(seed) {}
 
-  /// Incorporates one observation.
-  void Add(double x);
+  /// Incorporates one observation. Inline: the engine offers every sink
+  /// output to two reservoirs (total + per-sink).
+  void Add(double x) {
+    ++count_;
+    if (capacity_ == 0 || samples_.size() < capacity_) {
+      samples_.push_back(x);
+      return;
+    }
+    // Algorithm R: the incoming observation replaces a uniformly random
+    // retained one with probability capacity / count.
+    const uint64_t j = rng_.NextIndex(count_);
+    if (j < capacity_) samples_[j] = x;
+  }
 
   /// Total observations offered (not the retained count).
   size_t count() const { return count_; }

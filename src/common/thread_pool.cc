@@ -46,6 +46,24 @@ void ThreadPool::Submit(std::function<void()> task) {
   cv_.notify_one();
 }
 
+void ThreadPool::SubmitMany(size_t count, const std::function<void()>& task) {
+  if (count == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    assert(!stop_);
+    for (size_t i = 0; i < count; ++i) queue_.push_back(task);
+    if (telemetry_ != nullptr) {
+      queue_depth_gauge_.Set(static_cast<double>(queue_.size()));
+      queue_depth_high_water_.Max(static_cast<double>(queue_.size()));
+    }
+  }
+  if (count == 1) {
+    cv_.notify_one();
+  } else {
+    cv_.notify_all();
+  }
+}
+
 void ThreadPool::set_telemetry(telemetry::Telemetry* telemetry) {
   assert(!t_inside_pool_worker);
   std::unique_lock<std::mutex> lock(mu_);
@@ -141,18 +159,17 @@ void ParallelFor(ThreadPool& pool, size_t num_threads, size_t n, size_t grain,
       run_chunk(c);
     }
   };
-  // The caller is one of the `num_threads` lanes; the rest are pool tasks.
+  // The caller is one of the `num_threads` lanes; the rest are pool tasks,
+  // submitted as one batch (one lock, one telemetry update).
   const size_t helpers = std::min(num_threads, num_chunks) - 1;
-  for (size_t h = 0; h < helpers; ++h) {
-    pool.Submit([state, drain] {
-      drain();
-      {
-        std::lock_guard<std::mutex> lock(state->mu);
-        ++state->done_helpers;
-      }
-      state->cv.notify_one();
-    });
-  }
+  pool.SubmitMany(helpers, [state, drain] {
+    drain();
+    {
+      std::lock_guard<std::mutex> lock(state->mu);
+      ++state->done_helpers;
+    }
+    state->cv.notify_one();
+  });
   drain();
   std::unique_lock<std::mutex> lock(state->mu);
   state->cv.wait(lock,

@@ -39,6 +39,12 @@ class ThreadPool {
   /// Enqueues `task` for execution on some worker.
   void Submit(std::function<void()> task);
 
+  /// Enqueues `count` copies of `task` under one lock acquisition, with a
+  /// single queue-depth gauge update for the whole batch (ParallelFor's
+  /// helper fan-out: submitting N helpers one by one pays N lock round
+  /// trips and N telemetry ratchets for identical tasks).
+  void SubmitMany(size_t count, const std::function<void()>& task);
+
   /// Attaches (or, with nullptr, detaches) a telemetry sink: workers
   /// record a "pool/task" span per executed task, a `pool.tasks`
   /// counter, a `pool.queue_depth` gauge, and a

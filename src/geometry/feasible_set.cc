@@ -1,17 +1,17 @@
 #include "geometry/feasible_set.h"
 
+#include <algorithm>
 #include <cmath>
+#include <numeric>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "geometry/sample_cache.h"
+#include "geometry/simd_kernel.h"
 
 namespace rod::geom {
 
 namespace {
-
-/// Tolerance of the membership tests (matches Contains' default).
-constexpr double kMembershipTol = 1e-12;
 
 /// Samples per ParallelFor chunk in the membership kernel: large enough to
 /// amortize dispatch, small enough to load-balance a 2^15-sample estimate
@@ -20,14 +20,7 @@ constexpr size_t kKernelGrain = 1024;
 
 /// The sample-set key RatioToIdeal / RatioToIdealAbove integrate over.
 SimplexSampleKey BaseKey(size_t dims, const VolumeOptions& options) {
-  SimplexSampleKey key;
-  key.dims = dims;
-  key.num_samples = options.num_samples;
-  if (options.use_pseudo_random || dims > options.max_halton_dims) {
-    key.pseudo_random = true;
-    key.seed = options.seed;
-  }
-  return key;
+  return VolumeSampleKey(dims, options);
 }
 
 /// The sample set of Cranley–Patterson replication `r` — or, past the
@@ -44,6 +37,34 @@ SimplexSampleKey ReplicationKey(size_t dims, const VolumeOptions& options,
   return key;
 }
 
+/// Scalar membership loop over samples `[begin, end)` of the row-major
+/// matrix: the bit-exact reference the SIMD path must reproduce.
+size_t CountContainedScalarRange(const Matrix& weights, const Matrix& samples,
+                                 size_t begin, size_t end,
+                                 std::span<const double> lower_bound,
+                                 double scale, double tol, Vector& mapped) {
+  const size_t d = samples.cols();
+  size_t feasible = 0;
+  for (size_t s = begin; s < end; ++s) {
+    std::span<const double> x = samples.Row(s);
+    if (!lower_bound.empty()) {
+      for (size_t k = 0; k < d; ++k) {
+        mapped[k] = lower_bound[k] + scale * x[k];
+      }
+      x = mapped;
+    }
+    bool inside = true;
+    for (size_t i = 0; i < weights.rows(); ++i) {
+      if (Dot(weights.Row(i), x) > 1.0 + tol) {
+        inside = false;
+        break;
+      }
+    }
+    if (inside) ++feasible;
+  }
+  return feasible;
+}
+
 /// Blocked membership kernel: counts rows `x` of `samples` — optionally
 /// affinely mapped to `lower_bound + scale * x` first — that satisfy
 /// `W x <= 1 + tol`, with per-sample early exit over the node rows.
@@ -57,37 +78,99 @@ size_t CountContainedImpl(const Matrix& weights, const Matrix& samples,
   const size_t num_samples = samples.rows();
   const size_t d = samples.cols();
   assert(weights.cols() == d);
+  (void)d;
   const size_t num_chunks = (num_samples + kKernelGrain - 1) / kKernelGrain;
   std::vector<size_t> counts(num_chunks, 0);
   ParallelFor(num_threads, num_samples, kKernelGrain,
               [&](size_t chunk, size_t begin, size_t end) {
-                Vector mapped(lower_bound.empty() ? 0 : d);
-                size_t feasible = 0;
-                for (size_t s = begin; s < end; ++s) {
-                  std::span<const double> x = samples.Row(s);
-                  if (!lower_bound.empty()) {
-                    for (size_t k = 0; k < d; ++k) {
-                      mapped[k] = lower_bound[k] + scale * x[k];
-                    }
-                    x = mapped;
-                  }
-                  bool inside = true;
-                  for (size_t i = 0; i < weights.rows(); ++i) {
-                    if (Dot(weights.Row(i), x) > 1.0 + tol) {
-                      inside = false;
-                      break;
-                    }
-                  }
-                  if (inside) ++feasible;
-                }
-                counts[chunk] = feasible;
+                Vector mapped(lower_bound.empty() ? 0 : samples.cols());
+                counts[chunk] = CountContainedScalarRange(
+                    weights, samples, begin, end, lower_bound, scale, tol,
+                    mapped);
               });
   size_t total = 0;
   for (size_t c : counts) total += c;
   return total;
 }
 
+/// Dual-layout kernel over a cached SimplexSampleSet: full lane groups go
+/// through the AVX2 kernel when it is enabled, the remainder (and the whole
+/// range when SIMD is off) through the scalar reference loop. Group
+/// boundaries fall inside chunks (kKernelGrain is a multiple of kSimdGroup),
+/// and the per-sample verdicts are bit-identical between the two paths, so
+/// the count matches the scalar kernel for every thread count and ISA.
+size_t CountContainedImpl(const Matrix& weights, const SimplexSampleSet& set,
+                          size_t num_threads,
+                          std::span<const double> lower_bound, double scale,
+                          double tol) {
+  static_assert(kKernelGrain % kSimdGroup == 0);
+  const Matrix& samples = set.samples;
+  if (!SimdKernelEnabled() || set.lanes.empty()) {
+    return CountContainedImpl(weights, samples, num_threads, lower_bound,
+                              scale, tol);
+  }
+  const size_t num_samples = samples.rows();
+  const size_t d = samples.cols();
+  assert(weights.cols() == d);
+  // Feasibility is the AND over all constraint rows, so any row order
+  // yields the same per-sample verdict. Scanning the heaviest rows first
+  // (largest row sum ~ largest expected dot against a simplex point) lets
+  // the vector kernel's all-lanes-violated early exit fire after a row or
+  // two on clearly infeasible samples instead of marching through the
+  // light rows. stable_sort keeps ties in original order, so the permuted
+  // matrix — and therefore the scan cost, not just the count — is
+  // deterministic.
+  Matrix ordered(weights.rows(), d);
+  {
+    std::vector<size_t> order(weights.rows());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      double sa = 0.0, sb = 0.0;
+      for (size_t k = 0; k < d; ++k) {
+        sa += weights(a, k);
+        sb += weights(b, k);
+      }
+      return sa > sb;
+    });
+    for (size_t i = 0; i < order.size(); ++i) {
+      std::span<const double> src = weights.Row(order[i]);
+      std::copy(src.begin(), src.end(), ordered.Row(i).begin());
+    }
+  }
+  const size_t num_chunks = (num_samples + kKernelGrain - 1) / kKernelGrain;
+  std::vector<size_t> counts(num_chunks, 0);
+  ParallelFor(
+      num_threads, num_samples, kKernelGrain,
+      [&](size_t chunk, size_t begin, size_t end) {
+        Vector mapped(lower_bound.empty() ? 0 : d);
+        Vector map_scratch(lower_bound.empty() ? 0 : d * kSimdGroup);
+        size_t tail = begin;
+        size_t feasible = CountContainedAvx2(
+            ordered.Row(0).data(), ordered.rows(), d, set.lanes.data(),
+            set.lane_stride, begin, end,
+            lower_bound.empty() ? nullptr : lower_bound.data(), scale, tol,
+            map_scratch.empty() ? nullptr : map_scratch.data(), &tail);
+        feasible += CountContainedScalarRange(weights, samples, tail, end,
+                                              lower_bound, scale, tol, mapped);
+        counts[chunk] = feasible;
+      });
+  size_t total = 0;
+  for (size_t c : counts) total += c;
+  return total;
+}
+
 }  // namespace
+
+SimplexSampleKey VolumeSampleKey(size_t dims, const VolumeOptions& options) {
+  SimplexSampleKey key;
+  key.dims = dims;
+  key.num_samples = options.num_samples;
+  if (options.use_pseudo_random || dims > options.max_halton_dims) {
+    key.pseudo_random = true;
+    key.seed = options.seed;
+  }
+  return key;
+}
 
 FeasibleSet::FeasibleSet(Matrix weights) : weights_(std::move(weights)) {
   assert(weights_.rows() > 0 && weights_.cols() > 0);

@@ -15,8 +15,14 @@
 #include "common/matrix.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "geometry/sample_cache.h"
 
 namespace rod::geom {
+
+/// Tolerance of the membership predicate `W x <= 1 + kMembershipTol` used
+/// by every volume estimator (and by callers that must reproduce its
+/// verdicts bit for bit, e.g. the delta placement evaluation).
+inline constexpr double kMembershipTol = 1e-12;
 
 /// Knobs for Monte-Carlo volume estimation.
 struct VolumeOptions {
@@ -100,6 +106,13 @@ class FeasibleSet {
  private:
   Matrix weights_;
 };
+
+/// The cached sample set RatioToIdeal / RatioToIdealAbove integrate over
+/// for a `dims`-dimensional estimate with `options`: Halton below the
+/// cutoff, seeded pseudo-random above it (or when forced). Exposed so
+/// other scorers (the delta placement evaluation) can integrate over the
+/// exact same points.
+SimplexSampleKey VolumeSampleKey(size_t dims, const VolumeOptions& options);
 
 }  // namespace rod::geom
 

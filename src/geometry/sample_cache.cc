@@ -5,6 +5,7 @@
 
 #include "common/random.h"
 #include "geometry/qmc.h"
+#include "geometry/simd_kernel.h"
 
 namespace rod::geom {
 
@@ -65,6 +66,20 @@ Matrix GenerateSimplexSamples(const SimplexSampleKey& key) {
   return samples;
 }
 
+SimplexSampleSet GenerateSimplexSampleSet(const SimplexSampleKey& key) {
+  SimplexSampleSet set;
+  set.samples = GenerateSimplexSamples(key);
+  const size_t S = set.samples.rows();
+  const size_t d = set.samples.cols();
+  set.lane_stride = (S + kSimdGroup - 1) / kSimdGroup * kSimdGroup;
+  set.lanes.assign(set.lane_stride * d, 0.0);
+  for (size_t s = 0; s < S; ++s) {
+    const auto row = set.samples.Row(s);
+    for (size_t k = 0; k < d; ++k) set.lanes[k * set.lane_stride + s] = row[k];
+  }
+  return set;
+}
+
 size_t SimplexSampleCache::KeyHash::operator()(
     const SimplexSampleKey& key) const {
   uint64_t h = 0x243f6a8885a308d3ULL;
@@ -80,7 +95,7 @@ size_t SimplexSampleCache::KeyHash::operator()(
 SimplexSampleCache::SimplexSampleCache(size_t max_entries)
     : max_entries_(std::max<size_t>(max_entries, 1)) {}
 
-std::shared_ptr<const Matrix> SimplexSampleCache::Get(
+std::shared_ptr<const SimplexSampleSet> SimplexSampleCache::Get(
     const SimplexSampleKey& key) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -91,7 +106,8 @@ std::shared_ptr<const Matrix> SimplexSampleCache::Get(
     }
     ++misses_;
   }
-  auto matrix = std::make_shared<const Matrix>(GenerateSimplexSamples(key));
+  auto matrix =
+      std::make_shared<const SimplexSampleSet>(GenerateSimplexSampleSet(key));
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = entries_.emplace(key, matrix);
   if (!inserted) return it->second;  // lost a generation race; use winner

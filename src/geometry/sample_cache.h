@@ -12,14 +12,44 @@
 #define ROD_GEOMETRY_SAMPLE_CACHE_H_
 
 #include <cstdint>
+#include <cstdlib>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <new>
 #include <unordered_map>
+#include <vector>
 
 #include "common/matrix.h"
 
 namespace rod::geom {
+
+/// Minimal aligned allocator for the SIMD lane storage (C++17 aligned new).
+template <typename T, size_t Alignment>
+struct AlignedAllocator {
+  using value_type = T;
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) {}
+  T* allocate(size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+  template <typename U>
+  bool operator==(const AlignedAllocator<U, Alignment>&) const {
+    return true;
+  }
+};
+
+/// 32-byte-aligned double buffer (one AVX2 vector per alignment unit).
+using AlignedLaneBuffer = std::vector<double, AlignedAllocator<double, 32>>;
 
 /// Identifies one deterministic simplex sample set.
 struct SimplexSampleKey {
@@ -49,6 +79,27 @@ struct SimplexSampleKey {
 /// what the pre-cache sequential estimator drew for the same options.
 Matrix GenerateSimplexSamples(const SimplexSampleKey& key);
 
+/// One cached sample set in both layouts the membership kernel consumes:
+/// the historical S x d row-major matrix (scalar path, Row(s) spans) and a
+/// transposed d x lane_stride lane buffer (SIMD path) where
+/// `lanes[k * lane_stride + s] == samples(s, k)`. The stride is the sample
+/// count padded up to a multiple of kSimdGroup so every lane row starts
+/// 32-byte aligned and a 4-wide load never reads past the buffer; pad
+/// columns are zero and never counted (the SIMD kernel only processes full
+/// groups of real samples, the scalar tail covers the rest).
+struct SimplexSampleSet {
+  Matrix samples;
+  size_t lane_stride = 0;
+  AlignedLaneBuffer lanes;
+
+  const double* Lane(size_t k) const {
+    return lanes.data() + k * lane_stride;
+  }
+};
+
+/// Builds the dual-layout sample set for `key` (generation + transpose).
+SimplexSampleSet GenerateSimplexSampleSet(const SimplexSampleKey& key);
+
 /// The cache. `Get` is safe to call from ParallelFor workers; generation
 /// runs outside the lock, so concurrent misses on different keys generate
 /// in parallel (a lost race on the same key discards the duplicate and
@@ -59,9 +110,9 @@ class SimplexSampleCache {
   /// first. Outstanding shared_ptrs keep evicted matrices alive.
   explicit SimplexSampleCache(size_t max_entries = 64);
 
-  /// The sample matrix for `key`: cached buffer on hit, generated and
+  /// The sample set for `key`: cached buffer on hit, generated and
   /// inserted on miss.
-  std::shared_ptr<const Matrix> Get(const SimplexSampleKey& key);
+  std::shared_ptr<const SimplexSampleSet> Get(const SimplexSampleKey& key);
 
   size_t hits() const;
   size_t misses() const;
@@ -82,7 +133,8 @@ class SimplexSampleCache {
   size_t max_entries_;
   size_t hits_ = 0;
   size_t misses_ = 0;
-  std::unordered_map<SimplexSampleKey, std::shared_ptr<const Matrix>, KeyHash>
+  std::unordered_map<SimplexSampleKey, std::shared_ptr<const SimplexSampleSet>,
+                     KeyHash>
       entries_;
   std::deque<SimplexSampleKey> insertion_order_;
 };

@@ -1,0 +1,68 @@
+// AVX2 variant of the membership kernel. This translation unit is the only
+// one compiled with -mavx2 (see src/CMakeLists.txt); callers must gate on
+// SimdKernelAvailable() before entering. Bit-exactness contract: each lane
+// accumulates w(i,0)*x0 + w(i,1)*x1 + ... with explicit mul-then-add in
+// ascending k, exactly the scalar Dot recurrence, and the affine map uses
+// the same lb[k] + scale * x[k] mul-then-add shape — no FMA contraction.
+
+#include "geometry/simd_kernel.h"
+
+#ifdef ROD_HAVE_AVX2_KERNEL
+
+#include <immintrin.h>
+
+namespace rod::geom {
+
+size_t CountContainedAvx2(const double* weights, size_t rows, size_t dims,
+                          const double* lanes, size_t lane_stride,
+                          size_t begin, size_t end, const double* lower_bound,
+                          double scale, double tol, double* map_scratch,
+                          size_t* tail_begin) {
+  const size_t num_groups = (end - begin) / kSimdGroup;
+  *tail_begin = begin + num_groups * kSimdGroup;
+  const __m256d limit = _mm256_set1_pd(1.0 + tol);
+  const __m256d vscale = _mm256_set1_pd(scale);
+  size_t feasible = 0;
+  for (size_t g = 0; g < num_groups; ++g) {
+    const size_t s = begin + g * kSimdGroup;
+    if (lower_bound != nullptr) {
+      // mapped[k] = lower_bound[k] + scale * x[k], materialized once per
+      // group so the row loop below is a pure dot kernel.
+      for (size_t k = 0; k < dims; ++k) {
+        const __m256d xk = _mm256_loadu_pd(lanes + k * lane_stride + s);
+        const __m256d m = _mm256_add_pd(_mm256_set1_pd(lower_bound[k]),
+                                        _mm256_mul_pd(vscale, xk));
+        _mm256_storeu_pd(map_scratch + k * kSimdGroup, m);
+      }
+    }
+    // violated accumulates comparison masks; a lane counts as feasible iff
+    // no row ever pushed its dot product above 1 + tol.
+    __m256d violated = _mm256_setzero_pd();
+    for (size_t i = 0; i < rows; ++i) {
+      const double* w = weights + i * dims;
+      __m256d acc = _mm256_setzero_pd();
+      if (lower_bound != nullptr) {
+        for (size_t k = 0; k < dims; ++k) {
+          const __m256d xk = _mm256_loadu_pd(map_scratch + k * kSimdGroup);
+          acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_set1_pd(w[k]), xk));
+        }
+      } else {
+        for (size_t k = 0; k < dims; ++k) {
+          const __m256d xk = _mm256_loadu_pd(lanes + k * lane_stride + s);
+          acc = _mm256_add_pd(acc, _mm256_mul_pd(_mm256_set1_pd(w[k]), xk));
+        }
+      }
+      violated =
+          _mm256_or_pd(violated, _mm256_cmp_pd(acc, limit, _CMP_GT_OQ));
+      if (_mm256_movemask_pd(violated) == 0xF) break;  // all lanes out
+    }
+    feasible += kSimdGroup -
+                static_cast<size_t>(
+                    __builtin_popcount(_mm256_movemask_pd(violated)));
+  }
+  return feasible;
+}
+
+}  // namespace rod::geom
+
+#endif  // ROD_HAVE_AVX2_KERNEL

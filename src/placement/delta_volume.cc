@@ -1,0 +1,121 @@
+#include "placement/delta_volume.h"
+
+#include <cassert>
+
+#include "common/thread_pool.h"
+
+namespace rod::place {
+
+namespace {
+
+/// Samples per ParallelFor chunk, matching the membership kernel's grain so
+/// chunk boundaries — and therefore the chunk-ordered count reduction — are
+/// a pure function of the sample count.
+constexpr size_t kSampleGrain = 1024;
+
+}  // namespace
+
+DeltaVolumeContext::DeltaVolumeContext(
+    const Matrix& op_coeffs, std::span<const double> total_coeffs,
+    Vector inv_cap, std::shared_ptr<const geom::SimplexSampleSet> set,
+    size_t num_threads, double tol)
+    : op_coeffs_(op_coeffs),
+      unit_norm_(op_coeffs.cols()),
+      inv_cap_(std::move(inv_cap)),
+      set_(std::move(set)),
+      num_threads_(num_threads),
+      tol_(tol),
+      num_samples_(set_->samples.rows()),
+      num_nodes_(inv_cap_.size()),
+      v_(num_samples_, 0.0),
+      u_(num_nodes_, num_samples_, 0.0),
+      viol_(num_nodes_ * num_samples_, 0),
+      violation_count_(num_samples_, 0) {
+  assert(set_->samples.cols() == op_coeffs.cols());
+  assert(total_coeffs.size() == op_coeffs.cols());
+  total_coeffs_ = Vector(total_coeffs.begin(), total_coeffs.end());
+}
+
+void DeltaVolumeContext::LoadUnit(size_t j) {
+  assert(j < op_coeffs_.rows());
+  const size_t d = op_coeffs_.cols();
+  const auto row = op_coeffs_.Row(j);
+  for (size_t k = 0; k < d; ++k) unit_norm_[k] = row[k] / total_coeffs_[k];
+  // v_j(s) = sum_k unit_norm[k] * x_s[k], accumulated in ascending k —
+  // the same mul-then-add recurrence as the scalar Dot. Lane-major loops
+  // (k outer, s inner) keep the per-sample accumulation order identical
+  // while letting the compiler vectorize across samples.
+  ParallelFor(num_threads_, num_samples_, kSampleGrain,
+              [&](size_t, size_t begin, size_t end) {
+                double* v = v_.data();
+                for (size_t s = begin; s < end; ++s) v[s] = 0.0;
+                for (size_t k = 0; k < d; ++k) {
+                  const double c = unit_norm_[k];
+                  const double* lane = set_->Lane(k);
+                  for (size_t s = begin; s < end; ++s) {
+                    v[s] += c * lane[s];
+                  }
+                }
+              });
+}
+
+size_t DeltaVolumeContext::ScoreCandidate(size_t node, bool delta) const {
+  assert(node < num_nodes_);
+  const double limit = 1.0 + tol_;
+  const double scale = inv_cap_[node];
+  const size_t num_chunks =
+      (num_samples_ + kSampleGrain - 1) / kSampleGrain;
+  std::vector<size_t> counts(num_chunks, 0);
+  const double* u_node = u_.Row(node).data();
+  const uint8_t* viol_node = viol_.data() + node * num_samples_;
+  ParallelFor(
+      num_threads_, num_samples_, kSampleGrain,
+      [&](size_t chunk, size_t begin, size_t end) {
+        size_t feasible = 0;
+        if (delta) {
+          // Only the changed row needs a fresh test: every other row's
+          // verdict is already in the violation counters.
+          for (size_t s = begin; s < end; ++s) {
+            const bool others_ok =
+                violation_count_[s] == static_cast<uint32_t>(viol_node[s]);
+            if (others_ok && u_node[s] + v_[s] * scale <= limit) ++feasible;
+          }
+        } else {
+          // Full reference: re-test every row of W per sample, swapping in
+          // the candidate row for `node`. Reads the same u/v values as the
+          // delta path, so the verdicts are bit-identical.
+          for (size_t s = begin; s < end; ++s) {
+            bool inside = u_node[s] + v_[s] * scale <= limit;
+            for (size_t r = 0; r < num_nodes_ && inside; ++r) {
+              if (r == node) continue;
+              if (u_(r, s) > limit) inside = false;
+            }
+            if (inside) ++feasible;
+          }
+        }
+        counts[chunk] = feasible;
+      });
+  size_t total = 0;
+  for (size_t c : counts) total += c;
+  return total;
+}
+
+void DeltaVolumeContext::Commit(size_t node) {
+  assert(node < num_nodes_);
+  const double limit = 1.0 + tol_;
+  const double scale = inv_cap_[node];
+  double* u_node = u_.Row(node).data();
+  uint8_t* viol_node = viol_.data() + node * num_samples_;
+  ParallelFor(num_threads_, num_samples_, kSampleGrain,
+              [&](size_t, size_t begin, size_t end) {
+                for (size_t s = begin; s < end; ++s) {
+                  u_node[s] += v_[s] * scale;
+                  if (viol_node[s] == 0 && u_node[s] > limit) {
+                    viol_node[s] = 1;
+                    ++violation_count_[s];
+                  }
+                }
+              });
+}
+
+}  // namespace rod::place

@@ -1,0 +1,92 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Incremental (delta) feasible-volume scoring for greedy placement. A
+// candidate assignment of one unit to one node changes exactly one row of
+// the weight matrix W, so the per-sample feasibility state of the partial
+// placement — each node row's accumulated dot product u_i(s), its violation
+// bit, and the per-sample violation count — can be cached once and each
+// candidate re-scored by testing only the changed row against the cached
+// counters, instead of re-running the full W·x <= 1 membership kernel.
+//
+// Bit-exactness contract: both the delta path and the full reference path
+// score candidates from the SAME cached state. The canonical algebra is
+//   v_j(s)   = sum_k (op_coeffs(j,k) / total_coeffs[k]) * x_s[k]   (k asc.)
+//   u_i(s)   = sum over committed units j on node i, in commit order,
+//              of v_j(s) * inv_cap[i]
+//   feasible(s, candidate i) <=> every row r != i has u_r(s) <= 1 + tol
+//                            and u_i(s) + v_j(s) * inv_cap[i] <= 1 + tol
+// The full path evaluates the predicate by scanning all rows per sample;
+// the delta path uses the cached violation counters and re-tests only row
+// i. Both read identical u/v values, so every candidate count — and hence
+// the greedy placement — is bit-identical with delta evaluation on or off,
+// for every thread count (chunked integer counts reduced in chunk order).
+
+#ifndef ROD_PLACEMENT_DELTA_VOLUME_H_
+#define ROD_PLACEMENT_DELTA_VOLUME_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "geometry/feasible_set.h"
+#include "geometry/sample_cache.h"
+
+namespace rod::place {
+
+/// Per-sample feasibility state of a partial placement, scored over one
+/// cached simplex sample set.
+class DeltaVolumeContext {
+ public:
+  /// `op_coeffs` is the m x D unit load-coefficient matrix, `total_coeffs`
+  /// the per-variable totals (positive), `inv_cap[i]` the reciprocal
+  /// capacity share 1 / (c_i / C) of node i. `set` must hold samples of
+  /// dimension D. `num_threads` parallelizes the per-sample loops; results
+  /// are bit-identical for every value.
+  DeltaVolumeContext(const Matrix& op_coeffs,
+                     std::span<const double> total_coeffs, Vector inv_cap,
+                     std::shared_ptr<const geom::SimplexSampleSet> set,
+                     size_t num_threads = 1,
+                     double tol = geom::kMembershipTol);
+
+  /// Computes unit j's normalized contribution lane v_j(s) into internal
+  /// scratch. Required before ScoreCandidate / Commit for that unit.
+  void LoadUnit(size_t j);
+
+  /// Feasible-sample count if the loaded unit were assigned to `node`.
+  /// `delta` selects the incremental path (cached violation counters +
+  /// changed-row retest) or the full reference path (every row re-tested
+  /// per sample); the two return bit-identical counts.
+  size_t ScoreCandidate(size_t node, bool delta) const;
+
+  /// Folds the loaded unit into `node`'s cached row state (u, violation
+  /// bit, per-sample violation count). Contributions are non-negative, so
+  /// violations are monotone: once a row is violated at a sample it stays
+  /// violated.
+  void Commit(size_t node);
+
+  size_t num_samples() const { return num_samples_; }
+  size_t num_nodes() const { return num_nodes_; }
+  double tol() const { return tol_; }
+
+ private:
+  const Matrix& op_coeffs_;
+  Vector total_coeffs_;
+  Vector unit_norm_;  // op_coeffs row j / total_coeffs, for LoadUnit
+  Vector inv_cap_;
+  std::shared_ptr<const geom::SimplexSampleSet> set_;
+  size_t num_threads_;
+  double tol_;
+  size_t num_samples_;
+  size_t num_nodes_;
+
+  Vector v_;                   // loaded unit's contribution lane, size S
+  Matrix u_;                   // num_nodes x S accumulated row dots
+  std::vector<uint8_t> viol_;  // num_nodes x S violation bits
+  std::vector<uint32_t> violation_count_;  // per sample, size S
+};
+
+}  // namespace rod::place
+
+#endif  // ROD_PLACEMENT_DELTA_VOLUME_H_

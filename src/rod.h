@@ -36,9 +36,11 @@
 #include "geometry/polygon2d.h"
 #include "geometry/qmc.h"
 #include "geometry/sample_cache.h"
+#include "geometry/simd_kernel.h"
 #include "placement/baselines.h"
 #include "placement/clustering.h"
 #include "placement/correlation_policy.h"
+#include "placement/delta_volume.h"
 #include "placement/dynamic.h"
 #include "placement/evaluator.h"
 #include "placement/optimal.h"

@@ -26,14 +26,59 @@ namespace {
 /// (external arrivals, migration replays, orphan re-homing).
 constexpr uint32_t kNoUpstream = UINT32_MAX;
 
-/// A tuple travelling between nodes (constant network latency makes the
-/// delivery order FIFO, so a queue suffices). The destination node is
+/// Tuples travelling between nodes, stored as columnar batches (constant
+/// network latency makes the delivery order FIFO, so queues suffice).
+/// Structure-of-arrays: one FIFO column per tuple field, popped in
+/// lockstep, plus a per-event column giving how many tuples ride each
+/// scheduled kNetworkDelivery calendar event. The destination node is
 /// resolved at *delivery* time: a supervisor may re-home the target
 /// operator while the tuple is on the wire.
-struct PendingDelivery {
-  double time = 0.0;
-  uint32_t from = kNoUpstream;  ///< Sending node (backpressure stalls it).
-  Task task;
+struct TupleBatchQueue {
+  FifoBuffer<double> arrive;      ///< Delivery instant.
+  FifoBuffer<uint32_t> from;      ///< Sending node (backpressure stalls it).
+  FifoBuffer<uint32_t> op;        ///< Destination operator.
+  FifoBuffer<uint32_t> port;      ///< Destination input port.
+  FifoBuffer<double> origin;      ///< Source timestamp (latency accounting).
+  FifoBuffer<double> extra_cost;  ///< Receive-side comm overhead.
+  FifoBuffer<uint32_t> counts;    ///< Tuples per kNetworkDelivery event.
+
+  bool empty() const { return arrive.empty(); }
+
+  void clear() {
+    arrive.clear();
+    from.clear();
+    op.clear();
+    port.clear();
+    origin.clear();
+    extra_cost.clear();
+    counts.clear();
+  }
+
+  void PushTuple(double at, uint32_t sender, const Task& task) {
+    arrive.push_back(at);
+    from.push_back(sender);
+    op.push_back(task.op);
+    port.push_back(task.port);
+    origin.push_back(task.origin);
+    extra_cost.push_back(task.extra_cost);
+  }
+
+  /// Pops the front tuple into (task, sender) form.
+  Task PopTuple(uint32_t& sender) {
+    Task task;
+    task.op = op.front();
+    task.port = port.front();
+    task.origin = origin.front();
+    task.extra_cost = extra_cost.front();
+    sender = from.front();
+    arrive.pop_front();
+    from.pop_front();
+    op.pop_front();
+    port.pop_front();
+    origin.pop_front();
+    extra_cost.pop_front();
+    return task;
+  }
 };
 
 /// A delivery parked at a congested node until its queue drains.
@@ -127,7 +172,7 @@ struct EngineWorkspace {
   std::vector<uint64_t> window_arrivals;  ///< Arrivals since detector tick.
 
   EventQueue events;
-  FifoBuffer<PendingDelivery> network;
+  TupleBatchQueue network;
   std::vector<SimulationResult::OperatorStats> op_stats;
   std::vector<double> phase_scratch;  ///< SummarizePhase sort buffer.
 };
@@ -323,6 +368,21 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
   EventQueue& events = ws.events;
   ws.network.clear();
   auto& network = ws.network;
+  // Delivery batching (see SimulationOptions::batch_size): tuples pushed
+  // back-to-back for the same arrival instant share one kNetworkDelivery
+  // event. A batch stays open only while (a) it has room, (b) the next
+  // tuple lands at exactly its instant, and (c) the queue's sequence
+  // counter has not moved since the batch's event was pushed — (c) proves
+  // no other event was scheduled in between, so the batched tuples would
+  // have popped consecutively in the one-event-per-tuple engine anyway,
+  // and (a)+(b)+(c) together make every batch size bit-exact. Once the
+  // batch event pops, time has reached its instant and new deliveries
+  // land strictly later (latency > 0), so a stale open batch can never
+  // be matched again.
+  const size_t batch_limit = std::max<size_t>(1, options.batch_size);
+  double open_batch_time = 0.0;
+  uint64_t open_batch_seq = 0;
+  size_t open_batch_count = 0;
   ws.op_stats.assign(num_ops, SimulationResult::OperatorStats{});
   auto& op_stats = ws.op_stats;
   size_t shed_count = 0;
@@ -455,10 +515,19 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
     task.origin = origin;
     task.extra_cost = route.crosses_nodes ? route.comm_cost : 0.0;
     if (route.crosses_nodes && options.network_latency > 0.0) {
-      network.push_back(
-          PendingDelivery{now + options.network_latency, from, task});
-      events.Push(now + options.network_latency, EventType::kNetworkDelivery,
-                  0);
+      const double at = now + options.network_latency;
+      network.PushTuple(at, from, task);
+      if (open_batch_count != 0 && open_batch_count < batch_limit &&
+          at == open_batch_time && events.next_seq() == open_batch_seq) {
+        ++open_batch_count;
+        ++network.counts.back();
+      } else {
+        events.Push(at, EventType::kNetworkDelivery, 0);
+        network.counts.push_back(1);
+        open_batch_time = at;
+        open_batch_seq = events.next_seq();
+        open_batch_count = 1;
+      }
     } else if (!place_task(task, from, now)) {
       ++incident.lost_network;
     }
@@ -654,7 +723,18 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
     const Event ev = events.Pop();
     if (ev.time > options.duration) break;
     const double now = ev.time;
-    if (++processed_events > options.max_events) {
+    // A delivery event carries a whole tuple batch; count the batch so
+    // processed_events (and the max_events guard) stay per-tuple,
+    // identical for every batch size.
+    uint32_t batch_n = 1;
+    if (ev.type == EventType::kNetworkDelivery) {
+      batch_n = network.counts.front();
+      network.counts.pop_front();
+    }
+
+    processed_events += batch_n;
+
+    if (processed_events > options.max_events) {
       // Name the hot spot so runaway-load aborts are diagnosable.
       size_t hot_node = 0;
       for (size_t i = 1; i < nodes.size(); ++i) {
@@ -677,11 +757,15 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
     }
 
     if (ev.type == EventType::kNetworkDelivery) {
-      assert(!network.empty());
-      const PendingDelivery d = network.front();
-      network.pop_front();
-      assert(std::abs(d.time - now) < 1e-9);
-      if (!place_task(d.task, d.from, now)) ++incident.lost_network;
+      // Replays the batch in push order — exactly the order the
+      // one-event-per-tuple engine pops these deliveries.
+      for (uint32_t i = 0; i < batch_n; ++i) {
+        assert(!network.empty());
+        assert(network.arrive.front() == now);
+        uint32_t from = kNoUpstream;
+        const Task task = network.PopTuple(from);
+        if (!place_task(task, from, now)) ++incident.lost_network;
+      }
       continue;
     }
 

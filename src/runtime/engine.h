@@ -136,6 +136,19 @@ struct SimulationOptions {
   /// amortized, the binary heap is the legacy reference.
   EventQueueImpl event_queue = EventQueueImpl::kCalendar;
 
+  /// Network-delivery batching: up to `batch_size` tuples entering the
+  /// simulated network at the same instant ride one kNetworkDelivery
+  /// calendar event (a tuple batch in the network FIFO) instead of one
+  /// event each, amortizing queue pushes and pops over operator fan-out.
+  /// Provably bit-exact for every value: a batch only forms from
+  /// deliveries pushed back-to-back (consecutive sequence numbers) for
+  /// the same arrival time, which the (time, seq) total order already
+  /// pops consecutively — the batched handler replays the exact legacy
+  /// per-tuple order, and per-tuple accounting (bounded queues,
+  /// backpressure, shedding, processed-event counts) is unchanged.
+  /// 1 disables batching and takes the legacy one-event-per-tuple path.
+  size_t batch_size = 64;
+
   /// Store every latency sample and compute exact percentiles (the
   /// pre-overhaul behavior) instead of the fixed-memory streaming
   /// summary. Mean and max are exact either way; runs with a failure

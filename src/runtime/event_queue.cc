@@ -5,79 +5,8 @@
 #include <cmath>
 
 namespace rod::sim {
-namespace {
 
-constexpr size_t kMinBuckets = 4;        // Power of two.
-constexpr size_t kMaxBuckets = 1 << 20;  // Power of two.
-constexpr uint64_t kMaxVslot = uint64_t{1} << 62;
-
-}  // namespace
-
-uint64_t EventQueue::VslotOf(double time) const {
-  const double q = (time - base_) / width_;
-  // Clamp instead of casting out-of-range doubles (UB). The clamped map
-  // stays monotone, which is all pop-order correctness needs.
-  if (!(q > 0.0)) return 0;
-  if (q >= static_cast<double>(kMaxVslot)) return kMaxVslot;
-  return static_cast<uint64_t>(q);
-}
-
-void EventQueue::Push(double time, EventType type, uint32_t index,
-                      uint64_t tag) {
-  assert(std::isfinite(time));
-  const Event e{time, next_seq_++, type, index, tag};
-  if (impl_ == EventQueueImpl::kBinaryHeap) {
-    heap_.push_back(e);
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
-    ++size_;
-  } else {
-    PushCalendar(e);
-  }
-  size_high_water_.Max(static_cast<double>(size_));
-}
-
-void EventQueue::PushCalendar(const Event& e) {
-  if (buckets_.empty()) {
-    buckets_.resize(kMinBuckets);
-    mask_ = kMinBuckets - 1;
-  }
-  if (size_ == 0) {
-    // Re-anchor the calendar on the first event so virtual slot numbers
-    // stay small; width is corrected by the next rebuild if stale.
-    base_ = e.time;
-    cur_vslot_ = 0;
-    cur_bucket_ = 0;
-  }
-  const size_t bucket_count = mask_ + 1;
-  if (size_ + 1 > 2 * bucket_count && bucket_count < kMaxBuckets) {
-    Rebuild(bucket_count * 2);
-  }
-  const uint64_t vslot = VslotOf(e.time);
-  if (vslot < cur_vslot_) {
-    // Non-monotone push behind the cursor: walk the cursor back so the
-    // "no event earlier than the cursor slot" invariant holds.
-    cur_vslot_ = vslot;
-    cur_bucket_ = static_cast<size_t>(vslot) & mask_;
-  }
-  auto& bucket = buckets_[static_cast<size_t>(vslot) & mask_];
-  bucket.push_back(e);
-  std::push_heap(bucket.begin(), bucket.end(), Later{});
-  ++size_;
-}
-
-size_t EventQueue::FindMinBucket() {
-  assert(size_ > 0);
-  // Year scan: visit at most one full wrap of buckets looking for an
-  // event whose virtual slot matches the cursor. The slot test reuses
-  // VslotOf, so it agrees bit-for-bit with where Push filed the event.
-  for (size_t step = 0; step <= mask_; ++step) {
-    const auto& bucket = buckets_[cur_bucket_];
-    if (!bucket.empty() && VslotOf(bucket.front().time) == cur_vslot_) {
-      return cur_bucket_;
-    }
-    ++cur_vslot_;
-    cur_bucket_ = static_cast<size_t>(cur_vslot_) & mask_;
-  }
+size_t EventQueue::FindMinBucketSparse() {
   // Sparse epoch: no event within a full wrap of the cursor. Find the
   // global minimum directly and jump the cursor to its slot. Distinct
   // buckets never hold equal-time fronts (equal times share a slot), so
@@ -94,33 +23,6 @@ size_t EventQueue::FindMinBucket() {
   cur_vslot_ = VslotOf(buckets_[best].front().time);
   cur_bucket_ = static_cast<size_t>(cur_vslot_) & mask_;
   return best;
-}
-
-const Event& EventQueue::Top() {
-  assert(size_ > 0);
-  if (impl_ == EventQueueImpl::kBinaryHeap) return heap_.front();
-  return buckets_[FindMinBucket()].front();
-}
-
-Event EventQueue::Pop() {
-  assert(size_ > 0);
-  if (impl_ == EventQueueImpl::kBinaryHeap) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Event e = heap_.back();
-    heap_.pop_back();
-    --size_;
-    return e;
-  }
-  auto& bucket = buckets_[FindMinBucket()];
-  std::pop_heap(bucket.begin(), bucket.end(), Later{});
-  Event e = bucket.back();
-  bucket.pop_back();
-  --size_;
-  const size_t bucket_count = mask_ + 1;
-  if (bucket_count > kMinBuckets && size_ < bucket_count / 8) {
-    Rebuild(bucket_count / 2);
-  }
-  return e;
 }
 
 void EventQueue::Rebuild(size_t new_bucket_count) {
@@ -156,6 +58,13 @@ void EventQueue::Rebuild(size_t new_bucket_count) {
   // scan and the per-bucket heaps short.
   width_ = (max_time - min_time) / static_cast<double>(scratch_.size());
   if (!(width_ > 0.0)) width_ = 1.0;
+  inv_width_ = 1.0 / width_;
+  // A denormal width would overflow the inverse; a degenerate (single
+  // slot) calendar is slow but still correct, so just keep it finite.
+  if (!std::isfinite(inv_width_)) {
+    width_ = 1.0;
+    inv_width_ = 1.0;
+  }
   for (const Event& e : scratch_) {
     auto& bucket = buckets_[static_cast<size_t>(VslotOf(e.time)) & mask_];
     bucket.push_back(e);
@@ -186,8 +95,10 @@ void EventQueue::Clear() {
   for (auto& bucket : buckets_) bucket.clear();
   size_ = 0;
   next_seq_ = 0;
+  pending_high_water_ = 0;
   base_ = 0.0;
   width_ = 1.0;
+  inv_width_ = 1.0;
   cur_vslot_ = 0;
   cur_bucket_ = 0;
 }

@@ -15,6 +15,8 @@
 #ifndef ROD_RUNTIME_METRICS_H_
 #define ROD_RUNTIME_METRICS_H_
 
+#include <algorithm>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -60,16 +62,52 @@ class MetricsCollector {
   /// `latency` seconds, completing at virtual time `completion_time` (the
   /// timestamp lets incident reports split latencies into pre-failure /
   /// recovery / post-recovery phases; timestamps are retained only in
-  /// exact mode).
+  /// exact mode). Inline — one call per sink output on the engine's -O3
+  /// hot path (as is RecordService below, one call per task completion).
   void RecordOutput(uint32_t sink_op, double latency,
-                    double completion_time = 0.0);
+                    double completion_time = 0.0) {
+    total_stats_.Add(latency);
+    total_samples_.Add(latency);
+    if (exact()) output_times_.push_back(completion_time);
+    if (sink_op != last_sink_ || last_acc_ == nullptr) {
+      SwitchSink(sink_op);
+    }
+    last_acc_->stats.Add(latency);
+    last_acc_->samples.Add(latency);
+  }
 
   /// Records one external input tuple.
   void RecordInput() { ++inputs_; }
 
   /// Accounts a service interval [start, end) on `node`, splitting the
   /// busy time across utilization windows.
-  void RecordService(size_t node, double start, double end);
+  void RecordService(size_t node, double start, double end) {
+    assert(node < node_busy_.size());
+    assert(end >= start);
+    node_busy_[node] += end - start;
+    // Fast path: the interval fits one utilization window (service times
+    // are micro-seconds, windows are seconds). `min(end, w_end) - cursor`
+    // evaluates to exactly `end - start` here, so this adds the same
+    // value the general loop below would.
+    {
+      const size_t w = static_cast<size_t>(start / window_sec_);
+      if (w < window_busy_.rows() &&
+          end <= static_cast<double>(w + 1) * window_sec_) {
+        window_busy_(w, node) += end - start;
+        return;
+      }
+    }
+    // Split the interval across utilization windows.
+    double cursor = start;
+    while (cursor < end) {
+      const size_t w = static_cast<size_t>(cursor / window_sec_);
+      if (w >= window_busy_.rows()) break;  // service past the horizon
+      const double w_end = static_cast<double>(w + 1) * window_sec_;
+      const double slice = std::min(end, w_end) - cursor;
+      window_busy_(w, node) += slice;
+      cursor = w_end;
+    }
+  }
 
   size_t inputs() const { return inputs_; }
   size_t outputs() const { return total_stats_.count(); }
@@ -118,6 +156,10 @@ class MetricsCollector {
 
   static LatencySummary Summarize(const RunningStats& stats,
                                   const ReservoirSampler& samples);
+
+  /// Cold tail of RecordOutput: look up (or create) the accumulator of a
+  /// sink other than the cached one.
+  void SwitchSink(uint32_t sink_op);
 
   size_t inputs_ = 0;
   LatencyStatsOptions stats_options_;

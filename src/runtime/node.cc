@@ -40,21 +40,6 @@ FifoBuffer<Task>& SimNode::BucketFor(uint32_t op) {
   return per_op_[op];
 }
 
-void SimNode::Enqueue(const Task& task) {
-  ++queued_;
-  if (task.op != Task::kCommTask) {
-    ++queued_tuples_;
-    if (queued_tuples_ > queue_high_water_) queue_high_water_ = queued_tuples_;
-  }
-  if (scheduling_ == Scheduling::kFifo) {
-    fifo_.push_back(task);
-    return;
-  }
-  FifoBuffer<Task>& bucket = BucketFor(task.op);
-  if (bucket.empty()) rr_order_.push_back(task.op);
-  bucket.push_back(task);
-}
-
 namespace {
 
 void RemoveFromOrder(FifoBuffer<uint32_t>& order, uint32_t op) {
@@ -214,16 +199,7 @@ SimNode::EnqueueOutcome SimNode::EnqueueBounded(const Task& task, Rng& rng) {
   return out;
 }
 
-Task SimNode::StartService() {
-  assert(CanStart());
-  busy_ = true;
-  --queued_;
-  if (scheduling_ == Scheduling::kFifo) {
-    Task task = fifo_.front();
-    fifo_.pop_front();
-    if (task.op != Task::kCommTask) --queued_tuples_;
-    return task;
-  }
+Task SimNode::StartServiceRoundRobin() {
   assert(!rr_order_.empty());
   const uint32_t op = rr_order_.front();
   rr_order_.pop_front();
@@ -236,13 +212,6 @@ Task SimNode::StartService() {
   // work (empty buckets simply leave the rotation, keeping storage).
   if (!bucket.empty()) rr_order_.push_back(op);
   return task;
-}
-
-void SimNode::FinishService(double service_seconds) {
-  assert(busy_);
-  busy_ = false;
-  busy_time_ += service_seconds;
-  ++tasks_processed_;
 }
 
 void SimNode::AbortService() {

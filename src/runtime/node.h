@@ -40,6 +40,9 @@ class FifoBuffer {
   void push_back(const T& v) { items_.push_back(v); }
   T& front() { return items_[head_]; }
   const T& front() const { return items_[head_]; }
+  /// The most recently pushed live element (undefined when empty).
+  T& back() { return items_.back(); }
+  const T& back() const { return items_.back(); }
 
   void pop_front() {
     ++head_;
@@ -160,8 +163,25 @@ class SimNode {
                          const double* drop_weights = nullptr,
                          size_t num_weights = 0);
 
-  /// Enqueues a task; the engine starts service separately.
-  void Enqueue(const Task& task);
+  /// Enqueues a task; the engine starts service separately. Inline (as
+  /// are StartService / FinishService below): these run a few times per
+  /// simulated event and the engine loop is compiled -O3.
+  void Enqueue(const Task& task) {
+    ++queued_;
+    if (task.op != Task::kCommTask) {
+      ++queued_tuples_;
+      if (queued_tuples_ > queue_high_water_) {
+        queue_high_water_ = queued_tuples_;
+      }
+    }
+    if (scheduling_ == Scheduling::kFifo) {
+      fifo_.push_back(task);
+      return;
+    }
+    FifoBuffer<Task>& bucket = BucketFor(task.op);
+    if (bucket.empty()) rr_order_.push_back(task.op);
+    bucket.push_back(task);
+  }
 
   /// What EnqueueBounded did with the arriving task.
   struct EnqueueOutcome {
@@ -183,10 +203,26 @@ class SimNode {
   /// busy. Caller computes the service duration (join probe costs depend
   /// on window state) and calls FinishService with it when the completion
   /// event fires.
-  Task StartService();
+  Task StartService() {
+    assert(CanStart());
+    busy_ = true;
+    --queued_;
+    if (scheduling_ == Scheduling::kFifo) {
+      Task task = fifo_.front();
+      fifo_.pop_front();
+      if (task.op != Task::kCommTask) --queued_tuples_;
+      return task;
+    }
+    return StartServiceRoundRobin();
+  }
 
   /// Marks the current task finished after `service_seconds` of wall time.
-  void FinishService(double service_seconds);
+  void FinishService(double service_seconds) {
+    assert(busy_);
+    busy_ = false;
+    busy_time_ += service_seconds;
+    ++tasks_processed_;
+  }
 
   /// Cancels the in-flight task without crediting busy time (node crash:
   /// the work is lost, the caller accounts the partial busy interval).
@@ -215,6 +251,9 @@ class SimNode {
   /// The round-robin bucket of `op` (kCommTask maps to the comm bucket),
   /// growing the per-operator table on first sight of a new id.
   FifoBuffer<Task>& BucketFor(uint32_t op);
+
+  /// Round-robin tail of StartService (cold next to the FIFO path).
+  Task StartServiceRoundRobin();
 
   double DropWeightOf(uint32_t op) const {
     return (drop_weights_ != nullptr && op < num_weights_) ? drop_weights_[op]

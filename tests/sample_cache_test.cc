@@ -138,8 +138,8 @@ TEST(SampleCacheTest, EvictedBufferSurvivesThroughSharedPtr) {
   const auto held = cache.Get(HaltonKey(2, 16));
   (void)cache.Get(HaltonKey(3, 16));  // evicts the held entry
   EXPECT_EQ(cache.size(), 1u);
-  EXPECT_EQ(held->rows(), 16u);  // still valid
-  EXPECT_EQ(held->cols(), 2u);
+  EXPECT_EQ(held->samples.rows(), 16u);  // still valid
+  EXPECT_EQ(held->samples.cols(), 2u);
 }
 
 TEST(SampleCacheTest, ClearResetsEntriesAndCounters) {
