@@ -1,0 +1,449 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Perf baseline of the trace-store ingest path (trace/store): writes a
+// segmented store several times larger than the reader's resident-segment
+// budget, then measures sustained read throughput three ways — the
+// zero-copy BatchCursor scan with checksums verified, the same scan on
+// the pread fallback path, and the engine-facing StoreReplay arrival feed
+// — while watching the process RSS to prove the buffer manager really
+// holds memory to its budget regardless of file size. Finally replays a
+// store-backed trace through the simulation engine and asserts the
+// result is bit-identical to driving the same arrivals from memory.
+// Emits a machine-readable JSON baseline (fields documented in
+// docs/BENCH_INGEST.md) so later PRs can regress against it.
+//
+//   bench_ingest_perf [--mode smoke|full] [--json=PATH]
+//                     [--records N] [--records-per-segment N]
+//                     [--resident N] [--min-scan-tps X] [--min-feed-tps X]
+//                     [--max-rss-growth-mib X]
+//
+// --mode smoke shrinks the trace for CI; --json defaults to
+// BENCH_INGEST.json. Exit code is nonzero iff the replay bit-exactness
+// check fails, a throughput floor is violated (--min-*-tps, default 0 =
+// disabled), or the scan's RSS growth exceeds --max-rss-growth-mib
+// (default 0 = disabled).
+
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/random.h"
+#include "runtime/engine.h"
+#include "runtime/workload_driver.h"
+#include "telemetry/json_writer.h"
+#include "trace/store/reader.h"
+#include "trace/store/replay.h"
+#include "trace/store/writer.h"
+
+namespace {
+
+using namespace rod;
+using trace::store::ArrivalRecord;
+using trace::store::BatchCursor;
+using trace::store::ReaderOptions;
+using trace::store::ReplaySet;
+using trace::store::SegmentReader;
+using trace::store::SegmentWriter;
+using trace::store::WriterOptions;
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Current resident set in KiB (/proc/self/status VmRSS); 0 off-Linux.
+uint64_t RssKib() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    uint64_t kib = 0;
+    if (std::sscanf(line.c_str(), "VmRSS: %" SCNu64 " kB", &kib) == 1) {
+      return kib;
+    }
+  }
+  return 0;
+}
+
+struct Config {
+  bool smoke = false;
+  uint64_t records = 16ull << 20;       ///< 16 Mi records = 256 MiB payload.
+  uint32_t records_per_segment = 64 * 1024;  ///< 1 MiB payload per segment.
+  size_t resident_segments = 4;
+  double min_scan_tps = 0.0;
+  double min_feed_tps = 0.0;
+  double max_rss_growth_mib = 0.0;
+};
+
+struct PhaseResult {
+  double seconds = 0.0;
+  double records_per_sec = 0.0;
+  double mb_per_sec = 0.0;
+};
+
+PhaseResult Rate(uint64_t records, double seconds) {
+  PhaseResult r;
+  r.seconds = seconds;
+  r.records_per_sec = static_cast<double>(records) / seconds;
+  r.mb_per_sec =
+      static_cast<double>(records) * sizeof(ArrivalRecord) / seconds / 1e6;
+  return r;
+}
+
+/// Streams `records` synthetic Poisson arrivals straight into the writer
+/// — never materialized in memory, so the write phase RSS stays flat and
+/// the file can exceed RAM.
+Result<PhaseResult> WritePhase(const std::string& path, const Config& cfg) {
+  WriterOptions opts;
+  opts.records_per_segment = cfg.records_per_segment;
+  auto writer = SegmentWriter::Open(path, opts);
+  ROD_RETURN_IF_ERROR(writer.status());
+  Rng rng(0xbeefcafeULL);
+  const double start = Now();
+  double t = 0.0;
+  for (uint64_t i = 0; i < cfg.records; ++i) {
+    t += rng.Exponential(/*lambda=*/1e4);
+    ROD_RETURN_IF_ERROR(writer->Append({.time = t}));
+  }
+  ROD_RETURN_IF_ERROR(writer->Finish());
+  return Rate(cfg.records, Now() - start);
+}
+
+/// Full-file zero-copy cursor scan (checksums verified on load). The
+/// returned checksum-ish sum keeps the loop from being optimized away.
+Result<PhaseResult> ScanPhase(const std::string& path, const Config& cfg,
+                              bool use_mmap, double* sum_out,
+                              trace::store::ReaderStats* stats_out) {
+  ReaderOptions opts;
+  opts.resident_segments = cfg.resident_segments;
+  opts.use_mmap = use_mmap;
+  auto reader = SegmentReader::Open(path, opts);
+  ROD_RETURN_IF_ERROR(reader.status());
+  const double start = Now();
+  BatchCursor cursor(&*reader);
+  double sum = 0.0;
+  uint64_t records = 0;
+  for (;;) {
+    auto span = cursor.NextSpan();
+    ROD_RETURN_IF_ERROR(span.status());
+    if (span->empty()) break;
+    for (const ArrivalRecord& r : *span) sum += r.time;
+    records += span->size();
+    cursor.Advance(span->size());
+  }
+  const double seconds = Now() - start;
+  if (records != reader->info().total_records) {
+    return Status::Internal("scan count mismatch");
+  }
+  *sum_out = sum;
+  if (stats_out != nullptr) *stats_out = reader->stats();
+  return Rate(records, seconds);
+}
+
+/// The engine-facing hot path: one StoreReplay::NextArrival call per
+/// tuple, exactly what the event loop does in replay mode.
+Result<PhaseResult> FeedPhase(const std::string& path, const Config& cfg,
+                              double* sum_out) {
+  ReaderOptions opts;
+  opts.resident_segments = cfg.resident_segments;
+  auto replay = ReplaySet::OpenStores({path}, opts);
+  ROD_RETURN_IF_ERROR(replay.status());
+  const double start = Now();
+  double sum = 0.0;
+  uint64_t records = 0;
+  for (;;) {
+    const double t = replay->feed(0).NextArrival();
+    if (!std::isfinite(t)) break;
+    sum += t;
+    ++records;
+  }
+  ROD_RETURN_IF_ERROR(replay->status());
+  const double seconds = Now() - start;
+  if (records != cfg.records) {
+    return Status::Internal("feed count mismatch");
+  }
+  *sum_out = sum;
+  return Rate(records, seconds);
+}
+
+/// Replay bit-exactness: a fan-out deployment driven once from in-memory
+/// arrivals and once from the store file holding the same arrivals must
+/// produce identical SimulationResults (store read path included).
+struct ExactnessResult {
+  bool bitexact = false;
+  size_t output_tuples = 0;
+};
+
+bool SameResult(const sim::SimulationResult& a,
+                const sim::SimulationResult& b) {
+  if (a.input_tuples != b.input_tuples || a.shed_tuples != b.shed_tuples ||
+      a.output_tuples != b.output_tuples ||
+      a.processed_events != b.processed_events ||
+      a.mean_latency != b.mean_latency || a.p50_latency != b.p50_latency ||
+      a.p95_latency != b.p95_latency || a.p99_latency != b.p99_latency ||
+      a.max_latency != b.max_latency ||
+      a.max_node_utilization != b.max_node_utilization ||
+      a.final_backlog != b.final_backlog) {
+    return false;
+  }
+  if (a.node_utilization.size() != b.node_utilization.size()) return false;
+  for (size_t i = 0; i < a.node_utilization.size(); ++i) {
+    if (a.node_utilization[i] != b.node_utilization[i]) return false;
+  }
+  return true;
+}
+
+Result<ExactnessResult> ReplayExactness(const std::string& path) {
+  query::QueryGraph graph;
+  const auto in = graph.AddInputStream("I");
+  auto src = graph.AddOperator({.name = "src", .kind = query::OperatorKind::kMap,
+                                .cost = 2e-4, .selectivity = 1.0},
+                               {query::StreamRef::Input(in)});
+  ROD_RETURN_IF_ERROR(src.status());
+  for (const char* name : {"a", "b", "c"}) {
+    ROD_RETURN_IF_ERROR(
+        graph
+            .AddOperator({.name = name, .kind = query::OperatorKind::kMap,
+                          .cost = 4e-4, .selectivity = 0.9},
+                         {query::StreamRef::Op(*src)})
+            .status());
+  }
+  const place::SystemSpec system = place::SystemSpec::Homogeneous(2);
+  const place::Placement plan{2, {0, 1, 1, 1}};
+
+  sim::SimulationOptions options;
+  options.duration = 20.0;
+  trace::RateTrace rate;
+  rate.window_sec = options.duration;
+  rate.rates = {400.0};
+
+  const auto arrivals = sim::MaterializeArrivals(
+      {rate}, options.poisson_arrivals, options.seed, options.duration);
+  WriterOptions wopts;
+  wopts.records_per_segment = 1024;
+  ROD_RETURN_IF_ERROR(
+      trace::store::WriteTimestamps(arrivals[0], 0, path, wopts));
+
+  ReplaySet vec = ReplaySet::FromVectors(arrivals);
+  options.replay = &vec;
+  auto from_memory = sim::SimulatePlacement(graph, plan, system, {rate},
+                                            options);
+  ROD_RETURN_IF_ERROR(from_memory.status());
+
+  ExactnessResult result;
+  result.bitexact = true;
+  result.output_tuples = from_memory->output_tuples;
+  for (const bool use_mmap : {true, false}) {
+    ReaderOptions ropts;
+    ropts.use_mmap = use_mmap;
+    ropts.resident_segments = 2;
+    auto store = ReplaySet::OpenStores({path}, ropts);
+    ROD_RETURN_IF_ERROR(store.status());
+    options.replay = &*store;
+    auto from_store =
+        sim::SimulatePlacement(graph, plan, system, {rate}, options);
+    ROD_RETURN_IF_ERROR(from_store.status());
+    result.bitexact = result.bitexact && SameResult(*from_memory, *from_store);
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchFlags flags = bench::ParseBenchFlags(argc, argv);
+  Config cfg;
+  std::string json_path =
+      flags.json_path.empty() ? "BENCH_INGEST.json" : flags.json_path;
+  for (size_t a = 0; a < flags.rest.size(); ++a) {
+    const std::string& arg = flags.rest[a];
+    auto next = [&]() -> std::string {
+      return ++a < flags.rest.size() ? flags.rest[a] : std::string();
+    };
+    if (arg == "--mode") {
+      const std::string mode = next();
+      cfg.smoke = mode == "smoke";
+      if (cfg.smoke) cfg.records = 2ull << 20;  // 32 MiB: 8x a 4 MiB budget
+    } else if (arg == "--records") {
+      cfg.records = std::stoull(next());
+    } else if (arg == "--records-per-segment") {
+      cfg.records_per_segment = static_cast<uint32_t>(std::stoul(next()));
+    } else if (arg == "--resident") {
+      cfg.resident_segments = std::stoul(next());
+    } else if (arg == "--min-scan-tps") {
+      cfg.min_scan_tps = std::stod(next());
+    } else if (arg == "--min-feed-tps") {
+      cfg.min_feed_tps = std::stod(next());
+    } else if (arg == "--max-rss-growth-mib") {
+      cfg.max_rss_growth_mib = std::stod(next());
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+
+  const uint64_t budget_bytes =
+      cfg.resident_segments *
+      (trace::store::kSegmentHeaderBytes +
+       static_cast<uint64_t>(cfg.records_per_segment) * sizeof(ArrivalRecord));
+  const uint64_t payload_bytes = cfg.records * sizeof(ArrivalRecord);
+  bench::Banner("trace-store ingest (" +
+                std::string(cfg.smoke ? "smoke" : "full") + ")");
+  std::cout << "  records            " << cfg.records << " ("
+            << bench::Fmt(static_cast<double>(payload_bytes) / 1e6, 1)
+            << " MB payload)\n"
+            << "  segment capacity   " << cfg.records_per_segment
+            << " records\n"
+            << "  resident budget    " << cfg.resident_segments
+            << " segments ("
+            << bench::Fmt(static_cast<double>(budget_bytes) / 1e6, 1)
+            << " MB) -> file is "
+            << bench::Fmt(static_cast<double>(payload_bytes) /
+                              static_cast<double>(budget_bytes),
+                          1)
+            << "x the budget\n";
+
+  const std::string store_path = "bench_ingest.rodtrc";
+  const std::string gate_path = "bench_ingest_gate.rodtrc";
+
+  auto fail = [&](const Status& status) {
+    std::cerr << "bench_ingest_perf: " << status.ToString() << "\n";
+    std::remove(store_path.c_str());
+    std::remove(gate_path.c_str());
+    return 1;
+  };
+
+  const uint64_t rss_start_kib = RssKib();
+  auto write = WritePhase(store_path, cfg);
+  if (!write.ok()) return fail(write.status());
+
+  const uint64_t rss_before_scan_kib = RssKib();
+  double scan_sum = 0.0;
+  trace::store::ReaderStats scan_stats;
+  auto scan = ScanPhase(store_path, cfg, /*use_mmap=*/true, &scan_sum,
+                        &scan_stats);
+  if (!scan.ok()) return fail(scan.status());
+  const uint64_t rss_after_scan_kib = RssKib();
+  const double rss_growth_mib =
+      rss_after_scan_kib > rss_before_scan_kib
+          ? static_cast<double>(rss_after_scan_kib - rss_before_scan_kib) /
+                1024.0
+          : 0.0;
+
+  double pread_sum = 0.0;
+  auto pread_scan =
+      ScanPhase(store_path, cfg, /*use_mmap=*/false, &pread_sum, nullptr);
+  if (!pread_scan.ok()) return fail(pread_scan.status());
+  if (pread_sum != scan_sum) {
+    return fail(Status::Internal("mmap and pread scans disagree"));
+  }
+
+  double feed_sum = 0.0;
+  auto feed = FeedPhase(store_path, cfg, &feed_sum);
+  if (!feed.ok()) return fail(feed.status());
+  if (feed_sum != scan_sum) {
+    return fail(Status::Internal("cursor scan and replay feed disagree"));
+  }
+
+  auto exact = ReplayExactness(gate_path);
+  if (!exact.ok()) return fail(exact.status());
+
+  bench::Table table({"phase", "s", "Mrec/s", "MB/s"});
+  auto add = [&table](const char* name, const PhaseResult& r) {
+    table.AddRow({name, bench::Fmt(r.seconds, 3),
+                  bench::Fmt(r.records_per_sec / 1e6, 2),
+                  bench::Fmt(r.mb_per_sec, 1)});
+  };
+  add("write", *write);
+  add("scan (mmap)", *scan);
+  add("scan (pread)", *pread_scan);
+  add("replay feed", *feed);
+  table.Print();
+  std::cout << "  scan RSS growth    " << bench::Fmt(rss_growth_mib, 1)
+            << " MiB (budget "
+            << bench::Fmt(static_cast<double>(budget_bytes) / 1e6, 1)
+            << " MB; segment loads " << scan_stats.segment_loads
+            << ", evictions " << scan_stats.evictions << ")\n"
+            << "  replay bit-exact   "
+            << (exact->bitexact ? "yes" : "NO — STORE DIVERGES") << " ("
+            << exact->output_tuples << " sink outputs compared)\n";
+
+  // Gates.
+  bool ok = exact->bitexact;
+  if (!exact->bitexact) {
+    std::cerr << "GATE: store-backed replay is not bit-exact\n";
+  }
+  if (cfg.min_scan_tps > 0.0 && scan->records_per_sec < cfg.min_scan_tps) {
+    std::cerr << "GATE: scan " << scan->records_per_sec << " rec/s < floor "
+              << cfg.min_scan_tps << "\n";
+    ok = false;
+  }
+  if (cfg.min_feed_tps > 0.0 && feed->records_per_sec < cfg.min_feed_tps) {
+    std::cerr << "GATE: feed " << feed->records_per_sec << " rec/s < floor "
+              << cfg.min_feed_tps << "\n";
+    ok = false;
+  }
+  if (cfg.max_rss_growth_mib > 0.0 &&
+      rss_growth_mib > cfg.max_rss_growth_mib) {
+    std::cerr << "GATE: scan RSS growth " << rss_growth_mib
+              << " MiB > ceiling " << cfg.max_rss_growth_mib << " MiB\n";
+    ok = false;
+  }
+
+  {
+    std::ofstream out(json_path);
+    telemetry::JsonWriter w(out);
+    w.BeginObject();
+    w.Key("schema").String("rod.bench_ingest.v1");
+    bench::WriteBuildMetadata(w);
+    w.Key("config").BeginObjectInline();
+    w.Key("mode").String(cfg.smoke ? "smoke" : "full");
+    w.Key("records").Uint(cfg.records);
+    w.Key("records_per_segment").Uint(cfg.records_per_segment);
+    w.Key("resident_segments").Uint(cfg.resident_segments);
+    w.Key("payload_bytes").Uint(payload_bytes);
+    w.Key("resident_budget_bytes").Uint(budget_bytes);
+    w.EndObject();
+    auto phase = [&w](const char* name, const PhaseResult& r) {
+      w.Key(name).BeginObjectInline();
+      w.Key("seconds").Double(r.seconds);
+      w.Key("records_per_sec").Double(r.records_per_sec);
+      w.Key("mb_per_sec").Double(r.mb_per_sec);
+      w.EndObject();
+    };
+    phase("write", *write);
+    phase("scan_mmap", *scan);
+    phase("scan_pread", *pread_scan);
+    phase("replay_feed", *feed);
+    w.Key("memory").BeginObjectInline();
+    w.Key("rss_start_kib").Uint(rss_start_kib);
+    w.Key("rss_before_scan_kib").Uint(rss_before_scan_kib);
+    w.Key("rss_after_scan_kib").Uint(rss_after_scan_kib);
+    w.Key("scan_rss_growth_mib").Double(rss_growth_mib);
+    w.Key("segment_loads").Uint(scan_stats.segment_loads);
+    w.Key("evictions").Uint(scan_stats.evictions);
+    w.EndObject();
+    w.Key("replay").BeginObjectInline();
+    w.Key("bitexact").Bool(exact->bitexact);
+    w.Key("outputs_compared").Uint(exact->output_tuples);
+    w.EndObject();
+    w.Key("gates").BeginObjectInline();
+    w.Key("min_scan_tps").Double(cfg.min_scan_tps);
+    w.Key("min_feed_tps").Double(cfg.min_feed_tps);
+    w.Key("max_rss_growth_mib").Double(cfg.max_rss_growth_mib);
+    w.Key("passed").Bool(ok);
+    w.EndObject();
+    w.EndObject();
+    out << "\n";
+    std::cout << "wrote " << json_path << " (ingest baseline)\n";
+  }
+
+  std::remove(store_path.c_str());
+  std::remove(gate_path.c_str());
+  return ok ? 0 : 1;
+}

@@ -18,6 +18,8 @@ const char* StatusCodeName(StatusCode code) {
       return "unimplemented";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDataLoss:
+      return "data_loss";
   }
   return "unknown";
 }

@@ -23,6 +23,8 @@ enum class StatusCode {
   kOutOfRange,         ///< Index or value outside the permitted interval.
   kUnimplemented,      ///< Feature intentionally not provided.
   kInternal,           ///< Invariant violation inside the library.
+  kDataLoss,           ///< Persistent data is unrecoverably corrupt or
+                       ///< truncated (checksum mismatch, torn write).
 };
 
 /// Returns the canonical lower-case name of `code` ("ok", "invalid_argument", ...).
@@ -61,6 +63,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   /// True iff the operation succeeded.

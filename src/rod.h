@@ -16,7 +16,8 @@
 //   placement/ ROD (incl. incremental/repair), baselines, optimal search,
 //              clustering, dynamic policies, evaluation & explanation
 //   trace/     self-similar rate traces (b-model, ON/OFF, sinusoid),
-//              Hurst analysis, CSV / timestamp I/O
+//              Hurst analysis, CSV / timestamp I/O, and the segmented
+//              binary arrival store (mmap reader, zero-copy replay)
 //   runtime/   tuple-level DES engine, fluid simulator with migration
 //              policies, statistics-driven calibration
 
@@ -62,12 +63,17 @@
 #include "runtime/metrics.h"
 #include "runtime/supervisor.h"
 #include "runtime/sweep.h"
+#include "runtime/workload_driver.h"
 #include "telemetry/json_writer.h"
 #include "telemetry/telemetry.h"
 #include "trace/bmodel.h"
 #include "trace/hurst.h"
 #include "trace/io.h"
 #include "trace/onoff.h"
+#include "trace/store/format.h"
+#include "trace/store/reader.h"
+#include "trace/store/replay.h"
+#include "trace/store/writer.h"
 #include "trace/trace.h"
 
 #endif  // ROD_ROD_H_

@@ -17,6 +17,7 @@
 #include "telemetry/flight_recorder.h"
 #include "telemetry/json_writer.h"
 #include "telemetry/telemetry.h"
+#include "trace/store/replay.h"
 
 namespace rod::sim {
 
@@ -219,6 +220,23 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
     ROD_RETURN_IF_ERROR(
         options.failures->Validate(deployment.num_nodes(), inputs.size()));
   }
+  if (options.replay != nullptr) {
+    if (options.replay->num_streams() != inputs.size()) {
+      return Status::InvalidArgument(
+          "replay set has " + std::to_string(options.replay->num_streams()) +
+          " feeds; deployment has " + std::to_string(inputs.size()) +
+          " input streams");
+    }
+    if (options.failures) {
+      for (const FaultEvent& fault : options.failures->events()) {
+        if (fault.kind == FaultKind::kLoadSpike) {
+          return Status::InvalidArgument(
+              "load-spike faults rescale the synthetic generator and cannot "
+              "apply to a recorded trace; record the spiked arrivals instead");
+        }
+      }
+    }
+  }
   if (options.backpressure.enabled && options.backpressure.high_water == 0) {
     return Status::InvalidArgument("backpressure high_water must be positive");
   }
@@ -259,6 +277,21 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
   }
   auto& arrivals = ws.arrivals;
   Rng emission_rng = master.Fork();
+
+  // Arrival source: recorded feeds when options.replay is set, otherwise
+  // the synthetic generators above. The input RNGs are forked either way
+  // (replay feeds never draw from them), so `emission_rng` and everything
+  // after it see identical random streams in both modes. A replay instant
+  // is clamped to `now`: after a backpressure stall releases a source,
+  // recorded arrivals that fell due during the stall are delivered at the
+  // release instant rather than in the past.
+  trace::store::ReplaySet* const replay = options.replay;
+  auto next_arrival = [&](uint32_t k, double now) -> double {
+    if (replay != nullptr) {
+      return std::max(replay->feed(k).NextArrival(), now);
+    }
+    return arrivals[k]->NextArrival(now);
+  };
 
   while (ws.nodes.size() < num_nodes) {
     ws.nodes.emplace_back(1.0, options.scheduling);
@@ -390,7 +423,7 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
 
   // Seed the first arrival of each input.
   for (uint32_t k = 0; k < inputs.size(); ++k) {
-    const double t = arrivals[k]->NextArrival(0.0);
+    const double t = next_arrival(k, 0.0);
     if (std::isfinite(t) && t <= options.duration) {
       events.Push(t, EventType::kExternalArrival, k);
       ws.arrival_live[k] = 1;
@@ -545,7 +578,7 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
   };
 
   auto schedule_next_arrival = [&](uint32_t k, double now) {
-    const double next = arrivals[k]->NextArrival(now);
+    const double next = next_arrival(k, now);
     if (std::isfinite(next) && next <= options.duration) {
       events.Push(next, EventType::kExternalArrival, k);
       ws.arrival_live[k] = 1;
@@ -1061,6 +1094,13 @@ Result<SimulationResult> Simulate(const Deployment& deployment,
 
   run_span.End();
   telemetry::TraceSpan finalize_span(tel, "engine", "finalize");
+
+  // A replay feed that hit an I/O or integrity error mid-run reports
+  // end-of-stream to the event loop and latches the error; surface it
+  // now rather than returning a silently truncated result.
+  if (replay != nullptr) {
+    ROD_RETURN_IF_ERROR(replay->status());
+  }
 
   // Assemble results.
   SimulationResult result;

@@ -29,6 +29,10 @@ class FlightRecorder;
 class JsonWriter;
 }  // namespace rod::telemetry
 
+namespace rod::trace::store {
+class ReplaySet;
+}  // namespace rod::trace::store
+
 namespace rod::sim {
 
 /// One simulation run's configuration.
@@ -114,6 +118,19 @@ struct SimulationOptions {
 
   /// Seed for arrivals and probabilistic emission.
   uint64_t seed = 0xdecaf5eedULL;
+
+  /// Recorded-arrival replay: when set, external tuples are drawn from
+  /// this set's feeds (one per input stream, in stream order; see
+  /// trace/store/replay.h) instead of the synthetic ArrivalGenerator.
+  /// The rate traces passed to Simulate still size the input streams but
+  /// no longer produce arrivals, and the per-stream input RNGs are forked
+  /// exactly as in generator mode, so every downstream random stream
+  /// (emission, shedding) is unchanged — replaying MaterializeArrivals of
+  /// a trace reproduces the generator-driven run bit for bit (absent
+  /// source stalls, which re-time generator draws). kLoadSpike faults are
+  /// rejected in replay mode: a recorded trace has no rate to rescale.
+  /// Not owned; null (the default) keeps the synthetic driver.
+  trace::store::ReplaySet* replay = nullptr;
 
   /// Fault injection script (crash / recover / slowdown events; see
   /// runtime/chaos.h). Not owned; null disables chaos.

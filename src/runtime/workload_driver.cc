@@ -35,4 +35,30 @@ double ArrivalGenerator::NextArrival(double now) {
   return std::numeric_limits<double>::infinity();
 }
 
+std::vector<std::vector<double>> MaterializeArrivals(
+    const std::vector<trace::RateTrace>& inputs, bool poisson, uint64_t seed,
+    double duration) {
+  // Mirror the engine's setup exactly: fork one RNG per stream first
+  // (all forks), then build the generators, so each stream's random
+  // stream is identical to the one the engine would hand it.
+  Rng master(seed);
+  std::vector<Rng> rngs;
+  rngs.reserve(inputs.size());
+  for (size_t k = 0; k < inputs.size(); ++k) rngs.push_back(master.Fork());
+
+  std::vector<std::vector<double>> out(inputs.size());
+  for (size_t k = 0; k < inputs.size(); ++k) {
+    ArrivalGenerator gen(inputs[k], poisson, &rngs[k]);
+    // The engine seeds at 0 and then redraws from each arrival's own
+    // instant; replicate that call pattern, cutting at the horizon the
+    // same way the event loop does (arrivals past `duration` are never
+    // scheduled).
+    for (double t = gen.NextArrival(0.0);
+         std::isfinite(t) && t <= duration; t = gen.NextArrival(t)) {
+      out[k].push_back(t);
+    }
+  }
+  return out;
+}
+
 }  // namespace rod::sim

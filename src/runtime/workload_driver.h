@@ -40,6 +40,20 @@ class ArrivalGenerator {
   Rng* rng_;
 };
 
+/// Pre-draws every arrival instant the engine's synthetic driver would
+/// produce for `inputs` at `seed` — one ascending vector per stream, cut
+/// at `duration`. The per-stream RNGs are forked from the master in the
+/// engine's exact order and each stream is advanced with the engine's
+/// call pattern (seed at 0, then from the previous arrival), so feeding
+/// the result back through SimulationOptions::replay reproduces the
+/// generator-driven run bit for bit as long as nothing re-times the
+/// draws (no source stalls, no load-spike faults). This is the bridge
+/// from rate traces to recorded stores: trace_convert materializes a
+/// trace once and writes it as segment files.
+std::vector<std::vector<double>> MaterializeArrivals(
+    const std::vector<trace::RateTrace>& inputs, bool poisson, uint64_t seed,
+    double duration);
+
 }  // namespace rod::sim
 
 #endif  // ROD_RUNTIME_WORKLOAD_DRIVER_H_

@@ -1,10 +1,55 @@
 #include "trace/io.h"
 
+#include <charconv>
 #include <cmath>
 #include <fstream>
 #include <sstream>
+#include <string_view>
 
 namespace rod::trace {
+
+namespace {
+
+/// Locale-independent full-string double parse (std::from_chars): the
+/// whole of `text` must be consumed, with no leading whitespace.
+bool ParseDouble(std::string_view text, double* out) {
+  const char* const first = text.data();
+  const char* const last = first + text.size();
+  const auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last && !text.empty();
+}
+
+/// Parses the "window_sec,<value>" header line into `trace`.
+Status ParseCsvHeader(std::string_view header, RateTrace* trace) {
+  constexpr std::string_view kPrefix = "window_sec,";
+  if (header.substr(0, kPrefix.size()) != kPrefix) {
+    return Status::InvalidArgument("trace CSV missing window_sec header");
+  }
+  if (!ParseDouble(header.substr(kPrefix.size()), &trace->window_sec)) {
+    return Status::InvalidArgument("malformed window_sec value");
+  }
+  if (!(trace->window_sec > 0.0) || !std::isfinite(trace->window_sec)) {
+    return Status::InvalidArgument("window_sec must be positive and finite");
+  }
+  return Status::OK();
+}
+
+/// Parses one rate row (empty lines are skipped by the callers).
+Status ParseCsvRate(std::string_view line, size_t line_no, RateTrace* trace) {
+  double value = 0.0;
+  if (!ParseDouble(line, &value)) {
+    return Status::InvalidArgument("malformed rate on line " +
+                                   std::to_string(line_no));
+  }
+  if (value < 0.0 || !std::isfinite(value)) {
+    return Status::InvalidArgument("negative or non-finite rate on line " +
+                                   std::to_string(line_no));
+  }
+  trace->rates.push_back(value);
+  return Status::OK();
+}
+
+}  // namespace
 
 std::string ToCsvString(const RateTrace& trace) {
   std::ostringstream os;
@@ -15,46 +60,27 @@ std::string ToCsvString(const RateTrace& trace) {
 }
 
 Result<RateTrace> FromCsvString(const std::string& csv) {
-  std::istringstream is(csv);
-  std::string header;
-  if (!std::getline(is, header)) {
+  // Walk the string line by line in place — no stream, no copies.
+  std::string_view rest(csv);
+  auto next_line = [&rest](std::string_view* line) {
+    if (rest.empty()) return false;
+    const size_t eol = rest.find('\n');
+    *line = rest.substr(0, eol);
+    rest.remove_prefix(eol == std::string_view::npos ? rest.size() : eol + 1);
+    return true;
+  };
+
+  std::string_view line;
+  if (!next_line(&line)) {
     return Status::InvalidArgument("empty trace CSV");
   }
-  const std::string prefix = "window_sec,";
-  if (header.rfind(prefix, 0) != 0) {
-    return Status::InvalidArgument("trace CSV missing window_sec header");
-  }
   RateTrace trace;
-  try {
-    trace.window_sec = std::stod(header.substr(prefix.size()));
-  } catch (const std::exception&) {
-    return Status::InvalidArgument("malformed window_sec value");
-  }
-  if (!(trace.window_sec > 0.0) || !std::isfinite(trace.window_sec)) {
-    return Status::InvalidArgument("window_sec must be positive and finite");
-  }
-  std::string line;
+  ROD_RETURN_IF_ERROR(ParseCsvHeader(line, &trace));
   size_t line_no = 1;
-  while (std::getline(is, line)) {
+  while (next_line(&line)) {
     ++line_no;
     if (line.empty()) continue;
-    double value = 0.0;
-    try {
-      size_t consumed = 0;
-      value = std::stod(line, &consumed);
-      if (consumed != line.size()) {
-        return Status::InvalidArgument("trailing characters on line " +
-                                       std::to_string(line_no));
-      }
-    } catch (const std::exception&) {
-      return Status::InvalidArgument("malformed rate on line " +
-                                     std::to_string(line_no));
-    }
-    if (value < 0.0 || !std::isfinite(value)) {
-      return Status::InvalidArgument("negative or non-finite rate on line " +
-                                     std::to_string(line_no));
-    }
-    trace.rates.push_back(value);
+    ROD_RETURN_IF_ERROR(ParseCsvRate(line, line_no, &trace));
   }
   if (trace.rates.empty()) {
     return Status::InvalidArgument("trace CSV has no rate rows");
@@ -76,13 +102,71 @@ Status SaveCsv(const RateTrace& trace, const std::string& path) {
 }
 
 Result<RateTrace> LoadCsv(const std::string& path) {
+  // Stream line by line: one resident line, not two whole-file copies
+  // (the old rdbuf-into-stringstream form held the file twice before a
+  // single row was parsed).
   std::ifstream in(path);
   if (!in) {
     return Status::NotFound("cannot open '" + path + "'");
   }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return FromCsvString(buffer.str());
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::InvalidArgument("empty trace CSV");
+  }
+  RateTrace trace;
+  ROD_RETURN_IF_ERROR(ParseCsvHeader(line, &trace));
+  size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    ROD_RETURN_IF_ERROR(ParseCsvRate(line, line_no, &trace));
+  }
+  if (in.bad()) {
+    return Status::Internal("read from '" + path + "' failed");
+  }
+  if (trace.rates.empty()) {
+    return Status::InvalidArgument("trace CSV has no rate rows");
+  }
+  return trace;
+}
+
+Result<std::vector<double>> LoadTimestampLog(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open '" + path + "'");
+  }
+  std::vector<double> timestamps;
+  std::string line;
+  size_t line_no = 0;
+  double prev = 0.0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::string_view text(line);
+    if (text.empty() || text.front() == '#') continue;
+    double t = 0.0;
+    if (!ParseDouble(text, &t)) {
+      return Status::InvalidArgument("malformed timestamp on line " +
+                                     std::to_string(line_no));
+    }
+    if (t < 0.0 || !std::isfinite(t)) {
+      return Status::InvalidArgument(
+          "negative or non-finite timestamp on line " +
+          std::to_string(line_no));
+    }
+    if (t < prev) {
+      return Status::InvalidArgument("timestamps out of order on line " +
+                                     std::to_string(line_no));
+    }
+    prev = t;
+    timestamps.push_back(t);
+  }
+  if (in.bad()) {
+    return Status::Internal("read from '" + path + "' failed");
+  }
+  if (timestamps.empty()) {
+    return Status::InvalidArgument("timestamp log has no entries");
+  }
+  return timestamps;
 }
 
 Result<RateTrace> RatesFromTimestamps(const std::vector<double>& timestamps,

@@ -20,8 +20,14 @@ namespace rod::trace {
 /// one rate per line. Overwrites `path`.
 Status SaveCsv(const RateTrace& trace, const std::string& path);
 
-/// Reads a trace written by SaveCsv. Fails on malformed content.
+/// Reads a trace written by SaveCsv, streaming line by line (constant
+/// memory beyond the parsed rates). Fails on malformed content.
 Result<RateTrace> LoadCsv(const std::string& path);
+
+/// Reads an ITA-style arrival-timestamp log: one ascending timestamp
+/// (seconds) per line; blank lines and '#' comments are skipped. Fails on
+/// malformed, negative, non-finite, or out-of-order entries.
+Result<std::vector<double>> LoadTimestampLog(const std::string& path);
 
 /// Converts a sorted list of raw arrival timestamps (seconds) into a rate
 /// trace with windows of `window_sec`, covering [0, max timestamp]. This

@@ -1,0 +1,118 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// On-disk layout of the segmented binary trace store — the line-rate
+// ingest front end's persistent form of an arrival-timestamp stream
+// (ITA-style traces, paper §7, at sizes far beyond memory).
+//
+// A store file is:
+//
+//   [ FileHeader, 64 bytes ]            the file-level manifest
+//   [ segment 0 ][ segment 1 ] ...      kNumSegments fixed-size segments
+//
+// and each segment is:
+//
+//   [ SegmentHeader, 16 bytes ]
+//   [ record 0 ][ record 1 ] ... [ record record_count-1 ]
+//   [ zero padding up to records_per_segment records ]
+//
+// Every segment occupies exactly SegmentBytes() bytes on disk, so the
+// byte offset of segment `i` is a multiplication — no per-segment index
+// is needed and a reader can seek anywhere in O(1). Only the final
+// segment may be partially filled (record_count < records_per_segment);
+// a store never ends with an *empty* segment unless it is empty overall.
+//
+// All integers and doubles are little-endian (IEEE-754 for the times).
+// The header carries a CRC-32 of its own preceding bytes, and each
+// segment header carries a CRC-32 of the segment's live payload, so
+// truncation and bit-rot are detected before a single record is served.
+
+#ifndef ROD_TRACE_STORE_FORMAT_H_
+#define ROD_TRACE_STORE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "common/status.h"
+
+namespace rod::trace::store {
+
+/// One arrival: the instant (virtual seconds, non-decreasing through the
+/// file) plus the input stream it belongs to. 16 bytes, trivially
+/// copyable, so an mmap'ed segment payload is directly usable as a
+/// `span<const ArrivalRecord>` with no decode step (zero-copy replay).
+struct ArrivalRecord {
+  double time = 0.0;     ///< Arrival instant, seconds.
+  uint32_t stream = 0;   ///< Input stream id.
+  uint32_t flags = 0;    ///< Reserved; written as 0.
+
+  friend bool operator==(const ArrivalRecord& a, const ArrivalRecord& b) {
+    return a.time == b.time && a.stream == b.stream && a.flags == b.flags;
+  }
+};
+static_assert(sizeof(ArrivalRecord) == 16, "on-disk record is 16 bytes");
+static_assert(alignof(ArrivalRecord) == 8, "payload must start 8-aligned");
+
+/// File magic: "RODTRC01" (8 bytes, also encodes the major layout).
+inline constexpr char kMagic[8] = {'R', 'O', 'D', 'T', 'R', 'C', '0', '1'};
+
+/// Bumped when the layout changes incompatibly.
+inline constexpr uint32_t kFormatVersion = 1;
+
+inline constexpr size_t kFileHeaderBytes = 64;
+inline constexpr size_t kSegmentHeaderBytes = 16;
+
+/// Decoded file-level manifest (the fixed-size FileHeader).
+struct StoreInfo {
+  uint32_t records_per_segment = 0;  ///< Segment capacity (> 0).
+  uint32_t num_streams = 0;          ///< Max stream id + 1 over all records.
+  uint64_t num_segments = 0;
+  uint64_t total_records = 0;
+  double time_lo = 0.0;  ///< First record's time (0 when empty).
+  double time_hi = 0.0;  ///< Last record's time (0 when empty).
+
+  /// On-disk bytes of one segment (header + full payload).
+  size_t segment_bytes() const {
+    return kSegmentHeaderBytes +
+           static_cast<size_t>(records_per_segment) * sizeof(ArrivalRecord);
+  }
+  /// Byte offset of segment `i`'s header.
+  uint64_t segment_offset(uint64_t i) const {
+    return kFileHeaderBytes + i * segment_bytes();
+  }
+  /// Total file size implied by the manifest.
+  uint64_t file_bytes() const { return segment_offset(num_segments); }
+};
+
+/// Decoded per-segment header.
+struct SegmentInfo {
+  uint32_t record_count = 0;  ///< Live records in this segment.
+  uint32_t payload_crc = 0;   ///< CRC-32 of the live payload bytes.
+  uint64_t first_record = 0;  ///< Global index of the segment's first record.
+};
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320, the zlib convention) over
+/// `bytes`. Chainable: pass a previous result as `seed` to extend.
+uint32_t Crc32(std::span<const std::byte> bytes, uint32_t seed = 0);
+
+/// Serializes `info` into exactly kFileHeaderBytes bytes (magic, version,
+/// manifest fields, trailing header CRC).
+void EncodeFileHeader(const StoreInfo& info,
+                      std::span<std::byte, kFileHeaderBytes> out);
+
+/// Parses and validates a file header: magic, version, header CRC, and
+/// basic manifest sanity (positive segment capacity, record/segment
+/// count consistency).
+Result<StoreInfo> DecodeFileHeader(std::span<const std::byte> bytes);
+
+/// Serializes `seg` into exactly kSegmentHeaderBytes bytes.
+void EncodeSegmentHeader(const SegmentInfo& seg,
+                         std::span<std::byte, kSegmentHeaderBytes> out);
+
+/// Parses a segment header (no payload verification — the reader checks
+/// the payload CRC against bytes it actually loaded).
+Result<SegmentInfo> DecodeSegmentHeader(std::span<const std::byte> bytes);
+
+}  // namespace rod::trace::store
+
+#endif  // ROD_TRACE_STORE_FORMAT_H_

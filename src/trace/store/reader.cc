@@ -1,0 +1,306 @@
+#include "trace/store/reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace rod::trace::store {
+
+namespace {
+
+/// Full read at offset, retrying short reads/EINTR (pread never writes
+/// the file; used for the header probe and the fallback load path).
+Status PreadExact(int fd, void* dst, size_t len, uint64_t offset,
+                  const char* what) {
+  std::byte* out = static_cast<std::byte*>(dst);
+  size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::pread(fd, out + done, len - done,
+                              static_cast<off_t>(offset + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("pread failed reading ") + what +
+                              ": " + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::DataLoss(std::string("unexpected EOF reading ") + what);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+size_t PageSize() {
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return page > 0 ? static_cast<size_t>(page) : 4096;
+}
+
+}  // namespace
+
+Result<SegmentReader> SegmentReader::Open(const std::string& path,
+                                          const ReaderOptions& options) {
+  if (options.resident_segments == 0) {
+    return Status::InvalidArgument("resident_segments must be positive");
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open '" + path +
+                            "': " + std::strerror(errno));
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal("fstat('" + path + "') failed");
+  }
+  std::byte header[kFileHeaderBytes];
+  if (static_cast<uint64_t>(st.st_size) < kFileHeaderBytes) {
+    ::close(fd);
+    return Status::DataLoss("'" + path + "' is smaller than a store header");
+  }
+  {
+    const Status read = PreadExact(fd, header, sizeof(header), 0, "manifest");
+    if (!read.ok()) {
+      ::close(fd);
+      return read;
+    }
+  }
+  auto info = DecodeFileHeader(std::span<const std::byte>(header));
+  if (!info.ok()) {
+    ::close(fd);
+    return info.status();
+  }
+  if (static_cast<uint64_t>(st.st_size) != info->file_bytes()) {
+    ::close(fd);
+    return Status::DataLoss(
+        "'" + path + "' is " + std::to_string(st.st_size) +
+        " bytes; manifest requires " + std::to_string(info->file_bytes()) +
+        " (truncated or trailing garbage)");
+  }
+  SegmentReader reader;
+  reader.fd_ = fd;
+  reader.info_ = *info;
+  reader.use_mmap_ = options.use_mmap;
+  reader.readahead_ = options.readahead;
+  reader.verify_checksums_ = options.verify_checksums;
+  reader.frames_.resize(options.resident_segments);
+  return reader;
+}
+
+SegmentReader::SegmentReader(SegmentReader&& other) noexcept {
+  *this = std::move(other);
+}
+
+SegmentReader& SegmentReader::operator=(SegmentReader&& other) noexcept {
+  if (this != &other) {
+    for (Frame& f : frames_) Release(f);
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    info_ = other.info_;
+    use_mmap_ = other.use_mmap_;
+    readahead_ = other.readahead_;
+    verify_checksums_ = other.verify_checksums_;
+    frames_ = std::move(other.frames_);
+    other.frames_.clear();
+    use_clock_ = other.use_clock_;
+    stats_ = other.stats_;
+  }
+  return *this;
+}
+
+SegmentReader::~SegmentReader() {
+  for (Frame& f : frames_) Release(f);
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SegmentReader::Release(Frame& frame) {
+  if (frame.map_base != nullptr) {
+    ::munmap(frame.map_base, frame.map_len);
+    frame.map_base = nullptr;
+    frame.map_len = 0;
+  }
+  frame.records = {};
+  frame.seg = Frame::kEmpty;
+  frame.pin_count = 0;
+}
+
+Status SegmentReader::LoadInto(Frame& frame, uint64_t seg) {
+  const uint64_t offset = info_.segment_offset(seg);
+  const size_t seg_bytes = info_.segment_bytes();
+  const std::byte* base = nullptr;
+
+  if (use_mmap_) {
+    // mmap requires a page-aligned file offset; map from the enclosing
+    // page boundary and step back in.
+    const size_t page = PageSize();
+    const uint64_t map_off = offset & ~static_cast<uint64_t>(page - 1);
+    const size_t delta = static_cast<size_t>(offset - map_off);
+    const size_t map_len = seg_bytes + delta;
+    void* map = ::mmap(nullptr, map_len, PROT_READ, MAP_PRIVATE, fd_,
+                       static_cast<off_t>(map_off));
+    if (map == MAP_FAILED) {
+      // Fall back to pread for the rest of this reader's life (e.g.
+      // filesystems without mmap support).
+      use_mmap_ = false;
+    } else {
+#ifdef MADV_SEQUENTIAL
+      ::madvise(map, map_len, MADV_SEQUENTIAL);
+#endif
+      frame.map_base = map;
+      frame.map_len = map_len;
+      base = static_cast<const std::byte*>(map) + delta;
+    }
+  }
+  if (base == nullptr) {
+    frame.buffer.resize(seg_bytes);
+    ROD_RETURN_IF_ERROR(
+        PreadExact(fd_, frame.buffer.data(), seg_bytes, offset, "segment"));
+    base = frame.buffer.data();
+  }
+
+  auto seg_header = DecodeSegmentHeader(
+      std::span<const std::byte>(base, kSegmentHeaderBytes));
+  if (!seg_header.ok()) {
+    Release(frame);
+    return seg_header.status();
+  }
+  const bool is_last = seg + 1 == info_.num_segments;
+  const uint64_t expected_first = seg * info_.records_per_segment;
+  const uint64_t expected_count =
+      is_last ? info_.total_records - expected_first
+              : info_.records_per_segment;
+  if (seg_header->first_record != expected_first ||
+      seg_header->record_count != expected_count) {
+    Release(frame);
+    return Status::DataLoss(
+        "segment " + std::to_string(seg) + " header inconsistent: claims " +
+        std::to_string(seg_header->record_count) + " records from #" +
+        std::to_string(seg_header->first_record) + ", manifest expects " +
+        std::to_string(expected_count) + " from #" +
+        std::to_string(expected_first));
+  }
+  const size_t payload_bytes =
+      static_cast<size_t>(seg_header->record_count) * sizeof(ArrivalRecord);
+  if (verify_checksums_) {
+    const uint32_t crc = Crc32(std::span<const std::byte>(
+        base + kSegmentHeaderBytes, payload_bytes));
+    if (crc != seg_header->payload_crc) {
+      Release(frame);
+      return Status::DataLoss("segment " + std::to_string(seg) +
+                              " payload CRC mismatch (corrupt store)");
+    }
+  }
+  frame.seg = seg;
+  frame.pin_count = 0;
+  // The 16-byte record layout keeps every payload 8-aligned within the
+  // page-aligned mapping (header 64 + N*segment_bytes + 16 are all
+  // multiples of 16), so the reinterpret below is well-formed.
+  assert(reinterpret_cast<uintptr_t>(base + kSegmentHeaderBytes) % 8 == 0);
+  frame.records = std::span<const ArrivalRecord>(
+      reinterpret_cast<const ArrivalRecord*>(base + kSegmentHeaderBytes),
+      seg_header->record_count);
+  ++stats_.segment_loads;
+
+  if (readahead_ && seg + 1 < info_.num_segments) {
+#ifdef POSIX_FADV_WILLNEED
+    ::posix_fadvise(fd_, static_cast<off_t>(info_.segment_offset(seg + 1)),
+                    static_cast<off_t>(seg_bytes), POSIX_FADV_WILLNEED);
+#endif
+  }
+  return Status::OK();
+}
+
+Result<std::span<const ArrivalRecord>> SegmentReader::Pin(uint64_t seg) {
+  if (fd_ < 0) return Status::FailedPrecondition("reader is closed");
+  if (seg >= info_.num_segments) {
+    return Status::OutOfRange("segment " + std::to_string(seg) +
+                              " >= " + std::to_string(info_.num_segments));
+  }
+  ++stats_.pins;
+  Frame* free_frame = nullptr;
+  Frame* victim = nullptr;
+  for (Frame& f : frames_) {
+    if (f.seg == seg) {
+      ++f.pin_count;
+      f.last_use = ++use_clock_;
+      ++stats_.cache_hits;
+      return f.records;
+    }
+    if (f.seg == Frame::kEmpty) {
+      if (free_frame == nullptr) free_frame = &f;
+    } else if (f.pin_count == 0) {
+      if (victim == nullptr || f.last_use < victim->last_use) victim = &f;
+    }
+  }
+  Frame* frame = free_frame;
+  if (frame == nullptr) {
+    if (victim == nullptr) {
+      return Status::FailedPrecondition(
+          "resident-segment budget exhausted: all " +
+          std::to_string(frames_.size()) + " frames are pinned");
+    }
+    Release(*victim);
+    ++stats_.evictions;
+    frame = victim;
+  }
+  ROD_RETURN_IF_ERROR(LoadInto(*frame, seg));
+  frame->pin_count = 1;
+  frame->last_use = ++use_clock_;
+  return frame->records;
+}
+
+void SegmentReader::Unpin(uint64_t seg) {
+  for (Frame& f : frames_) {
+    if (f.seg == seg) {
+      assert(f.pin_count > 0 && "Unpin without matching Pin");
+      if (f.pin_count > 0) --f.pin_count;
+      return;
+    }
+  }
+  assert(false && "Unpin of a non-resident segment");
+}
+
+size_t SegmentReader::resident_segments() const {
+  size_t n = 0;
+  for (const Frame& f : frames_) n += f.seg != Frame::kEmpty ? 1 : 0;
+  return n;
+}
+
+Status SegmentReader::VerifyAll() {
+  uint64_t records = 0;
+  double prev = -1.0;
+  for (uint64_t seg = 0; seg < info_.num_segments; ++seg) {
+    auto span = Pin(seg);
+    ROD_RETURN_IF_ERROR(span.status());
+    for (const ArrivalRecord& r : *span) {
+      if (r.time < prev) {
+        Unpin(seg);
+        return Status::DataLoss("record #" + std::to_string(records) +
+                                " breaks time monotonicity");
+      }
+      if (r.stream >= info_.num_streams) {
+        Unpin(seg);
+        return Status::DataLoss("record #" + std::to_string(records) +
+                                " names stream " + std::to_string(r.stream) +
+                                " beyond the manifest's " +
+                                std::to_string(info_.num_streams));
+      }
+      prev = r.time;
+      ++records;
+    }
+    Unpin(seg);
+  }
+  if (records != info_.total_records) {
+    return Status::DataLoss("store serves " + std::to_string(records) +
+                            " records; manifest claims " +
+                            std::to_string(info_.total_records));
+  }
+  return Status::OK();
+}
+
+}  // namespace rod::trace::store

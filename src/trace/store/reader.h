@@ -1,0 +1,131 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Segment-store reader: a small buffer manager over one store file.
+// Segments are faulted in on demand — mmap'ed read-only by default,
+// pread into an owned buffer where mmap is unavailable or disabled —
+// and at most `resident_segments` of them are resident at once, so a
+// sequential scan of a file many times that budget runs in constant
+// memory. Pin/unpin contract (the rdf3x buffer-manager idiom):
+//
+//   * Pin(seg) makes the segment resident, verifies it (CRC, header
+//     consistency) on load, bumps its pin count, and returns a span over
+//     the mapped records. The span stays valid exactly until the
+//     matching Unpin — never across it.
+//   * Unpin(seg) releases one pin. Unpinned segments stay cached until
+//     the frame is needed (LRU), so re-pinning a warm segment is free.
+//   * When every frame is pinned and a new segment is requested, Pin
+//     fails (kFailedPrecondition) rather than silently growing the
+//     budget — the caller is holding too many spans.
+//
+// Reads never mutate the file; any number of readers may share it.
+
+#ifndef ROD_TRACE_STORE_READER_H_
+#define ROD_TRACE_STORE_READER_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/store/format.h"
+
+namespace rod::trace::store {
+
+struct ReaderOptions {
+  /// Resident-segment budget (frames in the buffer manager). At least 1;
+  /// sequential replay needs no more than 2 (current + readahead target).
+  size_t resident_segments = 4;
+
+  /// Map segments with mmap (madvise'd for sequential access). When
+  /// false — or when mmap fails at runtime — segments are pread into
+  /// owned buffers instead; results are identical.
+  bool use_mmap = true;
+
+  /// Hint the kernel to prefetch the next segment whenever one is
+  /// faulted in (posix_fadvise WILLNEED; applies to both read paths).
+  bool readahead = true;
+
+  /// Verify each segment's CRC and header when it is loaded. Costs one
+  /// pass over the payload per load; disable only for trusted files in
+  /// throughput benchmarks.
+  bool verify_checksums = true;
+};
+
+/// Observability counters (monotonic over the reader's lifetime).
+struct ReaderStats {
+  uint64_t pins = 0;           ///< Pin calls.
+  uint64_t cache_hits = 0;     ///< Pins satisfied by a resident frame.
+  uint64_t segment_loads = 0;  ///< Segments faulted in from disk.
+  uint64_t evictions = 0;      ///< Resident segments displaced.
+};
+
+class SegmentReader {
+ public:
+  /// Opens and validates `path`: manifest magic/CRC/version, and the
+  /// file size must match the manifest exactly (a truncated store is
+  /// rejected here, before any segment is served).
+  static Result<SegmentReader> Open(const std::string& path,
+                                    const ReaderOptions& options = {});
+
+  SegmentReader(SegmentReader&& other) noexcept;
+  SegmentReader& operator=(SegmentReader&& other) noexcept;
+  SegmentReader(const SegmentReader&) = delete;
+  SegmentReader& operator=(const SegmentReader&) = delete;
+  ~SegmentReader();
+
+  const StoreInfo& info() const { return info_; }
+  const ReaderStats& stats() const { return stats_; }
+
+  /// True when the mmap path is active (false: pread fallback).
+  bool using_mmap() const { return use_mmap_; }
+
+  /// Pins segment `seg` and returns its live records (zero-copy into the
+  /// mapping / load buffer). See the pin/unpin contract above.
+  Result<std::span<const ArrivalRecord>> Pin(uint64_t seg);
+
+  /// Releases one pin on `seg`. Unpinning a segment that is not pinned
+  /// is a programming error (asserted in debug builds, ignored in
+  /// release).
+  void Unpin(uint64_t seg);
+
+  /// Currently resident segments (pinned or cached).
+  size_t resident_segments() const;
+
+  /// Full-file integrity scan: every segment's CRC and header, global
+  /// record count, and time monotonicity across the whole store. Streams
+  /// through the normal Pin path, so it runs in bounded memory.
+  Status VerifyAll();
+
+ private:
+  SegmentReader() = default;
+
+  struct Frame {
+    static constexpr uint64_t kEmpty = UINT64_MAX;
+    uint64_t seg = kEmpty;
+    uint32_t pin_count = 0;
+    uint64_t last_use = 0;
+    std::span<const ArrivalRecord> records;
+    // mmap path: the page-aligned mapping holding this segment.
+    void* map_base = nullptr;
+    size_t map_len = 0;
+    // pread path: the owned load buffer (reused across loads).
+    std::vector<std::byte> buffer;
+  };
+
+  Status LoadInto(Frame& frame, uint64_t seg);
+  void Release(Frame& frame);
+
+  int fd_ = -1;
+  StoreInfo info_;
+  bool use_mmap_ = true;
+  bool readahead_ = true;
+  bool verify_checksums_ = true;
+  std::vector<Frame> frames_;
+  uint64_t use_clock_ = 0;
+  ReaderStats stats_;
+};
+
+}  // namespace rod::trace::store
+
+#endif  // ROD_TRACE_STORE_READER_H_

@@ -1,0 +1,141 @@
+#include "trace/store/replay.h"
+
+#include <cassert>
+#include <utility>
+
+namespace rod::trace::store {
+
+BatchCursor::BatchCursor(SegmentReader* reader) : reader_(reader) {
+  assert(reader_ != nullptr);
+}
+
+BatchCursor::~BatchCursor() { DropPin(); }
+
+BatchCursor::BatchCursor(BatchCursor&& other) noexcept
+    : reader_(other.reader_),
+      segment_(other.segment_),
+      in_segment_(other.in_segment_),
+      pinned_(std::exchange(other.pinned_, false)),
+      records_(other.records_),
+      position_(other.position_) {}
+
+BatchCursor& BatchCursor::operator=(BatchCursor&& other) noexcept {
+  if (this != &other) {
+    DropPin();
+    reader_ = other.reader_;
+    segment_ = other.segment_;
+    in_segment_ = other.in_segment_;
+    pinned_ = std::exchange(other.pinned_, false);
+    records_ = other.records_;
+    position_ = other.position_;
+  }
+  return *this;
+}
+
+void BatchCursor::DropPin() {
+  if (pinned_) {
+    reader_->Unpin(segment_);
+    pinned_ = false;
+    records_ = {};
+  }
+}
+
+Result<std::span<const ArrivalRecord>> BatchCursor::NextSpan() {
+  for (;;) {
+    if (pinned_ && in_segment_ < records_.size()) {
+      return records_.subspan(in_segment_);
+    }
+    if (pinned_) {
+      // Current segment fully consumed: release it before moving on so
+      // the buffer manager can recycle the frame.
+      DropPin();
+      ++segment_;
+      in_segment_ = 0;
+    }
+    if (segment_ >= reader_->info().num_segments) {
+      return std::span<const ArrivalRecord>();
+    }
+    auto span = reader_->Pin(segment_);
+    ROD_RETURN_IF_ERROR(span.status());
+    pinned_ = true;
+    records_ = *span;
+    // A non-final segment is never empty (writer invariant), but loop
+    // anyway so a zero-record final segment terminates cleanly.
+  }
+}
+
+void BatchCursor::Advance(size_t n) {
+  assert(pinned_ && in_segment_ + n <= records_.size());
+  in_segment_ += n;
+  position_ += n;
+}
+
+void BatchCursor::Rewind() {
+  DropPin();
+  segment_ = 0;
+  in_segment_ = 0;
+  position_ = 0;
+}
+
+double StoreReplay::Refill() {
+  // The previous span is exhausted; consume it in the cursor and pull
+  // the next one. Errors latch into status_ and end the feed.
+  if (!status_.ok()) return std::numeric_limits<double>::infinity();
+  if (span_pos_ > 0) {
+    cursor_.Advance(span_pos_);
+    span_ = {};
+    span_pos_ = 0;
+  }
+  auto next = cursor_.NextSpan();
+  if (!next.ok()) {
+    status_ = next.status();
+    span_ = {};
+    return std::numeric_limits<double>::infinity();
+  }
+  span_ = *next;
+  if (span_.empty()) return std::numeric_limits<double>::infinity();
+  span_pos_ = 1;
+  return span_[0].time;
+}
+
+void StoreReplay::Rewind() {
+  cursor_.Rewind();
+  span_ = {};
+  span_pos_ = 0;
+  status_ = Status::OK();
+}
+
+Result<ReplaySet> ReplaySet::OpenStores(const std::vector<std::string>& paths,
+                                        const ReaderOptions& options) {
+  ReplaySet set;
+  for (const std::string& path : paths) {
+    auto reader = SegmentReader::Open(path, options);
+    ROD_RETURN_IF_ERROR(reader.status());
+    set.readers_.push_back(
+        std::make_unique<SegmentReader>(std::move(*reader)));
+    set.feeds_.push_back(
+        std::make_unique<StoreReplay>(set.readers_.back().get()));
+  }
+  return set;
+}
+
+ReplaySet ReplaySet::FromVectors(std::vector<std::vector<double>> arrivals) {
+  ReplaySet set;
+  for (auto& stream : arrivals) {
+    set.feeds_.push_back(std::make_unique<VectorReplay>(std::move(stream)));
+  }
+  return set;
+}
+
+Status ReplaySet::status() const {
+  for (const auto& feed : feeds_) {
+    ROD_RETURN_IF_ERROR(feed->status());
+  }
+  return Status::OK();
+}
+
+void ReplaySet::Rewind() {
+  for (auto& feed : feeds_) feed->Rewind();
+}
+
+}  // namespace rod::trace::store

@@ -1,0 +1,158 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Zero-copy batch replay over a segment store, and the arrival-feed
+// abstraction the simulation engine consumes. A BatchCursor walks a
+// store file segment by segment, yielding contiguous spans of
+// ArrivalRecords straight out of the buffer manager's mappings — no
+// per-tuple allocation, no copy, at most `resident_segments` segments
+// in memory however large the file is. ReplaySet bundles one ordered
+// arrival feed per input stream (store-backed or in-memory) and plugs
+// into SimulationOptions::replay as the alternative to the synthetic
+// ArrivalGenerator; replay is deterministic by construction, so a run
+// driven from a store is bit-identical to one driven from the same
+// arrivals held in memory (asserted in tests and the ingest bench).
+
+#ifndef ROD_TRACE_STORE_REPLAY_H_
+#define ROD_TRACE_STORE_REPLAY_H_
+
+#include <limits>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/store/format.h"
+#include "trace/store/reader.h"
+
+namespace rod::trace::store {
+
+/// Sequential zero-copy iteration over one store file. Holds at most one
+/// segment pinned at a time; the spans it returns borrow the reader's
+/// mapping and are invalidated by the next NextSpan/Rewind call.
+class BatchCursor {
+ public:
+  /// `reader` is borrowed and must outlive the cursor.
+  explicit BatchCursor(SegmentReader* reader);
+  ~BatchCursor();
+  BatchCursor(BatchCursor&& other) noexcept;
+  BatchCursor& operator=(BatchCursor&& other) noexcept;
+  BatchCursor(const BatchCursor&) = delete;
+  BatchCursor& operator=(const BatchCursor&) = delete;
+
+  /// The unconsumed remainder of the current segment (pinning the next
+  /// segment when the current one is exhausted). Empty span at
+  /// end-of-store. Call Advance to consume records from it.
+  Result<std::span<const ArrivalRecord>> NextSpan();
+
+  /// Consumes `n` records of the span NextSpan last returned.
+  void Advance(size_t n);
+
+  /// Global index of the next unconsumed record.
+  uint64_t position() const { return position_; }
+
+  /// True once every record has been consumed.
+  bool done() const { return position_ >= reader_->info().total_records; }
+
+  /// Rewinds to the first record (drops the current pin).
+  void Rewind();
+
+ private:
+  void DropPin();
+
+  SegmentReader* reader_;
+  uint64_t segment_ = 0;
+  size_t in_segment_ = 0;    ///< Consumed records of the pinned segment.
+  bool pinned_ = false;
+  std::span<const ArrivalRecord> records_;  ///< The pinned segment's records.
+  uint64_t position_ = 0;
+};
+
+/// One input stream's ordered arrival feed — the engine-facing contract.
+/// NextArrival returns arrival instants in file order (non-decreasing),
+/// +infinity once exhausted. Errors while faulting segments in surface
+/// through status(): the feed then reports end-of-stream and the engine
+/// propagates the status after the run.
+class ArrivalReplay {
+ public:
+  virtual ~ArrivalReplay() = default;
+  virtual double NextArrival() = 0;
+  virtual Status status() const { return Status::OK(); }
+  virtual void Rewind() = 0;
+};
+
+/// In-memory feed: replays an arrival-instant vector. This is the
+/// reference the store-backed feed must match bit-for-bit.
+class VectorReplay final : public ArrivalReplay {
+ public:
+  explicit VectorReplay(std::vector<double> arrivals)
+      : arrivals_(std::move(arrivals)) {}
+
+  double NextArrival() override {
+    return next_ < arrivals_.size()
+               ? arrivals_[next_++]
+               : std::numeric_limits<double>::infinity();
+  }
+  void Rewind() override { next_ = 0; }
+
+ private:
+  std::vector<double> arrivals_;
+  size_t next_ = 0;
+};
+
+/// Store-backed feed: a BatchCursor walked record by record. The hot
+/// path is a bounds check and a load from the pinned mapping.
+class StoreReplay final : public ArrivalReplay {
+ public:
+  explicit StoreReplay(SegmentReader* reader) : cursor_(reader) {}
+
+  double NextArrival() override {
+    if (span_pos_ < span_.size()) return span_[span_pos_++].time;
+    return Refill();
+  }
+  Status status() const override { return status_; }
+  void Rewind() override;
+
+ private:
+  double Refill();
+
+  BatchCursor cursor_;
+  std::span<const ArrivalRecord> span_;
+  size_t span_pos_ = 0;
+  Status status_;
+};
+
+/// One arrival feed per input stream, ready to plug into
+/// SimulationOptions::replay. Owns its readers and feeds.
+class ReplaySet {
+ public:
+  /// Opens one store file per input stream, in stream order.
+  static Result<ReplaySet> OpenStores(const std::vector<std::string>& paths,
+                                      const ReaderOptions& options = {});
+
+  /// Wraps in-memory arrival vectors (one per stream) — the in-memory
+  /// driver of the replay bit-exactness gate.
+  static ReplaySet FromVectors(std::vector<std::vector<double>> arrivals);
+
+  ReplaySet(ReplaySet&&) noexcept = default;
+  ReplaySet& operator=(ReplaySet&&) noexcept = default;
+
+  size_t num_streams() const { return feeds_.size(); }
+  ArrivalReplay& feed(size_t k) { return *feeds_[k]; }
+
+  /// First error any feed hit mid-replay (OK when clean).
+  Status status() const;
+
+  /// Rewinds every feed so the set can drive another run.
+  void Rewind();
+
+ private:
+  ReplaySet() = default;
+
+  std::vector<std::unique_ptr<SegmentReader>> readers_;
+  std::vector<std::unique_ptr<ArrivalReplay>> feeds_;
+};
+
+}  // namespace rod::trace::store
+
+#endif  // ROD_TRACE_STORE_REPLAY_H_

@@ -1,0 +1,161 @@
+#include "trace/store/writer.h"
+
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+namespace rod::trace::store {
+
+Result<SegmentWriter> SegmentWriter::Open(const std::string& path,
+                                          const WriterOptions& options) {
+  if (options.records_per_segment == 0) {
+    return Status::InvalidArgument("records_per_segment must be positive");
+  }
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open '" + path + "' for writing");
+  }
+  SegmentWriter w;
+  w.file_ = file;
+  w.path_ = path;
+  w.records_per_segment_ = options.records_per_segment;
+  w.pending_.reserve(options.records_per_segment);
+  StoreInfo info;
+  info.records_per_segment = options.records_per_segment;
+  w.io_buffer_.resize(info.segment_bytes());
+  // Reserve the manifest slot with zeros: until Finish() rewrites it the
+  // magic/CRC cannot validate, so readers reject the unfinished file.
+  std::byte zeros[kFileHeaderBytes] = {};
+  if (std::fwrite(zeros, 1, sizeof(zeros), file) != sizeof(zeros)) {
+    std::fclose(file);
+    return Status::Internal("write to '" + path + "' failed");
+  }
+  return w;
+}
+
+SegmentWriter::SegmentWriter(SegmentWriter&& other) noexcept {
+  *this = std::move(other);
+}
+
+SegmentWriter& SegmentWriter::operator=(SegmentWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = std::exchange(other.file_, nullptr);
+    path_ = std::move(other.path_);
+    records_per_segment_ = other.records_per_segment_;
+    pending_ = std::move(other.pending_);
+    io_buffer_ = std::move(other.io_buffer_);
+    total_records_ = other.total_records_;
+    segments_flushed_ = other.segments_flushed_;
+    max_stream_ = other.max_stream_;
+    time_lo_ = other.time_lo_;
+    time_hi_ = other.time_hi_;
+    finished_ = other.finished_;
+  }
+  return *this;
+}
+
+SegmentWriter::~SegmentWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status SegmentWriter::Append(const ArrivalRecord& record) {
+  return Append(std::span<const ArrivalRecord>(&record, 1));
+}
+
+Status SegmentWriter::Append(std::span<const ArrivalRecord> records) {
+  if (file_ == nullptr || finished_) {
+    return Status::FailedPrecondition("writer is closed");
+  }
+  for (const ArrivalRecord& r : records) {
+    if (!std::isfinite(r.time) || r.time < 0.0) {
+      return Status::InvalidArgument(
+          "arrival time must be finite and non-negative");
+    }
+    if (total_records_ > 0 && r.time < time_hi_) {
+      return Status::InvalidArgument(
+          "arrival times must be non-decreasing (got " +
+          std::to_string(r.time) + " after " + std::to_string(time_hi_) + ")");
+    }
+    if (total_records_ == 0) time_lo_ = r.time;
+    time_hi_ = r.time;
+    if (r.stream >= max_stream_) max_stream_ = r.stream + 1;
+    pending_.push_back(r);
+    ++total_records_;
+    if (pending_.size() == records_per_segment_) {
+      ROD_RETURN_IF_ERROR(FlushSegment());
+    }
+  }
+  return Status::OK();
+}
+
+Status SegmentWriter::FlushSegment() {
+  // Serialize header + live payload + zero padding into the staging
+  // buffer, then write the fixed-size segment in one fwrite.
+  SegmentInfo seg;
+  seg.record_count = static_cast<uint32_t>(pending_.size());
+  seg.first_record = total_records_ - pending_.size();
+  const size_t payload_bytes = pending_.size() * sizeof(ArrivalRecord);
+  std::memcpy(io_buffer_.data() + kSegmentHeaderBytes, pending_.data(),
+              payload_bytes);
+  seg.payload_crc = Crc32(std::span<const std::byte>(
+      io_buffer_.data() + kSegmentHeaderBytes, payload_bytes));
+  EncodeSegmentHeader(
+      seg, std::span<std::byte, kSegmentHeaderBytes>(io_buffer_.data(),
+                                                     kSegmentHeaderBytes));
+  std::memset(io_buffer_.data() + kSegmentHeaderBytes + payload_bytes, 0,
+              io_buffer_.size() - kSegmentHeaderBytes - payload_bytes);
+  if (std::fwrite(io_buffer_.data(), 1, io_buffer_.size(), file_) !=
+      io_buffer_.size()) {
+    return Status::Internal("write to '" + path_ + "' failed");
+  }
+  ++segments_flushed_;
+  pending_.clear();
+  return Status::OK();
+}
+
+Status SegmentWriter::Finish() {
+  if (finished_) return Status::OK();
+  if (file_ == nullptr) {
+    return Status::FailedPrecondition("writer is closed");
+  }
+  if (!pending_.empty()) {
+    ROD_RETURN_IF_ERROR(FlushSegment());
+  }
+  StoreInfo info;
+  info.records_per_segment = records_per_segment_;
+  info.num_streams = max_stream_;
+  info.num_segments = segments_flushed_;
+  info.total_records = total_records_;
+  info.time_lo = time_lo_;
+  info.time_hi = time_hi_;
+  std::byte header[kFileHeaderBytes];
+  EncodeFileHeader(info, std::span<std::byte, kFileHeaderBytes>(header));
+  if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+      std::fwrite(header, 1, sizeof(header), file_) != sizeof(header) ||
+      std::fflush(file_) != 0) {
+    return Status::Internal("finalizing '" + path_ + "' failed");
+  }
+  if (std::fclose(file_) != 0) {
+    file_ = nullptr;
+    return Status::Internal("closing '" + path_ + "' failed");
+  }
+  file_ = nullptr;
+  finished_ = true;
+  return Status::OK();
+}
+
+Status WriteTimestamps(std::span<const double> timestamps, uint32_t stream,
+                       const std::string& path, const WriterOptions& options) {
+  auto writer = SegmentWriter::Open(path, options);
+  ROD_RETURN_IF_ERROR(writer.status());
+  for (double t : timestamps) {
+    ArrivalRecord r;
+    r.time = t;
+    r.stream = stream;
+    ROD_RETURN_IF_ERROR(writer->Append(r));
+  }
+  return writer->Finish();
+}
+
+}  // namespace rod::trace::store

@@ -1,0 +1,87 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Segment-store writer: turns an ordered arrival stream into the on-disk
+// segmented form (format.h). Appends buffer one segment in memory and
+// flush it whole, so writing a larger-than-memory trace needs one
+// segment's worth of RAM. The file-level manifest is finalized by
+// Finish(): until then the file carries a zeroed header whose CRC cannot
+// validate, so a crashed or abandoned conversion is rejected by every
+// reader instead of silently serving a prefix.
+
+#ifndef ROD_TRACE_STORE_WRITER_H_
+#define ROD_TRACE_STORE_WRITER_H_
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "trace/store/format.h"
+
+namespace rod::trace::store {
+
+struct WriterOptions {
+  /// Records per segment. The default (64Ki records = 1 MiB payload)
+  /// keeps segments large enough to amortize header+CRC overhead and
+  /// small enough that a reader budget of a few segments stays modest.
+  uint32_t records_per_segment = 64 * 1024;
+};
+
+/// Streaming writer for one store file. Move-only; the destructor
+/// abandons an unfinished file (leaving it unreadable by design) —
+/// call Finish() to produce a valid store.
+class SegmentWriter {
+ public:
+  /// Creates/truncates `path` and reserves the manifest slot.
+  static Result<SegmentWriter> Open(const std::string& path,
+                                    const WriterOptions& options = {});
+
+  SegmentWriter(SegmentWriter&& other) noexcept;
+  SegmentWriter& operator=(SegmentWriter&& other) noexcept;
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+  ~SegmentWriter();
+
+  /// Appends one record. Times must be finite, non-negative, and
+  /// non-decreasing across the whole file (the replay path relies on it).
+  Status Append(const ArrivalRecord& record);
+
+  /// Appends a batch (same validation, one call).
+  Status Append(std::span<const ArrivalRecord> records);
+
+  /// Flushes the partial segment, writes the validated manifest, and
+  /// closes the file. Idempotent once successful; Append after Finish
+  /// fails. An empty store (zero records, zero segments) is valid.
+  Status Finish();
+
+  uint64_t records_written() const { return total_records_; }
+  uint64_t segments_written() const { return segments_flushed_; }
+
+ private:
+  SegmentWriter() = default;
+
+  Status FlushSegment();
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint32_t records_per_segment_ = 0;
+  std::vector<ArrivalRecord> pending_;  ///< The open segment's records.
+  std::vector<std::byte> io_buffer_;    ///< Serialized-segment staging.
+  uint64_t total_records_ = 0;
+  uint64_t segments_flushed_ = 0;
+  uint32_t max_stream_ = 0;
+  double time_lo_ = 0.0;
+  double time_hi_ = 0.0;
+  bool finished_ = false;
+};
+
+/// Convenience converter: writes a full store from sorted timestamps of a
+/// single stream `stream`. Validation as Append.
+Status WriteTimestamps(std::span<const double> timestamps, uint32_t stream,
+                       const std::string& path,
+                       const WriterOptions& options = {});
+
+}  // namespace rod::trace::store
+
+#endif  // ROD_TRACE_STORE_WRITER_H_

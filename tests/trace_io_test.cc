@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 namespace rod::trace {
 namespace {
@@ -92,6 +93,47 @@ TEST(TimestampsTest, RejectsBadInput) {
   EXPECT_FALSE(RatesFromTimestamps({1.0, 0.5}, 1.0).ok());   // unsorted
   EXPECT_FALSE(RatesFromTimestamps({-1.0, 0.5}, 1.0).ok());  // negative
   EXPECT_FALSE(RatesFromTimestamps({1.0}, 0.0).ok());        // bad window
+}
+
+TEST(TimestampLogTest, LoadsSortedLogSkippingCommentsAndBlanks) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rod_trace_io_test.log")
+          .string();
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "# ITA-style arrival log\n"
+        << "0.25\n"
+        << "\n"
+        << "0.5\n"
+        << "0.5\n"  // equal timestamps are legal
+        << "2.75\n";
+  }
+  auto ts = LoadTimestampLog(path);
+  ASSERT_TRUE(ts.ok()) << ts.status().ToString();
+  EXPECT_EQ(*ts, (std::vector<double>{0.25, 0.5, 0.5, 2.75}));
+  std::remove(path.c_str());
+}
+
+TEST(TimestampLogTest, RejectsBadLogs) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "rod_trace_io_bad.log")
+          .string();
+  auto write = [&path](const char* content) {
+    std::ofstream out(path, std::ios::trunc);
+    out << content;
+  };
+  write("1.0\n0.5\n");  // out of order
+  EXPECT_FALSE(LoadTimestampLog(path).ok());
+  write("-1.0\n");
+  EXPECT_FALSE(LoadTimestampLog(path).ok());
+  write("abc\n");
+  EXPECT_FALSE(LoadTimestampLog(path).ok());
+  write("1.0x\n");  // trailing characters
+  EXPECT_FALSE(LoadTimestampLog(path).ok());
+  write("# only a comment\n");
+  EXPECT_FALSE(LoadTimestampLog(path).ok());  // no entries
+  std::remove(path.c_str());
+  EXPECT_EQ(LoadTimestampLog(path).status().code(), StatusCode::kNotFound);
 }
 
 TEST(TimestampsTest, RoundTripThroughCsv) {
