@@ -1,0 +1,578 @@
+#include "cluster/coordinator.h"
+
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "telemetry/exposition.h"
+#include "telemetry/json_writer.h"
+
+namespace rod::cluster {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void AddCounters(WorkerCounters& into, const WorkerCounters& from) {
+  into.generated += from.generated;
+  into.processed += from.processed;
+  into.emitted += from.emitted;
+  into.delivered += from.delivered;
+  into.shipped += from.shipped;
+  into.received += from.received;
+  into.ship_failures += from.ship_failures;
+  into.lost_tuples += from.lost_tuples;
+  into.paused_buffered += from.paused_buffered;
+  into.busy_seconds += from.busy_seconds;
+  into.latency_sum += from.latency_sum;
+  into.latency_max = std::max(into.latency_max, from.latency_max);
+  into.latency_count += from.latency_count;
+}
+
+void WriteCountersJson(const WorkerCounters& c, telemetry::JsonWriter& w) {
+  w.BeginObjectInline();
+  w.Key("generated").Uint(c.generated);
+  w.Key("processed").Uint(c.processed);
+  w.Key("emitted").Uint(c.emitted);
+  w.Key("delivered").Uint(c.delivered);
+  w.Key("shipped").Uint(c.shipped);
+  w.Key("received").Uint(c.received);
+  w.Key("ship_failures").Uint(c.ship_failures);
+  w.Key("lost_tuples").Uint(c.lost_tuples);
+  w.Key("paused_buffered").Uint(c.paused_buffered);
+  w.Key("busy_seconds").Double(c.busy_seconds);
+  w.Key("latency_mean")
+      .Double(c.latency_count > 0
+                  ? c.latency_sum / static_cast<double>(c.latency_count)
+                  : 0.0);
+  w.Key("latency_max").Double(c.latency_max);
+  w.EndObject();
+}
+
+}  // namespace
+
+Coordinator::Coordinator(query::QueryGraph graph, CoordinatorOptions options)
+    : graph_(std::move(graph)), options_(std::move(options)) {
+  // Register the coordinator's cluster.* families at zero so /metrics
+  // exposes the full set from the first scrape.
+  for (const char* name :
+       {"cluster.workers_registered", "cluster.heartbeats_received",
+        "cluster.failures_detected", "cluster.plan_ships",
+        "cluster.plan_diffs", "cluster.operator_moves",
+        "cluster.final_stats_collected"}) {
+    telemetry_.Count(name, 0);
+  }
+  telemetry_.SetGauge("cluster.workers_alive", 0.0);
+  telemetry_.SetGauge("cluster.plan_version", 0.0);
+}
+
+Coordinator::~Coordinator() { http_.Stop(); }
+
+void Coordinator::RequestStop() { stop_pipe_.Notify(); }
+
+double Coordinator::Now() const {
+  return started_ ? MonotonicSeconds() - run_epoch_ : 0.0;
+}
+
+Status Coordinator::Listen() {
+  if (listener_.listening()) return Status::OK();
+  if (options_.expected_workers == 0) {
+    return Status::InvalidArgument("expected_workers must be > 0");
+  }
+  std::string error;
+  if (!stop_pipe_.open() && !stop_pipe_.Open(&error)) {
+    return Status::Internal("self-pipe: " + error);
+  }
+  ROD_RETURN_IF_ERROR(listener_.Listen(options_.control_port));
+  if (options_.serve_http) StartHttpPlane();
+  return Status::OK();
+}
+
+Status Coordinator::Run() {
+  ROD_RETURN_IF_ERROR(Listen());
+  ROD_RETURN_IF_ERROR(AcceptRegistrations());
+  ROD_RETURN_IF_ERROR(BuildAndShipPlan());
+  ROD_RETURN_IF_ERROR(StartRun());
+  ROD_RETURN_IF_ERROR(MonitorLoop());
+  return Finish();
+}
+
+Status Coordinator::AcceptRegistrations() {
+  const double deadline = MonotonicSeconds() + options_.register_timeout;
+  while (workers_.size() < options_.expected_workers) {
+    const double wait = deadline - MonotonicSeconds();
+    if (wait <= 0.0) {
+      return Status::Unavailable(
+          "only " + std::to_string(workers_.size()) + " of " +
+          std::to_string(options_.expected_workers) +
+          " workers registered before the deadline");
+    }
+    pollfd fds[2] = {{stop_pipe_.read_fd(), POLLIN, 0},
+                     {listener_.fd(), POLLIN, 0}};
+    const int ready =
+        ::poll(fds, 2, static_cast<int>(std::ceil(wait * 1000.0)));
+    if (ready < 0 && errno != EINTR) return Status::Internal("poll failed");
+    if (ready <= 0) continue;
+    if (fds[0].revents != 0) {
+      return Status::Unavailable("stopped during registration");
+    }
+    if (fds[1].revents == 0) continue;
+
+    auto conn = listener_.Accept(options_.ack_timeout);
+    if (!conn.ok()) continue;
+    Frame frame;
+    if (!conn->Recv(&frame).ok() || frame.type != MsgType::kHello) continue;
+    auto hello = HelloMsg::Decode(frame.payload);
+    if (!hello.ok()) continue;
+
+    WorkerState state;
+    state.conn = std::move(conn.value());
+    state.data_port = hello->data_port;
+    state.http_port = hello->http_port;
+    state.capacity = hello->capacity;
+    state.name = hello->name;
+
+    WelcomeMsg welcome;
+    welcome.worker_id = static_cast<uint32_t>(workers_.size());
+    welcome.num_workers = static_cast<uint32_t>(options_.expected_workers);
+    welcome.heartbeat_interval = options_.heartbeat_interval;
+    welcome.heartbeat_timeout = options_.heartbeat_timeout;
+    if (!state.conn.Send(MsgType::kWelcome, welcome.Encode()).ok()) continue;
+
+    workers_.push_back(std::move(state));
+    telemetry_.Count("cluster.workers_registered", 1);
+    telemetry_.SetGauge("cluster.workers_alive",
+                        static_cast<double>(workers_.size()));
+  }
+  report_.num_workers = workers_.size();
+  return Status::OK();
+}
+
+Status Coordinator::BuildAndShipPlan() {
+  auto model = query::BuildLinearizedLoadModel(graph_);
+  if (!model.ok()) return model.status();
+  model_ = std::make_unique<query::LoadModel>(std::move(model.value()));
+
+  system_.capacities.clear();
+  for (const WorkerState& worker : workers_) {
+    system_.capacities.push_back(worker.capacity);
+  }
+
+  auto placement = place::RodPlace(*model_, system_, options_.rod, &graph_);
+  if (!placement.ok()) return placement.status();
+  assignment_ = placement->assignment();
+
+  auto deployment = sim::CompileDeployment(graph_, *placement, system_);
+  if (!deployment.ok()) return deployment.status();
+  deployment_ = std::move(deployment.value());
+
+  // Each input stream is generated by the worker hosting its first
+  // consumer, so source batches enter the dataflow without a hop.
+  source_owner_.assign(graph_.num_input_streams(), 0);
+  for (size_t s = 0; s < deployment_.input_routes.size(); ++s) {
+    if (deployment_.input_routes[s].empty()) continue;
+    const uint32_t op = deployment_.input_routes[s][0].to_op;
+    source_owner_[s] = static_cast<uint32_t>(assignment_[op]);
+  }
+
+  // The supervisor that will repair worker failures: the same ControlAgent
+  // the in-process engine consults, driven here off missed heartbeats.
+  sim::Supervisor::Options sup = options_.supervisor;
+  sup.detection_delay = options_.heartbeat_timeout;
+  sup.telemetry = &telemetry_;
+  sup.flight_recorder = &flight_recorder_;
+  supervisor_ = std::make_unique<sim::Supervisor>(*model_, std::move(sup));
+
+  // Ship the plan and clock first-send -> last-ack.
+  plan_version_ = 1;
+  PlanMsg plan;
+  plan.version = plan_version_;
+  plan.graph = graph_;
+  plan.assignment.assign(assignment_.begin(), assignment_.end());
+  plan.capacities = system_.capacities;
+  for (uint32_t i = 0; i < workers_.size(); ++i) {
+    plan.endpoints.push_back({i, workers_[i].data_port});
+  }
+  plan.source_owner = source_owner_;
+  const std::string payload = plan.Encode();
+
+  const double ship_begin = MonotonicSeconds();
+  for (WorkerState& worker : workers_) {
+    ROD_RETURN_IF_ERROR(worker.conn.Send(MsgType::kPlan, payload));
+  }
+  for (uint32_t i = 0; i < workers_.size(); ++i) {
+    Frame frame;
+    ROD_RETURN_IF_ERROR(AwaitFrame(i, MsgType::kPlanAck, &frame));
+    auto ack = PlanAckMsg::Decode(frame.payload);
+    if (!ack.ok()) return ack.status();
+    workers_[i].plan_version = ack->version;
+  }
+  report_.plan_ship_seconds = MonotonicSeconds() - ship_begin;
+  report_.plan_version = plan_version_;
+  telemetry_.Count("cluster.plan_ships", 1);
+  telemetry_.SetGauge("cluster.plan_version",
+                      static_cast<double>(plan_version_));
+  return Status::OK();
+}
+
+Status Coordinator::StartRun() {
+  StartMsg start;
+  start.duration = options_.duration;
+  start.tick_seconds = options_.tick_seconds;
+  start.seed = options_.seed;
+  start.rates = options_.rates;
+  start.rates.resize(graph_.num_input_streams(), options_.default_rate);
+  const std::string payload = start.Encode();
+  for (WorkerState& worker : workers_) {
+    ROD_RETURN_IF_ERROR(worker.conn.Send(MsgType::kStart, payload));
+  }
+  started_ = true;
+  run_epoch_ = MonotonicSeconds();
+  for (WorkerState& worker : workers_) worker.last_heartbeat = 0.0;
+  return Status::OK();
+}
+
+Status Coordinator::MonitorLoop() {
+  const double finish_at = options_.duration + options_.finish_grace;
+  for (;;) {
+    std::vector<pollfd> fds;
+    fds.push_back({stop_pipe_.read_fd(), POLLIN, 0});
+    std::vector<uint32_t> polled;  // Worker id per fds[1+k].
+    for (uint32_t i = 0; i < workers_.size(); ++i) {
+      if (workers_[i].alive && workers_[i].conn_ok) {
+        fds.push_back({workers_[i].conn.fd(), POLLIN, 0});
+        polled.push_back(i);
+      }
+    }
+
+    double wait = finish_at - Now();
+    if (wait <= 0.0) return Status::OK();
+    // Wake at least every half heartbeat interval to check deadlines.
+    wait = std::min(wait, options_.heartbeat_interval * 0.5);
+    const int ready = ::poll(fds.data(), fds.size(),
+                             static_cast<int>(std::ceil(wait * 1000.0)));
+    if (ready < 0 && errno != EINTR) return Status::Internal("poll failed");
+    if (ready > 0) {
+      if (fds[0].revents != 0) return Status::OK();  // RequestStop().
+      for (size_t k = 0; k < polled.size(); ++k) {
+        if (fds[1 + k].revents == 0) continue;
+        const uint32_t i = polled[k];
+        Frame frame;
+        if (!workers_[i].conn.Recv(&frame).ok()) {
+          // EOF/reset: the control channel is gone. The worker is
+          // declared failed by the heartbeat deadline below, keeping
+          // detection semantics uniform (missed heartbeats).
+          workers_[i].conn_ok = false;
+          workers_[i].conn.Close();
+          continue;
+        }
+        if (frame.type == MsgType::kHeartbeat) {
+          auto hb = HeartbeatMsg::Decode(frame.payload);
+          if (hb.ok()) HandleHeartbeat(*hb);
+        }
+      }
+    }
+
+    const double now = Now();
+    for (uint32_t i = 0; i < workers_.size(); ++i) {
+      if (!workers_[i].alive) continue;
+      if (now - workers_[i].last_heartbeat > options_.heartbeat_timeout) {
+        HandleWorkerFailure(i, now);
+      }
+    }
+    if (retry_at_ >= 0.0 && now >= retry_at_) {
+      const uint32_t node = retry_node_;
+      retry_at_ = -1.0;
+      HandleWorkerFailure(node, now);
+    }
+  }
+}
+
+void Coordinator::HandleHeartbeat(const HeartbeatMsg& hb) {
+  if (hb.worker_id >= workers_.size()) return;
+  WorkerState& worker = workers_[hb.worker_id];
+  worker.last_heartbeat = Now();
+  worker.plan_version = hb.plan_version;
+  worker.counters = hb.counters;
+  telemetry_.Count("cluster.heartbeats_received", 1);
+}
+
+void Coordinator::HandleWorkerFailure(uint32_t failed, double now) {
+  WorkerState& worker = workers_[failed];
+  const bool first_detection = worker.alive;
+  if (first_detection) {
+    worker.alive = false;
+    worker.conn_ok = false;
+    worker.conn.Close();
+    telemetry_.Count("cluster.failures_detected", 1);
+    size_t alive = 0;
+    for (const WorkerState& w : workers_) alive += w.alive ? 1 : 0;
+    telemetry_.SetGauge("cluster.workers_alive",
+                        static_cast<double>(alive));
+  }
+
+  if (!report_.had_incident) {
+    // The run's first incident: freeze pre-incident state and start the
+    // engine-schema report. The true crash instant is unobservable from
+    // outside the dead process; the last proof of life bounds it.
+    report_.had_incident = true;
+    report_.incident.crash_time = worker.last_heartbeat;
+    report_.incident.failed_node = failed;
+    flight_recorder_.BeginIncident(
+        "cluster.worker_failure",
+        worker.name + " missed heartbeats for " +
+            std::to_string(options_.heartbeat_timeout) + "s");
+  }
+  if (report_.incident.failed_node == failed &&
+      report_.incident.detect_time < 0.0) {
+    report_.incident.detect_time = now;
+  }
+  flight_recorder_.Note("failure detected: worker " +
+                        std::to_string(failed) + " (" + worker.name + ")");
+
+  std::vector<bool> node_up;
+  node_up.reserve(workers_.size());
+  for (const WorkerState& w : workers_) node_up.push_back(w.alive);
+
+  auto update =
+      supervisor_->OnFailureDetected(now, failed, node_up, deployment_);
+  if (!update.has_value()) {
+    const double delay = supervisor_->RepairRetryDelay();
+    if (delay > 0.0) {
+      retry_at_ = now + delay;
+      retry_node_ = failed;
+      flight_recorder_.Note("repair failed; retrying in " +
+                            std::to_string(delay) + "s");
+    } else {
+      flight_recorder_.Note("repair abandoned: " +
+                            supervisor_->last_status().ToString());
+    }
+    return;
+  }
+  const Status applied = ExecutePlanDiff(*update, now);
+  if (!applied.ok()) {
+    flight_recorder_.Note("plan diff failed: " + applied.ToString());
+    return;
+  }
+  if (report_.incident.failed_node == failed) {
+    report_.incident.plan_applied_time = Now();
+    report_.incident.recovered = true;
+    report_.incident.recovery_time =
+        report_.incident.plan_applied_time - report_.incident.crash_time;
+  }
+}
+
+Status Coordinator::ExecutePlanDiff(const sim::PlanUpdate& update,
+                                    double now) {
+  (void)now;
+  std::vector<OperatorMove> moves;
+  for (size_t j = 0; j < update.assignment.size(); ++j) {
+    if (j < assignment_.size() && update.assignment[j] != assignment_[j]) {
+      moves.push_back({static_cast<uint32_t>(j),
+                       static_cast<uint32_t>(assignment_[j]),
+                       static_cast<uint32_t>(update.assignment[j])});
+    }
+  }
+  if (moves.empty()) return Status::OK();
+  ++plan_version_;
+
+  // Pause -> drain -> reassign -> resume against every live worker.
+  PauseMsg pause;
+  pause.plan_version = plan_version_;
+  for (const OperatorMove& move : moves) pause.ops.push_back(move.op);
+  const std::string pause_payload = pause.Encode();
+  for (uint32_t i = 0; i < workers_.size(); ++i) {
+    if (!workers_[i].alive || !workers_[i].conn_ok) continue;
+    ROD_RETURN_IF_ERROR(
+        workers_[i].conn.Send(MsgType::kPause, pause_payload));
+  }
+  for (uint32_t i = 0; i < workers_.size(); ++i) {
+    if (!workers_[i].alive || !workers_[i].conn_ok) continue;
+    Frame frame;
+    ROD_RETURN_IF_ERROR(AwaitFrame(i, MsgType::kPauseAck, &frame));
+  }
+  flight_recorder_.Note("paused " + std::to_string(moves.size()) +
+                        " operators; drain confirmed");
+
+  PlanDiffMsg diff;
+  diff.version = plan_version_;
+  diff.moves = moves;
+  const std::string diff_payload = diff.Encode();
+  for (uint32_t i = 0; i < workers_.size(); ++i) {
+    if (!workers_[i].alive || !workers_[i].conn_ok) continue;
+    ROD_RETURN_IF_ERROR(
+        workers_[i].conn.Send(MsgType::kPlanDiff, diff_payload));
+  }
+  for (uint32_t i = 0; i < workers_.size(); ++i) {
+    if (!workers_[i].alive || !workers_[i].conn_ok) continue;
+    Frame frame;
+    ROD_RETURN_IF_ERROR(AwaitFrame(i, MsgType::kPlanAck, &frame));
+    auto ack = PlanAckMsg::Decode(frame.payload);
+    if (ack.ok()) workers_[i].plan_version = ack->version;
+  }
+  for (uint32_t i = 0; i < workers_.size(); ++i) {
+    if (!workers_[i].alive || !workers_[i].conn_ok) continue;
+    ROD_RETURN_IF_ERROR(workers_[i].conn.Send(MsgType::kResume, ""));
+  }
+
+  assignment_ = update.assignment;
+  ROD_RETURN_IF_ERROR(
+      sim::ReassignOperators(deployment_, assignment_).status());
+  report_.plan_version = plan_version_;
+  report_.incident.operators_moved += moves.size();
+  telemetry_.Count("cluster.plan_diffs", 1);
+  telemetry_.Count("cluster.operator_moves", moves.size());
+  telemetry_.SetGauge("cluster.plan_version",
+                      static_cast<double>(plan_version_));
+  flight_recorder_.Note("plan v" + std::to_string(plan_version_) +
+                        " live: " + std::to_string(moves.size()) +
+                        " operators re-homed");
+  return Status::OK();
+}
+
+Status Coordinator::AwaitFrame(uint32_t worker, MsgType want, Frame* out) {
+  WorkerState& state = workers_[worker];
+  for (;;) {
+    const Status recv = state.conn.Recv(out);
+    if (!recv.ok()) {
+      state.conn_ok = false;
+      state.conn.Close();
+      return recv;
+    }
+    if (out->type == want) return Status::OK();
+    // Workers heartbeat on their own cadence; absorb anything that
+    // interleaves with the protocol step we are waiting on.
+    if (out->type == MsgType::kHeartbeat) {
+      auto hb = HeartbeatMsg::Decode(out->payload);
+      if (hb.ok()) HandleHeartbeat(*hb);
+    }
+  }
+}
+
+Status Coordinator::Finish() {
+  // Collect final stats from the survivors, then release them.
+  for (uint32_t i = 0; i < workers_.size(); ++i) {
+    WorkerState& worker = workers_[i];
+    if (!worker.alive || !worker.conn_ok) continue;
+    if (!worker.conn.Send(MsgType::kFinish, "").ok()) continue;
+    Frame frame;
+    if (!AwaitFrame(i, MsgType::kFinalStats, &frame).ok()) continue;
+    auto stats = FinalStatsMsg::Decode(frame.payload);
+    if (!stats.ok()) continue;
+    worker.counters = stats->counters;
+    worker.have_final = true;
+    telemetry_.Count("cluster.final_stats_collected", 1);
+  }
+  for (WorkerState& worker : workers_) {
+    if (worker.alive && worker.conn_ok) {
+      (void)worker.conn.Send(MsgType::kShutdown, "");
+    }
+    worker.conn.Close();
+  }
+  report_.run_seconds = Now();
+
+  report_.totals = WorkerCounters{};
+  report_.workers.clear();
+  for (uint32_t i = 0; i < workers_.size(); ++i) {
+    const WorkerState& worker = workers_[i];
+    AddCounters(report_.totals, worker.counters);
+    report_.workers.push_back({i, worker.name, worker.alive,
+                               worker.have_final, worker.counters});
+  }
+
+  if (report_.had_incident) {
+    // Loss breakdown, cluster flavor: ship failures toward a dead peer
+    // are network loss (what the dead process held internally is not
+    // observable from outside it, so lost_queued/lost_inflight stay 0).
+    // Availability approximates the engine's accepted-fraction as
+    // generated work net of losses over generated work.
+    sim::IncidentReport& incident = report_.incident;
+    incident.lost_network = report_.totals.lost_tuples;
+    incident.lost_tuples = incident.lost_queued + incident.lost_inflight +
+                           incident.lost_network +
+                           incident.rejected_inputs;
+    const double offered = static_cast<double>(report_.totals.generated);
+    incident.availability =
+        offered > 0.0
+            ? std::clamp(1.0 - static_cast<double>(incident.lost_tuples) /
+                                   offered,
+                         0.0, 1.0)
+            : 1.0;
+    flight_recorder_.CompleteIncident([this](telemetry::JsonWriter& w) {
+      sim::WriteIncidentReportJson(report_.incident, w);
+    });
+  }
+  return Status::OK();
+}
+
+void Coordinator::WriteReportJson(std::ostream& out) const {
+  telemetry::JsonWriter w(out);
+  w.BeginObject();
+  w.Key("schema").String("rod.cluster_report.v1");
+  w.Key("num_workers").Uint(report_.num_workers);
+  w.Key("plan_version").Uint(report_.plan_version);
+  w.Key("plan_ship_seconds").Double(report_.plan_ship_seconds);
+  w.Key("run_seconds").Double(report_.run_seconds);
+  w.Key("totals");
+  WriteCountersJson(report_.totals, w);
+  w.Key("workers").BeginArray();
+  for (const ClusterReport::WorkerSummary& worker : report_.workers) {
+    w.BeginObjectInline();
+    w.Key("worker_id").Uint(worker.worker_id);
+    w.Key("name").String(worker.name);
+    w.Key("alive").Bool(worker.alive);
+    w.Key("final_stats").Bool(worker.final_stats);
+    w.Key("counters");
+    WriteCountersJson(worker.counters, w);
+    w.EndObject();
+  }
+  w.EndArray();
+  if (report_.had_incident) {
+    w.Key("incident");
+    sim::WriteIncidentReportJson(report_.incident, w);
+  } else {
+    w.Key("incident").Null();
+  }
+  w.EndObject();
+}
+
+void Coordinator::StartHttpPlane() {
+  telemetry::Telemetry* tel = &telemetry_;
+  telemetry::FlightRecorder* rec = &flight_recorder_;
+  http_.Handle("/metrics", [tel](std::string_view) {
+    std::ostringstream body;
+    telemetry::WritePrometheusText(tel->Snapshot(), body);
+    return telemetry::HttpServer::Response{
+        200, telemetry::kPrometheusContentType, body.str()};
+  });
+  http_.Handle("/metrics.json", [tel](std::string_view) {
+    std::ostringstream body;
+    tel->WriteMetricsJson(body);
+    return telemetry::HttpServer::Response{200, "application/json",
+                                           body.str()};
+  });
+  http_.Handle("/flightrecorder", [rec](std::string_view) {
+    std::ostringstream body;
+    rec->WriteJson(body);
+    return telemetry::HttpServer::Response{200, "application/json",
+                                           body.str()};
+  });
+  http_.Handle("/healthz", [](std::string_view) {
+    return telemetry::HttpServer::Response{200, "text/plain; charset=utf-8",
+                                           "ok\n"};
+  });
+  std::string error;
+  if (http_.Start(options_.http_port, &error)) {
+    http_port_ = http_.port();
+  }
+}
+
+}  // namespace rod::cluster

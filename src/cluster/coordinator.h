@@ -1,0 +1,209 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// The cluster coordinator process: accepts worker registrations, runs ROD
+// placement over the registered workers' advertised capacities, ships the
+// serialized plan, starts the workload, monitors liveness off heartbeats,
+// and — when a worker dies — drives the *existing* sim::Supervisor
+// (behind its ControlAgent interface, exactly as the in-process engine
+// does) to compute an incremental repair, then executes it as a plan-diff
+// protocol against the survivors: pause the moved operators, collect
+// drain acks, ship the diff, collect install acks, resume. The first
+// failure of a run is captured as a sim::IncidentReport (detection delay,
+// repair latency, loss breakdown) inside the coordinator's flight
+// recorder, mirroring the simulated chaos pipeline with real processes.
+
+#ifndef ROD_CLUSTER_COORDINATOR_H_
+#define ROD_CLUSTER_COORDINATOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cluster/transport.h"
+#include "cluster/wire.h"
+#include "common/net.h"
+#include "common/status.h"
+#include "placement/rod.h"
+#include "query/load_model.h"
+#include "query/query_graph.h"
+#include "runtime/deployment.h"
+#include "runtime/engine.h"
+#include "runtime/supervisor.h"
+#include "telemetry/flight_recorder.h"
+#include "telemetry/http_server.h"
+#include "telemetry/telemetry.h"
+
+namespace rod::cluster {
+
+struct CoordinatorOptions {
+  /// Control port on 127.0.0.1 (0: ephemeral — see Coordinator::port()).
+  uint16_t control_port = 0;
+
+  /// Workers to wait for before planning (required, > 0).
+  size_t expected_workers = 0;
+
+  /// Give up if fewer than expected_workers register within this long.
+  double register_timeout = 30.0;
+
+  /// Per-protocol-step ack wait (plan ship, pause drain, diff install).
+  double ack_timeout = 10.0;
+
+  /// Liveness: workers heartbeat every `heartbeat_interval`; a worker
+  /// whose last heartbeat is older than `heartbeat_timeout` is declared
+  /// failed (this is the failure detector's detection delay).
+  double heartbeat_interval = 0.25;
+  double heartbeat_timeout = 1.0;
+
+  /// Workload: seconds of source generation, emission granularity, base
+  /// RNG seed, and per-input-stream rates (resized to the graph's input
+  /// count, missing entries filled with `default_rate`).
+  double duration = 2.0;
+  double tick_seconds = 0.05;
+  uint64_t seed = 1;
+  std::vector<double> rates;
+  double default_rate = 200.0;
+
+  /// Extra wall time after generation ends before finish/shutdown, so
+  /// in-flight batches drain.
+  double finish_grace = 0.5;
+
+  /// Initial placement knobs (ROD over the registered capacities).
+  place::RodOptions rod;
+
+  /// Repair knobs forwarded to the sim::Supervisor (detection_delay is
+  /// overwritten with `heartbeat_timeout`; telemetry/flight_recorder are
+  /// wired to the coordinator's own plane).
+  sim::Supervisor::Options supervisor;
+
+  /// Observability plane for the coordinator process itself.
+  bool serve_http = false;
+  uint16_t http_port = 0;
+};
+
+/// End-of-run summary: aggregate counters, the shipped plan's history,
+/// and the first incident (when a worker died mid-run).
+struct ClusterReport {
+  size_t num_workers = 0;
+  uint64_t plan_version = 0;
+
+  /// First kPlan send to last kPlanAck received (seconds).
+  double plan_ship_seconds = 0.0;
+
+  /// kStart broadcast to final-stats collection (seconds).
+  double run_seconds = 0.0;
+
+  WorkerCounters totals;  ///< Sum over all workers (last known state
+                          ///< for workers that died).
+  struct WorkerSummary {
+    uint32_t worker_id = 0;
+    std::string name;
+    bool alive = true;
+    bool final_stats = false;  ///< Counters are end-of-run, not last HB.
+    WorkerCounters counters;
+  };
+  std::vector<WorkerSummary> workers;
+
+  bool had_incident = false;
+  sim::IncidentReport incident;  ///< First worker failure, engine schema.
+};
+
+/// One coordinator lifetime: Listen() (optional, for tests that need the
+/// port before spawning workers), then Run() through registration,
+/// placement, the monitored run, and shutdown.
+class Coordinator {
+ public:
+  Coordinator(query::QueryGraph graph, CoordinatorOptions options);
+  ~Coordinator();
+
+  Coordinator(const Coordinator&) = delete;
+  Coordinator& operator=(const Coordinator&) = delete;
+
+  /// Binds the control listener; port() is valid afterwards. Run() calls
+  /// this implicitly when not already listening.
+  Status Listen();
+  uint16_t port() const { return listener_.port(); }
+
+  /// Full lifecycle; returns after shutdown. The report survives Run().
+  Status Run();
+
+  /// Thread-safe: asks the run loop to wind down at the next poll tick.
+  void RequestStop();
+
+  const ClusterReport& report() const { return report_; }
+
+  /// Writes the end-of-run report ({"schema": "rod.cluster_report.v1"}).
+  void WriteReportJson(std::ostream& out) const;
+
+  /// The coordinator's incident artifacts (CI uploads this).
+  const telemetry::FlightRecorder& flight_recorder() const {
+    return flight_recorder_;
+  }
+  telemetry::Telemetry& telemetry() { return telemetry_; }
+  uint16_t http_port() const { return http_port_; }
+
+ private:
+  struct WorkerState {
+    FrameConn conn;
+    uint16_t data_port = 0;
+    uint16_t http_port = 0;
+    double capacity = 1.0;
+    std::string name;
+    bool alive = true;
+    bool conn_ok = true;        ///< Control channel still readable.
+    double last_heartbeat = 0.0;
+    uint64_t plan_version = 0;
+    WorkerCounters counters;    ///< Latest heartbeat's block.
+    bool have_final = false;
+  };
+
+  double Now() const;  ///< Seconds since kStart (0 before).
+
+  Status AcceptRegistrations();
+  Status BuildAndShipPlan();
+  Status StartRun();
+  Status MonitorLoop();
+  void HandleHeartbeat(const HeartbeatMsg& hb);
+  void HandleWorkerFailure(uint32_t failed, double now);
+  Status ExecutePlanDiff(const sim::PlanUpdate& update, double now);
+  /// Reads frames from `worker` until `want` (absorbing heartbeats);
+  /// kUnavailable if the worker dies first.
+  Status AwaitFrame(uint32_t worker, MsgType want, Frame* out);
+  Status Finish();
+  void StartHttpPlane();
+
+  query::QueryGraph graph_;
+  CoordinatorOptions options_;
+
+  FrameListener listener_;
+  net::SelfPipe stop_pipe_;
+  std::vector<WorkerState> workers_;
+
+  // Planning state.
+  std::unique_ptr<query::LoadModel> model_;
+  std::unique_ptr<sim::Supervisor> supervisor_;
+  place::SystemSpec system_;
+  sim::Deployment deployment_;
+  std::vector<size_t> assignment_;
+  std::vector<uint32_t> source_owner_;
+  uint64_t plan_version_ = 0;
+
+  // Run state.
+  bool started_ = false;
+  double run_epoch_ = 0.0;
+  double retry_at_ = -1.0;      ///< Pending repair retry (run clock).
+  uint32_t retry_node_ = 0;
+
+  ClusterReport report_;
+
+  // Observability plane.
+  telemetry::Telemetry telemetry_;
+  telemetry::FlightRecorder flight_recorder_{&telemetry_};
+  telemetry::HttpServer http_;
+  uint16_t http_port_ = 0;
+};
+
+}  // namespace rod::cluster
+
+#endif  // ROD_CLUSTER_COORDINATOR_H_

@@ -1,0 +1,183 @@
+#include "cluster/frame.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/net.h"
+#include "trace/store/format.h"
+
+namespace rod::cluster {
+
+namespace {
+
+using trace::store::Crc32;
+
+void StoreU16(char* out, uint16_t v) {
+  out[0] = static_cast<char>(v & 0xff);
+  out[1] = static_cast<char>((v >> 8) & 0xff);
+}
+
+void StoreU32(char* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+uint32_t LoadU32(const std::byte* in) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(std::to_integer<uint8_t>(in[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::span<const std::byte> AsBytes(std::string_view s) {
+  return {reinterpret_cast<const std::byte*>(s.data()), s.size()};
+}
+
+/// "peer gone" vs "local error" from the failing read/write's errno (net
+/// helpers preserve it; clean EOF sets it to 0).
+Status TransportError(const char* what) {
+  std::string msg = what;
+  if (errno == 0) {
+    msg += ": connection closed by peer";
+  } else {
+    msg += ": ";
+    msg += std::strerror(errno);
+  }
+  return Status::Unavailable(std::move(msg));
+}
+
+}  // namespace
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kHello:
+      return "hello";
+    case MsgType::kWelcome:
+      return "welcome";
+    case MsgType::kPlan:
+      return "plan";
+    case MsgType::kPlanAck:
+      return "plan_ack";
+    case MsgType::kStart:
+      return "start";
+    case MsgType::kHeartbeat:
+      return "heartbeat";
+    case MsgType::kTuples:
+      return "tuples";
+    case MsgType::kPause:
+      return "pause";
+    case MsgType::kPauseAck:
+      return "pause_ack";
+    case MsgType::kPlanDiff:
+      return "plan_diff";
+    case MsgType::kResume:
+      return "resume";
+    case MsgType::kFinish:
+      return "finish";
+    case MsgType::kFinalStats:
+      return "final_stats";
+    case MsgType::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(MsgType type, std::string_view payload) {
+  std::string out(kFrameHeaderBytes + payload.size(), '\0');
+  StoreU32(out.data(), kFrameMagic);
+  out[4] = static_cast<char>(kFrameVersion);
+  out[5] = static_cast<char>(type);
+  StoreU16(out.data() + 6, 0);  // flags, reserved
+  StoreU32(out.data() + 8, static_cast<uint32_t>(payload.size()));
+  StoreU32(out.data() + 12, Crc32(AsBytes(payload)));
+  StoreU32(out.data() + 16,
+           Crc32({reinterpret_cast<const std::byte*>(out.data()), 16}));
+  std::memcpy(out.data() + kFrameHeaderBytes, payload.data(), payload.size());
+  return out;
+}
+
+Result<FrameHeader> DecodeFrameHeader(std::span<const std::byte> bytes,
+                                      uint32_t max_payload) {
+  if (bytes.size() < kFrameHeaderBytes) {
+    return Status::InvalidArgument("frame header: need " +
+                                   std::to_string(kFrameHeaderBytes) +
+                                   " bytes, got " +
+                                   std::to_string(bytes.size()));
+  }
+  const uint32_t stored_header_crc = LoadU32(bytes.data() + 16);
+  if (Crc32(bytes.first(16)) != stored_header_crc) {
+    return Status::DataLoss("frame header CRC mismatch");
+  }
+  const uint32_t magic = LoadU32(bytes.data());
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("frame magic mismatch (not a cluster "
+                                   "frame stream)");
+  }
+  const uint8_t version = std::to_integer<uint8_t>(bytes[4]);
+  if (version != kFrameVersion) {
+    return Status::InvalidArgument("unsupported frame version " +
+                                   std::to_string(version));
+  }
+  const uint8_t type_byte = std::to_integer<uint8_t>(bytes[5]);
+  if (type_byte < static_cast<uint8_t>(MsgType::kHello) ||
+      type_byte > static_cast<uint8_t>(MsgType::kShutdown)) {
+    return Status::InvalidArgument("unknown message type " +
+                                   std::to_string(type_byte));
+  }
+  FrameHeader header;
+  header.type = static_cast<MsgType>(type_byte);
+  header.payload_len = LoadU32(bytes.data() + 8);
+  header.payload_crc = LoadU32(bytes.data() + 12);
+  if (header.payload_len > max_payload) {
+    return Status::InvalidArgument(
+        "frame payload of " + std::to_string(header.payload_len) +
+        " bytes exceeds the cap of " + std::to_string(max_payload));
+  }
+  return header;
+}
+
+Status ValidateFramePayload(const FrameHeader& header,
+                            std::string_view payload) {
+  if (payload.size() != header.payload_len) {
+    return Status::InvalidArgument("frame payload length mismatch");
+  }
+  if (Crc32(AsBytes(payload)) != header.payload_crc) {
+    return Status::DataLoss("frame payload CRC mismatch (" +
+                            std::string(MsgTypeName(header.type)) + ")");
+  }
+  return Status::OK();
+}
+
+Status WriteFrame(int fd, MsgType type, std::string_view payload) {
+  const std::string frame = EncodeFrame(type, payload);
+  errno = 0;
+  if (!net::WriteAll(fd, frame.data(), frame.size())) {
+    return TransportError("write frame");
+  }
+  return Status::OK();
+}
+
+Status ReadFrame(int fd, Frame* out, uint32_t max_payload) {
+  std::byte header_bytes[kFrameHeaderBytes];
+  errno = 0;
+  if (!net::ReadExactly(fd, header_bytes, sizeof(header_bytes))) {
+    return TransportError("read frame header");
+  }
+  auto header = DecodeFrameHeader(header_bytes, max_payload);
+  if (!header.ok()) return header.status();
+
+  std::string payload(header->payload_len, '\0');
+  errno = 0;
+  if (header->payload_len > 0 &&
+      !net::ReadExactly(fd, payload.data(), payload.size())) {
+    return TransportError("read frame payload");
+  }
+  ROD_RETURN_IF_ERROR(ValidateFramePayload(*header, payload));
+  out->type = header->type;
+  out->payload = std::move(payload);
+  return Status::OK();
+}
+
+}  // namespace rod::cluster

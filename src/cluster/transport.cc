@@ -1,0 +1,48 @@
+#include "cluster/transport.h"
+
+#include <string>
+
+#include "common/net.h"
+
+namespace rod::cluster {
+
+Result<FrameConn> FrameConn::DialLoopback(uint16_t port,
+                                          double timeout_seconds) {
+  std::string error;
+  const int fd = net::ConnectLoopback(port, &error);
+  if (fd < 0) {
+    return Status::Unavailable("dial 127.0.0.1:" + std::to_string(port) +
+                               ": " + error);
+  }
+  if (timeout_seconds > 0.0) net::SetSocketTimeouts(fd, timeout_seconds);
+  return FrameConn(fd);
+}
+
+void FrameConn::Close() { net::CloseFd(&fd_); }
+
+Status FrameListener::Listen(uint16_t port) {
+  if (listening()) return Status::FailedPrecondition("already listening");
+  std::string error;
+  fd_ = net::ListenLoopback(port, &error);
+  if (fd_ < 0) {
+    return Status::Unavailable("listen 127.0.0.1:" + std::to_string(port) +
+                               ": " + error);
+  }
+  port_ = net::BoundPort(fd_);
+  return Status::OK();
+}
+
+Result<FrameConn> FrameListener::Accept(double timeout_seconds) const {
+  if (!listening()) return Status::FailedPrecondition("not listening");
+  const int client = net::AcceptConnection(fd_);
+  if (client < 0) return Status::Unavailable("accept failed");
+  if (timeout_seconds > 0.0) net::SetSocketTimeouts(client, timeout_seconds);
+  return FrameConn(client);
+}
+
+void FrameListener::Close() {
+  net::CloseFd(&fd_);
+  port_ = 0;
+}
+
+}  // namespace rod::cluster

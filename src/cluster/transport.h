@@ -1,0 +1,111 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Connection-level transport for the cluster: a move-only framed TCP
+// connection (FrameConn) and a listener (FrameListener), grown from the
+// dependency-free socket layer shared with the telemetry HTTP server
+// (common/net). Blocking I/O with per-socket timeouts; the worker and
+// coordinator event loops multiplex connections with poll() over the
+// exposed fds and only call Recv() on a readable connection, so the
+// blocking reads never stall the loop beyond one frame.
+
+#ifndef ROD_CLUSTER_TRANSPORT_H_
+#define ROD_CLUSTER_TRANSPORT_H_
+
+#include <cstdint>
+#include <string_view>
+#include <utility>
+
+#include "cluster/frame.h"
+#include "common/status.h"
+
+namespace rod::cluster {
+
+/// A connected, framed, blocking TCP stream. Owns the fd.
+class FrameConn {
+ public:
+  FrameConn() = default;
+  /// Takes ownership of a connected `fd`.
+  explicit FrameConn(int fd) : fd_(fd) {}
+  ~FrameConn() { Close(); }
+
+  FrameConn(FrameConn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FrameConn& operator=(FrameConn&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  FrameConn(const FrameConn&) = delete;
+  FrameConn& operator=(const FrameConn&) = delete;
+
+  /// Connects to 127.0.0.1:`port`. `timeout_seconds` > 0 arms both socket
+  /// timeouts so a wedged peer surfaces as kUnavailable instead of a
+  /// hang. Returns kUnavailable when the peer refuses.
+  static Result<FrameConn> DialLoopback(uint16_t port,
+                                        double timeout_seconds = 0.0);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes one frame; kUnavailable when the peer is gone.
+  Status Send(MsgType type, std::string_view payload) const {
+    if (!valid()) return Status::FailedPrecondition("connection closed");
+    return WriteFrame(fd_, type, payload);
+  }
+
+  /// Reads one frame (blocking up to the socket timeout). Error codes as
+  /// ReadFrame; on any error the connection should be Closed.
+  Status Recv(Frame* out) const {
+    if (!valid()) return Status::FailedPrecondition("connection closed");
+    return ReadFrame(fd_, out);
+  }
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A loopback TCP listener producing FrameConns.
+class FrameListener {
+ public:
+  FrameListener() = default;
+  ~FrameListener() { Close(); }
+
+  FrameListener(FrameListener&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  FrameListener& operator=(FrameListener&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  FrameListener(const FrameListener&) = delete;
+  FrameListener& operator=(const FrameListener&) = delete;
+
+  /// Binds and listens on 127.0.0.1:`port` (0: ephemeral, see port()).
+  Status Listen(uint16_t port);
+
+  /// Accepts one connection (blocking; poll the fd first in event loops).
+  /// `timeout_seconds` > 0 arms the accepted socket's timeouts.
+  Result<FrameConn> Accept(double timeout_seconds = 0.0) const;
+
+  bool listening() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+  uint16_t port() const { return port_; }
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace rod::cluster
+
+#endif  // ROD_CLUSTER_TRANSPORT_H_

@@ -1,0 +1,539 @@
+#include "cluster/worker.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "telemetry/exposition.h"
+
+namespace rod::cluster {
+
+namespace {
+
+double MonotonicSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Socket timeout on the control connection: a coordinator that wedges
+/// mid-frame surfaces as kUnavailable instead of hanging the worker.
+constexpr double kControlTimeout = 30.0;
+
+/// Data-plane send/dial timeout: a peer that stops draining is treated
+/// as down (loss is counted) rather than stalling the event loop.
+constexpr double kDataTimeout = 2.0;
+
+/// Bound on batches buffered against paused operators; beyond it the
+/// oldest buffered batch is dropped and counted lost (a migration fence
+/// must not grow memory without bound if a resume never comes).
+constexpr size_t kMaxPausedBatches = 65536;
+
+}  // namespace
+
+Worker::Worker(WorkerOptions options) : options_(std::move(options)) {
+  if (options_.name.empty()) {
+    options_.name = "worker-" + std::to_string(::getpid());
+  }
+}
+
+Worker::~Worker() { http_.Stop(); }
+
+Status RunWorker(const WorkerOptions& options) {
+  Worker worker(options);
+  return worker.Run();
+}
+
+void Worker::RequestStop() { stop_pipe_.Notify(); }
+
+double Worker::Now() const {
+  return started_ ? MonotonicSeconds() - run_epoch_ : 0.0;
+}
+
+Status Worker::Run() {
+  std::string error;
+  if (!stop_pipe_.Open(&error)) {
+    return Status::Internal("self-pipe: " + error);
+  }
+  ROD_RETURN_IF_ERROR(Connect());
+  const Status result = EventLoop();
+  http_.Stop();
+  return result;
+}
+
+Status Worker::Connect() {
+  ROD_RETURN_IF_ERROR(data_listener_.Listen(options_.data_port));
+  if (options_.serve_http) StartHttpPlane();
+
+  // The coordinator may come up after its workers; retry the dial until
+  // the connect timeout elapses.
+  const double deadline = MonotonicSeconds() + options_.connect_timeout;
+  for (;;) {
+    auto conn = FrameConn::DialLoopback(options_.coordinator_port,
+                                        kControlTimeout);
+    if (conn.ok()) {
+      control_ = std::move(conn.value());
+      break;
+    }
+    if (MonotonicSeconds() >= deadline) return conn.status();
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  HelloMsg hello;
+  hello.data_port = data_listener_.port();
+  hello.http_port = http_port_;
+  hello.capacity = options_.capacity;
+  hello.name = options_.name;
+  ROD_RETURN_IF_ERROR(control_.Send(MsgType::kHello, hello.Encode()));
+
+  Frame frame;
+  ROD_RETURN_IF_ERROR(control_.Recv(&frame));
+  if (frame.type != MsgType::kWelcome) {
+    return Status::InvalidArgument(
+        std::string("expected welcome, got ") + MsgTypeName(frame.type));
+  }
+  auto welcome = WelcomeMsg::Decode(frame.payload);
+  if (!welcome.ok()) return welcome.status();
+  worker_id_ = welcome->worker_id;
+  num_workers_ = welcome->num_workers;
+  heartbeat_interval_ = welcome->heartbeat_interval;
+  return Status::OK();
+}
+
+Status Worker::EventLoop() {
+  for (;;) {
+    std::vector<pollfd> fds;
+    fds.push_back({stop_pipe_.read_fd(), POLLIN, 0});
+    fds.push_back({control_.fd(), POLLIN, 0});
+    fds.push_back({data_listener_.fd(), POLLIN, 0});
+    const size_t inbound_base = fds.size();
+    for (const FrameConn& conn : inbound_) {
+      fds.push_back({conn.fd(), POLLIN, 0});
+    }
+
+    int timeout_ms = -1;
+    if (started_) {
+      double next = next_heartbeat_;
+      if (generating_) next = std::min(next, next_tick_);
+      const double wait = next - Now();
+      timeout_ms = wait <= 0.0
+                       ? 0
+                       : static_cast<int>(std::ceil(wait * 1000.0));
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("poll failed");
+    }
+
+    if (fds[0].revents != 0) return Status::OK();  // RequestStop().
+
+    if (fds[1].revents != 0) {
+      Frame frame;
+      const Status recv = control_.Recv(&frame);
+      if (!recv.ok()) return recv;  // Coordinator gone or corrupt stream.
+      if (frame.type == MsgType::kShutdown) return Status::OK();
+      ROD_RETURN_IF_ERROR(HandleControlFrame(frame));
+    }
+
+    if (fds[2].revents != 0) {
+      auto conn = data_listener_.Accept(kDataTimeout);
+      if (conn.ok()) inbound_.push_back(std::move(conn.value()));
+    }
+
+    // Drain readable peers; dead ones are compacted out afterwards.
+    std::vector<size_t> dead;
+    for (size_t i = inbound_base; i < fds.size(); ++i) {
+      if (fds[i].revents == 0) continue;
+      const size_t idx = i - inbound_base;
+      Frame frame;
+      const Status recv = inbound_[idx].Recv(&frame);
+      if (!recv.ok()) {
+        dead.push_back(idx);
+        continue;
+      }
+      HandleDataFrame(frame);
+    }
+    for (auto it = dead.rbegin(); it != dead.rend(); ++it) {
+      inbound_.erase(inbound_.begin() + static_cast<ptrdiff_t>(*it));
+    }
+
+    // Timers.
+    if (started_) {
+      const double now = Now();
+      if (generating_ && now >= next_tick_) {
+        const double dt = now - last_gen_time_;
+        GenerateSources(now, dt);
+        last_gen_time_ = now;
+        next_tick_ = now + start_.tick_seconds;
+        if (now >= start_.duration) generating_ = false;
+      }
+      if (now >= next_heartbeat_) {
+        SendHeartbeat(now);
+        next_heartbeat_ = now + heartbeat_interval_;
+      }
+    }
+  }
+}
+
+Status Worker::HandleControlFrame(const Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kPlan: {
+      auto plan = PlanMsg::Decode(frame.payload);
+      if (!plan.ok()) return plan.status();
+      return InstallPlan(*plan);
+    }
+    case MsgType::kStart: {
+      auto start = StartMsg::Decode(frame.payload);
+      if (!start.ok()) return start.status();
+      start_ = *start;
+      started_ = true;
+      generating_ = start_.duration > 0.0;
+      run_epoch_ = MonotonicSeconds();
+      last_gen_time_ = 0.0;
+      next_tick_ = start_.tick_seconds;
+      next_heartbeat_ = 0.0;  // First heartbeat right away.
+      gen_carry_.assign(start_.rates.size(), 0.0);
+      rng_.Reseed(start_.seed + worker_id_);
+      return Status::OK();
+    }
+    case MsgType::kPause: {
+      auto pause = PauseMsg::Decode(frame.payload);
+      if (!pause.ok()) return pause.status();
+      for (uint32_t op : pause->ops) {
+        if (op < paused_.size()) paused_[op] = 1;
+      }
+      telemetry_.Count("cluster.pauses", 1);
+      // Single-threaded loop: nothing is in flight here, so paused ops
+      // are already drained — the ack is the drain confirmation.
+      PlanAckMsg ack{pause->plan_version, worker_id_};
+      return control_.Send(MsgType::kPauseAck, ack.Encode());
+    }
+    case MsgType::kPlanDiff: {
+      auto diff = PlanDiffMsg::Decode(frame.payload);
+      if (!diff.ok()) return diff.status();
+      ApplyPlanDiff(*diff);
+      PlanAckMsg ack{diff->version, worker_id_};
+      return control_.Send(MsgType::kPlanAck, ack.Encode());
+    }
+    case MsgType::kResume: {
+      std::fill(paused_.begin(), paused_.end(), 0);
+      FlushPausedBuffers();
+      telemetry_.Count("cluster.resumes", 1);
+      return Status::OK();
+    }
+    case MsgType::kFinish: {
+      generating_ = false;
+      FinalStatsMsg stats{worker_id_, counters_};
+      return control_.Send(MsgType::kFinalStats, stats.Encode());
+    }
+    default:
+      return Status::InvalidArgument(
+          std::string("unexpected control frame: ") +
+          MsgTypeName(frame.type));
+  }
+}
+
+Status Worker::InstallPlan(const PlanMsg& plan) {
+  place::SystemSpec system{Vector(plan.capacities)};
+  std::vector<size_t> assignment(plan.assignment.begin(),
+                                 plan.assignment.end());
+  place::Placement placement(plan.capacities.size(), assignment);
+  auto deployment = sim::CompileDeployment(plan.graph, placement, system);
+  if (!deployment.ok()) return deployment.status();
+
+  graph_ = plan.graph;
+  deployment_ = std::move(deployment.value());
+  assignment_ = std::move(assignment);
+  source_owner_ = plan.source_owner;
+  plan_version_ = plan.version;
+  have_plan_ = true;
+
+  const size_t num_ops = graph_.num_operators();
+  paused_.assign(num_ops, 0);
+  paused_buffers_.clear();
+  emit_carry_.assign(num_ops, 0.0);
+  op_processed_.assign(num_ops, 0);
+  op_busy_.assign(num_ops, 0.0);
+
+  for (const WorkerEndpoint& e : plan.endpoints) {
+    if (e.worker_id == worker_id_) continue;
+    Peer& peer = peers_[e.worker_id];
+    if (peer.data_port != e.data_port) {
+      peer.conn.Close();
+      peer.data_port = e.data_port;
+      peer.down_until = -1.0;
+    }
+  }
+
+  size_t hosted = 0;
+  for (size_t node : assignment_) hosted += node == worker_id_ ? 1 : 0;
+
+  // Register the cluster.* families at zero so every worker's /metrics
+  // exposes them from the first scrape.
+  for (const char* name :
+       {"cluster.tuples_generated", "cluster.tuples_processed",
+        "cluster.tuples_emitted", "cluster.tuples_delivered",
+        "cluster.tuples_shipped", "cluster.tuples_received",
+        "cluster.tuples_lost", "cluster.ship_failures",
+        "cluster.batches_received", "cluster.heartbeats_sent",
+        "cluster.plan_installs", "cluster.operator_moves",
+        "cluster.pauses", "cluster.resumes"}) {
+    telemetry_.Count(name, 0);
+  }
+  telemetry_.Count("cluster.plan_installs", 1);
+  telemetry_.SetGauge("cluster.plan_version",
+                      static_cast<double>(plan_version_));
+  telemetry_.SetGauge("cluster.hosted_operators",
+                      static_cast<double>(hosted));
+  telemetry_.SetGauge("cluster.worker_id", static_cast<double>(worker_id_));
+  ready_.store(true);
+
+  PlanAckMsg ack{plan.version, worker_id_};
+  return control_.Send(MsgType::kPlanAck, ack.Encode());
+}
+
+void Worker::ApplyPlanDiff(const PlanDiffMsg& diff) {
+  size_t moved = 0;
+  for (const OperatorMove& move : diff.moves) {
+    if (move.op >= assignment_.size()) continue;
+    assignment_[move.op] = move.to_worker;
+    ++moved;
+  }
+  ROD_CHECK_OK(sim::ReassignOperators(deployment_, assignment_).status());
+  plan_version_ = diff.version;
+  size_t hosted = 0;
+  for (size_t node : assignment_) hosted += node == worker_id_ ? 1 : 0;
+  telemetry_.Count("cluster.operator_moves", moved);
+  telemetry_.SetGauge("cluster.plan_version",
+                      static_cast<double>(plan_version_));
+  telemetry_.SetGauge("cluster.hosted_operators",
+                      static_cast<double>(hosted));
+}
+
+void Worker::HandleDataFrame(const Frame& frame) {
+  if (frame.type != MsgType::kTuples || !have_plan_) return;
+  auto batch = TupleBatchMsg::Decode(frame.payload);
+  if (!batch.ok()) return;  // Corrupt batch: drop (CRC already vetted).
+  counters_.received += batch->count;
+  telemetry_.Count("cluster.tuples_received", batch->count);
+  telemetry_.Count("cluster.batches_received", 1);
+  Dispatch(batch->to_op, batch->to_port, batch->count, batch->create_time);
+}
+
+void Worker::Dispatch(uint32_t op, uint32_t port, uint32_t count,
+                      double create_time) {
+  if (count == 0 || op >= assignment_.size()) return;
+  if (paused_[op] != 0) {
+    if (paused_buffers_.size() >= kMaxPausedBatches) {
+      counters_.lost_tuples += paused_buffers_.front().count;
+      paused_buffers_.erase(paused_buffers_.begin());
+    }
+    paused_buffers_.push_back({op, port, count, create_time});
+    counters_.paused_buffered += count;
+    return;
+  }
+  if (assignment_[op] == worker_id_) {
+    ProcessLocal(op, count, create_time);
+  } else {
+    ShipTo(static_cast<uint32_t>(assignment_[op]), op, port, count,
+           create_time);
+  }
+}
+
+void Worker::ProcessLocal(uint32_t op, uint32_t count, double create_time) {
+  struct Work {
+    uint32_t op;
+    uint32_t count;
+    double create_time;
+  };
+  std::vector<Work> stack{{op, count, create_time}};
+  while (!stack.empty()) {
+    const Work work = stack.back();
+    stack.pop_back();
+    const sim::CompiledOp& compiled = deployment_.ops[work.op];
+
+    counters_.processed += work.count;
+    op_processed_[work.op] += work.count;
+    const double busy = compiled.cost * work.count;
+    op_busy_[work.op] += busy;
+    counters_.busy_seconds += busy;
+    telemetry_.Count("cluster.tuples_processed", work.count);
+
+    // Fractional emission carry keeps long-run output rates equal to
+    // count * selectivity without per-tuple randomness.
+    emit_carry_[work.op] +=
+        static_cast<double>(work.count) * compiled.selectivity;
+    const uint32_t out =
+        static_cast<uint32_t>(std::floor(emit_carry_[work.op]));
+    emit_carry_[work.op] -= out;
+    if (out == 0) continue;
+    counters_.emitted += out;
+    telemetry_.Count("cluster.tuples_emitted", out);
+
+    if (compiled.consumers.empty()) {
+      counters_.delivered += out;
+      const double latency = std::max(0.0, Now() - work.create_time);
+      counters_.latency_sum += latency * out;
+      counters_.latency_max = std::max(counters_.latency_max, latency);
+      counters_.latency_count += out;
+      telemetry_.Count("cluster.tuples_delivered", out);
+      continue;
+    }
+    for (const sim::Route& route : compiled.consumers) {
+      const uint32_t to = route.to_op;
+      if (to >= assignment_.size()) continue;
+      if (paused_[to] != 0 || assignment_[to] != worker_id_) {
+        Dispatch(to, route.to_port, out, work.create_time);
+      } else {
+        stack.push_back({to, out, work.create_time});
+      }
+    }
+  }
+}
+
+void Worker::ShipTo(uint32_t peer_id, uint32_t op, uint32_t port,
+                    uint32_t count, double create_time) {
+  auto it = peers_.find(peer_id);
+  if (it == peers_.end()) {
+    counters_.ship_failures += 1;
+    counters_.lost_tuples += count;
+    telemetry_.Count("cluster.ship_failures", 1);
+    telemetry_.Count("cluster.tuples_lost", count);
+    return;
+  }
+  Peer& peer = it->second;
+  const double now = Now();
+  auto fail = [&] {
+    peer.conn.Close();
+    peer.down_until = now + options_.peer_retry_cooldown;
+    counters_.ship_failures += 1;
+    counters_.lost_tuples += count;
+    telemetry_.Count("cluster.ship_failures", 1);
+    telemetry_.Count("cluster.tuples_lost", count);
+  };
+  if (peer.down_until > now) {
+    counters_.ship_failures += 1;
+    counters_.lost_tuples += count;
+    telemetry_.Count("cluster.ship_failures", 1);
+    telemetry_.Count("cluster.tuples_lost", count);
+    return;
+  }
+  if (!peer.conn.valid()) {
+    auto conn = FrameConn::DialLoopback(peer.data_port, kDataTimeout);
+    if (!conn.ok()) {
+      fail();
+      return;
+    }
+    peer.conn = std::move(conn.value());
+  }
+  TupleBatchMsg batch;
+  batch.to_op = op;
+  batch.to_port = port;
+  batch.count = count;
+  batch.from_worker = worker_id_;
+  batch.create_time = create_time;
+  if (!peer.conn.Send(MsgType::kTuples, batch.Encode()).ok()) {
+    fail();
+    return;
+  }
+  counters_.shipped += count;
+  telemetry_.Count("cluster.tuples_shipped", count);
+}
+
+void Worker::FlushPausedBuffers() {
+  std::vector<BufferedBatch> buffered;
+  buffered.swap(paused_buffers_);
+  for (const BufferedBatch& batch : buffered) {
+    Dispatch(batch.op, batch.port, batch.count, batch.create_time);
+  }
+}
+
+void Worker::GenerateSources(double now, double dt) {
+  if (!have_plan_ || dt <= 0.0) return;
+  const double horizon = std::min(now, start_.duration);
+  const double effective_dt = std::min(dt, std::max(0.0, horizon - (now - dt)));
+  if (effective_dt <= 0.0) return;
+  for (size_t s = 0; s < start_.rates.size(); ++s) {
+    if (s >= source_owner_.size() || source_owner_[s] != worker_id_) continue;
+    if (s >= deployment_.input_routes.size()) continue;
+    gen_carry_[s] += start_.rates[s] * effective_dt;
+    const uint32_t n = static_cast<uint32_t>(std::floor(gen_carry_[s]));
+    gen_carry_[s] -= n;
+    if (n == 0) continue;
+    counters_.generated += n;
+    telemetry_.Count("cluster.tuples_generated", n);
+    for (const sim::Route& route : deployment_.input_routes[s]) {
+      Dispatch(route.to_op, route.to_port, n, now);
+    }
+  }
+}
+
+void Worker::SendHeartbeat(double now) {
+  HeartbeatMsg hb;
+  hb.worker_id = worker_id_;
+  hb.seq = ++heartbeat_seq_;
+  hb.uptime_seconds = now;
+  hb.plan_version = plan_version_;
+  hb.queue_depth = paused_buffers_.size();
+  hb.counters = counters_;
+  for (size_t j = 0; j < assignment_.size(); ++j) {
+    if (assignment_[j] != worker_id_ || op_processed_[j] == 0) continue;
+    hb.loads.push_back({static_cast<uint32_t>(j), op_processed_[j],
+                        op_busy_[j]});
+  }
+  // A failed heartbeat send means the coordinator is gone; the control
+  // read in the event loop will surface the error and exit the worker.
+  (void)control_.Send(MsgType::kHeartbeat, hb.Encode());
+  telemetry_.Count("cluster.heartbeats_sent", 1);
+}
+
+void Worker::StartHttpPlane() {
+  telemetry::Telemetry* tel = &telemetry_;
+  telemetry::FlightRecorder* rec = &flight_recorder_;
+  http_.Handle("/metrics", [tel](std::string_view) {
+    std::ostringstream body;
+    telemetry::WritePrometheusText(tel->Snapshot(), body);
+    return telemetry::HttpServer::Response{
+        200, telemetry::kPrometheusContentType, body.str()};
+  });
+  http_.Handle("/metrics.json", [tel](std::string_view) {
+    std::ostringstream body;
+    tel->WriteMetricsJson(body);
+    return telemetry::HttpServer::Response{200, "application/json",
+                                           body.str()};
+  });
+  http_.Handle("/flightrecorder", [rec](std::string_view) {
+    std::ostringstream body;
+    rec->WriteJson(body);
+    return telemetry::HttpServer::Response{200, "application/json",
+                                           body.str()};
+  });
+  http_.Handle("/healthz", [](std::string_view) {
+    return telemetry::HttpServer::Response{200, "text/plain; charset=utf-8",
+                                           "ok\n"};
+  });
+  const std::atomic<bool>* ready = &ready_;
+  http_.Handle("/readyz", [ready](std::string_view) {
+    return ready->load()
+               ? telemetry::HttpServer::Response{200,
+                                                 "text/plain; charset=utf-8",
+                                                 "ready\n"}
+               : telemetry::HttpServer::Response{503,
+                                                 "text/plain; charset=utf-8",
+                                                 "no plan installed\n"};
+  });
+  std::string error;
+  if (http_.Start(options_.http_port, &error)) {
+    http_port_ = http_.port();
+  }
+}
+
+}  // namespace rod::cluster

@@ -20,6 +20,8 @@ const char* StatusCodeName(StatusCode code) {
       return "internal";
     case StatusCode::kDataLoss:
       return "data_loss";
+    case StatusCode::kUnavailable:
+      return "unavailable";
   }
   return "unknown";
 }

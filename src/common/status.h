@@ -25,6 +25,12 @@ enum class StatusCode {
   kInternal,           ///< Invariant violation inside the library.
   kDataLoss,           ///< Persistent data is unrecoverably corrupt or
                        ///< truncated (checksum mismatch, torn write).
+  kUnavailable,        ///< A peer or transport is (possibly transiently)
+                       ///< gone: connection refused/reset, EOF mid-frame,
+                       ///< socket timeout. Distinguished from kDataLoss
+                       ///< (the bytes that did arrive were corrupt) and
+                       ///< kFailedPrecondition (local state): retrying or
+                       ///< re-routing may succeed.
 };
 
 /// Returns the canonical lower-case name of `code` ("ok", "invalid_argument", ...).
@@ -66,6 +72,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the operation succeeded.

@@ -20,11 +20,19 @@
 //              binary arrival store (mmap reader, zero-copy replay)
 //   runtime/   tuple-level DES engine, fluid simulator with migration
 //              policies, statistics-driven calibration
+//   cluster/   multi-process runtime: framed TCP protocol, worker and
+//              coordinator processes, plan-diff reassignment
 
 #ifndef ROD_ROD_H_
 #define ROD_ROD_H_
 
+#include "cluster/coordinator.h"
+#include "cluster/frame.h"
+#include "cluster/transport.h"
+#include "cluster/wire.h"
+#include "cluster/worker.h"
 #include "common/matrix.h"
+#include "common/net.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/status.h"

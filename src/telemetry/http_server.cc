@@ -1,19 +1,21 @@
 #include "telemetry/http_server.h"
 
-#include <arpa/inet.h>
 #include <cerrno>
-#include <cstring>
-#include <netinet/in.h>
 #include <poll.h>
-#include <sys/socket.h>
-#include <sys/time.h>
 #include <unistd.h>
 
 #include <utility>
 
+#include "common/net.h"
+
 namespace rod::telemetry {
 
 namespace {
+
+/// Hard cap on one request's bytes (request line + headers). A scraper's
+/// GET is a few hundred bytes; anything larger is rejected with 431
+/// instead of being read (or half-read and half-parsed) without bound.
+constexpr size_t kMaxRequestBytes = 16384;
 
 const char* StatusText(int status) {
   switch (status) {
@@ -25,32 +27,13 @@ const char* StatusText(int status) {
       return "Not Found";
     case 405:
       return "Method Not Allowed";
+    case 431:
+      return "Request Header Fields Too Large";
     case 503:
       return "Service Unavailable";
     default:
       return "Internal Server Error";
   }
-}
-
-/// Writes the whole buffer, retrying short writes; best-effort (a gone
-/// client is the client's problem).
-void WriteAll(int fd, const char* data, size_t len) {
-  size_t off = 0;
-  while (off < len) {
-    const ssize_t n = ::write(fd, data + off, len - off);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
-      return;
-    }
-    off += static_cast<size_t>(n);
-  }
-}
-
-bool FillError(std::string* error, const char* what) {
-  if (error != nullptr) {
-    *error = std::string(what) + ": " + std::strerror(errno);
-  }
-  return false;
 }
 
 }  // namespace
@@ -64,58 +47,30 @@ bool HttpServer::Start(uint16_t port, std::string* error) {
     if (error != nullptr) *error = "already serving";
     return false;
   }
-  if (::pipe(wake_pipe_) != 0) return FillError(error, "pipe");
+  if (!wake_pipe_.Open(error)) return false;
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  listen_fd_ = net::ListenLoopback(port, error);
   if (listen_fd_ < 0) {
-    FillError(error, "socket");
     Stop();
     return false;
   }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    FillError(error, "bind");
+  port_ = net::BoundPort(listen_fd_);
+  if (port_ == 0) {
+    net::FillErrno(error, "getsockname");
     Stop();
     return false;
   }
-  if (::listen(listen_fd_, /*backlog=*/16) != 0) {
-    FillError(error, "listen");
-    Stop();
-    return false;
-  }
-  socklen_t addr_len = sizeof(addr);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-                    &addr_len) != 0) {
-    FillError(error, "getsockname");
-    Stop();
-    return false;
-  }
-  port_ = ntohs(addr.sin_port);
 
   thread_ = std::thread([this] { AcceptLoop(); });
   return true;
 }
 
 void HttpServer::Stop() {
-  if (wake_pipe_[1] >= 0) {
-    const char byte = 'q';
-    // Wakes poll(); the loop sees the pipe readable and exits.
-    (void)!::write(wake_pipe_[1], &byte, 1);
-  }
+  // Wakes poll(); the loop sees the pipe readable and exits.
+  wake_pipe_.Notify();
   if (thread_.joinable()) thread_.join();
-  for (int* fd : {&listen_fd_, &wake_pipe_[0], &wake_pipe_[1]}) {
-    if (*fd >= 0) {
-      ::close(*fd);
-      *fd = -1;
-    }
-  }
+  net::CloseFd(&listen_fd_);
+  wake_pipe_.Close();
   port_ = 0;
 }
 
@@ -123,7 +78,7 @@ void HttpServer::AcceptLoop() {
   for (;;) {
     pollfd fds[2];
     fds[0] = {listen_fd_, POLLIN, 0};
-    fds[1] = {wake_pipe_[0], POLLIN, 0};
+    fds[1] = {wake_pipe_.read_fd(), POLLIN, 0};
     const int ready = ::poll(fds, 2, /*timeout_ms=*/-1);
     if (ready < 0) {
       if (errno == EINTR) continue;
@@ -131,30 +86,33 @@ void HttpServer::AcceptLoop() {
     }
     if (fds[1].revents != 0) return;  // Stop() wrote the wake byte.
     if ((fds[0].revents & POLLIN) == 0) continue;
-    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    const int client = net::AcceptConnection(listen_fd_);
     if (client < 0) continue;
     // A stalled client must not wedge the scrape endpoint forever.
-    timeval timeout{/*tv_sec=*/2, /*tv_usec=*/0};
-    ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-    ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &timeout, sizeof(timeout));
+    net::SetSocketTimeouts(client, /*seconds=*/2.0);
     ServeConnection(client);
     ::close(client);
   }
 }
 
 void HttpServer::ServeConnection(int client_fd) {
-  // Read until the end of the request headers (or the buffer cap — the
-  // request line is all we use, so oversized headers are fine to cut).
+  // Read until the end of the request headers, bounded: a request that
+  // exceeds the cap without completing its header block is rejected
+  // outright (431) rather than parsed from a truncated prefix.
   std::string request;
+  bool headers_complete = false;
   char buf[2048];
-  while (request.size() < 16384 &&
-         request.find("\r\n\r\n") == std::string::npos) {
+  while (request.size() < kMaxRequestBytes) {
     const ssize_t n = ::read(client_fd, buf, sizeof(buf));
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       break;
     }
     request.append(buf, static_cast<size_t>(n));
+    if (request.find("\r\n\r\n") != std::string::npos) {
+      headers_complete = true;
+      break;
+    }
   }
 
   Response response;
@@ -167,8 +125,11 @@ void HttpServer::ServeConnection(int client_fd) {
   const size_t target_end =
       method_end == std::string_view::npos ? std::string_view::npos
                                            : line.find(' ', method_end + 1);
-  if (method_end == std::string_view::npos ||
-      target_end == std::string_view::npos) {
+  if (!headers_complete && request.size() >= kMaxRequestBytes) {
+    response = Response{431, "text/plain; charset=utf-8",
+                        "request header fields too large\n"};
+  } else if (method_end == std::string_view::npos ||
+             target_end == std::string_view::npos) {
     response = Response{400, "text/plain; charset=utf-8", "bad request\n"};
   } else if (line.substr(0, method_end) != "GET") {
     response =
@@ -192,8 +153,8 @@ void HttpServer::ServeConnection(int client_fd) {
                      "\r\nContent-Length: " +
                      std::to_string(response.body.size()) +
                      "\r\nConnection: close\r\n\r\n";
-  WriteAll(client_fd, head.data(), head.size());
-  WriteAll(client_fd, response.body.data(), response.body.size());
+  net::WriteAll(client_fd, head.data(), head.size());
+  net::WriteAll(client_fd, response.body.data(), response.body.size());
 }
 
 }  // namespace rod::telemetry

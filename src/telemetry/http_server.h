@@ -23,6 +23,8 @@
 #include <string_view>
 #include <thread>
 
+#include "common/net.h"
+
 namespace rod::telemetry {
 
 class HttpServer {
@@ -69,7 +71,7 @@ class HttpServer {
 
   std::map<std::string, Handler, std::less<>> handlers_;
   int listen_fd_ = -1;
-  int wake_pipe_[2] = {-1, -1};  ///< Self-pipe: unblocks poll() in Stop().
+  net::SelfPipe wake_pipe_;  ///< Unblocks poll() in Stop().
   uint16_t port_ = 0;
   std::thread thread_;
 };

@@ -1,0 +1,177 @@
+// End-to-end cluster tests with real processes: the coordinator runs in
+// the test process while each worker is fork()ed and runs RunWorker()
+// until shutdown. The chaos case kill -9's one worker mid-run and
+// asserts the full recovery pipeline — missed-heartbeat detection,
+// supervisor-driven plan diff (pause -> drain -> reassign -> resume),
+// survivor completion, and a populated IncidentReport.
+
+#include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <thread>
+#include <vector>
+
+#include "cluster/coordinator.h"
+#include "cluster/worker.h"
+#include "common/random.h"
+#include "query/graph_gen.h"
+
+namespace rod::cluster {
+namespace {
+
+query::QueryGraph TestGraph() {
+  query::GraphGenOptions options;
+  options.num_input_streams = 3;
+  options.ops_per_tree = 6;
+  Rng rng(7);
+  return query::GenerateRandomTrees(options, rng);
+}
+
+CoordinatorOptions FastOptions() {
+  CoordinatorOptions options;
+  options.expected_workers = 3;
+  options.heartbeat_interval = 0.1;
+  options.heartbeat_timeout = 0.5;
+  options.duration = 2.0;
+  options.default_rate = 200.0;
+  options.finish_grace = 0.4;
+  options.register_timeout = 20.0;
+  return options;
+}
+
+/// Forks a worker process running RunWorker against `port`; returns its
+/// pid. The child never returns into gtest (straight to _exit).
+pid_t SpawnWorker(uint16_t port) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  WorkerOptions options;
+  options.coordinator_port = port;
+  options.serve_http = false;
+  options.name = "e2e-worker-" + std::to_string(::getpid());
+  const Status status = RunWorker(options);
+  ::_exit(status.ok() ? 0 : 1);
+}
+
+int WaitFor(pid_t pid) {
+  int wstatus = 0;
+  ::waitpid(pid, &wstatus, 0);
+  return wstatus;
+}
+
+TEST(ClusterE2eTest, ThreeWorkerRunCompletesAndAggregates) {
+  Coordinator coordinator(TestGraph(), FastOptions());
+  ASSERT_TRUE(coordinator.Listen().ok());
+
+  std::vector<pid_t> workers;
+  for (int i = 0; i < 3; ++i) workers.push_back(SpawnWorker(coordinator.port()));
+
+  const Status run = coordinator.Run();
+  EXPECT_TRUE(run.ok()) << run.ToString();
+
+  for (const pid_t pid : workers) {
+    const int wstatus = WaitFor(pid);
+    EXPECT_TRUE(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0);
+  }
+
+  const ClusterReport& report = coordinator.report();
+  EXPECT_EQ(report.num_workers, 3u);
+  EXPECT_EQ(report.plan_version, 1u);
+  EXPECT_FALSE(report.had_incident);
+  EXPECT_GT(report.plan_ship_seconds, 0.0);
+  EXPECT_LT(report.plan_ship_seconds, 5.0);
+  // ~3 streams * 200/s * 2s of generation, minus tick rounding.
+  EXPECT_GT(report.totals.generated, 600u);
+  EXPECT_GT(report.totals.delivered, 0u);
+  EXPECT_EQ(report.totals.lost_tuples, 0u);
+  // Placement spreads operators, so tuples really crossed processes, and
+  // every shipped batch was received by a peer.
+  EXPECT_GT(report.totals.shipped, 0u);
+  EXPECT_EQ(report.totals.shipped, report.totals.received);
+  ASSERT_EQ(report.workers.size(), 3u);
+  for (const auto& worker : report.workers) {
+    EXPECT_TRUE(worker.alive);
+    EXPECT_TRUE(worker.final_stats);
+  }
+}
+
+TEST(ClusterE2eTest, KillNineMidRunDetectsRepairsAndCompletes) {
+  CoordinatorOptions options = FastOptions();
+  options.duration = 3.0;
+  Coordinator coordinator(TestGraph(), options);
+  ASSERT_TRUE(coordinator.Listen().ok());
+
+  std::vector<pid_t> workers;
+  for (int i = 0; i < 3; ++i) workers.push_back(SpawnWorker(coordinator.port()));
+
+  // Real-process chaos: SIGKILL one worker mid-run — no cleanup, no
+  // goodbye frame, exactly like an OOM kill or machine loss.
+  std::thread killer([&workers] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1200));
+    ::kill(workers[0], SIGKILL);
+  });
+
+  const Status run = coordinator.Run();
+  killer.join();
+  EXPECT_TRUE(run.ok()) << run.ToString();
+
+  const int victim_status = WaitFor(workers[0]);
+  EXPECT_TRUE(WIFSIGNALED(victim_status) &&
+              WTERMSIG(victim_status) == SIGKILL);
+  EXPECT_TRUE(WIFEXITED(WaitFor(workers[1])));
+  EXPECT_TRUE(WIFEXITED(WaitFor(workers[2])));
+
+  const ClusterReport& report = coordinator.report();
+  ASSERT_TRUE(report.had_incident);
+  const sim::IncidentReport& incident = report.incident;
+
+  // Detection came from the heartbeat deadline: the gap between the last
+  // proof of life and detection is at least the timeout and not wildly
+  // more (generous slack for loaded CI machines).
+  EXPECT_GE(incident.detect_time, incident.crash_time);
+  const double detection_delay = incident.detect_time - incident.crash_time;
+  EXPECT_GE(detection_delay, options.heartbeat_timeout * 0.9);
+  EXPECT_LT(detection_delay, options.heartbeat_timeout + 5.0);
+
+  // The supervisor re-homed the victim's operators via the plan-diff
+  // protocol and the plan version advanced.
+  EXPECT_TRUE(incident.recovered);
+  EXPECT_GT(incident.operators_moved, 0u);
+  EXPECT_GE(incident.plan_applied_time, incident.detect_time);
+  EXPECT_GE(report.plan_version, 2u);
+
+  // Exactly one worker died; the survivors reported final stats.
+  size_t alive = 0, finals = 0;
+  for (const auto& worker : report.workers) {
+    alive += worker.alive ? 1 : 0;
+    finals += worker.final_stats ? 1 : 0;
+  }
+  EXPECT_EQ(alive, 2u);
+  EXPECT_EQ(finals, 2u);
+
+  // The cluster kept delivering after repair, and the loss breakdown is
+  // populated consistently (ships to the dead peer during the detection
+  // window are network loss).
+  EXPECT_GT(report.totals.delivered, 0u);
+  EXPECT_EQ(incident.lost_tuples,
+            incident.lost_queued + incident.lost_inflight +
+                incident.lost_network + incident.rejected_inputs);
+  EXPECT_GE(incident.availability, 0.0);
+  EXPECT_LE(incident.availability, 1.0);
+
+  // The incident landed in the coordinator's flight recorder.
+  EXPECT_EQ(coordinator.flight_recorder().incident_count(), 1u);
+}
+
+TEST(ClusterE2eTest, CoordinatorTimesOutWhenWorkersNeverRegister) {
+  CoordinatorOptions options = FastOptions();
+  options.register_timeout = 0.3;
+  Coordinator coordinator(TestGraph(), options);
+  const Status run = coordinator.Run();
+  EXPECT_EQ(run.code(), StatusCode::kUnavailable) << run.ToString();
+}
+
+}  // namespace
+}  // namespace rod::cluster

@@ -1,0 +1,255 @@
+// Wire-serialization tests for the cluster protocol payloads: every
+// message type round-trips through Encode/Decode, the query graph ships
+// losslessly inside a plan (specs, arcs, comm costs), and malformed
+// payloads — truncation, trailing garbage, inconsistent sizes — are
+// rejected with kInvalidArgument instead of being misparsed.
+
+#include "cluster/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "query/graph_gen.h"
+#include "query/query_graph.h"
+
+namespace rod::cluster {
+namespace {
+
+query::QueryGraph SmallGraph() {
+  query::QueryGraph graph;
+  const auto s0 = graph.AddInputStream("alpha");
+  const auto s1 = graph.AddInputStream("beta");
+  auto f = graph.AddOperator(
+      {.name = "filter", .kind = query::OperatorKind::kFilter, .cost = 1e-4,
+       .selectivity = 0.5},
+      {query::StreamRef::Input(s0)});
+  EXPECT_TRUE(f.ok());
+  auto j = graph.AddOperator(
+      {.name = "join",
+       .kind = query::OperatorKind::kJoin,
+       .cost = 2e-5,
+       .selectivity = 0.01,
+       .window = 1.5},
+      {query::StreamRef::Op(*f), query::StreamRef::Input(s1)},
+      {0.0, 3e-6});
+  EXPECT_TRUE(j.ok());
+  auto top = graph.AddOperator(
+      {.name = "top",
+       .kind = query::OperatorKind::kMap,
+       .cost = 5e-5,
+       .selectivity = 1.0,
+       .variable_selectivity = true,
+       .qos_weight = 2.0},
+      {query::StreamRef::Op(*j)});
+  EXPECT_TRUE(top.ok());
+  return graph;
+}
+
+TEST(ClusterWireTest, HelloRoundTrip) {
+  HelloMsg msg;
+  msg.data_port = 40123;
+  msg.http_port = 9102;
+  msg.capacity = 0.75;
+  msg.name = "rack1-w0";
+  auto decoded = HelloMsg::Decode(msg.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->data_port, 40123);
+  EXPECT_EQ(decoded->http_port, 9102);
+  EXPECT_DOUBLE_EQ(decoded->capacity, 0.75);
+  EXPECT_EQ(decoded->name, "rack1-w0");
+}
+
+TEST(ClusterWireTest, WelcomeAndStartRoundTrip) {
+  WelcomeMsg welcome{3, 5, 0.125, 0.75};
+  auto w = WelcomeMsg::Decode(welcome.Encode());
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w->worker_id, 3u);
+  EXPECT_EQ(w->num_workers, 5u);
+  EXPECT_DOUBLE_EQ(w->heartbeat_interval, 0.125);
+  EXPECT_DOUBLE_EQ(w->heartbeat_timeout, 0.75);
+
+  StartMsg start;
+  start.duration = 12.5;
+  start.tick_seconds = 0.02;
+  start.seed = 0xfeedbeef;
+  start.rates = {100.0, 250.5, 0.0};
+  auto s = StartMsg::Decode(start.Encode());
+  ASSERT_TRUE(s.ok());
+  EXPECT_DOUBLE_EQ(s->duration, 12.5);
+  EXPECT_EQ(s->seed, 0xfeedbeefu);
+  EXPECT_EQ(s->rates, start.rates);
+}
+
+TEST(ClusterWireTest, PlanRoundTripPreservesGraphAndRouting) {
+  PlanMsg plan;
+  plan.version = 7;
+  plan.graph = SmallGraph();
+  plan.assignment = {0, 1, 1};
+  plan.capacities = {1.0, 0.5};
+  plan.endpoints = {{0, 41001}, {1, 41002}};
+  plan.source_owner = {0, 1};
+
+  auto decoded = PlanMsg::Decode(plan.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->version, 7u);
+  EXPECT_EQ(decoded->assignment, plan.assignment);
+  EXPECT_EQ(decoded->capacities, plan.capacities);
+  EXPECT_EQ(decoded->source_owner, plan.source_owner);
+  ASSERT_EQ(decoded->endpoints.size(), 2u);
+  EXPECT_EQ(decoded->endpoints[1].data_port, 41002);
+
+  const query::QueryGraph& graph = decoded->graph;
+  ASSERT_EQ(graph.num_operators(), 3u);
+  ASSERT_EQ(graph.num_input_streams(), 2u);
+  EXPECT_EQ(graph.input_name(0), "alpha");
+  EXPECT_EQ(graph.spec(0).name, "filter");
+  EXPECT_DOUBLE_EQ(graph.spec(0).selectivity, 0.5);
+  EXPECT_EQ(graph.spec(1).kind, query::OperatorKind::kJoin);
+  EXPECT_DOUBLE_EQ(graph.spec(1).window, 1.5);
+  EXPECT_TRUE(graph.spec(2).variable_selectivity);
+  EXPECT_DOUBLE_EQ(graph.spec(2).qos_weight, 2.0);
+  // The join's second arc came from input stream 1 with a comm cost.
+  const auto& arcs = graph.inputs_of(1);
+  ASSERT_EQ(arcs.size(), 2u);
+  EXPECT_EQ(arcs[0].from, query::StreamRef::Op(0));
+  EXPECT_EQ(arcs[1].from, query::StreamRef::Input(1));
+  EXPECT_DOUBLE_EQ(arcs[1].comm_cost, 3e-6);
+}
+
+TEST(ClusterWireTest, GeneratedGraphSurvivesTheWire) {
+  // The paper's random-trees workload is what real runs ship; encode the
+  // whole thing and verify structural equality.
+  query::GraphGenOptions options;
+  options.num_input_streams = 4;
+  options.ops_per_tree = 8;
+  Rng rng(21);
+  const query::QueryGraph graph = query::GenerateRandomTrees(options, rng);
+
+  WireWriter w;
+  EncodeQueryGraph(graph, w);
+  WireReader r(w.str());
+  auto decoded = DecodeQueryGraph(r);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_TRUE(r.AtEnd());
+
+  ASSERT_EQ(decoded->num_operators(), graph.num_operators());
+  ASSERT_EQ(decoded->num_input_streams(), graph.num_input_streams());
+  for (size_t j = 0; j < graph.num_operators(); ++j) {
+    EXPECT_EQ(decoded->spec(j).name, graph.spec(j).name);
+    EXPECT_EQ(decoded->spec(j).kind, graph.spec(j).kind);
+    EXPECT_DOUBLE_EQ(decoded->spec(j).cost, graph.spec(j).cost);
+    EXPECT_DOUBLE_EQ(decoded->spec(j).selectivity, graph.spec(j).selectivity);
+    ASSERT_EQ(decoded->inputs_of(j).size(), graph.inputs_of(j).size());
+    for (size_t a = 0; a < graph.inputs_of(j).size(); ++a) {
+      EXPECT_EQ(decoded->inputs_of(j)[a].from, graph.inputs_of(j)[a].from);
+    }
+  }
+}
+
+TEST(ClusterWireTest, HeartbeatRoundTripWithLoads) {
+  HeartbeatMsg hb;
+  hb.worker_id = 2;
+  hb.seq = 41;
+  hb.uptime_seconds = 3.25;
+  hb.plan_version = 9;
+  hb.queue_depth = 17;
+  hb.counters.generated = 1000;
+  hb.counters.processed = 900;
+  hb.counters.lost_tuples = 3;
+  hb.counters.latency_sum = 1.5;
+  hb.counters.latency_max = 0.125;
+  hb.counters.latency_count = 890;
+  hb.loads = {{0, 500, 0.05}, {4, 400, 0.04}};
+
+  auto decoded = HeartbeatMsg::Decode(hb.Encode());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->worker_id, 2u);
+  EXPECT_EQ(decoded->seq, 41u);
+  EXPECT_EQ(decoded->plan_version, 9u);
+  EXPECT_EQ(decoded->queue_depth, 17u);
+  EXPECT_EQ(decoded->counters.generated, 1000u);
+  EXPECT_EQ(decoded->counters.lost_tuples, 3u);
+  EXPECT_DOUBLE_EQ(decoded->counters.latency_max, 0.125);
+  ASSERT_EQ(decoded->loads.size(), 2u);
+  EXPECT_EQ(decoded->loads[1].op, 4u);
+  EXPECT_EQ(decoded->loads[1].processed, 400u);
+}
+
+TEST(ClusterWireTest, TuplePauseDiffFinalRoundTrips) {
+  TupleBatchMsg batch{12, 1, 64, 3, 2.75};
+  auto b = TupleBatchMsg::Decode(batch.Encode());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->to_op, 12u);
+  EXPECT_EQ(b->to_port, 1u);
+  EXPECT_EQ(b->count, 64u);
+  EXPECT_EQ(b->from_worker, 3u);
+  EXPECT_DOUBLE_EQ(b->create_time, 2.75);
+
+  PauseMsg pause;
+  pause.plan_version = 4;
+  pause.ops = {1, 5, 9};
+  auto p = PauseMsg::Decode(pause.Encode());
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->plan_version, 4u);
+  EXPECT_EQ(p->ops, pause.ops);
+
+  PlanDiffMsg diff;
+  diff.version = 5;
+  diff.moves = {{1, 2, 0}, {5, 2, 1}};
+  auto d = PlanDiffMsg::Decode(diff.Encode());
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->version, 5u);
+  ASSERT_EQ(d->moves.size(), 2u);
+  EXPECT_EQ(d->moves[1].op, 5u);
+  EXPECT_EQ(d->moves[1].from_worker, 2u);
+  EXPECT_EQ(d->moves[1].to_worker, 1u);
+
+  FinalStatsMsg stats;
+  stats.worker_id = 1;
+  stats.counters.delivered = 123456;
+  auto f = FinalStatsMsg::Decode(stats.Encode());
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->worker_id, 1u);
+  EXPECT_EQ(f->counters.delivered, 123456u);
+}
+
+TEST(ClusterWireTest, TruncatedPayloadIsRejected) {
+  HelloMsg msg;
+  msg.name = "truncate-me";
+  std::string payload = msg.Encode();
+  payload.resize(payload.size() / 2);
+  EXPECT_EQ(HelloMsg::Decode(payload).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterWireTest, TrailingGarbageIsRejected) {
+  WelcomeMsg msg;
+  std::string payload = msg.Encode() + "extra";
+  EXPECT_EQ(WelcomeMsg::Decode(payload).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterWireTest, PlanWithInconsistentAssignmentIsRejected) {
+  PlanMsg plan;
+  plan.graph = SmallGraph();       // 3 operators.
+  plan.assignment = {0, 1};        // Wrong arity.
+  plan.capacities = {1.0, 1.0};
+  plan.source_owner = {0, 0};
+  EXPECT_EQ(PlanMsg::Decode(plan.Encode()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterWireTest, ReaderLatchesOutOfBoundsAndReports) {
+  WireWriter w;
+  w.U32(7);
+  WireReader r(w.str());
+  EXPECT_EQ(r.U32(), 7u);
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(r.U64(), 0u);  // Out of bounds: latches failure, returns 0.
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rod::cluster

@@ -23,8 +23,16 @@ TEST(StatusTest, FactoryHelpersSetCodeAndMessage) {
   EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::InvalidArgument("bad").message(), "bad");
   EXPECT_FALSE(Status::InvalidArgument("bad").ok());
+}
+
+TEST(StatusTest, UnavailableIsSurfacedDistinctly) {
+  const Status s = Status::Unavailable("peer gone");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.ToString(), "unavailable: peer gone");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "unavailable");
 }
 
 TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {

@@ -140,6 +140,40 @@ TEST(HttpServerTest, MalformedRequestIs400) {
   EXPECT_NE(resp.find("HTTP/1.1 400"), std::string::npos) << resp;
 }
 
+TEST(HttpServerTest, OversizedRequestHeadersAre431) {
+  HttpServer server;
+  server.Handle("/metrics", [](std::string_view) {
+    return HttpServer::Response{};
+  });
+  ASSERT_TRUE(server.Start(0));
+  // A request whose headers never finish within the 16 KiB read bound
+  // must be rejected, not buffered forever: one giant header line past
+  // the cap (but small enough to fit the loopback socket buffer, so the
+  // client's send completes even though the server stops reading).
+  std::string request = "GET /metrics HTTP/1.1\r\nX-Flood: ";
+  request.append(24 * 1024, 'a');
+  request += "\r\n\r\n";
+  const std::string resp = RawRequest(server.port(), request);
+  EXPECT_NE(resp.find("HTTP/1.1 431"), std::string::npos) << resp.substr(0, 200);
+}
+
+TEST(HttpServerTest, LargeButBoundedHeadersStillServe) {
+  HttpServer server;
+  server.Handle("/metrics", [](std::string_view) {
+    HttpServer::Response r;
+    r.body = "ok\n";
+    return r;
+  });
+  ASSERT_TRUE(server.Start(0));
+  // Just under the cap: must still be served normally.
+  std::string request = "GET /metrics HTTP/1.1\r\nX-Pad: ";
+  request.append(8 * 1024, 'b');
+  request += "\r\nConnection: close\r\n\r\n";
+  const std::string resp = RawRequest(server.port(), request);
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos)
+      << resp.substr(0, 200);
+}
+
 TEST(HttpServerTest, StopIsIdempotentAndRestartWorks) {
   HttpServer server;
   server.Handle("/healthz", [](std::string_view) {

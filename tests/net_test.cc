@@ -1,0 +1,148 @@
+// Tests for the shared raw-socket helpers (common/net) extracted from
+// the HTTP server: loopback listen/connect/accept, exact read/write,
+// EOF vs. error distinction, and the self-pipe wakeup primitive.
+
+#include "common/net.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace rod::net {
+namespace {
+
+TEST(NetTest, ListenConnectAcceptRoundTrip) {
+  std::string error;
+  const int listen_fd = ListenLoopback(0, &error);
+  ASSERT_GE(listen_fd, 0) << error;
+  const uint16_t port = BoundPort(listen_fd);
+  ASSERT_NE(port, 0);
+
+  const int client = ConnectLoopback(port, &error);
+  ASSERT_GE(client, 0) << error;
+  const int server = AcceptConnection(listen_fd);
+  ASSERT_GE(server, 0);
+
+  const char out[] = "ping across loopback";
+  ASSERT_TRUE(WriteAll(client, out, sizeof(out)));
+  char in[sizeof(out)] = {};
+  ASSERT_TRUE(ReadExactly(server, in, sizeof(out)));
+  EXPECT_STREQ(in, out);
+
+  int cfd = client, sfd = server, lfd = listen_fd;
+  CloseFd(&cfd);
+  CloseFd(&sfd);
+  CloseFd(&lfd);
+  EXPECT_EQ(cfd, -1);
+}
+
+TEST(NetTest, ConnectToClosedPortFails) {
+  // Grab an ephemeral port, close it, then dial it: must fail with a
+  // filled error string, not hang.
+  std::string error;
+  int fd = ListenLoopback(0, &error);
+  ASSERT_GE(fd, 0);
+  const uint16_t port = BoundPort(fd);
+  CloseFd(&fd);
+
+  const int client = ConnectLoopback(port, &error);
+  EXPECT_LT(client, 0);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(NetTest, ReadExactlySignalsCleanEofWithZeroErrno) {
+  std::string error;
+  const int listen_fd = ListenLoopback(0, &error);
+  ASSERT_GE(listen_fd, 0);
+  int client = ConnectLoopback(BoundPort(listen_fd), &error);
+  ASSERT_GE(client, 0);
+  int server = AcceptConnection(listen_fd);
+  ASSERT_GE(server, 0);
+
+  ASSERT_TRUE(WriteAll(client, "abc", 3));
+  CloseFd(&client);  // Half the expected bytes, then EOF.
+
+  char buf[8] = {};
+  errno = 77;
+  EXPECT_FALSE(ReadExactly(server, buf, 8));
+  EXPECT_EQ(errno, 0) << "clean EOF must be distinguishable from errors";
+
+  CloseFd(&server);
+  int lfd = listen_fd;
+  CloseFd(&lfd);
+}
+
+TEST(NetTest, WriteToDeadPeerFailsWithoutSigpipe) {
+  // The whole point of MSG_NOSIGNAL in WriteAll: writing to a peer that
+  // closed must return false (EPIPE), not kill the process.
+  std::string error;
+  const int listen_fd = ListenLoopback(0, &error);
+  ASSERT_GE(listen_fd, 0);
+  int client = ConnectLoopback(BoundPort(listen_fd), &error);
+  ASSERT_GE(client, 0);
+  int server = AcceptConnection(listen_fd);
+  ASSERT_GE(server, 0);
+  CloseFd(&server);
+
+  // First write may land in the kernel buffer; keep writing until the
+  // RST surfaces. Bounded so a regression fails rather than spins.
+  std::string chunk(4096, 'x');
+  bool failed = false;
+  for (int i = 0; i < 1000 && !failed; ++i) {
+    failed = !WriteAll(client, chunk.data(), chunk.size());
+  }
+  EXPECT_TRUE(failed);
+
+  CloseFd(&client);
+  int lfd = listen_fd;
+  CloseFd(&lfd);
+}
+
+TEST(NetTest, SelfPipeWakesAndDrains) {
+  SelfPipe pipe;
+  std::string error;
+  ASSERT_TRUE(pipe.Open(&error)) << error;
+  ASSERT_TRUE(pipe.open());
+
+  // Drain on an empty pipe must not block (read end is non-blocking).
+  pipe.Drain();
+
+  std::thread notifier([&pipe] { pipe.Notify(); });
+  notifier.join();
+  char byte = 0;
+  ASSERT_TRUE(ReadExactly(pipe.read_fd(), &byte, 1));
+  EXPECT_EQ(byte, 'w');
+
+  pipe.Notify();
+  pipe.Notify();
+  pipe.Drain();  // Multiple pending wakeups drain without blocking.
+  pipe.Close();
+  EXPECT_FALSE(pipe.open());
+}
+
+TEST(NetTest, SocketTimeoutsTurnIdleReadsIntoErrors) {
+  std::string error;
+  const int listen_fd = ListenLoopback(0, &error);
+  ASSERT_GE(listen_fd, 0);
+  int client = ConnectLoopback(BoundPort(listen_fd), &error);
+  ASSERT_GE(client, 0);
+  int server = AcceptConnection(listen_fd);
+  ASSERT_GE(server, 0);
+
+  SetSocketTimeouts(server, 0.05);
+  char buf[4];
+  errno = 0;
+  EXPECT_FALSE(ReadExactly(server, buf, sizeof(buf)));
+  EXPECT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK) << std::strerror(errno);
+
+  CloseFd(&client);
+  CloseFd(&server);
+  int lfd = listen_fd;
+  CloseFd(&lfd);
+}
+
+}  // namespace
+}  // namespace rod::net
