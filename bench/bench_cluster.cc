@@ -201,6 +201,9 @@ int main(int argc, char** argv) {
       tput->run_seconds > 0.0
           ? static_cast<double>(tput->totals.shipped) / tput->run_seconds
           : 0.0;
+  // Per-tuple-batch ship latency, offset-corrected onto the coordinator
+  // clock by each receiver and federated back over kStatsReport.
+  const ClusterReport::ShipLatency& lat = tput->ship_latency;
 
   // --- 3. kill-to-recovery: SIGKILL worker 0 mid-run. -----------------
   CoordinatorOptions chaos_options = BaseOptions(cfg);
@@ -224,6 +227,9 @@ int main(int argc, char** argv) {
   table.AddRow({"inter-worker ship (tuples/s)", bench::Fmt(ship_tps, 0)});
   table.AddRow({"  shipped == received",
                 tput->totals.shipped == tput->totals.received ? "yes" : "NO"});
+  table.AddRow({"ship latency p50/p99/max (us)",
+                bench::Fmt(lat.p50_us, 1) + " / " + bench::Fmt(lat.p99_us, 1) +
+                    " / " + bench::Fmt(lat.max_us, 1)});
   table.AddRow({"detection delay (s)", bench::Fmt(detection_s, 3)});
   table.AddRow({"repair: pause->resume (s)", bench::Fmt(repair_s, 3)});
   table.AddRow({"kill-to-recovery (s)", bench::Fmt(recovery_s, 3)});
@@ -290,10 +296,22 @@ int main(int argc, char** argv) {
     w.Key("lost").Uint(tput->totals.lost_tuples);
     w.Key("shipped_per_sec").Double(ship_tps);
     w.EndObject();
+    w.Key("ship_latency").BeginObjectInline();
+    w.Key("count").Uint(lat.count);
+    w.Key("mean_us").Double(lat.mean_us);
+    w.Key("p50_us").Double(lat.p50_us);
+    w.Key("p99_us").Double(lat.p99_us);
+    w.Key("max_us").Double(lat.max_us);
+    w.EndObject();
     w.Key("recovery").BeginObjectInline();
     w.Key("detection_seconds").Double(detection_s);
     w.Key("repair_seconds").Double(repair_s);
     w.Key("kill_to_recovery_seconds").Double(recovery_s);
+    if (chaos->phases.valid) {
+      w.Key("pause_drain_seconds").Double(chaos->phases.pause_drain_seconds);
+      w.Key("reassign_seconds").Double(chaos->phases.reassign_seconds);
+      w.Key("resume_seconds").Double(chaos->phases.resume_seconds);
+    }
     w.Key("operators_moved").Uint(incident.operators_moved);
     w.Key("plan_version").Uint(chaos->plan_version);
     w.Key("lost_tuples").Uint(incident.lost_tuples);

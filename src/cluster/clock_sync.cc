@@ -1,0 +1,52 @@
+#include "cluster/clock_sync.h"
+
+#include <cmath>
+
+namespace rod::cluster {
+
+ClockSyncEstimator::ClockSyncEstimator(size_t window)
+    : capacity_(window == 0 ? 1 : window) {
+  window_.reserve(capacity_);
+}
+
+void ClockSyncEstimator::AddSample(const ClockSample& sample) {
+  const double rtt =
+      (sample.t4_us - sample.t1_us) - (sample.t3_us - sample.t2_us);
+  if (!std::isfinite(rtt) || rtt <= 0.0) {
+    ++rejected_;
+    return;
+  }
+  const double offset =
+      ((sample.t1_us - sample.t2_us) + (sample.t4_us - sample.t3_us)) / 2.0;
+  if (!std::isfinite(offset)) {
+    ++rejected_;
+    return;
+  }
+  ++accepted_;
+  if (window_.size() < capacity_) {
+    window_.push_back({offset, rtt});
+    return;
+  }
+  window_[next_] = {offset, rtt};
+  next_ = (next_ + 1) % capacity_;
+}
+
+size_t ClockSyncEstimator::BestIndex() const {
+  size_t best = 0;
+  for (size_t i = 1; i < window_.size(); ++i) {
+    if (window_[i].rtt_us < window_[best].rtt_us) best = i;
+  }
+  return best;
+}
+
+double ClockSyncEstimator::offset_us() const {
+  if (window_.empty()) return 0.0;
+  return window_[BestIndex()].offset_us;
+}
+
+double ClockSyncEstimator::rtt_us() const {
+  if (window_.empty()) return 0.0;
+  return window_[BestIndex()].rtt_us;
+}
+
+}  // namespace rod::cluster

@@ -1,0 +1,99 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// NTP-style clock-offset estimation between the coordinator and one
+// worker. Every process keeps its own observability clock (microseconds
+// on Telemetry's steady clock, epoch = process start), so two workers'
+// timestamps are mutually uninterpretable until rebased. The coordinator
+// probes each worker with kPing/kPong four-timestamp exchanges:
+//
+//   t1  coordinator clock at ping send
+//   t2  worker clock at ping receive
+//   t3  worker clock at pong send
+//   t4  coordinator clock at pong receive
+//
+//   offset = ((t1 - t2) + (t4 - t3)) / 2     (worker + offset = coordinator)
+//   rtt    = (t4 - t1) - (t3 - t2)
+//
+// (This is the NTP midpoint with the sign flipped: NTP's theta corrects
+// the *client* toward the server; here the coordinator is the client and
+// the distributed convention rebases *worker* timestamps toward it.)
+//
+// The midpoint estimate is exact when the two path delays are equal; its
+// error is bounded by half the delay asymmetry, which is itself bounded
+// by rtt / 2. The estimator therefore keeps a sliding window of recent
+// samples and answers with the minimum-RTT sample's offset — the sample
+// least inflated by queueing jitter, per the standard NTP argument.
+
+#ifndef ROD_CLUSTER_CLOCK_SYNC_H_
+#define ROD_CLUSTER_CLOCK_SYNC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace rod::cluster {
+
+/// One four-timestamp probe exchange, all values in microseconds on the
+/// clocks described above.
+struct ClockSample {
+  double t1_us = 0.0;
+  double t2_us = 0.0;
+  double t3_us = 0.0;
+  double t4_us = 0.0;
+};
+
+/// Sliding-window, minimum-RTT-filtered offset estimator for one peer.
+/// Not thread-safe; the coordinator owns one per worker on its control
+/// thread.
+class ClockSyncEstimator {
+ public:
+  /// `window` caps how many recent samples the minimum-RTT filter scans;
+  /// older samples age out so a persistent offset drift is still tracked.
+  explicit ClockSyncEstimator(size_t window = 16);
+
+  /// Feeds one probe exchange. Samples with a non-positive RTT (clock
+  /// retreat, crossed timestamps) are rejected and do not change the
+  /// estimate.
+  void AddSample(const ClockSample& sample);
+
+  /// True once at least one valid sample was accepted.
+  bool has_estimate() const { return !window_.empty(); }
+
+  /// Offset of the minimum-RTT sample in the window, in microseconds:
+  /// worker_clock + offset_us() = coordinator_clock. 0 before the first
+  /// valid sample.
+  double offset_us() const;
+
+  /// RTT of that same minimum-RTT sample, in microseconds. 0 before the
+  /// first valid sample.
+  double rtt_us() const;
+
+  /// Worst-case bound on the current estimate's error: half the best
+  /// observed RTT (delay asymmetry cannot exceed the total delay).
+  double error_bound_us() const { return rtt_us() / 2.0; }
+
+  /// Total samples accepted (not capped by the window).
+  size_t samples_accepted() const { return accepted_; }
+
+  /// Total samples rejected as invalid.
+  size_t samples_rejected() const { return rejected_; }
+
+ private:
+  struct Estimate {
+    double offset_us = 0.0;
+    double rtt_us = 0.0;
+  };
+
+  /// Index of the minimum-RTT entry in `window_`; window_ is non-empty.
+  size_t BestIndex() const;
+
+  size_t capacity_;
+  std::vector<Estimate> window_;  ///< Ring; next_ points at the oldest.
+  size_t next_ = 0;
+  size_t accepted_ = 0;
+  size_t rejected_ = 0;
+};
+
+}  // namespace rod::cluster
+
+#endif  // ROD_CLUSTER_CLOCK_SYNC_H_

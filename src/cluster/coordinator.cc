@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <sstream>
 #include <utility>
 
@@ -57,6 +58,28 @@ void WriteCountersJson(const WorkerCounters& c, telemetry::JsonWriter& w) {
   w.EndObject();
 }
 
+void WritePhasesJson(const ClusterReport::IncidentPhases& p,
+                     telemetry::JsonWriter& w) {
+  w.BeginObjectInline();
+  w.Key("valid").Bool(p.valid);
+  w.Key("detect_seconds").Double(p.detect_seconds);
+  w.Key("pause_drain_seconds").Double(p.pause_drain_seconds);
+  w.Key("reassign_seconds").Double(p.reassign_seconds);
+  w.Key("resume_seconds").Double(p.resume_seconds);
+  w.EndObject();
+}
+
+void WriteShipLatencyJson(const ClusterReport::ShipLatency& s,
+                          telemetry::JsonWriter& w) {
+  w.BeginObjectInline();
+  w.Key("count").Uint(s.count);
+  w.Key("mean_us").Double(s.mean_us);
+  w.Key("p50_us").Double(s.p50_us);
+  w.Key("p99_us").Double(s.p99_us);
+  w.Key("max_us").Double(s.max_us);
+  w.EndObject();
+}
+
 }  // namespace
 
 Coordinator::Coordinator(query::QueryGraph graph, CoordinatorOptions options)
@@ -67,7 +90,9 @@ Coordinator::Coordinator(query::QueryGraph graph, CoordinatorOptions options)
        {"cluster.workers_registered", "cluster.heartbeats_received",
         "cluster.failures_detected", "cluster.plan_ships",
         "cluster.plan_diffs", "cluster.operator_moves",
-        "cluster.final_stats_collected"}) {
+        "cluster.final_stats_collected", "cluster.clock_syncs_sent",
+        "cluster.stats_reports_received", "cluster.freezes_broadcast",
+        "cluster.frozen_reports_received", "cluster.unexpected_frames"}) {
     telemetry_.Count(name, 0);
   }
   telemetry_.SetGauge("cluster.workers_alive", 0.0);
@@ -92,6 +117,7 @@ Status Coordinator::Listen() {
     return Status::Internal("self-pipe: " + error);
   }
   ROD_RETURN_IF_ERROR(listener_.Listen(options_.control_port));
+  listener_.set_metrics(&frame_metrics_);
   if (options_.serve_http) StartHttpPlane();
   return Status::OK();
 }
@@ -100,9 +126,12 @@ Status Coordinator::Run() {
   ROD_RETURN_IF_ERROR(Listen());
   ROD_RETURN_IF_ERROR(AcceptRegistrations());
   ROD_RETURN_IF_ERROR(BuildAndShipPlan());
+  ROD_RETURN_IF_ERROR(SyncClocks(options_.clock_sync_rounds));
   ROD_RETURN_IF_ERROR(StartRun());
   ROD_RETURN_IF_ERROR(MonitorLoop());
-  return Finish();
+  const Status finished = Finish();
+  if (!options_.trace_path.empty()) DumpTrace();
+  return finished;
 }
 
 Status Coordinator::AcceptRegistrations() {
@@ -153,6 +182,16 @@ Status Coordinator::AcceptRegistrations() {
                         static_cast<double>(workers_.size()));
   }
   report_.num_workers = workers_.size();
+
+  clock_sync_.assign(workers_.size(), ClockSyncEstimator());
+  {
+    std::lock_guard<std::mutex> lock(obs_mu_);
+    obs_.resize(workers_.size());
+    for (size_t i = 0; i < workers_.size(); ++i) {
+      obs_[i].name = workers_[i].name;
+      obs_[i].http_port = workers_[i].http_port;
+    }
+  }
   return Status::OK();
 }
 
@@ -220,7 +259,98 @@ Status Coordinator::BuildAndShipPlan() {
   telemetry_.Count("cluster.plan_ships", 1);
   telemetry_.SetGauge("cluster.plan_version",
                       static_cast<double>(plan_version_));
+  plan_version_pub_.store(plan_version_, std::memory_order_release);
+  ready_.store(true, std::memory_order_release);
   return Status::OK();
+}
+
+Status Coordinator::SyncClocks(size_t rounds) {
+  ROD_TRACE_SPAN(&telemetry_, "cluster", "clock.sync");
+  for (size_t round = 0; round < rounds; ++round) {
+    for (uint32_t i = 0; i < workers_.size(); ++i) {
+      if (!workers_[i].alive || !workers_[i].conn_ok) continue;
+      PingMsg ping;
+      ping.seq = ++ping_seq_;
+      ping.t1_us = telemetry_.NowMicros();
+      ROD_RETURN_IF_ERROR(
+          workers_[i].conn.Send(MsgType::kPing, ping.Encode()));
+      Frame frame;
+      ROD_RETURN_IF_ERROR(AwaitFrame(i, MsgType::kPong, &frame));
+      const double t4 = telemetry_.NowMicros();
+      auto pong = PongMsg::Decode(frame.payload);
+      if (!pong.ok()) return pong.status();
+      clock_sync_[i].AddSample({pong->t1_us, pong->t2_us, pong->t3_us, t4});
+      PublishClockEstimate(i);
+    }
+  }
+  BroadcastClockSync();
+  return Status::OK();
+}
+
+void Coordinator::SendPings(double now) {
+  next_ping_ = now + std::max(0.05, options_.clock_sync_interval);
+  if (clock_dirty_) BroadcastClockSync();
+  for (uint32_t i = 0; i < workers_.size(); ++i) {
+    WorkerState& worker = workers_[i];
+    if (!worker.alive || !worker.conn_ok) continue;
+    PingMsg ping;
+    ping.seq = ++ping_seq_;
+    ping.t1_us = telemetry_.NowMicros();
+    if (!worker.conn.Send(MsgType::kPing, ping.Encode()).ok()) {
+      // The heartbeat deadline declares the failure; just stop polling.
+      worker.conn_ok = false;
+      worker.conn.Close();
+    }
+  }
+}
+
+void Coordinator::HandlePong(uint32_t worker, const PongMsg& pong) {
+  const double t4 = telemetry_.NowMicros();
+  if (worker >= clock_sync_.size()) return;
+  clock_sync_[worker].AddSample({pong.t1_us, pong.t2_us, pong.t3_us, t4});
+  PublishClockEstimate(worker);
+}
+
+void Coordinator::PublishClockEstimate(uint32_t i) {
+  if (i >= clock_sync_.size() || !clock_sync_[i].has_estimate()) return;
+  const double offset = clock_sync_[i].offset_us();
+  const double rtt = clock_sync_[i].rtt_us();
+  {
+    std::lock_guard<std::mutex> lock(obs_mu_);
+    if (i < obs_.size()) {
+      WorkerObs& o = obs_[i];
+      if (!o.clock_synced || o.clock_offset_us != offset ||
+          o.clock_rtt_us != rtt) {
+        clock_dirty_ = true;
+      }
+      o.clock_synced = true;
+      o.clock_offset_us = offset;
+      o.clock_rtt_us = rtt;
+    }
+  }
+  const std::string suffix = ".w" + std::to_string(i);
+  telemetry_.SetGauge("cluster.clock_offset_us" + suffix, offset);
+  telemetry_.SetGauge("cluster.rtt_us" + suffix, rtt);
+}
+
+void Coordinator::BroadcastClockSync() {
+  ClockSyncMsg msg;
+  for (uint32_t i = 0; i < clock_sync_.size(); ++i) {
+    if (!clock_sync_[i].has_estimate()) continue;
+    msg.entries.push_back(
+        {i, clock_sync_[i].offset_us(), clock_sync_[i].rtt_us()});
+  }
+  if (msg.entries.empty()) return;
+  const std::string payload = msg.Encode();
+  for (WorkerState& worker : workers_) {
+    if (!worker.alive || !worker.conn_ok) continue;
+    if (!worker.conn.Send(MsgType::kClockSync, payload).ok()) {
+      worker.conn_ok = false;
+      worker.conn.Close();
+    }
+  }
+  clock_dirty_ = false;
+  telemetry_.Count("cluster.clock_syncs_sent", 1);
 }
 
 Status Coordinator::StartRun() {
@@ -237,6 +367,7 @@ Status Coordinator::StartRun() {
   started_ = true;
   run_epoch_ = MonotonicSeconds();
   for (WorkerState& worker : workers_) worker.last_heartbeat = 0.0;
+  next_ping_ = std::max(0.05, options_.clock_sync_interval);
   return Status::OK();
 }
 
@@ -274,14 +405,12 @@ Status Coordinator::MonitorLoop() {
           workers_[i].conn.Close();
           continue;
         }
-        if (frame.type == MsgType::kHeartbeat) {
-          auto hb = HeartbeatMsg::Decode(frame.payload);
-          if (hb.ok()) HandleHeartbeat(*hb);
-        }
+        HandleAsyncFrame(i, frame);
       }
     }
 
     const double now = Now();
+    if (now >= next_ping_) SendPings(now);
     for (uint32_t i = 0; i < workers_.size(); ++i) {
       if (!workers_[i].alive) continue;
       if (now - workers_[i].last_heartbeat > options_.heartbeat_timeout) {
@@ -303,6 +432,106 @@ void Coordinator::HandleHeartbeat(const HeartbeatMsg& hb) {
   worker.plan_version = hb.plan_version;
   worker.counters = hb.counters;
   telemetry_.Count("cluster.heartbeats_received", 1);
+
+  // Surface the per-operator load report as live coordinator gauges
+  // (each operator is hosted by exactly one worker, so plain op-keyed
+  // names cannot collide across workers).
+  for (const HeartbeatMsg::OpLoad& load : hb.loads) {
+    const std::string op = std::to_string(load.op);
+    telemetry_.SetGauge("cluster.op_processed." + op,
+                        static_cast<double>(load.processed));
+    telemetry_.SetGauge("cluster.op_busy_seconds." + op, load.busy_seconds);
+  }
+
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  if (hb.worker_id < obs_.size()) {
+    WorkerObs& o = obs_[hb.worker_id];
+    o.plan_version = hb.plan_version;
+    o.last_seen_us = telemetry_.NowMicros();
+    o.queue_depth = hb.queue_depth;
+    o.counters = hb.counters;
+    o.loads = hb.loads;
+  }
+}
+
+void Coordinator::HandleStatsReport(const StatsReportMsg& report) {
+  telemetry_.Count("cluster.stats_reports_received", 1);
+  std::lock_guard<std::mutex> lock(obs_mu_);
+  if (report.worker_id >= obs_.size()) return;
+  WorkerObs& o = obs_[report.worker_id];
+  // Values are cumulative, so overwrite-merge reconstructs the worker's
+  // registry; a lost delta self-heals on the next report of the family.
+  for (const auto& [name, value] : report.counters) {
+    o.merged.counters[name] = value;
+  }
+  for (const auto& [name, value] : report.gauges) {
+    o.merged.gauges[name] = value;
+  }
+  for (const StatsReportMsg::HistogramState& h : report.histograms) {
+    telemetry::HistogramSnapshot snap;
+    snap.count = h.count;
+    snap.sum = h.sum;
+    snap.min = h.min;
+    snap.max = h.max;
+    snap.buckets = h.buckets;
+    o.merged.histograms[h.name] = std::move(snap);
+  }
+  o.have_stats = true;
+}
+
+void Coordinator::HandleFrozenReport(const FrozenReportMsg& report) {
+  telemetry_.Count("cluster.frozen_reports_received", 1);
+  if (report.incident_json.empty()) return;
+  const auto [it, inserted] =
+      frozen_reports_.emplace(report.worker_id, report.incident_json);
+  (void)it;
+  if (!inserted) return;
+  report_.frozen_workers.push_back(report.worker_id);
+  flight_recorder_.Note("frozen snapshot received from worker " +
+                        std::to_string(report.worker_id));
+}
+
+void Coordinator::HandleAsyncFrame(uint32_t worker, const Frame& frame) {
+  switch (frame.type) {
+    case MsgType::kHeartbeat: {
+      auto hb = HeartbeatMsg::Decode(frame.payload);
+      if (hb.ok()) HandleHeartbeat(*hb);
+      break;
+    }
+    case MsgType::kPong: {
+      auto pong = PongMsg::Decode(frame.payload);
+      if (pong.ok()) HandlePong(worker, *pong);
+      break;
+    }
+    case MsgType::kStatsReport: {
+      auto report = StatsReportMsg::Decode(frame.payload);
+      if (report.ok()) HandleStatsReport(*report);
+      break;
+    }
+    case MsgType::kFrozenReport: {
+      auto report = FrozenReportMsg::Decode(frame.payload);
+      if (report.ok()) HandleFrozenReport(*report);
+      break;
+    }
+    default:
+      telemetry_.Count("cluster.unexpected_frames", 1);
+      break;
+  }
+}
+
+void Coordinator::BroadcastFreeze(uint64_t incident_id,
+                                  const std::string& kind,
+                                  const std::string& detail) {
+  FreezeMsg freeze;
+  freeze.incident_id = incident_id;
+  freeze.kind = kind;
+  freeze.detail = detail;
+  const std::string payload = freeze.Encode();
+  for (WorkerState& worker : workers_) {
+    if (!worker.alive || !worker.conn_ok) continue;
+    (void)worker.conn.Send(MsgType::kFreeze, payload);
+  }
+  telemetry_.Count("cluster.freezes_broadcast", 1);
 }
 
 void Coordinator::HandleWorkerFailure(uint32_t failed, double now) {
@@ -317,6 +546,8 @@ void Coordinator::HandleWorkerFailure(uint32_t failed, double now) {
     for (const WorkerState& w : workers_) alive += w.alive ? 1 : 0;
     telemetry_.SetGauge("cluster.workers_alive",
                         static_cast<double>(alive));
+    std::lock_guard<std::mutex> lock(obs_mu_);
+    if (failed < obs_.size()) obs_[failed].alive = false;
   }
 
   if (!report_.had_incident) {
@@ -326,14 +557,19 @@ void Coordinator::HandleWorkerFailure(uint32_t failed, double now) {
     report_.had_incident = true;
     report_.incident.crash_time = worker.last_heartbeat;
     report_.incident.failed_node = failed;
-    flight_recorder_.BeginIncident(
-        "cluster.worker_failure",
-        worker.name + " missed heartbeats for " +
-            std::to_string(options_.heartbeat_timeout) + "s");
+    const std::string detail = worker.name + " missed heartbeats for " +
+                               std::to_string(options_.heartbeat_timeout) +
+                               "s";
+    flight_recorder_.BeginIncident("cluster.worker_failure", detail);
+    // Order every survivor to freeze its own rings at (about) this same
+    // aligned instant; their kFrozenReport replies land in the incident
+    // report's worker_snapshots.
+    BroadcastFreeze(++incident_id_, "cluster.worker_failure", detail);
   }
   if (report_.incident.failed_node == failed &&
       report_.incident.detect_time < 0.0) {
     report_.incident.detect_time = now;
+    report_.phases.detect_seconds = now - report_.incident.crash_time;
   }
   flight_recorder_.Note("failure detected: worker " +
                         std::to_string(failed) + " (" + worker.name + ")");
@@ -383,8 +619,10 @@ Status Coordinator::ExecutePlanDiff(const sim::PlanUpdate& update,
   }
   if (moves.empty()) return Status::OK();
   ++plan_version_;
+  ROD_TRACE_SPAN(&telemetry_, "cluster", "repair");
 
   // Pause -> drain -> reassign -> resume against every live worker.
+  const double pause_begin = MonotonicSeconds();
   PauseMsg pause;
   pause.plan_version = plan_version_;
   for (const OperatorMove& move : moves) pause.ops.push_back(move.op);
@@ -399,6 +637,7 @@ Status Coordinator::ExecutePlanDiff(const sim::PlanUpdate& update,
     Frame frame;
     ROD_RETURN_IF_ERROR(AwaitFrame(i, MsgType::kPauseAck, &frame));
   }
+  const double drained = MonotonicSeconds();
   flight_recorder_.Note("paused " + std::to_string(moves.size()) +
                         " operators; drain confirmed");
 
@@ -418,10 +657,23 @@ Status Coordinator::ExecutePlanDiff(const sim::PlanUpdate& update,
     auto ack = PlanAckMsg::Decode(frame.payload);
     if (ack.ok()) workers_[i].plan_version = ack->version;
   }
+  const double reassigned = MonotonicSeconds();
   for (uint32_t i = 0; i < workers_.size(); ++i) {
     if (!workers_[i].alive || !workers_[i].conn_ok) continue;
     ROD_RETURN_IF_ERROR(workers_[i].conn.Send(MsgType::kResume, ""));
   }
+  const double resumed = MonotonicSeconds();
+
+  report_.phases.valid = true;
+  report_.phases.pause_drain_seconds = drained - pause_begin;
+  report_.phases.reassign_seconds = reassigned - drained;
+  report_.phases.resume_seconds = resumed - reassigned;
+  telemetry_.SetGauge("cluster.repair_pause_drain_seconds",
+                      report_.phases.pause_drain_seconds);
+  telemetry_.SetGauge("cluster.repair_reassign_seconds",
+                      report_.phases.reassign_seconds);
+  telemetry_.SetGauge("cluster.repair_resume_seconds",
+                      report_.phases.resume_seconds);
 
   assignment_ = update.assignment;
   ROD_RETURN_IF_ERROR(
@@ -432,6 +684,7 @@ Status Coordinator::ExecutePlanDiff(const sim::PlanUpdate& update,
   telemetry_.Count("cluster.operator_moves", moves.size());
   telemetry_.SetGauge("cluster.plan_version",
                       static_cast<double>(plan_version_));
+  plan_version_pub_.store(plan_version_, std::memory_order_release);
   flight_recorder_.Note("plan v" + std::to_string(plan_version_) +
                         " live: " + std::to_string(moves.size()) +
                         " operators re-homed");
@@ -448,12 +701,10 @@ Status Coordinator::AwaitFrame(uint32_t worker, MsgType want, Frame* out) {
       return recv;
     }
     if (out->type == want) return Status::OK();
-    // Workers heartbeat on their own cadence; absorb anything that
-    // interleaves with the protocol step we are waiting on.
-    if (out->type == MsgType::kHeartbeat) {
-      auto hb = HeartbeatMsg::Decode(out->payload);
-      if (hb.ok()) HandleHeartbeat(*hb);
-    }
+    // Workers heartbeat, pong, and report stats on their own cadence;
+    // absorb anything that interleaves with the protocol step we are
+    // waiting on.
+    HandleAsyncFrame(worker, *out);
   }
 }
 
@@ -484,9 +735,40 @@ Status Coordinator::Finish() {
   for (uint32_t i = 0; i < workers_.size(); ++i) {
     const WorkerState& worker = workers_[i];
     AddCounters(report_.totals, worker.counters);
-    report_.workers.push_back({i, worker.name, worker.alive,
-                               worker.have_final, worker.counters});
+    ClusterReport::WorkerSummary summary;
+    summary.worker_id = i;
+    summary.name = worker.name;
+    summary.alive = worker.alive;
+    summary.final_stats = worker.have_final;
+    summary.counters = worker.counters;
+    if (i < clock_sync_.size() && clock_sync_[i].has_estimate()) {
+      summary.clock_synced = true;
+      summary.clock_offset_us = clock_sync_[i].offset_us();
+      summary.clock_rtt_us = clock_sync_[i].rtt_us();
+    }
+    report_.workers.push_back(std::move(summary));
   }
+
+  // Cluster-wide inter-worker ship latency: every worker records its
+  // offset-corrected receive-side histogram and federates it via
+  // kStatsReport; merging the per-worker snapshots gives the cluster
+  // distribution on the coordinator clock.
+  telemetry::HistogramSnapshot ship;
+  {
+    std::lock_guard<std::mutex> lock(obs_mu_);
+    for (const WorkerObs& o : obs_) {
+      const auto it = o.merged.histograms.find("cluster.ship_latency_us");
+      if (it != o.merged.histograms.end()) {
+        telemetry::MergeHistogramInto(ship, it->second);
+      }
+    }
+  }
+  report_.ship_latency.count = ship.count;
+  report_.ship_latency.mean_us = ship.mean();
+  report_.ship_latency.p50_us = ship.Quantile(0.5);
+  report_.ship_latency.p99_us = ship.Quantile(0.99);
+  report_.ship_latency.max_us = ship.count > 0 ? ship.max : 0.0;
+  std::sort(report_.frozen_workers.begin(), report_.frozen_workers.end());
 
   if (report_.had_incident) {
     // Loss breakdown, cluster flavor: ship failures toward a dead peer
@@ -506,8 +788,26 @@ Status Coordinator::Finish() {
                                    offered,
                          0.0, 1.0)
             : 1.0;
+    // The cluster-wide incident report: the engine-schema incident plus
+    // the repair's per-phase durations and the survivors' frozen
+    // flight-recorder snapshots (collected via kFreeze/kFrozenReport),
+    // so one artifact holds every process's view of the failure.
     flight_recorder_.CompleteIncident([this](telemetry::JsonWriter& w) {
+      w.BeginObjectInline();
+      w.Key("incident");
       sim::WriteIncidentReportJson(report_.incident, w);
+      w.Key("phases");
+      WritePhasesJson(report_.phases, w);
+      w.Key("worker_snapshots").BeginArray();
+      for (const auto& [id, json] : frozen_reports_) {
+        w.BeginObjectInline();
+        w.Key("worker_id").Uint(id);
+        w.Key("incident");
+        w.Raw(json);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
     });
   }
   return Status::OK();
@@ -532,26 +832,150 @@ void Coordinator::WriteReportJson(std::ostream& out) const {
     w.Key("final_stats").Bool(worker.final_stats);
     w.Key("counters");
     WriteCountersJson(worker.counters, w);
+    w.Key("clock").BeginObjectInline();
+    w.Key("synced").Bool(worker.clock_synced);
+    w.Key("offset_us").Double(worker.clock_offset_us);
+    w.Key("rtt_us").Double(worker.clock_rtt_us);
+    w.EndObject();
     w.EndObject();
   }
+  w.EndArray();
+  w.Key("ship_latency");
+  WriteShipLatencyJson(report_.ship_latency, w);
+  w.Key("frozen_workers").BeginArray();
+  for (uint32_t id : report_.frozen_workers) w.Uint(id);
   w.EndArray();
   if (report_.had_incident) {
     w.Key("incident");
     sim::WriteIncidentReportJson(report_.incident, w);
+    w.Key("phases");
+    WritePhasesJson(report_.phases, w);
   } else {
     w.Key("incident").Null();
+    w.Key("phases").Null();
   }
   w.EndObject();
+}
+
+std::string Coordinator::RenderFederatedMetrics() const {
+  // The coordinator's own registry unlabeled, then every worker's
+  // last-reported registry labeled {worker, name}, with the coordinator-
+  // side liveness/clock/skew view injected as gauges so the federated
+  // plane is self-contained even for a worker that never reported stats.
+  std::vector<telemetry::FederatedInstance> instances;
+  instances.push_back({{}, telemetry_.Snapshot()});
+  const uint64_t plan_pub = plan_version_pub_.load(std::memory_order_acquire);
+  const double now_us = telemetry_.NowMicros();
+  {
+    std::lock_guard<std::mutex> lock(obs_mu_);
+    for (size_t i = 0; i < obs_.size(); ++i) {
+      const WorkerObs& o = obs_[i];
+      telemetry::FederatedInstance inst;
+      inst.labels["worker"] = std::to_string(i);
+      inst.labels["name"] = o.name;
+      inst.snapshot = o.merged;
+      inst.snapshot.gauges["cluster.up"] = o.alive ? 1.0 : 0.0;
+      inst.snapshot.gauges["cluster.plan_version_skew"] =
+          static_cast<double>(plan_pub) - static_cast<double>(o.plan_version);
+      if (o.last_seen_us >= 0.0) {
+        inst.snapshot.gauges["cluster.heartbeat_age_seconds"] =
+            (now_us - o.last_seen_us) / 1e6;
+      }
+      if (o.clock_synced) {
+        inst.snapshot.gauges["cluster.clock_offset_us"] = o.clock_offset_us;
+        inst.snapshot.gauges["cluster.rtt_us"] = o.clock_rtt_us;
+      }
+      instances.push_back(std::move(inst));
+    }
+  }
+  std::ostringstream body;
+  telemetry::WriteFederatedPrometheusText(instances, body);
+  return body.str();
+}
+
+void Coordinator::WriteClusterSummaryJson(std::ostream& out) const {
+  telemetry::JsonWriter w(out);
+  const uint64_t plan_pub = plan_version_pub_.load(std::memory_order_acquire);
+  const double now_us = telemetry_.NowMicros();
+  w.BeginObject();
+  w.Key("schema").String("rod.cluster_summary.v1");
+  w.Key("ready").Bool(ready_.load(std::memory_order_acquire));
+  w.Key("plan_version").Uint(plan_pub);
+  w.Key("workers").BeginArray();
+  {
+    std::lock_guard<std::mutex> lock(obs_mu_);
+    for (size_t i = 0; i < obs_.size(); ++i) {
+      const WorkerObs& o = obs_[i];
+      w.BeginObject();
+      w.Key("worker_id").Uint(i);
+      w.Key("name").String(o.name);
+      w.Key("alive").Bool(o.alive);
+      w.Key("http_port").Uint(o.http_port);
+      w.Key("plan_version").Uint(o.plan_version);
+      w.Key("plan_version_skew")
+          .Int(static_cast<int64_t>(plan_pub) -
+               static_cast<int64_t>(o.plan_version));
+      w.Key("heartbeat_age_seconds");
+      if (o.last_seen_us >= 0.0) {
+        w.Double((now_us - o.last_seen_us) / 1e6);
+      } else {
+        w.Null();
+      }
+      w.Key("queue_depth").Uint(o.queue_depth);
+      w.Key("clock").BeginObjectInline();
+      w.Key("synced").Bool(o.clock_synced);
+      w.Key("offset_us").Double(o.clock_offset_us);
+      w.Key("rtt_us").Double(o.clock_rtt_us);
+      w.EndObject();
+      w.Key("counters");
+      WriteCountersJson(o.counters, w);
+      w.Key("loads").BeginArray();
+      for (const HeartbeatMsg::OpLoad& load : o.loads) {
+        w.BeginObjectInline();
+        w.Key("op").Uint(load.op);
+        w.Key("processed").Uint(load.processed);
+        w.Key("busy_seconds").Double(load.busy_seconds);
+        w.EndObject();
+      }
+      w.EndArray();
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.EndObject();
+  out << "\n";
+}
+
+void Coordinator::DumpTrace() const {
+  std::ofstream out(options_.trace_path);
+  if (!out) return;
+  telemetry::ChromeTraceProcess process;
+  process.pid = 1;  // Workers dump as pid worker_id + 2.
+  process.name = "coordinator";
+  process.metadata["clock_offset_us"] = 0.0;  // The reference clock.
+  telemetry_.WriteChromeTrace(out, process);
 }
 
 void Coordinator::StartHttpPlane() {
   telemetry::Telemetry* tel = &telemetry_;
   telemetry::FlightRecorder* rec = &flight_recorder_;
-  http_.Handle("/metrics", [tel](std::string_view) {
-    std::ostringstream body;
-    telemetry::WritePrometheusText(tel->Snapshot(), body);
+  // `this` outlives http_: the destructor stops the server before any
+  // member these handlers touch is destroyed.
+  http_.Handle("/metrics", [this](std::string_view) {
     return telemetry::HttpServer::Response{
-        200, telemetry::kPrometheusContentType, body.str()};
+        200, telemetry::kPrometheusContentType, RenderFederatedMetrics()};
+  });
+  http_.Handle("/cluster.json", [this](std::string_view) {
+    std::ostringstream body;
+    WriteClusterSummaryJson(body);
+    return telemetry::HttpServer::Response{200, "application/json",
+                                           body.str()};
+  });
+  http_.Handle("/readyz", [this](std::string_view) {
+    const bool ready = ready_.load(std::memory_order_acquire);
+    return telemetry::HttpServer::Response{
+        ready ? 200 : 503, "text/plain; charset=utf-8",
+        ready ? "ok\n" : "starting\n"};
   });
   http_.Handle("/metrics.json", [tel](std::string_view) {
     std::ostringstream body;

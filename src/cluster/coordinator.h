@@ -15,12 +15,16 @@
 #ifndef ROD_CLUSTER_COORDINATOR_H_
 #define ROD_CLUSTER_COORDINATOR_H_
 
+#include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
 
+#include "cluster/clock_sync.h"
 #include "cluster/transport.h"
 #include "cluster/wire.h"
 #include "common/net.h"
@@ -80,6 +84,18 @@ struct CoordinatorOptions {
   /// Observability plane for the coordinator process itself.
   bool serve_http = false;
   uint16_t http_port = 0;
+
+  /// Clock alignment: the coordinator probes every worker with
+  /// `clock_sync_rounds` blocking kPing exchanges after the plan ships
+  /// (so offsets exist from the first batch), then keeps re-probing
+  /// every `clock_sync_interval` seconds during the run.
+  size_t clock_sync_rounds = 4;
+  double clock_sync_interval = 1.0;
+
+  /// When set, the coordinator dumps its Chrome trace here at the end
+  /// of Run() (pid 1, offset 0 — the reference clock rod_trace_merge
+  /// rebases everything else onto).
+  std::string trace_path;
 };
 
 /// End-of-run summary: aggregate counters, the shipped plan's history,
@@ -102,8 +118,39 @@ struct ClusterReport {
     bool alive = true;
     bool final_stats = false;  ///< Counters are end-of-run, not last HB.
     WorkerCounters counters;
+    /// Final clock estimate (worker + offset = coordinator clock).
+    bool clock_synced = false;
+    double clock_offset_us = 0.0;
+    double clock_rtt_us = 0.0;
   };
   std::vector<WorkerSummary> workers;
+
+  /// End-to-end inter-worker ship latency, merged over every worker's
+  /// offset-corrected `cluster.ship_latency_us` histogram (federated
+  /// via kStatsReport). Microseconds on the coordinator clock.
+  struct ShipLatency {
+    uint64_t count = 0;
+    double mean_us = 0.0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double max_us = 0.0;
+  };
+  ShipLatency ship_latency;
+
+  /// Per-phase durations of the incident's pause -> drain -> reassign ->
+  /// resume repair (seconds; valid only after an incident's plan diff).
+  struct IncidentPhases {
+    bool valid = false;
+    double detect_seconds = 0.0;       ///< Last proof of life -> detection.
+    double pause_drain_seconds = 0.0;  ///< Pause sends -> last drain ack.
+    double reassign_seconds = 0.0;     ///< Diff sends -> last install ack.
+    double resume_seconds = 0.0;       ///< Resume broadcast duration.
+  };
+  IncidentPhases phases;
+
+  /// Workers whose frozen flight-recorder snapshots (kFrozenReport)
+  /// arrived before the end of the run.
+  std::vector<uint32_t> frozen_workers;
 
   bool had_incident = false;
   sim::IncidentReport incident;  ///< First worker failure, engine schema.
@@ -158,6 +205,30 @@ class Coordinator {
     bool have_final = false;
   };
 
+  /// Everything the federated observability plane knows about one
+  /// worker. Written by the control thread, read by the HTTP thread;
+  /// guarded by obs_mu_ (the control path touches it briefly per
+  /// heartbeat/stats frame, never while blocked on a socket).
+  struct WorkerObs {
+    std::string name;
+    uint16_t http_port = 0;
+    bool alive = true;
+    uint64_t plan_version = 0;
+    double last_seen_us = -1.0;  ///< Coordinator telemetry clock.
+    size_t queue_depth = 0;
+    WorkerCounters counters;
+    std::vector<HeartbeatMsg::OpLoad> loads;
+    /// Latest clock estimate (worker + offset = coordinator clock).
+    bool clock_synced = false;
+    double clock_offset_us = 0.0;
+    double clock_rtt_us = 0.0;
+    /// Merged kStatsReport deltas: the worker's metric registry as the
+    /// coordinator last saw it (values are cumulative, so overwrite-
+    /// merge per family reconstructs the full remote snapshot).
+    telemetry::MetricsSnapshot merged;
+    bool have_stats = false;
+  };
+
   double Now() const;  ///< Seconds since kStart (0 before).
 
   Status AcceptRegistrations();
@@ -167,11 +238,41 @@ class Coordinator {
   void HandleHeartbeat(const HeartbeatMsg& hb);
   void HandleWorkerFailure(uint32_t failed, double now);
   Status ExecutePlanDiff(const sim::PlanUpdate& update, double now);
-  /// Reads frames from `worker` until `want` (absorbing heartbeats);
+  /// Reads frames from `worker` until `want` (absorbing heartbeats,
+  /// pongs, stats reports, and frozen reports via HandleAsyncFrame);
   /// kUnavailable if the worker dies first.
   Status AwaitFrame(uint32_t worker, MsgType want, Frame* out);
   Status Finish();
   void StartHttpPlane();
+
+  /// Dispatches frames that may arrive at any point of the protocol
+  /// (heartbeat / pong / stats report / frozen report); unknown types
+  /// are counted and dropped.
+  void HandleAsyncFrame(uint32_t worker, const Frame& frame);
+  void HandlePong(uint32_t worker, const PongMsg& pong);
+  void HandleStatsReport(const StatsReportMsg& report);
+  void HandleFrozenReport(const FrozenReportMsg& report);
+
+  /// Blocking initial alignment: `rounds` kPing/kPong exchanges per
+  /// worker, then one kClockSync broadcast of the estimates.
+  Status SyncClocks(size_t rounds);
+  /// Non-blocking steady-state probes from MonitorLoop (pongs return
+  /// through the poll loop); re-broadcasts estimates when they moved.
+  void SendPings(double now);
+  void BroadcastClockSync();
+  /// Copies worker `i`'s estimator state into obs_ and the coordinator
+  /// gauges (cluster.clock_offset_us.w<i> / cluster.rtt_us.w<i>).
+  void PublishClockEstimate(uint32_t i);
+
+  /// Orders every live worker to freeze its flight recorder at (about)
+  /// the same aligned instant; replies arrive as kFrozenReport.
+  void BroadcastFreeze(uint64_t incident_id, const std::string& kind,
+                       const std::string& detail);
+
+  /// Federated plane renderers (HTTP thread; lock obs_mu_ inside).
+  std::string RenderFederatedMetrics() const;
+  void WriteClusterSummaryJson(std::ostream& out) const;
+  void DumpTrace() const;
 
   query::QueryGraph graph_;
   CoordinatorOptions options_;
@@ -195,13 +296,31 @@ class Coordinator {
   double retry_at_ = -1.0;      ///< Pending repair retry (run clock).
   uint32_t retry_node_ = 0;
 
+  // Clock alignment state (control thread only).
+  std::vector<ClockSyncEstimator> clock_sync_;
+  uint64_t ping_seq_ = 0;
+  double next_ping_ = 0.0;      ///< Run clock; 0 = ping immediately.
+  bool clock_dirty_ = false;    ///< Estimates moved since last broadcast.
+
+  // Distributed flight recorder state (control thread only).
+  uint64_t incident_id_ = 0;    ///< Last broadcast freeze, 0 = none.
+  std::map<uint32_t, std::string> frozen_reports_;  ///< worker -> JSON.
+
   ClusterReport report_;
+
+  // Federated observability store (control thread writes, HTTP thread
+  // reads; see WorkerObs).
+  mutable std::mutex obs_mu_;
+  std::vector<WorkerObs> obs_;
+  std::atomic<uint64_t> plan_version_pub_{0};  ///< For the HTTP thread.
+  std::atomic<bool> ready_{false};  ///< Plan shipped (gates /readyz).
 
   // Observability plane.
   telemetry::Telemetry telemetry_;
   telemetry::FlightRecorder flight_recorder_{&telemetry_};
   telemetry::HttpServer http_;
   uint16_t http_port_ = 0;
+  FrameMetrics frame_metrics_{&telemetry_};
 };
 
 }  // namespace rod::cluster

@@ -80,6 +80,18 @@ const char* MsgTypeName(MsgType type) {
       return "final_stats";
     case MsgType::kShutdown:
       return "shutdown";
+    case MsgType::kPing:
+      return "ping";
+    case MsgType::kPong:
+      return "pong";
+    case MsgType::kStatsReport:
+      return "stats_report";
+    case MsgType::kClockSync:
+      return "clock_sync";
+    case MsgType::kFreeze:
+      return "freeze";
+    case MsgType::kFrozenReport:
+      return "frozen_report";
   }
   return "unknown";
 }
@@ -122,7 +134,7 @@ Result<FrameHeader> DecodeFrameHeader(std::span<const std::byte> bytes,
   }
   const uint8_t type_byte = std::to_integer<uint8_t>(bytes[5]);
   if (type_byte < static_cast<uint8_t>(MsgType::kHello) ||
-      type_byte > static_cast<uint8_t>(MsgType::kShutdown)) {
+      type_byte > kMaxMsgType) {
     return Status::InvalidArgument("unknown message type " +
                                    std::to_string(type_byte));
   }

@@ -55,7 +55,17 @@ enum class MsgType : uint8_t {
   kFinish = 12,    ///< coordinator -> worker: stop sources, drain, report.
   kFinalStats = 13,///< worker -> coordinator: end-of-run counters.
   kShutdown = 14,  ///< coordinator -> worker: exit.
+  kPing = 15,      ///< coordinator -> worker: clock-sync probe (t1).
+  kPong = 16,      ///< worker -> coordinator: probe echo (t1, t2, t3).
+  kStatsReport = 17,  ///< worker -> coordinator: metric-snapshot delta.
+  kClockSync = 18,    ///< coordinator -> worker: per-worker clock offsets.
+  kFreeze = 19,       ///< coordinator -> worker: snapshot your rings now.
+  kFrozenReport = 20, ///< worker -> coordinator: frozen incident artifact.
 };
+
+/// Last valid MsgType byte (frame decoding rejects anything above it).
+inline constexpr uint8_t kMaxMsgType =
+    static_cast<uint8_t>(MsgType::kFrozenReport);
 
 /// Canonical lower-case name of `type` ("hello", "tuples", ...);
 /// "unknown" for out-of-range bytes.

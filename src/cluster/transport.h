@@ -11,14 +11,44 @@
 #ifndef ROD_CLUSTER_TRANSPORT_H_
 #define ROD_CLUSTER_TRANSPORT_H_
 
+#include <array>
 #include <cstdint>
 #include <string_view>
 #include <utility>
 
 #include "cluster/frame.h"
 #include "common/status.h"
+#include "telemetry/telemetry.h"
 
 namespace rod::cluster {
+
+/// Per-frame-type traffic counters: four families per message type
+/// (frames and bytes, each direction), all registered at zero so the
+/// full protocol surface is visible on /metrics before any traffic
+/// flows. One instance is shared by every FrameConn of a process (the
+/// counters are thread-safe); bytes include the 20-byte frame header.
+class FrameMetrics {
+ public:
+  FrameMetrics() = default;
+
+  /// Registers all families ("cluster.frame.tx.<type>", ".tx_bytes.",
+  /// ".rx.", ".rx_bytes.") in `telemetry`'s registry at zero.
+  explicit FrameMetrics(telemetry::Telemetry* telemetry);
+
+  void RecordTx(MsgType type, size_t frame_bytes) const;
+  void RecordRx(MsgType type, size_t frame_bytes) const;
+
+ private:
+  struct PerType {
+    telemetry::Counter tx;
+    telemetry::Counter tx_bytes;
+    telemetry::Counter rx;
+    telemetry::Counter rx_bytes;
+  };
+
+  /// Indexed by raw MsgType byte; slot 0 unused.
+  std::array<PerType, kMaxMsgType + 1> per_type_{};
+};
 
 /// A connected, framed, blocking TCP stream. Owns the fd.
 class FrameConn {
@@ -28,12 +58,18 @@ class FrameConn {
   explicit FrameConn(int fd) : fd_(fd) {}
   ~FrameConn() { Close(); }
 
-  FrameConn(FrameConn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  FrameConn(FrameConn&& other) noexcept
+      : fd_(other.fd_), metrics_(other.metrics_) {
+    other.fd_ = -1;
+    other.metrics_ = nullptr;
+  }
   FrameConn& operator=(FrameConn&& other) noexcept {
     if (this != &other) {
       Close();
       fd_ = other.fd_;
+      metrics_ = other.metrics_;
       other.fd_ = -1;
+      other.metrics_ = nullptr;
     }
     return *this;
   }
@@ -49,23 +85,36 @@ class FrameConn {
   bool valid() const { return fd_ >= 0; }
   int fd() const { return fd_; }
 
+  /// Attaches per-frame-type traffic counters; `metrics` must outlive
+  /// this connection (nullptr detaches).
+  void set_metrics(const FrameMetrics* metrics) { metrics_ = metrics; }
+
   /// Writes one frame; kUnavailable when the peer is gone.
   Status Send(MsgType type, std::string_view payload) const {
     if (!valid()) return Status::FailedPrecondition("connection closed");
-    return WriteFrame(fd_, type, payload);
+    Status s = WriteFrame(fd_, type, payload);
+    if (s.ok() && metrics_ != nullptr) {
+      metrics_->RecordTx(type, kFrameHeaderBytes + payload.size());
+    }
+    return s;
   }
 
   /// Reads one frame (blocking up to the socket timeout). Error codes as
   /// ReadFrame; on any error the connection should be Closed.
   Status Recv(Frame* out) const {
     if (!valid()) return Status::FailedPrecondition("connection closed");
-    return ReadFrame(fd_, out);
+    Status s = ReadFrame(fd_, out);
+    if (s.ok() && metrics_ != nullptr) {
+      metrics_->RecordRx(out->type, kFrameHeaderBytes + out->payload.size());
+    }
+    return s;
   }
 
   void Close();
 
  private:
   int fd_ = -1;
+  const FrameMetrics* metrics_ = nullptr;
 };
 
 /// A loopback TCP listener producing FrameConns.
@@ -74,14 +123,21 @@ class FrameListener {
   FrameListener() = default;
   ~FrameListener() { Close(); }
 
-  FrameListener(FrameListener&& other) noexcept : fd_(other.fd_) {
+  FrameListener(FrameListener&& other) noexcept
+      : fd_(other.fd_), port_(other.port_), metrics_(other.metrics_) {
     other.fd_ = -1;
+    other.port_ = 0;
+    other.metrics_ = nullptr;
   }
   FrameListener& operator=(FrameListener&& other) noexcept {
     if (this != &other) {
       Close();
       fd_ = other.fd_;
+      port_ = other.port_;
+      metrics_ = other.metrics_;
       other.fd_ = -1;
+      other.port_ = 0;
+      other.metrics_ = nullptr;
     }
     return *this;
   }
@@ -99,11 +155,16 @@ class FrameListener {
   int fd() const { return fd_; }
   uint16_t port() const { return port_; }
 
+  /// Traffic counters stamped onto every subsequently accepted
+  /// connection; `metrics` must outlive them (nullptr detaches).
+  void set_metrics(const FrameMetrics* metrics) { metrics_ = metrics; }
+
   void Close();
 
  private:
   int fd_ = -1;
   uint16_t port_ = 0;
+  const FrameMetrics* metrics_ = nullptr;
 };
 
 }  // namespace rod::cluster

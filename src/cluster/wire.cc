@@ -379,6 +379,7 @@ std::string TupleBatchMsg::Encode() const {
   w.U32(count);
   w.U32(from_worker);
   w.F64(create_time);
+  w.F64(send_time_us);
   return w.Take();
 }
 
@@ -390,6 +391,7 @@ Result<TupleBatchMsg> TupleBatchMsg::Decode(std::string_view payload) {
   m.count = r.U32();
   m.from_worker = r.U32();
   m.create_time = r.F64();
+  m.send_time_us = r.F64();
   ROD_RETURN_IF_ERROR(FinishDecode(r, "tuples"));
   return m;
 }
@@ -443,6 +445,184 @@ Result<PlanDiffMsg> PlanDiffMsg::Decode(std::string_view payload) {
     move.to_worker = r.U32();
   }
   ROD_RETURN_IF_ERROR(FinishDecode(r, "plan_diff"));
+  return m;
+}
+
+std::string PingMsg::Encode() const {
+  WireWriter w;
+  w.U64(seq);
+  w.F64(t1_us);
+  return w.Take();
+}
+
+Result<PingMsg> PingMsg::Decode(std::string_view payload) {
+  WireReader r(payload);
+  PingMsg m;
+  m.seq = r.U64();
+  m.t1_us = r.F64();
+  ROD_RETURN_IF_ERROR(FinishDecode(r, "ping"));
+  return m;
+}
+
+std::string PongMsg::Encode() const {
+  WireWriter w;
+  w.U64(seq);
+  w.U32(worker_id);
+  w.F64(t1_us);
+  w.F64(t2_us);
+  w.F64(t3_us);
+  return w.Take();
+}
+
+Result<PongMsg> PongMsg::Decode(std::string_view payload) {
+  WireReader r(payload);
+  PongMsg m;
+  m.seq = r.U64();
+  m.worker_id = r.U32();
+  m.t1_us = r.F64();
+  m.t2_us = r.F64();
+  m.t3_us = r.F64();
+  ROD_RETURN_IF_ERROR(FinishDecode(r, "pong"));
+  return m;
+}
+
+std::string StatsReportMsg::Encode() const {
+  WireWriter w;
+  w.U32(worker_id);
+  w.U32(static_cast<uint32_t>(counters.size()));
+  for (const auto& [name, value] : counters) {
+    w.Str(name);
+    w.U64(value);
+  }
+  w.U32(static_cast<uint32_t>(gauges.size()));
+  for (const auto& [name, value] : gauges) {
+    w.Str(name);
+    w.F64(value);
+  }
+  w.U32(static_cast<uint32_t>(histograms.size()));
+  for (const HistogramState& h : histograms) {
+    w.Str(h.name);
+    w.U64(h.count);
+    w.F64(h.sum);
+    w.F64(h.min);
+    w.F64(h.max);
+    w.U32(static_cast<uint32_t>(h.buckets.size()));
+    for (const auto& [bound, n] : h.buckets) {
+      w.F64(bound);
+      w.U64(n);
+    }
+  }
+  return w.Take();
+}
+
+Result<StatsReportMsg> StatsReportMsg::Decode(std::string_view payload) {
+  WireReader r(payload);
+  StatsReportMsg m;
+  m.worker_id = r.U32();
+  const uint32_t num_counters = r.U32();
+  if (!r.ok() || num_counters > kMaxWireCount) {
+    return Status::InvalidArgument("stats_report: bad counter count");
+  }
+  m.counters.resize(num_counters);
+  for (auto& [name, value] : m.counters) {
+    name = r.Str();
+    value = r.U64();
+  }
+  const uint32_t num_gauges = r.U32();
+  if (!r.ok() || num_gauges > kMaxWireCount) {
+    return Status::InvalidArgument("stats_report: bad gauge count");
+  }
+  m.gauges.resize(num_gauges);
+  for (auto& [name, value] : m.gauges) {
+    name = r.Str();
+    value = r.F64();
+  }
+  const uint32_t num_hists = r.U32();
+  if (!r.ok() || num_hists > kMaxWireCount) {
+    return Status::InvalidArgument("stats_report: bad histogram count");
+  }
+  m.histograms.resize(num_hists);
+  for (HistogramState& h : m.histograms) {
+    h.name = r.Str();
+    h.count = r.U64();
+    h.sum = r.F64();
+    h.min = r.F64();
+    h.max = r.F64();
+    const uint32_t num_buckets = r.U32();
+    if (!r.ok() || num_buckets > kMaxWireCount) {
+      return Status::InvalidArgument("stats_report: bad bucket count");
+    }
+    h.buckets.resize(num_buckets);
+    for (auto& [bound, n] : h.buckets) {
+      bound = r.F64();
+      n = r.U64();
+    }
+  }
+  ROD_RETURN_IF_ERROR(FinishDecode(r, "stats_report"));
+  return m;
+}
+
+std::string ClockSyncMsg::Encode() const {
+  WireWriter w;
+  w.U32(static_cast<uint32_t>(entries.size()));
+  for (const Entry& e : entries) {
+    w.U32(e.worker_id);
+    w.F64(e.offset_us);
+    w.F64(e.rtt_us);
+  }
+  return w.Take();
+}
+
+Result<ClockSyncMsg> ClockSyncMsg::Decode(std::string_view payload) {
+  WireReader r(payload);
+  ClockSyncMsg m;
+  const uint32_t num_entries = r.U32();
+  if (!r.ok() || num_entries > kMaxWireCount) {
+    return Status::InvalidArgument("clock_sync: bad entry count");
+  }
+  m.entries.resize(num_entries);
+  for (Entry& e : m.entries) {
+    e.worker_id = r.U32();
+    e.offset_us = r.F64();
+    e.rtt_us = r.F64();
+  }
+  ROD_RETURN_IF_ERROR(FinishDecode(r, "clock_sync"));
+  return m;
+}
+
+std::string FreezeMsg::Encode() const {
+  WireWriter w;
+  w.U64(incident_id);
+  w.Str(kind);
+  w.Str(detail);
+  return w.Take();
+}
+
+Result<FreezeMsg> FreezeMsg::Decode(std::string_view payload) {
+  WireReader r(payload);
+  FreezeMsg m;
+  m.incident_id = r.U64();
+  m.kind = r.Str();
+  m.detail = r.Str();
+  ROD_RETURN_IF_ERROR(FinishDecode(r, "freeze"));
+  return m;
+}
+
+std::string FrozenReportMsg::Encode() const {
+  WireWriter w;
+  w.U64(incident_id);
+  w.U32(worker_id);
+  w.Str(incident_json);
+  return w.Take();
+}
+
+Result<FrozenReportMsg> FrozenReportMsg::Decode(std::string_view payload) {
+  WireReader r(payload);
+  FrozenReportMsg m;
+  m.incident_id = r.U64();
+  m.worker_id = r.U32();
+  m.incident_json = r.Str();
+  ROD_RETURN_IF_ERROR(FinishDecode(r, "frozen_report"));
   return m;
 }
 

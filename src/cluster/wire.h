@@ -194,6 +194,10 @@ struct TupleBatchMsg {
   uint32_t count = 0;
   uint32_t from_worker = 0;
   double create_time = 0.0;  ///< Batch origin time on the run clock.
+  /// Send instant on the sender's telemetry clock (microseconds). The
+  /// receiver rebases it with the coordinator-distributed clock offsets
+  /// (kClockSync) to measure end-to-end ship latency; 0 means unstamped.
+  double send_time_us = 0.0;
 
   std::string Encode() const;
   static Result<TupleBatchMsg> Decode(std::string_view payload);
@@ -232,6 +236,95 @@ struct FinalStatsMsg {
 
   std::string Encode() const;
   static Result<FinalStatsMsg> Decode(std::string_view payload);
+};
+
+/// coordinator -> worker clock-sync probe. `t1_us` is the coordinator's
+/// telemetry clock at send; the worker echoes it back untouched.
+struct PingMsg {
+  uint64_t seq = 0;
+  double t1_us = 0.0;
+
+  std::string Encode() const;
+  static Result<PingMsg> Decode(std::string_view payload);
+};
+
+/// worker -> coordinator probe echo. `t2_us`/`t3_us` are the worker's
+/// telemetry clock at receive/reply; the coordinator stamps t4 on receipt
+/// and feeds (t1, t2, t3, t4) to its ClockSyncEstimator.
+struct PongMsg {
+  uint64_t seq = 0;
+  uint32_t worker_id = 0;
+  double t1_us = 0.0;
+  double t2_us = 0.0;
+  double t3_us = 0.0;
+
+  std::string Encode() const;
+  static Result<PongMsg> Decode(std::string_view payload);
+};
+
+/// worker -> coordinator: the delta of this worker's metric registry
+/// since its previous report (piggybacked on the heartbeat cadence).
+/// Values are cumulative — the coordinator merges by overwrite, so a
+/// lost report self-heals on the next one.
+struct StatsReportMsg {
+  struct HistogramState {
+    std::string name;
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    /// Log-scale (upper_bound, count) pairs, cumulative counts not
+    /// required: plain per-bucket tallies, matching HistogramSnapshot.
+    std::vector<std::pair<double, uint64_t>> buckets;
+  };
+
+  uint32_t worker_id = 0;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramState> histograms;
+
+  std::string Encode() const;
+  static Result<StatsReportMsg> Decode(std::string_view payload);
+};
+
+/// coordinator -> worker: the latest per-worker clock offsets, in
+/// coordinator-clock terms (worker_time_us + offset_us = coordinator
+/// time). Workers use their own and their peers' offsets to rebase
+/// TupleBatchMsg::send_time_us into one shared timebase.
+struct ClockSyncMsg {
+  struct Entry {
+    uint32_t worker_id = 0;
+    double offset_us = 0.0;
+    double rtt_us = 0.0;
+  };
+  std::vector<Entry> entries;
+
+  std::string Encode() const;
+  static Result<ClockSyncMsg> Decode(std::string_view payload);
+};
+
+/// coordinator -> worker: freeze your observability rings now. Sent on
+/// failure detection so every survivor snapshots at (approximately) the
+/// same aligned instant.
+struct FreezeMsg {
+  uint64_t incident_id = 0;
+  std::string kind;    ///< e.g. "worker_failure".
+  std::string detail;  ///< Human-readable cause.
+
+  std::string Encode() const;
+  static Result<FreezeMsg> Decode(std::string_view payload);
+};
+
+/// worker -> coordinator: the frozen flight-recorder incident, rendered
+/// as a self-contained JSON object, to embed in the coordinator's
+/// cluster-wide incident report.
+struct FrozenReportMsg {
+  uint64_t incident_id = 0;
+  uint32_t worker_id = 0;
+  std::string incident_json;
+
+  std::string Encode() const;
+  static Result<FrozenReportMsg> Decode(std::string_view payload);
 };
 
 // Serialization of a query graph (inside PlanMsg; exposed for tests).

@@ -6,11 +6,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <fstream>
 #include <sstream>
 #include <thread>
 #include <utility>
 
 #include "telemetry/exposition.h"
+#include "telemetry/json_writer.h"
 
 namespace rod::cluster {
 
@@ -64,11 +66,27 @@ Status Worker::Run() {
   ROD_RETURN_IF_ERROR(Connect());
   const Status result = EventLoop();
   http_.Stop();
+  if (!options_.trace_path.empty()) DumpTrace();
   return result;
+}
+
+void Worker::DumpTrace() const {
+  std::ofstream out(options_.trace_path);
+  if (!out.is_open()) return;
+  telemetry::ChromeTraceProcess proc;
+  proc.pid = static_cast<uint64_t>(worker_id_) + 2;  // Coordinator is 1.
+  proc.name = options_.name;
+  proc.metadata["worker_id"] = static_cast<double>(worker_id_);
+  const bool synced =
+      worker_id_ < have_offset_.size() && have_offset_[worker_id_] != 0;
+  proc.metadata["clock_offset_us"] =
+      synced ? clock_offset_us_[worker_id_] : 0.0;
+  telemetry_.WriteChromeTrace(out, proc);
 }
 
 Status Worker::Connect() {
   ROD_RETURN_IF_ERROR(data_listener_.Listen(options_.data_port));
+  data_listener_.set_metrics(&frame_metrics_);
   if (options_.serve_http) StartHttpPlane();
 
   // The coordinator may come up after its workers; retry the dial until
@@ -79,6 +97,7 @@ Status Worker::Connect() {
                                         kControlTimeout);
     if (conn.ok()) {
       control_ = std::move(conn.value());
+      control_.set_metrics(&frame_metrics_);
       break;
     }
     if (MonotonicSeconds() >= deadline) return conn.status();
@@ -211,6 +230,7 @@ Status Worker::HandleControlFrame(const Frame& frame) {
         if (op < paused_.size()) paused_[op] = 1;
       }
       telemetry_.Count("cluster.pauses", 1);
+      telemetry_.RecordInstant("cluster", "pause");
       // Single-threaded loop: nothing is in flight here, so paused ops
       // are already drained — the ack is the drain confirmation.
       PlanAckMsg ack{pause->plan_version, worker_id_};
@@ -227,12 +247,36 @@ Status Worker::HandleControlFrame(const Frame& frame) {
       std::fill(paused_.begin(), paused_.end(), 0);
       FlushPausedBuffers();
       telemetry_.Count("cluster.resumes", 1);
+      telemetry_.RecordInstant("cluster", "resume");
       return Status::OK();
     }
     case MsgType::kFinish: {
       generating_ = false;
       FinalStatsMsg stats{worker_id_, counters_};
       return control_.Send(MsgType::kFinalStats, stats.Encode());
+    }
+    case MsgType::kPing: {
+      const double t2 = telemetry_.NowMicros();
+      auto ping = PingMsg::Decode(frame.payload);
+      if (!ping.ok()) return ping.status();
+      PongMsg pong;
+      pong.seq = ping->seq;
+      pong.worker_id = worker_id_;
+      pong.t1_us = ping->t1_us;
+      pong.t2_us = t2;
+      pong.t3_us = telemetry_.NowMicros();
+      return control_.Send(MsgType::kPong, pong.Encode());
+    }
+    case MsgType::kClockSync: {
+      auto sync = ClockSyncMsg::Decode(frame.payload);
+      if (!sync.ok()) return sync.status();
+      InstallClockSync(*sync);
+      return Status::OK();
+    }
+    case MsgType::kFreeze: {
+      auto freeze = FreezeMsg::Decode(frame.payload);
+      if (!freeze.ok()) return freeze.status();
+      return HandleFreeze(*freeze);
     }
     default:
       return Status::InvalidArgument(
@@ -242,6 +286,7 @@ Status Worker::HandleControlFrame(const Frame& frame) {
 }
 
 Status Worker::InstallPlan(const PlanMsg& plan) {
+  ROD_TRACE_SPAN(&telemetry_, "cluster", "plan.install");
   place::SystemSpec system{Vector(plan.capacities)};
   std::vector<size_t> assignment(plan.assignment.begin(),
                                  plan.assignment.end());
@@ -294,6 +339,9 @@ Status Worker::InstallPlan(const PlanMsg& plan) {
   telemetry_.SetGauge("cluster.hosted_operators",
                       static_cast<double>(hosted));
   telemetry_.SetGauge("cluster.worker_id", static_cast<double>(worker_id_));
+  // Offset-corrected inter-worker ship latency (microseconds), recorded
+  // on the receive path once clock sync has distributed offsets.
+  ship_latency_ = telemetry_.histogram("cluster.ship_latency_us");
   ready_.store(true);
 
   PlanAckMsg ack{plan.version, worker_id_};
@@ -301,6 +349,7 @@ Status Worker::InstallPlan(const PlanMsg& plan) {
 }
 
 void Worker::ApplyPlanDiff(const PlanDiffMsg& diff) {
+  ROD_TRACE_SPAN(&telemetry_, "cluster", "plan.diff");
   size_t moved = 0;
   for (const OperatorMove& move : diff.moves) {
     if (move.op >= assignment_.size()) continue;
@@ -320,11 +369,23 @@ void Worker::ApplyPlanDiff(const PlanDiffMsg& diff) {
 
 void Worker::HandleDataFrame(const Frame& frame) {
   if (frame.type != MsgType::kTuples || !have_plan_) return;
+  const double recv_us = telemetry_.NowMicros();
   auto batch = TupleBatchMsg::Decode(frame.payload);
   if (!batch.ok()) return;  // Corrupt batch: drop (CRC already vetted).
   counters_.received += batch->count;
   telemetry_.Count("cluster.tuples_received", batch->count);
   telemetry_.Count("cluster.batches_received", 1);
+  // End-to-end ship latency on the coordinator clock: both sides' local
+  // stamps rebased by their distributed offsets. Only measurable once
+  // clock sync has covered both this worker and the sender.
+  const uint32_t from = batch->from_worker;
+  if (batch->send_time_us > 0.0 && worker_id_ < have_offset_.size() &&
+      have_offset_[worker_id_] != 0 && from < have_offset_.size() &&
+      have_offset_[from] != 0) {
+    const double recv_coord = recv_us + clock_offset_us_[worker_id_];
+    const double send_coord = batch->send_time_us + clock_offset_us_[from];
+    ship_latency_.Record(std::max(0.0, recv_coord - send_coord));
+  }
   Dispatch(batch->to_op, batch->to_port, batch->count, batch->create_time);
 }
 
@@ -433,6 +494,7 @@ void Worker::ShipTo(uint32_t peer_id, uint32_t op, uint32_t port,
       return;
     }
     peer.conn = std::move(conn.value());
+    peer.conn.set_metrics(&frame_metrics_);
   }
   TupleBatchMsg batch;
   batch.to_op = op;
@@ -440,6 +502,7 @@ void Worker::ShipTo(uint32_t peer_id, uint32_t op, uint32_t port,
   batch.count = count;
   batch.from_worker = worker_id_;
   batch.create_time = create_time;
+  batch.send_time_us = telemetry_.NowMicros();
   if (!peer.conn.Send(MsgType::kTuples, batch.Encode()).ok()) {
     fail();
     return;
@@ -493,6 +556,99 @@ void Worker::SendHeartbeat(double now) {
   // read in the event loop will surface the error and exit the worker.
   (void)control_.Send(MsgType::kHeartbeat, hb.Encode());
   telemetry_.Count("cluster.heartbeats_sent", 1);
+  SendStatsReport();
+}
+
+void Worker::SendStatsReport() {
+  const telemetry::MetricsSnapshot snap = telemetry_.Snapshot();
+  StatsReportMsg report;
+  report.worker_id = worker_id_;
+  for (const auto& [name, value] : snap.counters) {
+    auto it = reported_counters_.find(name);
+    if (it != reported_counters_.end() && it->second == value) continue;
+    reported_counters_[name] = value;
+    report.counters.emplace_back(name, value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    auto it = reported_gauges_.find(name);
+    if (it != reported_gauges_.end() && it->second == value) continue;
+    reported_gauges_[name] = value;
+    report.gauges.emplace_back(name, value);
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    auto it = reported_hist_counts_.find(name);
+    if (it != reported_hist_counts_.end() && it->second == h.count) continue;
+    reported_hist_counts_[name] = h.count;
+    StatsReportMsg::HistogramState state;
+    state.name = name;
+    state.count = h.count;
+    state.sum = h.sum;
+    state.min = h.min;
+    state.max = h.max;
+    state.buckets = h.buckets;
+    report.histograms.push_back(std::move(state));
+  }
+  if (report.counters.empty() && report.gauges.empty() &&
+      report.histograms.empty()) {
+    return;  // Nothing changed since the last report.
+  }
+  (void)control_.Send(MsgType::kStatsReport, report.Encode());
+  telemetry_.Count("cluster.stats_reports_sent", 1);
+}
+
+void Worker::InstallClockSync(const ClockSyncMsg& sync) {
+  for (const ClockSyncMsg::Entry& e : sync.entries) {
+    if (e.worker_id >= clock_offset_us_.size()) {
+      clock_offset_us_.resize(e.worker_id + 1, 0.0);
+      have_offset_.resize(e.worker_id + 1, 0);
+    }
+    clock_offset_us_[e.worker_id] = e.offset_us;
+    have_offset_[e.worker_id] = 1;
+    if (e.worker_id == worker_id_) {
+      telemetry_.SetGauge("cluster.clock_offset_us", e.offset_us);
+      telemetry_.SetGauge("cluster.rtt_us", e.rtt_us);
+    }
+  }
+  telemetry_.Count("cluster.clock_syncs", 1);
+}
+
+Status Worker::HandleFreeze(const FreezeMsg& freeze) {
+  ROD_TRACE_SPAN(&telemetry_, "cluster", "freeze.snapshot");
+  // Freeze the rings at (approximately) the coordinator-chosen instant;
+  // the snapshot happens inside BeginIncident, so the report below can
+  // take its time.
+  flight_recorder_.BeginIncident(freeze.kind, freeze.detail);
+  flight_recorder_.Note("freeze ordered by coordinator (incident " +
+                        std::to_string(freeze.incident_id) + ")");
+  const uint32_t id = worker_id_;
+  const uint64_t version = plan_version_;
+  const double uptime = Now();
+  const size_t queued = paused_buffers_.size();
+  flight_recorder_.CompleteIncident([&](telemetry::JsonWriter& w) {
+    w.BeginObjectInline();
+    w.Key("worker_id").Uint(id);
+    w.Key("name").String(options_.name);
+    w.Key("plan_version").Uint(version);
+    w.Key("uptime_seconds").Double(uptime);
+    w.Key("queue_depth").Uint(queued);
+    w.EndObject();
+  });
+  telemetry_.Count("cluster.freezes", 1);
+
+  const std::vector<std::string> incidents = flight_recorder_.IncidentJsons();
+  if (incidents.empty()) return Status::OK();
+  FrozenReportMsg reply;
+  reply.incident_id = freeze.incident_id;
+  reply.worker_id = worker_id_;
+  reply.incident_json = incidents.back();
+  // The wire string cap bounds one field at 1 MiB; a trace-heavy
+  // incident beyond it degrades to a stub rather than a send failure.
+  if (reply.incident_json.size() >= (1u << 20)) {
+    reply.incident_json =
+        "{\"truncated\": true, \"bytes\": " +
+        std::to_string(incidents.back().size()) + "}";
+  }
+  return control_.Send(MsgType::kFrozenReport, reply.Encode());
 }
 
 void Worker::StartHttpPlane() {

@@ -62,6 +62,12 @@ struct WorkerOptions {
   /// Peer ship failures park the peer for this long before redialing, so
   /// a dead worker costs one failed dial per cooldown, not per batch.
   double peer_retry_cooldown = 0.25;
+
+  /// When set, the worker dumps its Chrome trace here after the event
+  /// loop exits, stamped with its name, worker id, and last
+  /// coordinator-distributed clock offset so tools/rod_trace_merge can
+  /// rebase it onto the coordinator clock.
+  std::string trace_path;
 };
 
 /// One worker process's lifetime: construct, Run() until the coordinator
@@ -124,6 +130,14 @@ class Worker {
 
   void GenerateSources(double now, double dt);
   void SendHeartbeat(double now);
+  /// Sends the metric-registry delta since the last report (piggybacked
+  /// on the heartbeat cadence) for the coordinator's federated plane.
+  void SendStatsReport();
+  /// Freezes the flight recorder at the coordinator-ordered instant and
+  /// replies with the rendered incident (kFrozenReport).
+  Status HandleFreeze(const FreezeMsg& freeze);
+  void InstallClockSync(const ClockSyncMsg& sync);
+  void DumpTrace() const;
   void StartHttpPlane();
 
   WorkerOptions options_;
@@ -166,12 +180,26 @@ class Worker {
   std::vector<uint64_t> op_processed_;
   std::vector<double> op_busy_;
 
+  // Cluster clock view (event-loop thread only): the latest
+  // coordinator-distributed offsets per worker id, in microseconds on
+  // each worker's telemetry clock (worker + offset = coordinator).
+  std::vector<double> clock_offset_us_;
+  std::vector<char> have_offset_;
+
+  // Last-reported registry state, for kStatsReport deltas (values are
+  // cumulative; only changed families are resent).
+  std::map<std::string, uint64_t> reported_counters_;
+  std::map<std::string, double> reported_gauges_;
+  std::map<std::string, uint64_t> reported_hist_counts_;
+
   // Observability plane.
   std::atomic<bool> ready_{false};  ///< Plan installed (gates /readyz).
   telemetry::Telemetry telemetry_;
   telemetry::FlightRecorder flight_recorder_{&telemetry_};
   telemetry::HttpServer http_;
   uint16_t http_port_ = 0;
+  FrameMetrics frame_metrics_{&telemetry_};
+  telemetry::Histogram ship_latency_;
 };
 
 /// Convenience for tools and forked test children: construct + Run.

@@ -26,6 +26,7 @@
 #ifndef ROD_ROD_H_
 #define ROD_ROD_H_
 
+#include "cluster/clock_sync.h"
 #include "cluster/coordinator.h"
 #include "cluster/frame.h"
 #include "cluster/transport.h"
@@ -72,8 +73,10 @@
 #include "runtime/supervisor.h"
 #include "runtime/sweep.h"
 #include "runtime/workload_driver.h"
+#include "telemetry/json_reader.h"
 #include "telemetry/json_writer.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace_merge.h"
 #include "trace/bmodel.h"
 #include "trace/hurst.h"
 #include "trace/io.h"

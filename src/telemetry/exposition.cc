@@ -15,13 +15,13 @@ bool LegalRest(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':';
 }
 
-/// Serializes the constant label set once ('{a="b",c="d"}' or ""); the
+/// Serializes a constant label set once ('{a="b",c="d"}' or ""); the
 /// histogram path splices its `le` label in before the closing brace.
-std::string RenderLabels(const PrometheusOptions& options) {
-  if (options.labels.empty()) return "";
+std::string RenderLabelMap(const std::map<std::string, std::string>& labels) {
+  if (labels.empty()) return "";
   std::string out = "{";
   bool first = true;
-  for (const auto& [name, value] : options.labels) {
+  for (const auto& [name, value] : labels) {
     if (!first) out += ",";
     first = false;
     out += SanitizePrometheusName(name);
@@ -31,6 +31,10 @@ std::string RenderLabels(const PrometheusOptions& options) {
   }
   out += "}";
   return out;
+}
+
+std::string RenderLabels(const PrometheusOptions& options) {
+  return RenderLabelMap(options.labels);
 }
 
 /// Labels with one extra `le` pair appended (histogram buckets).
@@ -148,6 +152,79 @@ void WritePrometheusText(const MetricsSnapshot& snap, std::ostream& out,
   WriteType(out, "telemetry_dropped_registrations", "counter");
   out << "telemetry_dropped_registrations" << labels << " "
       << snap.dropped_registrations << "\n";
+}
+
+void WriteFederatedPrometheusText(
+    const std::vector<FederatedInstance>& instances, std::ostream& out) {
+  std::vector<std::string> labels;
+  labels.reserve(instances.size());
+  for (const FederatedInstance& inst : instances) {
+    labels.push_back(RenderLabelMap(inst.labels));
+  }
+
+  // Group each metric class by sanitized family name so one TYPE line
+  // heads all instances' series of that family.
+  std::map<std::string, std::vector<std::pair<size_t, uint64_t>>> counters;
+  std::map<std::string, std::vector<std::pair<size_t, double>>> gauges;
+  std::map<std::string,
+           std::vector<std::pair<size_t, const HistogramSnapshot*>>>
+      histograms;
+  for (size_t i = 0; i < instances.size(); ++i) {
+    const MetricsSnapshot& snap = instances[i].snapshot;
+    for (const auto& [name, value] : snap.counters) {
+      counters[SanitizePrometheusName(name)].emplace_back(i, value);
+    }
+    for (const auto& [name, value] : snap.gauges) {
+      gauges[SanitizePrometheusName(name)].emplace_back(i, value);
+    }
+    for (const auto& [name, h] : snap.histograms) {
+      histograms[SanitizePrometheusName(name)].emplace_back(i, &h);
+    }
+  }
+
+  for (const auto& [name, series] : counters) {
+    WriteType(out, name, "counter");
+    for (const auto& [i, value] : series) {
+      out << name << labels[i] << " " << value << "\n";
+    }
+  }
+  for (const auto& [name, series] : gauges) {
+    WriteType(out, name, "gauge");
+    for (const auto& [i, value] : series) {
+      out << name << labels[i] << " " << FormatDouble(value) << "\n";
+    }
+  }
+  for (const auto& [name, series] : histograms) {
+    WriteType(out, name, "histogram");
+    for (const auto& [i, h] : series) {
+      uint64_t cumulative = 0;
+      for (const auto& [upper, count] : h->buckets) {
+        cumulative += count;
+        out << name << "_bucket"
+            << RenderBucketLabels(labels[i], FormatDouble(upper)) << " "
+            << cumulative << "\n";
+      }
+      out << name << "_bucket" << RenderBucketLabels(labels[i], "+Inf") << " "
+          << h->count << "\n";
+      out << name << "_sum" << labels[i] << " " << FormatDouble(h->sum)
+          << "\n";
+      out << name << "_count" << labels[i] << " " << h->count << "\n";
+    }
+  }
+
+  const char* health[] = {"telemetry_trace_events_recorded",
+                          "telemetry_trace_events_dropped",
+                          "telemetry_dropped_registrations"};
+  for (const char* name : health) {
+    WriteType(out, name, "counter");
+    for (size_t i = 0; i < instances.size(); ++i) {
+      const MetricsSnapshot& snap = instances[i].snapshot;
+      uint64_t value = snap.trace_events_recorded;
+      if (name == health[1]) value = snap.trace_events_dropped;
+      if (name == health[2]) value = snap.dropped_registrations;
+      out << name << labels[i] << " " << value << "\n";
+    }
+  }
 }
 
 }  // namespace rod::telemetry

@@ -18,6 +18,7 @@
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "telemetry/telemetry.h"
 
@@ -46,6 +47,26 @@ std::string EscapePrometheusLabelValue(std::string_view value);
 /// `telemetry_trace_events_dropped`, `telemetry_dropped_registrations`).
 void WritePrometheusText(const MetricsSnapshot& snap, std::ostream& out,
                          const PrometheusOptions& options = {});
+
+/// One process's snapshot inside a federated exposition, identified by
+/// its label set (e.g. {worker="0", name="worker-a"}). The coordinator's
+/// own snapshot conventionally carries an empty label set.
+struct FederatedInstance {
+  std::map<std::string, std::string> labels;
+  MetricsSnapshot snapshot;
+};
+
+/// Renders several processes' snapshots as one valid exposition: series
+/// of the same family (same sanitized name) are grouped under a single
+/// `# TYPE` line — the format forbids repeating it — with each
+/// instance's labels distinguishing the series. Families are emitted
+/// name-sorted per metric class (counters, gauges, histograms, then the
+/// per-instance telemetry health series); within a family, instances
+/// appear in input order. A name registered as e.g. a counter in one
+/// instance and a gauge in another would emit under both classes; the
+/// registries share one naming scheme, so this does not arise.
+void WriteFederatedPrometheusText(
+    const std::vector<FederatedInstance>& instances, std::ostream& out);
 
 /// The scrape Content-Type for this format.
 inline constexpr const char* kPrometheusContentType =

@@ -132,6 +132,11 @@ size_t FlightRecorder::incident_count() const {
   return incidents_.size();
 }
 
+std::vector<std::string> FlightRecorder::IncidentJsons() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {incidents_.begin(), incidents_.end()};
+}
+
 bool FlightRecorder::pending() const {
   std::lock_guard<std::mutex> lock(mu_);
   return pending_.count(std::this_thread::get_id()) != 0;

@@ -89,6 +89,12 @@ class FlightRecorder {
   /// Completed incidents currently retained.
   size_t incident_count() const;
 
+  /// The retained incidents as self-contained inline JSON object
+  /// strings, oldest first — the per-worker payload of the cluster's
+  /// kFrozenReport (the coordinator splices them into its cluster-wide
+  /// incident report via JsonWriter::Raw).
+  std::vector<std::string> IncidentJsons() const;
+
   /// True if the calling thread has an open incident.
   bool pending() const;
 

@@ -1,0 +1,372 @@
+#include "telemetry/json_reader.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+
+#include "telemetry/json_writer.h"
+
+namespace rod::telemetry {
+
+namespace {
+
+/// Nesting cap: far deeper than any document this repo writes, shallow
+/// enough that recursion cannot exhaust the stack on hostile input.
+constexpr int kMaxDepth = 128;
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<JsonValue> Parse() {
+    SkipWhitespace();
+    JsonValue v;
+    ROD_RETURN_IF_ERROR(ParseValue(&v, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after document");
+    }
+    return v;
+  }
+
+ private:
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at byte " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"': {
+        std::string s;
+        ROD_RETURN_IF_ERROR(ParseString(&s));
+        *out = JsonValue::Str(std::move(s));
+        return Status::OK();
+      }
+      case 't':
+        if (ConsumeWord("true")) {
+          *out = JsonValue::Bool(true);
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      case 'f':
+        if (ConsumeWord("false")) {
+          *out = JsonValue::Bool(false);
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      case 'n':
+        if (ConsumeWord("null")) {
+          *out = JsonValue::Null();
+          return Status::OK();
+        }
+        return Error("invalid literal");
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    ++pos_;  // '{'
+    *out = JsonValue::Object();
+    SkipWhitespace();
+    if (Consume('}')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      std::string key;
+      ROD_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      SkipWhitespace();
+      JsonValue value;
+      ROD_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->members().emplace_back(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::OK();
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    ++pos_;  // '['
+    *out = JsonValue::Array();
+    SkipWhitespace();
+    if (Consume(']')) return Status::OK();
+    while (true) {
+      SkipWhitespace();
+      JsonValue value;
+      ROD_RETURN_IF_ERROR(ParseValue(&value, depth + 1));
+      out->items().push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::OK();
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    ++pos_;  // '"'
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return Status::OK();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out->push_back('"');
+          break;
+        case '\\':
+          out->push_back('\\');
+          break;
+        case '/':
+          out->push_back('/');
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t code = 0;
+          ROD_RETURN_IF_ERROR(ParseHex4(&code));
+          // Surrogate pair: a high surrogate must be followed by
+          // \uDC00..\uDFFF; combine into one code point.
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+                text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              uint32_t low = 0;
+              ROD_RETURN_IF_ERROR(ParseHex4(&low));
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Error("invalid low surrogate");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              return Error("unpaired high surrogate");
+            }
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            return Error("unpaired low surrogate");
+          }
+          AppendUtf8(out, code);
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseHex4(uint32_t* out) {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<size_t>(i)];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Error("invalid \\u escape");
+      }
+    }
+    pos_ += 4;
+    *out = v;
+    return Status::OK();
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    double v = 0.0;
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(first, last, v);
+    if (ec != std::errc() || ptr != last) {
+      return Error("malformed number");
+    }
+    *out = JsonValue::Number(v);
+    return Status::OK();
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue JsonValue::Bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::Number(double value) {
+  JsonValue v;
+  v.kind_ = Kind::kNumber;
+  v.number_ = value;
+  return v;
+}
+
+JsonValue JsonValue::Str(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::Array() {
+  JsonValue v;
+  v.kind_ = Kind::kArray;
+  return v;
+}
+
+JsonValue JsonValue::Object() {
+  JsonValue v;
+  v.kind_ = Kind::kObject;
+  return v;
+}
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+double JsonValue::NumberOr(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_number() ? v->number() : fallback;
+}
+
+std::string JsonValue::StringOr(std::string_view key,
+                                std::string_view fallback) const {
+  const JsonValue* v = Find(key);
+  return v != nullptr && v->is_string() ? v->string_value()
+                                        : std::string(fallback);
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+void WriteJsonValue(const JsonValue& value, JsonWriter& w) {
+  switch (value.kind()) {
+    case JsonValue::Kind::kNull:
+      w.Null();
+      break;
+    case JsonValue::Kind::kBool:
+      w.Bool(value.boolean());
+      break;
+    case JsonValue::Kind::kNumber:
+      w.Double(value.number());
+      break;
+    case JsonValue::Kind::kString:
+      w.String(value.string_value());
+      break;
+    case JsonValue::Kind::kArray:
+      w.BeginArrayInline();
+      for (const JsonValue& item : value.items()) WriteJsonValue(item, w);
+      w.EndArray();
+      break;
+    case JsonValue::Kind::kObject:
+      w.BeginObjectInline();
+      for (const auto& [key, member] : value.members()) {
+        w.Key(key);
+        WriteJsonValue(member, w);
+      }
+      w.EndObject();
+      break;
+  }
+}
+
+}  // namespace rod::telemetry

@@ -1,0 +1,99 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// A small dependency-free JSON parser: the read side of the telemetry
+// exporters' write side (json_writer.h). Grown for tools/rod_trace_merge
+// — which must re-read the Chrome trace dumps this repo writes — and for
+// tests that assert on exported JSON structurally instead of by string
+// matching. It parses standard JSON (RFC 8259): objects, arrays,
+// strings with escapes (\uXXXX included, encoded back to UTF-8),
+// numbers as double, booleans, null. Duplicate object keys are kept in
+// order; Find returns the first. Depth is capped so a hostile input
+// cannot overflow the parse stack.
+//
+// Layering: uses Status, so it compiles into rod_common (above
+// rod_telemetry), not into the telemetry library itself.
+
+#ifndef ROD_TELEMETRY_JSON_READER_H_
+#define ROD_TELEMETRY_JSON_READER_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace rod::telemetry {
+
+class JsonWriter;
+
+/// One parsed JSON value; a tree of these represents a document.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  JsonValue() = default;
+
+  static JsonValue Null() { return JsonValue(); }
+  static JsonValue Bool(bool b);
+  static JsonValue Number(double v);
+  static JsonValue Str(std::string s);
+  static JsonValue Array();
+  static JsonValue Object();
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; the kind must match (checked by assert-free
+  /// convention: wrong-kind reads return the type's zero value).
+  bool boolean() const { return kind_ == Kind::kBool && bool_; }
+  double number() const { return kind_ == Kind::kNumber ? number_ : 0.0; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  std::vector<JsonValue>& items() { return items_; }
+  std::vector<std::pair<std::string, JsonValue>>& members() {
+    return members_;
+  }
+
+  /// First member with `key` in an object; nullptr when absent or not an
+  /// object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Convenience: Find(key)->number() with a fallback for absent keys or
+  /// non-numbers.
+  double NumberOr(std::string_view key, double fallback) const;
+
+  /// Convenience: Find(key)->string_value() with a fallback.
+  std::string StringOr(std::string_view key, std::string_view fallback) const;
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/// Parses one JSON document (rejecting trailing non-whitespace). Returns
+/// kInvalidArgument with the byte offset on malformed input.
+Result<JsonValue> ParseJson(std::string_view text);
+
+/// Re-serializes `value` into an in-progress JsonWriter (after Key() or
+/// as an array element) — the round-trip used by rod_trace_merge to
+/// re-emit events it did not invent. Numbers print via JsonWriter's
+/// shortest-round-trip double format.
+void WriteJsonValue(const JsonValue& value, JsonWriter& w);
+
+}  // namespace rod::telemetry
+
+#endif  // ROD_TELEMETRY_JSON_READER_H_

@@ -410,15 +410,31 @@ void Telemetry::WriteMetricsJson(std::ostream& out) const {
 }
 
 void Telemetry::WriteChromeTrace(std::ostream& out) const {
+  WriteChromeTrace(out, ChromeTraceProcess{});
+}
+
+void Telemetry::WriteChromeTrace(std::ostream& out,
+                                 const ChromeTraceProcess& process) const {
   JsonWriter w(out);
   w.BeginObject();
   w.Key("displayTimeUnit").String("ms");
   w.Key("traceEvents").BeginArray();
   std::lock_guard<std::mutex> lock(impl_->mu);
+  if (!process.name.empty()) {
+    w.BeginObjectInline();
+    w.Key("ph").String("M");
+    w.Key("pid").Uint(process.pid);
+    w.Key("tid").Uint(0);
+    w.Key("name").String("process_name");
+    w.Key("args").BeginObjectInline();
+    w.Key("name").String(process.name);
+    w.EndObject();
+    w.EndObject();
+  }
   for (const auto& shard : impl_->shards) {
     w.BeginObjectInline();
     w.Key("ph").String("M");
-    w.Key("pid").Uint(1);
+    w.Key("pid").Uint(process.pid);
     w.Key("tid").Uint(shard->tid);
     w.Key("name").String("thread_name");
     w.Key("args").BeginObjectInline();
@@ -430,7 +446,7 @@ void Telemetry::WriteChromeTrace(std::ostream& out) const {
     for (const TraceEvent& e : shard->ring) {
       w.BeginObjectInline();
       w.Key("ph").String(e.instant ? "i" : "X");
-      w.Key("pid").Uint(1);
+      w.Key("pid").Uint(process.pid);
       w.Key("tid").Uint(shard->tid);
       w.Key("cat").String(e.category);
       w.Key("name").String(e.name);
@@ -449,8 +465,49 @@ void Telemetry::WriteChromeTrace(std::ostream& out) const {
     }
   }
   w.EndArray();
+  if (!process.name.empty() || !process.metadata.empty()) {
+    w.Key("rod").BeginObjectInline();
+    for (const auto& [key, value] : process.metadata) {
+      w.Key(key).Double(value);
+    }
+    w.EndObject();
+  }
   w.EndObject();
   out << "\n";
+}
+
+void MergeHistogramInto(HistogramSnapshot& dst, const HistogramSnapshot& src) {
+  if (src.count == 0) return;
+  if (dst.count == 0) {
+    dst = src;
+    return;
+  }
+  dst.sum += src.sum;
+  dst.min = std::min(dst.min, src.min);
+  dst.max = std::max(dst.max, src.max);
+  dst.count += src.count;
+  // Two-pointer merge on bucket upper bounds; both sides come from the
+  // same log-bucket layout, so equal buckets have bit-identical bounds.
+  std::vector<std::pair<double, uint64_t>> merged;
+  merged.reserve(dst.buckets.size() + src.buckets.size());
+  size_t i = 0;
+  size_t j = 0;
+  while (i < dst.buckets.size() || j < src.buckets.size()) {
+    if (j >= src.buckets.size() ||
+        (i < dst.buckets.size() &&
+         dst.buckets[i].first < src.buckets[j].first)) {
+      merged.push_back(dst.buckets[i++]);
+    } else if (i >= dst.buckets.size() ||
+               src.buckets[j].first < dst.buckets[i].first) {
+      merged.push_back(src.buckets[j++]);
+    } else {
+      merged.emplace_back(dst.buckets[i].first,
+                          dst.buckets[i].second + src.buckets[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  dst.buckets = std::move(merged);
 }
 
 TraceSpan::TraceSpan(Telemetry* telemetry, const char* category,

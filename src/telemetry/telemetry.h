@@ -147,6 +147,26 @@ struct MetricsSnapshot {
   uint64_t dropped_registrations = 0;
 };
 
+/// Merges `src` into `dst` bucket-by-bucket (counts add, min/max widen,
+/// sum adds). Both must come from the same log-bucket layout, which every
+/// HistogramSnapshot in this codebase does; used to aggregate one metric
+/// across processes (the coordinator merging worker-reported histograms).
+void MergeHistogramInto(HistogramSnapshot& dst, const HistogramSnapshot& src);
+
+/// Identity of the process row a Chrome-trace export describes. The
+/// default (pid 1, no name, no extras) reproduces the single-process
+/// export byte-for-byte; cluster processes set a distinct pid and a
+/// human-readable name so merged traces read as one labeled timeline,
+/// and record their clock offset so tools/rod_trace_merge can rebase
+/// the dump onto the coordinator clock.
+struct ChromeTraceProcess {
+  uint64_t pid = 1;
+  std::string name;  ///< Emitted as a process_name metadata event if set.
+  /// Extra numeric facts exported under a top-level "rod" object (e.g.
+  /// worker_id, clock_offset_us). Emitted only when non-empty.
+  std::map<std::string, double> metadata;
+};
+
 /// One trace event copied out of a thread's ring by SnapshotTrace().
 /// `category`/`name` point at the recorder's string literals.
 struct TraceEventView {
@@ -227,6 +247,11 @@ class Telemetry {
   /// Chrome trace_event JSON ("X" complete spans, "i" instants, one tid
   /// per recording thread), loadable in chrome://tracing / Perfetto.
   void WriteChromeTrace(std::ostream& out) const;
+
+  /// Same, but stamped with `process`'s pid/name/metadata so multiple
+  /// processes' dumps can be merged onto one timeline.
+  void WriteChromeTrace(std::ostream& out,
+                        const ChromeTraceProcess& process) const;
 
   // Fast-path entry points used by the handles (shard-local, lock-free).
   void CounterAdd(uint32_t id, uint64_t n);

@@ -1,0 +1,149 @@
+#include "telemetry/trace_merge.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+
+#include "telemetry/json_writer.h"
+
+namespace rod::telemetry {
+
+namespace {
+
+/// Overwrites (or adds) one member of a JSON object.
+void SetMember(JsonValue& obj, std::string_view key, JsonValue value) {
+  for (auto& [name, member] : obj.members()) {
+    if (name == key) {
+      member = std::move(value);
+      return;
+    }
+  }
+  obj.members().emplace_back(std::string(key), std::move(value));
+}
+
+bool IsMetadataEvent(const JsonValue& event) {
+  return event.is_object() && event.StringOr("ph", "") == "M";
+}
+
+/// The merged trace's one process_name row per input dump.
+void WriteProcessNameEvent(JsonWriter& w, uint64_t pid,
+                           const std::string& name) {
+  w.BeginObjectInline();
+  w.Key("ph").String("M");
+  w.Key("pid").Uint(pid);
+  w.Key("tid").Uint(0);
+  w.Key("name").String("process_name");
+  w.Key("args").BeginObjectInline();
+  w.Key("name").String(name);
+  w.EndObject();
+  w.EndObject();
+}
+
+}  // namespace
+
+Result<TraceDump> ParseChromeTraceDump(std::string_view json,
+                                       std::string_view fallback_name) {
+  auto parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+
+  TraceDump dump;
+  dump.process_name = std::string(fallback_name);
+  if (parsed->is_array()) {
+    dump.events = std::move(parsed.value());
+  } else if (parsed->is_object()) {
+    const JsonValue* events = parsed->Find("traceEvents");
+    if (events == nullptr || !events->is_array()) {
+      return Status::InvalidArgument(
+          "trace dump: no traceEvents array");
+    }
+    if (const JsonValue* rod = parsed->Find("rod");
+        rod != nullptr && rod->is_object()) {
+      dump.clock_offset_us = rod->NumberOr("clock_offset_us", 0.0);
+      dump.worker_id = rod->NumberOr("worker_id", -1.0);
+    }
+    // Steal the array out of the document (JsonValue moves are cheap).
+    for (auto& [key, value] : parsed->members()) {
+      if (key == "traceEvents") {
+        dump.events = std::move(value);
+        break;
+      }
+    }
+  } else {
+    return Status::InvalidArgument(
+        "trace dump: expected an object or an array");
+  }
+
+  for (const JsonValue& event : dump.events.items()) {
+    if (!IsMetadataEvent(event)) continue;
+    if (event.StringOr("name", "") != "process_name") continue;
+    if (const JsonValue* args = event.Find("args");
+        args != nullptr && args->is_object()) {
+      const std::string name = args->StringOr("name", "");
+      if (!name.empty()) dump.process_name = name;
+    }
+  }
+  return dump;
+}
+
+Status MergeChromeTraces(const std::vector<TraceDump>& dumps,
+                         std::ostream& out) {
+  if (dumps.empty()) {
+    return Status::InvalidArgument("trace merge: no input dumps");
+  }
+
+  struct TimedEvent {
+    double ts = 0.0;
+    size_t dump = 0;
+    const JsonValue* event = nullptr;
+  };
+  std::vector<TimedEvent> timed;
+  for (size_t i = 0; i < dumps.size(); ++i) {
+    for (const JsonValue& event : dumps[i].events.items()) {
+      if (!event.is_object()) {
+        return Status::InvalidArgument("trace merge: non-object event");
+      }
+      if (IsMetadataEvent(event)) continue;
+      timed.push_back(TimedEvent{
+          event.NumberOr("ts", 0.0) + dumps[i].clock_offset_us, i, &event});
+    }
+  }
+  std::stable_sort(timed.begin(), timed.end(),
+                   [](const TimedEvent& a, const TimedEvent& b) {
+                     return a.ts < b.ts;
+                   });
+
+  JsonWriter w(out);
+  w.BeginObject();
+  w.Key("displayTimeUnit").String("ms");
+  w.Key("traceEvents").BeginArray();
+  for (size_t i = 0; i < dumps.size(); ++i) {
+    const uint64_t pid = static_cast<uint64_t>(i) + 1;
+    WriteProcessNameEvent(w, pid, dumps[i].process_name);
+    // Pass the dump's own metadata rows (thread names) through under
+    // its new pid; its original process_name rows are superseded.
+    for (const JsonValue& event : dumps[i].events.items()) {
+      if (!IsMetadataEvent(event)) continue;
+      if (event.StringOr("name", "") == "process_name") continue;
+      JsonValue copy = event;
+      SetMember(copy, "pid", JsonValue::Number(static_cast<double>(pid)));
+      WriteJsonValue(copy, w);
+    }
+  }
+  for (const TimedEvent& te : timed) {
+    JsonValue copy = *te.event;
+    SetMember(copy, "pid",
+              JsonValue::Number(static_cast<double>(te.dump) + 1.0));
+    SetMember(copy, "ts", JsonValue::Number(te.ts));
+    WriteJsonValue(copy, w);
+  }
+  w.EndArray();
+  w.Key("rod").BeginObjectInline();
+  w.Key("schema").String("rod.trace_merge.v1");
+  w.Key("processes").Uint(dumps.size());
+  w.EndObject();
+  w.EndObject();
+  out << "\n";
+  return Status::OK();
+}
+
+}  // namespace rod::telemetry

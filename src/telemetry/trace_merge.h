@@ -1,0 +1,63 @@
+// Copyright (c) the ROD reproduction authors.
+//
+// Merging per-process Chrome trace dumps onto one timeline. Every
+// cluster process exports trace events on its own telemetry clock
+// (microseconds since that process started), so three workers' dumps
+// loaded together would overlap nonsensically. Each dump carries its
+// coordinator-estimated clock offset in the top-level "rod" metadata
+// object (written by Telemetry::WriteChromeTrace with a
+// ChromeTraceProcess); this library rebases every event timestamp onto
+// the coordinator clock (ts + offset), gives each input a distinct pid
+// with a named process row, and emits one time-sorted merged trace —
+// the file tools/rod_trace_merge writes and CI uploads, in which a
+// kill-9 incident reads as a single aligned timeline.
+//
+// Layering: uses Status and the JSON reader, so it compiles into
+// rod_common (above rod_telemetry).
+
+#ifndef ROD_TELEMETRY_TRACE_MERGE_H_
+#define ROD_TELEMETRY_TRACE_MERGE_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "telemetry/json_reader.h"
+
+namespace rod::telemetry {
+
+/// One parsed per-process trace dump.
+struct TraceDump {
+  /// Process row label: the dump's process_name metadata event if
+  /// present, else the fallback passed to ParseChromeTraceDump.
+  std::string process_name;
+  /// Microseconds to add to every timestamp to land on the coordinator
+  /// clock (from "rod".clock_offset_us; 0 when absent — e.g. the
+  /// coordinator's own dump).
+  double clock_offset_us = 0.0;
+  /// "rod".worker_id when present, else -1 (the coordinator).
+  double worker_id = -1.0;
+  /// The parsed traceEvents array, untouched.
+  JsonValue events;
+};
+
+/// Parses one Chrome trace dump as written by WriteChromeTrace (object
+/// form with a "traceEvents" array; the bare-array form is accepted
+/// too). `fallback_name` labels the process when the dump carries no
+/// process_name metadata.
+Result<TraceDump> ParseChromeTraceDump(std::string_view json,
+                                       std::string_view fallback_name);
+
+/// Merges `dumps` into one Chrome trace on `out`: input i becomes pid
+/// i+1 with a process_name metadata row, every timed event's ts is
+/// rebased by its dump's clock_offset_us, and timed events are emitted
+/// in globally non-decreasing ts order. The output's "rod" object
+/// records the merge ("schema": "rod.trace_merge.v1", process count).
+Status MergeChromeTraces(const std::vector<TraceDump>& dumps,
+                         std::ostream& out);
+
+}  // namespace rod::telemetry
+
+#endif  // ROD_TELEMETRY_TRACE_MERGE_H_

@@ -1,0 +1,133 @@
+// Clock-offset estimator tests: synthetic two-clock exchanges with known
+// skew and jittered path delays, verifying the NTP-midpoint estimate,
+// the minimum-RTT filter, the rtt/2 error bound, and sample rejection.
+
+#include "cluster/clock_sync.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace rod::cluster {
+namespace {
+
+/// Builds the four-timestamp exchange for a worker whose clock reads
+/// coordinator_clock - true_offset (so worker + true_offset =
+/// coordinator, the distributed convention), with the given one-way
+/// delays. `t1` is the coordinator clock at ping send.
+ClockSample MakeSample(double t1, double true_offset_us, double delay_out_us,
+                       double delay_back_us, double worker_hold_us = 5.0) {
+  ClockSample s;
+  s.t1_us = t1;
+  s.t2_us = t1 + delay_out_us - true_offset_us;
+  s.t3_us = s.t2_us + worker_hold_us;
+  s.t4_us = (s.t3_us + true_offset_us) + delay_back_us;
+  return s;
+}
+
+TEST(ClockSyncEstimatorTest, SymmetricDelaysRecoverOffsetExactly) {
+  for (double true_offset : {-1.5e6, -37.0, 0.0, 42.0, 2.25e6}) {
+    ClockSyncEstimator est;
+    est.AddSample(MakeSample(1000.0, true_offset, 80.0, 80.0));
+    ASSERT_TRUE(est.has_estimate());
+    // Equal path delays make the midpoint exact.
+    EXPECT_NEAR(est.offset_us(), true_offset, 1e-9) << true_offset;
+    EXPECT_NEAR(est.rtt_us(), 160.0, 1e-9);
+    EXPECT_NEAR(est.error_bound_us(), 80.0, 1e-9);
+  }
+}
+
+TEST(ClockSyncEstimatorTest, AsymmetryErrorIsBoundedByHalfRtt) {
+  const double true_offset = 5000.0;
+  ClockSyncEstimator est;
+  // Badly asymmetric: 10us out, 400us back.
+  est.AddSample(MakeSample(0.0, true_offset, 10.0, 400.0));
+  ASSERT_TRUE(est.has_estimate());
+  const double err = std::abs(est.offset_us() - true_offset);
+  EXPECT_GT(err, 0.0);
+  EXPECT_LE(err, est.error_bound_us());
+}
+
+TEST(ClockSyncEstimatorTest, MinRttFilterPrefersCleanestSample) {
+  const double true_offset = -777.0;
+  ClockSyncEstimator est;
+  // A pile of jitter-inflated asymmetric samples...
+  Rng rng(0xc10c);
+  for (int i = 0; i < 10; ++i) {
+    const double out = 100.0 + rng.Uniform(0.0, 900.0);
+    const double back = 100.0 + rng.Uniform(0.0, 900.0);
+    est.AddSample(MakeSample(i * 1e4, true_offset, out, back));
+  }
+  // ...then one clean symmetric probe with the smallest RTT.
+  est.AddSample(MakeSample(2e5, true_offset, 20.0, 20.0));
+  EXPECT_NEAR(est.rtt_us(), 40.0, 1e-9);
+  EXPECT_NEAR(est.offset_us(), true_offset, 1e-9);
+}
+
+TEST(ClockSyncEstimatorTest, JitteredRunStaysWithinJitterBound) {
+  // Base delay D with uniform jitter in [0, J) each way: every sample's
+  // asymmetry is < J, so the min-RTT estimate errs by less than J/2.
+  const double true_offset = 1234.5;
+  const double base = 50.0;
+  const double jitter = 60.0;
+  ClockSyncEstimator est;
+  Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    const double out = base + rng.Uniform(0.0, jitter);
+    const double back = base + rng.Uniform(0.0, jitter);
+    est.AddSample(MakeSample(i * 1e4, true_offset, out, back));
+  }
+  ASSERT_TRUE(est.has_estimate());
+  EXPECT_LT(std::abs(est.offset_us() - true_offset), jitter / 2.0);
+  EXPECT_LE(std::abs(est.offset_us() - true_offset), est.error_bound_us());
+  EXPECT_EQ(est.samples_accepted(), 64u);
+  EXPECT_EQ(est.samples_rejected(), 0u);
+}
+
+TEST(ClockSyncEstimatorTest, WindowAgesOutOldSamplesSoDriftTracks) {
+  ClockSyncEstimator est(/*window=*/4);
+  // Early samples at one offset with a tiny RTT...
+  for (int i = 0; i < 4; ++i) {
+    est.AddSample(MakeSample(i * 1e4, 100.0, 10.0, 10.0));
+  }
+  EXPECT_NEAR(est.offset_us(), 100.0, 1e-9);
+  // ...then the clock relationship shifts; once the window rolls over,
+  // the estimate must follow even though the old RTTs were smaller.
+  for (int i = 0; i < 4; ++i) {
+    est.AddSample(MakeSample(1e6 + i * 1e4, 900.0, 25.0, 25.0));
+  }
+  EXPECT_NEAR(est.offset_us(), 900.0, 1e-9);
+}
+
+TEST(ClockSyncEstimatorTest, RejectsNonPositiveRttAndKeepsEstimate) {
+  ClockSyncEstimator est;
+  est.AddSample(MakeSample(0.0, 10.0, 50.0, 50.0));
+  const double before = est.offset_us();
+
+  // Crossed timestamps: worker "held" the ping longer than the whole
+  // exchange took -> non-positive RTT.
+  ClockSample bad = MakeSample(1e4, 10.0, 50.0, 50.0, /*worker_hold_us=*/200.0);
+  bad.t4_us = bad.t1_us + 80.0;  // Exchange "finished" before the hold did.
+  est.AddSample(bad);
+
+  ClockSample nan_sample = MakeSample(2e4, 10.0, 50.0, 50.0);
+  nan_sample.t2_us = std::nan("");
+  est.AddSample(nan_sample);
+
+  EXPECT_EQ(est.samples_accepted(), 1u);
+  EXPECT_EQ(est.samples_rejected(), 2u);
+  EXPECT_DOUBLE_EQ(est.offset_us(), before);
+}
+
+TEST(ClockSyncEstimatorTest, EmptyEstimatorAnswersZeros) {
+  ClockSyncEstimator est;
+  EXPECT_FALSE(est.has_estimate());
+  EXPECT_DOUBLE_EQ(est.offset_us(), 0.0);
+  EXPECT_DOUBLE_EQ(est.rtt_us(), 0.0);
+  EXPECT_DOUBLE_EQ(est.error_bound_us(), 0.0);
+}
+
+}  // namespace
+}  // namespace rod::cluster

@@ -5,12 +5,19 @@
 // supervisor-driven plan diff (pause -> drain -> reassign -> resume),
 // survivor completion, and a populated IncidentReport.
 
+#include <arpa/inet.h>
 #include <gtest/gtest.h>
+#include <netinet/in.h>
 #include <signal.h>
+#include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -18,6 +25,7 @@
 #include "cluster/worker.h"
 #include "common/random.h"
 #include "query/graph_gen.h"
+#include "telemetry/json_reader.h"
 
 namespace rod::cluster {
 namespace {
@@ -44,15 +52,74 @@ CoordinatorOptions FastOptions() {
 
 /// Forks a worker process running RunWorker against `port`; returns its
 /// pid. The child never returns into gtest (straight to _exit).
-pid_t SpawnWorker(uint16_t port) {
+pid_t SpawnWorker(uint16_t port, bool serve_http = false) {
   const pid_t pid = ::fork();
   if (pid != 0) return pid;
   WorkerOptions options;
   options.coordinator_port = port;
-  options.serve_http = false;
+  options.serve_http = serve_http;
   options.name = "e2e-worker-" + std::to_string(::getpid());
   const Status status = RunWorker(options);
   ::_exit(status.ok() ? 0 : 1);
+}
+
+/// One raw loopback HTTP GET; returns the whole response (or "").
+std::string HttpGet(uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "GET " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n"
+                              "Connection: close\r\n\r\n";
+  size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    sent += static_cast<size_t>(n);
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+/// Body of a 200 response; empty on any other status (or no response).
+std::string HttpBody(const std::string& response) {
+  if (response.find("HTTP/1.1 200") != 0) return "";
+  const size_t split = response.find("\r\n\r\n");
+  return split == std::string::npos ? "" : response.substr(split + 4);
+}
+
+/// The value text of one exposition series (exact name + labels match),
+/// or "" if the series is absent.
+std::string SeriesValue(const std::string& text, const std::string& series) {
+  const std::string needle = series + " ";
+  size_t pos;
+  if (text.rfind(needle, 0) == 0) {
+    pos = 0;
+  } else {
+    pos = text.find("\n" + needle);
+    if (pos == std::string::npos) return "";
+    ++pos;
+  }
+  const size_t start = pos + needle.size();
+  return text.substr(start, text.find('\n', start) - start);
 }
 
 int WaitFor(pid_t pid) {
@@ -94,7 +161,113 @@ TEST(ClusterE2eTest, ThreeWorkerRunCompletesAndAggregates) {
   for (const auto& worker : report.workers) {
     EXPECT_TRUE(worker.alive);
     EXPECT_TRUE(worker.final_stats);
+    // Every worker's clock got aligned during the sync burst. All three
+    // processes share this machine's clock, so the estimated offset is
+    // bounded by scheduling noise, not real skew.
+    EXPECT_TRUE(worker.clock_synced);
+    EXPECT_GT(worker.clock_rtt_us, 0.0);
+    EXPECT_LT(std::abs(worker.clock_offset_us), 1e6);
   }
+  // Tuples crossed processes, so the federated offset-corrected ship
+  // latency histogram is populated and internally consistent.
+  EXPECT_GT(report.ship_latency.count, 0u);
+  EXPECT_GT(report.ship_latency.mean_us, 0.0);
+  EXPECT_LE(report.ship_latency.p50_us, report.ship_latency.p99_us);
+  EXPECT_LE(report.ship_latency.p99_us, report.ship_latency.max_us);
+}
+
+TEST(ClusterE2eTest, FederatedMetricsAgreeWithWorkerPlanes) {
+  CoordinatorOptions options = FastOptions();
+  options.serve_http = true;
+  options.duration = 3.0;
+  Coordinator coordinator(TestGraph(), options);
+  ASSERT_TRUE(coordinator.Listen().ok());
+  const uint16_t http_port = coordinator.http_port();
+  ASSERT_NE(http_port, 0);
+
+  std::vector<pid_t> workers;
+  for (int i = 0; i < 3; ++i) {
+    workers.push_back(SpawnWorker(coordinator.port(), /*serve_http=*/true));
+  }
+
+  // Mid-run scraper: once the coordinator is ready, poll until one
+  // consistent scrape where every worker's own /metrics plane agrees
+  // with its worker-labeled series in the federated /metrics. Counters
+  // lag by at most one heartbeat, so disagreement is retried, not fatal.
+  bool agreed = false;
+  std::string failure = "scrape loop never saw a ready coordinator";
+  std::thread scraper([&] {
+    for (int attempt = 0; attempt < 200 && !agreed; ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+      if (HttpBody(HttpGet(http_port, "/readyz")).empty()) continue;
+      const std::string summary = HttpBody(HttpGet(http_port, "/cluster.json"));
+      auto cluster = telemetry::ParseJson(summary);
+      if (!cluster.ok()) continue;
+      const telemetry::JsonValue* members = cluster->Find("workers");
+      if (members == nullptr || !members->is_array() ||
+          members->items().size() != 3) {
+        failure = "cluster.json missing 3 workers: " + summary;
+        continue;
+      }
+      const std::string fed = HttpBody(HttpGet(http_port, "/metrics"));
+      bool all = true;
+      for (const telemetry::JsonValue& w : members->items()) {
+        const int wid = static_cast<int>(w.NumberOr("worker_id", -1.0));
+        const std::string name = w.StringOr("name", "");
+        const auto wport = static_cast<uint16_t>(w.NumberOr("http_port", 0.0));
+        const telemetry::JsonValue* clock = w.Find("clock");
+        if (wport == 0 || clock == nullptr ||
+            !clock->Find("synced")->boolean()) {
+          failure = "worker not scrapeable/synced yet: " + summary;
+          all = false;
+          break;
+        }
+        const std::string plane = HttpBody(HttpGet(wport, "/metrics"));
+        const std::string label =
+            "{name=\"" + name + "\",worker=\"" + std::to_string(wid) + "\"}";
+        // Exact agreement: the coordinator's clock estimate vs the last
+        // kClockSync the worker installed, and the kStatsReport-federated
+        // sync counter vs the worker's live one.
+        for (const char* family :
+             {"cluster_clock_offset_us", "cluster_clock_syncs"}) {
+          const std::string fed_value = SeriesValue(fed, family + label);
+          const std::string plane_value = SeriesValue(plane, family);
+          if (fed_value.empty() || fed_value != plane_value) {
+            failure = std::string(family) + label + ": federated=\"" +
+                      fed_value + "\" plane=\"" + plane_value + "\"";
+            all = false;
+            break;
+          }
+        }
+        if (!all) break;
+        // Monotone counter: the federated cumulative is a recent snapshot
+        // of the live series — positive and never ahead of it.
+        const std::string fed_tuples =
+            SeriesValue(fed, "cluster_tuples_processed" + label);
+        const std::string plane_tuples =
+            SeriesValue(plane, "cluster_tuples_processed");
+        if (fed_tuples.empty() || plane_tuples.empty() ||
+            std::strtod(fed_tuples.c_str(), nullptr) <= 0.0 ||
+            std::strtod(fed_tuples.c_str(), nullptr) >
+                std::strtod(plane_tuples.c_str(), nullptr)) {
+          failure = "cluster_tuples_processed" + label + ": federated=\"" +
+                    fed_tuples + "\" plane=\"" + plane_tuples + "\"";
+          all = false;
+          break;
+        }
+      }
+      if (all) agreed = true;
+    }
+  });
+
+  const Status run = coordinator.Run();
+  scraper.join();
+  EXPECT_TRUE(run.ok()) << run.ToString();
+  for (const pid_t pid : workers) {
+    const int wstatus = WaitFor(pid);
+    EXPECT_TRUE(WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0);
+  }
+  EXPECT_TRUE(agreed) << failure;
 }
 
 TEST(ClusterE2eTest, KillNineMidRunDetectsRepairsAndCompletes) {
@@ -161,8 +334,34 @@ TEST(ClusterE2eTest, KillNineMidRunDetectsRepairsAndCompletes) {
   EXPECT_GE(incident.availability, 0.0);
   EXPECT_LE(incident.availability, 1.0);
 
-  // The incident landed in the coordinator's flight recorder.
+  // The repair's phase clocks were captured: detection delay matches the
+  // heartbeat deadline math above, and every phase has a sane duration.
+  ASSERT_TRUE(report.phases.valid);
+  EXPECT_NEAR(report.phases.detect_seconds, detection_delay, 1e-9);
+  EXPECT_GE(report.phases.pause_drain_seconds, 0.0);
+  EXPECT_GE(report.phases.reassign_seconds, 0.0);
+  EXPECT_GE(report.phases.resume_seconds, 0.0);
+  EXPECT_GT(report.phases.pause_drain_seconds + report.phases.reassign_seconds +
+                report.phases.resume_seconds,
+            0.0);
+
+  // Both survivors (and only they — the victim cannot answer) responded
+  // to the kFreeze broadcast with a frozen flight-recorder snapshot.
+  std::vector<uint32_t> survivors;
+  for (const auto& worker : report.workers) {
+    if (worker.alive) survivors.push_back(worker.worker_id);
+  }
+  EXPECT_EQ(report.frozen_workers, survivors);
+
+  // The incident landed in the coordinator's flight recorder as the
+  // distributed composite: engine-schema incident + repair phases +
+  // embedded per-worker frozen snapshots.
   EXPECT_EQ(coordinator.flight_recorder().incident_count(), 1u);
+  const std::vector<std::string> incidents =
+      coordinator.flight_recorder().IncidentJsons();
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_NE(incidents[0].find("\"phases\""), std::string::npos);
+  EXPECT_NE(incidents[0].find("\"worker_snapshots\""), std::string::npos);
 }
 
 TEST(ClusterE2eTest, CoordinatorTimesOutWhenWorkersNeverRegister) {

@@ -56,7 +56,7 @@ TEST(ClusterFrameTest, EncodeDecodeRoundTrip) {
 TEST(ClusterFrameTest, RoundTripPropertyOverTypesAndSizes) {
   Rng rng(0xf4a3e5);
   for (int trial = 0; trial < 200; ++trial) {
-    const auto type = static_cast<MsgType>(1 + (trial % 14));
+    const auto type = static_cast<MsgType>(1 + (trial % kMaxMsgType));
     const size_t len = static_cast<size_t>(rng.Uniform(0.0, 4096.0));
     std::string payload(len, '\0');
     for (char& c : payload) {
@@ -188,6 +188,12 @@ TEST(ClusterFrameTest, MsgTypeNamesAreStable) {
   EXPECT_STREQ(MsgTypeName(MsgType::kHello), "hello");
   EXPECT_STREQ(MsgTypeName(MsgType::kTuples), "tuples");
   EXPECT_STREQ(MsgTypeName(MsgType::kShutdown), "shutdown");
+  EXPECT_STREQ(MsgTypeName(MsgType::kPing), "ping");
+  EXPECT_STREQ(MsgTypeName(MsgType::kPong), "pong");
+  EXPECT_STREQ(MsgTypeName(MsgType::kStatsReport), "stats_report");
+  EXPECT_STREQ(MsgTypeName(MsgType::kClockSync), "clock_sync");
+  EXPECT_STREQ(MsgTypeName(MsgType::kFreeze), "freeze");
+  EXPECT_STREQ(MsgTypeName(MsgType::kFrozenReport), "frozen_report");
   EXPECT_STREQ(MsgTypeName(static_cast<MsgType>(250)), "unknown");
 }
 

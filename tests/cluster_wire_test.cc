@@ -214,6 +214,100 @@ TEST(ClusterWireTest, TuplePauseDiffFinalRoundTrips) {
   EXPECT_EQ(f->counters.delivered, 123456u);
 }
 
+TEST(ClusterWireTest, TupleBatchCarriesSendTime) {
+  TupleBatchMsg batch{12, 1, 64, 3, 2.75};
+  batch.send_time_us = 123456.5;
+  auto b = TupleBatchMsg::Decode(batch.Encode());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(b->send_time_us, 123456.5);
+  // Default encodes as the unstamped sentinel.
+  auto unstamped = TupleBatchMsg::Decode(TupleBatchMsg{}.Encode());
+  ASSERT_TRUE(unstamped.ok());
+  EXPECT_DOUBLE_EQ(unstamped->send_time_us, 0.0);
+}
+
+TEST(ClusterWireTest, PingPongRoundTrip) {
+  PingMsg ping{42, 1e6};
+  auto p = PingMsg::Decode(ping.Encode());
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->seq, 42u);
+  EXPECT_DOUBLE_EQ(p->t1_us, 1e6);
+
+  PongMsg pong;
+  pong.seq = 42;
+  pong.worker_id = 2;
+  pong.t1_us = 1e6;
+  pong.t2_us = 5e5;
+  pong.t3_us = 5e5 + 30.0;
+  auto q = PongMsg::Decode(pong.Encode());
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->seq, 42u);
+  EXPECT_EQ(q->worker_id, 2u);
+  EXPECT_DOUBLE_EQ(q->t1_us, 1e6);
+  EXPECT_DOUBLE_EQ(q->t2_us, 5e5);
+  EXPECT_DOUBLE_EQ(q->t3_us, 5e5 + 30.0);
+}
+
+TEST(ClusterWireTest, StatsReportRoundTrip) {
+  StatsReportMsg report;
+  report.worker_id = 1;
+  report.counters = {{"cluster.batches_received", 17},
+                     {"engine.tuples", 123456}};
+  report.gauges = {{"cluster.clock_offset_us", -250.5}};
+  StatsReportMsg::HistogramState h;
+  h.name = "cluster.ship_latency_us";
+  h.count = 3;
+  h.sum = 900.0;
+  h.min = 100.0;
+  h.max = 500.0;
+  h.buckets = {{128.0, 1}, {512.0, 2}};
+  report.histograms.push_back(h);
+
+  auto r = StatsReportMsg::Decode(report.Encode());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->worker_id, 1u);
+  EXPECT_EQ(r->counters, report.counters);
+  EXPECT_EQ(r->gauges, report.gauges);
+  ASSERT_EQ(r->histograms.size(), 1u);
+  EXPECT_EQ(r->histograms[0].name, "cluster.ship_latency_us");
+  EXPECT_EQ(r->histograms[0].count, 3u);
+  EXPECT_DOUBLE_EQ(r->histograms[0].sum, 900.0);
+  EXPECT_DOUBLE_EQ(r->histograms[0].min, 100.0);
+  EXPECT_DOUBLE_EQ(r->histograms[0].max, 500.0);
+  EXPECT_EQ(r->histograms[0].buckets, h.buckets);
+}
+
+TEST(ClusterWireTest, ClockSyncFreezeFrozenRoundTrips) {
+  ClockSyncMsg sync;
+  sync.entries = {{0, -120.25, 60.0}, {1, 310.0, 42.5}};
+  auto s = ClockSyncMsg::Decode(sync.Encode());
+  ASSERT_TRUE(s.ok());
+  ASSERT_EQ(s->entries.size(), 2u);
+  EXPECT_EQ(s->entries[1].worker_id, 1u);
+  EXPECT_DOUBLE_EQ(s->entries[1].offset_us, 310.0);
+  EXPECT_DOUBLE_EQ(s->entries[0].rtt_us, 60.0);
+
+  FreezeMsg freeze;
+  freeze.incident_id = 7;
+  freeze.kind = "cluster.worker_failure";
+  freeze.detail = "w1 missed heartbeats";
+  auto fr = FreezeMsg::Decode(freeze.Encode());
+  ASSERT_TRUE(fr.ok());
+  EXPECT_EQ(fr->incident_id, 7u);
+  EXPECT_EQ(fr->kind, freeze.kind);
+  EXPECT_EQ(fr->detail, freeze.detail);
+
+  FrozenReportMsg frozen;
+  frozen.incident_id = 7;
+  frozen.worker_id = 2;
+  frozen.incident_json = "{\"kind\": \"cluster.worker_failure\"}";
+  auto fz = FrozenReportMsg::Decode(frozen.Encode());
+  ASSERT_TRUE(fz.ok());
+  EXPECT_EQ(fz->incident_id, 7u);
+  EXPECT_EQ(fz->worker_id, 2u);
+  EXPECT_EQ(fz->incident_json, frozen.incident_json);
+}
+
 TEST(ClusterWireTest, TruncatedPayloadIsRejected) {
   HelloMsg msg;
   msg.name = "truncate-me";

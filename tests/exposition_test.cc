@@ -105,6 +105,98 @@ TEST(PrometheusTextTest, LabelsAttachToEverySeries) {
       << out2.str();
 }
 
+TEST(FederatedPrometheusTextTest, OneTypeLinePerFamilyAcrossInstances) {
+  // Coordinator (unlabeled) and two workers all export the same counter
+  // family; a valid exposition may carry its # TYPE line only once.
+  Telemetry coord;
+  coord.Count("cluster.heartbeats", 9);
+  Telemetry w0;
+  w0.Count("cluster.heartbeats", 4);
+  w0.Observe("cluster.ship_latency_us", 120.0);
+  Telemetry w1;
+  w1.Count("cluster.heartbeats", 5);
+  w1.Observe("cluster.ship_latency_us", 80.0);
+
+  std::vector<FederatedInstance> instances;
+  instances.push_back({{}, coord.Snapshot()});
+  instances.push_back({{{"worker", "0"}, {"name", "w0"}}, w0.Snapshot()});
+  instances.push_back({{{"worker", "1"}, {"name", "w1"}}, w1.Snapshot()});
+  std::ostringstream out;
+  WriteFederatedPrometheusText(instances, out);
+  const std::string text = out.str();
+
+  size_t type_lines = 0;
+  size_t pos = 0;
+  while ((pos = text.find("# TYPE cluster_heartbeats ", pos)) !=
+         std::string::npos) {
+    ++type_lines;
+    ++pos;
+  }
+  EXPECT_EQ(type_lines, 1u) << text;
+  // Every instance keeps its own series, told apart by labels.
+  EXPECT_NE(text.find("cluster_heartbeats 9\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("cluster_heartbeats{name=\"w0\",worker=\"0\"} 4\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cluster_heartbeats{name=\"w1\",worker=\"1\"} 5\n"),
+            std::string::npos)
+      << text;
+  // Histogram families federate too: one TYPE line, per-worker buckets.
+  size_t hist_types = 0;
+  pos = 0;
+  while ((pos = text.find("# TYPE cluster_ship_latency_us histogram", pos)) !=
+         std::string::npos) {
+    ++hist_types;
+    ++pos;
+  }
+  EXPECT_EQ(hist_types, 1u) << text;
+  EXPECT_NE(text.find("cluster_ship_latency_us_bucket{name=\"w0\""),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("cluster_ship_latency_us_count{name=\"w1\""),
+            std::string::npos)
+      << text;
+}
+
+TEST(FederatedPrometheusTextTest, GoldenFederatedScrapeIsByteExact) {
+  // A miniature cluster scrape: coordinator plane plus two workers with
+  // overlapping and disjoint families, pinned byte-for-byte.
+  TelemetryOptions topt;
+  topt.manual_clock = true;
+  Telemetry coord(topt);
+  coord.Count("cluster.heartbeats", 42);
+  coord.SetGauge("cluster.clock_offset_us.w0", 250.0);
+
+  Telemetry w0(topt);
+  w0.Count("engine.events_processed", 1000);
+  w0.SetGauge("cluster.up", 1.0);
+  Histogram ship0 = w0.histogram("cluster.ship_latency_us");
+  ship0.Record(1.0);
+  ship0.Record(150.0);
+
+  Telemetry w1(topt);
+  w1.Count("engine.events_processed", 900);
+  w1.SetGauge("cluster.up", 1.0);
+
+  std::vector<FederatedInstance> instances;
+  instances.push_back({{}, coord.Snapshot()});
+  instances.push_back({{{"worker", "0"}, {"name", "w0"}}, w0.Snapshot()});
+  instances.push_back({{{"worker", "1"}, {"name", "w1"}}, w1.Snapshot()});
+  std::ostringstream out;
+  WriteFederatedPrometheusText(instances, out);
+
+  const std::string golden_path =
+      std::string(ROD_TESTS_SOURCE_DIR) + "/golden/federated_metrics.txt";
+  std::ifstream golden_in(golden_path);
+  ASSERT_TRUE(golden_in.good()) << "missing golden: " << golden_path;
+  std::ostringstream golden;
+  golden << golden_in.rdbuf();
+  EXPECT_EQ(out.str(), golden.str())
+      << "--- actual ---\n"
+      << out.str() << "--- golden (" << golden_path << ") ---\n"
+      << golden.str();
+}
+
 TEST(PrometheusTextTest, GoldenScrapeIsByteExact) {
   TelemetryOptions topt;
   topt.manual_clock = true;

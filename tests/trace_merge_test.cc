@@ -1,0 +1,187 @@
+// Trace-merge round trip: real Telemetry instances dump Chrome traces
+// with per-process clock offsets; the merge must rebase every timestamp
+// onto the coordinator clock, give each process a named row with its own
+// pid, and emit timed events in non-decreasing order. Plus JSON-reader
+// coverage for the parsing underneath.
+
+#include "telemetry/trace_merge.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json_reader.h"
+#include "telemetry/json_writer.h"
+#include "telemetry/telemetry.h"
+
+namespace rod::telemetry {
+namespace {
+
+TEST(JsonReaderTest, ParsesScalarsArraysObjects) {
+  auto v = ParseJson(R"({"a": 1.5, "b": [true, null, "x\né"], "c": {}})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  ASSERT_TRUE(v->is_object());
+  EXPECT_DOUBLE_EQ(v->NumberOr("a", 0.0), 1.5);
+  const JsonValue* b = v->Find("b");
+  ASSERT_NE(b, nullptr);
+  ASSERT_TRUE(b->is_array());
+  ASSERT_EQ(b->items().size(), 3u);
+  EXPECT_TRUE(b->items()[0].boolean());
+  EXPECT_TRUE(b->items()[1].is_null());
+  EXPECT_EQ(b->items()[2].string_value(), "x\n\xc3\xa9");
+  EXPECT_TRUE(v->Find("c")->is_object());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonReaderTest, RejectsMalformedInputWithOffset) {
+  for (const char* bad : {"{", "[1,]", "{\"a\" 1}", "tru", "1 2", ""}) {
+    const auto v = ParseJson(bad);
+    EXPECT_FALSE(v.ok()) << "accepted: " << bad;
+    EXPECT_EQ(v.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(JsonReaderTest, SurrogatePairDecodesToUtf8) {
+  auto v = ParseJson(R"("😀")");  // U+1F600.
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->string_value(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReaderTest, WriterRoundTripPreservesStructure) {
+  const std::string doc =
+      R"({"name": "s\"p", "n": [1, 2.5, -3], "flag": false, "none": null})";
+  auto v = ParseJson(doc);
+  ASSERT_TRUE(v.ok());
+  std::ostringstream out;
+  {
+    JsonWriter w(out);
+    WriteJsonValue(*v, w);
+  }
+  auto again = ParseJson(out.str());
+  ASSERT_TRUE(again.ok()) << out.str();
+  EXPECT_EQ(again->StringOr("name", ""), "s\"p");
+  EXPECT_DOUBLE_EQ(again->Find("n")->items()[1].number(), 2.5);
+  EXPECT_FALSE(again->Find("flag")->boolean());
+  EXPECT_TRUE(again->Find("none")->is_null());
+}
+
+/// One synthetic per-process dump: spans recorded on a manual clock,
+/// exported with the cluster's process stamp (name + clock offset).
+std::string MakeDump(const std::string& name, double offset_us,
+                     double worker_id, double first_span_at_us) {
+  TelemetryOptions options;
+  options.manual_clock = true;
+  Telemetry tel(options);
+  tel.AdvanceClock(first_span_at_us);
+  {
+    TraceSpan span(&tel, "test", "work");
+    tel.AdvanceClock(100.0);
+  }
+  tel.AdvanceClock(50.0);
+  tel.RecordInstant("test", "tick");
+
+  ChromeTraceProcess process;
+  process.name = name;
+  process.metadata["clock_offset_us"] = offset_us;
+  process.metadata["worker_id"] = worker_id;
+  std::ostringstream out;
+  tel.WriteChromeTrace(out, process);
+  return out.str();
+}
+
+TEST(TraceMergeTest, ParseReadsProcessStamp) {
+  const std::string dump = MakeDump("worker-a", -2500.0, 1.0, 10.0);
+  auto parsed = ParseChromeTraceDump(dump, "fallback");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->process_name, "worker-a");
+  EXPECT_DOUBLE_EQ(parsed->clock_offset_us, -2500.0);
+  EXPECT_DOUBLE_EQ(parsed->worker_id, 1.0);
+  EXPECT_TRUE(parsed->events.is_array());
+  EXPECT_FALSE(parsed->events.items().empty());
+}
+
+TEST(TraceMergeTest, BareArrayUsesFallbackName) {
+  auto parsed = ParseChromeTraceDump(
+      R"([{"ph": "X", "ts": 1, "dur": 2, "pid": 9, "tid": 0, "name": "e"}])",
+      "w0.trace.json");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->process_name, "w0.trace.json");
+  EXPECT_DOUBLE_EQ(parsed->clock_offset_us, 0.0);
+}
+
+TEST(TraceMergeTest, MergeRebasesSortsAndNamesProcesses) {
+  // Worker clocks: a reads 1000us behind the coordinator (offset +1000),
+  // b reads 500us ahead (offset -500). Events land interleaved only
+  // after rebasing.
+  std::vector<TraceDump> dumps;
+  for (const auto& [name, offset, wid, start] :
+       {std::tuple<const char*, double, double, double>{"coordinator", 0.0,
+                                                        -1.0, 1200.0},
+        {"worker-a", 1000.0, 0.0, 10.0},
+        {"worker-b", -500.0, 1.0, 2000.0}}) {
+    auto parsed =
+        ParseChromeTraceDump(MakeDump(name, offset, wid, start), name);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    dumps.push_back(std::move(parsed.value()));
+  }
+
+  std::ostringstream out;
+  ASSERT_TRUE(MergeChromeTraces(dumps, out).ok());
+  auto merged = ParseJson(out.str());
+  ASSERT_TRUE(merged.ok()) << out.str();
+
+  const JsonValue* rod = merged->Find("rod");
+  ASSERT_NE(rod, nullptr);
+  EXPECT_EQ(rod->StringOr("schema", ""), "rod.trace_merge.v1");
+  EXPECT_DOUBLE_EQ(rod->NumberOr("processes", 0.0), 3.0);
+
+  const JsonValue* events = merged->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  // One process_name metadata row per input, pids 1..3 matching names.
+  std::vector<std::pair<double, std::string>> rows;
+  double prev_ts = -1.0;
+  size_t timed = 0;
+  for (const JsonValue& event : events->items()) {
+    if (event.StringOr("ph", "") == "M") {
+      if (event.StringOr("name", "") != "process_name") continue;
+      rows.emplace_back(event.NumberOr("pid", 0.0),
+                        event.Find("args")->StringOr("name", ""));
+      continue;
+    }
+    ++timed;
+    const double ts = event.NumberOr("ts", std::nan(""));
+    EXPECT_GE(ts, prev_ts) << "merged timestamps regressed";
+    prev_ts = ts;
+    const double pid = event.NumberOr("pid", 0.0);
+    EXPECT_GE(pid, 1.0);
+    EXPECT_LE(pid, 3.0);
+  }
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::pair<double, std::string>{1.0, "coordinator"}));
+  EXPECT_EQ(rows[1], (std::pair<double, std::string>{2.0, "worker-a"}));
+  EXPECT_EQ(rows[2], (std::pair<double, std::string>{3.0, "worker-b"}));
+  // Every input contributed its span and instant.
+  EXPECT_EQ(timed, 6u);
+
+  // Spot-check the rebasing: worker-a's span started at 10us on its own
+  // clock = 1010us on the coordinator clock, which sorts it first.
+  const JsonValue& first = *std::find_if(
+      events->items().begin(), events->items().end(),
+      [](const JsonValue& e) { return e.StringOr("ph", "") != "M"; });
+  EXPECT_DOUBLE_EQ(first.NumberOr("ts", 0.0), 1010.0);
+  EXPECT_DOUBLE_EQ(first.NumberOr("pid", 0.0), 2.0);
+}
+
+TEST(TraceMergeTest, EmptyInputIsRejected) {
+  std::ostringstream out;
+  EXPECT_EQ(MergeChromeTraces({}, out).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace rod::telemetry

@@ -42,7 +42,9 @@ int Usage(const char* argv0) {
       "  --gen-seed S          generator seed (default 7)\n"
       "  --http-port PORT      serve the coordinator observability plane\n"
       "  --report PATH         write the cluster report JSON here\n"
-      "  --flightrecorder PATH write the incident artifact JSON here\n",
+      "  --flightrecorder PATH write the incident artifact JSON here\n"
+      "  --trace PATH          dump the coordinator's Chrome trace here\n"
+      "                        (merge with rod_trace_merge)\n",
       argv0);
   return 2;
 }
@@ -131,6 +133,10 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(arg, "--flightrecorder") == 0) {
       if (value == nullptr) return Usage(argv[0]);
       flightrecorder_path = value;
+      ++i;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      if (value == nullptr) return Usage(argv[0]);
+      options.trace_path = value;
       ++i;
     } else {
       return Usage(argv[0]);

@@ -29,7 +29,9 @@ int Usage(const char* argv0) {
       "  --no-http           do not serve the observability plane\n"
       "  --capacity C        advertised CPU capacity (default 1.0)\n"
       "  --name NAME         diagnostic label (default worker-<pid>)\n"
-      "  --connect-timeout S give up dialing after S seconds (default 10)\n",
+      "  --connect-timeout S give up dialing after S seconds (default 10)\n"
+      "  --trace PATH        dump this process's Chrome trace on exit\n"
+      "                      (merge with rod_trace_merge)\n",
       argv0);
   return 2;
 }
@@ -78,6 +80,10 @@ int main(int argc, char** argv) {
       ++i;
     } else if (std::strcmp(arg, "--connect-timeout") == 0) {
       if (!ParseF64(value, &options.connect_timeout)) return Usage(argv[0]);
+      ++i;
+    } else if (std::strcmp(arg, "--trace") == 0) {
+      if (value == nullptr) return Usage(argv[0]);
+      options.trace_path = value;
       ++i;
     } else {
       return Usage(argv[0]);
